@@ -1,0 +1,119 @@
+//! Kernel benchmarks: the simulated `maxF` kernel under the 2x2 and 3x1
+//! schemes, the incremental combination scanner, the staged reductions, and
+//! the modeled-profile evaluation rate at paper scale.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use multihit_core::greedy::ComboScanner;
+use multihit_core::combin::binomial;
+use multihit_core::reduce::{gpu_reduce, tree_reduce};
+use multihit_core::schemes::Scheme4;
+use multihit_core::weight::{Alpha, Scored};
+use multihit_data::synth::{generate, CohortSpec};
+use multihit_gpusim::exec::run_maxf4;
+use multihit_gpusim::profile::{kernel_levels4, profile_partitions};
+use multihit_gpusim::{CostModel, GpuSpec};
+
+fn cohort(g: usize) -> (multihit_core::BitMatrix, multihit_core::BitMatrix) {
+    let c = generate(&CohortSpec {
+        n_genes: g,
+        n_tumor: 240,
+        n_normal: 120,
+        n_driver_combos: 4,
+        hits_per_combo: 4,
+        ..CohortSpec::default()
+    });
+    (c.tumor, c.normal)
+}
+
+fn bench_maxf_schemes(c: &mut Criterion) {
+    let (t, n) = cohort(28);
+    let mut grp = c.benchmark_group("maxf4_full_range_g28");
+    grp.sample_size(20);
+    for scheme in [Scheme4::TwoXTwo, Scheme4::ThreeXOne] {
+        let threads = scheme.thread_count(28);
+        grp.bench_function(scheme.name(), |b| {
+            b.iter(|| run_maxf4(&t, &n, Alpha::PAPER, scheme, 0, threads, 512).best)
+        });
+    }
+    grp.finish();
+}
+
+fn bench_scanner(c: &mut Criterion) {
+    let (t, n) = cohort(40);
+    let total = binomial(40, 4);
+    c.bench_function("combo_scanner_h4_g40", |b| {
+        b.iter(|| {
+            let mut sc = ComboScanner::<4>::new(&t, &n, None, Alpha::PAPER, 0);
+            sc.scan(black_box(total))
+        })
+    });
+}
+
+fn bench_reductions(c: &mut Criterion) {
+    let scores: Vec<Scored<4>> = (0..100_000u32)
+        .map(|i| Scored {
+            score: u64::from(i.wrapping_mul(2654435761) % 99_991),
+            tp: 0,
+            tn: 0,
+            genes: [i % 1000, i % 1000 + 1, i % 1000 + 2, i % 1000 + 3],
+        })
+        .collect();
+    let mut grp = c.benchmark_group("reduction_100k_records");
+    grp.bench_function("gpu_reduce_block512", |b| {
+        b.iter(|| gpu_reduce(black_box(&scores), 512).0)
+    });
+    grp.bench_function("tree_only", |b| {
+        b.iter(|| tree_reduce(black_box(scores.clone())).0)
+    });
+    grp.finish();
+}
+
+fn bench_model_eval(c: &mut Criterion) {
+    // One full paper-scale modeled iteration: 6000 partitions over G=19411.
+    let levels = kernel_levels4(Scheme4::ThreeXOne, 19411);
+    let parts = multihit_cluster::sched::schedule_ea_fast(
+        &multihit_core::sweep::levels_scheme4(Scheme4::ThreeXOne, 19411),
+        6000,
+    );
+    let bounds: Vec<(u64, u64)> = parts.iter().map(|p| (p.lo, p.hi)).collect();
+    let model = CostModel::new(GpuSpec::v100_summit());
+    c.bench_function("model_iteration_G19411_P6000", |b| {
+        b.iter(|| {
+            profile_partitions(black_box(&levels), &bounds, 21, 3, false)
+                .iter()
+                .map(|p| model.evaluate(p).time_s)
+                .fold(0.0f64, f64::max)
+        })
+    });
+}
+
+fn bench_packed_vs_byte_matrix(c: &mut Criterion) {
+    // §II-C's compressed-representation contribution: packed u64 rows with
+    // popcount vs the uncompressed byte matrix, full 3-hit argmax scan.
+    let (t, n) = cohort(36);
+    let bt = multihit_core::naive::ByteMatrix::from_bitmat(&t);
+    let bn = multihit_core::naive::ByteMatrix::from_bitmat(&n);
+    let mut grp = c.benchmark_group("compressed_vs_byte_h3_g36");
+    grp.sample_size(20);
+    grp.bench_function("packed_bitmat", |b| {
+        let cfg = multihit_core::greedy::GreedyConfig {
+            parallel: false,
+            ..multihit_core::greedy::GreedyConfig::default()
+        };
+        b.iter(|| multihit_core::greedy::best_combination::<3>(&t, &n, None, &cfg))
+    });
+    grp.bench_function("byte_matrix", |b| {
+        b.iter(|| multihit_core::naive::best_combination_naive::<3>(&bt, &bn, Alpha::PAPER))
+    });
+    grp.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_maxf_schemes,
+    bench_scanner,
+    bench_reductions,
+    bench_model_eval,
+    bench_packed_vs_byte_matrix
+);
+criterion_main!(benches);

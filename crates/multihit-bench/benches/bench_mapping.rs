@@ -1,0 +1,90 @@
+//! λ → tuple index-map benchmarks: the exact integer unranking against the
+//! paper's float formulas (Algorithm 1/3 and the §III-F log/exp trick), and
+//! the generic combinadic unranking that powers `4x1` and h ≥ 5.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use multihit_core::combin::{
+    binomial, unrank_pair, unrank_pair_float, unrank_triple, unrank_triple_float, unrank_tuple,
+};
+
+fn bench_pair(c: &mut Criterion) {
+    let max = binomial(19411, 2);
+    let lambdas: Vec<u64> = (0..1024).map(|i| (i * 7_919_993) % max).collect();
+    let mut g = c.benchmark_group("unrank_pair");
+    g.bench_function("exact", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &l in &lambdas {
+                let (i, j) = unrank_pair(black_box(l));
+                acc ^= i ^ j;
+            }
+            acc
+        })
+    });
+    g.bench_function("float(paper)", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &l in &lambdas {
+                let (i, j) = unrank_pair_float(black_box(l));
+                acc ^= i ^ j;
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_triple(c: &mut Criterion) {
+    let max = binomial(19411, 3);
+    let lambdas: Vec<u64> = (0..1024).map(|i| 1 + (i * 1_000_003_939) % (max - 1)).collect();
+    let mut g = c.benchmark_group("unrank_triple");
+    g.bench_function("exact", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &l in &lambdas {
+                let (i, j, k) = unrank_triple(black_box(l));
+                acc ^= i ^ j ^ k;
+            }
+            acc
+        })
+    });
+    g.bench_function("logexp(paper III-F)", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &l in &lambdas {
+                let (i, j, k) = unrank_triple_float(black_box(l));
+                acc ^= i ^ j ^ k;
+            }
+            acc
+        })
+    });
+    g.bench_function("generic_combinadic", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &l in &lambdas {
+                let t = unrank_tuple::<3>(black_box(l));
+                acc ^= t[0] ^ t[1] ^ t[2];
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_quad(c: &mut Criterion) {
+    let max = binomial(19411, 4);
+    let lambdas: Vec<u64> = (0..1024).map(|i| (i as u64 * 6_700_417_000_003) % max).collect();
+    c.bench_function("unrank_tuple4_paper_scale", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &l in &lambdas {
+                let t = unrank_tuple::<4>(black_box(l));
+                acc ^= t[0] ^ t[3];
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_pair, bench_triple, bench_quad);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Scheduler benchmarks: the `O(G)` equi-area scheduler at paper scale
+//! (the paper: naive = tens of hours, level-based < 1 minute) and the naive
+//! walk at the largest size where it is still tolerable.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use multihit_cluster::sched::{schedule_ea_fast, schedule_ea_naive, schedule_ed};
+use multihit_core::schemes::Scheme4;
+use multihit_core::sweep::{levels_scheme4, total_area, total_threads};
+
+fn bench_ea_fast_paper_scale(c: &mut Criterion) {
+    let levels = levels_scheme4(Scheme4::ThreeXOne, 19411);
+    c.bench_function("ea_fast_G19411_P6000", |b| {
+        b.iter(|| schedule_ea_fast(black_box(&levels), 6000).len())
+    });
+}
+
+fn bench_ea_naive_vs_fast_small(c: &mut Criterion) {
+    // G = 600 ⇒ ~3.6e7 threads: the naive walk is already ~10⁵× the work.
+    let g = 600u32;
+    let levels = levels_scheme4(Scheme4::ThreeXOne, g);
+    let n = total_threads(&levels);
+    let total = total_area(&levels);
+    let mut grp = c.benchmark_group("ea_naive_vs_fast_G600_P30");
+    grp.sample_size(10);
+    grp.bench_function("naive_O(N)", |b| {
+        b.iter(|| schedule_ea_naive(n, total, 30, |l| Scheme4::ThreeXOne.workload(l, g)).len())
+    });
+    grp.bench_function("fast_O(G)", |b| {
+        b.iter(|| schedule_ea_fast(black_box(&levels), 30).len())
+    });
+    grp.finish();
+}
+
+fn bench_ed(c: &mut Criterion) {
+    c.bench_function("ed_P6000", |b| {
+        b.iter(|| schedule_ed(black_box(1_218_404_719_295u64), 6000).len())
+    });
+}
+
+criterion_group!(benches, bench_ea_fast_paper_scale, bench_ea_naive_vs_fast_small, bench_ed);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! figures [--out DIR] [EXPERIMENT...]
+//! ```
+//!
+//! Experiments: `fig2 fig3 fig4a fig4b fig5 fig6 fig7 fig8 fig9 fig10
+//! tbl-ed-ea tbl-esca tbl-history tbl-mutation tbl-sched-mem tbl-5hit
+//! tbl-fullsummit tbl-allcancers timeline`, or `all` (default). Each
+//! experiment prints its tables and writes one CSV per table into `--out`
+//! (default `results/`). The list lives in
+//! [`multihit_bench::figs::EXPERIMENTS`].
+
+use multihit_bench::figs;
+use multihit_bench::report::Table;
+use std::path::PathBuf;
+
+fn emit(tables: &[Table], dir: &std::path::Path, stem: &str) {
+    for (i, t) in tables.iter().enumerate() {
+        let suffix = if tables.len() > 1 {
+            format!("{stem}_{i}")
+        } else {
+            stem.to_string()
+        };
+        t.emit(dir, &suffix);
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = PathBuf::from("results");
+    if let Some(pos) = args.iter().position(|a| a == "--out") {
+        if pos + 1 >= args.len() {
+            eprintln!("--out requires a directory");
+            std::process::exit(2);
+        }
+        out = PathBuf::from(args.remove(pos + 1));
+        args.remove(pos);
+    }
+    if args.is_empty() || args.iter().any(|a| a == "all") {
+        args = figs::EXPERIMENTS.iter().map(|(n, _)| n.to_string()).collect();
+    }
+
+    for exp in &args {
+        let Some(generator) = figs::dispatch(exp) else {
+            eprintln!("unknown experiment: {exp}");
+            std::process::exit(2);
+        };
+        emit(&generator(), &out, &exp.replace('-', "_"));
+    }
+}

@@ -1,0 +1,65 @@
+//! One module per experiment group; every table and figure of the paper's
+//! evaluation maps to a function here (see DESIGN.md's experiment index).
+
+pub mod accuracy;
+pub mod extensions;
+pub mod memopts;
+pub mod scaling;
+pub mod timeline;
+pub mod utilization;
+pub mod workload;
+
+use crate::report::Table;
+
+/// An experiment generator: produces the tables of one figure/table.
+pub type Generator = fn() -> Vec<Table>;
+
+/// The experiment registry: name → generator. The `figures` binary's `all`
+/// mode iterates this table, so the list and the dispatch can never
+/// diverge.
+pub const EXPERIMENTS: &[(&str, Generator)] = &[
+    ("fig2", || workload::fig2(10)),
+    ("fig3", || workload::fig3(50, 30)),
+    ("fig4a", scaling::fig4a),
+    ("fig4b", scaling::fig4b),
+    ("fig5", || memopts::fig5(220)),
+    ("fig6", utilization::fig6),
+    ("fig7", utilization::fig7),
+    ("fig8", scaling::fig8),
+    ("fig9", || accuracy::fig9(34, 20210)),
+    ("fig10", || accuracy::fig10(42)),
+    ("tbl-ed-ea", scaling::tbl_ed_ea),
+    ("tbl-esca", scaling::tbl_esca),
+    ("tbl-history", scaling::tbl_history),
+    ("tbl-mutation", extensions::tbl_mutation),
+    ("tbl-sched-mem", extensions::tbl_sched_mem),
+    ("tbl-5hit", extensions::tbl_5hit),
+    ("tbl-fullsummit", extensions::tbl_fullsummit),
+    ("tbl-allcancers", scaling::tbl_allcancers),
+    ("timeline", || timeline::timeline(20)),
+];
+
+/// Look up an experiment generator by name.
+#[must_use]
+pub fn dispatch(name: &str) -> Option<Generator> {
+    EXPERIMENTS.iter().find(|(n, _)| *n == name).map(|&(_, f)| f)
+}
+
+#[cfg(test)]
+mod registry_tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        let mut names: Vec<&str> = EXPERIMENTS.iter().map(|(n, _)| *n).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate experiment names");
+        assert_eq!(before, 19);
+        for n in names {
+            assert!(dispatch(n).is_some(), "{n} not dispatchable");
+        }
+        assert!(dispatch("fig99").is_none());
+    }
+}

@@ -1,0 +1,114 @@
+//! Fig 2 (per-thread workload distribution) and Fig 3 (per-GPU workload
+//! under ED vs EA scheduling).
+
+use crate::report::Table;
+use multihit_cluster::sched::{partition_areas, schedule_ea_fast, schedule_ed};
+use multihit_core::schemes::Scheme4;
+use multihit_core::sweep::{levels_scheme4, total_threads};
+
+/// Fig 2: thread workload for the 2x2 (triangular) and 3x1 (tetrahedral)
+/// mappings at `G = 10` — the tetrahedral map spreads the same total work
+/// over more threads with a far smaller first-to-last spread.
+#[must_use]
+pub fn fig2(g: u32) -> Vec<Table> {
+    let mut out = Vec::new();
+    for scheme in [Scheme4::TwoXTwo, Scheme4::ThreeXOne] {
+        let mut t = Table::new(
+            &format!("Fig 2 — thread workload, {} scheme, G={g}", scheme.name()),
+            &["lambda", "workload"],
+        );
+        for l in 0..scheme.thread_count(g) {
+            t.row(&[l.to_string(), scheme.workload(l, g).to_string()]);
+        }
+        out.push(t);
+    }
+    let mut s = Table::new(
+        &format!("Fig 2 — summary, G={g}"),
+        &["scheme", "threads", "first", "last", "spread"],
+    );
+    for scheme in [Scheme4::TwoXTwo, Scheme4::ThreeXOne] {
+        let n = scheme.thread_count(g);
+        s.row(&[
+            scheme.name().to_string(),
+            n.to_string(),
+            scheme.workload(0, g).to_string(),
+            scheme.workload(n - 1, g).to_string(),
+            scheme.workload_spread(g).to_string(),
+        ]);
+    }
+    out.push(s);
+    out
+}
+
+/// Fig 3: per-GPU workload for `G = 50`, 5 nodes × 6 GPUs, under
+/// equi-distance and equi-area partitioning of the 3x1 λ-range.
+#[must_use]
+pub fn fig3(g: u32, gpus: usize) -> Vec<Table> {
+    let levels = levels_scheme4(Scheme4::ThreeXOne, g);
+    let n = total_threads(&levels);
+    let ed = schedule_ed(n, gpus);
+    let ea = schedule_ea_fast(&levels, gpus);
+    let a_ed = partition_areas(&levels, &ed);
+    let a_ea = partition_areas(&levels, &ea);
+
+    let mut t = Table::new(
+        &format!("Fig 3(c) — workload per GPU, G={g}, {gpus} GPUs (3x1)"),
+        &["gpu", "ed_lo", "ed_hi", "ed_area", "ea_lo", "ea_hi", "ea_area"],
+    );
+    for i in 0..gpus {
+        t.row(&[
+            i.to_string(),
+            ed[i].lo.to_string(),
+            ed[i].hi.to_string(),
+            a_ed[i].to_string(),
+            ea[i].lo.to_string(),
+            ea[i].hi.to_string(),
+            a_ea[i].to_string(),
+        ]);
+    }
+    let imb = |areas: &[u64]| {
+        let max = *areas.iter().max().unwrap() as f64;
+        let mean = areas.iter().sum::<u64>() as f64 / areas.len() as f64;
+        max / mean
+    };
+    let mut s = Table::new(
+        "Fig 3 — imbalance (max/mean area)",
+        &["scheduler", "max_area", "mean_area", "imbalance"],
+    );
+    for (name, areas) in [("equi-distance", &a_ed), ("equi-area", &a_ea)] {
+        let max = *areas.iter().max().unwrap();
+        let mean = areas.iter().sum::<u64>() / areas.len() as u64;
+        s.row(&[
+            name.to_string(),
+            max.to_string(),
+            mean.to_string(),
+            format!("{:.3}", imb(areas)),
+        ]);
+    }
+    vec![t, s]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_tables_have_expected_rows() {
+        let t = fig2(10);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0].rows.len(), 45); // C(10,2)
+        assert_eq!(t[1].rows.len(), 120); // C(10,3)
+        // Summary: 2x2 spread C(8,2)=28, 3x1 spread 7.
+        assert_eq!(t[2].rows[0][4], "28");
+        assert_eq!(t[2].rows[1][4], "7");
+    }
+
+    #[test]
+    fn fig3_ea_beats_ed() {
+        let t = fig3(50, 30);
+        let imb_ed: f64 = t[1].rows[0][3].parse().unwrap();
+        let imb_ea: f64 = t[1].rows[1][3].parse().unwrap();
+        assert!(imb_ea < imb_ed);
+        assert!(imb_ea < 1.3);
+    }
+}

@@ -1,0 +1,10 @@
+//! # multihit-bench
+//!
+//! The benchmark harness of the multihit reproduction. The [`figs`] module
+//! regenerates **every table and figure** of the paper's evaluation (the
+//! `figures` binary drives it; `cargo run -p multihit-bench --bin figures
+//! --release -- all`), and the Criterion benches under `benches/` measure
+//! the kernels, index maps, schedulers and memory-optimization ablations.
+
+pub mod figs;
+pub mod report;

@@ -1,0 +1,71 @@
+//! Smoke tests for the `figures` binary: every experiment runs, writes its
+//! CSVs, and rejects bad input.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_figures"))
+}
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("figures-smoke-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn cheap_experiments_emit_csvs() {
+    let dir = tempdir("cheap");
+    let out = bin()
+        .args(["--out"])
+        .arg(&dir)
+        .args(["fig2", "fig3", "fig10", "tbl-5hit", "timeline"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Fig 2"));
+    assert!(stdout.contains("Fig 10"));
+    let csvs: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    for stem in ["fig2_0.csv", "fig3_0.csv", "fig10_0.csv", "tbl_5hit_0.csv", "timeline_0.csv"] {
+        assert!(csvs.contains(&stem.to_string()), "{stem} missing from {csvs:?}");
+    }
+    // CSVs have a header and at least one data row.
+    let text = std::fs::read_to_string(dir.join("fig2_0.csv")).unwrap();
+    assert!(text.lines().count() > 2);
+    assert!(text.starts_with("lambda,workload"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn modeled_experiments_run_fast() {
+    let dir = tempdir("modeled");
+    let t0 = std::time::Instant::now();
+    let out = bin()
+        .args(["--out"])
+        .arg(&dir)
+        .args(["fig4a", "fig4b", "fig6", "fig7", "tbl-ed-ea"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    // Modeled paper-scale sweeps must be interactive-speed even in a debug
+    // test harness driving a release-independent binary.
+    assert!(t0.elapsed().as_secs() < 120, "took {:?}", t0.elapsed());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_experiment_is_rejected() {
+    let out = bin().arg("fig99").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown experiment"));
+}
+
+#[test]
+fn out_flag_requires_value() {
+    let out = bin().arg("--out").output().unwrap();
+    assert!(!out.status.success());
+}

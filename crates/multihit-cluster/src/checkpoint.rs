@@ -1,0 +1,305 @@
+//! Checkpoint/restart for long discovery runs.
+//!
+//! §IV-A notes Summit caps small allocations at 2 hours — production runs
+//! of an iterative algorithm must survive allocation boundaries. A
+//! checkpoint captures everything the greedy loop needs to resume:
+//! the combinations already chosen and the covered-tumor mask (the spliced
+//! matrix is reconstructed from the original input plus the mask, so the
+//! checkpoint stays tiny — tens of bytes per iteration, not gigabytes of
+//! matrix).
+//!
+//! The format is a versioned, line-oriented text file: portable, diffable,
+//! and parsable without extra dependencies.
+
+use multihit_core::bitmat::BitMatrix;
+use multihit_core::greedy::{best_combination, GreedyConfig};
+use std::fmt::Write as _;
+
+/// Resumable state of a 4-hit discovery run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Format version.
+    pub version: u32,
+    /// Gene universe size (validated on resume).
+    pub n_genes: usize,
+    /// Original tumor sample count (validated on resume).
+    pub n_tumor: usize,
+    /// Combinations chosen so far, in order.
+    pub chosen: Vec<[u32; 4]>,
+    /// Packed mask of still-uncovered tumor columns (original indexing).
+    pub uncovered_mask: Vec<u64>,
+}
+
+/// Current format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+impl Checkpoint {
+    /// A fresh checkpoint for an input cohort (nothing chosen yet).
+    #[must_use]
+    pub fn fresh(tumor: &BitMatrix) -> Self {
+        Checkpoint {
+            version: CHECKPOINT_VERSION,
+            n_genes: tumor.n_genes(),
+            n_tumor: tumor.n_samples(),
+            chosen: Vec::new(),
+            uncovered_mask: tumor.full_mask(),
+        }
+    }
+
+    /// Uncovered tumor samples remaining.
+    #[must_use]
+    pub fn remaining(&self) -> u32 {
+        BitMatrix::mask_popcount(&self.uncovered_mask)
+    }
+
+    /// Serialize to the text format.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "multihit-checkpoint\tv{}", self.version);
+        let _ = writeln!(out, "genes\t{}", self.n_genes);
+        let _ = writeln!(out, "tumors\t{}", self.n_tumor);
+        let _ = writeln!(out, "mask\t{}", hex_words(&self.uncovered_mask));
+        for c in &self.chosen {
+            let _ = writeln!(out, "combo\t{}\t{}\t{}\t{}", c[0], c[1], c[2], c[3]);
+        }
+        out
+    }
+
+    /// Parse the text format.
+    ///
+    /// # Errors
+    /// Returns a message naming the offending line.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        let head = lines.next().ok_or("empty checkpoint")?;
+        let version: u32 = head
+            .strip_prefix("multihit-checkpoint\tv")
+            .and_then(|v| v.parse().ok())
+            .ok_or("bad checkpoint header")?;
+        if version != CHECKPOINT_VERSION {
+            return Err(format!("unsupported checkpoint version {version}"));
+        }
+        let mut n_genes = None;
+        let mut n_tumor = None;
+        let mut uncovered_mask = None;
+        let mut chosen = Vec::new();
+        for (idx, line) in lines.enumerate() {
+            let err = |what: &str| format!("line {}: {what}", idx + 2);
+            let mut f = line.split('\t');
+            match f.next() {
+                Some("genes") => {
+                    n_genes =
+                        Some(f.next().and_then(|v| v.parse().ok()).ok_or_else(|| err("bad genes"))?);
+                }
+                Some("tumors") => {
+                    n_tumor = Some(
+                        f.next().and_then(|v| v.parse().ok()).ok_or_else(|| err("bad tumors"))?,
+                    );
+                }
+                Some("mask") => {
+                    uncovered_mask =
+                        Some(parse_hex_words(f.next().unwrap_or("")).map_err(|e| err(&e))?);
+                }
+                Some("combo") => {
+                    let mut c = [0u32; 4];
+                    for slot in &mut c {
+                        *slot = f
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or_else(|| err("bad combo"))?;
+                    }
+                    chosen.push(c);
+                }
+                Some("") | None => continue,
+                Some(other) => return Err(err(&format!("unknown record {other}"))),
+            }
+        }
+        Ok(Checkpoint {
+            version,
+            n_genes: n_genes.ok_or("missing genes record")?,
+            n_tumor: n_tumor.ok_or("missing tumors record")?,
+            chosen,
+            uncovered_mask: uncovered_mask.ok_or("missing mask record")?,
+        })
+    }
+
+    /// Validate that this checkpoint belongs to the given input cohort.
+    ///
+    /// # Errors
+    /// Returns a mismatch description.
+    pub fn validate(&self, tumor: &BitMatrix) -> Result<(), String> {
+        if self.n_genes != tumor.n_genes() {
+            return Err(format!(
+                "checkpoint has {} genes, input has {}",
+                self.n_genes,
+                tumor.n_genes()
+            ));
+        }
+        if self.n_tumor != tumor.n_samples() {
+            return Err(format!(
+                "checkpoint has {} tumor samples, input has {}",
+                self.n_tumor,
+                tumor.n_samples()
+            ));
+        }
+        Ok(())
+    }
+}
+
+fn hex_words(words: &[u64]) -> String {
+    words.iter().map(|w| format!("{w:016x}")).collect::<Vec<_>>().join(",")
+}
+
+fn parse_hex_words(s: &str) -> Result<Vec<u64>, String> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|w| u64::from_str_radix(w, 16).map_err(|_| format!("bad mask word {w}")))
+        .collect()
+}
+
+/// Run (or resume) 4-hit greedy discovery, checkpointing after every
+/// iteration via `save`. `budget_iterations` bounds the work done in this
+/// call (the "allocation"); the returned checkpoint resumes seamlessly.
+///
+/// Uses the masked-exclusion path so the checkpoint's original-indexing
+/// mask applies directly.
+///
+/// # Panics
+/// Panics if the checkpoint fails validation against the input.
+pub fn run_with_checkpoints<F: FnMut(&Checkpoint)>(
+    tumor: &BitMatrix,
+    normal: &BitMatrix,
+    cfg: &GreedyConfig,
+    mut ckpt: Checkpoint,
+    budget_iterations: usize,
+    mut save: F,
+) -> Checkpoint {
+    ckpt.validate(tumor).expect("checkpoint does not match input");
+    for _ in 0..budget_iterations {
+        if ckpt.remaining() == 0 {
+            break;
+        }
+        if cfg.max_combinations != 0 && ckpt.chosen.len() >= cfg.max_combinations {
+            break;
+        }
+        let best = best_combination::<4>(tumor, normal, Some(&ckpt.uncovered_mask), cfg);
+        if best.tp == 0 {
+            break;
+        }
+        let cov = tumor.cover_mask(&best.genes);
+        for (m, c) in ckpt.uncovered_mask.iter_mut().zip(cov.iter()) {
+            *m &= !c;
+        }
+        ckpt.chosen.push(best.genes);
+        save(&ckpt);
+    }
+    ckpt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multihit_core::greedy::{discover, Exclusion};
+
+    fn lcg_matrices(g: usize, nt: usize, nn: usize, seed: u64) -> (BitMatrix, BitMatrix) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        let mut t = BitMatrix::zeros(g, nt);
+        let mut n = BitMatrix::zeros(g, nn);
+        for gene in 0..g {
+            for s in 0..nt {
+                if next() % 2 == 0 {
+                    t.set(gene, s, true);
+                }
+            }
+            for s in 0..nn {
+                if next() % 5 == 0 {
+                    n.set(gene, s, true);
+                }
+            }
+        }
+        (t, n)
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let (t, _) = lcg_matrices(10, 130, 10, 1);
+        let mut c = Checkpoint::fresh(&t);
+        c.chosen.push([1, 4, 7, 9]);
+        c.uncovered_mask[0] = 0xDEADBEEF;
+        let back = Checkpoint::from_text(&c.to_text()).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Checkpoint::from_text("").is_err());
+        assert!(Checkpoint::from_text("multihit-checkpoint\tv9\n").is_err());
+        assert!(Checkpoint::from_text("multihit-checkpoint\tv1\nbogus\t3\n").is_err());
+        let missing_mask = "multihit-checkpoint\tv1\ngenes\t5\ntumors\t10\n";
+        assert!(Checkpoint::from_text(missing_mask).unwrap_err().contains("mask"));
+    }
+
+    #[test]
+    fn resumed_run_equals_uninterrupted_run() {
+        let (t, n) = lcg_matrices(10, 120, 60, 42);
+        let cfg = GreedyConfig {
+            exclusion: Exclusion::Mask,
+            parallel: false,
+            ..GreedyConfig::default()
+        };
+        // Uninterrupted reference.
+        let reference = discover::<4>(&t, &n, &cfg);
+        // Interrupted: budget 2 iterations per "allocation", serialize the
+        // checkpoint across allocations through text.
+        let mut ckpt = Checkpoint::fresh(&t);
+        loop {
+            let before = ckpt.chosen.len();
+            ckpt = run_with_checkpoints(&t, &n, &cfg, ckpt, 2, |_| {});
+            // Simulate writing to disk and restarting the process.
+            ckpt = Checkpoint::from_text(&ckpt.to_text()).unwrap();
+            if ckpt.chosen.len() == before {
+                break;
+            }
+        }
+        assert_eq!(ckpt.chosen, reference.combinations);
+        assert_eq!(ckpt.remaining(), reference.uncovered);
+    }
+
+    #[test]
+    fn save_hook_fires_every_iteration() {
+        let (t, n) = lcg_matrices(9, 80, 40, 7);
+        let cfg = GreedyConfig { parallel: false, ..GreedyConfig::default() };
+        let mut saves = 0;
+        let ckpt = run_with_checkpoints(&t, &n, &cfg, Checkpoint::fresh(&t), 3, |c| {
+            saves += 1;
+            assert_eq!(c.chosen.len(), saves);
+        });
+        assert_eq!(saves, ckpt.chosen.len().min(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match input")]
+    fn validation_catches_wrong_cohort() {
+        let (t, n) = lcg_matrices(9, 80, 40, 7);
+        let (other, _) = lcg_matrices(11, 80, 40, 8);
+        let cfg = GreedyConfig::default();
+        let _ = run_with_checkpoints(&t, &n, &cfg, Checkpoint::fresh(&other), 1, |_| {});
+    }
+
+    #[test]
+    fn checkpoint_is_small() {
+        // Tens of bytes per iteration + one mask: ~n_tumor/8 bytes, not the
+        // matrix's n_genes × n_tumor / 8.
+        let (t, _) = lcg_matrices(500, 960, 10, 3);
+        let c = Checkpoint::fresh(&t);
+        let text = c.to_text();
+        assert!(text.len() < 400, "checkpoint {} bytes", text.len());
+    }
+}

@@ -1,0 +1,286 @@
+//! Message passing between ranks: a real in-process runtime for functional
+//! runs and an α–β cost model for paper-scale timing.
+//!
+//! The paper runs one MPI process per Summit node (Fig 1); the only
+//! collective on the hot path is the per-iteration reduction of one 20-byte
+//! record per rank to rank 0 (§III-E). [`run_ranks`] spawns one OS thread
+//! per rank wired with crossbeam channels and provides point-to-point
+//! `send`/`recv`, a binomial-tree `reduce_to_root`, a `broadcast`, and a
+//! `barrier` — enough to express the paper's communication pattern exactly
+//! and test it with real concurrency. [`CommModel`] prices the same
+//! collectives for the modeled runs.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::Arc;
+
+/// A serialized message between ranks.
+type Msg = Vec<u8>;
+
+/// Per-rank communication context handed to the rank body.
+pub struct RankCtx {
+    /// This rank's id (0 = root).
+    pub rank: usize,
+    /// Total ranks.
+    pub size: usize,
+    senders: Arc<Vec<Sender<(usize, Msg)>>>,
+    receiver: Receiver<(usize, Msg)>,
+}
+
+impl RankCtx {
+    /// Send bytes to a peer rank.
+    ///
+    /// # Panics
+    /// Panics if `to` is out of range or the runtime has shut down.
+    pub fn send(&self, to: usize, bytes: Vec<u8>) {
+        self.senders[to]
+            .send((self.rank, bytes))
+            .expect("peer rank hung up");
+    }
+
+    /// Receive the next message (from any rank). Blocks.
+    ///
+    /// # Panics
+    /// Panics if all peers hung up.
+    #[must_use]
+    pub fn recv(&self) -> (usize, Vec<u8>) {
+        self.receiver.recv().expect("all peers hung up")
+    }
+
+    /// Binomial-tree reduction to rank 0: `log₂(size)` rounds; in round `r`
+    /// rank `q | 2^r` sends its accumulator to `q`, which folds with `op`.
+    /// Returns `Some(acc)` on rank 0, `None` elsewhere.
+    pub fn reduce_to_root<T, F, S, D>(&self, mut acc: T, op: F, ser: S, de: D) -> Option<T>
+    where
+        F: Fn(T, T) -> T,
+        S: Fn(&T) -> Vec<u8>,
+        D: Fn(&[u8]) -> T,
+    {
+        let mut step = 1usize;
+        while step < self.size {
+            if self.rank & step != 0 {
+                // Sender: partner is rank − step; then this rank is done.
+                self.send(self.rank - step, ser(&acc));
+                return None;
+            }
+            if self.rank + step < self.size {
+                let (_from, bytes) = self.recv();
+                acc = op(acc, de(&bytes));
+            }
+            step <<= 1;
+        }
+        if self.rank == 0 {
+            Some(acc)
+        } else {
+            None
+        }
+    }
+
+    /// Binomial-tree broadcast from rank 0 (rounds mirror the reduction in
+    /// reverse): in the round with distance `step`, every rank whose id is a
+    /// multiple of `2·step` forwards to `rank + step`.
+    #[must_use]
+    pub fn broadcast(&self, value: Option<Vec<u8>>) -> Vec<u8> {
+        let mut have = if self.rank == 0 {
+            Some(value.expect("root must supply the broadcast value"))
+        } else {
+            None
+        };
+        let mut top = 1usize;
+        while top < self.size {
+            top <<= 1;
+        }
+        let mut step = top >> 1;
+        while step >= 1 {
+            if self.rank.is_multiple_of(2 * step) {
+                if let Some(v) = &have {
+                    if self.rank + step < self.size {
+                        self.send(self.rank + step, v.clone());
+                    }
+                }
+            } else if self.rank % (2 * step) == step {
+                let (_from, b) = self.recv();
+                have = Some(b);
+            }
+            if step == 1 {
+                break;
+            }
+            step >>= 1;
+        }
+        have.expect("broadcast did not reach this rank")
+    }
+
+    /// Barrier: reduce a unit to root, then broadcast a unit back.
+    pub fn barrier(&self) {
+        let _ = self.reduce_to_root((), |(), ()| (), |()| vec![0], |_| ());
+        let _ = self.broadcast(if self.rank == 0 { Some(vec![0]) } else { None });
+    }
+}
+
+/// Run `size` ranks, each executing `body`, and collect their return values
+/// in rank order. Real OS threads; channels deliver in FIFO order per pair.
+pub fn run_ranks<T, F>(size: usize, body: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(RankCtx) -> T + Sync,
+{
+    assert!(size > 0, "at least one rank required");
+    let mut senders = Vec::with_capacity(size);
+    let mut receivers = Vec::with_capacity(size);
+    for _ in 0..size {
+        let (s, r) = unbounded();
+        senders.push(s);
+        receivers.push(r);
+    }
+    let senders = Arc::new(senders);
+    let body = &body;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, receiver)| {
+                let senders = Arc::clone(&senders);
+                scope.spawn(move || {
+                    body(RankCtx {
+                        rank,
+                        size,
+                        senders,
+                        receiver,
+                    })
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+    })
+}
+
+/// α–β cost model for the modeled cluster (latency + inverse bandwidth).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CommModel {
+    /// Per-message latency, seconds (α).
+    pub latency_s: f64,
+    /// Per-byte transfer time, seconds (β = 1/bandwidth).
+    pub per_byte_s: f64,
+}
+
+impl CommModel {
+    /// Summit-like fat-tree interconnect: ~2 µs MPI latency, ~23 GB/s
+    /// effective per-link bandwidth.
+    #[must_use]
+    pub fn summit() -> Self {
+        CommModel {
+            latency_s: 2.0e-6,
+            per_byte_s: 1.0 / 23.0e9,
+        }
+    }
+
+    /// Time for one point-to-point message of `bytes`.
+    #[must_use]
+    pub fn p2p(&self, bytes: u64) -> f64 {
+        self.latency_s + self.per_byte_s * bytes as f64
+    }
+
+    /// Binomial-tree reduce of a `bytes`-sized record across `ranks`:
+    /// `ceil(log₂ ranks)` sequential rounds.
+    #[must_use]
+    pub fn reduce(&self, bytes: u64, ranks: usize) -> f64 {
+        if ranks <= 1 {
+            return 0.0;
+        }
+        let rounds = usize::BITS - (ranks - 1).leading_zeros();
+        f64::from(rounds) * self.p2p(bytes)
+    }
+
+    /// Broadcast cost (same tree shape as reduce).
+    #[must_use]
+    pub fn broadcast(&self, bytes: u64, ranks: usize) -> f64 {
+        self.reduce(bytes, ranks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p2p_roundtrip() {
+        let out = run_ranks(2, |ctx| {
+            if ctx.rank == 0 {
+                ctx.send(1, vec![42]);
+                let (from, b) = ctx.recv();
+                assert_eq!(from, 1);
+                b[0]
+            } else {
+                let (_f, b) = ctx.recv();
+                ctx.send(0, vec![b[0] + 1]);
+                0
+            }
+        });
+        assert_eq!(out[0], 43);
+    }
+
+    #[test]
+    fn reduce_sums_across_ranks() {
+        for size in [1usize, 2, 3, 5, 8, 13] {
+            let out = run_ranks(size, |ctx| {
+                let v = (ctx.rank + 1) as u64;
+                ctx.reduce_to_root(
+                    v,
+                    |a, b| a + b,
+                    |x| x.to_le_bytes().to_vec(),
+                    |b| u64::from_le_bytes(b.try_into().unwrap()),
+                )
+            });
+            let expect: u64 = (1..=size as u64).sum();
+            assert_eq!(out[0], Some(expect), "size {size}");
+            assert!(out[1..].iter().all(Option::is_none));
+        }
+    }
+
+    #[test]
+    fn reduce_max_finds_global_winner() {
+        let out = run_ranks(7, |ctx| {
+            let v = ((ctx.rank * 37) % 11) as u64;
+            ctx.reduce_to_root(
+                v,
+                u64::max,
+                |x| x.to_le_bytes().to_vec(),
+                |b| u64::from_le_bytes(b.try_into().unwrap()),
+            )
+        });
+        let expect = (0..7u64).map(|r| (r * 37) % 11).max().unwrap();
+        assert_eq!(out[0], Some(expect));
+    }
+
+    #[test]
+    fn broadcast_reaches_all_ranks() {
+        for size in [1usize, 2, 4, 6, 9] {
+            let out = run_ranks(size, |ctx| {
+                let v = if ctx.rank == 0 { Some(vec![7, 7]) } else { None };
+                ctx.broadcast(v)
+            });
+            assert!(out.iter().all(|b| b == &vec![7, 7]), "size {size}");
+        }
+    }
+
+    #[test]
+    fn barrier_completes() {
+        let out = run_ranks(5, |ctx| {
+            ctx.barrier();
+            ctx.rank
+        });
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn comm_model_scaling() {
+        let m = CommModel::summit();
+        assert_eq!(m.reduce(20, 1), 0.0);
+        // log2 rounds: 1000 ranks → 10 rounds.
+        let t1000 = m.reduce(20, 1000);
+        let t100 = m.reduce(20, 100);
+        assert!((t1000 / m.p2p(20) - 10.0).abs() < 1e-9);
+        assert!((t100 / m.p2p(20) - 7.0).abs() < 1e-9);
+        // 20-byte messages are latency-dominated.
+        assert!(m.p2p(20) < 3.0e-6);
+    }
+}

@@ -1,0 +1,554 @@
+//! The distributed greedy driver, in two modes:
+//!
+//! * [`distributed_discover4`] — **functional**: real rank threads, real
+//!   simulated-GPU kernel execution, real binomial-tree reduction of one
+//!   record per rank, BitSplicing between iterations. Produces exactly the
+//!   combinations the single-process reference produces (tested), at any
+//!   cluster shape.
+//! * [`model_run`] — **modeled**: the same schedule and communication
+//!   pattern priced by the gpusim cost model and the α–β comm model, usable
+//!   at paper scale (`G = 19411`, 6000 GPUs) where functional execution
+//!   would take 6000 GPU-days. This is what regenerates the paper's scaling
+//!   figures.
+
+use crate::comm::{run_ranks, CommModel};
+use crate::sched::{schedule_ea_fast, schedule_ed, Partition};
+use crate::topology::ClusterShape;
+use multihit_core::bitmat::BitMatrix;
+use multihit_core::schemes::Scheme4;
+use multihit_core::sweep::levels_scheme4;
+use multihit_core::weight::{Alpha, Scored};
+use multihit_gpusim::counters::apply_jitter;
+use multihit_gpusim::device::NodeSpec;
+use multihit_gpusim::exec::run_maxf4;
+use multihit_gpusim::profile::{kernel_levels4, prefetch_depth4, profile_partitions};
+use multihit_gpusim::{CostModel, GpuCost};
+
+/// Which scheduler partitions the λ-range across GPUs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Equal thread counts per GPU.
+    EquiDistance,
+    /// Equal workload areas per GPU (the paper's scheduler).
+    EquiArea,
+    /// Equal modeled cost per GPU (the §V memory-latency-aware extension;
+    /// see [`crate::sched_weighted`]).
+    EquiCost,
+}
+
+impl SchedulerKind {
+    /// Partition the scheme's λ-range for `parts` GPUs.
+    #[must_use]
+    pub fn partitions(self, scheme: Scheme4, g: u32, parts: usize) -> Vec<Partition> {
+        match self {
+            SchedulerKind::EquiDistance => schedule_ed(scheme.thread_count(g), parts),
+            SchedulerKind::EquiArea => {
+                schedule_ea_fast(&levels_scheme4(scheme, g), parts)
+            }
+            SchedulerKind::EquiCost => crate::sched_weighted::schedule_ea_weighted(
+                &levels_scheme4(scheme, g),
+                parts,
+                &crate::sched_weighted::CostWeights::v100_3x1(),
+            ),
+        }
+    }
+}
+
+/// Configuration of a functional distributed run.
+#[derive(Clone, Copy, Debug)]
+pub struct DistributedConfig {
+    /// Cluster allocation.
+    pub shape: ClusterShape,
+    /// Parallelization scheme (paper: `3x1` in production, `2x2` earlier).
+    pub scheme: Scheme4,
+    /// λ-range scheduler.
+    pub scheduler: SchedulerKind,
+    /// TP weight α.
+    pub alpha: Alpha,
+    /// CUDA block size for the block reduction.
+    pub block_size: usize,
+    /// Cap on discovered combinations (0 = run to full cover).
+    pub max_combinations: usize,
+}
+
+impl Default for DistributedConfig {
+    fn default() -> Self {
+        DistributedConfig {
+            shape: ClusterShape::summit(2),
+            scheme: Scheme4::ThreeXOne,
+            scheduler: SchedulerKind::EquiArea,
+            alpha: Alpha::PAPER,
+            block_size: 512,
+            max_combinations: 0,
+        }
+    }
+}
+
+/// Per-iteration record of a functional distributed run.
+#[derive(Clone, Debug)]
+pub struct DistIteration {
+    /// The globally reduced winner.
+    pub best: Scored<4>,
+    /// Tumor samples still uncovered after splicing.
+    pub remaining: u32,
+    /// Combinations evaluated per GPU (workload audit).
+    pub combos_per_gpu: Vec<u64>,
+}
+
+/// Result of a functional distributed run.
+#[derive(Clone, Debug)]
+pub struct DistResult {
+    /// Selected combinations in order.
+    pub combinations: Vec<[u32; 4]>,
+    /// Per-iteration records.
+    pub iterations: Vec<DistIteration>,
+    /// Tumor samples never covered.
+    pub uncovered: u32,
+}
+
+fn ser_scored(s: &Scored<4>) -> Vec<u8> {
+    let mut b = Vec::with_capacity(32);
+    b.extend_from_slice(&s.score.to_le_bytes());
+    b.extend_from_slice(&s.tp.to_le_bytes());
+    b.extend_from_slice(&s.tn.to_le_bytes());
+    for g in s.genes {
+        b.extend_from_slice(&g.to_le_bytes());
+    }
+    b
+}
+
+fn de_scored(b: &[u8]) -> Scored<4> {
+    let score = u64::from_le_bytes(b[0..8].try_into().unwrap());
+    let tp = u32::from_le_bytes(b[8..12].try_into().unwrap());
+    let tn = u32::from_le_bytes(b[12..16].try_into().unwrap());
+    let mut genes = [0u32; 4];
+    for (i, g) in genes.iter_mut().enumerate() {
+        *g = u32::from_le_bytes(b[16 + 4 * i..20 + 4 * i].try_into().unwrap());
+    }
+    Scored { score, tp, tn, genes }
+}
+
+/// Run 4-hit greedy discovery functionally across simulated ranks and GPUs.
+///
+/// Every rank executes the kernels of its node's GPUs (via
+/// [`multihit_gpusim::exec`]), reduces locally, then participates in the
+/// binomial-tree reduction of one 32-byte record to rank 0; rank 0
+/// broadcasts the winner and every rank splices covered samples — the exact
+/// communication structure of §III-E.
+#[must_use]
+pub fn distributed_discover4(
+    tumor: &BitMatrix,
+    normal: &BitMatrix,
+    cfg: &DistributedConfig,
+) -> DistResult {
+    let g = tumor.n_genes() as u32;
+    let mut work_tumor = tumor.clone();
+    let mut remaining = tumor.n_samples() as u32;
+    let mut combinations = Vec::new();
+    let mut iterations = Vec::new();
+    let n_gpus = cfg.shape.total_gpus();
+
+    while remaining > 0 {
+        if cfg.max_combinations != 0 && combinations.len() >= cfg.max_combinations {
+            break;
+        }
+        let parts = cfg.scheduler.partitions(cfg.scheme, g, n_gpus);
+        // One OS thread per rank; each executes its GPUs' λ-ranges.
+        let tumor_ref = &work_tumor;
+        let rank_results: Vec<(Option<Scored<4>>, Vec<u64>)> =
+            run_ranks(cfg.shape.nodes, |ctx| {
+                let mut local = Scored::NEG_INFINITY;
+                let mut combos = Vec::new();
+                for gi in cfg.shape.gpus_of_rank(ctx.rank) {
+                    let p = parts[gi];
+                    let out = run_maxf4(
+                        tumor_ref,
+                        normal,
+                        cfg.alpha,
+                        cfg.scheme,
+                        p.lo,
+                        p.hi,
+                        cfg.block_size,
+                    );
+                    combos.push(out.profile.combos);
+                    local = local.max_det(out.best);
+                }
+                let root =
+                    ctx.reduce_to_root(local, Scored::max_det, ser_scored, |b| {
+                        de_scored(b)
+                    });
+                // Rank 0 broadcasts the winner so every rank splices alike
+                // (here we only need it back on the driver, but the exchange
+                // exercises the real pattern).
+                let winner_bytes =
+                    ctx.broadcast(root.as_ref().map(ser_scored));
+                let winner = de_scored(&winner_bytes);
+                (Some(winner), combos)
+            });
+
+        let best = rank_results[0].0.expect("root result");
+        // All ranks agreed on the winner.
+        debug_assert!(rank_results.iter().all(|(w, _)| *w == Some(best)));
+        if best.tp == 0 {
+            break;
+        }
+        remaining -= best.tp;
+        let cov = work_tumor.cover_mask(&best.genes);
+        let mut keep = work_tumor.full_mask();
+        for (k, c) in keep.iter_mut().zip(cov.iter()) {
+            *k &= !c;
+        }
+        work_tumor = work_tumor.splice_columns(&keep);
+        combinations.push(best.genes);
+        iterations.push(DistIteration {
+            best,
+            remaining,
+            combos_per_gpu: rank_results
+                .iter()
+                .flat_map(|(_, c)| c.iter().copied())
+                .collect(),
+        });
+    }
+
+    DistResult {
+        combinations,
+        iterations,
+        uncovered: remaining,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Modeled (paper-scale) runs
+// ---------------------------------------------------------------------------
+
+/// Configuration of a modeled paper-scale run.
+#[derive(Clone, Debug)]
+pub struct ModelConfig {
+    /// Cluster allocation.
+    pub shape: ClusterShape,
+    /// Parallelization scheme.
+    pub scheme: Scheme4,
+    /// λ-range scheduler.
+    pub scheduler: SchedulerKind,
+    /// Gene universe size.
+    pub g: u32,
+    /// Tumor samples (drives word counts and BitSplicing shrinkage).
+    pub n_tumor: u32,
+    /// Normal samples.
+    pub n_normal: u32,
+    /// Node hardware.
+    pub node: NodeSpec,
+    /// Interconnect model.
+    pub comm: CommModel,
+    /// Node-to-node performance jitter amplitude (0 disables).
+    pub jitter: f64,
+    /// Jitter seed.
+    pub seed: u64,
+    /// Fraction of tumor samples still uncovered at the start of each
+    /// iteration (first entry normally 1.0); its length is the iteration
+    /// count. See [`coverage_profile`].
+    pub coverage: Vec<f64>,
+}
+
+impl ModelConfig {
+    /// The BRCA production configuration on `nodes` Summit nodes.
+    #[must_use]
+    pub fn brca(nodes: usize) -> Self {
+        ModelConfig {
+            shape: ClusterShape::summit(nodes),
+            scheme: Scheme4::ThreeXOne,
+            scheduler: SchedulerKind::EquiArea,
+            g: 19411,
+            n_tumor: 911,
+            n_normal: 329,
+            node: NodeSpec::summit(),
+            comm: CommModel::summit(),
+            jitter: 0.03,
+            seed: 2021,
+            coverage: coverage_profile(911, 0.55),
+        }
+    }
+
+    /// The ACC configuration (smallest dataset; Fig 6's subject).
+    #[must_use]
+    pub fn acc(nodes: usize) -> Self {
+        ModelConfig {
+            g: 8354,
+            n_tumor: 77,
+            n_normal: 329,
+            coverage: coverage_profile(77, 0.55),
+            ..ModelConfig::brca(nodes)
+        }
+    }
+}
+
+/// Geometric coverage decay: iteration `i` starts with `ratio^i` of the
+/// tumor samples uncovered; stops when fewer than one sample remains.
+/// `ratio` is the fraction *not* covered by each winning combination.
+#[must_use]
+pub fn coverage_profile(n_tumor: u32, ratio: f64) -> Vec<f64> {
+    assert!((0.0..1.0).contains(&ratio), "ratio must be in [0,1)");
+    let mut v = Vec::new();
+    let mut frac = 1.0f64;
+    while frac * f64::from(n_tumor) >= 1.0 {
+        v.push(frac);
+        frac *= ratio;
+    }
+    if v.is_empty() {
+        v.push(1.0);
+    }
+    v
+}
+
+/// Modeled cost of one iteration.
+#[derive(Clone, Debug)]
+pub struct ModeledIteration {
+    /// Per-GPU launch costs (jittered), in global GPU order.
+    pub per_gpu: Vec<GpuCost>,
+    /// Per-rank computation time (max of its GPUs).
+    pub per_rank_comp: Vec<f64>,
+    /// Communication time of the reduce+broadcast pair.
+    pub comm_s: f64,
+    /// Iteration wall time: straggler rank + communication.
+    pub time_s: f64,
+}
+
+/// Modeled cost of a whole run.
+#[derive(Clone, Debug)]
+pub struct ModeledRun {
+    /// Iterations in order.
+    pub iterations: Vec<ModeledIteration>,
+    /// End-to-end wall time.
+    pub total_s: f64,
+}
+
+impl ModeledRun {
+    /// Per-rank total computation time across iterations (Fig 8's bars).
+    #[must_use]
+    pub fn rank_comp_totals(&self) -> Vec<f64> {
+        let ranks = self.iterations.first().map_or(0, |i| i.per_rank_comp.len());
+        let mut out = vec![0.0; ranks];
+        for it in &self.iterations {
+            for (o, c) in out.iter_mut().zip(&it.per_rank_comp) {
+                *o += c;
+            }
+        }
+        out
+    }
+
+    /// Total communication time across iterations.
+    #[must_use]
+    pub fn comm_total(&self) -> f64 {
+        self.iterations.iter().map(|i| i.comm_s).sum()
+    }
+}
+
+/// Price a full run under the cost models. `O(iterations × gpus × G)`.
+#[must_use]
+pub fn model_run(cfg: &ModelConfig) -> ModeledRun {
+    let n_gpus = cfg.shape.total_gpus();
+    let model = CostModel::new(cfg.node.gpu.clone());
+    let wn = u64::from(cfg.n_normal.div_ceil(64));
+    let parts = cfg.scheduler.partitions(cfg.scheme, cfg.g, n_gpus);
+    let levels = kernel_levels4(cfg.scheme, cfg.g);
+    let prefetch = prefetch_depth4(cfg.scheme);
+    let mid = matches!(cfg.scheme, Scheme4::TwoXTwo | Scheme4::OneXThree);
+
+    let mut iterations = Vec::with_capacity(cfg.coverage.len());
+    let mut total_s = 0.0;
+    for (it_idx, frac) in cfg.coverage.iter().enumerate() {
+        // BitSplicing: the tumor matrix shrinks with coverage.
+        let remaining = (f64::from(cfg.n_tumor) * frac).ceil() as u32;
+        let wt = u64::from(remaining.div_ceil(64).max(1));
+        let w = wt + wn;
+        let bounds: Vec<(u64, u64)> = parts.iter().map(|p| (p.lo, p.hi)).collect();
+        let costs: Vec<GpuCost> = profile_partitions(&levels, &bounds, w, prefetch, mid)
+            .iter()
+            .map(|pr| model.evaluate(pr))
+            .collect();
+        let costs = if cfg.jitter > 0.0 {
+            apply_jitter(&costs, cfg.jitter, cfg.seed.wrapping_add(it_idx as u64))
+        } else {
+            costs
+        };
+        // GPUs of a node run concurrently; the rank waits on its slowest.
+        let per_rank_comp: Vec<f64> = (0..cfg.shape.nodes)
+            .map(|r| {
+                cfg.shape
+                    .gpus_of_rank(r)
+                    .map(|gi| costs[gi].time_s)
+                    .fold(0.0f64, f64::max)
+            })
+            .collect();
+        let comp = per_rank_comp.iter().copied().fold(0.0f64, f64::max);
+        let comm_s = cfg.comm.reduce(32, cfg.shape.nodes) + cfg.comm.broadcast(32, cfg.shape.nodes);
+        let time_s = comp + comm_s;
+        total_s += time_s;
+        iterations.push(ModeledIteration {
+            per_gpu: costs,
+            per_rank_comp,
+            comm_s,
+            time_s,
+        });
+    }
+    ModeledRun {
+        iterations,
+        total_s,
+    }
+}
+
+/// Replay a modeled run through the discrete-event simulator
+/// ([`crate::des`]): one [`Timeline`](crate::des::Timeline) per iteration,
+/// built from the same per-GPU costs `model_run` prices. Gives per-rank
+/// busy/idle/communication attribution instead of aggregate times.
+#[must_use]
+pub fn timeline_run(cfg: &ModelConfig) -> Vec<crate::des::Timeline> {
+    let run = model_run(cfg);
+    run.iterations
+        .iter()
+        .map(|it| {
+            let times: Vec<f64> = it.per_gpu.iter().map(|c| c.time_s).collect();
+            crate::des::simulate_iteration(&times, &cfg.shape, &cfg.comm, 32)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multihit_core::greedy::{discover, Exclusion, GreedyConfig};
+
+    fn lcg_matrices(g: usize, nt: usize, nn: usize, seed: u64) -> (BitMatrix, BitMatrix) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut t = BitMatrix::zeros(g, nt);
+        let mut n = BitMatrix::zeros(g, nn);
+        for gene in 0..g {
+            for s in 0..nt {
+                if next() % 2 == 0 {
+                    t.set(gene, s, true);
+                }
+            }
+            for s in 0..nn {
+                if next() % 6 == 0 {
+                    n.set(gene, s, true);
+                }
+            }
+        }
+        (t, n)
+    }
+
+    #[test]
+    fn distributed_matches_single_process_reference() {
+        let (t, n) = lcg_matrices(11, 90, 60, 13);
+        let reference = discover::<4>(
+            &t,
+            &n,
+            &GreedyConfig {
+                exclusion: Exclusion::BitSplice,
+                parallel: false,
+                max_combinations: 3,
+                ..GreedyConfig::default()
+            },
+        );
+        for scheduler in [SchedulerKind::EquiArea, SchedulerKind::EquiDistance] {
+            for scheme in [Scheme4::ThreeXOne, Scheme4::TwoXTwo] {
+                let cfg = DistributedConfig {
+                    shape: ClusterShape { nodes: 3, gpus_per_node: 2 },
+                    scheme,
+                    scheduler,
+                    max_combinations: 3,
+                    ..DistributedConfig::default()
+                };
+                let dist = distributed_discover4(&t, &n, &cfg);
+                assert_eq!(
+                    dist.combinations, reference.combinations,
+                    "{scheduler:?} {}",
+                    scheme.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_workload_audit_matches_scheduler() {
+        let (t, n) = lcg_matrices(12, 64, 32, 5);
+        let cfg = DistributedConfig {
+            shape: ClusterShape { nodes: 2, gpus_per_node: 3 },
+            max_combinations: 1,
+            ..DistributedConfig::default()
+        };
+        let dist = distributed_discover4(&t, &n, &cfg);
+        let combos: u64 = dist.iterations[0].combos_per_gpu.iter().sum();
+        assert_eq!(combos, multihit_core::combin::binomial(12, 4));
+        // EA: per-GPU combos within ±1 thread-workload of each other.
+        let max = dist.iterations[0].combos_per_gpu.iter().max().unwrap();
+        let min = dist.iterations[0].combos_per_gpu.iter().min().unwrap();
+        assert!(max - min <= 12, "spread {}", max - min);
+    }
+
+    #[test]
+    fn coverage_profile_shapes() {
+        let p = coverage_profile(911, 0.55);
+        assert_eq!(p[0], 1.0);
+        assert!(p.len() > 5 && p.len() < 30);
+        assert!(p.windows(2).all(|w| w[1] < w[0]));
+        assert_eq!(coverage_profile(1, 0.5), vec![1.0]);
+    }
+
+    #[test]
+    fn model_run_produces_finite_times() {
+        let run = model_run(&ModelConfig::brca(100));
+        assert!(run.total_s.is_finite() && run.total_s > 0.0);
+        assert_eq!(run.iterations[0].per_gpu.len(), 600);
+        assert_eq!(run.iterations[0].per_rank_comp.len(), 100);
+        // Later iterations are cheaper (BitSplicing shrinks the matrix).
+        let t0 = run.iterations[0].time_s;
+        let tl = run.iterations.last().unwrap().time_s;
+        assert!(tl < t0);
+    }
+
+    #[test]
+    fn modeled_ea_beats_ed() {
+        // The paper's §IV-B: EA ≈ 3× faster than ED for 2x2 at 100 nodes.
+        let mut cfg = ModelConfig::brca(100);
+        cfg.scheme = Scheme4::TwoXTwo;
+        cfg.jitter = 0.0;
+        cfg.coverage = vec![1.0];
+        let ea = model_run(&cfg).total_s;
+        cfg.scheduler = SchedulerKind::EquiDistance;
+        let ed = model_run(&cfg).total_s;
+        let speedup = ed / ea;
+        assert!(speedup > 2.0, "EA speedup only {speedup:.2}×");
+    }
+
+    #[test]
+    fn des_timeline_agrees_with_flat_model() {
+        // Per iteration, the DES makespan brackets the flat estimate:
+        // ≥ max(comp), ≤ max(comp) + full tree cost.
+        let cfg = ModelConfig::brca(100);
+        let run = model_run(&cfg);
+        let timelines = timeline_run(&cfg);
+        assert_eq!(timelines.len(), run.iterations.len());
+        for (tl, it) in timelines.iter().zip(&run.iterations) {
+            let comp = it.per_rank_comp.iter().copied().fold(0.0f64, f64::max);
+            assert!(tl.makespan >= comp - 1e-9);
+            assert!(tl.makespan <= comp + it.comm_s + 1e-9);
+        }
+    }
+
+    #[test]
+    fn comm_is_hidden_by_computation() {
+        // Fig 8: message-passing overhead is dwarfed by computation.
+        let run = model_run(&ModelConfig::brca(1000));
+        let comp: f64 = run
+            .iterations
+            .iter()
+            .map(|i| i.per_rank_comp.iter().copied().fold(0.0f64, f64::max))
+            .sum();
+        assert!(run.comm_total() < 0.01 * comp);
+    }
+}

@@ -1,0 +1,30 @@
+//! # multihit-cluster
+//!
+//! The Summit-like cluster substrate: the paper scales the multi-hit search
+//! across up to 1000 nodes / 6000 V100s with MPI; this crate substitutes an
+//! in-process message-passing runtime ([`comm`]) plus an α–β interconnect
+//! model, the ED / EA workload schedulers ([`sched`], §III-C — including the
+//! `O(G)` level-based equi-area scheduler), the cluster topology ([`topology`]),
+//! the distributed greedy driver in functional and modeled (paper-scale)
+//! modes ([`driver`]), and the scaling-efficiency arithmetic ([`timing`]).
+//!
+//! Functional runs use real rank threads and really execute the kernels on
+//! the GPU simulator; tests pin their combinations to the single-process
+//! reference. Modeled runs price the identical schedule with the cost model
+//! so the paper's 100–1000-node sweeps regenerate in milliseconds.
+
+pub mod checkpoint;
+pub mod comm;
+pub mod des;
+pub mod driver;
+pub mod sched;
+pub mod sched_weighted;
+pub mod timing;
+pub mod topology;
+
+pub use comm::{run_ranks, CommModel, RankCtx};
+pub use driver::{
+    distributed_discover4, model_run, DistributedConfig, ModelConfig, ModeledRun, SchedulerKind,
+};
+pub use sched::{schedule_ea_fast, schedule_ed, Partition};
+pub use topology::ClusterShape;

@@ -1,0 +1,310 @@
+//! Workload schedulers: equi-distance (ED) and equi-area (EA) partitioning
+//! of the λ thread range across GPUs (§III-C).
+//!
+//! ED gives every GPU the same *number of threads*; because per-thread
+//! workload decays polynomially with λ, the first partition carries vastly
+//! more combinations (Fig 3a) — the paper measured ED 3× slower end-to-end.
+//! EA instead cuts the range so every partition carries (approximately) the
+//! same *workload area* (Fig 3b,c).
+//!
+//! Two EA implementations are provided:
+//!
+//! * [`schedule_ea_naive`] — the paper's strawman: walk threads one by one
+//!   accumulating workload until the per-GPU average is reached. `O(N)` in
+//!   the number of threads (`N = C(G,3) ≈ 1.2·10¹²` for BRCA — "tens of
+//!   hours and out of memory" at scale); usable here only at test sizes.
+//! * [`schedule_ea_fast`] — the paper's `O(G)` scheduler: exploit the `G`
+//!   discrete workload levels (threads per level `C(k,2)`, workload per
+//!   thread `G−1−k`) to jump level by level, computing how many threads of
+//!   the current level each partition still needs in constant time.
+//!
+//! Both produce identical partitions (tested exhaustively at small `G`).
+
+use multihit_core::sweep::{range_area, total_area, total_threads, Level};
+
+/// A contiguous λ-range assigned to one GPU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Partition {
+    /// First thread id.
+    pub lo: u64,
+    /// One past the last thread id.
+    pub hi: u64,
+}
+
+impl Partition {
+    /// Threads in the partition.
+    #[must_use]
+    pub fn n_threads(&self) -> u64 {
+        self.hi - self.lo
+    }
+}
+
+/// Equi-distance: equal thread counts (the naive baseline).
+///
+/// # Panics
+/// Panics if `parts == 0`.
+#[must_use]
+pub fn schedule_ed(n_threads: u64, parts: usize) -> Vec<Partition> {
+    assert!(parts > 0, "at least one partition required");
+    let p = parts as u64;
+    let base = n_threads / p;
+    let extra = n_threads % p;
+    let mut out = Vec::with_capacity(parts);
+    let mut lo = 0u64;
+    for i in 0..p {
+        let len = base + u64::from(i < extra);
+        out.push(Partition { lo, hi: lo + len });
+        lo += len;
+    }
+    out
+}
+
+/// Equi-area, naive `O(N)`: accumulate per-thread workload until each
+/// partition reaches its proportional share of the total area.
+///
+/// `workload(λ)` must match the level table used by the fast scheduler.
+#[must_use]
+pub fn schedule_ea_naive<F: Fn(u64) -> u64>(
+    n_threads: u64,
+    total: u64,
+    parts: usize,
+    workload: F,
+) -> Vec<Partition> {
+    assert!(parts > 0, "at least one partition required");
+    let mut out = Vec::with_capacity(parts);
+    let mut lo = 0u64;
+    let mut cum = 0u64;
+    let mut next_part = 1u64;
+    for lambda in 0..n_threads {
+        cum += workload(lambda);
+        // Cut after this thread once the cumulative area reaches the
+        // proportional target ceil(part * total / parts).
+        while next_part < parts as u64
+            && u128::from(cum) * parts as u128 >= u128::from(total) * u128::from(next_part)
+        {
+            out.push(Partition { lo, hi: lambda + 1 });
+            lo = lambda + 1;
+            next_part += 1;
+        }
+    }
+    while out.len() < parts {
+        out.push(Partition { lo, hi: n_threads });
+        lo = n_threads;
+    }
+    out
+}
+
+/// Equi-area, fast `O(G + P)`: jump across workload levels.
+///
+/// Within a level every thread contributes `w` area, so the number of
+/// threads a partition still needs from the level is a division — no
+/// per-thread walk. Levels with zero workload are swept into the current
+/// partition (they cost nothing wherever they land; keeping λ contiguous).
+///
+/// ```
+/// use multihit_cluster::sched::{partition_areas, schedule_ea_fast};
+/// use multihit_core::schemes::Scheme4;
+/// use multihit_core::sweep::levels_scheme4;
+///
+/// let levels = levels_scheme4(Scheme4::ThreeXOne, 50);
+/// let parts = schedule_ea_fast(&levels, 30); // Fig 3: 5 nodes × 6 GPUs
+/// let areas = partition_areas(&levels, &parts);
+/// let mean = areas.iter().sum::<u64>() / 30;
+/// assert!(areas.iter().all(|&a| a.abs_diff(mean) < mean / 4));
+/// ```
+#[must_use]
+pub fn schedule_ea_fast(levels: &[Level], parts: usize) -> Vec<Partition> {
+    assert!(parts > 0, "at least one partition required");
+    let n_threads = total_threads(levels);
+    let total = u128::from(total_area(levels));
+    let parts_w = parts as u128;
+    let mut out = Vec::with_capacity(parts);
+    let mut lo = 0u64;
+    let mut cum: u128 = 0; // area before the current level
+    let mut next_part: u128 = 1;
+
+    for lv in levels {
+        // Zero-weight threads never trigger a cut (they add no area); they
+        // flow into whichever partition the surrounding boundaries imply.
+        if lv.work_per_thread == 0 || lv.n_threads == 0 {
+            continue;
+        }
+        let w = u128::from(lv.work_per_thread);
+        while next_part < parts_w {
+            // The cut for partition p lies after the smallest thread count
+            // t with (cum + w·t)·parts ≥ total·p, i.e. cum + w·t ≥
+            // ceil(total·p/parts) — identical rounding to the naive walk.
+            let target = (total * next_part).div_ceil(parts_w);
+            debug_assert!(cum < target, "level-entry invariant violated");
+            let need = target - cum;
+            let t_min = need.div_ceil(w);
+            if t_min <= u128::from(lv.n_threads) {
+                let hi = lv.lambda_start + u64::try_from(t_min).expect("boundary overflow");
+                out.push(Partition { lo, hi });
+                lo = hi;
+                next_part += 1;
+            } else {
+                break; // boundary falls in a later level
+            }
+        }
+        cum += w * u128::from(lv.n_threads);
+    }
+    while out.len() < parts {
+        out.push(Partition { lo, hi: n_threads });
+        lo = n_threads;
+    }
+    out
+}
+
+/// Per-partition workload areas (for audits and Fig 3c).
+#[must_use]
+pub fn partition_areas(levels: &[Level], parts: &[Partition]) -> Vec<u64> {
+    parts.iter().map(|p| range_area(levels, p.lo, p.hi)).collect()
+}
+
+/// Load-imbalance ratio: max partition area / mean partition area. 1.0 is
+/// perfect balance; ED's ratio is what costs it the paper's 3× slowdown.
+#[must_use]
+pub fn imbalance(levels: &[Level], parts: &[Partition]) -> f64 {
+    let areas = partition_areas(levels, parts);
+    let max = areas.iter().copied().max().unwrap_or(0) as f64;
+    let mean = areas.iter().sum::<u64>() as f64 / areas.len().max(1) as f64;
+    if mean == 0.0 {
+        1.0
+    } else {
+        max / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multihit_core::schemes::Scheme4;
+    use multihit_core::sweep::levels_scheme4;
+
+    fn check_partitioning(parts: &[Partition], n: u64) {
+        assert_eq!(parts[0].lo, 0);
+        assert_eq!(parts.last().unwrap().hi, n);
+        for w in parts.windows(2) {
+            assert_eq!(w[0].hi, w[1].lo, "gap or overlap");
+        }
+    }
+
+    #[test]
+    fn ed_splits_evenly() {
+        let parts = schedule_ed(103, 10);
+        check_partitioning(&parts, 103);
+        for p in &parts {
+            assert!(p.n_threads() == 10 || p.n_threads() == 11);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn zero_parts_panics() {
+        let _ = schedule_ed(10, 0);
+    }
+
+    #[test]
+    fn ea_fast_equals_ea_naive_exhaustively() {
+        for g in [10u32, 17, 25, 50] {
+            for parts in [1usize, 2, 3, 5, 7, 30] {
+                for scheme in [Scheme4::TwoXTwo, Scheme4::ThreeXOne] {
+                    let levels = levels_scheme4(scheme, g);
+                    let n = total_threads(&levels);
+                    let total = total_area(&levels);
+                    let naive =
+                        schedule_ea_naive(n, total, parts, |l| scheme.workload(l, g));
+                    let fast = schedule_ea_fast(&levels, parts);
+                    assert_eq!(
+                        naive, fast,
+                        "g={g} parts={parts} scheme={}",
+                        scheme.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ea_partitions_cover_range() {
+        let levels = levels_scheme4(Scheme4::ThreeXOne, 50);
+        for parts in [1, 2, 6, 30, 100] {
+            let p = schedule_ea_fast(&levels, parts);
+            assert_eq!(p.len(), parts);
+            check_partitioning(&p, total_threads(&levels));
+        }
+    }
+
+    #[test]
+    fn ea_balances_better_than_ed_fig3() {
+        // The paper's Fig 3 setting: G = 50, 5 nodes × 6 GPUs = 30 GPUs.
+        let g = 50;
+        let levels = levels_scheme4(Scheme4::ThreeXOne, g);
+        let n = total_threads(&levels);
+        let ed = schedule_ed(n, 30);
+        let ea = schedule_ea_fast(&levels, 30);
+        let imb_ed = imbalance(&levels, &ed);
+        let imb_ea = imbalance(&levels, &ea);
+        assert!(imb_ea < imb_ed, "EA {imb_ea} vs ED {imb_ed}");
+        assert!(imb_ea < 1.25, "EA imbalance {imb_ea}");
+        assert!(imb_ed > 2.0, "ED imbalance {imb_ed}");
+    }
+
+    #[test]
+    fn ea_area_spread_is_tight_at_scale() {
+        // Paper scale (BRCA, 3x1, 6000 GPUs): areas must all be within a
+        // fraction of a percent of the mean — one thread's workload ≤ G.
+        let g = 19411;
+        let levels = levels_scheme4(Scheme4::ThreeXOne, g);
+        let parts = schedule_ea_fast(&levels, 6000);
+        let areas = partition_areas(&levels, &parts);
+        let mean = areas.iter().sum::<u64>() as f64 / 6000.0;
+        for (i, &a) in areas.iter().enumerate() {
+            assert!(
+                (a as f64 - mean).abs() / mean < 0.001,
+                "partition {i}: {a} vs mean {mean}"
+            );
+        }
+        check_partitioning(&parts, total_threads(&levels));
+    }
+
+    #[test]
+    fn ea_fast_is_o_g_fast() {
+        // The paper: naive takes tens of hours; level-based takes < 1 min.
+        // Ours must do paper scale in well under a second.
+        let g = 19411;
+        let levels = levels_scheme4(Scheme4::ThreeXOne, g);
+        let t0 = std::time::Instant::now();
+        let parts = schedule_ea_fast(&levels, 6000);
+        assert_eq!(parts.len(), 6000);
+        assert!(t0.elapsed().as_secs_f64() < 1.0);
+    }
+
+    #[test]
+    fn single_partition_takes_everything() {
+        let levels = levels_scheme4(Scheme4::ThreeXOne, 20);
+        let p = schedule_ea_fast(&levels, 1);
+        assert_eq!(p, vec![Partition { lo: 0, hi: total_threads(&levels) }]);
+    }
+
+    #[test]
+    fn more_partitions_than_threads_yields_empty_tails() {
+        let levels = levels_scheme4(Scheme4::ThreeXOne, 5); // C(5,3) = 10 threads
+        let p = schedule_ea_fast(&levels, 16);
+        check_partitioning(&p, 10);
+        assert!(p.iter().filter(|q| q.n_threads() == 0).count() >= 6);
+    }
+
+    #[test]
+    fn ed_imbalance_grows_with_partitions_2x2() {
+        // The granularity pathology: narrower ED partitions concentrate the
+        // heavy head threads, worsening max/mean.
+        let g = 200;
+        let levels = levels_scheme4(Scheme4::TwoXTwo, g);
+        let n = total_threads(&levels);
+        let i10 = imbalance(&levels, &schedule_ed(n, 10));
+        let i100 = imbalance(&levels, &schedule_ed(n, 100));
+        assert!(i100 > i10);
+    }
+}

@@ -1,0 +1,255 @@
+//! Scaling-efficiency arithmetic and runtime projections (§IV-A, Fig 4,
+//! and the introduction's single-CPU / single-GPU estimates).
+
+use crate::driver::{model_run, ModelConfig};
+
+/// Strong scaling efficiency of `(nodes, time)` against a baseline
+/// `(base_nodes, base_time)`: `ideal/actual = base_time·base_nodes /
+/// (time·nodes)`.
+#[must_use]
+pub fn strong_efficiency(base_nodes: usize, base_time: f64, nodes: usize, time: f64) -> f64 {
+    (base_time * base_nodes as f64) / (time * nodes as f64)
+}
+
+/// Weak scaling efficiency: fixed per-processor workload, so ideal time is
+/// constant — `base_time / time`.
+#[must_use]
+pub fn weak_efficiency(base_time: f64, time: f64) -> f64 {
+    base_time / time
+}
+
+/// One point of a strong-scaling sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalingPoint {
+    /// Node count.
+    pub nodes: usize,
+    /// Modeled run time, seconds.
+    pub time_s: f64,
+    /// Efficiency vs the sweep's baseline.
+    pub efficiency: f64,
+}
+
+/// Run a strong-scaling sweep of the modeled BRCA run over `node_counts`
+/// (the first entry is the baseline, the paper uses 100 nodes).
+#[must_use]
+pub fn strong_scaling_sweep(
+    make: impl Fn(usize) -> ModelConfig,
+    node_counts: &[usize],
+) -> Vec<ScalingPoint> {
+    assert!(!node_counts.is_empty());
+    let base_nodes = node_counts[0];
+    let base_time = model_run(&make(base_nodes)).total_s;
+    node_counts
+        .iter()
+        .map(|&nodes| {
+            let time_s = if nodes == base_nodes {
+                base_time
+            } else {
+                model_run(&make(nodes)).total_s
+            };
+            ScalingPoint {
+                nodes,
+                time_s,
+                efficiency: strong_efficiency(base_nodes, base_time, nodes, time_s),
+            }
+        })
+        .collect()
+}
+
+/// Aggregate efficiency over the non-baseline points (the paper's "average
+/// strong scaling efficiency of 90.14% for 200–1000 nodes").
+#[must_use]
+pub fn average_efficiency(points: &[ScalingPoint]) -> f64 {
+    let tail = &points[1..];
+    if tail.is_empty() {
+        return 1.0;
+    }
+    tail.iter().map(|p| p.efficiency).sum::<f64>() / tail.len() as f64
+}
+
+/// Run a weak-scaling sweep (§IV-A, Fig 4b): fixed workload **per GPU**,
+/// limited to the first iteration exactly as the paper does (later
+/// iterations produce node-count-dependent workloads).
+///
+/// The per-GPU workload is fixed at the largest configuration's equi-area
+/// share: the λ-range is EA-partitioned for `max(node_counts)` nodes, and a
+/// run at `P` nodes processes the first `P·gpus_per_node` partitions. Ideal
+/// time is therefore constant; efficiency = base time / time.
+#[must_use]
+pub fn weak_scaling_sweep(
+    make: impl Fn(usize) -> ModelConfig,
+    node_counts: &[usize],
+) -> Vec<ScalingPoint> {
+    use multihit_gpusim::counters::apply_jitter;
+    use multihit_gpusim::profile::{kernel_levels4, prefetch_depth4, profile_partitions};
+    use multihit_gpusim::CostModel;
+
+    assert!(!node_counts.is_empty());
+    let max_nodes = *node_counts.iter().max().unwrap();
+    let cfg = make(max_nodes);
+    let total_gpus = cfg.shape.total_gpus();
+    let parts = cfg.scheduler.partitions(cfg.scheme, cfg.g, total_gpus);
+    let levels = kernel_levels4(cfg.scheme, cfg.g);
+    let w = u64::from(cfg.n_tumor.div_ceil(64)) + u64::from(cfg.n_normal.div_ceil(64));
+    let mid = matches!(
+        cfg.scheme,
+        multihit_core::schemes::Scheme4::TwoXTwo | multihit_core::schemes::Scheme4::OneXThree
+    );
+    let bounds: Vec<(u64, u64)> = parts.iter().map(|p| (p.lo, p.hi)).collect();
+    let model = CostModel::new(cfg.node.gpu.clone());
+    let all_costs: Vec<_> = profile_partitions(&levels, &bounds, w, prefetch_depth4(cfg.scheme), mid)
+        .iter()
+        .map(|pr| model.evaluate(pr))
+        .collect();
+    let all_costs = if cfg.jitter > 0.0 {
+        apply_jitter(&all_costs, cfg.jitter, cfg.seed)
+    } else {
+        all_costs
+    };
+
+    let time_at = |nodes: usize| -> f64 {
+        let gpus = nodes * cfg.shape.gpus_per_node;
+        let comp = all_costs[..gpus]
+            .iter()
+            .map(|c| c.time_s)
+            .fold(0.0f64, f64::max);
+        comp + cfg.comm.reduce(32, nodes) + cfg.comm.broadcast(32, nodes)
+    };
+    let base_time = time_at(node_counts[0]);
+    node_counts
+        .iter()
+        .map(|&nodes| {
+            let time_s = time_at(nodes);
+            ScalingPoint {
+                nodes,
+                time_s,
+                efficiency: weak_efficiency(base_time, time_s),
+            }
+        })
+        .collect()
+}
+
+/// Projections of the intro's runtime anecdotes from the cost model:
+/// single-GPU and single-CPU full-scan estimates.
+#[derive(Clone, Copy, Debug)]
+pub struct Projections {
+    /// Modeled single-GPU time for the full first iteration, seconds.
+    pub single_gpu_s: f64,
+    /// Estimated single-CPU-core time, seconds (ops / CPU throughput).
+    pub single_cpu_s: f64,
+    /// Modeled cluster time for the same iteration, seconds.
+    pub cluster_s: f64,
+    /// Speedup of the cluster over one GPU.
+    pub cluster_speedup: f64,
+}
+
+/// Project single-device runtimes for the first iteration of a config.
+/// `cpu_ops_per_s` is the scalar-core op throughput (defaults in callers to
+/// ~5 GHz-equivalent ops/s for a Power9-class core).
+#[must_use]
+pub fn project(cfg: &ModelConfig, cpu_ops_per_s: f64) -> Projections {
+    let mut one = cfg.clone();
+    one.coverage = vec![1.0];
+    let cluster = model_run(&one);
+    let mut single = one.clone();
+    single.shape = crate::topology::ClusterShape { nodes: 1, gpus_per_node: 1 };
+    single.jitter = 0.0;
+    let single_run = model_run(&single);
+    // CPU estimate: the same op count executed by one scalar core.
+    let wt = u64::from(cfg.n_tumor.div_ceil(64));
+    let wn = u64::from(cfg.n_normal.div_ceil(64));
+    let p = multihit_gpusim::profile::profile_range4(
+        cfg.scheme,
+        cfg.g,
+        wt + wn,
+        0,
+        cfg.scheme.thread_count(cfg.g),
+    );
+    let single_cpu_s = p.ops as f64 / cpu_ops_per_s;
+    Projections {
+        single_gpu_s: single_run.total_s,
+        single_cpu_s,
+        cluster_s: cluster.total_s,
+        cluster_speedup: single_run.total_s / cluster.total_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_formulas() {
+        assert!((strong_efficiency(100, 1000.0, 1000, 100.0) - 1.0).abs() < 1e-12);
+        assert!((strong_efficiency(100, 1000.0, 1000, 200.0) - 0.5).abs() < 1e-12);
+        assert!((weak_efficiency(10.0, 12.5) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strong_scaling_sweep_brca_shape() {
+        // Fig 4a: efficiency stays high but degrades as nodes grow; the
+        // paper reports 80.96–97.96% over 200–1000 nodes (avg 90.14%) and
+        // 84.18% at 1000. Assert the band, not the exact figures.
+        let pts = strong_scaling_sweep(ModelConfig::brca, &[100, 200, 500, 1000]);
+        assert!((pts[0].efficiency - 1.0).abs() < 1e-9);
+        for p in &pts[1..] {
+            assert!(
+                p.efficiency > 0.70 && p.efficiency <= 1.02,
+                "{} nodes: {}",
+                p.nodes,
+                p.efficiency
+            );
+        }
+        // Efficiency at 1000 nodes is lower than at 200 nodes.
+        assert!(pts.last().unwrap().efficiency < pts[1].efficiency);
+        let avg = average_efficiency(&pts);
+        assert!(avg > 0.75 && avg < 1.0, "avg {avg}");
+    }
+
+    #[test]
+    fn runtime_decreases_with_nodes() {
+        let pts = strong_scaling_sweep(ModelConfig::brca, &[100, 500, 1000]);
+        assert!(pts[1].time_s < pts[0].time_s);
+        assert!(pts[2].time_s < pts[1].time_s);
+    }
+
+    #[test]
+    fn weak_scaling_brca_shape() {
+        // Fig 4b: 90% weak efficiency at 500 nodes, 94.6% average over
+        // 200–500. Assert the band.
+        let pts = weak_scaling_sweep(ModelConfig::brca, &[100, 200, 300, 400, 500]);
+        assert!((pts[0].efficiency - 1.0).abs() < 1e-9);
+        for p in &pts[1..] {
+            assert!(
+                p.efficiency > 0.75 && p.efficiency <= 1.05,
+                "{} nodes: {}",
+                p.nodes,
+                p.efficiency
+            );
+        }
+    }
+
+    #[test]
+    fn projections_reproduce_intro_magnitudes() {
+        // Intro: 4-hit on one GPU ≈ 40+ days; 6000 GPUs ⇒ ~7192× speedup.
+        let cfg = ModelConfig::brca(1000);
+        // Effective scalar-core word-op throughput chosen to match the
+        // paper's *measured* 3-hit CPU/GPU gap (13860 min vs 23 min ≈ 600×):
+        // one Power9-class core sustains ~3·10⁸ AND+popcount word-ops/s on
+        // this access pattern.
+        let p = project(&cfg, 3.0e8);
+        assert!(
+            p.single_gpu_s > 10.0 * 86400.0,
+            "single GPU {} days",
+            p.single_gpu_s / 86400.0
+        );
+        // CPU ≫ GPU (paper: 500+ years vs 40+ days ⇒ ≳400×).
+        assert!(p.single_cpu_s > 50.0 * p.single_gpu_s);
+        // Cluster speedup within the right order of magnitude.
+        assert!(
+            p.cluster_speedup > 2000.0 && p.cluster_speedup < 20000.0,
+            "speedup {}",
+            p.cluster_speedup
+        );
+    }
+}

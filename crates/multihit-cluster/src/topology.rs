@@ -1,0 +1,66 @@
+//! Cluster shapes: nodes × GPUs, and the rank ↔ GPU index mapping.
+//!
+//! The paper abstracts a Summit node to one MPI rank driving six V100s
+//! (Fig 1). GPU partitions are assigned globally (GPU `g` of the run is
+//! local device `g % 6` of rank `g / 6`), matching the paper's Fig 6 x-axis
+//! of "GPU index" across a 600-GPU run.
+
+/// A cluster of identical nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClusterShape {
+    /// Number of nodes (= MPI ranks).
+    pub nodes: usize,
+    /// GPUs per node (Summit: 6).
+    pub gpus_per_node: usize,
+}
+
+impl ClusterShape {
+    /// A Summit allocation of `nodes` nodes.
+    #[must_use]
+    pub fn summit(nodes: usize) -> Self {
+        ClusterShape {
+            nodes,
+            gpus_per_node: 6,
+        }
+    }
+
+    /// Total GPUs in the allocation.
+    #[must_use]
+    pub fn total_gpus(&self) -> usize {
+        self.nodes * self.gpus_per_node
+    }
+
+    /// The rank that owns global GPU `g`.
+    #[must_use]
+    pub fn rank_of_gpu(&self, g: usize) -> usize {
+        g / self.gpus_per_node
+    }
+
+    /// The global GPU indices owned by `rank`.
+    #[must_use]
+    pub fn gpus_of_rank(&self, rank: usize) -> std::ops::Range<usize> {
+        rank * self.gpus_per_node..(rank + 1) * self.gpus_per_node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summit_shapes() {
+        let c = ClusterShape::summit(1000);
+        assert_eq!(c.total_gpus(), 6000);
+        assert_eq!(ClusterShape::summit(100).total_gpus(), 600);
+    }
+
+    #[test]
+    fn gpu_rank_mapping_roundtrips() {
+        let c = ClusterShape::summit(10);
+        for g in 0..c.total_gpus() {
+            let r = c.rank_of_gpu(g);
+            assert!(c.gpus_of_rank(r).contains(&g));
+        }
+        assert_eq!(c.gpus_of_rank(3), 18..24);
+    }
+}

@@ -1,0 +1,184 @@
+//! Property-based tests for the cluster substrate: scheduler invariants
+//! over random workload structures, collective correctness over random rank
+//! counts, and modeled-run sanity.
+
+use multihit_cluster::comm::run_ranks;
+use multihit_cluster::sched::{
+    partition_areas, schedule_ea_fast, schedule_ea_naive, schedule_ed,
+};
+use multihit_cluster::sched_weighted::{schedule_ea_weighted, CostWeights};
+use multihit_core::schemes::Scheme4;
+use multihit_core::sweep::{levels_scheme4, total_area, total_threads, Level};
+use proptest::prelude::*;
+
+/// Random synthetic level structures (not just the schemes' shapes): the
+/// schedulers must work for any monotone-λ level table.
+fn arb_levels() -> impl Strategy<Value = Vec<Level>> {
+    prop::collection::vec((1u64..200, 0u64..50), 1..40).prop_map(|raw| {
+        let mut lambda = 0;
+        raw.into_iter()
+            .map(|(n_threads, work)| {
+                let lv = Level {
+                    lambda_start: lambda,
+                    n_threads,
+                    work_per_thread: work,
+                };
+                lambda += n_threads;
+                lv
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ea_fast_equals_naive_on_random_levels(levels in arb_levels(), parts in 1usize..20) {
+        let n = total_threads(&levels);
+        let total = total_area(&levels);
+        let workload = |l: u64| {
+            levels
+                .iter()
+                .find(|lv| l >= lv.lambda_start && l < lv.lambda_start + lv.n_threads)
+                .map_or(0, |lv| lv.work_per_thread)
+        };
+        let naive = schedule_ea_naive(n, total, parts, workload);
+        let fast = schedule_ea_fast(&levels, parts);
+        prop_assert_eq!(naive, fast);
+    }
+
+    #[test]
+    fn partitions_always_cover_exactly(levels in arb_levels(), parts in 1usize..30) {
+        let n = total_threads(&levels);
+        for p in [
+            schedule_ea_fast(&levels, parts),
+            schedule_ed(n, parts),
+            schedule_ea_weighted(&levels, parts, &CostWeights::v100_3x1()),
+        ] {
+            prop_assert_eq!(p.len(), parts);
+            prop_assert_eq!(p[0].lo, 0);
+            prop_assert_eq!(p.last().unwrap().hi, n);
+            for w in p.windows(2) {
+                prop_assert_eq!(w[0].hi, w[1].lo);
+            }
+        }
+    }
+
+    #[test]
+    fn ea_areas_bounded_by_one_thread(levels in arb_levels(), parts in 1usize..16) {
+        // Every EA partition's area exceeds the target share by at most one
+        // thread's workload (the partitioner cannot split a thread).
+        let areas = partition_areas(&levels, &schedule_ea_fast(&levels, parts));
+        let total = total_area(&levels);
+        let max_w = levels.iter().map(|l| l.work_per_thread).max().unwrap_or(0);
+        let share = total as f64 / parts as f64;
+        for (i, &a) in areas.iter().enumerate() {
+            prop_assert!(
+                (a as f64) <= share + max_w as f64 + 1.0,
+                "partition {i}: area {a}, share {share}, max thread {max_w}"
+            );
+        }
+    }
+
+    #[test]
+    fn ea_beats_or_ties_ed_on_scheme_workloads(g in 8u32..120, parts in 1usize..24) {
+        let levels = levels_scheme4(Scheme4::ThreeXOne, g);
+        let n = total_threads(&levels);
+        let max_area = |p: &[multihit_cluster::sched::Partition]| {
+            partition_areas(&levels, p).into_iter().max().unwrap_or(0)
+        };
+        let ea = max_area(&schedule_ea_fast(&levels, parts));
+        let ed = max_area(&schedule_ed(n, parts));
+        prop_assert!(ea <= ed, "EA straggler {ea} > ED {ed}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn distributed_discovery_equals_reference_on_random_cohorts(
+        seed in 0u64..10_000,
+        nodes in 1usize..5,
+        gpus in 1usize..4,
+        density in 2u64..5,
+    ) {
+        use multihit_cluster::driver::{distributed_discover4, DistributedConfig, SchedulerKind};
+        use multihit_cluster::topology::ClusterShape;
+        use multihit_core::bitmat::BitMatrix;
+        use multihit_core::greedy::{discover, GreedyConfig};
+
+        let g = 10usize;
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        let mut t = BitMatrix::zeros(g, 70);
+        let mut n = BitMatrix::zeros(g, 40);
+        for gene in 0..g {
+            for s in 0..70 {
+                if next() % density == 0 {
+                    t.set(gene, s, true);
+                }
+            }
+            for s in 0..40 {
+                if next() % (density + 2) == 0 {
+                    n.set(gene, s, true);
+                }
+            }
+        }
+        let reference = discover::<4>(
+            &t,
+            &n,
+            &GreedyConfig { parallel: false, max_combinations: 2, ..GreedyConfig::default() },
+        );
+        let dist = distributed_discover4(
+            &t,
+            &n,
+            &DistributedConfig {
+                shape: ClusterShape { nodes, gpus_per_node: gpus },
+                scheduler: SchedulerKind::EquiArea,
+                max_combinations: 2,
+                ..DistributedConfig::default()
+            },
+        );
+        prop_assert_eq!(dist.combinations, reference.combinations);
+        prop_assert_eq!(dist.uncovered, reference.uncovered);
+    }
+
+    #[test]
+    fn reduce_to_root_is_order_independent(
+        size in 1usize..10,
+        values in prop::collection::vec(0u64..1000, 10),
+    ) {
+        let vals = values.clone();
+        let out = run_ranks(size, |ctx| {
+            let v = vals[ctx.rank % vals.len()];
+            ctx.reduce_to_root(
+                v,
+                u64::max,
+                |x| x.to_le_bytes().to_vec(),
+                |b| u64::from_le_bytes(b.try_into().unwrap()),
+            )
+        });
+        let expect = (0..size).map(|r| values[r % values.len()]).max().unwrap();
+        prop_assert_eq!(out[0], Some(expect));
+        for r in &out[1..] {
+            prop_assert!(r.is_none());
+        }
+    }
+
+    #[test]
+    fn broadcast_delivers_to_every_rank(size in 1usize..12, payload in prop::collection::vec(any::<u8>(), 1..64)) {
+        let p = payload.clone();
+        let out = run_ranks(size, |ctx| {
+            let v = if ctx.rank == 0 { Some(p.clone()) } else { None };
+            ctx.broadcast(v)
+        });
+        for o in out {
+            prop_assert_eq!(&o, &payload);
+        }
+    }
+}

@@ -1,0 +1,517 @@
+//! The greedy weighted-set-cover loop (§II-B) and a fast combination
+//! scanner.
+//!
+//! Per iteration the algorithm (1) scores **every** `C(G,H)` combination,
+//! (2) picks the deterministic argmax-F, (3) excludes the tumor samples that
+//! combination covers, and repeats until every tumor sample is covered (or a
+//! combination covers nothing new).
+//!
+//! The scan is the expensive part. [`ComboScanner`] walks combinations in
+//! colex order keeping a stack of partial row-ANDs — when only the lowest
+//! coordinate advances (the overwhelmingly common case), scoring one more
+//! combination costs a single fused AND+popcount pass per matrix. This is
+//! the CPU realization of the paper's MemOpt prefetching, generalized to
+//! every level of the `H`-deep loop.
+//!
+//! Covered samples are excluded either by **BitSplicing** (physically
+//! shrinking the tumor matrix, §III-D) or by carrying an active-column mask
+//! (the unspliced baseline the Fig 5 ablation compares against). Both modes
+//! produce identical combinations; tests assert it.
+
+use crate::bitmat::BitMatrix;
+use crate::combin::{binomial, unrank_tuple};
+use crate::weight::{Alpha, Combo, Scored};
+use rayon::prelude::*;
+
+/// How covered tumor samples are excluded between iterations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Exclusion {
+    /// Physically remove covered columns (the paper's BitSplicing).
+    BitSplice,
+    /// Keep the matrix intact and AND an active mask into every score.
+    Mask,
+}
+
+/// Configuration for a greedy discovery run.
+#[derive(Clone, Copy, Debug)]
+pub struct GreedyConfig {
+    /// True-positive weight α (paper: 0.1).
+    pub alpha: Alpha,
+    /// Exclusion strategy between iterations.
+    pub exclusion: Exclusion,
+    /// Stop after this many combinations even if tumors remain (0 = no cap).
+    pub max_combinations: usize,
+    /// Score combinations across rayon worker threads.
+    pub parallel: bool,
+}
+
+impl Default for GreedyConfig {
+    fn default() -> Self {
+        GreedyConfig {
+            alpha: Alpha::PAPER,
+            exclusion: Exclusion::BitSplice,
+            max_combinations: 0,
+            parallel: true,
+        }
+    }
+}
+
+/// One greedy iteration's outcome.
+#[derive(Clone, Copy, Debug)]
+pub struct IterationRecord<const H: usize> {
+    /// The winning combination of this iteration.
+    pub best: Scored<H>,
+    /// F value (Eq. 1) against the *original* cohort totals.
+    pub f: f64,
+    /// Newly covered tumor samples.
+    pub newly_covered: u32,
+    /// Tumor samples still uncovered after this iteration.
+    pub remaining: u32,
+    /// Tumor-matrix words per row when this iteration scanned (shows the
+    /// BitSplicing shrinkage).
+    pub words_per_row: usize,
+}
+
+/// Result of a full greedy run.
+#[derive(Clone, Debug)]
+pub struct GreedyResult<const H: usize> {
+    /// The selected combinations, in selection order.
+    pub combinations: Vec<Combo<H>>,
+    /// Per-iteration diagnostics.
+    pub iterations: Vec<IterationRecord<H>>,
+    /// Tumor samples never covered (nonzero only if capped or stalled).
+    pub uncovered: u32,
+}
+
+impl<const H: usize> GreedyResult<H> {
+    /// Fraction of tumor samples covered by the selected set.
+    #[must_use]
+    pub fn coverage(&self, n_tumor: u32) -> f64 {
+        if n_tumor == 0 {
+            return 1.0;
+        }
+        f64::from(n_tumor - self.uncovered) / f64::from(n_tumor)
+    }
+}
+
+/// Incremental colex-order scanner over all `C(G,H)` combinations.
+///
+/// Maintains, per level `t`, the AND of the rows of genes `c[t..H]`
+/// (tumor and normal separately, plus an optional tumor column mask folded
+/// into the top level). Advancing the combination recomputes only the
+/// levels at or below the coordinate that moved.
+pub struct ComboScanner<'a, const H: usize> {
+    tumor: &'a BitMatrix,
+    normal: &'a BitMatrix,
+    tumor_mask: Option<&'a [u64]>,
+    alpha: Alpha,
+    g: u32,
+    /// partial_t[t] = AND over tumor rows of genes c[t..H] (and the mask).
+    partial_t: Vec<Vec<u64>>,
+    partial_n: Vec<Vec<u64>>,
+    combo: [u32; H],
+}
+
+impl<'a, const H: usize> ComboScanner<'a, H> {
+    /// Create a scanner positioned at combination rank `start`.
+    ///
+    /// `tumor_mask`, when given, restricts TP counting to active columns.
+    ///
+    /// # Panics
+    /// Panics if the matrices disagree on gene count or `H > G`.
+    #[must_use]
+    pub fn new(
+        tumor: &'a BitMatrix,
+        normal: &'a BitMatrix,
+        tumor_mask: Option<&'a [u64]>,
+        alpha: Alpha,
+        start: u64,
+    ) -> Self {
+        assert_eq!(tumor.n_genes(), normal.n_genes(), "gene universes differ");
+        let g = tumor.n_genes() as u32;
+        assert!(H as u32 <= g, "H = {H} exceeds G = {g}");
+        let mut s = ComboScanner {
+            tumor,
+            normal,
+            tumor_mask,
+            alpha,
+            g,
+            partial_t: vec![vec![0; tumor.words_per_row()]; H],
+            partial_n: vec![vec![0; normal.words_per_row()]; H],
+            combo: unrank_tuple::<H>(start),
+            };
+        s.rebuild_from(H - 1);
+        s
+    }
+
+    /// Recompute partial ANDs for levels `t..=0` after `combo[t..]` changed.
+    fn rebuild_from(&mut self, t: usize) {
+        for level in (0..=t).rev() {
+            let gene = self.combo[level] as usize;
+            if level == H - 1 {
+                let row_t = self.tumor.row(gene);
+                match self.tumor_mask {
+                    Some(m) => {
+                        for (dst, (r, mw)) in
+                            self.partial_t[level].iter_mut().zip(row_t.iter().zip(m))
+                        {
+                            *dst = r & mw;
+                        }
+                    }
+                    None => self.partial_t[level].copy_from_slice(row_t),
+                }
+                self.partial_n[level].copy_from_slice(self.normal.row(gene));
+            } else {
+                let (lower_t, upper_t) = self.partial_t.split_at_mut(level + 1);
+                for (dst, (r, up)) in lower_t[level]
+                    .iter_mut()
+                    .zip(self.tumor.row(gene).iter().zip(upper_t[0].iter()))
+                {
+                    *dst = r & up;
+                }
+                let (lower_n, upper_n) = self.partial_n.split_at_mut(level + 1);
+                for (dst, (r, up)) in lower_n[level]
+                    .iter_mut()
+                    .zip(self.normal.row(gene).iter().zip(upper_n[0].iter()))
+                {
+                    *dst = r & up;
+                }
+            }
+        }
+    }
+
+    /// Score the current combination.
+    #[inline]
+    fn score_current(&self) -> Scored<H> {
+        let tp: u32 = self.partial_t[0].iter().map(|w| w.count_ones()).sum();
+        let covered_n: u32 = self.partial_n[0].iter().map(|w| w.count_ones()).sum();
+        let tn = self.normal.n_samples() as u32 - covered_n;
+        Scored {
+            score: self.alpha.score(tp, tn),
+            tp,
+            tn,
+            genes: self.combo,
+        }
+    }
+
+    /// Advance to the next combination in colex order. Returns `false` when
+    /// the enumeration is exhausted.
+    fn advance(&mut self) -> bool {
+        // Find the smallest level whose coordinate can still move up.
+        for t in 0..H {
+            let limit = if t + 1 < H { self.combo[t + 1] } else { self.g };
+            if self.combo[t] + 1 < limit {
+                self.combo[t] += 1;
+                // Reset all lower coordinates to their minimal values.
+                for (low, c) in self.combo.iter_mut().enumerate().take(t) {
+                    *c = low as u32;
+                }
+                self.rebuild_from(t);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Scan `count` combinations starting at the current position, returning
+    /// the deterministic best.
+    #[must_use]
+    pub fn scan(&mut self, count: u64) -> Scored<H> {
+        let mut best = Scored::NEG_INFINITY;
+        for step in 0..count {
+            best = best.max_det(self.score_current());
+            if step + 1 < count && !self.advance() {
+                break;
+            }
+        }
+        best
+    }
+}
+
+/// Find the argmax-F combination over all `C(G,H)` candidates.
+///
+/// With `cfg.parallel` the λ-range is split into contiguous chunks scanned by
+/// rayon workers; the per-chunk winners fold with the deterministic combiner,
+/// so the result is identical to the sequential scan.
+#[must_use]
+pub fn best_combination<const H: usize>(
+    tumor: &BitMatrix,
+    normal: &BitMatrix,
+    tumor_mask: Option<&[u64]>,
+    cfg: &GreedyConfig,
+) -> Scored<H> {
+    let g = tumor.n_genes() as u64;
+    let total = binomial(g, H as u64);
+    if total == 0 {
+        return Scored::NEG_INFINITY;
+    }
+    if !cfg.parallel {
+        let mut sc = ComboScanner::<H>::new(tumor, normal, tumor_mask, cfg.alpha, 0);
+        return sc.scan(total);
+    }
+    let chunks = (rayon::current_num_threads() as u64 * 8).clamp(1, total);
+    let chunk = total.div_ceil(chunks);
+    (0..chunks)
+        .into_par_iter()
+        .map(|c| {
+            let start = c * chunk;
+            if start >= total {
+                return Scored::NEG_INFINITY;
+            }
+            let count = chunk.min(total - start);
+            let mut sc = ComboScanner::<H>::new(tumor, normal, tumor_mask, cfg.alpha, start);
+            sc.scan(count)
+        })
+        .reduce(|| Scored::NEG_INFINITY, Scored::max_det)
+}
+
+/// Run the full greedy weighted-set-cover discovery for `H`-hit
+/// combinations.
+#[must_use]
+pub fn discover<const H: usize>(
+    tumor: &BitMatrix,
+    normal: &BitMatrix,
+    cfg: &GreedyConfig,
+) -> GreedyResult<H> {
+    let n_tumor = tumor.n_samples() as u32;
+    let n_normal = normal.n_samples() as u32;
+    let mut work_tumor = tumor.clone();
+    let mut mask = tumor.full_mask();
+    let mut remaining = n_tumor;
+    let mut combinations = Vec::new();
+    let mut iterations = Vec::new();
+
+    while remaining > 0 {
+        if cfg.max_combinations != 0 && combinations.len() >= cfg.max_combinations {
+            break;
+        }
+        let mask_arg = match cfg.exclusion {
+            Exclusion::BitSplice => None,
+            Exclusion::Mask => Some(mask.as_slice()),
+        };
+        let best = best_combination::<H>(&work_tumor, normal, mask_arg, cfg);
+        if best.tp == 0 {
+            // No combination covers any remaining tumor sample: stall.
+            break;
+        }
+        let newly = best.tp;
+        remaining -= newly;
+        let words = work_tumor.words_per_row();
+        match cfg.exclusion {
+            Exclusion::BitSplice => {
+                let cov = work_tumor.cover_mask(&best.genes);
+                let mut keep = work_tumor.full_mask();
+                for (k, c) in keep.iter_mut().zip(cov.iter()) {
+                    *k &= !c;
+                }
+                work_tumor = work_tumor.splice_columns(&keep);
+            }
+            Exclusion::Mask => {
+                let cov = work_tumor.cover_mask(&best.genes);
+                for (m, c) in mask.iter_mut().zip(cov.iter()) {
+                    *m &= !c;
+                }
+            }
+        }
+        iterations.push(IterationRecord {
+            best,
+            f: best.f_value(cfg.alpha, n_tumor, n_normal),
+            newly_covered: newly,
+            remaining,
+            words_per_row: words,
+        });
+        combinations.push(best.genes);
+    }
+
+    GreedyResult {
+        combinations,
+        iterations,
+        uncovered: remaining,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weight::score_combo;
+
+    fn lcg_matrices(g: usize, nt: usize, nn: usize, seed: u64) -> (BitMatrix, BitMatrix) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut t = BitMatrix::zeros(g, nt);
+        let mut n = BitMatrix::zeros(g, nn);
+        for gene in 0..g {
+            for s in 0..nt {
+                if next() % 2 == 0 {
+                    t.set(gene, s, true);
+                }
+            }
+            for s in 0..nn {
+                if next() % 6 == 0 {
+                    n.set(gene, s, true);
+                }
+            }
+        }
+        (t, n)
+    }
+
+    fn brute_best<const H: usize>(
+        t: &BitMatrix,
+        n: &BitMatrix,
+        mask: Option<&[u64]>,
+    ) -> Scored<H> {
+        let g = t.n_genes() as u64;
+        let mut best = Scored::NEG_INFINITY;
+        for l in 0..binomial(g, H as u64) {
+            let genes = unrank_tuple::<H>(l);
+            let mut s = score_combo(t, n, &genes, Alpha::PAPER);
+            if let Some(m) = mask {
+                // Recount TP under the mask.
+                let cov = t.cover_mask(&genes);
+                let tp: u32 = cov.iter().zip(m).map(|(c, mm)| (c & mm).count_ones()).sum();
+                s = Scored {
+                    score: Alpha::PAPER.score(tp, s.tn),
+                    tp,
+                    tn: s.tn,
+                    genes,
+                };
+            }
+            best = best.max_det(s);
+        }
+        best
+    }
+
+    #[test]
+    fn scanner_matches_brute_force_h2_h3_h4() {
+        let (t, n) = lcg_matrices(11, 100, 60, 5);
+        let cfg = GreedyConfig { parallel: false, ..GreedyConfig::default() };
+        assert_eq!(best_combination::<2>(&t, &n, None, &cfg), brute_best::<2>(&t, &n, None));
+        assert_eq!(best_combination::<3>(&t, &n, None, &cfg), brute_best::<3>(&t, &n, None));
+        assert_eq!(best_combination::<4>(&t, &n, None, &cfg), brute_best::<4>(&t, &n, None));
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let (t, n) = lcg_matrices(13, 128, 64, 21);
+        let seq = GreedyConfig { parallel: false, ..GreedyConfig::default() };
+        let par = GreedyConfig { parallel: true, ..GreedyConfig::default() };
+        for _ in 0..2 {
+            assert_eq!(
+                best_combination::<3>(&t, &n, None, &par),
+                best_combination::<3>(&t, &n, None, &seq)
+            );
+        }
+    }
+
+    #[test]
+    fn scanner_respects_mask() {
+        let (t, n) = lcg_matrices(9, 70, 40, 2);
+        // Mask off the first word of samples.
+        let mut mask = t.full_mask();
+        mask[0] = 0;
+        let cfg = GreedyConfig { parallel: false, ..GreedyConfig::default() };
+        let got = best_combination::<2>(&t, &n, Some(&mask), &cfg);
+        assert_eq!(got, brute_best::<2>(&t, &n, Some(&mask)));
+    }
+
+    #[test]
+    fn scanner_chunked_start_positions() {
+        // Starting mid-range must continue the same enumeration.
+        let (t, n) = lcg_matrices(10, 64, 32, 8);
+        let total = binomial(10, 3);
+        let mut full = ComboScanner::<3>::new(&t, &n, None, Alpha::PAPER, 0);
+        let whole = full.scan(total);
+        let mut a = ComboScanner::<3>::new(&t, &n, None, Alpha::PAPER, 0);
+        let first = a.scan(total / 2);
+        let mut b = ComboScanner::<3>::new(&t, &n, None, Alpha::PAPER, total / 2);
+        let second = b.scan(total - total / 2);
+        assert_eq!(first.max_det(second), whole);
+    }
+
+    #[test]
+    fn greedy_covers_all_tumors_on_easy_data() {
+        // Plant two 2-hit combos that jointly cover everything.
+        let mut t = BitMatrix::zeros(6, 80);
+        let mut n = BitMatrix::zeros(6, 40);
+        for s in 0..40 {
+            t.set(0, s, true);
+            t.set(1, s, true);
+        }
+        for s in 40..80 {
+            t.set(2, s, true);
+            t.set(3, s, true);
+        }
+        // Sprinkle normals with singleton mutations only.
+        for s in 0..40 {
+            n.set(4, s % 40, true);
+        }
+        let res = discover::<2>(&t, &n, &GreedyConfig { parallel: false, ..Default::default() });
+        assert_eq!(res.uncovered, 0);
+        assert_eq!(res.combinations.len(), 2);
+        let set: std::collections::HashSet<_> = res.combinations.iter().copied().collect();
+        assert!(set.contains(&[0, 1]) && set.contains(&[2, 3]));
+        assert!((res.coverage(80) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn splice_and_mask_modes_select_identical_combinations() {
+        let (t, n) = lcg_matrices(10, 150, 80, 33);
+        let a = discover::<2>(
+            &t,
+            &n,
+            &GreedyConfig { exclusion: Exclusion::BitSplice, parallel: false, ..Default::default() },
+        );
+        let b = discover::<2>(
+            &t,
+            &n,
+            &GreedyConfig { exclusion: Exclusion::Mask, parallel: false, ..Default::default() },
+        );
+        assert_eq!(a.combinations, b.combinations);
+        assert_eq!(a.uncovered, b.uncovered);
+        // Splicing shrinks rows over iterations; masking never does.
+        let spliced_words: Vec<_> = a.iterations.iter().map(|r| r.words_per_row).collect();
+        let masked_words: Vec<_> = b.iterations.iter().map(|r| r.words_per_row).collect();
+        assert!(spliced_words.last().unwrap() <= spliced_words.first().unwrap());
+        assert!(masked_words.iter().all(|&w| w == masked_words[0]));
+    }
+
+    #[test]
+    fn greedy_iteration_records_are_consistent() {
+        let (t, n) = lcg_matrices(8, 100, 50, 12);
+        let res = discover::<2>(&t, &n, &GreedyConfig { parallel: false, ..Default::default() });
+        let mut covered = 0u32;
+        for rec in &res.iterations {
+            covered += rec.newly_covered;
+            assert_eq!(rec.remaining, 100 - covered);
+            assert!(rec.newly_covered > 0);
+            assert!(rec.f > 0.0);
+        }
+        assert_eq!(res.uncovered, 100 - covered);
+    }
+
+    #[test]
+    fn max_combinations_caps_the_run() {
+        let (t, n) = lcg_matrices(8, 200, 50, 90);
+        let res = discover::<2>(
+            &t,
+            &n,
+            &GreedyConfig { max_combinations: 1, parallel: false, ..Default::default() },
+        );
+        assert_eq!(res.combinations.len(), 1);
+    }
+
+    #[test]
+    fn greedy_f_is_nonincreasing() {
+        // Each iteration's F (on the shrinking tumor set) cannot beat the
+        // previous pick's F: the previous argmax dominated the same pool plus
+        // covered samples.
+        let (t, n) = lcg_matrices(9, 120, 60, 77);
+        let res = discover::<2>(&t, &n, &GreedyConfig { parallel: false, ..Default::default() });
+        for w in res.iterations.windows(2) {
+            assert!(w[1].f <= w[0].f + 1e-12);
+        }
+    }
+}

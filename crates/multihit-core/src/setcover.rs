@@ -1,0 +1,218 @@
+//! The weighted set cover (WSC) formulation the multi-hit problem maps to
+//! (§II-B), as a standalone generic solver.
+//!
+//! WSC: given a universe `U` and weighted candidate sets, repeatedly pick
+//! the maximum-weight set and remove its covered elements until the
+//! universe is empty (the classic greedy approximation; WSC itself is
+//! NP-complete). The multi-hit instance enumerates a candidate set per
+//! `h`-gene combination — the set of tumor samples carrying all `h`
+//! mutations — with weight `F` recomputed as samples are covered.
+//!
+//! [`greedy_wsc`] solves any instance given a weight oracle; [`from_cohort`]
+//! materializes the multi-hit instance explicitly (only feasible at small
+//! `G` — the whole point of the paper is *not* materializing it) so tests
+//! can pin the specialized pipeline to the textbook formulation.
+
+use crate::bitmat::BitMatrix;
+use crate::combin::{binomial, unrank_tuple};
+use crate::weight::Alpha;
+
+/// One candidate set of a WSC instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CandidateSet {
+    /// Stable identifier (for the multi-hit instance: the colex rank λ).
+    pub id: u64,
+    /// Covered universe elements, sorted.
+    pub elements: Vec<u32>,
+}
+
+/// An explicit WSC instance with a dynamic weight oracle.
+pub struct WscInstance<'a> {
+    /// Universe size (elements are `0..universe`).
+    pub universe: u32,
+    /// Candidate sets.
+    pub sets: Vec<CandidateSet>,
+    /// Weight of a set given the still-uncovered elements it would cover
+    /// (`newly_covered`) — for multi-hit, `α·TP + q·TN` as an integer.
+    #[allow(clippy::type_complexity)]
+    pub weight: Box<dyn Fn(&CandidateSet, u32) -> u64 + 'a>,
+}
+
+/// Result of the greedy WSC solver.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WscSolution {
+    /// Chosen set ids, in selection order.
+    pub chosen: Vec<u64>,
+    /// Elements never covered (sets ran out of fresh coverage).
+    pub uncovered: u32,
+}
+
+/// Textbook greedy WSC: per round, pick the maximum-weight set among those
+/// covering at least one uncovered element; ties break on the smallest id
+/// (matching the multi-hit pipeline's colex tie-break).
+#[must_use]
+pub fn greedy_wsc(inst: &WscInstance<'_>) -> WscSolution {
+    let mut covered = vec![false; inst.universe as usize];
+    let mut n_uncovered = inst.universe;
+    let mut chosen = Vec::new();
+    while n_uncovered > 0 {
+        let mut best: Option<(u64, u64, usize)> = None; // (weight, !id order, idx)
+        for (idx, s) in inst.sets.iter().enumerate() {
+            let newly = s
+                .elements
+                .iter()
+                .filter(|&&e| !covered[e as usize])
+                .count() as u32;
+            if newly == 0 {
+                continue;
+            }
+            let w = (inst.weight)(s, newly);
+            let better = match best {
+                None => true,
+                Some((bw, bid, _)) => w > bw || (w == bw && s.id < bid),
+            };
+            if better {
+                best = Some((w, s.id, idx));
+            }
+        }
+        let Some((_, id, idx)) = best else { break };
+        for &e in &inst.sets[idx].elements {
+            if !covered[e as usize] {
+                covered[e as usize] = true;
+                n_uncovered -= 1;
+            }
+        }
+        chosen.push(id);
+    }
+    WscSolution {
+        chosen,
+        uncovered: n_uncovered,
+    }
+}
+
+/// Materialize the multi-hit WSC instance of a cohort: one candidate set
+/// per `H`-combination (id = colex rank), elements = covered tumor samples,
+/// weight = the exact integer multi-hit score where `TP` is the set's fresh
+/// coverage and `TN` comes from the (static) normal matrix.
+///
+/// Exponential in `H` — small `G` only.
+#[must_use]
+pub fn from_cohort<'a, const H: usize>(
+    tumor: &BitMatrix,
+    normal: &'a BitMatrix,
+    alpha: Alpha,
+) -> WscInstance<'a> {
+    let g = tumor.n_genes() as u64;
+    let n_tumor = tumor.n_samples() as u32;
+    let mut sets = Vec::with_capacity(binomial(g, H as u64) as usize);
+    let mut tn_by_id = std::collections::HashMap::new();
+    for lambda in 0..binomial(g, H as u64) {
+        let genes = unrank_tuple::<H>(lambda);
+        let mask = tumor.cover_mask(&genes);
+        let elements: Vec<u32> =
+            BitMatrix::mask_indices(&mask, tumor.n_samples()).map(|s| s as u32).collect();
+        let tn = normal.n_samples() as u32 - normal.count_all(&genes);
+        tn_by_id.insert(lambda, tn);
+        sets.push(CandidateSet { id: lambda, elements });
+    }
+    WscInstance {
+        universe: n_tumor,
+        sets,
+        weight: Box::new(move |s, newly| alpha.score(newly, tn_by_id[&s.id])),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::{discover, GreedyConfig};
+    use crate::combin::rank_tuple;
+
+    #[test]
+    fn covers_a_simple_universe() {
+        // Universe {0..5}; sets: {0,1,2} (id 0), {2,3} (id 1), {3,4,5} (id 2).
+        let inst = WscInstance {
+            universe: 6,
+            sets: vec![
+                CandidateSet { id: 0, elements: vec![0, 1, 2] },
+                CandidateSet { id: 1, elements: vec![2, 3] },
+                CandidateSet { id: 2, elements: vec![3, 4, 5] },
+            ],
+            weight: Box::new(|_s, newly| u64::from(newly)),
+        };
+        let sol = greedy_wsc(&inst);
+        assert_eq!(sol.uncovered, 0);
+        assert_eq!(sol.chosen, vec![0, 2]);
+    }
+
+    #[test]
+    fn stalls_when_nothing_new_coverable() {
+        let inst = WscInstance {
+            universe: 3,
+            sets: vec![CandidateSet { id: 7, elements: vec![0] }],
+            weight: Box::new(|_s, newly| u64::from(newly)),
+        };
+        let sol = greedy_wsc(&inst);
+        assert_eq!(sol.chosen, vec![7]);
+        assert_eq!(sol.uncovered, 2);
+    }
+
+    #[test]
+    fn tie_breaks_on_smaller_id() {
+        let inst = WscInstance {
+            universe: 2,
+            sets: vec![
+                CandidateSet { id: 9, elements: vec![0, 1] },
+                CandidateSet { id: 4, elements: vec![0, 1] },
+            ],
+            weight: Box::new(|_s, newly| u64::from(newly)),
+        };
+        assert_eq!(greedy_wsc(&inst).chosen, vec![4]);
+    }
+
+    #[test]
+    fn multi_hit_pipeline_solves_the_wsc_formulation() {
+        // The specialized pipeline (bit matrices, scanner, splicing) must
+        // pick exactly the sets the textbook WSC greedy picks on the
+        // materialized instance.
+        let mut state = 87u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        let mut tumor = BitMatrix::zeros(9, 80);
+        let mut normal = BitMatrix::zeros(9, 50);
+        for g in 0..9 {
+            for s in 0..80 {
+                if next() % 2 == 0 {
+                    tumor.set(g, s, true);
+                }
+            }
+            for s in 0..50 {
+                if next() % 5 == 0 {
+                    normal.set(g, s, true);
+                }
+            }
+        }
+        let inst = from_cohort::<2>(&tumor, &normal, Alpha::PAPER);
+        let wsc = greedy_wsc(&inst);
+        let pipeline = discover::<2>(
+            &tumor,
+            &normal,
+            &GreedyConfig { parallel: false, ..GreedyConfig::default() },
+        );
+        let pipeline_ids: Vec<u64> =
+            pipeline.combinations.iter().map(rank_tuple).collect();
+        assert_eq!(wsc.chosen, pipeline_ids);
+        assert_eq!(wsc.uncovered, pipeline.uncovered);
+    }
+
+    #[test]
+    fn instance_size_matches_combination_count() {
+        let tumor = BitMatrix::zeros(8, 4);
+        let normal = BitMatrix::zeros(8, 4);
+        let inst = from_cohort::<3>(&tumor, &normal, Alpha::PAPER);
+        assert_eq!(inst.sets.len() as u64, binomial(8, 3));
+        assert!(inst.sets.iter().all(|s| s.elements.is_empty()));
+    }
+}

@@ -1,0 +1,285 @@
+//! The weighted-set-cover objective `F` and combination scoring.
+//!
+//! The paper scores a candidate gene combination as
+//!
+//! ```text
+//! F = (α·TP + TN) / (Nt + Nn),        α = 0.1
+//! ```
+//!
+//! where `TP` is the number of (remaining) tumor samples carrying mutations
+//! in *all* genes of the combination and `TN` the number of normal samples
+//! carrying mutations in *not all* of them (Eq. 1). α offsets the greedy
+//! algorithm's bias toward covering tumors at the expense of specificity.
+//!
+//! ## Exact, deterministic comparison
+//!
+//! A massively parallel argmax over ~10¹² float scores is sensitive to both
+//! rounding and reduction order. We therefore score with an *integer*
+//! numerator `p·TP + q·TN` for a rational `α = p/q` (denominator
+//! `q·(Nt+Nn)` is constant within an iteration) and break ties by the
+//! colexicographically smallest combination. Every reduction order then
+//! yields bit-identical winners — an invariant the test suite and the GPU /
+//! cluster substrates rely on.
+
+use crate::bitmat::BitMatrix;
+
+/// A rational true-positive weight `α = num/den` (paper: 1/10).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Alpha {
+    num: u32,
+    den: u32,
+}
+
+impl Alpha {
+    /// The paper's α = 0.1.
+    pub const PAPER: Alpha = Alpha { num: 1, den: 10 };
+
+    /// A custom rational α.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    #[must_use]
+    pub fn new(num: u32, den: u32) -> Self {
+        assert!(den != 0, "alpha denominator must be non-zero");
+        Alpha { num, den }
+    }
+
+    /// α as a float, for reporting.
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        f64::from(self.num) / f64::from(self.den)
+    }
+
+    /// Integer score numerator `num·TP + den·TN` (see module docs).
+    ///
+    /// A combination covering **no** remaining tumor sample scores 0: set
+    /// cover only ever selects sets with fresh coverage (otherwise a
+    /// high-TN, zero-TP combination could win the argmax forever and the
+    /// greedy loop would never terminate). Encoding the rule here makes
+    /// every scan/reduction path — CPU scanner, simulated kernels, rank
+    /// reductions — inherit it consistently.
+    #[inline]
+    #[must_use]
+    pub fn score(self, tp: u32, tn: u32) -> u64 {
+        if tp == 0 {
+            return 0;
+        }
+        u64::from(self.num) * u64::from(tp) + u64::from(self.den) * u64::from(tn)
+    }
+}
+
+/// A candidate `H`-gene combination (strictly increasing gene ids).
+pub type Combo<const H: usize> = [u32; H];
+
+/// A scored combination: the integer score plus its components.
+///
+/// Ordering is by score, then (descending) by colex rank of the genes so the
+/// *maximum* `Scored` under `Ord` is the highest score with the colex-smallest
+/// combination — a total order independent of reduction shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Scored<const H: usize> {
+    /// Integer score numerator (`α.num·TP + α.den·TN`).
+    pub score: u64,
+    /// True positives: remaining tumor samples covered.
+    pub tp: u32,
+    /// True negatives: normal samples *not* covered.
+    pub tn: u32,
+    /// The gene ids, strictly increasing.
+    pub genes: Combo<H>,
+}
+
+impl<const H: usize> Scored<H> {
+    /// The identity element for max-reductions: loses to every real score.
+    pub const NEG_INFINITY: Scored<H> = Scored {
+        score: 0,
+        tp: 0,
+        tn: 0,
+        genes: [u32::MAX; H],
+    };
+
+    /// `F` as a float given the cohort totals, for reporting (Eq. 1).
+    #[must_use]
+    pub fn f_value(&self, alpha: Alpha, n_tumor: u32, n_normal: u32) -> f64 {
+        self.score as f64 / (f64::from(alpha.den) * f64::from(n_tumor + n_normal))
+    }
+
+    /// True iff `self` beats `other` in the deterministic total order.
+    #[inline]
+    #[must_use]
+    pub fn beats(&self, other: &Self) -> bool {
+        self.cmp_det(other) == std::cmp::Ordering::Greater
+    }
+
+    /// The deterministic comparison: score first, colex-smaller genes win ties.
+    #[inline]
+    #[must_use]
+    pub fn cmp_det(&self, other: &Self) -> std::cmp::Ordering {
+        self.score.cmp(&other.score).then_with(|| {
+            // Colex: compare highest gene first; smaller wins, so reverse.
+            for t in (0..H).rev() {
+                match self.genes[t].cmp(&other.genes[t]) {
+                    std::cmp::Ordering::Equal => continue,
+                    o => return o.reverse(),
+                }
+            }
+            std::cmp::Ordering::Equal
+        })
+    }
+
+    /// Max-combine two scored candidates deterministically.
+    #[inline]
+    #[must_use]
+    pub fn max_det(self, other: Self) -> Self {
+        if other.beats(&self) {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+impl<const H: usize> PartialOrd for Scored<H> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<const H: usize> Ord for Scored<H> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.cmp_det(other)
+    }
+}
+
+/// Score one combination against a (possibly spliced) tumor matrix and the
+/// normal matrix.
+///
+/// `TP` = tumors carrying all `H` genes mutated; `TN` = normals not carrying
+/// all of them.
+#[inline]
+#[must_use]
+pub fn score_combo<const H: usize>(
+    tumor: &BitMatrix,
+    normal: &BitMatrix,
+    genes: &Combo<H>,
+    alpha: Alpha,
+) -> Scored<H> {
+    let tp = tumor.count_all(genes);
+    let covered_normals = normal.count_all(genes);
+    let tn = normal.n_samples() as u32 - covered_normals;
+    Scored {
+        score: alpha.score(tp, tn),
+        tp,
+        tn,
+        genes: *genes,
+    }
+}
+
+/// The size in bytes of the record each MPI rank returns to rank 0 in the
+/// paper (four `int` gene ids + one `float` F-max = 20 bytes, §III-E).
+pub const PAPER_RECORD_BYTES: usize = 20;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> (BitMatrix, BitMatrix) {
+        // 4 genes; 6 tumor samples, 4 normal samples.
+        let tumor = BitMatrix::from_rows(
+            4,
+            6,
+            &[
+                vec![0, 1, 2, 3],
+                vec![0, 1, 2],
+                vec![1, 2, 4],
+                vec![5],
+            ],
+        );
+        let normal = BitMatrix::from_rows(4, 4, &[vec![0], vec![0, 1], vec![2], vec![]]);
+        (tumor, normal)
+    }
+
+    #[test]
+    fn alpha_paper_value() {
+        assert_eq!(Alpha::PAPER.as_f64(), 0.1);
+        assert_eq!(Alpha::PAPER.score(10, 3), 10 + 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator")]
+    fn alpha_zero_den_panics() {
+        let _ = Alpha::new(1, 0);
+    }
+
+    #[test]
+    fn score_combo_counts() {
+        let (t, n) = toy();
+        // genes {0,1}: tumors with both = {0,1,2} → TP=3.
+        // normals with both = {0} → TN = 4-1 = 3.
+        let s = score_combo(&t, &n, &[0, 1], Alpha::PAPER);
+        assert_eq!((s.tp, s.tn), (3, 3));
+        assert_eq!(s.score, 3 + 30);
+        let f = s.f_value(Alpha::PAPER, 6, 4);
+        assert!((f - (0.1 * 3.0 + 3.0) / 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_tie_break_prefers_colex_smaller() {
+        let a = Scored::<2> { score: 10, tp: 1, tn: 1, genes: [0, 5] };
+        let b = Scored::<2> { score: 10, tp: 1, tn: 1, genes: [3, 4] };
+        // colex: [3,4] < [0,5] because 4 < 5 ⇒ b wins the tie.
+        assert!(b.beats(&a));
+        assert_eq!(a.max_det(b), b);
+        assert_eq!(b.max_det(a), b);
+    }
+
+    #[test]
+    fn higher_score_always_wins() {
+        let a = Scored::<2> { score: 11, tp: 0, tn: 0, genes: [8, 9] };
+        let b = Scored::<2> { score: 10, tp: 0, tn: 0, genes: [0, 1] };
+        assert!(a.beats(&b));
+        assert!(!b.beats(&a));
+    }
+
+    #[test]
+    fn neg_infinity_loses_to_everything() {
+        let z = Scored::<3>::NEG_INFINITY;
+        let a = Scored::<3> { score: 0, tp: 0, tn: 0, genes: [0, 1, 2] };
+        // Same score, but a's genes are colex-smaller than [MAX; 3].
+        assert!(a.beats(&z));
+        assert_eq!(z.max_det(a), a);
+    }
+
+    #[test]
+    fn max_det_is_associative_and_commutative() {
+        let xs = [
+            Scored::<2> { score: 5, tp: 0, tn: 0, genes: [1, 2] },
+            Scored::<2> { score: 5, tp: 0, tn: 0, genes: [0, 2] },
+            Scored::<2> { score: 7, tp: 0, tn: 0, genes: [2, 3] },
+            Scored::<2>::NEG_INFINITY,
+        ];
+        let fold_lr = xs.iter().copied().reduce(Scored::max_det).unwrap();
+        let fold_rl = xs.iter().rev().copied().reduce(Scored::max_det).unwrap();
+        let pairwise = xs[0].max_det(xs[1]).max_det(xs[2].max_det(xs[3]));
+        assert_eq!(fold_lr, fold_rl);
+        assert_eq!(fold_lr, pairwise);
+    }
+
+    #[test]
+    fn ord_matches_cmp_det() {
+        let mut v = [Scored::<2> { score: 5, tp: 0, tn: 0, genes: [1, 2] },
+            Scored::<2> { score: 9, tp: 0, tn: 0, genes: [0, 1] },
+            Scored::<2> { score: 5, tp: 0, tn: 0, genes: [0, 2] }];
+        v.sort();
+        assert_eq!(v.last().unwrap().score, 9);
+        assert_eq!(v.iter().max().unwrap().score, 9);
+        // Among equal scores the colex-smaller sorts later (it "wins").
+        assert_eq!(v[0].genes, [1, 2]);
+        assert_eq!(v[1].genes, [0, 2]);
+    }
+
+    #[test]
+    fn record_size_matches_paper() {
+        // 4 × i32 gene ids + 1 × f32 = 20 bytes.
+        assert_eq!(4 * 4 + 4, PAPER_RECORD_BYTES);
+    }
+}

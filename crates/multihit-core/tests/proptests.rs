@@ -1,0 +1,189 @@
+//! Property-based tests over the core invariants: index-map bijectivity,
+//! bit-matrix counting, reduction determinism, and greedy-scan agreement.
+
+use multihit_core::bitmat::BitMatrix;
+use multihit_core::combin::{
+    binomial, rank_pair, rank_triple, rank_tuple, tri, unrank_pair, unrank_triple, unrank_tuple,
+};
+use multihit_core::greedy::{best_combination, ComboScanner, GreedyConfig};
+use multihit_core::reduce::{block_reduce, gpu_reduce, tree_reduce};
+use multihit_core::weight::{score_combo, Alpha, Scored};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn pair_unrank_rank_roundtrip(lambda in 0u64..tri(100_000)) {
+        let (i, j) = unrank_pair(lambda);
+        prop_assert!(i < j);
+        prop_assert_eq!(rank_pair(i, j), lambda);
+    }
+
+    #[test]
+    fn triple_unrank_rank_roundtrip(lambda in 0u64..binomial(50_000, 3)) {
+        let (i, j, k) = unrank_triple(lambda);
+        prop_assert!(i < j && j < k);
+        prop_assert_eq!(rank_triple(i, j, k), lambda);
+    }
+
+    #[test]
+    fn quad_unrank_rank_roundtrip(lambda in 0u64..binomial(10_000, 4)) {
+        let c = unrank_tuple::<4>(lambda);
+        prop_assert!(c.windows(2).all(|w| w[0] < w[1]));
+        prop_assert_eq!(rank_tuple(&c), lambda);
+    }
+
+    #[test]
+    fn quint_unrank_rank_roundtrip(lambda in 0u64..binomial(2_000, 5)) {
+        // h = 5: the paper's future-work hit count works through the same map.
+        let c = unrank_tuple::<5>(lambda);
+        prop_assert!(c.windows(2).all(|w| w[0] < w[1]));
+        prop_assert_eq!(rank_tuple(&c), lambda);
+    }
+
+    #[test]
+    fn unranking_is_monotone_in_colex(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        prop_assume!(a < b);
+        let ca = unrank_tuple::<3>(a);
+        let cb = unrank_tuple::<3>(b);
+        let rev = |c: [u32; 3]| [c[2], c[1], c[0]];
+        prop_assert!(rev(ca) < rev(cb));
+    }
+
+    #[test]
+    fn binomial_pascal_property((n, k) in (2u64..500).prop_flat_map(|n| (Just(n), 1..n))) {
+        let lhs = binomial(n, k);
+        prop_assume!(lhs < u64::MAX / 2); // skip saturated values
+        prop_assert_eq!(lhs, binomial(n - 1, k - 1) + binomial(n - 1, k));
+    }
+}
+
+/// Strategy: a random small cohort as dense boolean rows.
+fn cohort(
+    max_genes: usize,
+    max_samples: usize,
+) -> impl Strategy<Value = (Vec<Vec<bool>>, Vec<Vec<bool>>)> {
+    (4..=max_genes, 1..=max_samples, 1..=max_samples).prop_flat_map(|(g, nt, nn)| {
+        (
+            prop::collection::vec(prop::collection::vec(any::<bool>(), nt), g),
+            prop::collection::vec(prop::collection::vec(any::<bool>(), nn), g),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn count_all_matches_naive_count((td, nd) in cohort(10, 80)) {
+        let t = BitMatrix::from_dense(&td);
+        let n = BitMatrix::from_dense(&nd);
+        let g = t.n_genes() as u32;
+        for lambda in 0..binomial(u64::from(g), 2) {
+            let (i, j) = unrank_pair(lambda);
+            let naive = (0..t.n_samples())
+                .filter(|&s| td[i as usize][s] && td[j as usize][s])
+                .count() as u32;
+            prop_assert_eq!(t.count_all(&[i, j]), naive);
+            let naive_n = (0..n.n_samples())
+                .filter(|&s| nd[i as usize][s] && nd[j as usize][s])
+                .count() as u32;
+            prop_assert_eq!(n.count_all(&[i, j]), naive_n);
+        }
+    }
+
+    #[test]
+    fn splice_preserves_uncovered_columns((td, _) in cohort(8, 120), drop_mod in 2usize..7) {
+        let t = BitMatrix::from_dense(&td);
+        let mut keep = t.full_mask();
+        let kept: Vec<usize> = (0..t.n_samples()).filter(|s| s % drop_mod != 0).collect();
+        for s in 0..t.n_samples() {
+            if s % drop_mod == 0 {
+                keep[s / 64] &= !(1u64 << (s % 64));
+            }
+        }
+        let sp = t.splice_columns(&keep);
+        prop_assert_eq!(sp.n_samples(), kept.len());
+        prop_assert!(sp.tail_is_clean());
+        for g in 0..t.n_genes() {
+            for (new_s, &old_s) in kept.iter().enumerate() {
+                prop_assert_eq!(sp.get(g, new_s), t.get(g, old_s));
+            }
+        }
+    }
+
+    #[test]
+    fn scanner_agrees_with_bruteforce_h3((td, nd) in cohort(9, 64)) {
+        let t = BitMatrix::from_dense(&td);
+        let n = BitMatrix::from_dense(&nd);
+        let g = t.n_genes() as u64;
+        prop_assume!(g >= 3);
+        let mut expect = Scored::NEG_INFINITY;
+        for l in 0..binomial(g, 3) {
+            let genes = unrank_tuple::<3>(l);
+            expect = expect.max_det(score_combo(&t, &n, &genes, Alpha::PAPER));
+        }
+        let cfg = GreedyConfig { parallel: false, ..GreedyConfig::default() };
+        prop_assert_eq!(best_combination::<3>(&t, &n, None, &cfg), expect);
+    }
+
+    #[test]
+    fn chunked_scans_equal_whole_scan((td, nd) in cohort(9, 48), splits in 1usize..6) {
+        let t = BitMatrix::from_dense(&td);
+        let n = BitMatrix::from_dense(&nd);
+        let g = t.n_genes() as u64;
+        prop_assume!(g >= 3);
+        let total = binomial(g, 3);
+        let mut whole = ComboScanner::<3>::new(&t, &n, None, Alpha::PAPER, 0);
+        let expect = whole.scan(total);
+        let chunk = total.div_ceil(splits as u64);
+        let mut best = Scored::NEG_INFINITY;
+        let mut start = 0u64;
+        while start < total {
+            let count = chunk.min(total - start);
+            let mut sc = ComboScanner::<3>::new(&t, &n, None, Alpha::PAPER, start);
+            best = best.max_det(sc.scan(count));
+            start += count;
+        }
+        prop_assert_eq!(best, expect);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn reductions_are_blocking_invariant(
+        scores in prop::collection::vec((0u64..1000, 0u32..50), 1..400),
+        bs in 1usize..600,
+    ) {
+        let scored: Vec<Scored<2>> = scores
+            .iter()
+            .map(|&(s, g)| Scored { score: s, tp: 0, tn: 0, genes: [g, g + 1] })
+            .collect();
+        let flat = scored.iter().copied().fold(Scored::NEG_INFINITY, Scored::max_det);
+        let (staged, _) = gpu_reduce(&scored, bs);
+        prop_assert_eq!(staged, flat);
+        // Double-blocking (blocks of blocks) also agrees.
+        let lvl1 = block_reduce(&scored, bs);
+        let lvl2 = block_reduce(&lvl1, 3);
+        let (w, _) = (tree_reduce(lvl2).0, ());
+        prop_assert_eq!(w, flat);
+    }
+
+    #[test]
+    fn max_det_total_order(
+        a in (0u64..10, 0u32..6, 0u32..6),
+        b in (0u64..10, 0u32..6, 0u32..6),
+        c in (0u64..10, 0u32..6, 0u32..6),
+    ) {
+        let mk = |(s, g0, g1): (u64, u32, u32)| Scored::<2> {
+            score: s, tp: 0, tn: 0, genes: [g0.min(g1), g0.min(g1) + 1 + g0.max(g1)],
+        };
+        let (x, y, z) = (mk(a), mk(b), mk(c));
+        // Associativity and commutativity of the combiner.
+        prop_assert_eq!(x.max_det(y), y.max_det(x));
+        prop_assert_eq!(x.max_det(y).max_det(z), x.max_det(y.max_det(z)));
+        // Idempotence.
+        prop_assert_eq!(x.max_det(x), x);
+    }
+}

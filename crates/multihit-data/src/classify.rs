@@ -1,0 +1,288 @@
+//! The per-cancer combination classifier and its accuracy metrics (§IV-F,
+//! Fig 9).
+//!
+//! Given the combinations `c₁ … cₚ` discovered on the training split, a
+//! sample is classified **tumor** iff it carries mutations in *all* genes of
+//! *any* one combination, else **normal**. Sensitivity is measured on
+//! held-out tumor samples, specificity on held-out normals, each with a
+//! Wilson-score 95% confidence interval (the error bars of Fig 9).
+
+use multihit_core::bitmat::BitMatrix;
+
+/// A disjunction-of-conjunctions classifier over gene ids.
+///
+/// ```
+/// use multihit_core::bitmat::BitMatrix;
+/// use multihit_data::classify::ComboClassifier;
+///
+/// // Sample 0 carries genes {0,1}; sample 1 carries gene 0 only.
+/// let m = BitMatrix::from_rows(2, 2, &[vec![0, 1], vec![0]]);
+/// let clf = ComboClassifier::from_fixed(&[[0u32, 1]]);
+/// assert!(clf.classify(&m, 0));
+/// assert!(!clf.classify(&m, 1));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ComboClassifier {
+    /// Each inner vec is one combination (all genes must be mutated).
+    pub combinations: Vec<Vec<u32>>,
+}
+
+impl ComboClassifier {
+    /// Build from fixed-arity combinations (e.g. greedy `[u32; 4]` output).
+    #[must_use]
+    pub fn from_fixed<const H: usize>(combos: &[[u32; H]]) -> Self {
+        ComboClassifier {
+            combinations: combos.iter().map(|c| c.to_vec()).collect(),
+        }
+    }
+
+    /// Classify one sample column of `m`: true = tumor.
+    #[must_use]
+    pub fn classify(&self, m: &BitMatrix, sample: usize) -> bool {
+        self.combinations
+            .iter()
+            .any(|c| c.iter().all(|&g| m.get(g as usize, sample)))
+    }
+
+    /// Number of tumor-classified samples in a matrix.
+    #[must_use]
+    pub fn count_positive(&self, m: &BitMatrix) -> usize {
+        (0..m.n_samples()).filter(|&s| self.classify(m, s)).count()
+    }
+
+    /// Evaluate on a held-out split: sensitivity over `test_tumor`,
+    /// specificity over `test_normal`.
+    #[must_use]
+    pub fn evaluate(&self, test_tumor: &BitMatrix, test_normal: &BitMatrix) -> Performance {
+        let tp = self.count_positive(test_tumor);
+        let fp = self.count_positive(test_normal);
+        Performance {
+            sensitivity: Proportion::new(tp, test_tumor.n_samples()),
+            specificity: Proportion::new(test_normal.n_samples() - fp, test_normal.n_samples()),
+        }
+    }
+}
+
+/// A proportion with its Wilson-score confidence interval.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Proportion {
+    /// Successes.
+    pub hits: usize,
+    /// Trials.
+    pub total: usize,
+}
+
+impl Proportion {
+    /// Construct; `hits ≤ total` is required.
+    #[must_use]
+    pub fn new(hits: usize, total: usize) -> Self {
+        assert!(hits <= total, "{hits} successes out of {total} trials");
+        Proportion { hits, total }
+    }
+
+    /// Point estimate (0 when there are no trials).
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+
+    /// Wilson score interval at the given z (1.96 ⇒ 95%).
+    #[must_use]
+    pub fn wilson_ci(&self, z: f64) -> (f64, f64) {
+        if self.total == 0 {
+            return (0.0, 1.0);
+        }
+        let n = self.total as f64;
+        let p = self.value();
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half = (z / denom) * ((p * (1.0 - p) / n) + z2 / (4.0 * n * n)).sqrt();
+        ((center - half).max(0.0), (center + half).min(1.0))
+    }
+
+    /// The conventional 95% interval.
+    #[must_use]
+    pub fn ci95(&self) -> (f64, f64) {
+        self.wilson_ci(1.959_963_984_540_054)
+    }
+}
+
+/// Sensitivity/specificity pair for one cancer type.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Performance {
+    /// P(classified tumor | tumor).
+    pub sensitivity: Proportion,
+    /// P(classified normal | normal).
+    pub specificity: Proportion,
+}
+
+/// Average performance across cancer types (the paper reports 83%
+/// sensitivity / 90% specificity averaged over 11 types).
+#[must_use]
+pub fn average(perfs: &[Performance]) -> (f64, f64) {
+    if perfs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = perfs.len() as f64;
+    (
+        perfs.iter().map(|p| p.sensitivity.value()).sum::<f64>() / n,
+        perfs.iter().map(|p| p.specificity.value()).sum::<f64>() / n,
+    )
+}
+
+/// Percentile-bootstrap 95% CI of the *mean* of `values` — how the paper's
+/// Fig 9 qualifies its cross-cancer averages ("83% sensitivity, 95% CI
+/// 72–90%": variation across the 11 types, not within one cohort).
+///
+/// Deterministic in the seed. Returns `(lo, hi)`; degenerate inputs yield
+/// the point mass.
+#[must_use]
+pub fn bootstrap_mean_ci95(values: &[f64], resamples: usize, seed: u64) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    if values.len() == 1 || resamples == 0 {
+        return (values[0], values[0]);
+    }
+    // Small xorshift so the data crate needs no extra RNG plumbing here.
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let n = values.len();
+    let mut means: Vec<f64> = (0..resamples)
+        .map(|_| {
+            let mut acc = 0.0;
+            for _ in 0..n {
+                acc += values[(next() % n as u64) as usize];
+            }
+            acc / n as f64
+        })
+        .collect();
+    means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pick = |q: f64| means[((means.len() - 1) as f64 * q).round() as usize];
+    (pick(0.025), pick(0.975))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(rows: &[Vec<usize>], n: usize) -> BitMatrix {
+        BitMatrix::from_rows(rows.len(), n, rows)
+    }
+
+    #[test]
+    fn classify_requires_all_genes_of_some_combo() {
+        // 3 genes, 3 samples. Combo {0,1}.
+        let m = matrix(&[vec![0, 1], vec![0, 2], vec![]], 3);
+        let c = ComboClassifier::from_fixed(&[[0u32, 1]]);
+        assert!(c.classify(&m, 0)); // has both
+        assert!(!c.classify(&m, 1)); // gene 0 only
+        assert!(!c.classify(&m, 2)); // gene 1 only
+    }
+
+    #[test]
+    fn any_combo_suffices() {
+        let m = matrix(&[vec![0], vec![0], vec![1], vec![1]], 2);
+        let c = ComboClassifier::from_fixed(&[[0u32, 1], [2, 3]]);
+        assert!(c.classify(&m, 0));
+        assert!(c.classify(&m, 1));
+    }
+
+    #[test]
+    fn empty_classifier_calls_everything_normal() {
+        let m = matrix(&[vec![0]], 1);
+        let c = ComboClassifier::default();
+        assert!(!c.classify(&m, 0));
+        let perf = c.evaluate(&m, &m);
+        assert_eq!(perf.sensitivity.value(), 0.0);
+        assert_eq!(perf.specificity.value(), 1.0);
+    }
+
+    #[test]
+    fn evaluate_counts_both_sides() {
+        // Tumor matrix: 2 of 3 samples carry the combo. Normal: 1 of 4 does.
+        let t = matrix(&[vec![0, 1], vec![0, 1, 2]], 3);
+        let n = matrix(&[vec![3], vec![0, 3]], 4);
+        let c = ComboClassifier::from_fixed(&[[0u32, 1]]);
+        let p = c.evaluate(&t, &n);
+        assert_eq!((p.sensitivity.hits, p.sensitivity.total), (2, 3));
+        assert_eq!((p.specificity.hits, p.specificity.total), (3, 4));
+    }
+
+    #[test]
+    fn wilson_ci_brackets_the_point_estimate() {
+        let p = Proportion::new(83, 100);
+        let (lo, hi) = p.ci95();
+        assert!(lo < 0.83 && 0.83 < hi);
+        assert!(lo > 0.74 && hi < 0.90, "({lo}, {hi})");
+    }
+
+    #[test]
+    fn wilson_ci_edge_cases() {
+        let zero = Proportion::new(0, 50);
+        let (lo, _) = zero.ci95();
+        assert_eq!(lo, 0.0);
+        let full = Proportion::new(50, 50);
+        let (_, hi) = full.ci95();
+        assert_eq!(hi, 1.0);
+        let (lo, hi) = Proportion::new(0, 0).ci95();
+        assert_eq!((lo, hi), (0.0, 1.0));
+    }
+
+    #[test]
+    fn wilson_narrows_with_sample_size() {
+        let small = Proportion::new(9, 10).ci95();
+        let large = Proportion::new(900, 1000).ci95();
+        assert!(large.1 - large.0 < small.1 - small.0);
+    }
+
+    #[test]
+    fn average_over_types() {
+        let p = |s: usize, n: usize| Performance {
+            sensitivity: Proportion::new(s, 10),
+            specificity: Proportion::new(n, 10),
+        };
+        let (sens, spec) = average(&[p(8, 9), p(9, 9), p(7, 10)]);
+        assert!((sens - 0.8).abs() < 1e-12);
+        assert!((spec - 28.0 / 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bootstrap_ci_brackets_the_mean() {
+        let vals = [0.7, 0.8, 0.85, 0.9, 0.95, 0.75, 0.88, 0.92, 0.8, 0.83, 0.9];
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let (lo, hi) = bootstrap_mean_ci95(&vals, 2000, 9);
+        assert!(lo < mean && mean < hi, "({lo}, {hi}) vs {mean}");
+        assert!(hi - lo < 0.15, "interval too wide: ({lo}, {hi})");
+        // Deterministic in the seed.
+        assert_eq!(bootstrap_mean_ci95(&vals, 2000, 9), (lo, hi));
+        assert_ne!(bootstrap_mean_ci95(&vals, 2000, 10), (lo, hi));
+    }
+
+    #[test]
+    fn bootstrap_ci_degenerate_inputs() {
+        assert_eq!(bootstrap_mean_ci95(&[], 100, 1), (0.0, 0.0));
+        assert_eq!(bootstrap_mean_ci95(&[0.5], 100, 1), (0.5, 0.5));
+        let constant = [0.9; 8];
+        let (lo, hi) = bootstrap_mean_ci95(&constant, 500, 3);
+        // Resampled means of a constant sample are that constant (up to
+        // float summation ulps).
+        assert!((lo - 0.9).abs() < 1e-12 && (hi - 0.9).abs() < 1e-12, "({lo}, {hi})");
+    }
+
+    #[test]
+    #[should_panic(expected = "successes")]
+    fn proportion_rejects_overflow() {
+        let _ = Proportion::new(5, 3);
+    }
+}

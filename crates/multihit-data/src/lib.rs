@@ -1,0 +1,27 @@
+//! # multihit-data
+//!
+//! The data substrate for the multihit reproduction: synthetic TCGA-like
+//! cohorts with planted ground truth ([`synth`]), within-gene mutation
+//! position modeling ([`positions`]), MAF serialization and summarization
+//! ([`maf`]), seeded train/test splitting ([`split`]), cancer-type presets
+//! at the paper's dimensions ([`presets`]), and the combination classifier
+//! with Wilson confidence intervals ([`classify`]), plus the mutation-level
+//! (site×sample) expansion of §V ([`mutations`]).
+//!
+//! TCGA data cannot ship with a reproduction; the generator here produces
+//! cohorts of the same shape whose correct answers are *known*, which the
+//! paper's own evaluation cannot offer (see DESIGN.md, substitution table).
+
+pub mod classify;
+pub mod maf;
+pub mod mutations;
+pub mod positions;
+pub mod presets;
+pub mod results;
+pub mod split;
+pub mod synth;
+pub mod therapy;
+
+pub use classify::{ComboClassifier, Performance, Proportion};
+pub use presets::CancerType;
+pub use synth::{generate, Cohort, CohortSpec};

@@ -1,0 +1,240 @@
+//! Within-gene mutation **position** modeling — the driver-vs-passenger
+//! analysis behind the paper's Fig 10 and §V discussion.
+//!
+//! The paper's case study: in the top LGG 4-hit combination, IDH1 mutations
+//! concentrate at amino-acid position 132 (400 of 532 tumor samples, 0 of
+//! 329 normals) — a known driver hotspot — while MUC6 mutations scatter
+//! uniformly in tumors and normals alike — passengers. This module generates
+//! position-resolved mutations under exactly those two regimes and provides
+//! the histogram/statistic machinery to tell them apart.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// How a gene's mutations distribute across its positions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PositionModel {
+    /// Driver regime: fraction `concentration` of tumor mutations land on
+    /// `hotspot`; the rest (and all normal mutations) are uniform.
+    Hotspot {
+        /// 1-based amino-acid hotspot position (IDH1: 132).
+        hotspot: u32,
+        /// Fraction of tumor-sample mutations at the hotspot.
+        concentration: f64,
+    },
+    /// Passenger regime: uniform positions in tumors and normals.
+    Uniform,
+}
+
+/// Position-resolved mutation calls for one gene.
+#[derive(Clone, Debug)]
+pub struct PositionProfile {
+    /// Gene symbol.
+    pub gene: String,
+    /// Protein length in amino acids.
+    pub length: u32,
+    /// Tumor mutation positions (1-based), one entry per mutated sample.
+    pub tumor_positions: Vec<u32>,
+    /// Normal mutation positions.
+    pub normal_positions: Vec<u32>,
+}
+
+impl PositionProfile {
+    /// Histogram of positions over `bins` equal-width bins, as *percentages*
+    /// of samples in the cohort (the paper's Fig 10 y-axis).
+    #[must_use]
+    pub fn histogram(&self, positions: &[u32], bins: usize, cohort_size: usize) -> Vec<f64> {
+        let mut h = vec![0.0; bins];
+        if cohort_size == 0 || self.length == 0 {
+            return h;
+        }
+        for &p in positions {
+            let b = (((p.saturating_sub(1)) as usize * bins) / self.length as usize).min(bins - 1);
+            h[b] += 100.0 / cohort_size as f64;
+        }
+        h
+    }
+
+    /// The largest fraction of tumor mutations landing on a single position —
+    /// the hotspot statistic. ≈ `concentration` for drivers, ≈ `1/length`
+    /// for passengers.
+    #[must_use]
+    pub fn tumor_hotspot_fraction(&self) -> f64 {
+        peak_fraction(&self.tumor_positions)
+    }
+
+    /// The position carrying the most tumor mutations, if any.
+    #[must_use]
+    pub fn tumor_hotspot_position(&self) -> Option<u32> {
+        mode(&self.tumor_positions)
+    }
+
+    /// Simple driver call: a gene looks like a driver when tumor mutations
+    /// pile on one position that normals avoid.
+    #[must_use]
+    pub fn looks_like_driver(&self, min_fraction: f64) -> bool {
+        let frac = self.tumor_hotspot_fraction();
+        if frac < min_fraction {
+            return false;
+        }
+        match self.tumor_hotspot_position() {
+            None => false,
+            Some(p) => {
+                let n_at = self.normal_positions.iter().filter(|&&q| q == p).count();
+                let t_at = self.tumor_positions.iter().filter(|&&q| q == p).count();
+                // Tumor enrichment at the hotspot dominates normals.
+                n_at * 10 < t_at.max(1)
+            }
+        }
+    }
+}
+
+fn mode(xs: &[u32]) -> Option<u32> {
+    let mut counts = std::collections::HashMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0usize) += 1;
+    }
+    counts.into_iter().max_by_key(|&(p, c)| (c, std::cmp::Reverse(p))).map(|(p, _)| p)
+}
+
+fn peak_fraction(xs: &[u32]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut counts = std::collections::HashMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0usize) += 1;
+    }
+    let max = counts.values().copied().max().unwrap_or(0);
+    max as f64 / xs.len() as f64
+}
+
+/// Generate a position profile: `n_tumor_mut` tumor and `n_normal_mut`
+/// normal mutation events under the given model. Deterministic in the seed.
+#[must_use]
+pub fn generate_profile(
+    gene: &str,
+    length: u32,
+    model: PositionModel,
+    n_tumor_mut: usize,
+    n_normal_mut: usize,
+    seed: u64,
+) -> PositionProfile {
+    assert!(length >= 1, "gene must have at least one position");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9E3779B97F4A7C15);
+    let uniform = |rng: &mut SmallRng| rng.random_range(1..=length);
+    let tumor_positions: Vec<u32> = (0..n_tumor_mut)
+        .map(|_| match model {
+            PositionModel::Hotspot { hotspot, concentration } => {
+                if rng.random::<f64>() < concentration {
+                    hotspot
+                } else {
+                    uniform(&mut rng)
+                }
+            }
+            PositionModel::Uniform => uniform(&mut rng),
+        })
+        .collect();
+    let normal_positions: Vec<u32> = (0..n_normal_mut).map(|_| uniform(&mut rng)).collect();
+    PositionProfile {
+        gene: gene.to_string(),
+        length,
+        tumor_positions,
+        normal_positions,
+    }
+}
+
+/// The paper's Fig 10 pair, at the stated magnitudes: IDH1 (length 414,
+/// hotspot R132, 400 mutated tumors of 532, 0 normals of 329) and MUC6
+/// (length 2439, uniform, passenger-level mutation counts in both cohorts).
+#[must_use]
+pub fn lgg_fig10_profiles(seed: u64) -> (PositionProfile, PositionProfile) {
+    let idh1 = generate_profile(
+        "IDH1",
+        414,
+        PositionModel::Hotspot { hotspot: 132, concentration: 0.97 },
+        400,
+        0,
+        seed,
+    );
+    let muc6 = generate_profile("MUC6", 2439, PositionModel::Uniform, 90, 55, seed + 1);
+    (idh1, muc6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hotspot_gene_concentrates() {
+        let p = generate_profile(
+            "IDH1",
+            414,
+            PositionModel::Hotspot { hotspot: 132, concentration: 0.95 },
+            400,
+            0,
+            7,
+        );
+        assert_eq!(p.tumor_hotspot_position(), Some(132));
+        assert!(p.tumor_hotspot_fraction() > 0.85);
+        assert!(p.looks_like_driver(0.5));
+    }
+
+    #[test]
+    fn uniform_gene_scatters() {
+        let p = generate_profile("MUC6", 2439, PositionModel::Uniform, 90, 55, 11);
+        assert!(p.tumor_hotspot_fraction() < 0.2);
+        assert!(!p.looks_like_driver(0.5));
+    }
+
+    #[test]
+    fn histogram_sums_to_mutation_percentage() {
+        let p = generate_profile("X", 100, PositionModel::Uniform, 50, 0, 3);
+        let h = p.histogram(&p.tumor_positions, 20, 200);
+        let total: f64 = h.iter().sum();
+        // 50 events over a cohort of 200 → 25 percentage points.
+        assert!((total - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_handles_boundaries() {
+        let p = PositionProfile {
+            gene: "B".into(),
+            length: 10,
+            tumor_positions: vec![1, 10, 10],
+            normal_positions: vec![],
+        };
+        let h = p.histogram(&p.tumor_positions, 5, 100);
+        assert!((h[0] - 1.0).abs() < 1e-9);
+        assert!((h[4] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig10_profiles_reproduce_paper_contrast() {
+        let (idh1, muc6) = lgg_fig10_profiles(42);
+        // IDH1: strong tumor hotspot at 132, zero normal mutations.
+        assert_eq!(idh1.tumor_hotspot_position(), Some(132));
+        assert!(idh1.normal_positions.is_empty());
+        assert_eq!(idh1.tumor_positions.len(), 400);
+        assert!(idh1.looks_like_driver(0.5));
+        // MUC6: no driver signal despite plenty of mutations.
+        assert!(!muc6.looks_like_driver(0.5));
+        assert!(!muc6.normal_positions.is_empty());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = generate_profile("A", 500, PositionModel::Uniform, 40, 40, 9);
+        let b = generate_profile("A", 500, PositionModel::Uniform, 40, 40, 9);
+        assert_eq!(a.tumor_positions, b.tumor_positions);
+        assert_eq!(a.normal_positions, b.normal_positions);
+    }
+
+    #[test]
+    fn empty_profile_is_harmless() {
+        let p = generate_profile("E", 100, PositionModel::Uniform, 0, 0, 1);
+        assert_eq!(p.tumor_hotspot_fraction(), 0.0);
+        assert_eq!(p.tumor_hotspot_position(), None);
+        assert!(!p.looks_like_driver(0.1));
+    }
+}

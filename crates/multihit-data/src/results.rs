@@ -1,0 +1,168 @@
+//! Discovery-result serialization — the paper ships its identified
+//! combinations as supporting-information tables; this is the equivalent
+//! machine-readable format: a small TSV with a header of run metadata and
+//! one row per combination, writable and parsable without leaving the
+//! approved dependency set.
+
+use multihit_core::greedy::GreedyResult;
+use std::fmt::Write as _;
+
+/// One serialized combination row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResultRow {
+    /// Selection order (0-based greedy iteration).
+    pub iteration: usize,
+    /// Gene symbols of the combination.
+    pub genes: Vec<String>,
+    /// F value at selection time.
+    pub f: f64,
+    /// Tumor samples newly covered.
+    pub tp: u32,
+    /// True negatives at selection time.
+    pub tn: u32,
+}
+
+/// A whole run's results.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResultsFile {
+    /// Cancer-type / cohort label.
+    pub cohort: String,
+    /// Hits per combination.
+    pub hits: usize,
+    /// Rows in selection order.
+    pub rows: Vec<ResultRow>,
+}
+
+impl ResultsFile {
+    /// Build from a greedy run plus gene symbols.
+    #[must_use]
+    pub fn from_run<const H: usize>(
+        cohort: &str,
+        run: &GreedyResult<H>,
+        names: &[String],
+    ) -> Self {
+        let rows = run
+            .iterations
+            .iter()
+            .enumerate()
+            .map(|(iteration, rec)| ResultRow {
+                iteration,
+                genes: rec.best.genes.iter().map(|&g| names[g as usize].clone()).collect(),
+                f: rec.f,
+                tp: rec.best.tp,
+                tn: rec.best.tn,
+            })
+            .collect();
+        ResultsFile {
+            cohort: cohort.to_string(),
+            hits: H,
+            rows,
+        }
+    }
+
+    /// Serialize to TSV text.
+    #[must_use]
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "#cohort\t{}", self.cohort);
+        let _ = writeln!(out, "#hits\t{}", self.hits);
+        let _ = writeln!(out, "iteration\tgenes\tF\tTP\tTN");
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}\t{}\t{:.6}\t{}\t{}",
+                r.iteration,
+                r.genes.join(","),
+                r.f,
+                r.tp,
+                r.tn
+            );
+        }
+        out
+    }
+
+    /// Parse TSV text produced by [`Self::to_tsv`].
+    ///
+    /// # Errors
+    /// Returns a message naming the first malformed line.
+    pub fn from_tsv(text: &str) -> Result<Self, String> {
+        let mut cohort = String::new();
+        let mut hits = 0usize;
+        let mut rows = Vec::new();
+        for (idx, line) in text.lines().enumerate() {
+            let err = |what: &str| format!("line {}: {what}", idx + 1);
+            if let Some(rest) = line.strip_prefix("#cohort\t") {
+                cohort = rest.to_string();
+            } else if let Some(rest) = line.strip_prefix("#hits\t") {
+                hits = rest.parse().map_err(|_| err("bad hits"))?;
+            } else if line.starts_with("iteration\t") || line.is_empty() {
+                continue;
+            } else {
+                let f: Vec<&str> = line.split('\t').collect();
+                if f.len() != 5 {
+                    return Err(err("expected 5 fields"));
+                }
+                rows.push(ResultRow {
+                    iteration: f[0].parse().map_err(|_| err("bad iteration"))?,
+                    genes: f[1].split(',').map(ToString::to_string).collect(),
+                    f: f[2].parse().map_err(|_| err("bad F"))?,
+                    tp: f[3].parse().map_err(|_| err("bad TP"))?,
+                    tn: f[4].parse().map_err(|_| err("bad TN"))?,
+                });
+            }
+        }
+        if cohort.is_empty() {
+            return Err("missing #cohort header".to_string());
+        }
+        Ok(ResultsFile { cohort, hits, rows })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{gene_symbols, generate, CohortSpec};
+    use multihit_core::greedy::{discover, GreedyConfig};
+
+    #[test]
+    fn tsv_roundtrip() {
+        let cohort = generate(&CohortSpec::default());
+        let names = gene_symbols(&cohort);
+        let run = discover::<3>(
+            &cohort.tumor,
+            &cohort.normal,
+            &GreedyConfig { max_combinations: 3, ..GreedyConfig::default() },
+        );
+        let rf = ResultsFile::from_run("BRCA-synth", &run, &names);
+        let text = rf.to_tsv();
+        let back = ResultsFile::from_tsv(&text).unwrap();
+        assert_eq!(back.cohort, rf.cohort);
+        assert_eq!(back.hits, 3);
+        assert_eq!(back.rows.len(), rf.rows.len());
+        for (a, b) in rf.rows.iter().zip(&back.rows) {
+            assert_eq!(a.genes, b.genes);
+            assert_eq!((a.tp, a.tn), (b.tp, b.tn));
+            assert!((a.f - b.f).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(ResultsFile::from_tsv("").is_err());
+        assert!(ResultsFile::from_tsv("#cohort\tX\n#hits\tnope\n").is_err());
+        let bad = "#cohort\tX\n#hits\t2\niteration\tgenes\tF\tTP\tTN\n0\tA,B\n";
+        let e = ResultsFile::from_tsv(bad).unwrap_err();
+        assert!(e.contains("5 fields"), "{e}");
+    }
+
+    #[test]
+    fn rows_carry_iteration_order() {
+        let cohort = generate(&CohortSpec::default());
+        let names = gene_symbols(&cohort);
+        let run = discover::<2>(&cohort.tumor, &cohort.normal, &GreedyConfig::default());
+        let rf = ResultsFile::from_run("X", &run, &names);
+        for (i, r) in rf.rows.iter().enumerate() {
+            assert_eq!(r.iteration, i);
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Seeded train/test splitting (§III-G: 75% training, 25% test, randomly
+//! selected per cohort).
+//!
+//! A split selects sample *columns*; the resulting sub-matrices are produced
+//! with the same column-splice primitive the core algorithm uses for
+//! BitSplicing, so no second matrix representation exists.
+
+use multihit_core::bitmat::BitMatrix;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Index sets of one cohort split.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Split {
+    /// Training sample indices (sorted).
+    pub train: Vec<usize>,
+    /// Test sample indices (sorted).
+    pub test: Vec<usize>,
+}
+
+/// Split `n` samples with the given training fraction. Deterministic in the
+/// seed; every sample lands in exactly one side; the training side gets
+/// `ceil(n · frac)` samples.
+///
+/// # Panics
+/// Panics unless `0 < frac < 1`.
+#[must_use]
+pub fn split_indices(n: usize, frac: f64, seed: u64) -> Split {
+    assert!(frac > 0.0 && frac < 1.0, "training fraction must be in (0,1)");
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let n_train = ((n as f64) * frac).ceil() as usize;
+    let mut train = idx[..n_train.min(n)].to_vec();
+    let mut test = idx[n_train.min(n)..].to_vec();
+    train.sort_unstable();
+    test.sort_unstable();
+    Split { train, test }
+}
+
+/// Extract the sub-matrix of the given (sorted) sample columns.
+#[must_use]
+pub fn take_columns(m: &BitMatrix, cols: &[usize]) -> BitMatrix {
+    let mut keep = vec![0u64; m.words_per_row().max(1)];
+    for &s in cols {
+        assert!(s < m.n_samples(), "column {s} out of range");
+        keep[s / 64] |= 1u64 << (s % 64);
+    }
+    m.splice_columns(&keep)
+}
+
+/// A cohort split into train/test tumor and normal matrices (the paper's
+/// 75/25 protocol uses independent draws for tumors and normals).
+#[derive(Clone, Debug)]
+pub struct CohortSplit {
+    /// Training tumor matrix.
+    pub train_tumor: BitMatrix,
+    /// Training normal matrix.
+    pub train_normal: BitMatrix,
+    /// Held-out tumor matrix.
+    pub test_tumor: BitMatrix,
+    /// Held-out normal matrix.
+    pub test_normal: BitMatrix,
+}
+
+/// Split tumor and normal matrices 75/25 (or any fraction).
+#[must_use]
+pub fn split_cohort(
+    tumor: &BitMatrix,
+    normal: &BitMatrix,
+    frac: f64,
+    seed: u64,
+) -> CohortSplit {
+    let st = split_indices(tumor.n_samples(), frac, seed);
+    let sn = split_indices(normal.n_samples(), frac, seed.wrapping_add(1));
+    CohortSplit {
+        train_tumor: take_columns(tumor, &st.train),
+        train_normal: take_columns(normal, &sn.train),
+        test_tumor: take_columns(tumor, &st.test),
+        test_normal: take_columns(normal, &sn.test),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_is_a_partition() {
+        let s = split_indices(101, 0.75, 9);
+        assert_eq!(s.train.len(), 76); // ceil(101 * .75)
+        assert_eq!(s.test.len(), 25);
+        let mut all = s.train.clone();
+        all.extend(&s.test);
+        all.sort_unstable();
+        assert_eq!(all, (0..101).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_is_deterministic_and_seed_sensitive() {
+        assert_eq!(split_indices(50, 0.75, 3), split_indices(50, 0.75, 3));
+        assert_ne!(split_indices(50, 0.75, 3), split_indices(50, 0.75, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "training fraction")]
+    fn bad_fraction_panics() {
+        let _ = split_indices(10, 1.0, 0);
+    }
+
+    #[test]
+    fn take_columns_preserves_content() {
+        let m = BitMatrix::from_rows(2, 100, &[vec![0, 50, 99], vec![1, 50]]);
+        let sub = take_columns(&m, &[0, 50, 99]);
+        assert_eq!(sub.n_samples(), 3);
+        assert!(sub.get(0, 0) && sub.get(0, 1) && sub.get(0, 2));
+        assert!(!sub.get(1, 0) && sub.get(1, 1) && !sub.get(1, 2));
+    }
+
+    #[test]
+    fn cohort_split_shapes() {
+        let t = BitMatrix::zeros(5, 80);
+        let n = BitMatrix::zeros(5, 40);
+        let cs = split_cohort(&t, &n, 0.75, 7);
+        assert_eq!(cs.train_tumor.n_samples() + cs.test_tumor.n_samples(), 80);
+        assert_eq!(cs.train_normal.n_samples() + cs.test_normal.n_samples(), 40);
+        assert_eq!(cs.train_tumor.n_samples(), 60);
+        assert_eq!(cs.train_normal.n_samples(), 30);
+        assert_eq!(cs.train_tumor.n_genes(), 5);
+    }
+
+    #[test]
+    fn splits_differ_between_tumor_and_normal_draws() {
+        // Independent seeds for the two cohorts: equal sizes must not force
+        // identical index choices.
+        let s1 = split_indices(40, 0.75, 11);
+        let s2 = split_indices(40, 0.75, 12);
+        assert_ne!(s1.train, s2.train);
+    }
+}

@@ -1,0 +1,296 @@
+//! Synthetic TCGA-like cohort generation with planted ground truth.
+//!
+//! The real study summarizes TCGA MAF files into binary gene×sample
+//! matrices. Our stand-in generator plants known multi-hit driver
+//! combinations inside tumor samples and layers passenger noise over both
+//! tumors and normals, so that
+//!
+//! * the algorithm's input has the same shape and sparsity it would see on
+//!   real data, and
+//! * unlike real data, recovery can be *verified* — the planted combinations
+//!   are the answer key used across the test suite and the Fig 9 harness.
+//!
+//! Passenger propensity varies per gene with a long-tailed factor standing
+//! in for gene length / CpG content (large genes like TTN and MUC16 are
+//! notorious passenger magnets, cf. the paper's MUC6 discussion in §V).
+
+use multihit_core::bitmat::BitMatrix;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a synthetic cohort.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CohortSpec {
+    /// Gene universe size `G`.
+    pub n_genes: usize,
+    /// Tumor samples `Nt`.
+    pub n_tumor: usize,
+    /// Normal samples `Nn`.
+    pub n_normal: usize,
+    /// Number of distinct driver combinations planted.
+    pub n_driver_combos: usize,
+    /// Genes per driver combination (the `h` of the ground truth).
+    pub hits_per_combo: usize,
+    /// Probability a tumor sample carries *all* genes of its assigned
+    /// driver combination (1.0 = fully penetrant).
+    pub driver_penetrance: f64,
+    /// Mean per-gene passenger mutation probability in tumor samples.
+    pub passenger_rate_tumor: f64,
+    /// Mean per-gene passenger mutation probability in normal samples.
+    pub passenger_rate_normal: f64,
+    /// RNG seed; equal specs generate byte-identical cohorts.
+    pub seed: u64,
+}
+
+impl Default for CohortSpec {
+    fn default() -> Self {
+        CohortSpec {
+            n_genes: 60,
+            n_tumor: 120,
+            n_normal: 80,
+            n_driver_combos: 3,
+            hits_per_combo: 3,
+            driver_penetrance: 1.0,
+            passenger_rate_tumor: 0.03,
+            passenger_rate_normal: 0.01,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// A generated cohort: matrices plus the planted answer key.
+#[derive(Clone, Debug)]
+pub struct Cohort {
+    /// Binary gene×sample tumor matrix.
+    pub tumor: BitMatrix,
+    /// Binary gene×sample normal matrix.
+    pub normal: BitMatrix,
+    /// The planted driver combinations (sorted gene ids).
+    pub planted: Vec<Vec<u32>>,
+    /// `assignment[s]` = index into `planted` for tumor sample `s`.
+    pub assignment: Vec<usize>,
+    /// Per-gene passenger propensity multiplier (the "gene length" factor).
+    pub gene_weight: Vec<f64>,
+    /// The spec that produced this cohort.
+    pub spec: CohortSpec,
+}
+
+impl Cohort {
+    /// Gene ids participating in any planted combination.
+    #[must_use]
+    pub fn driver_genes(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.planted.iter().flatten().copied().collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+/// Generate a cohort from a spec. Deterministic in the spec.
+///
+/// # Panics
+/// Panics if the spec cannot be satisfied (e.g. more driver genes than `G`).
+#[must_use]
+pub fn generate(spec: &CohortSpec) -> Cohort {
+    let need = spec.n_driver_combos * spec.hits_per_combo;
+    assert!(
+        need <= spec.n_genes,
+        "need {need} distinct driver genes but G = {}",
+        spec.n_genes
+    );
+    assert!(spec.hits_per_combo >= 1);
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+
+    // Long-tailed per-gene passenger propensity: exp(N(0, 0.8)) clipped.
+    // (Box–Muller from two uniforms keeps us on the approved crate set.)
+    let gene_weight: Vec<f64> = (0..spec.n_genes)
+        .map(|_| {
+            let u1: f64 = rng.random::<f64>().max(1e-12);
+            let u2: f64 = rng.random();
+            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            (0.8 * z).exp().clamp(0.05, 20.0)
+        })
+        .collect();
+
+    // Disjoint driver combinations drawn from a shuffled gene pool.
+    let mut pool: Vec<u32> = (0..spec.n_genes as u32).collect();
+    pool.shuffle(&mut rng);
+    let planted: Vec<Vec<u32>> = (0..spec.n_driver_combos)
+        .map(|c| {
+            let mut genes: Vec<u32> =
+                pool[c * spec.hits_per_combo..(c + 1) * spec.hits_per_combo].to_vec();
+            genes.sort_unstable();
+            genes
+        })
+        .collect();
+
+    let mut tumor = BitMatrix::zeros(spec.n_genes, spec.n_tumor);
+    let mut normal = BitMatrix::zeros(spec.n_genes, spec.n_normal);
+
+    // Assign each tumor to a driver combination (balanced, then shuffled)
+    // and implant its genes with the given penetrance.
+    let mut assignment: Vec<usize> =
+        (0..spec.n_tumor).map(|s| s % spec.n_driver_combos).collect();
+    assignment.shuffle(&mut rng);
+    for (s, &c) in assignment.iter().enumerate() {
+        if rng.random::<f64>() < spec.driver_penetrance {
+            for &g in &planted[c] {
+                tumor.set(g as usize, s, true);
+            }
+        } else {
+            // Partial implantation: drop one gene at random.
+            let skip = rng.random_range(0..spec.hits_per_combo);
+            for (t, &g) in planted[c].iter().enumerate() {
+                if t != skip {
+                    tumor.set(g as usize, s, true);
+                }
+            }
+        }
+    }
+
+    // Passenger noise over both matrices, weighted per gene.
+    for (g, &weight) in gene_weight.iter().enumerate() {
+        let pt = (spec.passenger_rate_tumor * weight).min(0.95);
+        let pn = (spec.passenger_rate_normal * weight).min(0.95);
+        for s in 0..spec.n_tumor {
+            if rng.random::<f64>() < pt {
+                tumor.set(g, s, true);
+            }
+        }
+        for s in 0..spec.n_normal {
+            if rng.random::<f64>() < pn {
+                normal.set(g, s, true);
+            }
+        }
+    }
+
+    Cohort {
+        tumor,
+        normal,
+        planted,
+        assignment,
+        gene_weight,
+        spec: *spec,
+    }
+}
+
+/// Synthetic gene symbols: planted drivers get recognizable names drawn from
+/// the paper's examples, everything else is `Gnnnnn`.
+#[must_use]
+pub fn gene_symbols(cohort: &Cohort) -> Vec<String> {
+    const DRIVER_NAMES: [&str; 8] =
+        ["IDH1", "TP53", "PIK3CA", "KRAS", "BRAF", "EGFR", "PTEN", "RB1"];
+    let drivers = cohort.driver_genes();
+    let mut names: Vec<String> = (0..cohort.spec.n_genes).map(|g| format!("G{g:05}")).collect();
+    for (t, &g) in drivers.iter().enumerate() {
+        if t < DRIVER_NAMES.len() {
+            names[g as usize] = DRIVER_NAMES[t].to_string();
+        }
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = CohortSpec::default();
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert_eq!(a.tumor, b.tumor);
+        assert_eq!(a.normal, b.normal);
+        assert_eq!(a.planted, b.planted);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&CohortSpec::default());
+        let b = generate(&CohortSpec { seed: 999, ..CohortSpec::default() });
+        assert_ne!(a.tumor, b.tumor);
+    }
+
+    #[test]
+    fn planted_combos_are_disjoint_and_sorted() {
+        let c = generate(&CohortSpec { n_driver_combos: 5, ..CohortSpec::default() });
+        let mut all: Vec<u32> = c.planted.iter().flatten().copied().collect();
+        let before = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), before, "driver combos share a gene");
+        for p in &c.planted {
+            assert!(p.windows(2).all(|w| w[0] < w[1]));
+            assert_eq!(p.len(), c.spec.hits_per_combo);
+        }
+    }
+
+    #[test]
+    fn full_penetrance_plants_every_tumor() {
+        let spec = CohortSpec { driver_penetrance: 1.0, ..CohortSpec::default() };
+        let c = generate(&spec);
+        for (s, &a) in c.assignment.iter().enumerate() {
+            for &g in &c.planted[a] {
+                assert!(c.tumor.get(g as usize, s), "sample {s} missing gene {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn normals_are_sparser_than_tumors() {
+        let c = generate(&CohortSpec {
+            n_genes: 100,
+            n_tumor: 200,
+            n_normal: 200,
+            ..CohortSpec::default()
+        });
+        let t_density: u32 = (0..100).map(|g| c.tumor.row_popcount(g)).sum();
+        let n_density: u32 = (0..100).map(|g| c.normal.row_popcount(g)).sum();
+        // Same sample counts: tumors carry drivers + heavier passengers.
+        assert!(t_density > n_density);
+    }
+
+    #[test]
+    fn gene_weights_are_long_tailed() {
+        let c = generate(&CohortSpec { n_genes: 2000, ..CohortSpec::default() });
+        let max = c.gene_weight.iter().cloned().fold(0.0, f64::max);
+        let mean = c.gene_weight.iter().sum::<f64>() / 2000.0;
+        assert!(max > 3.0 * mean, "max {max} vs mean {mean}");
+        assert!(c.gene_weight.iter().all(|&w| (0.05..=20.0).contains(&w)));
+    }
+
+    #[test]
+    fn assignment_is_balanced() {
+        let spec = CohortSpec { n_tumor: 120, n_driver_combos: 3, ..CohortSpec::default() };
+        let c = generate(&spec);
+        let mut counts = [0usize; 3];
+        for &a in &c.assignment {
+            counts[a] += 1;
+        }
+        assert_eq!(counts, [40, 40, 40]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct driver genes")]
+    fn overfull_spec_panics() {
+        let _ = generate(&CohortSpec {
+            n_genes: 5,
+            n_driver_combos: 3,
+            hits_per_combo: 3,
+            ..CohortSpec::default()
+        });
+    }
+
+    #[test]
+    fn driver_symbols_are_applied() {
+        let c = generate(&CohortSpec::default());
+        let names = gene_symbols(&c);
+        assert_eq!(names.len(), c.spec.n_genes);
+        let drivers = c.driver_genes();
+        assert_eq!(names[drivers[0] as usize], "IDH1");
+        // Non-driver genes keep synthetic ids.
+        let non_driver = (0..c.spec.n_genes as u32).find(|g| !drivers.contains(g)).unwrap();
+        assert!(names[non_driver as usize].starts_with('G'));
+    }
+}

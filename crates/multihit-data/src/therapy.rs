@@ -1,0 +1,157 @@
+//! From combinations to therapy targets — the abstract's payoff: "the
+//! multi-hit combinations identified here could ... provide a rational
+//! basis for targeted combination therapy."
+//!
+//! Under the multi-hit model a tumor needs *all* genes of its combination
+//! functional(ly mutated); disrupting **one** gene per combination breaks
+//! it. A therapy panel for a cohort is therefore a *hitting set* of the
+//! discovered combinations — and a small panel (few drug targets) is a
+//! minimum hitting set, NP-hard like the set cover it mirrors, handled with
+//! the same greedy approximation the discovery algorithm uses.
+
+use std::collections::HashMap;
+
+/// A therapy panel: gene targets hitting every combination.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TherapyPanel {
+    /// Selected target genes, in greedy order.
+    pub targets: Vec<u32>,
+    /// `coverage[i]` = number of combinations hit after selecting target
+    /// `i` (cumulative).
+    pub coverage: Vec<usize>,
+}
+
+impl TherapyPanel {
+    /// Does the panel hit (intersect) every given combination?
+    #[must_use]
+    pub fn hits_all(&self, combinations: &[Vec<u32>]) -> bool {
+        combinations
+            .iter()
+            .all(|c| c.iter().any(|g| self.targets.contains(g)))
+    }
+}
+
+/// Greedy minimum hitting set: repeatedly pick the gene present in the most
+/// not-yet-hit combinations (ties → smallest gene id). `ln(n)`-approximate,
+/// like the discovery greedy.
+#[must_use]
+pub fn greedy_panel(combinations: &[Vec<u32>]) -> TherapyPanel {
+    let mut alive: Vec<bool> = vec![true; combinations.len()];
+    let mut remaining = combinations.len();
+    let mut targets = Vec::new();
+    let mut coverage = Vec::new();
+    while remaining > 0 {
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        for (c, &live) in combinations.iter().zip(&alive) {
+            if live {
+                for &g in c {
+                    *counts.entry(g).or_insert(0) += 1;
+                }
+            }
+        }
+        let Some((&best, _)) = counts
+            .iter()
+            .max_by(|(ga, ca), (gb, cb)| ca.cmp(cb).then(gb.cmp(ga)))
+        else {
+            break; // only empty combinations remain
+        };
+        for (idx, c) in combinations.iter().enumerate() {
+            if alive[idx] && c.contains(&best) {
+                alive[idx] = false;
+                remaining -= 1;
+            }
+        }
+        targets.push(best);
+        coverage.push(combinations.len() - remaining);
+    }
+    TherapyPanel { targets, coverage }
+}
+
+/// Rank single genes by how many combinations they participate in — the
+/// "most central driver" view a wet-lab would triage by.
+#[must_use]
+pub fn gene_centrality(combinations: &[Vec<u32>]) -> Vec<(u32, usize)> {
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for c in combinations {
+        for &g in c {
+            *counts.entry(g).or_insert(0) += 1;
+        }
+    }
+    let mut v: Vec<(u32, usize)> = counts.into_iter().collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn combos(cs: &[&[u32]]) -> Vec<Vec<u32>> {
+        cs.iter().map(|c| c.to_vec()).collect()
+    }
+
+    #[test]
+    fn panel_hits_every_combination() {
+        let cs = combos(&[&[0, 1, 2], &[1, 3, 4], &[5, 6, 7], &[2, 6, 8]]);
+        let p = greedy_panel(&cs);
+        assert!(p.hits_all(&cs));
+        assert!(p.targets.len() <= cs.len());
+        // Cumulative coverage is strictly increasing to the total.
+        assert!(p.coverage.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*p.coverage.last().unwrap(), 4);
+    }
+
+    #[test]
+    fn shared_gene_gives_singleton_panel() {
+        let cs = combos(&[&[0, 1, 9], &[2, 3, 9], &[9, 10, 11]]);
+        let p = greedy_panel(&cs);
+        assert_eq!(p.targets, vec![9]);
+    }
+
+    #[test]
+    fn greedy_picks_highest_frequency_first() {
+        // Gene 5 hits 3 combos, nothing else more.
+        let cs = combos(&[&[5, 0], &[5, 1], &[5, 2], &[3, 4]]);
+        let p = greedy_panel(&cs);
+        assert_eq!(p.targets[0], 5);
+        assert_eq!(p.targets.len(), 2);
+    }
+
+    #[test]
+    fn ties_break_to_smaller_gene_id() {
+        let cs = combos(&[&[1, 2], &[1, 2]]);
+        assert_eq!(greedy_panel(&cs).targets, vec![1]);
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        assert_eq!(greedy_panel(&[]).targets, Vec::<u32>::new());
+        // An empty combination can never be hit; don't loop forever.
+        let p = greedy_panel(&combos(&[&[], &[3]]));
+        assert_eq!(p.targets, vec![3]);
+    }
+
+    #[test]
+    fn centrality_ranks_participation() {
+        let cs = combos(&[&[0, 1], &[0, 2], &[0, 3], &[2, 3]]);
+        let rank = gene_centrality(&cs);
+        assert_eq!(rank[0], (0, 3));
+        assert_eq!(rank[1], (2, 2));
+        assert_eq!(rank[2], (3, 2));
+    }
+
+    #[test]
+    fn panel_from_discovery_output() {
+        // End-to-end: discover on a planted cohort, derive the panel; the
+        // panel must hit every discovered combination and stay small.
+        use crate::synth::{generate, CohortSpec};
+        use multihit_core::greedy::{discover, GreedyConfig};
+        let cohort = generate(&CohortSpec::default());
+        let run = discover::<3>(&cohort.tumor, &cohort.normal, &GreedyConfig::default());
+        let cs: Vec<Vec<u32>> = run.combinations.iter().map(|c| c.to_vec()).collect();
+        let p = greedy_panel(&cs);
+        assert!(p.hits_all(&cs));
+        assert!(p.targets.len() <= cs.len());
+        assert!(!p.targets.is_empty());
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the GPU substrate: profile additivity over
+//! random cuts, cost-model monotonicity, stall normalization, and
+//! functional/analytic agreement at random λ-ranges.
+
+use multihit_core::bitmat::BitMatrix;
+use multihit_core::schemes::Scheme4;
+use multihit_core::weight::Alpha;
+use multihit_gpusim::cost::CostModel;
+use multihit_gpusim::device::GpuSpec;
+use multihit_gpusim::exec::run_maxf4;
+use multihit_gpusim::profile::{kernel_levels4, profile_partitions, profile_range4, WorkProfile};
+use proptest::prelude::*;
+
+fn model() -> CostModel {
+    CostModel::new(GpuSpec::v100_summit())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn profile_additive_over_random_cuts(
+        g in 10u32..120,
+        cuts in prop::collection::vec(0.0f64..1.0, 1..6),
+        w in 1u64..32,
+    ) {
+        let scheme = Scheme4::ThreeXOne;
+        let n = scheme.thread_count(g);
+        let mut bounds: Vec<u64> = cuts.iter().map(|c| (c * n as f64) as u64).collect();
+        bounds.push(0);
+        bounds.push(n);
+        bounds.sort_unstable();
+        bounds.dedup();
+        let whole = profile_range4(scheme, g, w, 0, n);
+        let merged = bounds
+            .windows(2)
+            .map(|b| profile_range4(scheme, g, w, b[0], b[1]))
+            .fold(WorkProfile::default(), WorkProfile::merge);
+        prop_assert_eq!(merged.combos, whole.combos);
+        prop_assert_eq!(merged.inner_words, whole.inner_words);
+        prop_assert_eq!(merged.prefetch_words, whole.prefetch_words);
+        prop_assert_eq!(merged.ops, whole.ops);
+        prop_assert!((merged.inv_inner_sum - whole.inv_inner_sum).abs() < 1e-6);
+    }
+
+    #[test]
+    fn batch_profiles_match_individual(
+        g in 10u32..100,
+        k in 2usize..8,
+        w in 1u64..16,
+    ) {
+        let scheme = Scheme4::TwoXTwo;
+        let n = scheme.thread_count(g);
+        let levels = kernel_levels4(scheme, g);
+        let bounds: Vec<(u64, u64)> = (0..k as u64)
+            .map(|i| (i * n / k as u64, (i + 1) * n / k as u64))
+            .collect();
+        let batch = profile_partitions(&levels, &bounds, w, 2, true);
+        for (b, &(lo, hi)) in batch.iter().zip(&bounds) {
+            prop_assert_eq!(b, &profile_range4(scheme, g, w, lo, hi));
+        }
+    }
+
+    #[test]
+    fn cost_monotone_in_range_width(
+        g in 50u32..300,
+        frac in 0.05f64..0.95,
+        w in 1u64..24,
+    ) {
+        let scheme = Scheme4::ThreeXOne;
+        let n = scheme.thread_count(g);
+        let mid = ((n as f64) * frac) as u64;
+        prop_assume!(mid > 0 && mid < n);
+        let m = model();
+        let part = m.evaluate(&profile_range4(scheme, g, w, 0, mid));
+        let full = m.evaluate(&profile_range4(scheme, g, w, 0, n));
+        prop_assert!(full.time_s >= part.time_s, "full {} < part {}", full.time_s, part.time_s);
+        prop_assert!(full.bytes >= part.bytes);
+    }
+
+    #[test]
+    fn cost_outputs_are_physical(
+        g in 20u32..400,
+        lo_f in 0.0f64..0.8,
+        len_f in 0.01f64..0.2,
+        w in 1u64..32,
+    ) {
+        let scheme = Scheme4::ThreeXOne;
+        let n = scheme.thread_count(g);
+        let lo = (lo_f * n as f64) as u64;
+        let hi = (lo + (len_f * n as f64) as u64 + 1).min(n);
+        let m = model();
+        let c = m.evaluate(&profile_range4(scheme, g, w, lo, hi));
+        prop_assert!(c.time_s > 0.0 && c.time_s.is_finite());
+        prop_assert!((0.0..=1.0).contains(&c.occupancy));
+        prop_assert!(c.bw_fraction > 0.0 && c.bw_fraction <= m.spec.bw_efficiency_peak + 1e-12);
+        prop_assert!(c.dram_gbps() <= m.spec.dram_peak_bps / 1e9 + 1e-9);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&c.issue_efficiency()));
+        let s = m.stalls(&c);
+        prop_assert!((s.total() - (1.0 - c.issue_efficiency())).abs() < 1e-9);
+        prop_assert!(s.memory_dependency >= 0.0 && s.memory_throttle >= 0.0);
+    }
+}
+
+fn lcg_matrices(g: usize, nt: usize, nn: usize, seed: u64) -> (BitMatrix, BitMatrix) {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    let mut t = BitMatrix::zeros(g, nt);
+    let mut n = BitMatrix::zeros(g, nn);
+    for gene in 0..g {
+        for s in 0..nt {
+            if next() % 2 == 0 {
+                t.set(gene, s, true);
+            }
+        }
+        for s in 0..nn {
+            if next() % 4 == 0 {
+                n.set(gene, s, true);
+            }
+        }
+    }
+    (t, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn exec_agrees_with_analytic_profile_on_random_ranges(
+        seed in 0u64..5000,
+        lo_f in 0.0f64..0.9,
+        len_f in 0.02f64..0.3,
+    ) {
+        let (t, n) = lcg_matrices(12, 70, 40, seed);
+        let scheme = Scheme4::ThreeXOne;
+        let total = scheme.thread_count(12);
+        let lo = (lo_f * total as f64) as u64;
+        let hi = (lo + (len_f * total as f64) as u64 + 1).min(total);
+        let out = run_maxf4(&t, &n, Alpha::PAPER, scheme, lo, hi, 64);
+        let w = (t.words_per_row() + n.words_per_row()) as u64;
+        let analytic = profile_range4(scheme, 12, w, lo, hi);
+        prop_assert_eq!(out.profile.combos, analytic.combos);
+        prop_assert_eq!(out.profile.inner_words, analytic.inner_words);
+        prop_assert_eq!(out.profile.n_threads, analytic.n_threads);
+    }
+}

@@ -1,0 +1,239 @@
+//! `multihit` — command-line multi-hit combination discovery.
+//!
+//! ```text
+//! multihit synth    --out-dir DIR [--genes G] [--tumor NT] [--normal NN]
+//!                   [--hits H] [--seed S]
+//! multihit discover --tumor T.maf --normal N.maf --hits H [--out R.tsv]
+//!                   [--max-combos N] [--cohort LABEL]
+//! multihit classify --results R.tsv --tumor T.maf --normal N.maf
+//! ```
+//!
+//! `synth` writes a synthetic cohort as a pair of MAF files plus the planted
+//! ground truth; `discover` runs the greedy weighted-set-cover search over
+//! two MAF files and writes a results TSV; `classify` evaluates a results
+//! file as a tumor/normal classifier against held-out MAFs.
+
+use multihit::core::bitmat::BitMatrix;
+use multihit::core::greedy::{discover, GreedyConfig};
+use multihit::data::classify::ComboClassifier;
+use multihit::data::maf::{matrix_to_records, parse_maf, summarize, write_maf};
+use multihit::data::results::ResultsFile;
+use multihit::data::synth::{gene_symbols, generate, CohortSpec};
+use std::collections::HashMap;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_or<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match arg_value(args, name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad value for {name}: {v}")),
+    }
+}
+
+fn required(args: &[String], name: &str) -> Result<String, String> {
+    arg_value(args, name).ok_or_else(|| format!("missing required argument {name}"))
+}
+
+/// Load a MAF file and summarize it against a gene universe built from the
+/// union of symbols in the provided MAF texts.
+fn load_matrices(
+    tumor_path: &str,
+    normal_path: &str,
+) -> Result<(BitMatrix, BitMatrix, Vec<String>), String> {
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"));
+    let t_recs = parse_maf(&read(tumor_path)?).map_err(|e| format!("{tumor_path}: {e}"))?;
+    let n_recs = parse_maf(&read(normal_path)?).map_err(|e| format!("{normal_path}: {e}"))?;
+    let mut genes: Vec<String> = t_recs
+        .iter()
+        .chain(n_recs.iter())
+        .map(|r| r.hugo_symbol.clone())
+        .collect();
+    genes.sort();
+    genes.dedup();
+    let index: HashMap<String, usize> =
+        genes.iter().enumerate().map(|(i, g)| (g.clone(), i)).collect();
+    let tumor = summarize(&t_recs, &index);
+    let normal = summarize(&n_recs, &index);
+    eprintln!(
+        "universe: {} genes; tumor: {} samples; normal: {} samples",
+        genes.len(),
+        tumor.samples.len(),
+        normal.samples.len()
+    );
+    Ok((tumor.matrix, normal.matrix, genes))
+}
+
+fn cmd_synth(args: &[String]) -> Result<(), String> {
+    let out_dir = required(args, "--out-dir")?;
+    let spec = CohortSpec {
+        n_genes: parse_or(args, "--genes", 40usize)?,
+        n_tumor: parse_or(args, "--tumor", 120usize)?,
+        n_normal: parse_or(args, "--normal", 80usize)?,
+        n_driver_combos: parse_or(args, "--combos", 3usize)?,
+        hits_per_combo: parse_or(args, "--hits", 3usize)?,
+        driver_penetrance: parse_or(args, "--penetrance", 0.9f64)?,
+        passenger_rate_tumor: parse_or(args, "--noise-tumor", 0.04f64)?,
+        passenger_rate_normal: parse_or(args, "--noise-normal", 0.015f64)?,
+        seed: parse_or(args, "--seed", 7u64)?,
+    };
+    let cohort = generate(&spec);
+    let names = gene_symbols(&cohort);
+    let dir = Path::new(&out_dir);
+    std::fs::create_dir_all(dir).map_err(|e| format!("{out_dir}: {e}"))?;
+    let write = |name: &str, text: String| -> Result<(), String> {
+        let p = dir.join(name);
+        std::fs::write(&p, text).map_err(|e| format!("{}: {e}", p.display()))?;
+        println!("wrote {}", p.display());
+        Ok(())
+    };
+    write("tumor.maf", write_maf(&matrix_to_records(&cohort.tumor, &names, "TUMOR")))?;
+    write("normal.maf", write_maf(&matrix_to_records(&cohort.normal, &names, "NORMAL")))?;
+    let truth = cohort
+        .planted
+        .iter()
+        .map(|c| {
+            c.iter().map(|&g| names[g as usize].clone()).collect::<Vec<_>>().join(",")
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    write("truth.txt", truth + "\n")?;
+    Ok(())
+}
+
+/// Uniform row shape across hit counts: (iteration, genes, F, TP, TN).
+type DiscoveryRow = (usize, Vec<u32>, f64, u32, u32);
+
+fn run_discovery(
+    tumor: &BitMatrix,
+    normal: &BitMatrix,
+    hits: usize,
+    max: usize,
+) -> Result<Vec<DiscoveryRow>, String> {
+    let cfg = GreedyConfig { max_combinations: max, ..GreedyConfig::default() };
+    macro_rules! run {
+        ($h:literal) => {{
+            Ok(discover::<$h>(tumor, normal, &cfg)
+                .iterations
+                .iter()
+                .enumerate()
+                .map(|(i, rec)| (i, rec.best.genes.to_vec(), rec.f, rec.best.tp, rec.best.tn))
+                .collect())
+        }};
+    }
+    match hits {
+        2 => run!(2),
+        3 => run!(3),
+        4 => run!(4),
+        5 => run!(5),
+        h => Err(format!("--hits {h} not supported (2-5)")),
+    }
+}
+
+fn cmd_discover(args: &[String]) -> Result<(), String> {
+    let tumor_path = required(args, "--tumor")?;
+    let normal_path = required(args, "--normal")?;
+    let hits: usize = parse_or(args, "--hits", 3usize)?;
+    let max: usize = parse_or(args, "--max-combos", 0usize)?;
+    let cohort = arg_value(args, "--cohort").unwrap_or_else(|| "cohort".to_string());
+    let out = arg_value(args, "--out");
+
+    let (tmat, nmat, genes) = load_matrices(&tumor_path, &normal_path)?;
+    let rows = run_discovery(&tmat, &nmat, hits, max)?;
+
+    let mut rf = ResultsFile { cohort, hits, rows: Vec::new() };
+    for (iteration, gene_ids, f, tp, tn) in rows {
+        rf.rows.push(multihit::data::results::ResultRow {
+            iteration,
+            genes: gene_ids.iter().map(|&g| genes[g as usize].clone()).collect(),
+            f,
+            tp,
+            tn,
+        });
+    }
+    let text = rf.to_tsv();
+    match out {
+        Some(p) => {
+            std::fs::write(&p, &text).map_err(|e| format!("{p}: {e}"))?;
+            println!("wrote {p} ({} combinations)", rf.rows.len());
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_classify(args: &[String]) -> Result<(), String> {
+    let results_path = required(args, "--results")?;
+    let tumor_path = required(args, "--tumor")?;
+    let normal_path = required(args, "--normal")?;
+    let text = std::fs::read_to_string(&results_path).map_err(|e| format!("{results_path}: {e}"))?;
+    let rf = ResultsFile::from_tsv(&text)?;
+    let (tmat, nmat, genes) = load_matrices(&tumor_path, &normal_path)?;
+    let index: HashMap<&str, u32> =
+        genes.iter().enumerate().map(|(i, g)| (g.as_str(), i as u32)).collect();
+    let mut clf = ComboClassifier::default();
+    for row in &rf.rows {
+        let ids: Option<Vec<u32>> =
+            row.genes.iter().map(|g| index.get(g.as_str()).copied()).collect();
+        match ids {
+            Some(ids) => clf.combinations.push(ids),
+            None => eprintln!("warning: combination {:?} has genes absent from the MAFs", row.genes),
+        }
+    }
+    let perf = clf.evaluate(&tmat, &nmat);
+    let (slo, shi) = perf.sensitivity.ci95();
+    let (plo, phi) = perf.specificity.ci95();
+    println!(
+        "sensitivity\t{:.4}\t[{:.4}, {:.4}]\t({}/{})",
+        perf.sensitivity.value(),
+        slo,
+        shi,
+        perf.sensitivity.hits,
+        perf.sensitivity.total
+    );
+    println!(
+        "specificity\t{:.4}\t[{:.4}, {:.4}]\t({}/{})",
+        perf.specificity.value(),
+        plo,
+        phi,
+        perf.specificity.hits,
+        perf.specificity.total
+    );
+    Ok(())
+}
+
+const USAGE: &str = "usage: multihit <synth|discover|classify> [options]
+  synth    --out-dir DIR [--genes G --tumor NT --normal NN --combos C
+           --hits H --penetrance P --noise-tumor X --noise-normal Y --seed S]
+  discover --tumor T.maf --normal N.maf [--hits H --max-combos N
+           --cohort LABEL --out R.tsv]
+  classify --results R.tsv --tumor T.maf --normal N.maf";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "synth" => cmd_synth(rest),
+        "discover" => cmd_discover(rest),
+        "classify" => cmd_classify(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Facade crate re-exporting the multihit workspace.
+//!
+//! See the workspace README for the architecture overview. The member crates:
+//!
+//! * [`core`] — the weighted-set-cover multi-hit algorithm itself;
+//! * [`data`] — synthetic TCGA-like cohorts, MAF I/O, classifiers;
+//! * [`gpusim`] — the V100-like GPU execution / cost-model substrate;
+//! * [`cluster`] — schedulers, message-passing ranks, scale-out driver.
+
+pub use multihit_cluster as cluster;
+pub use multihit_core as core;
+pub use multihit_data as data;
+pub use multihit_gpusim as gpusim;
