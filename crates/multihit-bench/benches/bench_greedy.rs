@@ -25,25 +25,49 @@ fn bench_hits(c: &mut Criterion) {
     let (t2, n2) = cohort(160, 2);
     grp.bench_function("h2_g160", |b| {
         b.iter(|| {
-            discover::<2>(&t2, &n2, &GreedyConfig { parallel: false, max_combinations: 3, ..Default::default() })
-                .combinations
-                .len()
+            discover::<2>(
+                &t2,
+                &n2,
+                &GreedyConfig {
+                    parallel: false,
+                    max_combinations: 3,
+                    ..Default::default()
+                },
+            )
+            .combinations
+            .len()
         })
     });
     let (t3, n3) = cohort(60, 3);
     grp.bench_function("h3_g60", |b| {
         b.iter(|| {
-            discover::<3>(&t3, &n3, &GreedyConfig { parallel: false, max_combinations: 3, ..Default::default() })
-                .combinations
-                .len()
+            discover::<3>(
+                &t3,
+                &n3,
+                &GreedyConfig {
+                    parallel: false,
+                    max_combinations: 3,
+                    ..Default::default()
+                },
+            )
+            .combinations
+            .len()
         })
     });
     let (t4, n4) = cohort(30, 4);
     grp.bench_function("h4_g30", |b| {
         b.iter(|| {
-            discover::<4>(&t4, &n4, &GreedyConfig { parallel: false, max_combinations: 3, ..Default::default() })
-                .combinations
-                .len()
+            discover::<4>(
+                &t4,
+                &n4,
+                &GreedyConfig {
+                    parallel: false,
+                    max_combinations: 3,
+                    ..Default::default()
+                },
+            )
+            .combinations
+            .len()
         })
     });
     grp.finish();
@@ -59,7 +83,11 @@ fn bench_parallel_scan(c: &mut Criterion) {
                 discover::<3>(
                     &t,
                     &n,
-                    &GreedyConfig { parallel: par, max_combinations: 2, ..Default::default() },
+                    &GreedyConfig {
+                        parallel: par,
+                        max_combinations: 2,
+                        ..Default::default()
+                    },
                 )
                 .combinations
                 .len()
@@ -80,7 +108,10 @@ fn bench_distributed(c: &mut Criterion) {
                     &t,
                     &n,
                     &DistributedConfig {
-                        shape: ClusterShape { nodes, gpus_per_node: 2 },
+                        shape: ClusterShape {
+                            nodes,
+                            gpus_per_node: 2,
+                        },
                         max_combinations: 1,
                         ..DistributedConfig::default()
                     },

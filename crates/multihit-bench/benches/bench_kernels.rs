@@ -3,8 +3,8 @@
 //! the modeled-profile evaluation rate at paper scale.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use multihit_core::greedy::ComboScanner;
 use multihit_core::combin::binomial;
+use multihit_core::greedy::ComboScanner;
 use multihit_core::reduce::{gpu_reduce, tree_reduce};
 use multihit_core::schemes::Scheme4;
 use multihit_core::weight::{Alpha, Scored};

@@ -36,7 +36,9 @@ fn bench_pair(c: &mut Criterion) {
 
 fn bench_triple(c: &mut Criterion) {
     let max = binomial(19411, 3);
-    let lambdas: Vec<u64> = (0..1024).map(|i| 1 + (i * 1_000_003_939) % (max - 1)).collect();
+    let lambdas: Vec<u64> = (0..1024)
+        .map(|i| 1 + (i * 1_000_003_939) % (max - 1))
+        .collect();
     let mut g = c.benchmark_group("unrank_triple");
     g.bench_function("exact", |b| {
         b.iter(|| {
@@ -73,7 +75,9 @@ fn bench_triple(c: &mut Criterion) {
 
 fn bench_quad(c: &mut Criterion) {
     let max = binomial(19411, 4);
-    let lambdas: Vec<u64> = (0..1024).map(|i| (i as u64 * 6_700_417_000_003) % max).collect();
+    let lambdas: Vec<u64> = (0..1024)
+        .map(|i| (i as u64 * 6_700_417_000_003) % max)
+        .collect();
     c.bench_function("unrank_tuple4_paper_scale", |b| {
         b.iter(|| {
             let mut acc = 0u32;

@@ -27,9 +27,11 @@ fn bench_scan_levels(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig5_scan_3hit_g120");
     g.sample_size(20);
     for level in MemOptLevel::ALL {
-        g.bench_with_input(BenchmarkId::from_parameter(level.name()), &level, |b, &lv| {
-            b.iter(|| scan_3hit(&t, &n, Alpha::PAPER, lv).best)
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(level.name()),
+            &level,
+            |b, &lv| b.iter(|| scan_3hit(&t, &n, Alpha::PAPER, lv).best),
+        );
     }
     g.finish();
 }
@@ -38,7 +40,10 @@ fn bench_bitsplicing(c: &mut Criterion) {
     let (t, n) = cohort(60);
     let mut g = c.benchmark_group("fig5_greedy_exclusion_g60");
     g.sample_size(10);
-    for (name, excl) in [("mask", Exclusion::Mask), ("bitsplice", Exclusion::BitSplice)] {
+    for (name, excl) in [
+        ("mask", Exclusion::Mask),
+        ("bitsplice", Exclusion::BitSplice),
+    ] {
         g.bench_function(name, |b| {
             b.iter(|| {
                 discover::<3>(

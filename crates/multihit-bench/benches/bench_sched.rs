@@ -37,5 +37,10 @@ fn bench_ed(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_ea_fast_paper_scale, bench_ea_naive_vs_fast_small, bench_ed);
+criterion_group!(
+    benches,
+    bench_ea_fast_paper_scale,
+    bench_ea_naive_vs_fast_small,
+    bench_ed
+);
 criterion_main!(benches);

@@ -38,7 +38,10 @@ fn main() {
         args.remove(pos);
     }
     if args.is_empty() || args.iter().any(|a| a == "all") {
-        args = figs::EXPERIMENTS.iter().map(|(n, _)| n.to_string()).collect();
+        args = figs::EXPERIMENTS
+            .iter()
+            .map(|(n, _)| n.to_string())
+            .collect();
     }
 
     for exp in &args {

@@ -79,7 +79,10 @@ pub fn fig9(g: usize, seed: u64) -> Vec<Table> {
     let spec_vals: Vec<f64> = perfs.iter().map(|p| p.specificity.value()).collect();
     let (slo, shi) = multihit_data::classify::bootstrap_mean_ci95(&sens_vals, 4000, seed);
     let (plo, phi) = multihit_data::classify::bootstrap_mean_ci95(&spec_vals, 4000, seed + 1);
-    let mut s = Table::new("Fig 9 — summary", &["metric", "measured", "ci95_across_types", "paper"]);
+    let mut s = Table::new(
+        "Fig 9 — summary",
+        &["metric", "measured", "ci95_across_types", "paper"],
+    );
     s.row(&[
         "avg sensitivity".into(),
         pct(sens),
@@ -123,12 +126,18 @@ pub fn fig10(seed: u64) -> Vec<Table> {
     }
     let mut s = Table::new(
         "Fig 10 — driver-vs-passenger calls",
-        &["gene", "hotspot_pos", "hotspot_fraction", "looks_like_driver"],
+        &[
+            "gene",
+            "hotspot_pos",
+            "hotspot_fraction",
+            "looks_like_driver",
+        ],
     );
     for p in [&idh1, &muc6] {
         s.row(&[
             p.gene.clone(),
-            p.tumor_hotspot_position().map_or("-".into(), |x| x.to_string()),
+            p.tumor_hotspot_position()
+                .map_or("-".into(), |x| x.to_string()),
             format!("{:.3}", p.tumor_hotspot_fraction()),
             p.looks_like_driver(0.5).to_string(),
         ]);

@@ -35,7 +35,10 @@ pub fn tbl_mutation() -> Vec<Table> {
     let result = discover::<2>(
         &filtered.tumor,
         &filtered.normal,
-        &GreedyConfig { max_combinations: 4, ..GreedyConfig::default() },
+        &GreedyConfig {
+            max_combinations: 4,
+            ..GreedyConfig::default()
+        },
     );
     let mut t = Table::new(
         "Extension — mutation-level discovery (executed)",
@@ -43,7 +46,10 @@ pub fn tbl_mutation() -> Vec<Table> {
     );
     t.row(&["gene universe".into(), "30".into()]);
     t.row(&["mutation sites".into(), mc.sites.len().to_string()]);
-    t.row(&["expansion factor".into(), format!("{:.1}x", mc.expansion_factor(30))]);
+    t.row(&[
+        "expansion factor".into(),
+        format!("{:.1}x", mc.expansion_factor(30)),
+    ]);
     t.row(&["sites kept (recurrence ≥ 5 tumors)".into(), pct(kept)]);
     let discovered: Vec<String> = result
         .combinations
@@ -103,7 +109,10 @@ pub fn tbl_sched_mem() -> Vec<Table> {
     );
     for nodes in [100usize, 1000] {
         let mut base = 0.0f64;
-        for (name, kind) in [("equi-area", SchedulerKind::EquiArea), ("equi-cost", SchedulerKind::EquiCost)] {
+        for (name, kind) in [
+            ("equi-area", SchedulerKind::EquiArea),
+            ("equi-cost", SchedulerKind::EquiCost),
+        ] {
             let mut cfg = ModelConfig::brca(nodes);
             cfg.scheduler = kind;
             cfg.jitter = 0.0;
@@ -143,18 +152,35 @@ pub fn tbl_5hit() -> Vec<Table> {
     let result = discover::<5>(
         &cohort.tumor,
         &cohort.normal,
-        &GreedyConfig { max_combinations: 3, ..GreedyConfig::default() },
+        &GreedyConfig {
+            max_combinations: 3,
+            ..GreedyConfig::default()
+        },
     );
     let dt = t0.elapsed().as_secs_f64();
     let recovered = cohort
         .planted
         .iter()
-        .filter(|p| result.combinations.iter().any(|c| p.iter().all(|g| c.contains(g))))
+        .filter(|p| {
+            result
+                .combinations
+                .iter()
+                .any(|c| p.iter().all(|g| c.contains(g)))
+        })
         .count();
-    let mut t = Table::new("Extension — 5-hit discovery (executed, G=22)", &["metric", "value"]);
+    let mut t = Table::new(
+        "Extension — 5-hit discovery (executed, G=22)",
+        &["metric", "value"],
+    );
     t.row(&["C(22,5) per iteration".into(), binomial(22, 5).to_string()]);
-    t.row(&["combinations found".into(), result.combinations.len().to_string()]);
-    t.row(&["planted 5-hit combos recovered".into(), format!("{recovered}/2")]);
+    t.row(&[
+        "combinations found".into(),
+        result.combinations.len().to_string(),
+    ]);
+    t.row(&[
+        "planted 5-hit combos recovered".into(),
+        format!("{recovered}/2"),
+    ]);
     t.row(&["wall time".into(), fmt_secs(dt)]);
 
     let mut m = Table::new(
@@ -162,16 +188,19 @@ pub fn tbl_5hit() -> Vec<Table> {
         &["h", "C(G,h)", "x vs h-1"],
     );
     // C(19411, 5) overflows u64; use float arithmetic for the table.
-    let binom_f = |n: f64, h: u64| -> f64 {
-        (0..h).map(|d| (n - d as f64) / (h - d) as f64).product()
-    };
+    let binom_f =
+        |n: f64, h: u64| -> f64 { (0..h).map(|d| (n - d as f64) / (h - d) as f64).product() };
     let mut prev = 0f64;
     for h in 2..=6u64 {
         let c = binom_f(19411.0, h);
         m.row(&[
             h.to_string(),
             format!("{c:.3e}"),
-            if prev > 0.0 { format!("{:.0}x", c / prev) } else { "-".into() },
+            if prev > 0.0 {
+                format!("{:.0}x", c / prev)
+            } else {
+                "-".into()
+            },
         ]);
         prev = c;
     }

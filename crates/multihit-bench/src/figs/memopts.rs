@@ -35,7 +35,12 @@ pub fn fig5(g: usize) -> Vec<Table> {
 
     let mut t = Table::new(
         &format!("Fig 5 — memory optimizations, 3-hit scan, G={g}, executed"),
-        &["variant", "wall_time", "speedup_vs_noopt", "inner_reads_words"],
+        &[
+            "variant",
+            "wall_time",
+            "speedup_vs_noopt",
+            "inner_reads_words",
+        ],
     );
     let mut base = 0.0f64;
     for level in MemOptLevel::ALL {
@@ -59,7 +64,10 @@ pub fn fig5(g: usize) -> Vec<Table> {
         &["exclusion", "wall_time", "speedup", "final_words_per_row"],
     );
     let mut times = Vec::new();
-    for (name, excl) in [("Mask (no splice)", Exclusion::Mask), ("BitSplicing", Exclusion::BitSplice)] {
+    for (name, excl) in [
+        ("Mask (no splice)", Exclusion::Mask),
+        ("BitSplicing", Exclusion::BitSplice),
+    ] {
         let cfg = GreedyConfig {
             exclusion: excl,
             parallel: false,
@@ -74,7 +82,10 @@ pub fn fig5(g: usize) -> Vec<Table> {
             name.to_string(),
             fmt_secs(dt),
             format!("{:.2}x", times[0] / dt),
-            r.iterations.last().map_or(0, |i| i.words_per_row).to_string(),
+            r.iterations
+                .last()
+                .map_or(0, |i| i.words_per_row)
+                .to_string(),
         ]);
     }
 

@@ -42,7 +42,10 @@ pub const EXPERIMENTS: &[(&str, Generator)] = &[
 /// Look up an experiment generator by name.
 #[must_use]
 pub fn dispatch(name: &str) -> Option<Generator> {
-    EXPERIMENTS.iter().find(|(n, _)| *n == name).map(|&(_, f)| f)
+    EXPERIMENTS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|&(_, f)| f)
 }
 
 #[cfg(test)]

@@ -2,10 +2,11 @@
 //! and the runtime tables (ED vs EA; historical projections).
 
 use crate::report::{fmt_secs, pct, Table};
-use multihit_cluster::driver::{model_run, ModelConfig, SchedulerKind};
+use multihit_cluster::driver::{model_run, timeline_run_obs, ModelConfig, SchedulerKind};
 use multihit_cluster::timing::{
     average_efficiency, project, strong_scaling_sweep, weak_scaling_sweep,
 };
+use multihit_core::obs::{Obs, RunReport};
 use multihit_core::schemes::Scheme4;
 
 /// Fig 4(a): strong scaling of the modeled BRCA 4-hit run, 100→1000 nodes.
@@ -31,10 +32,7 @@ pub fn fig4a() -> Vec<Table> {
             pp.to_string(),
         ]);
     }
-    let mut s = Table::new(
-        "Fig 4(a) — summary",
-        &["metric", "modeled", "paper"],
-    );
+    let mut s = Table::new("Fig 4(a) — summary", &["metric", "modeled", "paper"]);
     s.row(&[
         "avg efficiency 200-1000".into(),
         pct(average_efficiency(&pts)),
@@ -72,8 +70,7 @@ pub fn fig4b() -> Vec<Table> {
         ]);
     }
     let mut s = Table::new("Fig 4(b) — summary", &["metric", "modeled", "paper"]);
-    let avg =
-        pts[1..].iter().map(|p| p.efficiency).sum::<f64>() / (pts.len() - 1) as f64;
+    let avg = pts[1..].iter().map(|p| p.efficiency).sum::<f64>() / (pts.len() - 1) as f64;
     s.row(&["avg efficiency 200-500".into(), pct(avg), "94.6%".into()]);
     vec![t, s]
 }
@@ -84,19 +81,29 @@ pub fn fig4b() -> Vec<Table> {
 #[must_use]
 pub fn fig8() -> Vec<Table> {
     let cfg = ModelConfig::brca(1000);
-    let run = model_run(&cfg);
-    let timelines = multihit_cluster::driver::timeline_run(&cfg);
-    let ranks = cfg.shape.nodes;
-    let mut comp = vec![0.0f64; ranks];
-    let mut comm = vec![0.0f64; ranks];
-    let mut idle = vec![0.0f64; ranks];
-    for tl in &timelines {
-        for r in 0..ranks {
-            comp[r] += tl.rank_kernel_time(&cfg.shape, r) / cfg.shape.gpus_per_node as f64;
-            comm[r] += tl.rank_comm_time(r);
-            idle[r] += tl.rank_idle_time(&cfg.shape, r);
-        }
-    }
+    // Run the DES with observability on and build every number from the
+    // metrics stream — the same per-rank `rank` points `--metrics-out`
+    // writes — instead of re-walking the timelines.
+    let obs = Obs::enabled();
+    let _ = timeline_run_obs(&cfg, &obs);
+    let report = RunReport::from_events(&obs.events());
+    let ranks = report.ranks.len();
+    let gpus = cfg.shape.gpus_per_node as f64;
+    let comp: Vec<f64> = report
+        .ranks
+        .iter()
+        .map(|r| r.kernel_ns as f64 / 1e9 / gpus)
+        .collect();
+    let comm: Vec<f64> = report
+        .ranks
+        .iter()
+        .map(|r| r.comm_ns as f64 / 1e9)
+        .collect();
+    let idle: Vec<f64> = report
+        .ranks
+        .iter()
+        .map(|r| r.idle_ns as f64 / 1e9)
+        .collect();
     let mut t = Table::new(
         "Fig 8 — per-rank computation / communication / idle, 1000-node BRCA run (DES)",
         &["rank", "comp_s", "comm_s", "idle_s"],
@@ -109,7 +116,7 @@ pub fn fig8() -> Vec<Table> {
             format!("{:.3}", idle[r]),
         ]);
     }
-    let flat_comm = run.comm_total();
+    let flat_comm = report.counters.get("model.comm_ns").copied().unwrap_or(0) as f64 / 1e9;
     let max = comp.iter().cloned().fold(0.0f64, f64::max);
     let min = comp.iter().cloned().fold(f64::INFINITY, f64::min);
     let mean = comp.iter().sum::<f64>() / ranks as f64;
@@ -121,12 +128,15 @@ pub fn fig8() -> Vec<Table> {
     s.row(&["comp max".into(), fmt_secs(max)]);
     s.row(&["comp mean".into(), fmt_secs(mean)]);
     s.row(&["comp min".into(), fmt_secs(min)]);
-    s.row(&["comm max per rank (DES)".into(), fmt_secs(comm.iter().cloned().fold(0.0, f64::max))]);
+    s.row(&[
+        "comm max per rank (DES)".into(),
+        fmt_secs(comm.iter().cloned().fold(0.0, f64::max)),
+    ]);
     s.row(&["comm total (flat model)".into(), fmt_secs(flat_comm)]);
     s.row(&["comm / comp max".into(), pct(flat_comm / max)]);
     s.row(&[
         "makespan Σ (DES)".into(),
-        fmt_secs(timelines.iter().map(|t| t.makespan).sum::<f64>()),
+        fmt_secs(report.makespan_ns.iter().sum::<u64>() as f64 / 1e9),
     ]);
     vec![t, s]
 }
@@ -232,7 +242,14 @@ pub fn tbl_allcancers() -> Vec<Table> {
     use multihit_data::presets::CancerType;
     let mut t = Table::new(
         "Table — modeled 1000-node 4-hit runs, all 11 study cancer types",
-        &["cancer", "genes", "tumors", "iterations", "total time", "combos/iter"],
+        &[
+            "cancer",
+            "genes",
+            "tumors",
+            "iterations",
+            "total time",
+            "combos/iter",
+        ],
     );
     for cancer in CancerType::FOUR_HIT_STUDY {
         let (n_tumor, n_normal, g) = cancer.dimensions();
@@ -240,8 +257,7 @@ pub fn tbl_allcancers() -> Vec<Table> {
         cfg.g = g as u32;
         cfg.n_tumor = n_tumor as u32;
         cfg.n_normal = n_normal as u32;
-        cfg.coverage =
-            multihit_cluster::driver::coverage_profile(n_tumor as u32, 0.55);
+        cfg.coverage = multihit_cluster::driver::coverage_profile(n_tumor as u32, 0.55);
         let run = model_run(&cfg);
         t.row(&[
             cancer.code().to_string(),
@@ -249,7 +265,10 @@ pub fn tbl_allcancers() -> Vec<Table> {
             n_tumor.to_string(),
             run.iterations.len().to_string(),
             fmt_secs(run.total_s),
-            format!("{:.2e}", multihit_core::combin::binomial(g as u64, 4) as f64),
+            format!(
+                "{:.2e}",
+                multihit_core::combin::binomial(g as u64, 4) as f64
+            ),
         ]);
     }
     vec![t]
@@ -296,9 +315,8 @@ mod tests {
     #[test]
     fn esca_2x2_scales_worse_than_3x1() {
         let t = tbl_esca();
-        let eff = |row: &Vec<String>| -> f64 {
-            row[3].trim_end_matches('%').parse::<f64>().unwrap()
-        };
+        let eff =
+            |row: &Vec<String>| -> f64 { row[3].trim_end_matches('%').parse::<f64>().unwrap() };
         assert!(eff(&t[0].rows[0]) < eff(&t[0].rows[1]));
     }
 }

@@ -2,17 +2,21 @@
 //! row per busy interval — the raw material behind Fig 8, exported so the
 //! schedule can be inspected visually.
 
-use crate::report::Table;
+use crate::report::{run_report_tables, Table};
 use multihit_cluster::des::Activity;
-use multihit_cluster::driver::{timeline_run, ModelConfig};
+use multihit_cluster::driver::{timeline_run_obs, ModelConfig};
+use multihit_core::obs::{Obs, RunReport};
 
 /// Emit the first-iteration timeline of a small (20-node) BRCA run: every
 /// kernel, reduce-send, and broadcast-forward interval with its owner.
+/// The per-rank attribution tables at the end come from the observability
+/// stream the run emits — the same `rank` points `--metrics-out` writes.
 #[must_use]
 pub fn timeline(nodes: usize) -> Vec<Table> {
     let mut cfg = ModelConfig::brca(nodes);
     cfg.coverage = vec![1.0];
-    let tls = timeline_run(&cfg);
+    let obs = Obs::enabled();
+    let tls = timeline_run_obs(&cfg, &obs);
     let tl = &tls[0];
     let mut t = Table::new(
         &format!("Timeline — first iteration, {nodes}-node BRCA run (DES Gantt rows)"),
@@ -44,7 +48,10 @@ pub fn timeline(nodes: usize) -> Vec<Table> {
         "comm intervals".into(),
         (tl.intervals.len() - kernels).to_string(),
     ]);
-    vec![t, s]
+    let mut out = vec![t, s];
+    let report = RunReport::from_events(&obs.events());
+    out.extend(run_report_tables(&report));
+    out
 }
 
 #[cfg(test)]

@@ -2,17 +2,55 @@
 //! and Fig 7 (3x1 utilization on BRCA).
 
 use crate::report::{pct, Table};
-use multihit_cluster::driver::{model_run, ModelConfig};
+use multihit_cluster::driver::{model_run_obs, ModelConfig};
+use multihit_core::obs::Obs;
 use multihit_core::schemes::Scheme4;
-use multihit_gpusim::counters::{run_metrics, utilization_summary};
-use multihit_gpusim::CostModel;
 
-fn first_iteration_metrics(cfg: &ModelConfig) -> Vec<multihit_gpusim::GpuRunMetrics> {
+/// One `gpu_metrics` point read back from the observability stream.
+struct GpuProfileRow {
+    gpu: u64,
+    utilization: f64,
+    dram_gbps: f64,
+    stall_mem_dep: f64,
+    stall_mem_throttle: f64,
+    stall_exec_dep: f64,
+}
+
+/// Run the first modeled iteration with observability on and read the
+/// per-GPU profile back out of the stream — the figures consume the same
+/// `gpu_metrics` points `--metrics-out` writes, not a parallel accounting.
+fn first_iteration_rows(cfg: &ModelConfig) -> Vec<GpuProfileRow> {
     let mut one = cfg.clone();
     one.coverage = vec![1.0];
-    let run = model_run(&one);
-    let model = CostModel::new(cfg.node.gpu.clone());
-    run_metrics(&model, &run.iterations[0].per_gpu)
+    let obs = Obs::enabled();
+    let _ = model_run_obs(&one, &obs);
+    obs.events()
+        .iter()
+        .filter(|e| e.name == "gpu_metrics")
+        .map(|e| GpuProfileRow {
+            gpu: e.u64("gpu").unwrap_or(0),
+            utilization: e.f64("utilization").unwrap_or(0.0),
+            dram_gbps: e.f64("dram_gbps").unwrap_or(0.0),
+            stall_mem_dep: e.f64("stall_mem_dep").unwrap_or(0.0),
+            stall_mem_throttle: e.f64("stall_mem_throttle").unwrap_or(0.0),
+            stall_exec_dep: e.f64("stall_exec_dep").unwrap_or(0.0),
+        })
+        .collect()
+}
+
+fn utilization_stats(rows: &[GpuProfileRow]) -> (f64, f64, f64) {
+    if rows.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
+    let mut min = f64::INFINITY;
+    let mut max = 0.0f64;
+    let mut sum = 0.0;
+    for r in rows {
+        min = min.min(r.utilization);
+        max = max.max(r.utilization);
+        sum += r.utilization;
+    }
+    (sum / rows.len() as f64, min, max)
 }
 
 /// Fig 6: per-GPU compute utilization (a), DRAM read/write throughput (b)
@@ -22,7 +60,7 @@ fn first_iteration_metrics(cfg: &ModelConfig) -> Vec<multihit_gpusim::GpuRunMetr
 pub fn fig6() -> Vec<Table> {
     let mut cfg = ModelConfig::acc(100);
     cfg.scheme = Scheme4::TwoXTwo;
-    let metrics = first_iteration_metrics(&cfg);
+    let metrics = first_iteration_rows(&cfg);
 
     let mut t = Table::new(
         "Fig 6 — per-GPU profile, ACC, 2x2 scheme, 600 GPUs (modeled)",
@@ -37,15 +75,15 @@ pub fn fig6() -> Vec<Table> {
     );
     for m in &metrics {
         t.row(&[
-            m.gpu_index.to_string(),
+            m.gpu.to_string(),
             format!("{:.4}", m.utilization),
             format!("{:.1}", m.dram_gbps),
-            format!("{:.4}", m.stalls.memory_dependency),
-            format!("{:.4}", m.stalls.memory_throttle),
-            format!("{:.4}", m.stalls.execution_dependency),
+            format!("{:.4}", m.stall_mem_dep),
+            format!("{:.4}", m.stall_mem_throttle),
+            format!("{:.4}", m.stall_exec_dep),
         ]);
     }
-    let (mean, min, max) = utilization_summary(&metrics);
+    let (mean, min, max) = utilization_stats(&metrics);
     let mut s = Table::new("Fig 6 — summary", &["metric", "value"]);
     s.row(&["gpus".into(), metrics.len().to_string()]);
     s.row(&["utilization mean".into(), pct(mean)]);
@@ -66,20 +104,23 @@ pub fn fig6() -> Vec<Table> {
 #[must_use]
 pub fn fig7() -> Vec<Table> {
     let cfg = ModelConfig::brca(100);
-    let metrics = first_iteration_metrics(&cfg);
+    let metrics = first_iteration_rows(&cfg);
     let mut t = Table::new(
         "Fig 7 — per-GPU utilization, BRCA, 3x1 scheme, 600 GPUs (modeled)",
         &["gpu", "utilization", "dram_gbps"],
     );
     for m in &metrics {
         t.row(&[
-            m.gpu_index.to_string(),
+            m.gpu.to_string(),
             format!("{:.4}", m.utilization),
             format!("{:.1}", m.dram_gbps),
         ]);
     }
-    let (mean, min, max) = utilization_summary(&metrics);
-    let mut s = Table::new("Fig 7 — summary (balanced utilization)", &["metric", "value"]);
+    let (mean, min, max) = utilization_stats(&metrics);
+    let mut s = Table::new(
+        "Fig 7 — summary (balanced utilization)",
+        &["metric", "value"],
+    );
     s.row(&["utilization mean".into(), pct(mean)]);
     s.row(&["utilization min".into(), pct(min)]);
     s.row(&["utilization max".into(), pct(max)]);
@@ -131,7 +172,10 @@ mod tests {
         let corr: f64 = t[1].rows.last().unwrap()[1].parse().unwrap();
         assert!(corr < 0.0, "expected inverse correlation, got {corr}");
         let min: f64 = t[1].rows[2][1].trim_end_matches('%').parse().unwrap();
-        assert!(min < 80.0, "2x2 should show low-utilization GPUs, min={min}%");
+        assert!(
+            min < 80.0,
+            "2x2 should show low-utilization GPUs, min={min}%"
+        );
     }
 
     #[test]

@@ -53,7 +53,9 @@ pub fn fig3(g: u32, gpus: usize) -> Vec<Table> {
 
     let mut t = Table::new(
         &format!("Fig 3(c) — workload per GPU, G={g}, {gpus} GPUs (3x1)"),
-        &["gpu", "ed_lo", "ed_hi", "ed_area", "ea_lo", "ea_hi", "ea_area"],
+        &[
+            "gpu", "ed_lo", "ed_hi", "ed_area", "ea_lo", "ea_hi", "ea_area",
+        ],
     );
     for i in 0..gpus {
         t.row(&[
@@ -98,7 +100,7 @@ mod tests {
         assert_eq!(t.len(), 3);
         assert_eq!(t[0].rows.len(), 45); // C(10,2)
         assert_eq!(t[1].rows.len(), 120); // C(10,3)
-        // Summary: 2x2 spread C(8,2)=28, 3x1 spread 7.
+                                          // Summary: 2x2 spread C(8,2)=28, 3x1 spread 7.
         assert_eq!(t[2].rows[0][4], "28");
         assert_eq!(t[2].rows[1][4], "7");
     }

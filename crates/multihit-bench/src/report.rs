@@ -1,5 +1,9 @@
-//! Console-table and CSV output helpers for the figure harness.
+//! Console-table and CSV output helpers for the figure harness, plus the
+//! renderer that turns an observability [`RunReport`] into tables — the
+//! harness's accounting now comes from the metrics stream the runs emit
+//! rather than from per-figure bookkeeping.
 
+use multihit_core::obs::RunReport;
 use std::fmt::Write as _;
 use std::fs;
 use std::path::Path;
@@ -75,10 +79,18 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for r in &self.rows {
-            let _ = writeln!(out, "{}", r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            let _ = writeln!(
+                out,
+                "{}",
+                r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
         }
         out
     }
@@ -120,6 +132,79 @@ pub fn pct(x: f64) -> String {
     format!("{:.2}%", 100.0 * x)
 }
 
+/// Render an observability [`RunReport`] as tables: per-iteration greedy
+/// progress, per-rank busy/idle attribution, and the final counter registry.
+/// Sections with no data in the stream are omitted.
+#[must_use]
+pub fn run_report_tables(report: &RunReport) -> Vec<Table> {
+    let mut out = Vec::new();
+    if !report.greedy_iters.is_empty() {
+        let mut t = Table::new(
+            "Run report — greedy iterations (from metrics stream)",
+            &[
+                "iter",
+                "scan",
+                "combos",
+                "combos/s",
+                "newly_covered",
+                "remaining",
+            ],
+        );
+        for i in &report.greedy_iters {
+            t.row(&[
+                i.iter.to_string(),
+                fmt_secs(i.scan_ns as f64 / 1e9),
+                i.combos_scored.to_string(),
+                format!("{:.2e}", i.combos_per_sec),
+                i.newly_covered.to_string(),
+                i.remaining.to_string(),
+            ]);
+        }
+        out.push(t);
+    }
+    if !report.ranks.is_empty() {
+        let mut t = Table::new(
+            "Run report — per-rank attribution (from metrics stream)",
+            &["rank", "busy", "idle", "comm", "utilization"],
+        );
+        for (rank, r) in report.ranks.iter().enumerate() {
+            let denom = (r.busy_ns + r.idle_ns) as f64;
+            let util = if denom == 0.0 {
+                0.0
+            } else {
+                r.busy_ns as f64 / denom
+            };
+            t.row(&[
+                rank.to_string(),
+                fmt_secs(r.busy_ns as f64 / 1e9),
+                fmt_secs(r.idle_ns as f64 / 1e9),
+                fmt_secs(r.comm_ns as f64 / 1e9),
+                pct(util),
+            ]);
+        }
+        let mut s = Table::new("Run report — rank summary", &["metric", "value"]);
+        s.row(&["ranks".into(), report.ranks.len().to_string()]);
+        s.row(&[
+            "imbalance (max/mean busy)".into(),
+            format!("{:.4}", report.rank_imbalance()),
+        ]);
+        s.row(&[
+            "mean utilization".into(),
+            pct(report.mean_rank_utilization()),
+        ]);
+        out.push(t);
+        out.push(s);
+    }
+    if !report.counters.is_empty() {
+        let mut t = Table::new("Run report — counters", &["counter", "value"]);
+        for (k, v) in &report.counters {
+            t.row(&[k.clone(), v.to_string()]);
+        }
+        out.push(t);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,6 +226,45 @@ mod tests {
     fn row_width_checked() {
         let mut t = Table::new("T", &["a"]);
         t.row(&["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn run_report_renders_from_stream() {
+        use multihit_core::obs::{Obs, Value};
+        let obs = Obs::enabled();
+        obs.point(
+            "greedy_iter",
+            &[
+                ("iter", Value::U64(0)),
+                ("scan_ns", Value::U64(2_000_000)),
+                ("combos_scored", Value::U64(1000)),
+                ("combos_per_sec", Value::F64(5e8)),
+                ("newly_covered", Value::U64(50)),
+                ("remaining", Value::U64(0)),
+            ],
+        );
+        obs.point(
+            "rank",
+            &[
+                ("rank", Value::U64(0)),
+                ("busy_ns", Value::U64(900)),
+                ("idle_ns", Value::U64(100)),
+                ("comm_ns", Value::U64(10)),
+            ],
+        );
+        obs.counter_add("greedy.iterations", 1);
+        let report = RunReport::from_json_lines(&obs.to_json_lines()).unwrap();
+        let tables = run_report_tables(&report);
+        assert_eq!(tables.len(), 4);
+        assert_eq!(tables[0].rows.len(), 1);
+        assert_eq!(tables[0].rows[0][2], "1000");
+        assert!(tables[1].rows[0][4].starts_with("90.00%"));
+        assert!(tables[3].rows.iter().any(|r| r[0] == "greedy.iterations"));
+    }
+
+    #[test]
+    fn empty_report_renders_no_tables() {
+        assert!(run_report_tables(&RunReport::default()).is_empty());
     }
 
     #[test]

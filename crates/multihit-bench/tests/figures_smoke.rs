@@ -22,7 +22,11 @@ fn cheap_experiments_emit_csvs() {
         .args(["fig2", "fig3", "fig10", "tbl-5hit", "timeline"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("Fig 2"));
     assert!(stdout.contains("Fig 10"));
@@ -30,8 +34,17 @@ fn cheap_experiments_emit_csvs() {
         .unwrap()
         .map(|e| e.unwrap().file_name().into_string().unwrap())
         .collect();
-    for stem in ["fig2_0.csv", "fig3_0.csv", "fig10_0.csv", "tbl_5hit_0.csv", "timeline_0.csv"] {
-        assert!(csvs.contains(&stem.to_string()), "{stem} missing from {csvs:?}");
+    for stem in [
+        "fig2_0.csv",
+        "fig3_0.csv",
+        "fig10_0.csv",
+        "tbl_5hit_0.csv",
+        "timeline_0.csv",
+    ] {
+        assert!(
+            csvs.contains(&stem.to_string()),
+            "{stem} missing from {csvs:?}"
+        );
     }
     // CSVs have a header and at least one data row.
     let text = std::fs::read_to_string(dir.join("fig2_0.csv")).unwrap();
@@ -50,7 +63,11 @@ fn modeled_experiments_run_fast() {
         .args(["fig4a", "fig4b", "fig6", "fig7", "tbl-ed-ea"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     // Modeled paper-scale sweeps must be interactive-speed even in a debug
     // test harness driving a release-independent binary.
     assert!(t0.elapsed().as_secs() < 120, "took {:?}", t0.elapsed());

@@ -13,6 +13,7 @@
 
 use multihit_core::bitmat::BitMatrix;
 use multihit_core::greedy::{best_combination, GreedyConfig};
+use multihit_core::obs::Obs;
 use std::fmt::Write as _;
 
 /// Resumable state of a 4-hit discovery run.
@@ -89,12 +90,17 @@ impl Checkpoint {
             let mut f = line.split('\t');
             match f.next() {
                 Some("genes") => {
-                    n_genes =
-                        Some(f.next().and_then(|v| v.parse().ok()).ok_or_else(|| err("bad genes"))?);
+                    n_genes = Some(
+                        f.next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or_else(|| err("bad genes"))?,
+                    );
                 }
                 Some("tumors") => {
                     n_tumor = Some(
-                        f.next().and_then(|v| v.parse().ok()).ok_or_else(|| err("bad tumors"))?,
+                        f.next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or_else(|| err("bad tumors"))?,
                     );
                 }
                 Some("mask") => {
@@ -148,7 +154,11 @@ impl Checkpoint {
 }
 
 fn hex_words(words: &[u64]) -> String {
-    words.iter().map(|w| format!("{w:016x}")).collect::<Vec<_>>().join(",")
+    words
+        .iter()
+        .map(|w| format!("{w:016x}"))
+        .collect::<Vec<_>>()
+        .join(",")
 }
 
 fn parse_hex_words(s: &str) -> Result<Vec<u64>, String> {
@@ -173,11 +183,41 @@ pub fn run_with_checkpoints<F: FnMut(&Checkpoint)>(
     tumor: &BitMatrix,
     normal: &BitMatrix,
     cfg: &GreedyConfig,
+    ckpt: Checkpoint,
+    budget_iterations: usize,
+    save: F,
+) -> Checkpoint {
+    run_with_checkpoints_obs(
+        tumor,
+        normal,
+        cfg,
+        ckpt,
+        budget_iterations,
+        save,
+        &Obs::disabled(),
+    )
+}
+
+/// [`run_with_checkpoints`] with observability: one `checkpoint` point per
+/// iteration recording the scan wall time and — the quantity a production
+/// run budgets against its allocation — the `save_ns` the checkpoint write
+/// callback took.
+///
+/// # Panics
+/// Panics if the checkpoint fails validation against the input.
+#[allow(clippy::too_many_arguments)]
+pub fn run_with_checkpoints_obs<F: FnMut(&Checkpoint)>(
+    tumor: &BitMatrix,
+    normal: &BitMatrix,
+    cfg: &GreedyConfig,
     mut ckpt: Checkpoint,
     budget_iterations: usize,
     mut save: F,
+    obs: &Obs,
 ) -> Checkpoint {
-    ckpt.validate(tumor).expect("checkpoint does not match input");
+    ckpt.validate(tumor)
+        .expect("checkpoint does not match input");
+    let _run_span = obs.span("checkpointed_run");
     for _ in 0..budget_iterations {
         if ckpt.remaining() == 0 {
             break;
@@ -185,7 +225,9 @@ pub fn run_with_checkpoints<F: FnMut(&Checkpoint)>(
         if cfg.max_combinations != 0 && ckpt.chosen.len() >= cfg.max_combinations {
             break;
         }
+        let scan_start = std::time::Instant::now();
         let best = best_combination::<4>(tumor, normal, Some(&ckpt.uncovered_mask), cfg);
+        let scan_ns = u64::try_from(scan_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         if best.tp == 0 {
             break;
         }
@@ -194,7 +236,22 @@ pub fn run_with_checkpoints<F: FnMut(&Checkpoint)>(
             *m &= !c;
         }
         ckpt.chosen.push(best.genes);
+        let save_start = std::time::Instant::now();
         save(&ckpt);
+        let save_ns = u64::try_from(save_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        if obs.is_enabled() {
+            obs.point(
+                "checkpoint",
+                &[
+                    ("iter", (ckpt.chosen.len() - 1).into()),
+                    ("scan_ns", scan_ns.into()),
+                    ("save_ns", save_ns.into()),
+                    ("remaining", u64::from(ckpt.remaining()).into()),
+                ],
+            );
+            obs.counter_add("checkpoint.saves", 1);
+            obs.counter_add("checkpoint.save_ns", save_ns);
+        }
     }
     ckpt
 }
@@ -243,7 +300,9 @@ mod tests {
         assert!(Checkpoint::from_text("multihit-checkpoint\tv9\n").is_err());
         assert!(Checkpoint::from_text("multihit-checkpoint\tv1\nbogus\t3\n").is_err());
         let missing_mask = "multihit-checkpoint\tv1\ngenes\t5\ntumors\t10\n";
-        assert!(Checkpoint::from_text(missing_mask).unwrap_err().contains("mask"));
+        assert!(Checkpoint::from_text(missing_mask)
+            .unwrap_err()
+            .contains("mask"));
     }
 
     #[test]
@@ -275,7 +334,10 @@ mod tests {
     #[test]
     fn save_hook_fires_every_iteration() {
         let (t, n) = lcg_matrices(9, 80, 40, 7);
-        let cfg = GreedyConfig { parallel: false, ..GreedyConfig::default() };
+        let cfg = GreedyConfig {
+            parallel: false,
+            ..GreedyConfig::default()
+        };
         let mut saves = 0;
         let ckpt = run_with_checkpoints(&t, &n, &cfg, Checkpoint::fresh(&t), 3, |c| {
             saves += 1;

@@ -149,7 +149,10 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect()
     })
 }
 
@@ -255,7 +258,11 @@ mod tests {
     fn broadcast_reaches_all_ranks() {
         for size in [1usize, 2, 4, 6, 9] {
             let out = run_ranks(size, |ctx| {
-                let v = if ctx.rank == 0 { Some(vec![7, 7]) } else { None };
+                let v = if ctx.rank == 0 {
+                    Some(vec![7, 7])
+                } else {
+                    None
+                };
                 ctx.broadcast(v)
             });
             assert!(out.iter().all(|b| b == &vec![7, 7]), "size {size}");

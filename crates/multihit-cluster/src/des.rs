@@ -142,7 +142,11 @@ pub fn simulate_iteration(
     comm: &CommModel,
     record_bytes: u64,
 ) -> Timeline {
-    assert_eq!(gpu_times.len(), shape.total_gpus(), "one time per GPU required");
+    assert_eq!(
+        gpu_times.len(),
+        shape.total_gpus(),
+        "one time per GPU required"
+    );
     let ranks = shape.nodes;
     let mut timeline = Timeline::default();
     let mut queue: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
@@ -223,15 +227,21 @@ pub fn simulate_iteration(
         }
     }
 
-    timeline.makespan = bcast_done
-        .iter()
-        .copied()
-        .fold(0.0f64, |a, b| if b.is_nan() { a } else { a.max(b) });
+    timeline.makespan =
+        bcast_done
+            .iter()
+            .copied()
+            .fold(0.0f64, |a, b| if b.is_nan() { a } else { a.max(b) });
     timeline
 }
 
 /// Does rank q, viewed as a reduce-tree node, have everything it needs?
-fn reduce_complete(q: usize, ranks: usize, subtree_done: &[f64], arrivals: &[Vec<(usize, f64)>]) -> bool {
+fn reduce_complete(
+    q: usize,
+    ranks: usize,
+    subtree_done: &[f64],
+    arrivals: &[Vec<(usize, f64)>],
+) -> bool {
     if subtree_done[q].is_nan() {
         return false;
     }
@@ -300,7 +310,10 @@ fn advance_rank(
     queue.push(Reverse(Event {
         time: ready + p2p,
         seq: *seq,
-        kind: EventKind::ReduceArrive { to: parent, step: send_step },
+        kind: EventKind::ReduceArrive {
+            to: parent,
+            step: send_step,
+        },
     }));
     *seq += 1;
 }
@@ -350,11 +363,17 @@ mod tests {
     use super::*;
 
     fn shape(nodes: usize) -> ClusterShape {
-        ClusterShape { nodes, gpus_per_node: 2 }
+        ClusterShape {
+            nodes,
+            gpus_per_node: 2,
+        }
     }
 
     fn comm() -> CommModel {
-        CommModel { latency_s: 1.0, per_byte_s: 0.0 } // unit-latency messages
+        CommModel {
+            latency_s: 1.0,
+            per_byte_s: 0.0,
+        } // unit-latency messages
     }
 
     #[test]
@@ -369,7 +388,11 @@ mod tests {
         // Ranks finish at 4.0 and 6.0; rank 1 sends (1 s), root folds at 7,
         // broadcast back (1 s) ⇒ makespan 8.
         let tl = simulate_iteration(&[4.0, 3.0, 6.0, 2.0], &shape(2), &comm(), 32);
-        assert!((tl.makespan - 8.0).abs() < 1e-12, "makespan {}", tl.makespan);
+        assert!(
+            (tl.makespan - 8.0).abs() < 1e-12,
+            "makespan {}",
+            tl.makespan
+        );
     }
 
     #[test]
@@ -378,7 +401,11 @@ mod tests {
         // round 2 (2→0) leaves at 11, lands 12. Broadcast: 0→2 at 13,
         // 0→1 at 14, 2→3 at 14 ⇒ makespan 14.
         let tl = simulate_iteration(&[10.0; 8], &shape(4), &comm(), 32);
-        assert!((tl.makespan - 14.0).abs() < 1e-12, "makespan {}", tl.makespan);
+        assert!(
+            (tl.makespan - 14.0).abs() < 1e-12,
+            "makespan {}",
+            tl.makespan
+        );
     }
 
     #[test]
@@ -390,7 +417,11 @@ mod tests {
         let tl = simulate_iteration(&times, &shape(4), &comm(), 32);
         // 100 (rank2 ready) + 1 (2→0) + 1 (0→2... wait bcast rounds):
         // bcast: 0→2 at 101→102, then 0→1 102→103, 2→3 102→103 ⇒ 103.
-        assert!((tl.makespan - 103.0).abs() < 1e-12, "makespan {}", tl.makespan);
+        assert!(
+            (tl.makespan - 103.0).abs() < 1e-12,
+            "makespan {}",
+            tl.makespan
+        );
     }
 
     #[test]
@@ -418,11 +449,19 @@ mod tests {
         // full tree cost.
         let s = shape(8);
         let times: Vec<f64> = (0..16).map(|i| 1.0 + (i % 5) as f64).collect();
-        let c = CommModel { latency_s: 0.01, per_byte_s: 0.0 };
+        let c = CommModel {
+            latency_s: 0.01,
+            per_byte_s: 0.0,
+        };
         let tl = simulate_iteration(&times, &s, &c, 32);
         let comp_max = times.iter().cloned().fold(0.0f64, f64::max);
         let tree = c.reduce(32, 8) + c.broadcast(32, 8);
         assert!(tl.makespan >= comp_max);
-        assert!(tl.makespan <= comp_max + tree + 1e-9, "{} vs {}", tl.makespan, comp_max + tree);
+        assert!(
+            tl.makespan <= comp_max + tree + 1e-9,
+            "{} vs {}",
+            tl.makespan,
+            comp_max + tree
+        );
     }
 }

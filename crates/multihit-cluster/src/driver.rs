@@ -15,14 +15,28 @@ use crate::comm::{run_ranks, CommModel};
 use crate::sched::{schedule_ea_fast, schedule_ed, Partition};
 use crate::topology::ClusterShape;
 use multihit_core::bitmat::BitMatrix;
+use multihit_core::obs::Obs;
 use multihit_core::schemes::Scheme4;
 use multihit_core::sweep::levels_scheme4;
 use multihit_core::weight::{Alpha, Scored};
-use multihit_gpusim::counters::apply_jitter;
+use multihit_gpusim::counters::{apply_jitter, record_run_metrics, run_metrics};
 use multihit_gpusim::device::NodeSpec;
 use multihit_gpusim::exec::run_maxf4;
 use multihit_gpusim::profile::{kernel_levels4, prefetch_depth4, profile_partitions};
 use multihit_gpusim::{CostModel, GpuCost};
+use std::time::Instant;
+
+fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+fn secs_to_ns(s: f64) -> u64 {
+    if s.is_finite() && s > 0.0 {
+        (s * 1e9).round() as u64
+    } else {
+        0
+    }
+}
 
 /// Which scheduler partitions the λ-range across GPUs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -37,20 +51,63 @@ pub enum SchedulerKind {
 }
 
 impl SchedulerKind {
+    /// Stable name used in metric streams and figure labels.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::EquiDistance => "ED",
+            SchedulerKind::EquiArea => "EA",
+            SchedulerKind::EquiCost => "EC",
+        }
+    }
+
     /// Partition the scheme's λ-range for `parts` GPUs.
     #[must_use]
     pub fn partitions(self, scheme: Scheme4, g: u32, parts: usize) -> Vec<Partition> {
         match self {
             SchedulerKind::EquiDistance => schedule_ed(scheme.thread_count(g), parts),
-            SchedulerKind::EquiArea => {
-                schedule_ea_fast(&levels_scheme4(scheme, g), parts)
-            }
+            SchedulerKind::EquiArea => schedule_ea_fast(&levels_scheme4(scheme, g), parts),
             SchedulerKind::EquiCost => crate::sched_weighted::schedule_ea_weighted(
                 &levels_scheme4(scheme, g),
                 parts,
                 &crate::sched_weighted::CostWeights::v100_3x1(),
             ),
         }
+    }
+
+    /// [`SchedulerKind::partitions`] with observability: wall time of the
+    /// scheduler itself (`partition_ns`) plus the EA-area imbalance of the
+    /// partitioning it produced, as a `sched_partition` point and `sched.*`
+    /// counters.
+    #[must_use]
+    pub fn partitions_obs(
+        self,
+        scheme: Scheme4,
+        g: u32,
+        parts: usize,
+        obs: &Obs,
+    ) -> Vec<Partition> {
+        let start = Instant::now();
+        let partitions = self.partitions(scheme, g, parts);
+        let partition_ns = elapsed_ns(start);
+        if obs.is_enabled() {
+            let levels = levels_scheme4(scheme, g);
+            let imbalance = crate::sched::imbalance(&levels, &partitions);
+            obs.point(
+                "sched_partition",
+                &[
+                    ("scheduler", self.name().into()),
+                    ("scheme", scheme.name().into()),
+                    ("parts", parts.into()),
+                    ("partition_ns", partition_ns.into()),
+                    ("imbalance", imbalance.into()),
+                ],
+            );
+            obs.counter_add("sched.calls", 1);
+            obs.counter_add("sched.partition_ns", partition_ns);
+            obs.gauge_set("sched.imbalance", imbalance);
+        }
+        partitions
     }
 }
 
@@ -125,7 +182,12 @@ fn de_scored(b: &[u8]) -> Scored<4> {
     for (i, g) in genes.iter_mut().enumerate() {
         *g = u32::from_le_bytes(b[16 + 4 * i..20 + 4 * i].try_into().unwrap());
     }
-    Scored { score, tp, tn, genes }
+    Scored {
+        score,
+        tp,
+        tn,
+        genes,
+    }
 }
 
 /// Run 4-hit greedy discovery functionally across simulated ranks and GPUs.
@@ -141,6 +203,22 @@ pub fn distributed_discover4(
     normal: &BitMatrix,
     cfg: &DistributedConfig,
 ) -> DistResult {
+    distributed_discover4_obs(tumor, normal, cfg, &Obs::disabled())
+}
+
+/// [`distributed_discover4`] with observability: scheduler timing
+/// (`sched_partition`), a `rank_exec` point per rank per iteration (kernel
+/// wall time vs. reduce+broadcast wall time), and a `dist_iter` point per
+/// iteration. The discovered combinations are identical to the
+/// uninstrumented run by construction.
+#[must_use]
+pub fn distributed_discover4_obs(
+    tumor: &BitMatrix,
+    normal: &BitMatrix,
+    cfg: &DistributedConfig,
+    obs: &Obs,
+) -> DistResult {
+    let _run_span = obs.span("distributed_discover");
     let g = tumor.n_genes() as u32;
     let mut work_tumor = tumor.clone();
     let mut remaining = tumor.n_samples() as u32;
@@ -152,39 +230,54 @@ pub fn distributed_discover4(
         if cfg.max_combinations != 0 && combinations.len() >= cfg.max_combinations {
             break;
         }
-        let parts = cfg.scheduler.partitions(cfg.scheme, g, n_gpus);
+        let iter_idx = iterations.len();
+        let iter_start = Instant::now();
+        let parts = cfg.scheduler.partitions_obs(cfg.scheme, g, n_gpus, obs);
         // One OS thread per rank; each executes its GPUs' λ-ranges.
         let tumor_ref = &work_tumor;
-        let rank_results: Vec<(Option<Scored<4>>, Vec<u64>)> =
-            run_ranks(cfg.shape.nodes, |ctx| {
-                let mut local = Scored::NEG_INFINITY;
-                let mut combos = Vec::new();
-                for gi in cfg.shape.gpus_of_rank(ctx.rank) {
-                    let p = parts[gi];
-                    let out = run_maxf4(
-                        tumor_ref,
-                        normal,
-                        cfg.alpha,
-                        cfg.scheme,
-                        p.lo,
-                        p.hi,
-                        cfg.block_size,
-                    );
-                    combos.push(out.profile.combos);
-                    local = local.max_det(out.best);
-                }
-                let root =
-                    ctx.reduce_to_root(local, Scored::max_det, ser_scored, |b| {
-                        de_scored(b)
-                    });
-                // Rank 0 broadcasts the winner so every rank splices alike
-                // (here we only need it back on the driver, but the exchange
-                // exercises the real pattern).
-                let winner_bytes =
-                    ctx.broadcast(root.as_ref().map(ser_scored));
-                let winner = de_scored(&winner_bytes);
-                (Some(winner), combos)
-            });
+        let rank_results: Vec<(Option<Scored<4>>, Vec<u64>)> = run_ranks(cfg.shape.nodes, |ctx| {
+            let busy_start = Instant::now();
+            let mut local = Scored::NEG_INFINITY;
+            let mut combos = Vec::new();
+            for gi in cfg.shape.gpus_of_rank(ctx.rank) {
+                let p = parts[gi];
+                let out = run_maxf4(
+                    tumor_ref,
+                    normal,
+                    cfg.alpha,
+                    cfg.scheme,
+                    p.lo,
+                    p.hi,
+                    cfg.block_size,
+                );
+                combos.push(out.profile.combos);
+                local = local.max_det(out.best);
+            }
+            let busy_ns = elapsed_ns(busy_start);
+            let comm_start = Instant::now();
+            let root = ctx.reduce_to_root(local, Scored::max_det, ser_scored, de_scored);
+            // Rank 0 broadcasts the winner so every rank splices alike
+            // (here we only need it back on the driver, but the exchange
+            // exercises the real pattern).
+            let winner_bytes = ctx.broadcast(root.as_ref().map(ser_scored));
+            let comm_ns = elapsed_ns(comm_start);
+            let winner = de_scored(&winner_bytes);
+            if obs.is_enabled() {
+                obs.point(
+                    "rank_exec",
+                    &[
+                        ("iter", iter_idx.into()),
+                        ("rank", ctx.rank.into()),
+                        ("busy_ns", busy_ns.into()),
+                        ("comm_ns", comm_ns.into()),
+                        ("combos", combos.iter().sum::<u64>().into()),
+                    ],
+                );
+                obs.counter_add("dist.rank_busy_ns", busy_ns);
+                obs.counter_add("dist.rank_comm_ns", comm_ns);
+            }
+            (Some(winner), combos)
+        });
 
         let best = rank_results[0].0.expect("root result");
         // All ranks agreed on the winner.
@@ -208,6 +301,18 @@ pub fn distributed_discover4(
                 .flat_map(|(_, c)| c.iter().copied())
                 .collect(),
         });
+        if obs.is_enabled() {
+            obs.point(
+                "dist_iter",
+                &[
+                    ("iter", iter_idx.into()),
+                    ("iter_ns", elapsed_ns(iter_start).into()),
+                    ("newly_covered", u64::from(best.tp).into()),
+                    ("remaining", u64::from(remaining).into()),
+                ],
+            );
+            obs.counter_add("dist.iterations", 1);
+        }
     }
 
     DistResult {
@@ -346,10 +451,22 @@ impl ModeledRun {
 /// Price a full run under the cost models. `O(iterations × gpus × G)`.
 #[must_use]
 pub fn model_run(cfg: &ModelConfig) -> ModeledRun {
+    model_run_obs(cfg, &Obs::disabled())
+}
+
+/// [`model_run`] with observability: scheduler timing (`sched_partition`),
+/// one `model_iter` point per iteration (modeled compute/comm/wall
+/// nanoseconds), and — for the first iteration, where the matrix is whole —
+/// the full per-GPU NVPROF-style profile via
+/// [`multihit_gpusim::counters::record_run_metrics`]. Modeled times are
+/// emitted in nanoseconds so the stream is unit-uniform with measured spans.
+#[must_use]
+pub fn model_run_obs(cfg: &ModelConfig, obs: &Obs) -> ModeledRun {
+    let _run_span = obs.span("model_run");
     let n_gpus = cfg.shape.total_gpus();
     let model = CostModel::new(cfg.node.gpu.clone());
     let wn = u64::from(cfg.n_normal.div_ceil(64));
-    let parts = cfg.scheduler.partitions(cfg.scheme, cfg.g, n_gpus);
+    let parts = cfg.scheduler.partitions_obs(cfg.scheme, cfg.g, n_gpus, obs);
     let levels = kernel_levels4(cfg.scheme, cfg.g);
     let prefetch = prefetch_depth4(cfg.scheme);
     let mid = matches!(cfg.scheme, Scheme4::TwoXTwo | Scheme4::OneXThree);
@@ -384,6 +501,26 @@ pub fn model_run(cfg: &ModelConfig) -> ModeledRun {
         let comm_s = cfg.comm.reduce(32, cfg.shape.nodes) + cfg.comm.broadcast(32, cfg.shape.nodes);
         let time_s = comp + comm_s;
         total_s += time_s;
+        if obs.is_enabled() {
+            obs.point(
+                "model_iter",
+                &[
+                    ("iter", it_idx.into()),
+                    ("remaining", u64::from(remaining).into()),
+                    ("comp_ns", secs_to_ns(comp).into()),
+                    ("comm_ns", secs_to_ns(comm_s).into()),
+                    ("time_ns", secs_to_ns(time_s).into()),
+                ],
+            );
+            obs.counter_add("model.iterations", 1);
+            obs.counter_add("model.comm_ns", secs_to_ns(comm_s));
+            if it_idx == 0 {
+                // Per-GPU profile rows only for the representative first
+                // iteration: paper-scale fleets would otherwise dominate
+                // the stream (6000 GPUs × ~15 iterations).
+                record_run_metrics(obs, &run_metrics(&model, &costs));
+            }
+        }
         iterations.push(ModeledIteration {
             per_gpu: costs,
             per_rank_comp,
@@ -403,12 +540,55 @@ pub fn model_run(cfg: &ModelConfig) -> ModeledRun {
 /// busy/idle/communication attribution instead of aggregate times.
 #[must_use]
 pub fn timeline_run(cfg: &ModelConfig) -> Vec<crate::des::Timeline> {
-    let run = model_run(cfg);
+    timeline_run_obs(cfg, &Obs::disabled())
+}
+
+/// [`timeline_run`] with observability: one `rank` point per rank per
+/// iteration attributing the makespan into `busy_ns` (concurrent kernel
+/// wall + communication), `idle_ns` (waiting on the straggler) and
+/// `comm_ns`, plus one `timeline_iter` point per iteration. By the DES
+/// accounting, `busy_ns + idle_ns = makespan_ns` per rank (up to clamping
+/// and nanosecond rounding) — the driver-level test asserts it.
+#[must_use]
+pub fn timeline_run_obs(cfg: &ModelConfig, obs: &Obs) -> Vec<crate::des::Timeline> {
+    let run = model_run_obs(cfg, obs);
     run.iterations
         .iter()
-        .map(|it| {
+        .enumerate()
+        .map(|(it_idx, it)| {
             let times: Vec<f64> = it.per_gpu.iter().map(|c| c.time_s).collect();
-            crate::des::simulate_iteration(&times, &cfg.shape, &cfg.comm, 32)
+            let tl = crate::des::simulate_iteration(&times, &cfg.shape, &cfg.comm, 32);
+            if obs.is_enabled() {
+                for rank in 0..cfg.shape.nodes {
+                    let kernel_ns = secs_to_ns(tl.rank_kernel_time(&cfg.shape, rank));
+                    let comm_ns = secs_to_ns(tl.rank_comm_time(rank));
+                    let idle_ns = secs_to_ns(tl.rank_idle_time(&cfg.shape, rank));
+                    let makespan_ns = secs_to_ns(tl.makespan);
+                    let busy_ns = makespan_ns.saturating_sub(idle_ns);
+                    obs.point(
+                        "rank",
+                        &[
+                            ("iter", it_idx.into()),
+                            ("rank", rank.into()),
+                            ("busy_ns", busy_ns.into()),
+                            ("idle_ns", idle_ns.into()),
+                            ("comm_ns", comm_ns.into()),
+                            ("kernel_ns", kernel_ns.into()),
+                            ("makespan_ns", makespan_ns.into()),
+                        ],
+                    );
+                    obs.counter_add("rank.busy_ns", busy_ns);
+                    obs.counter_add("rank.idle_ns", idle_ns);
+                }
+                obs.point(
+                    "timeline_iter",
+                    &[
+                        ("iter", it_idx.into()),
+                        ("makespan_ns", secs_to_ns(tl.makespan).into()),
+                    ],
+                );
+            }
+            tl
         })
         .collect()
 }
@@ -421,7 +601,9 @@ mod tests {
     fn lcg_matrices(g: usize, nt: usize, nn: usize, seed: u64) -> (BitMatrix, BitMatrix) {
         let mut state = seed | 1;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
         let mut t = BitMatrix::zeros(g, nt);
@@ -457,7 +639,10 @@ mod tests {
         for scheduler in [SchedulerKind::EquiArea, SchedulerKind::EquiDistance] {
             for scheme in [Scheme4::ThreeXOne, Scheme4::TwoXTwo] {
                 let cfg = DistributedConfig {
-                    shape: ClusterShape { nodes: 3, gpus_per_node: 2 },
+                    shape: ClusterShape {
+                        nodes: 3,
+                        gpus_per_node: 2,
+                    },
                     scheme,
                     scheduler,
                     max_combinations: 3,
@@ -465,7 +650,8 @@ mod tests {
                 };
                 let dist = distributed_discover4(&t, &n, &cfg);
                 assert_eq!(
-                    dist.combinations, reference.combinations,
+                    dist.combinations,
+                    reference.combinations,
                     "{scheduler:?} {}",
                     scheme.name()
                 );
@@ -477,7 +663,10 @@ mod tests {
     fn distributed_workload_audit_matches_scheduler() {
         let (t, n) = lcg_matrices(12, 64, 32, 5);
         let cfg = DistributedConfig {
-            shape: ClusterShape { nodes: 2, gpus_per_node: 3 },
+            shape: ClusterShape {
+                nodes: 2,
+                gpus_per_node: 3,
+            },
             max_combinations: 1,
             ..DistributedConfig::default()
         };
@@ -537,6 +726,53 @@ mod tests {
             let comp = it.per_rank_comp.iter().copied().fold(0.0f64, f64::max);
             assert!(tl.makespan >= comp - 1e-9);
             assert!(tl.makespan <= comp + it.comm_s + 1e-9);
+        }
+    }
+
+    #[test]
+    fn rank_points_account_for_makespan() {
+        // Per iteration and per rank, the `rank` points in the metrics
+        // stream must satisfy busy_ns + idle_ns = makespan_ns: the stream
+        // is a complete attribution of each rank's wall clock.
+        let cfg = ModelConfig::brca(20);
+        let obs = Obs::enabled();
+        let tls = timeline_run_obs(&cfg, &obs);
+        let events = obs.events();
+        let rank_points: Vec<_> = events.iter().filter(|e| e.name == "rank").collect();
+        assert_eq!(rank_points.len(), tls.len() * cfg.shape.nodes);
+        for p in &rank_points {
+            let busy = p.u64("busy_ns").unwrap();
+            let idle = p.u64("idle_ns").unwrap();
+            let makespan = p.u64("makespan_ns").unwrap();
+            assert!(makespan > 0);
+            let sum = busy + idle;
+            let diff = sum.abs_diff(makespan);
+            assert!(
+                diff <= 1,
+                "busy {busy} + idle {idle} != makespan {makespan}"
+            );
+        }
+        // Aggregated the same way RunReport does: mean utilization is a
+        // genuine ratio and some rank is fully busy each iteration.
+        let report = multihit_core::obs::RunReport::from_events(&events);
+        assert_eq!(report.ranks.len(), cfg.shape.nodes);
+        let util = report.mean_rank_utilization();
+        assert!(util > 0.0 && util <= 1.0, "utilization {util}");
+        assert!(report.rank_imbalance() >= 1.0);
+        assert_eq!(report.makespan_ns.len(), tls.len());
+    }
+
+    #[test]
+    fn obs_run_matches_plain_run() {
+        // Instrumentation must not perturb the model: same iterations,
+        // same makespans, bit-identical schedule.
+        let cfg = ModelConfig::brca(20);
+        let plain = timeline_run(&cfg);
+        let observed = timeline_run_obs(&cfg, &Obs::enabled());
+        assert_eq!(plain.len(), observed.len());
+        for (a, b) in plain.iter().zip(&observed) {
+            assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+            assert_eq!(a.intervals.len(), b.intervals.len());
         }
     }
 

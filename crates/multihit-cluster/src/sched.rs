@@ -159,7 +159,10 @@ pub fn schedule_ea_fast(levels: &[Level], parts: usize) -> Vec<Partition> {
 /// Per-partition workload areas (for audits and Fig 3c).
 #[must_use]
 pub fn partition_areas(levels: &[Level], parts: &[Partition]) -> Vec<u64> {
-    parts.iter().map(|p| range_area(levels, p.lo, p.hi)).collect()
+    parts
+        .iter()
+        .map(|p| range_area(levels, p.lo, p.hi))
+        .collect()
 }
 
 /// Load-imbalance ratio: max partition area / mean partition area. 1.0 is
@@ -213,14 +216,9 @@ mod tests {
                     let levels = levels_scheme4(scheme, g);
                     let n = total_threads(&levels);
                     let total = total_area(&levels);
-                    let naive =
-                        schedule_ea_naive(n, total, parts, |l| scheme.workload(l, g));
+                    let naive = schedule_ea_naive(n, total, parts, |l| scheme.workload(l, g));
                     let fast = schedule_ea_fast(&levels, parts);
-                    assert_eq!(
-                        naive, fast,
-                        "g={g} parts={parts} scheme={}",
-                        scheme.name()
-                    );
+                    assert_eq!(naive, fast, "g={g} parts={parts} scheme={}", scheme.name());
                 }
             }
         }
@@ -285,7 +283,13 @@ mod tests {
     fn single_partition_takes_everything() {
         let levels = levels_scheme4(Scheme4::ThreeXOne, 20);
         let p = schedule_ea_fast(&levels, 1);
-        assert_eq!(p, vec![Partition { lo: 0, hi: total_threads(&levels) }]);
+        assert_eq!(
+            p,
+            vec![Partition {
+                lo: 0,
+                hi: total_threads(&levels)
+            }]
+        );
     }
 
     #[test]

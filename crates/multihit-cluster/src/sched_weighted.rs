@@ -111,7 +111,11 @@ mod tests {
     #[test]
     fn zero_extra_weight_degenerates_to_plain_ea() {
         let levels = levels_scheme4(Scheme4::ThreeXOne, 60);
-        let zero = CostWeights { setup: 0.0, prefetch: 0.0, prefetch_rows: 0.0 };
+        let zero = CostWeights {
+            setup: 0.0,
+            prefetch: 0.0,
+            prefetch_rows: 0.0,
+        };
         let weighted = schedule_ea_weighted(&levels, 7, &zero);
         let plain = schedule_ea_fast(&levels, 7);
         assert_eq!(weighted, plain);

@@ -97,10 +97,11 @@ pub fn weak_scaling_sweep(
     );
     let bounds: Vec<(u64, u64)> = parts.iter().map(|p| (p.lo, p.hi)).collect();
     let model = CostModel::new(cfg.node.gpu.clone());
-    let all_costs: Vec<_> = profile_partitions(&levels, &bounds, w, prefetch_depth4(cfg.scheme), mid)
-        .iter()
-        .map(|pr| model.evaluate(pr))
-        .collect();
+    let all_costs: Vec<_> =
+        profile_partitions(&levels, &bounds, w, prefetch_depth4(cfg.scheme), mid)
+            .iter()
+            .map(|pr| model.evaluate(pr))
+            .collect();
     let all_costs = if cfg.jitter > 0.0 {
         apply_jitter(&all_costs, cfg.jitter, cfg.seed)
     } else {
@@ -152,7 +153,10 @@ pub fn project(cfg: &ModelConfig, cpu_ops_per_s: f64) -> Projections {
     one.coverage = vec![1.0];
     let cluster = model_run(&one);
     let mut single = one.clone();
-    single.shape = crate::topology::ClusterShape { nodes: 1, gpus_per_node: 1 };
+    single.shape = crate::topology::ClusterShape {
+        nodes: 1,
+        gpus_per_node: 1,
+    };
     single.jitter = 0.0;
     let single_run = model_run(&single);
     // CPU estimate: the same op count executed by one scalar core.

@@ -3,9 +3,7 @@
 //! counts, and modeled-run sanity.
 
 use multihit_cluster::comm::run_ranks;
-use multihit_cluster::sched::{
-    partition_areas, schedule_ea_fast, schedule_ea_naive, schedule_ed,
-};
+use multihit_cluster::sched::{partition_areas, schedule_ea_fast, schedule_ea_naive, schedule_ed};
 use multihit_cluster::sched_weighted::{schedule_ea_weighted, CostWeights};
 use multihit_core::schemes::Scheme4;
 use multihit_core::sweep::{levels_scheme4, total_area, total_threads, Level};

@@ -202,6 +202,22 @@ impl BitMatrix {
         out
     }
 
+    /// Number of 64-bit words a [`BitMatrix::splice_columns`] call with this
+    /// `keep` mask writes: the spliced matrix's full backing store. The
+    /// metric behind the Fig 5 splice-traffic accounting.
+    ///
+    /// # Panics
+    /// Panics if `keep` has fewer words than a row.
+    #[must_use]
+    pub fn splice_words_written(&self, keep: &[u64]) -> u64 {
+        assert!(keep.len() >= self.words_per_row, "keep mask too short");
+        let kept = keep[..self.words_per_row]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum::<usize>();
+        (self.n_genes * kept.div_ceil(WORD_BITS)) as u64
+    }
+
     /// A full-ones keep-mask for this matrix's column count (tail bits zero).
     #[must_use]
     pub fn full_mask(&self) -> Vec<u64> {

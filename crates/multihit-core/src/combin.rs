@@ -182,7 +182,10 @@ pub fn unrank_triple_float(lambda: u64) -> (u32, u32, u32) {
 /// Colex rank of a strictly increasing `H`-tuple: `Σ_t C(c_t, t+1)`.
 #[must_use]
 pub fn rank_tuple<const H: usize>(c: &[u32; H]) -> u64 {
-    debug_assert!(c.windows(2).all(|w| w[0] < w[1]), "tuple must be strictly increasing");
+    debug_assert!(
+        c.windows(2).all(|w| w[0] < w[1]),
+        "tuple must be strictly increasing"
+    );
     let mut r = 0u64;
     for (t, &ct) in c.iter().enumerate() {
         r += binomial(ct as u64, t as u64 + 1);
@@ -358,7 +361,10 @@ mod tests {
             let l = tet(k);
             assert_eq!(unrank_triple(l), (0, 1, k as u32));
             let l_end = tet(k + 1) - 1;
-            assert_eq!(unrank_triple(l_end), ((k - 2) as u32, (k - 1) as u32, k as u32));
+            assert_eq!(
+                unrank_triple(l_end),
+                ((k - 2) as u32, (k - 1) as u32, k as u32)
+            );
         }
         let last = binomial(g, 3) - 1;
         assert_eq!(
@@ -441,7 +447,9 @@ mod tests {
         assert_eq!(total_2x2, binomial(g as u64, 4));
         let total_3x1: u64 = (0..binomial(g as u64, 3)).map(|l| workload_3x1(l, g)).sum();
         assert_eq!(total_3x1, binomial(g as u64, 4));
-        let total_3hit: u64 = (0..binomial(g as u64, 2)).map(|l| workload_3hit_2x1(l, g)).sum();
+        let total_3hit: u64 = (0..binomial(g as u64, 2))
+            .map(|l| workload_3hit_2x1(l, g))
+            .sum();
         assert_eq!(total_3hit, binomial(g as u64, 3));
     }
 
@@ -450,7 +458,10 @@ mod tests {
         // Fig 2: the 2x2 spread between first and last thread is C(G-2, 2);
         // the 3x1 spread is G-3 (first thread: k=2 → G-3; last: k=G-1 → 0).
         let g = 10u32;
-        assert_eq!(workload_2x2(0, g) - workload_2x2(binomial(10, 2) - 1, g), tri(8));
+        assert_eq!(
+            workload_2x2(0, g) - workload_2x2(binomial(10, 2) - 1, g),
+            tri(8)
+        );
         assert_eq!(workload_3x1(0, g), (g - 3) as u64);
         assert_eq!(workload_3x1(binomial(10, 3) - 1, g), 0);
     }

@@ -20,8 +20,10 @@
 
 use crate::bitmat::BitMatrix;
 use crate::combin::{binomial, unrank_tuple};
+use crate::obs::Obs;
 use crate::weight::{Alpha, Combo, Scored};
 use rayon::prelude::*;
+use std::time::Instant;
 
 /// How covered tumor samples are excluded between iterations.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -30,6 +32,17 @@ pub enum Exclusion {
     BitSplice,
     /// Keep the matrix intact and AND an active mask into every score.
     Mask,
+}
+
+impl Exclusion {
+    /// Stable name used in metric streams.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Exclusion::BitSplice => "BitSplice",
+            Exclusion::Mask => "Mask",
+        }
+    }
 }
 
 /// Configuration for a greedy discovery run.
@@ -139,7 +152,7 @@ impl<'a, const H: usize> ComboScanner<'a, H> {
             partial_t: vec![vec![0; tumor.words_per_row()]; H],
             partial_n: vec![vec![0; normal.words_per_row()]; H],
             combo: unrank_tuple::<H>(start),
-            };
+        };
         s.rebuild_from(H - 1);
         s
     }
@@ -273,6 +286,24 @@ pub fn discover<const H: usize>(
     normal: &BitMatrix,
     cfg: &GreedyConfig,
 ) -> GreedyResult<H> {
+    discover_obs(tumor, normal, cfg, &Obs::disabled())
+}
+
+/// [`discover`] with per-iteration observability.
+///
+/// Emits one `greedy_iter` point per iteration (`scan_ns`, `combos_scored`,
+/// `combos_per_sec`, `splice_ns`, coverage progress) plus `greedy.*`
+/// counters, all under a `discover` span. With a disabled [`Obs`] the
+/// instrumentation is branch-only and the selected combinations are
+/// identical to [`discover`] by construction.
+#[must_use]
+pub fn discover_obs<const H: usize>(
+    tumor: &BitMatrix,
+    normal: &BitMatrix,
+    cfg: &GreedyConfig,
+    obs: &Obs,
+) -> GreedyResult<H> {
+    let _run_span = obs.span("discover");
     let n_tumor = tumor.n_samples() as u32;
     let n_normal = normal.n_samples() as u32;
     let mut work_tumor = tumor.clone();
@@ -285,18 +316,25 @@ pub fn discover<const H: usize>(
         if cfg.max_combinations != 0 && combinations.len() >= cfg.max_combinations {
             break;
         }
+        let iter_span = obs.span("greedy_iter");
         let mask_arg = match cfg.exclusion {
             Exclusion::BitSplice => None,
             Exclusion::Mask => Some(mask.as_slice()),
         };
+        let combos_scored = binomial(work_tumor.n_genes() as u64, H as u64);
+        let scan_start = Instant::now();
         let best = best_combination::<H>(&work_tumor, normal, mask_arg, cfg);
+        let scan_ns = u64::try_from(scan_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         if best.tp == 0 {
             // No combination covers any remaining tumor sample: stall.
+            drop(iter_span);
             break;
         }
         let newly = best.tp;
         remaining -= newly;
         let words = work_tumor.words_per_row();
+        let splice_start = Instant::now();
+        let mut splice_words = 0u64;
         match cfg.exclusion {
             Exclusion::BitSplice => {
                 let cov = work_tumor.cover_mask(&best.genes);
@@ -304,6 +342,7 @@ pub fn discover<const H: usize>(
                 for (k, c) in keep.iter_mut().zip(cov.iter()) {
                     *k &= !c;
                 }
+                splice_words = work_tumor.splice_words_written(&keep);
                 work_tumor = work_tumor.splice_columns(&keep);
             }
             Exclusion::Mask => {
@@ -313,6 +352,35 @@ pub fn discover<const H: usize>(
                 }
             }
         }
+        let splice_ns = u64::try_from(splice_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        if obs.is_enabled() {
+            let combos_per_sec = if scan_ns == 0 {
+                0.0
+            } else {
+                combos_scored as f64 / (scan_ns as f64 / 1e9)
+            };
+            obs.point(
+                "greedy_iter",
+                &[
+                    ("iter", iterations.len().into()),
+                    ("scan_ns", scan_ns.into()),
+                    ("combos_scored", combos_scored.into()),
+                    ("combos_per_sec", combos_per_sec.into()),
+                    ("exclusion", cfg.exclusion.name().into()),
+                    ("splice_ns", splice_ns.into()),
+                    ("splice_words", splice_words.into()),
+                    ("newly_covered", u64::from(newly).into()),
+                    ("remaining", u64::from(remaining).into()),
+                    ("words_per_row", words.into()),
+                ],
+            );
+            obs.counter_add("greedy.iterations", 1);
+            obs.counter_add("greedy.combos_scored", combos_scored);
+            obs.counter_add("greedy.scan_ns", scan_ns);
+            obs.counter_add("greedy.splice_ns", splice_ns);
+            obs.counter_add("greedy.splice_words", splice_words);
+        }
+        drop(iter_span);
         iterations.push(IterationRecord {
             best,
             f: best.f_value(cfg.alpha, n_tumor, n_normal),
@@ -338,7 +406,9 @@ mod tests {
     fn lcg_matrices(g: usize, nt: usize, nn: usize, seed: u64) -> (BitMatrix, BitMatrix) {
         let mut state = seed | 1;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
         let mut t = BitMatrix::zeros(g, nt);
@@ -358,11 +428,7 @@ mod tests {
         (t, n)
     }
 
-    fn brute_best<const H: usize>(
-        t: &BitMatrix,
-        n: &BitMatrix,
-        mask: Option<&[u64]>,
-    ) -> Scored<H> {
+    fn brute_best<const H: usize>(t: &BitMatrix, n: &BitMatrix, mask: Option<&[u64]>) -> Scored<H> {
         let g = t.n_genes() as u64;
         let mut best = Scored::NEG_INFINITY;
         for l in 0..binomial(g, H as u64) {
@@ -387,17 +453,35 @@ mod tests {
     #[test]
     fn scanner_matches_brute_force_h2_h3_h4() {
         let (t, n) = lcg_matrices(11, 100, 60, 5);
-        let cfg = GreedyConfig { parallel: false, ..GreedyConfig::default() };
-        assert_eq!(best_combination::<2>(&t, &n, None, &cfg), brute_best::<2>(&t, &n, None));
-        assert_eq!(best_combination::<3>(&t, &n, None, &cfg), brute_best::<3>(&t, &n, None));
-        assert_eq!(best_combination::<4>(&t, &n, None, &cfg), brute_best::<4>(&t, &n, None));
+        let cfg = GreedyConfig {
+            parallel: false,
+            ..GreedyConfig::default()
+        };
+        assert_eq!(
+            best_combination::<2>(&t, &n, None, &cfg),
+            brute_best::<2>(&t, &n, None)
+        );
+        assert_eq!(
+            best_combination::<3>(&t, &n, None, &cfg),
+            brute_best::<3>(&t, &n, None)
+        );
+        assert_eq!(
+            best_combination::<4>(&t, &n, None, &cfg),
+            brute_best::<4>(&t, &n, None)
+        );
     }
 
     #[test]
     fn parallel_equals_sequential() {
         let (t, n) = lcg_matrices(13, 128, 64, 21);
-        let seq = GreedyConfig { parallel: false, ..GreedyConfig::default() };
-        let par = GreedyConfig { parallel: true, ..GreedyConfig::default() };
+        let seq = GreedyConfig {
+            parallel: false,
+            ..GreedyConfig::default()
+        };
+        let par = GreedyConfig {
+            parallel: true,
+            ..GreedyConfig::default()
+        };
         for _ in 0..2 {
             assert_eq!(
                 best_combination::<3>(&t, &n, None, &par),
@@ -412,7 +496,10 @@ mod tests {
         // Mask off the first word of samples.
         let mut mask = t.full_mask();
         mask[0] = 0;
-        let cfg = GreedyConfig { parallel: false, ..GreedyConfig::default() };
+        let cfg = GreedyConfig {
+            parallel: false,
+            ..GreedyConfig::default()
+        };
         let got = best_combination::<2>(&t, &n, Some(&mask), &cfg);
         assert_eq!(got, brute_best::<2>(&t, &n, Some(&mask)));
     }
@@ -448,7 +535,14 @@ mod tests {
         for s in 0..40 {
             n.set(4, s % 40, true);
         }
-        let res = discover::<2>(&t, &n, &GreedyConfig { parallel: false, ..Default::default() });
+        let res = discover::<2>(
+            &t,
+            &n,
+            &GreedyConfig {
+                parallel: false,
+                ..Default::default()
+            },
+        );
         assert_eq!(res.uncovered, 0);
         assert_eq!(res.combinations.len(), 2);
         let set: std::collections::HashSet<_> = res.combinations.iter().copied().collect();
@@ -462,12 +556,20 @@ mod tests {
         let a = discover::<2>(
             &t,
             &n,
-            &GreedyConfig { exclusion: Exclusion::BitSplice, parallel: false, ..Default::default() },
+            &GreedyConfig {
+                exclusion: Exclusion::BitSplice,
+                parallel: false,
+                ..Default::default()
+            },
         );
         let b = discover::<2>(
             &t,
             &n,
-            &GreedyConfig { exclusion: Exclusion::Mask, parallel: false, ..Default::default() },
+            &GreedyConfig {
+                exclusion: Exclusion::Mask,
+                parallel: false,
+                ..Default::default()
+            },
         );
         assert_eq!(a.combinations, b.combinations);
         assert_eq!(a.uncovered, b.uncovered);
@@ -481,7 +583,14 @@ mod tests {
     #[test]
     fn greedy_iteration_records_are_consistent() {
         let (t, n) = lcg_matrices(8, 100, 50, 12);
-        let res = discover::<2>(&t, &n, &GreedyConfig { parallel: false, ..Default::default() });
+        let res = discover::<2>(
+            &t,
+            &n,
+            &GreedyConfig {
+                parallel: false,
+                ..Default::default()
+            },
+        );
         let mut covered = 0u32;
         for rec in &res.iterations {
             covered += rec.newly_covered;
@@ -498,7 +607,11 @@ mod tests {
         let res = discover::<2>(
             &t,
             &n,
-            &GreedyConfig { max_combinations: 1, parallel: false, ..Default::default() },
+            &GreedyConfig {
+                max_combinations: 1,
+                parallel: false,
+                ..Default::default()
+            },
         );
         assert_eq!(res.combinations.len(), 1);
     }
@@ -509,7 +622,14 @@ mod tests {
         // previous pick's F: the previous argmax dominated the same pool plus
         // covered samples.
         let (t, n) = lcg_matrices(9, 120, 60, 77);
-        let res = discover::<2>(&t, &n, &GreedyConfig { parallel: false, ..Default::default() });
+        let res = discover::<2>(
+            &t,
+            &n,
+            &GreedyConfig {
+                parallel: false,
+                ..Default::default()
+            },
+        );
         for w in res.iterations.windows(2) {
             assert!(w[1].f <= w[0].f + 1e-12);
         }

@@ -22,7 +22,10 @@
 //!   partial-AND scanner;
 //! * [`naive`] — the uncompressed byte-matrix baseline (§II-C comparator);
 //! * [`setcover`] — the generic weighted-set-cover greedy the multi-hit
-//!   problem maps to (§II-B).
+//!   problem maps to (§II-B);
+//! * [`obs`] — dependency-free observability: spans, counters, a JSON-lines
+//!   event stream, and the [`obs::RunReport`] aggregate consumers build
+//!   from it.
 //!
 //! ## Quick start
 //!
@@ -43,6 +46,7 @@ pub mod combin;
 pub mod greedy;
 pub mod memopt;
 pub mod naive;
+pub mod obs;
 pub mod reduce;
 pub mod schemes;
 pub mod setcover;
@@ -51,4 +55,5 @@ pub mod weight;
 
 pub use bitmat::BitMatrix;
 pub use greedy::{discover, GreedyConfig, GreedyResult};
+pub use obs::{Obs, RunReport};
 pub use weight::{Alpha, Combo, Scored};

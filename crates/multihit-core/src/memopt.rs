@@ -20,6 +20,7 @@
 
 use crate::bitmat::BitMatrix;
 use crate::combin::unrank_pair;
+use crate::obs::Obs;
 use crate::weight::{score_combo, Alpha, Scored};
 
 /// Which prefetch level the scoring kernel runs with.
@@ -35,8 +36,11 @@ pub enum MemOptLevel {
 
 impl MemOptLevel {
     /// All levels in ablation order.
-    pub const ALL: [MemOptLevel; 3] =
-        [MemOptLevel::NoOpt, MemOptLevel::Prefetch1, MemOptLevel::Prefetch2];
+    pub const ALL: [MemOptLevel; 3] = [
+        MemOptLevel::NoOpt,
+        MemOptLevel::Prefetch1,
+        MemOptLevel::Prefetch2,
+    ];
 
     /// Display name matching the paper's figure labels.
     #[must_use]
@@ -131,7 +135,12 @@ pub fn scan_3hit(
                     stats.inner_reads += 2 * (wt + wn);
                     stats.and_ops += 2 * (wt + wn);
                     let tn = n_norm - cn;
-                    let s = Scored { score: alpha.score(tp, tn), tp, tn, genes: [i, j, k] };
+                    let s = Scored {
+                        score: alpha.score(tp, tn),
+                        tp,
+                        tn,
+                        genes: [i, j, k],
+                    };
                     best = best.max_det(s);
                 }
             }
@@ -164,13 +173,54 @@ pub fn scan_3hit(
                     stats.inner_reads += wt + wn;
                     stats.and_ops += wt + wn;
                     let tn = n_norm - cn;
-                    let s = Scored { score: alpha.score(tp, tn), tp, tn, genes: [i, j, k] };
+                    let s = Scored {
+                        score: alpha.score(tp, tn),
+                        tp,
+                        tn,
+                        genes: [i, j, k],
+                    };
                     best = best.max_det(s);
                 }
             }
         }
     }
     ScanResult { best, stats }
+}
+
+/// [`scan_3hit`] with observability: wraps the scan in a `memopt_scan` span,
+/// emits one `memopt_scan` point (`level`, `scan_ns`, the [`AccessStats`]
+/// word traffic), and folds the traffic into `memopt.*` counters.
+#[must_use]
+pub fn scan_3hit_obs(
+    tumor: &BitMatrix,
+    normal: &BitMatrix,
+    alpha: Alpha,
+    level: MemOptLevel,
+    obs: &Obs,
+) -> ScanResult {
+    let span = obs.span("memopt_scan");
+    let start = std::time::Instant::now();
+    let result = scan_3hit(tumor, normal, alpha, level);
+    let scan_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    if obs.is_enabled() {
+        obs.point(
+            "memopt_scan",
+            &[
+                ("level", level.name().into()),
+                ("scan_ns", scan_ns.into()),
+                ("inner_reads", result.stats.inner_reads.into()),
+                ("prefetch_reads", result.stats.prefetch_reads.into()),
+                ("and_ops", result.stats.and_ops.into()),
+                ("words_per_row", tumor.words_per_row().into()),
+            ],
+        );
+        obs.counter_add("memopt.scans", 1);
+        obs.counter_add("memopt.inner_reads", result.stats.inner_reads);
+        obs.counter_add("memopt.prefetch_reads", result.stats.prefetch_reads);
+        obs.counter_add("memopt.and_ops", result.stats.and_ops);
+    }
+    drop(span);
+    result
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -215,7 +265,9 @@ mod tests {
         // Tiny deterministic LCG so the test needs no rand dependency here.
         let mut state = seed | 1;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
         let mut t = BitMatrix::zeros(g, nt);

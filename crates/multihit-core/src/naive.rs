@@ -177,7 +177,10 @@ mod tests {
         let bn = lcg_bitmat(11, 70, 10);
         let dt = ByteMatrix::from_bitmat(&bt);
         let dn = ByteMatrix::from_bitmat(&bn);
-        let cfg = GreedyConfig { parallel: false, ..GreedyConfig::default() };
+        let cfg = GreedyConfig {
+            parallel: false,
+            ..GreedyConfig::default()
+        };
         assert_eq!(
             best_combination_naive::<3>(&dt, &dn, Alpha::PAPER),
             best_combination::<3>(&bt, &bn, None, &cfg)

@@ -1,0 +1,1009 @@
+//! Dependency-free observability: hierarchical spans, monotonic counters,
+//! gauges, and a JSON-lines event stream.
+//!
+//! The paper's argument is quantitative — per-GPU busy/idle time, scheduler
+//! overhead, memory-traffic ablations (Figs 4–6) — so the runtime needs a
+//! measurement substrate rather than ad-hoc accounting per figure. This
+//! module provides one with no external crates (builds stay offline):
+//!
+//! * [`Obs`] — a cheap cloneable handle. [`Obs::disabled`] is a no-op sink
+//!   (a `None` inner; every record call is one branch), so hot paths take
+//!   `&Obs` unconditionally.
+//! * [`Obs::span`] — RAII wall-clock spans. Nesting is tracked per thread,
+//!   so a span records its slash-joined `path` ("discover/greedy_iter").
+//! * [`Obs::counter_add`] / [`Obs::gauge_set`] — a monotonic counter
+//!   registry and last-value gauges, aggregated across threads.
+//! * [`Obs::point`] — a named point event with typed fields; this is how
+//!   per-iteration metrics (`scan_ns`, `combos_scored`, per-rank
+//!   `busy_ns`/`idle_ns`, `partition_ns`, ...) enter the stream.
+//! * [`Event`] — hand-rolled JSON-lines serialization and parsing, so the
+//!   stream round-trips without serde.
+//! * [`RunReport`] — the aggregate view consumers (the CLI, the bench
+//!   figure harness) build from an event stream.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Values and events
+// ---------------------------------------------------------------------------
+
+/// A typed field value carried by an [`Event`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (counters, nanosecond durations, indices).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (rates, utilizations, seconds).
+    F64(f64),
+    /// String (names, modes).
+    Str(String),
+    /// Boolean flag.
+    Bool(bool),
+}
+
+impl Value {
+    /// The value as `u64`, if it is one.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            Value::I64(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` (integers convert).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(v) => Some(*v),
+            Value::U64(v) => Some(*v as f64),
+            Value::I64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// What kind of record an [`Event`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A completed timing span.
+    Span,
+    /// A named metrics point (one row of per-iteration / per-rank data).
+    Point,
+    /// A snapshot of the counter registry.
+    Counters,
+}
+
+impl EventKind {
+    /// Wire name in the JSON `type` field.
+    #[must_use]
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            EventKind::Span => "span",
+            EventKind::Point => "point",
+            EventKind::Counters => "counters",
+        }
+    }
+
+    /// Parse the wire name back.
+    #[must_use]
+    pub fn from_wire(s: &str) -> Option<Self> {
+        match s {
+            "span" => Some(EventKind::Span),
+            "point" => Some(EventKind::Point),
+            "counters" => Some(EventKind::Counters),
+            _ => None,
+        }
+    }
+}
+
+/// One record of the observability stream.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Record kind.
+    pub kind: EventKind,
+    /// Event name (span name, point name, or "counters").
+    pub name: String,
+    /// Ordered typed fields.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl Event {
+    /// Look up a field by key.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Field as `u64` (missing or mistyped → `None`).
+    #[must_use]
+    pub fn u64(&self, key: &str) -> Option<u64> {
+        self.get(key).and_then(Value::as_u64)
+    }
+
+    /// Field as `f64`.
+    #[must_use]
+    pub fn f64(&self, key: &str) -> Option<f64> {
+        self.get(key).and_then(Value::as_f64)
+    }
+
+    /// Serialize as one JSON line (no trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + 16 * self.fields.len());
+        out.push_str("{\"type\":\"");
+        out.push_str(self.kind.wire_name());
+        out.push_str("\",\"name\":\"");
+        escape_json(&self.name, &mut out);
+        out.push('"');
+        for (k, v) in &self.fields {
+            out.push(',');
+            out.push('"');
+            escape_json(k, &mut out);
+            out.push_str("\":");
+            write_value(v, &mut out);
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parse one JSON line produced by [`Event::to_json`].
+    ///
+    /// # Errors
+    /// Returns a description of the first syntax problem.
+    pub fn from_json(line: &str) -> Result<Event, String> {
+        let pairs = parse_flat_object(line)?;
+        let mut kind = None;
+        let mut name = None;
+        let mut fields = Vec::with_capacity(pairs.len().saturating_sub(2));
+        for (k, v) in pairs {
+            match (k.as_str(), &v) {
+                ("type", Value::Str(s)) => {
+                    kind =
+                        Some(EventKind::from_wire(s).ok_or_else(|| format!("unknown type {s:?}"))?);
+                }
+                ("name", Value::Str(s)) => name = Some(s.clone()),
+                _ => fields.push((k, v)),
+            }
+        }
+        Ok(Event {
+            kind: kind.ok_or("missing \"type\"")?,
+            name: name.ok_or("missing \"name\"")?,
+            fields,
+        })
+    }
+}
+
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn write_value(v: &Value, out: &mut String) {
+    match v {
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(f) => {
+            if f.is_finite() {
+                // {:?} keeps a decimal point or exponent, so the parser
+                // reads the token back as a float and round-trips exactly.
+                out.push_str(&format!("{f:?}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => {
+            out.push('"');
+            escape_json(s, out);
+            out.push('"');
+        }
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+    }
+}
+
+/// Parse a flat JSON object of scalar values (the only shape this stream
+/// emits). Returns the key/value pairs in input order.
+fn parse_flat_object(line: &str) -> Result<Vec<(String, Value)>, String> {
+    let mut chars = line.trim().char_indices().peekable();
+    let src = line.trim();
+    let mut pairs = Vec::new();
+    let next_non_ws = |chars: &mut std::iter::Peekable<std::str::CharIndices>| loop {
+        match chars.next() {
+            Some((_, c)) if c.is_whitespace() => {}
+            other => return other,
+        }
+    };
+    match next_non_ws(&mut chars) {
+        Some((_, '{')) => {}
+        _ => return Err("expected '{'".into()),
+    }
+    loop {
+        match next_non_ws(&mut chars) {
+            Some((_, '}')) => return Ok(pairs),
+            Some((i, '"')) => {
+                let (key, _) = parse_string_body(src, i + 1, &mut chars)?;
+                match next_non_ws(&mut chars) {
+                    Some((_, ':')) => {}
+                    _ => return Err(format!("expected ':' after key {key:?}")),
+                }
+                let value = parse_value(src, &mut chars)?;
+                pairs.push((key, value));
+                match next_non_ws(&mut chars) {
+                    Some((_, ',')) => {}
+                    Some((_, '}')) => return Ok(pairs),
+                    _ => return Err("expected ',' or '}'".into()),
+                }
+            }
+            Some((_, ',')) if pairs.is_empty() => return Err("leading comma".into()),
+            other => return Err(format!("unexpected token {other:?}")),
+        }
+    }
+}
+
+/// Consume a string body (opening quote already consumed); returns the
+/// unescaped string and the index just past the closing quote.
+fn parse_string_body(
+    src: &str,
+    _start: usize,
+    chars: &mut std::iter::Peekable<std::str::CharIndices>,
+) -> Result<(String, usize), String> {
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            Some((j, '"')) => return Ok((out, j + 1)),
+            Some((_, '\\')) => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, '/')) => out.push('/'),
+                Some((_, 'u')) => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        let (_, h) = chars.next().ok_or("truncated \\u escape")?;
+                        code = code * 16 + h.to_digit(16).ok_or("bad \\u escape")?;
+                    }
+                    out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                }
+                other => return Err(format!("bad escape {other:?} in {src:?}")),
+            },
+            Some((_, c)) => out.push(c),
+            None => return Err("unterminated string".into()),
+        }
+    }
+}
+
+fn parse_value(
+    src: &str,
+    chars: &mut std::iter::Peekable<std::str::CharIndices>,
+) -> Result<Value, String> {
+    // Skip whitespace.
+    while matches!(chars.peek(), Some((_, c)) if c.is_whitespace()) {
+        chars.next();
+    }
+    match chars.peek().copied() {
+        Some((i, '"')) => {
+            chars.next();
+            let (s, _) = parse_string_body(src, i + 1, chars)?;
+            Ok(Value::Str(s))
+        }
+        Some((_, 't')) => {
+            expect_word(chars, "true")?;
+            Ok(Value::Bool(true))
+        }
+        Some((_, 'f')) => {
+            expect_word(chars, "false")?;
+            Ok(Value::Bool(false))
+        }
+        Some((_, 'n')) => {
+            expect_word(chars, "null")?;
+            Ok(Value::F64(f64::NAN))
+        }
+        Some((start, c)) if c == '-' || c.is_ascii_digit() => {
+            let mut end = start;
+            let mut float = false;
+            while let Some(&(j, c)) = chars.peek() {
+                match c {
+                    '0'..='9' | '-' | '+' => {}
+                    '.' | 'e' | 'E' => float = true,
+                    _ => break,
+                }
+                end = j + c.len_utf8();
+                chars.next();
+            }
+            let tok = &src[start..end];
+            if float {
+                tok.parse::<f64>()
+                    .map(Value::F64)
+                    .map_err(|e| format!("bad number {tok:?}: {e}"))
+            } else if tok.starts_with('-') {
+                tok.parse::<i64>()
+                    .map(Value::I64)
+                    .map_err(|e| format!("bad number {tok:?}: {e}"))
+            } else {
+                tok.parse::<u64>()
+                    .map(Value::U64)
+                    .map_err(|e| format!("bad number {tok:?}: {e}"))
+            }
+        }
+        other => Err(format!("unexpected value start {other:?}")),
+    }
+}
+
+fn expect_word(
+    chars: &mut std::iter::Peekable<std::str::CharIndices>,
+    word: &str,
+) -> Result<(), String> {
+    for expect in word.chars() {
+        match chars.next() {
+            Some((_, c)) if c == expect => {}
+            other => return Err(format!("expected {word:?}, found {other:?}")),
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// The Obs handle
+// ---------------------------------------------------------------------------
+
+struct Inner {
+    trace: bool,
+    events: Mutex<Vec<Event>>,
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+}
+
+/// Cloneable observability handle. Disabled handles make every record call
+/// a single branch, so instrumented code paths take `&Obs` unconditionally.
+#[derive(Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<Inner>>,
+}
+
+thread_local! {
+    static SPAN_STACK: std::cell::RefCell<Vec<String>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+impl Obs {
+    /// A no-op sink.
+    #[must_use]
+    pub fn disabled() -> Obs {
+        Obs { inner: None }
+    }
+
+    /// An enabled collector.
+    #[must_use]
+    pub fn enabled() -> Obs {
+        Obs::collecting(false)
+    }
+
+    /// An enabled collector that also prints each record to stderr as it
+    /// completes (the CLI's `--trace`).
+    #[must_use]
+    pub fn with_trace() -> Obs {
+        Obs::collecting(true)
+    }
+
+    fn collecting(trace: bool) -> Obs {
+        Obs {
+            inner: Some(Arc::new(Inner {
+                trace,
+                events: Mutex::new(Vec::new()),
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+            })),
+        }
+    }
+
+    /// Whether records are collected.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn record(&self, event: Event) {
+        if let Some(inner) = &self.inner {
+            if inner.trace {
+                eprintln!("[obs] {}", event.to_json());
+            }
+            inner
+                .events
+                .lock()
+                .expect("obs events poisoned")
+                .push(event);
+        }
+    }
+
+    /// Open a wall-clock span; it records itself on drop. Nested spans on
+    /// the same thread record slash-joined paths.
+    #[must_use]
+    pub fn span(&self, name: &str) -> SpanGuard {
+        if self.inner.is_some() {
+            SPAN_STACK.with(|s| s.borrow_mut().push(name.to_string()));
+            SpanGuard {
+                obs: self.clone(),
+                armed: true,
+                start: Instant::now(),
+            }
+        } else {
+            SpanGuard {
+                obs: Obs::disabled(),
+                armed: false,
+                start: Instant::now(),
+            }
+        }
+    }
+
+    /// Add to a monotonic counter (creates it at zero first).
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            let mut c = inner.counters.lock().expect("obs counters poisoned");
+            *c.entry(name.to_string()).or_insert(0) += delta;
+        }
+    }
+
+    /// Set a last-value gauge.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner
+                .gauges
+                .lock()
+                .expect("obs gauges poisoned")
+                .insert(name.to_string(), value);
+        }
+    }
+
+    /// Record a named metrics point.
+    pub fn point(&self, name: &str, fields: &[(&str, Value)]) {
+        if self.inner.is_some() {
+            self.record(Event {
+                kind: EventKind::Point,
+                name: name.to_string(),
+                fields: fields
+                    .iter()
+                    .map(|(k, v)| ((*k).to_string(), v.clone()))
+                    .collect(),
+            });
+        }
+    }
+
+    /// Current value of one counter (0 when absent or disabled).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.as_ref().map_or(0, |inner| {
+            *inner
+                .counters
+                .lock()
+                .expect("obs counters poisoned")
+                .get(name)
+                .unwrap_or(&0)
+        })
+    }
+
+    /// Snapshot of the counter registry.
+    #[must_use]
+    pub fn counters(&self) -> BTreeMap<String, u64> {
+        self.inner
+            .as_ref()
+            .map(|inner| {
+                inner
+                    .counters
+                    .lock()
+                    .expect("obs counters poisoned")
+                    .clone()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Snapshot of recorded events (in record order).
+    #[must_use]
+    pub fn events(&self) -> Vec<Event> {
+        self.inner
+            .as_ref()
+            .map(|inner| inner.events.lock().expect("obs events poisoned").clone())
+            .unwrap_or_default()
+    }
+
+    /// The full stream as JSON lines: every event, then one `counters`
+    /// snapshot (counters as `u64` fields, gauges as `f64` fields).
+    #[must_use]
+    pub fn to_json_lines(&self) -> String {
+        let Some(inner) = &self.inner else {
+            return String::new();
+        };
+        let mut out = String::new();
+        for e in inner.events.lock().expect("obs events poisoned").iter() {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        let mut fields: Vec<(String, Value)> = inner
+            .counters
+            .lock()
+            .expect("obs counters poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::U64(*v)))
+            .collect();
+        fields.extend(
+            inner
+                .gauges
+                .lock()
+                .expect("obs gauges poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::F64(*v))),
+        );
+        let snapshot = Event {
+            kind: EventKind::Counters,
+            name: "counters".to_string(),
+            fields,
+        };
+        out.push_str(&snapshot.to_json());
+        out.push('\n');
+        out
+    }
+
+    /// Write the JSON-lines stream to a file.
+    ///
+    /// # Errors
+    /// Propagates the underlying I/O error.
+    pub fn write_json_lines(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json_lines())
+    }
+}
+
+/// RAII guard returned by [`Obs::span`].
+pub struct SpanGuard {
+    obs: Obs,
+    armed: bool,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// Elapsed time so far, nanoseconds.
+    #[must_use]
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let dur_ns = self.elapsed_ns();
+        let (name, path) = SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let name = stack.pop().unwrap_or_default();
+            let mut path = stack.join("/");
+            if path.is_empty() {
+                path = name.clone();
+            } else {
+                path.push('/');
+                path.push_str(&name);
+            }
+            (name, path)
+        });
+        self.obs.record(Event {
+            kind: EventKind::Span,
+            name,
+            fields: vec![
+                ("path".to_string(), Value::Str(path)),
+                ("dur_ns".to_string(), Value::U64(dur_ns)),
+            ],
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RunReport: the aggregate consumers build from the stream
+// ---------------------------------------------------------------------------
+
+/// One greedy iteration's metrics (from `greedy_iter` points).
+#[derive(Clone, Debug, PartialEq)]
+pub struct GreedyIterReport {
+    /// Iteration index.
+    pub iter: u64,
+    /// Wall time of the argmax scan, nanoseconds.
+    pub scan_ns: u64,
+    /// Combinations scored by the scan.
+    pub combos_scored: u64,
+    /// Scan throughput, combinations per second.
+    pub combos_per_sec: f64,
+    /// Tumor samples newly covered.
+    pub newly_covered: u64,
+    /// Tumor samples still uncovered.
+    pub remaining: u64,
+}
+
+/// One rank's aggregated busy/idle attribution (from `rank` points).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RankReport {
+    /// Busy time (concurrent-kernel wall + communication), nanoseconds.
+    pub busy_ns: u64,
+    /// Idle time, nanoseconds.
+    pub idle_ns: u64,
+    /// Communication share of busy time, nanoseconds.
+    pub comm_ns: u64,
+    /// Summed per-GPU kernel time of the rank, nanoseconds (exceeds wall
+    /// time when the rank's GPUs run concurrently).
+    pub kernel_ns: u64,
+}
+
+/// Aggregated view of one observability stream.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Greedy iterations in order.
+    pub greedy_iters: Vec<GreedyIterReport>,
+    /// Per-rank totals across iterations, indexed by rank.
+    pub ranks: Vec<RankReport>,
+    /// Scheduler partition times, nanoseconds, in call order.
+    pub partition_ns: Vec<u64>,
+    /// Checkpoint save durations, nanoseconds.
+    pub checkpoint_ns: Vec<u64>,
+    /// Iteration makespans (from `timeline_iter` points), nanoseconds.
+    pub makespan_ns: Vec<u64>,
+    /// Final counter registry.
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl RunReport {
+    /// Build from parsed events.
+    #[must_use]
+    pub fn from_events(events: &[Event]) -> RunReport {
+        let mut r = RunReport::default();
+        for e in events {
+            match (e.kind, e.name.as_str()) {
+                (EventKind::Point, "greedy_iter") => {
+                    r.greedy_iters.push(GreedyIterReport {
+                        iter: e.u64("iter").unwrap_or(0),
+                        scan_ns: e.u64("scan_ns").unwrap_or(0),
+                        combos_scored: e.u64("combos_scored").unwrap_or(0),
+                        combos_per_sec: e.f64("combos_per_sec").unwrap_or(0.0),
+                        newly_covered: e.u64("newly_covered").unwrap_or(0),
+                        remaining: e.u64("remaining").unwrap_or(0),
+                    });
+                }
+                (EventKind::Point, "rank") => {
+                    let rank = e.u64("rank").unwrap_or(0) as usize;
+                    if r.ranks.len() <= rank {
+                        r.ranks.resize(rank + 1, RankReport::default());
+                    }
+                    let slot = &mut r.ranks[rank];
+                    slot.busy_ns += e.u64("busy_ns").unwrap_or(0);
+                    slot.idle_ns += e.u64("idle_ns").unwrap_or(0);
+                    slot.comm_ns += e.u64("comm_ns").unwrap_or(0);
+                    slot.kernel_ns += e.u64("kernel_ns").unwrap_or(0);
+                }
+                (EventKind::Point, "sched_partition") => {
+                    r.partition_ns.push(e.u64("partition_ns").unwrap_or(0));
+                }
+                (EventKind::Point, "checkpoint") => {
+                    r.checkpoint_ns.push(e.u64("save_ns").unwrap_or(0));
+                }
+                (EventKind::Point, "timeline_iter") => {
+                    r.makespan_ns.push(e.u64("makespan_ns").unwrap_or(0));
+                }
+                (EventKind::Counters, _) => {
+                    for (k, v) in &e.fields {
+                        if let Some(n) = v.as_u64() {
+                            r.counters.insert(k.clone(), n);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        r
+    }
+
+    /// Build from a JSON-lines stream (blank lines skipped).
+    ///
+    /// # Errors
+    /// Returns the first line that fails to parse.
+    pub fn from_json_lines(text: &str) -> Result<RunReport, String> {
+        let mut events = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            events.push(Event::from_json(line).map_err(|e| format!("line {}: {e}", i + 1))?);
+        }
+        Ok(RunReport::from_events(&events))
+    }
+
+    /// Total scan time across greedy iterations, nanoseconds.
+    #[must_use]
+    pub fn total_scan_ns(&self) -> u64 {
+        self.greedy_iters.iter().map(|i| i.scan_ns).sum()
+    }
+
+    /// Total combinations scored across greedy iterations.
+    #[must_use]
+    pub fn total_combos_scored(&self) -> u64 {
+        self.greedy_iters.iter().map(|i| i.combos_scored).sum()
+    }
+
+    /// Rank busy-time imbalance: max busy / mean busy (1.0 = balanced,
+    /// 0.0 when no rank data). This is the Fig 4 quantity.
+    #[must_use]
+    pub fn rank_imbalance(&self) -> f64 {
+        if self.ranks.is_empty() {
+            return 0.0;
+        }
+        let busy: Vec<f64> = self.ranks.iter().map(|r| r.busy_ns as f64).collect();
+        let max = busy.iter().copied().fold(0.0f64, f64::max);
+        let mean = busy.iter().sum::<f64>() / busy.len() as f64;
+        if mean == 0.0 {
+            0.0
+        } else {
+            max / mean
+        }
+    }
+
+    /// Mean rank utilization: busy / (busy + idle), 0.0 without rank data.
+    #[must_use]
+    pub fn mean_rank_utilization(&self) -> f64 {
+        if self.ranks.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = self
+            .ranks
+            .iter()
+            .map(|r| {
+                let denom = (r.busy_ns + r.idle_ns) as f64;
+                if denom == 0.0 {
+                    0.0
+                } else {
+                    r.busy_ns as f64 / denom
+                }
+            })
+            .sum();
+        total / self.ranks.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_obs_is_inert() {
+        let obs = Obs::disabled();
+        obs.counter_add("x", 5);
+        obs.point("p", &[("a", Value::U64(1))]);
+        {
+            let _s = obs.span("outer");
+        }
+        assert!(!obs.is_enabled());
+        assert_eq!(obs.counter("x"), 0);
+        assert!(obs.events().is_empty());
+        assert!(obs.to_json_lines().is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_time_monotonically() {
+        let obs = Obs::enabled();
+        {
+            let _outer = obs.span("outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = obs.span("inner");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        let events = obs.events();
+        assert_eq!(events.len(), 2);
+        // Inner drops first.
+        assert_eq!(events[0].name, "inner");
+        assert_eq!(
+            events[0].get("path").unwrap().as_str().unwrap(),
+            "outer/inner"
+        );
+        assert_eq!(events[1].name, "outer");
+        assert_eq!(events[1].get("path").unwrap().as_str().unwrap(), "outer");
+        let inner_ns = events[0].u64("dur_ns").unwrap();
+        let outer_ns = events[1].u64("dur_ns").unwrap();
+        assert!(inner_ns > 0);
+        assert!(outer_ns >= inner_ns, "outer {outer_ns} < inner {inner_ns}");
+    }
+
+    #[test]
+    fn counters_aggregate_across_threads() {
+        let obs = Obs::enabled();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let obs = obs.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        obs.counter_add("hits", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(obs.counter("hits"), 8000);
+        assert_eq!(obs.counters().get("hits"), Some(&8000));
+    }
+
+    #[test]
+    fn json_lines_round_trip() {
+        let obs = Obs::enabled();
+        obs.point(
+            "greedy_iter",
+            &[
+                ("iter", Value::U64(0)),
+                ("scan_ns", Value::U64(123_456)),
+                ("combos_scored", Value::U64(19_411)),
+                ("combos_per_sec", Value::F64(157_234.5)),
+                ("exclusion", Value::Str("BitSplice".to_string())),
+                ("capped", Value::Bool(false)),
+            ],
+        );
+        obs.counter_add("greedy.iterations", 1);
+        obs.gauge_set("sched.imbalance", 1.0625);
+        let text = obs.to_json_lines();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let back = Event::from_json(lines[0]).unwrap();
+        assert_eq!(back, obs.events()[0]);
+        let snap = Event::from_json(lines[1]).unwrap();
+        assert_eq!(snap.kind, EventKind::Counters);
+        assert_eq!(snap.u64("greedy.iterations"), Some(1));
+        assert_eq!(snap.f64("sched.imbalance"), Some(1.0625));
+    }
+
+    #[test]
+    fn json_escaping_round_trips() {
+        let e = Event {
+            kind: EventKind::Point,
+            name: "weird \"name\"\twith\nstuff\\".to_string(),
+            fields: vec![("k\u{1}".to_string(), Value::Str("v\"\\\n".to_string()))],
+        };
+        let back = Event::from_json(&e.to_json()).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(Event::from_json("").is_err());
+        assert!(Event::from_json("{").is_err());
+        assert!(Event::from_json("{\"type\":\"span\"}").is_err());
+        assert!(Event::from_json("{\"name\":\"x\",\"type\":\"nope\"}").is_err());
+        assert!(Event::from_json("{\"type\":\"span\",\"name\":\"x\",\"v\":}").is_err());
+    }
+
+    #[test]
+    fn run_report_aggregates_stream() {
+        let obs = Obs::enabled();
+        obs.point(
+            "greedy_iter",
+            &[
+                ("iter", Value::U64(0)),
+                ("scan_ns", Value::U64(1000)),
+                ("combos_scored", Value::U64(500)),
+                ("combos_per_sec", Value::F64(5e8)),
+                ("newly_covered", Value::U64(40)),
+                ("remaining", Value::U64(10)),
+            ],
+        );
+        obs.point(
+            "greedy_iter",
+            &[
+                ("iter", Value::U64(1)),
+                ("scan_ns", Value::U64(800)),
+                ("combos_scored", Value::U64(500)),
+                ("combos_per_sec", Value::F64(6.25e8)),
+                ("newly_covered", Value::U64(10)),
+                ("remaining", Value::U64(0)),
+            ],
+        );
+        for (rank, busy, idle) in [(0u64, 900u64, 100u64), (1, 600, 400)] {
+            obs.point(
+                "rank",
+                &[
+                    ("iter", Value::U64(0)),
+                    ("rank", Value::U64(rank)),
+                    ("busy_ns", Value::U64(busy)),
+                    ("idle_ns", Value::U64(idle)),
+                    ("comm_ns", Value::U64(5)),
+                ],
+            );
+        }
+        obs.point("sched_partition", &[("partition_ns", Value::U64(77))]);
+        obs.point(
+            "timeline_iter",
+            &[("iter", Value::U64(0)), ("makespan_ns", Value::U64(1000))],
+        );
+        obs.counter_add("greedy.combos_scored", 1000);
+
+        let report = RunReport::from_json_lines(&obs.to_json_lines()).unwrap();
+        assert_eq!(report.greedy_iters.len(), 2);
+        assert_eq!(report.total_scan_ns(), 1800);
+        assert_eq!(report.total_combos_scored(), 1000);
+        assert_eq!(report.ranks.len(), 2);
+        assert_eq!(report.ranks[0].busy_ns, 900);
+        assert_eq!(report.partition_ns, vec![77]);
+        assert_eq!(report.makespan_ns, vec![1000]);
+        assert_eq!(report.counters.get("greedy.combos_scored"), Some(&1000));
+        let imb = report.rank_imbalance();
+        assert!((imb - 1.2).abs() < 1e-12, "imbalance {imb}");
+        let util = report.mean_rank_utilization();
+        assert!((util - 0.75).abs() < 1e-12, "utilization {util}");
+    }
+
+    #[test]
+    fn span_guard_elapsed_is_monotone() {
+        let obs = Obs::enabled();
+        let s = obs.span("t");
+        let a = s.elapsed_ns();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let b = s.elapsed_ns();
+        assert!(b >= a);
+    }
+}

@@ -37,10 +37,7 @@ pub struct ReduceStats {
 /// short) and reduces each chunk to one record — what `maxF` writes to
 /// global memory.
 #[must_use]
-pub fn block_reduce<const H: usize>(
-    scores: &[Scored<H>],
-    block_size: usize,
-) -> Vec<Scored<H>> {
+pub fn block_reduce<const H: usize>(scores: &[Scored<H>], block_size: usize) -> Vec<Scored<H>> {
     assert!(block_size > 0, "block size must be positive");
     scores
         .chunks(block_size)
@@ -169,12 +166,23 @@ mod tests {
     use crate::combin::binomial;
 
     fn scored(score: u64, g0: u32) -> Scored<2> {
-        Scored { score, tp: 0, tn: 0, genes: [g0, g0 + 1] }
+        Scored {
+            score,
+            tp: 0,
+            tn: 0,
+            genes: [g0, g0 + 1],
+        }
     }
 
     #[test]
     fn block_reduce_takes_chunk_maxima() {
-        let scores = vec![scored(1, 0), scored(9, 1), scored(4, 2), scored(7, 3), scored(2, 4)];
+        let scores = vec![
+            scored(1, 0),
+            scored(9, 1),
+            scored(4, 2),
+            scored(7, 3),
+            scored(2, 4),
+        ];
         let blocks = block_reduce(&scores, 2);
         assert_eq!(blocks.len(), 3);
         assert_eq!(blocks[0].score, 9);
@@ -184,7 +192,9 @@ mod tests {
 
     #[test]
     fn tree_reduce_finds_global_max() {
-        let recs: Vec<_> = (0..100u32).map(|i| scored(u64::from(i * 7 % 83), i)).collect();
+        let recs: Vec<_> = (0..100u32)
+            .map(|i| scored(u64::from(i * 7 % 83), i))
+            .collect();
         let expect = recs.iter().copied().max().unwrap();
         let (win, stages) = tree_reduce(recs);
         assert_eq!(win, expect);
@@ -229,7 +239,12 @@ mod tests {
     fn three_stage_pipeline_matches_flat() {
         // blocks → GPU records → rank records → rank0.
         let scores: Vec<_> = (0..5000u32)
-            .map(|i| scored(u64::from(i.wrapping_mul(2654435761).wrapping_mul(i) % 4999), i % 4000))
+            .map(|i| {
+                scored(
+                    u64::from(i.wrapping_mul(2654435761).wrapping_mul(i) % 4999),
+                    i % 4000,
+                )
+            })
             .collect();
         let flat = scores.iter().copied().max().unwrap();
         let per_rank: Vec<_> = scores
@@ -246,7 +261,10 @@ mod tests {
         let combos = binomial(19411, 3);
         let (full, blocked) = footprint_bytes(combos, 512);
         assert!((full as f64 / 1e12 - 24.34).abs() < 0.5, "full = {full}");
-        assert!((blocked as f64 / 1e9 - 47.5).abs() < 1.0, "blocked = {blocked}");
+        assert!(
+            (blocked as f64 / 1e9 - 47.5).abs() < 1.0,
+            "blocked = {blocked}"
+        );
     }
 
     #[test]
@@ -265,8 +283,13 @@ mod tests {
 
     #[test]
     fn top_k_head_is_the_argmax() {
-        let scores: Vec<Scored<2>> = (0..100u32).map(|i| scored(u64::from(i * 13 % 71), i)).collect();
-        let flat = scores.iter().copied().fold(Scored::NEG_INFINITY, Scored::max_det);
+        let scores: Vec<Scored<2>> = (0..100u32)
+            .map(|i| scored(u64::from(i * 13 % 71), i))
+            .collect();
+        let flat = scores
+            .iter()
+            .copied()
+            .fold(Scored::NEG_INFINITY, Scored::max_det);
         assert_eq!(top_k(&scores, 5)[0], flat);
     }
 
@@ -275,8 +298,7 @@ mod tests {
         let scores: Vec<Scored<2>> = (0..400u32)
             .map(|i| scored(u64::from(i.wrapping_mul(2654435761) % 991), i % 350))
             .collect();
-        let shards: Vec<Vec<Scored<2>>> =
-            scores.chunks(97).map(|c| top_k(c, 10)).collect();
+        let shards: Vec<Vec<Scored<2>>> = scores.chunks(97).map(|c| top_k(c, 10)).collect();
         assert_eq!(merge_top_k(&shards, 10), top_k(&scores, 10));
     }
 

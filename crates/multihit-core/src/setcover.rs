@@ -58,11 +58,7 @@ pub fn greedy_wsc(inst: &WscInstance<'_>) -> WscSolution {
     while n_uncovered > 0 {
         let mut best: Option<(u64, u64, usize)> = None; // (weight, !id order, idx)
         for (idx, s) in inst.sets.iter().enumerate() {
-            let newly = s
-                .elements
-                .iter()
-                .filter(|&&e| !covered[e as usize])
-                .count() as u32;
+            let newly = s.elements.iter().filter(|&&e| !covered[e as usize]).count() as u32;
             if newly == 0 {
                 continue;
             }
@@ -109,11 +105,15 @@ pub fn from_cohort<'a, const H: usize>(
     for lambda in 0..binomial(g, H as u64) {
         let genes = unrank_tuple::<H>(lambda);
         let mask = tumor.cover_mask(&genes);
-        let elements: Vec<u32> =
-            BitMatrix::mask_indices(&mask, tumor.n_samples()).map(|s| s as u32).collect();
+        let elements: Vec<u32> = BitMatrix::mask_indices(&mask, tumor.n_samples())
+            .map(|s| s as u32)
+            .collect();
         let tn = normal.n_samples() as u32 - normal.count_all(&genes);
         tn_by_id.insert(lambda, tn);
-        sets.push(CandidateSet { id: lambda, elements });
+        sets.push(CandidateSet {
+            id: lambda,
+            elements,
+        });
     }
     WscInstance {
         universe: n_tumor,
@@ -125,8 +125,8 @@ pub fn from_cohort<'a, const H: usize>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::greedy::{discover, GreedyConfig};
     use crate::combin::rank_tuple;
+    use crate::greedy::{discover, GreedyConfig};
 
     #[test]
     fn covers_a_simple_universe() {
@@ -134,9 +134,18 @@ mod tests {
         let inst = WscInstance {
             universe: 6,
             sets: vec![
-                CandidateSet { id: 0, elements: vec![0, 1, 2] },
-                CandidateSet { id: 1, elements: vec![2, 3] },
-                CandidateSet { id: 2, elements: vec![3, 4, 5] },
+                CandidateSet {
+                    id: 0,
+                    elements: vec![0, 1, 2],
+                },
+                CandidateSet {
+                    id: 1,
+                    elements: vec![2, 3],
+                },
+                CandidateSet {
+                    id: 2,
+                    elements: vec![3, 4, 5],
+                },
             ],
             weight: Box::new(|_s, newly| u64::from(newly)),
         };
@@ -149,7 +158,10 @@ mod tests {
     fn stalls_when_nothing_new_coverable() {
         let inst = WscInstance {
             universe: 3,
-            sets: vec![CandidateSet { id: 7, elements: vec![0] }],
+            sets: vec![CandidateSet {
+                id: 7,
+                elements: vec![0],
+            }],
             weight: Box::new(|_s, newly| u64::from(newly)),
         };
         let sol = greedy_wsc(&inst);
@@ -162,8 +174,14 @@ mod tests {
         let inst = WscInstance {
             universe: 2,
             sets: vec![
-                CandidateSet { id: 9, elements: vec![0, 1] },
-                CandidateSet { id: 4, elements: vec![0, 1] },
+                CandidateSet {
+                    id: 9,
+                    elements: vec![0, 1],
+                },
+                CandidateSet {
+                    id: 4,
+                    elements: vec![0, 1],
+                },
             ],
             weight: Box::new(|_s, newly| u64::from(newly)),
         };
@@ -199,10 +217,12 @@ mod tests {
         let pipeline = discover::<2>(
             &tumor,
             &normal,
-            &GreedyConfig { parallel: false, ..GreedyConfig::default() },
+            &GreedyConfig {
+                parallel: false,
+                ..GreedyConfig::default()
+            },
         );
-        let pipeline_ids: Vec<u64> =
-            pipeline.combinations.iter().map(rank_tuple).collect();
+        let pipeline_ids: Vec<u64> = pipeline.combinations.iter().map(rank_tuple).collect();
         assert_eq!(wsc.chosen, pipeline_ids);
         assert_eq!(wsc.uncovered, pipeline.uncovered);
     }

@@ -215,9 +215,8 @@ mod tests {
         let g = 17;
         let levels = levels_scheme4(Scheme4::ThreeXOne, g);
         let n = total_threads(&levels);
-        let direct = |lo: u64, hi: u64| -> u64 {
-            (lo..hi).map(|l| Scheme4::ThreeXOne.workload(l, g)).sum()
-        };
+        let direct =
+            |lo: u64, hi: u64| -> u64 { (lo..hi).map(|l| Scheme4::ThreeXOne.workload(l, g)).sum() };
         for (lo, hi) in [(0, n), (5, 100), (100, 101), (n - 1, n), (7, 7)] {
             assert_eq!(range_area(&levels, lo, hi), direct(lo, hi), "[{lo},{hi})");
         }

@@ -187,12 +187,7 @@ mod tests {
         let tumor = BitMatrix::from_rows(
             4,
             6,
-            &[
-                vec![0, 1, 2, 3],
-                vec![0, 1, 2],
-                vec![1, 2, 4],
-                vec![5],
-            ],
+            &[vec![0, 1, 2, 3], vec![0, 1, 2], vec![1, 2, 4], vec![5]],
         );
         let normal = BitMatrix::from_rows(4, 4, &[vec![0], vec![0, 1], vec![2], vec![]]);
         (tumor, normal)
@@ -224,8 +219,18 @@ mod tests {
 
     #[test]
     fn deterministic_tie_break_prefers_colex_smaller() {
-        let a = Scored::<2> { score: 10, tp: 1, tn: 1, genes: [0, 5] };
-        let b = Scored::<2> { score: 10, tp: 1, tn: 1, genes: [3, 4] };
+        let a = Scored::<2> {
+            score: 10,
+            tp: 1,
+            tn: 1,
+            genes: [0, 5],
+        };
+        let b = Scored::<2> {
+            score: 10,
+            tp: 1,
+            tn: 1,
+            genes: [3, 4],
+        };
         // colex: [3,4] < [0,5] because 4 < 5 ⇒ b wins the tie.
         assert!(b.beats(&a));
         assert_eq!(a.max_det(b), b);
@@ -234,8 +239,18 @@ mod tests {
 
     #[test]
     fn higher_score_always_wins() {
-        let a = Scored::<2> { score: 11, tp: 0, tn: 0, genes: [8, 9] };
-        let b = Scored::<2> { score: 10, tp: 0, tn: 0, genes: [0, 1] };
+        let a = Scored::<2> {
+            score: 11,
+            tp: 0,
+            tn: 0,
+            genes: [8, 9],
+        };
+        let b = Scored::<2> {
+            score: 10,
+            tp: 0,
+            tn: 0,
+            genes: [0, 1],
+        };
         assert!(a.beats(&b));
         assert!(!b.beats(&a));
     }
@@ -243,7 +258,12 @@ mod tests {
     #[test]
     fn neg_infinity_loses_to_everything() {
         let z = Scored::<3>::NEG_INFINITY;
-        let a = Scored::<3> { score: 0, tp: 0, tn: 0, genes: [0, 1, 2] };
+        let a = Scored::<3> {
+            score: 0,
+            tp: 0,
+            tn: 0,
+            genes: [0, 1, 2],
+        };
         // Same score, but a's genes are colex-smaller than [MAX; 3].
         assert!(a.beats(&z));
         assert_eq!(z.max_det(a), a);
@@ -252,9 +272,24 @@ mod tests {
     #[test]
     fn max_det_is_associative_and_commutative() {
         let xs = [
-            Scored::<2> { score: 5, tp: 0, tn: 0, genes: [1, 2] },
-            Scored::<2> { score: 5, tp: 0, tn: 0, genes: [0, 2] },
-            Scored::<2> { score: 7, tp: 0, tn: 0, genes: [2, 3] },
+            Scored::<2> {
+                score: 5,
+                tp: 0,
+                tn: 0,
+                genes: [1, 2],
+            },
+            Scored::<2> {
+                score: 5,
+                tp: 0,
+                tn: 0,
+                genes: [0, 2],
+            },
+            Scored::<2> {
+                score: 7,
+                tp: 0,
+                tn: 0,
+                genes: [2, 3],
+            },
             Scored::<2>::NEG_INFINITY,
         ];
         let fold_lr = xs.iter().copied().reduce(Scored::max_det).unwrap();
@@ -266,9 +301,26 @@ mod tests {
 
     #[test]
     fn ord_matches_cmp_det() {
-        let mut v = [Scored::<2> { score: 5, tp: 0, tn: 0, genes: [1, 2] },
-            Scored::<2> { score: 9, tp: 0, tn: 0, genes: [0, 1] },
-            Scored::<2> { score: 5, tp: 0, tn: 0, genes: [0, 2] }];
+        let mut v = [
+            Scored::<2> {
+                score: 5,
+                tp: 0,
+                tn: 0,
+                genes: [1, 2],
+            },
+            Scored::<2> {
+                score: 9,
+                tp: 0,
+                tn: 0,
+                genes: [0, 1],
+            },
+            Scored::<2> {
+                score: 5,
+                tp: 0,
+                tn: 0,
+                genes: [0, 2],
+            },
+        ];
         v.sort();
         assert_eq!(v.last().unwrap().score, 9);
         assert_eq!(v.iter().max().unwrap().score, 9);

@@ -277,7 +277,10 @@ mod tests {
         let (lo, hi) = bootstrap_mean_ci95(&constant, 500, 3);
         // Resampled means of a constant sample are that constant (up to
         // float summation ulps).
-        assert!((lo - 0.9).abs() < 1e-12 && (hi - 0.9).abs() < 1e-12, "({lo}, {hi})");
+        assert!(
+            (lo - 0.9).abs() < 1e-12 && (hi - 0.9).abs() < 1e-12,
+            "({lo}, {hi})"
+        );
     }
 
     #[test]

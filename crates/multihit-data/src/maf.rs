@@ -58,7 +58,8 @@ pub fn write_maf(records: &[MafRecord]) -> String {
             r.hugo_symbol,
             r.sample_barcode,
             r.variant_classification,
-            r.protein_position.map_or_else(|| ".".to_string(), |p| p.to_string()),
+            r.protein_position
+                .map_or_else(|| ".".to_string(), |p| p.to_string()),
         );
     }
     out
@@ -91,7 +92,10 @@ impl std::error::Error for MafError {}
 /// 100+ columns; we locate the four we need). Lines starting with `#` are
 /// comments. Unparsable protein positions become `None`.
 pub fn parse_maf(text: &str) -> Result<Vec<MafRecord>, MafError> {
-    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.starts_with('#'));
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.starts_with('#'));
     let (_, header) = lines
         .next()
         .ok_or_else(|| MafError::BadHeader("Hugo_Symbol".into()))?;
@@ -211,7 +215,11 @@ mod tests {
     use super::*;
 
     fn universe(names: &[&str]) -> HashMap<String, usize> {
-        names.iter().enumerate().map(|(i, n)| (n.to_string(), i)).collect()
+        names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.to_string(), i))
+            .collect()
     }
 
     #[test]
@@ -311,14 +319,21 @@ mod tests {
 
     #[test]
     fn cohort_roundtrips_through_maf() {
-        use crate::synth::{generate, gene_symbols, CohortSpec};
-        let cohort = generate(&CohortSpec { n_genes: 20, n_tumor: 30, ..Default::default() });
+        use crate::synth::{gene_symbols, generate, CohortSpec};
+        let cohort = generate(&CohortSpec {
+            n_genes: 20,
+            n_tumor: 30,
+            ..Default::default()
+        });
         let names = gene_symbols(&cohort);
         let recs = matrix_to_records(&cohort.tumor, &names, "TCGA-T");
         let text = write_maf(&recs);
         let parsed = parse_maf(&text).unwrap();
-        let gi: HashMap<String, usize> =
-            names.iter().enumerate().map(|(i, n)| (n.clone(), i)).collect();
+        let gi: HashMap<String, usize> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i))
+            .collect();
         let summary = summarize(&parsed, &gi);
         // Samples with zero mutations never appear in a MAF; compare only
         // non-empty columns, which keep their relative order.

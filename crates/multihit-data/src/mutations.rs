@@ -110,7 +110,13 @@ pub fn expand(cohort: &Cohort, spec: &ExpansionSpec) -> MutationCohort {
     // First pass: draw a position for every event; collect site set.
     let draw = |g: u32, is_tumor: bool, rng: &mut SmallRng| -> u32 {
         match (model_for(g), is_tumor) {
-            (PositionModel::Hotspot { hotspot, concentration }, true) => {
+            (
+                PositionModel::Hotspot {
+                    hotspot,
+                    concentration,
+                },
+                true,
+            ) => {
                 if rng.random::<f64>() < concentration {
                     hotspot
                 } else {
@@ -126,13 +132,25 @@ pub fn expand(cohort: &Cohort, spec: &ExpansionSpec) -> MutationCohort {
         for s in 0..cohort.tumor.n_samples() {
             if cohort.tumor.get(g, s) {
                 let pos = draw(g as u32, true, &mut rng);
-                tumor_events.push((MutationSite { gene: g as u32, position: pos }, s));
+                tumor_events.push((
+                    MutationSite {
+                        gene: g as u32,
+                        position: pos,
+                    },
+                    s,
+                ));
             }
         }
         for s in 0..cohort.normal.n_samples() {
             if cohort.normal.get(g, s) {
                 let pos = draw(g as u32, false, &mut rng);
-                normal_events.push((MutationSite { gene: g as u32, position: pos }, s));
+                normal_events.push((
+                    MutationSite {
+                        gene: g as u32,
+                        position: pos,
+                    },
+                    s,
+                ));
             }
         }
     }
@@ -157,7 +175,10 @@ pub fn expand(cohort: &Cohort, spec: &ExpansionSpec) -> MutationCohort {
 
     let driver_sites = drivers
         .iter()
-        .map(|&g| MutationSite { gene: g, position: hotspots[&g] })
+        .map(|&g| MutationSite {
+            gene: g,
+            position: hotspots[&g],
+        })
         .collect();
     MutationCohort {
         tumor,
@@ -290,7 +311,10 @@ mod tests {
         let result = discover::<2>(
             &filtered.tumor,
             &filtered.normal,
-            &GreedyConfig { max_combinations: 4, ..GreedyConfig::default() },
+            &GreedyConfig {
+                max_combinations: 4,
+                ..GreedyConfig::default()
+            },
         );
         let discovered_sites: Vec<MutationSite> = result
             .combinations

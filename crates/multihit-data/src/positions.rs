@@ -94,7 +94,10 @@ fn mode(xs: &[u32]) -> Option<u32> {
     for &x in xs {
         *counts.entry(x).or_insert(0usize) += 1;
     }
-    counts.into_iter().max_by_key(|&(p, c)| (c, std::cmp::Reverse(p))).map(|(p, _)| p)
+    counts
+        .into_iter()
+        .max_by_key(|&(p, c)| (c, std::cmp::Reverse(p)))
+        .map(|(p, _)| p)
 }
 
 fn peak_fraction(xs: &[u32]) -> f64 {
@@ -125,7 +128,10 @@ pub fn generate_profile(
     let uniform = |rng: &mut SmallRng| rng.random_range(1..=length);
     let tumor_positions: Vec<u32> = (0..n_tumor_mut)
         .map(|_| match model {
-            PositionModel::Hotspot { hotspot, concentration } => {
+            PositionModel::Hotspot {
+                hotspot,
+                concentration,
+            } => {
                 if rng.random::<f64>() < concentration {
                     hotspot
                 } else {
@@ -152,7 +158,10 @@ pub fn lgg_fig10_profiles(seed: u64) -> (PositionProfile, PositionProfile) {
     let idh1 = generate_profile(
         "IDH1",
         414,
-        PositionModel::Hotspot { hotspot: 132, concentration: 0.97 },
+        PositionModel::Hotspot {
+            hotspot: 132,
+            concentration: 0.97,
+        },
         400,
         0,
         seed,
@@ -170,7 +179,10 @@ mod tests {
         let p = generate_profile(
             "IDH1",
             414,
-            PositionModel::Hotspot { hotspot: 132, concentration: 0.95 },
+            PositionModel::Hotspot {
+                hotspot: 132,
+                concentration: 0.95,
+            },
             400,
             0,
             7,

@@ -196,9 +196,18 @@ mod tests {
     #[test]
     fn codes_are_unique() {
         let all = [
-            CancerType::Acc, CancerType::Blca, CancerType::Brca, CancerType::Cesc,
-            CancerType::Esca, CancerType::Gbm, CancerType::Hnsc, CancerType::Kirc,
-            CancerType::Lgg, CancerType::Lihc, CancerType::Luad, CancerType::Lusc,
+            CancerType::Acc,
+            CancerType::Blca,
+            CancerType::Brca,
+            CancerType::Cesc,
+            CancerType::Esca,
+            CancerType::Gbm,
+            CancerType::Hnsc,
+            CancerType::Kirc,
+            CancerType::Lgg,
+            CancerType::Lihc,
+            CancerType::Luad,
+            CancerType::Lusc,
             CancerType::Stad,
         ];
         let set: std::collections::HashSet<_> = all.iter().map(|c| c.code()).collect();

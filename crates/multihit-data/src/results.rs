@@ -36,18 +36,19 @@ pub struct ResultsFile {
 impl ResultsFile {
     /// Build from a greedy run plus gene symbols.
     #[must_use]
-    pub fn from_run<const H: usize>(
-        cohort: &str,
-        run: &GreedyResult<H>,
-        names: &[String],
-    ) -> Self {
+    pub fn from_run<const H: usize>(cohort: &str, run: &GreedyResult<H>, names: &[String]) -> Self {
         let rows = run
             .iterations
             .iter()
             .enumerate()
             .map(|(iteration, rec)| ResultRow {
                 iteration,
-                genes: rec.best.genes.iter().map(|&g| names[g as usize].clone()).collect(),
+                genes: rec
+                    .best
+                    .genes
+                    .iter()
+                    .map(|&g| names[g as usize].clone())
+                    .collect(),
                 f: rec.f,
                 tp: rec.best.tp,
                 tn: rec.best.tn,
@@ -131,7 +132,10 @@ mod tests {
         let run = discover::<3>(
             &cohort.tumor,
             &cohort.normal,
-            &GreedyConfig { max_combinations: 3, ..GreedyConfig::default() },
+            &GreedyConfig {
+                max_combinations: 3,
+                ..GreedyConfig::default()
+            },
         );
         let rf = ResultsFile::from_run("BRCA-synth", &run, &names);
         let text = rf.to_tsv();

@@ -27,7 +27,10 @@ pub struct Split {
 /// Panics unless `0 < frac < 1`.
 #[must_use]
 pub fn split_indices(n: usize, frac: f64, seed: u64) -> Split {
-    assert!(frac > 0.0 && frac < 1.0, "training fraction must be in (0,1)");
+    assert!(
+        frac > 0.0 && frac < 1.0,
+        "training fraction must be in (0,1)"
+    );
     let mut idx: Vec<usize> = (0..n).collect();
     let mut rng = SmallRng::seed_from_u64(seed);
     idx.shuffle(&mut rng);
@@ -66,12 +69,7 @@ pub struct CohortSplit {
 
 /// Split tumor and normal matrices 75/25 (or any fraction).
 #[must_use]
-pub fn split_cohort(
-    tumor: &BitMatrix,
-    normal: &BitMatrix,
-    frac: f64,
-    seed: u64,
-) -> CohortSplit {
+pub fn split_cohort(tumor: &BitMatrix, normal: &BitMatrix, frac: f64, seed: u64) -> CohortSplit {
     let st = split_indices(tumor.n_samples(), frac, seed);
     let sn = split_indices(normal.n_samples(), frac, seed.wrapping_add(1));
     CohortSplit {

@@ -130,8 +130,9 @@ pub fn generate(spec: &CohortSpec) -> Cohort {
 
     // Assign each tumor to a driver combination (balanced, then shuffled)
     // and implant its genes with the given penetrance.
-    let mut assignment: Vec<usize> =
-        (0..spec.n_tumor).map(|s| s % spec.n_driver_combos).collect();
+    let mut assignment: Vec<usize> = (0..spec.n_tumor)
+        .map(|s| s % spec.n_driver_combos)
+        .collect();
     assignment.shuffle(&mut rng);
     for (s, &c) in assignment.iter().enumerate() {
         if rng.random::<f64>() < spec.driver_penetrance {
@@ -179,10 +180,13 @@ pub fn generate(spec: &CohortSpec) -> Cohort {
 /// the paper's examples, everything else is `Gnnnnn`.
 #[must_use]
 pub fn gene_symbols(cohort: &Cohort) -> Vec<String> {
-    const DRIVER_NAMES: [&str; 8] =
-        ["IDH1", "TP53", "PIK3CA", "KRAS", "BRAF", "EGFR", "PTEN", "RB1"];
+    const DRIVER_NAMES: [&str; 8] = [
+        "IDH1", "TP53", "PIK3CA", "KRAS", "BRAF", "EGFR", "PTEN", "RB1",
+    ];
     let drivers = cohort.driver_genes();
-    let mut names: Vec<String> = (0..cohort.spec.n_genes).map(|g| format!("G{g:05}")).collect();
+    let mut names: Vec<String> = (0..cohort.spec.n_genes)
+        .map(|g| format!("G{g:05}"))
+        .collect();
     for (t, &g) in drivers.iter().enumerate() {
         if t < DRIVER_NAMES.len() {
             names[g as usize] = DRIVER_NAMES[t].to_string();
@@ -208,13 +212,19 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let a = generate(&CohortSpec::default());
-        let b = generate(&CohortSpec { seed: 999, ..CohortSpec::default() });
+        let b = generate(&CohortSpec {
+            seed: 999,
+            ..CohortSpec::default()
+        });
         assert_ne!(a.tumor, b.tumor);
     }
 
     #[test]
     fn planted_combos_are_disjoint_and_sorted() {
-        let c = generate(&CohortSpec { n_driver_combos: 5, ..CohortSpec::default() });
+        let c = generate(&CohortSpec {
+            n_driver_combos: 5,
+            ..CohortSpec::default()
+        });
         let mut all: Vec<u32> = c.planted.iter().flatten().copied().collect();
         let before = all.len();
         all.sort_unstable();
@@ -228,7 +238,10 @@ mod tests {
 
     #[test]
     fn full_penetrance_plants_every_tumor() {
-        let spec = CohortSpec { driver_penetrance: 1.0, ..CohortSpec::default() };
+        let spec = CohortSpec {
+            driver_penetrance: 1.0,
+            ..CohortSpec::default()
+        };
         let c = generate(&spec);
         for (s, &a) in c.assignment.iter().enumerate() {
             for &g in &c.planted[a] {
@@ -253,7 +266,10 @@ mod tests {
 
     #[test]
     fn gene_weights_are_long_tailed() {
-        let c = generate(&CohortSpec { n_genes: 2000, ..CohortSpec::default() });
+        let c = generate(&CohortSpec {
+            n_genes: 2000,
+            ..CohortSpec::default()
+        });
         let max = c.gene_weight.iter().cloned().fold(0.0, f64::max);
         let mean = c.gene_weight.iter().sum::<f64>() / 2000.0;
         assert!(max > 3.0 * mean, "max {max} vs mean {mean}");
@@ -262,7 +278,11 @@ mod tests {
 
     #[test]
     fn assignment_is_balanced() {
-        let spec = CohortSpec { n_tumor: 120, n_driver_combos: 3, ..CohortSpec::default() };
+        let spec = CohortSpec {
+            n_tumor: 120,
+            n_driver_combos: 3,
+            ..CohortSpec::default()
+        };
         let c = generate(&spec);
         let mut counts = [0usize; 3];
         for &a in &c.assignment {
@@ -290,7 +310,9 @@ mod tests {
         let drivers = c.driver_genes();
         assert_eq!(names[drivers[0] as usize], "IDH1");
         // Non-driver genes keep synthetic ids.
-        let non_driver = (0..c.spec.n_genes as u32).find(|g| !drivers.contains(g)).unwrap();
+        let non_driver = (0..c.spec.n_genes as u32)
+            .find(|g| !drivers.contains(g))
+            .unwrap();
         assert!(names[non_driver as usize].starts_with('G'));
     }
 }

@@ -2,11 +2,11 @@
 //! arbitrary records, split partitioning, classifier/CI bounds, and
 //! generator invariants.
 
+use multihit_core::bitmat::BitMatrix;
 use multihit_data::classify::{ComboClassifier, Proportion};
 use multihit_data::maf::{parse_maf, summarize, write_maf, MafRecord};
 use multihit_data::split::{split_indices, take_columns};
 use multihit_data::synth::{generate, CohortSpec};
-use multihit_core::bitmat::BitMatrix;
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -27,12 +27,14 @@ fn arb_record() -> impl Strategy<Value = MafRecord> {
         ]),
         prop::option::of(1u32..3000),
     )
-        .prop_map(|(hugo_symbol, sample_barcode, class, protein_position)| MafRecord {
-            hugo_symbol,
-            sample_barcode,
-            variant_classification: class.to_string(),
-            protein_position,
-        })
+        .prop_map(
+            |(hugo_symbol, sample_barcode, class, protein_position)| MafRecord {
+                hugo_symbol,
+                sample_barcode,
+                variant_classification: class.to_string(),
+                protein_position,
+            },
+        )
 }
 
 proptest! {

@@ -6,6 +6,7 @@
 //! of GPU `g` is `time_g / max_g time_g` — the straggler reads 100%.
 
 use crate::cost::{CostModel, GpuCost, StallBreakdown};
+use multihit_core::obs::Obs;
 
 /// The full per-GPU profile row of one run.
 #[derive(Clone, Copy, Debug)]
@@ -32,11 +33,55 @@ pub fn run_metrics(model: &CostModel, costs: &[GpuCost]) -> Vec<GpuRunMetrics> {
         .map(|(gpu_index, cost)| GpuRunMetrics {
             gpu_index,
             cost: *cost,
-            utilization: if max_t > 0.0 { cost.time_s / max_t } else { 0.0 },
+            utilization: if max_t > 0.0 {
+                cost.time_s / max_t
+            } else {
+                0.0
+            },
             dram_gbps: cost.dram_gbps(),
             stalls: model.stalls(cost),
         })
         .collect()
+}
+
+/// Publish a run's [`GpuRunMetrics`] onto an observability stream: one
+/// `gpu_metrics` point per GPU plus aggregate `gpu.*` counters and fleet
+/// gauges. This is the single funnel from the NVPROF-style profile rows to
+/// the metrics JSON — consumers read the stream instead of re-deriving the
+/// numbers from raw costs.
+pub fn record_run_metrics(obs: &Obs, metrics: &[GpuRunMetrics]) {
+    if !obs.is_enabled() || metrics.is_empty() {
+        return;
+    }
+    let mut busy_ns_total = 0u64;
+    let mut bytes_total = 0u64;
+    for m in metrics {
+        let time_ns = (m.cost.time_s * 1e9) as u64;
+        busy_ns_total += time_ns;
+        bytes_total += m.cost.bytes;
+        obs.point(
+            "gpu_metrics",
+            &[
+                ("gpu", m.gpu_index.into()),
+                ("time_ns", time_ns.into()),
+                ("utilization", m.utilization.into()),
+                ("dram_gbps", m.dram_gbps.into()),
+                ("bytes", m.cost.bytes.into()),
+                ("occupancy", m.cost.occupancy.into()),
+                ("stall_mem_dep", m.stalls.memory_dependency.into()),
+                ("stall_mem_throttle", m.stalls.memory_throttle.into()),
+                ("stall_exec_dep", m.stalls.execution_dependency.into()),
+                ("stall_other", m.stalls.other.into()),
+            ],
+        );
+    }
+    obs.counter_add("gpu.launches", metrics.len() as u64);
+    obs.counter_add("gpu.busy_ns", busy_ns_total);
+    obs.counter_add("gpu.bytes", bytes_total);
+    let (mean, min, max) = utilization_summary(metrics);
+    obs.gauge_set("gpu.utilization_mean", mean);
+    obs.gauge_set("gpu.utilization_min", min);
+    obs.gauge_set("gpu.utilization_max", max);
 }
 
 /// Multiplicative per-GPU performance jitter (node-to-node variability: OS
@@ -45,7 +90,10 @@ pub fn run_metrics(model: &CostModel, costs: &[GpuCost]) -> Vec<GpuRunMetrics> {
 /// spikes (GPU #372, #504, #560) into an otherwise smooth model.
 #[must_use]
 pub fn jitter_factors(n: usize, amplitude: f64, seed: u64) -> Vec<f64> {
-    assert!((0.0..1.0).contains(&amplitude), "amplitude must be in [0,1)");
+    assert!(
+        (0.0..1.0).contains(&amplitude),
+        "amplitude must be in [0,1)"
+    );
     let mut state = seed ^ 0x5DEECE66D;
     (0..n)
         .map(|_| {
@@ -116,7 +164,9 @@ mod tests {
         let m = run_metrics(&model, &costs);
         let max_u = m.iter().map(|x| x.utilization).fold(0.0f64, f64::max);
         assert!((max_u - 1.0).abs() < 1e-12);
-        assert!(m.iter().all(|x| x.utilization > 0.0 && x.utilization <= 1.0));
+        assert!(m
+            .iter()
+            .all(|x| x.utilization > 0.0 && x.utilization <= 1.0));
     }
 
     #[test]

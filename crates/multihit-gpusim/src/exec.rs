@@ -114,6 +114,48 @@ pub fn run_maxf4(
     }
 }
 
+/// [`run_maxf4`] with observability: wraps the launch in a `kernel` span,
+/// emits one `kernel` point (λ-range, audited combos/words, wall
+/// `kernel_ns`) and folds the audit into `exec.*` counters.
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+pub fn run_maxf4_obs(
+    tumor: &BitMatrix,
+    normal: &BitMatrix,
+    alpha: Alpha,
+    scheme: Scheme4,
+    lo: u64,
+    hi: u64,
+    block_size: usize,
+    obs: &multihit_core::obs::Obs,
+) -> ExecOutcome<4> {
+    let span = obs.span("kernel");
+    let start = std::time::Instant::now();
+    let out = run_maxf4(tumor, normal, alpha, scheme, lo, hi, block_size);
+    let kernel_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    if obs.is_enabled() {
+        obs.point(
+            "kernel",
+            &[
+                ("scheme", scheme.name().into()),
+                ("lo", lo.into()),
+                ("hi", hi.into()),
+                ("kernel_ns", kernel_ns.into()),
+                ("combos", out.profile.combos.into()),
+                ("inner_words", out.profile.inner_words.into()),
+                ("prefetch_words", out.profile.prefetch_words.into()),
+            ],
+        );
+        obs.counter_add("exec.launches", 1);
+        obs.counter_add("exec.combos", out.profile.combos);
+        obs.counter_add("exec.inner_words", out.profile.inner_words);
+        obs.counter_add("exec.prefetch_words", out.profile.prefetch_words);
+        obs.counter_add("exec.kernel_ns", kernel_ns);
+    }
+    drop(span);
+    out
+}
+
 /// Execute the 3-hit `maxF` kernel over threads `[lo, hi)` of `scheme`.
 #[must_use]
 pub fn run_maxf3(
@@ -209,7 +251,9 @@ mod tests {
     fn lcg_matrices(g: usize, nt: usize, nn: usize, seed: u64) -> (BitMatrix, BitMatrix) {
         let mut state = seed | 1;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
         let mut t = BitMatrix::zeros(g, nt);
@@ -232,7 +276,10 @@ mod tests {
     #[test]
     fn kernel_matches_reference_for_both_schemes() {
         let (t, n) = lcg_matrices(12, 96, 64, 4);
-        let cfg = GreedyConfig { parallel: false, ..GreedyConfig::default() };
+        let cfg = GreedyConfig {
+            parallel: false,
+            ..GreedyConfig::default()
+        };
         let expect = best_combination::<4>(&t, &n, None, &cfg);
         for scheme in [Scheme4::TwoXTwo, Scheme4::ThreeXOne] {
             let nthreads = scheme.thread_count(12);
@@ -245,9 +292,20 @@ mod tests {
     #[test]
     fn three_hit_kernel_matches_reference() {
         let (t, n) = lcg_matrices(13, 70, 50, 9);
-        let cfg = GreedyConfig { parallel: false, ..GreedyConfig::default() };
+        let cfg = GreedyConfig {
+            parallel: false,
+            ..GreedyConfig::default()
+        };
         let expect = best_combination::<3>(&t, &n, None, &cfg);
-        let out = run_maxf3(&t, &n, Alpha::PAPER, Scheme3::TwoXOne, 0, binomial(13, 2), 512);
+        let out = run_maxf3(
+            &t,
+            &n,
+            Alpha::PAPER,
+            Scheme3::TwoXOne,
+            0,
+            binomial(13, 2),
+            512,
+        );
         assert_eq!(out.best, expect);
     }
 
@@ -276,10 +334,16 @@ mod tests {
             let hi = 3 * total / 4;
             let out = run_maxf4(&t, &n, Alpha::PAPER, scheme, lo, hi, 512);
             let analytic = crate::profile::profile_range4(scheme, 15, w, lo, hi);
-            assert_eq!(out.profile.n_threads, analytic.n_threads, "{}", scheme.name());
+            assert_eq!(
+                out.profile.n_threads,
+                analytic.n_threads,
+                "{}",
+                scheme.name()
+            );
             assert_eq!(out.profile.combos, analytic.combos, "{}", scheme.name());
             assert_eq!(
-                out.profile.prefetch_words, analytic.prefetch_words,
+                out.profile.prefetch_words,
+                analytic.prefetch_words,
                 "{}",
                 scheme.name()
             );

@@ -109,7 +109,10 @@ mod tests {
         assert_eq!(lc.block_records(), threads.div_ceil(512));
         // ~2.38e9 block records fleet-wide → 47.6 GB at 20 B each.
         let bytes = lc.block_records() * 20;
-        assert!((bytes as f64 / 47.6e9 - 1.0).abs() < 0.02, "bytes = {bytes}");
+        assert!(
+            (bytes as f64 / 47.6e9 - 1.0).abs() < 0.02,
+            "bytes = {bytes}"
+        );
     }
 
     #[test]

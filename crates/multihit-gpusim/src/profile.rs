@@ -254,7 +254,10 @@ pub fn profile_partitions(
     prefetch: u64,
     mid_loop_reads: bool,
 ) -> Vec<WorkProfile> {
-    debug_assert!(bounds.windows(2).all(|b| b[0].1 <= b[1].0), "ranges must be sorted/disjoint");
+    debug_assert!(
+        bounds.windows(2).all(|b| b[0].1 <= b[1].0),
+        "ranges must be sorted/disjoint"
+    );
     let mut out = vec![WorkProfile::default(); bounds.len()];
     let mut p = 0usize;
     for lv in levels {

@@ -1,0 +1,217 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the surface the `multihit-bench` benches use: `Criterion`,
+//! `benchmark_group`/`bench_function`/`bench_with_input`, `Bencher::iter`,
+//! `black_box`, `BenchmarkId`, and the `criterion_group!`/`criterion_main!`
+//! macros. There is no statistics engine: each benchmark runs a fixed small
+//! number of iterations and reports the mean wall-clock time. With `--test`
+//! on the command line (CI smoke mode, `cargo bench -- --test`) each body
+//! runs exactly once.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; prevents the optimizer from deleting the benched
+/// computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Runs one benchmark body repeatedly.
+pub struct Bencher {
+    test_mode: bool,
+    iters: u64,
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, called `iters` times (once in `--test` mode).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let iters = if self.test_mode { 1 } else { self.iters };
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.mean = start.elapsed() / u32::try_from(iters).unwrap_or(u32::MAX);
+        self.iters = iters;
+    }
+}
+
+/// Label for a parameterized benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Use the parameter's `Display` form as the benchmark name.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Top-level benchmark driver; handed to each registered function.
+pub struct Criterion {
+    test_mode: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            test_mode,
+            sample_size: 10,
+        }
+    }
+}
+
+fn run_one(label: &str, test_mode: bool, iters: u64, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        test_mode,
+        iters,
+        mean: Duration::ZERO,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("test {label} ... ok (smoke, 1 iteration)");
+    } else {
+        println!("{label}: {:?} mean over {} iterations", b.mean, b.iters);
+    }
+}
+
+impl Criterion {
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(
+        &mut self,
+        name: impl Display,
+        f: F,
+    ) -> &mut Self {
+        run_one(
+            &name.to_string(),
+            self.test_mode,
+            self.sample_size as u64,
+            f,
+        );
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: self.sample_size,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set iteration count for subsequent benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(
+        &mut self,
+        name: impl Display,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, name);
+        run_one(&label, self.parent.test_mode, self.sample_size as u64, f);
+        self
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(
+            &label,
+            self.parent.test_mode,
+            self.sample_size as u64,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// End the group (kept for API compatibility; no-op).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_body() {
+        let mut hits = 0u64;
+        let mut b = Bencher {
+            test_mode: false,
+            iters: 5,
+            mean: Duration::ZERO,
+        };
+        b.iter(|| hits += 1);
+        assert_eq!(hits, 5);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut hits = 0u64;
+        let mut b = Bencher {
+            test_mode: true,
+            iters: 100,
+            mean: Duration::ZERO,
+        };
+        b.iter(|| hits += 1);
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn group_labels_and_chaining() {
+        let mut c = Criterion {
+            test_mode: true,
+            sample_size: 10,
+        };
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.bench_function("a", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::from_parameter("p"), &7u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+    }
+}

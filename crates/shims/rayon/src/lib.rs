@@ -1,0 +1,180 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no network access, so this crate provides the
+//! subset of the rayon API the workspace uses — `par_iter()` on slices,
+//! `into_par_iter()` on integer ranges, `map`, `collect`, `reduce`, and
+//! [`current_num_threads`] — implemented with `std::thread::scope` over
+//! contiguous chunks. Results are produced in input order, so deterministic
+//! reductions (like the workspace's `Scored::max_det`) behave identically
+//! to real rayon.
+
+use std::ops::Range;
+
+/// Worker threads a parallel call will use (one per available core).
+#[must_use]
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Everything a caller needs in scope; mirrors `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// A materialized parallel iterator.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// A lazily mapped parallel iterator.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Map each item with `f` (runs when the chain is consumed).
+    pub fn map<U, F>(self, f: F) -> ParMap<T, F>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+impl<T, U, F> ParMap<T, F>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    fn run(self) -> Vec<U> {
+        let ParMap { items, f } = self;
+        let n = items.len();
+        let threads = current_num_threads().min(n);
+        if threads <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let mut out: Vec<Option<U>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        let mut pending = items.into_iter();
+        let mut chunks_in: Vec<Vec<T>> = Vec::with_capacity(threads);
+        loop {
+            let c: Vec<T> = pending.by_ref().take(chunk).collect();
+            if c.is_empty() {
+                break;
+            }
+            chunks_in.push(c);
+        }
+        let f = &f;
+        std::thread::scope(|s| {
+            for (slots, chunk_items) in out.chunks_mut(chunk).zip(chunks_in) {
+                s.spawn(move || {
+                    for (slot, item) in slots.iter_mut().zip(chunk_items) {
+                        *slot = Some(f(item));
+                    }
+                });
+            }
+        });
+        out.into_iter()
+            .map(|o| o.expect("worker filled every slot"))
+            .collect()
+    }
+
+    /// Collect mapped results in input order.
+    pub fn collect<C: From<Vec<U>>>(self) -> C {
+        C::from(self.run())
+    }
+
+    /// Fold mapped results with `op`, seeded by `identity`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> U
+    where
+        ID: Fn() -> U,
+        OP: Fn(U, U) -> U,
+    {
+        self.run().into_iter().fold(identity(), op)
+    }
+}
+
+/// Owned conversion into a parallel iterator (`0..n` ranges).
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// Materialize into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+macro_rules! impl_range_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+impl_range_par!(u32, u64, usize);
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowing conversion (`slice.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type produced (a borrow).
+    type Item: Send + 'a;
+    /// Materialize references into a parallel iterator.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0u64..1000).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0u64..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reduce_matches_sequential_fold() {
+        let total = (0u64..10_000)
+            .into_par_iter()
+            .map(|x| x * x)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, (0u64..10_000).map(|x| x * x).sum::<u64>());
+    }
+
+    #[test]
+    fn par_iter_over_slice() {
+        let xs = [(1u64, 2u64), (3, 4), (5, 6)];
+        let sums: Vec<u64> = xs.par_iter().map(|&(a, b)| a + b).collect();
+        assert_eq!(sums, vec![3, 7, 11]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let v: Vec<u64> = (0u64..0).into_par_iter().map(|x| x).collect();
+        assert!(v.is_empty());
+    }
+}

@@ -30,8 +30,11 @@ fn main() {
     let maf_text = write_maf(&records);
     println!("MAF: {} records, {} bytes", records.len(), maf_text.len());
     let parsed = parse_maf(&maf_text).expect("roundtrip parse");
-    let gene_index: HashMap<String, usize> =
-        names.iter().enumerate().map(|(i, n)| (n.clone(), i)).collect();
+    let gene_index: HashMap<String, usize> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.clone(), i))
+        .collect();
     let summary = summarize(&parsed, &gene_index);
     println!(
         "summarized: {} samples with mutations, {} silent skipped",
@@ -50,11 +53,26 @@ fn main() {
     );
     // BRCA is estimated to require only 2-3 hits (the paper runs it at
     // h = 4 purely as the largest scaling dataset); discover at h = 3.
-    let result = discover::<3>(&split.train_tumor, &split.train_normal, &GreedyConfig::default());
-    println!("\ndiscovered {} 3-hit combinations:", result.combinations.len());
+    let result = discover::<3>(
+        &split.train_tumor,
+        &split.train_normal,
+        &GreedyConfig::default(),
+    );
+    println!(
+        "\ndiscovered {} 3-hit combinations:",
+        result.combinations.len()
+    );
     for rec in &result.iterations {
-        let named: Vec<&str> = rec.best.genes.iter().map(|&g| names[g as usize].as_str()).collect();
-        println!("  {named:?}  F = {:.4}  TP = {}  TN = {}", rec.f, rec.best.tp, rec.best.tn);
+        let named: Vec<&str> = rec
+            .best
+            .genes
+            .iter()
+            .map(|&g| names[g as usize].as_str())
+            .collect();
+        println!(
+            "  {named:?}  F = {:.4}  TP = {}  TN = {}",
+            rec.f, rec.best.tp, rec.best.tn
+        );
     }
 
     // Classify the held-out split (Fig 9's protocol).

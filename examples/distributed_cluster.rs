@@ -35,13 +35,22 @@ fn main() {
     let reference = discover::<4>(
         &cohort.tumor,
         &cohort.normal,
-        &GreedyConfig { parallel: false, ..GreedyConfig::default() },
+        &GreedyConfig {
+            parallel: false,
+            ..GreedyConfig::default()
+        },
     );
-    println!("reference run: {} combinations", reference.combinations.len());
+    println!(
+        "reference run: {} combinations",
+        reference.combinations.len()
+    );
 
     for (nodes, gpus) in [(1usize, 2usize), (2, 3), (4, 6)] {
         let cfg = DistributedConfig {
-            shape: ClusterShape { nodes, gpus_per_node: gpus },
+            shape: ClusterShape {
+                nodes,
+                gpus_per_node: gpus,
+            },
             scheme: Scheme4::ThreeXOne,
             scheduler: SchedulerKind::EquiArea,
             ..DistributedConfig::default()

@@ -9,7 +9,7 @@
 
 use multihit::core::greedy::{discover, GreedyConfig};
 use multihit::data::mutations::{expand, filter_recurrent, ExpansionSpec};
-use multihit::data::synth::{generate, gene_symbols, CohortSpec};
+use multihit::data::synth::{gene_symbols, generate, CohortSpec};
 
 fn main() {
     let cohort = generate(&CohortSpec {
@@ -29,7 +29,10 @@ fn main() {
     let gene_level = discover::<2>(
         &cohort.tumor,
         &cohort.normal,
-        &GreedyConfig { max_combinations: 3, ..GreedyConfig::default() },
+        &GreedyConfig {
+            max_combinations: 3,
+            ..GreedyConfig::default()
+        },
     );
     println!("gene-level combinations:");
     for c in &gene_level.combinations {
@@ -57,7 +60,10 @@ fn main() {
     let site_level = discover::<2>(
         &filtered.tumor,
         &filtered.normal,
-        &GreedyConfig { max_combinations: 3, ..GreedyConfig::default() },
+        &GreedyConfig {
+            max_combinations: 3,
+            ..GreedyConfig::default()
+        },
     );
     println!("\nsite-level combinations (gene:position):");
     for c in &site_level.combinations {

@@ -5,7 +5,7 @@
 //! ```
 
 use multihit::core::greedy::{discover, GreedyConfig};
-use multihit::data::synth::{generate, gene_symbols, CohortSpec};
+use multihit::data::synth::{gene_symbols, generate, CohortSpec};
 
 fn main() {
     // A cohort with three planted 3-gene driver combinations.
@@ -37,7 +37,12 @@ fn main() {
 
     println!("\ndiscovered {} combinations:", result.combinations.len());
     for (it, rec) in result.iterations.iter().enumerate() {
-        let named: Vec<&str> = rec.best.genes.iter().map(|&g| names[g as usize].as_str()).collect();
+        let named: Vec<&str> = rec
+            .best
+            .genes
+            .iter()
+            .map(|&g| names[g as usize].as_str())
+            .collect();
         println!(
             "  #{it}: {named:?}  F = {:.4}  covered {} tumors ({} remaining)",
             rec.f, rec.newly_covered, rec.remaining
@@ -52,7 +57,15 @@ fn main() {
     let recovered = cohort
         .planted
         .iter()
-        .filter(|p| result.combinations.iter().any(|c| p.iter().all(|g| c.contains(g))))
+        .filter(|p| {
+            result
+                .combinations
+                .iter()
+                .any(|c| p.iter().all(|g| c.contains(g)))
+        })
         .count();
-    println!("recovered {recovered}/{} planted combinations", cohort.planted.len());
+    println!(
+        "recovered {recovered}/{} planted combinations",
+        cohort.planted.len()
+    );
 }

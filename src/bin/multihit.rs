@@ -5,16 +5,27 @@
 //!                   [--hits H] [--seed S]
 //! multihit discover --tumor T.maf --normal N.maf --hits H [--out R.tsv]
 //!                   [--max-combos N] [--cohort LABEL]
+//!                   [--metrics-out M.jsonl] [--trace]
 //! multihit classify --results R.tsv --tumor T.maf --normal N.maf
+//! multihit cluster  [--dataset brca|acc] [--nodes N] [--scheduler ea|ed|ec]
+//!                   [--metrics-out M.jsonl] [--trace]
 //! ```
 //!
 //! `synth` writes a synthetic cohort as a pair of MAF files plus the planted
 //! ground truth; `discover` runs the greedy weighted-set-cover search over
 //! two MAF files and writes a results TSV; `classify` evaluates a results
-//! file as a tumor/normal classifier against held-out MAFs.
+//! file as a tumor/normal classifier against held-out MAFs; `cluster` runs
+//! the modeled paper-scale cluster simulation through the discrete-event
+//! timeline and reports per-rank busy/idle attribution.
+//!
+//! `--metrics-out` writes the observability stream (JSON lines: spans,
+//! per-iteration/per-rank points, final counters) produced by the run;
+//! `--trace` additionally echoes each record to stderr as it happens.
 
+use multihit::cluster::driver::{timeline_run_obs, ModelConfig, SchedulerKind};
 use multihit::core::bitmat::BitMatrix;
-use multihit::core::greedy::{discover, GreedyConfig};
+use multihit::core::greedy::{discover_obs, GreedyConfig};
+use multihit::core::obs::{Obs, RunReport};
 use multihit::data::classify::ComboClassifier;
 use multihit::data::maf::{matrix_to_records, parse_maf, summarize, write_maf};
 use multihit::data::results::ResultsFile;
@@ -24,7 +35,9 @@ use std::path::Path;
 use std::process::ExitCode;
 
 fn arg_value(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn parse_or<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
@@ -36,6 +49,53 @@ fn parse_or<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Re
 
 fn required(args: &[String], name: &str) -> Result<String, String> {
     arg_value(args, name).ok_or_else(|| format!("missing required argument {name}"))
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+/// Build the run's observability handle from `--metrics-out` / `--trace`.
+fn obs_from_args(args: &[String]) -> (Obs, Option<String>) {
+    let metrics_out = arg_value(args, "--metrics-out");
+    let obs = if has_flag(args, "--trace") {
+        Obs::with_trace()
+    } else if metrics_out.is_some() {
+        Obs::enabled()
+    } else {
+        Obs::disabled()
+    };
+    (obs, metrics_out)
+}
+
+/// Write the stream if requested and print a short aggregate summary.
+fn finish_obs(obs: &Obs, metrics_out: Option<&str>) -> Result<(), String> {
+    if !obs.is_enabled() {
+        return Ok(());
+    }
+    if let Some(path) = metrics_out {
+        obs.write_json_lines(Path::new(path))
+            .map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote metrics stream to {path}");
+    }
+    let report = RunReport::from_events(&obs.events());
+    if !report.greedy_iters.is_empty() {
+        eprintln!(
+            "greedy: {} iterations, {} combinations scored, {:.3} ms scanning",
+            report.greedy_iters.len(),
+            report.total_combos_scored(),
+            report.total_scan_ns() as f64 / 1e6
+        );
+    }
+    if !report.ranks.is_empty() {
+        eprintln!(
+            "ranks: {} ranks, imbalance {:.3}, mean utilization {:.1}%",
+            report.ranks.len(),
+            report.rank_imbalance(),
+            100.0 * report.mean_rank_utilization()
+        );
+    }
+    Ok(())
 }
 
 /// Load a MAF file and summarize it against a gene universe built from the
@@ -54,8 +114,11 @@ fn load_matrices(
         .collect();
     genes.sort();
     genes.dedup();
-    let index: HashMap<String, usize> =
-        genes.iter().enumerate().map(|(i, g)| (g.clone(), i)).collect();
+    let index: HashMap<String, usize> = genes
+        .iter()
+        .enumerate()
+        .map(|(i, g)| (g.clone(), i))
+        .collect();
     let tumor = summarize(&t_recs, &index);
     let normal = summarize(&n_recs, &index);
     eprintln!(
@@ -90,13 +153,22 @@ fn cmd_synth(args: &[String]) -> Result<(), String> {
         println!("wrote {}", p.display());
         Ok(())
     };
-    write("tumor.maf", write_maf(&matrix_to_records(&cohort.tumor, &names, "TUMOR")))?;
-    write("normal.maf", write_maf(&matrix_to_records(&cohort.normal, &names, "NORMAL")))?;
+    write(
+        "tumor.maf",
+        write_maf(&matrix_to_records(&cohort.tumor, &names, "TUMOR")),
+    )?;
+    write(
+        "normal.maf",
+        write_maf(&matrix_to_records(&cohort.normal, &names, "NORMAL")),
+    )?;
     let truth = cohort
         .planted
         .iter()
         .map(|c| {
-            c.iter().map(|&g| names[g as usize].clone()).collect::<Vec<_>>().join(",")
+            c.iter()
+                .map(|&g| names[g as usize].clone())
+                .collect::<Vec<_>>()
+                .join(",")
         })
         .collect::<Vec<_>>()
         .join("\n");
@@ -112,11 +184,15 @@ fn run_discovery(
     normal: &BitMatrix,
     hits: usize,
     max: usize,
+    obs: &Obs,
 ) -> Result<Vec<DiscoveryRow>, String> {
-    let cfg = GreedyConfig { max_combinations: max, ..GreedyConfig::default() };
+    let cfg = GreedyConfig {
+        max_combinations: max,
+        ..GreedyConfig::default()
+    };
     macro_rules! run {
         ($h:literal) => {{
-            Ok(discover::<$h>(tumor, normal, &cfg)
+            Ok(discover_obs::<$h>(tumor, normal, &cfg, obs)
                 .iterations
                 .iter()
                 .enumerate()
@@ -141,14 +217,23 @@ fn cmd_discover(args: &[String]) -> Result<(), String> {
     let cohort = arg_value(args, "--cohort").unwrap_or_else(|| "cohort".to_string());
     let out = arg_value(args, "--out");
 
+    let (obs, metrics_out) = obs_from_args(args);
     let (tmat, nmat, genes) = load_matrices(&tumor_path, &normal_path)?;
-    let rows = run_discovery(&tmat, &nmat, hits, max)?;
+    let rows = run_discovery(&tmat, &nmat, hits, max, &obs)?;
+    finish_obs(&obs, metrics_out.as_deref())?;
 
-    let mut rf = ResultsFile { cohort, hits, rows: Vec::new() };
+    let mut rf = ResultsFile {
+        cohort,
+        hits,
+        rows: Vec::new(),
+    };
     for (iteration, gene_ids, f, tp, tn) in rows {
         rf.rows.push(multihit::data::results::ResultRow {
             iteration,
-            genes: gene_ids.iter().map(|&g| genes[g as usize].clone()).collect(),
+            genes: gene_ids
+                .iter()
+                .map(|&g| genes[g as usize].clone())
+                .collect(),
             f,
             tp,
             tn,
@@ -169,18 +254,28 @@ fn cmd_classify(args: &[String]) -> Result<(), String> {
     let results_path = required(args, "--results")?;
     let tumor_path = required(args, "--tumor")?;
     let normal_path = required(args, "--normal")?;
-    let text = std::fs::read_to_string(&results_path).map_err(|e| format!("{results_path}: {e}"))?;
+    let text =
+        std::fs::read_to_string(&results_path).map_err(|e| format!("{results_path}: {e}"))?;
     let rf = ResultsFile::from_tsv(&text)?;
     let (tmat, nmat, genes) = load_matrices(&tumor_path, &normal_path)?;
-    let index: HashMap<&str, u32> =
-        genes.iter().enumerate().map(|(i, g)| (g.as_str(), i as u32)).collect();
+    let index: HashMap<&str, u32> = genes
+        .iter()
+        .enumerate()
+        .map(|(i, g)| (g.as_str(), i as u32))
+        .collect();
     let mut clf = ComboClassifier::default();
     for row in &rf.rows {
-        let ids: Option<Vec<u32>> =
-            row.genes.iter().map(|g| index.get(g.as_str()).copied()).collect();
+        let ids: Option<Vec<u32>> = row
+            .genes
+            .iter()
+            .map(|g| index.get(g.as_str()).copied())
+            .collect();
         match ids {
             Some(ids) => clf.combinations.push(ids),
-            None => eprintln!("warning: combination {:?} has genes absent from the MAFs", row.genes),
+            None => eprintln!(
+                "warning: combination {:?} has genes absent from the MAFs",
+                row.genes
+            ),
         }
     }
     let perf = clf.evaluate(&tmat, &nmat);
@@ -205,12 +300,61 @@ fn cmd_classify(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str = "usage: multihit <synth|discover|classify> [options]
+fn cmd_cluster(args: &[String]) -> Result<(), String> {
+    let dataset = arg_value(args, "--dataset").unwrap_or_else(|| "acc".to_string());
+    let nodes: usize = parse_or(args, "--nodes", 8usize)?;
+    if nodes == 0 {
+        return Err("--nodes must be positive".to_string());
+    }
+    let mut cfg = match dataset.as_str() {
+        "brca" => ModelConfig::brca(nodes),
+        "acc" => ModelConfig::acc(nodes),
+        other => return Err(format!("unknown dataset {other} (brca|acc)")),
+    };
+    if let Some(s) = arg_value(args, "--scheduler") {
+        cfg.scheduler = match s.as_str() {
+            "ea" => SchedulerKind::EquiArea,
+            "ed" => SchedulerKind::EquiDistance,
+            "ec" => SchedulerKind::EquiCost,
+            other => return Err(format!("unknown scheduler {other} (ea|ed|ec)")),
+        };
+    }
+    let (obs, metrics_out) = obs_from_args(args);
+    // Metrics are this subcommand's whole point: collect even without
+    // --metrics-out so the summary below has data.
+    let obs = if obs.is_enabled() {
+        obs
+    } else {
+        Obs::enabled()
+    };
+    eprintln!(
+        "modeling {dataset} on {nodes} nodes ({} GPUs), scheduler {}",
+        cfg.shape.total_gpus(),
+        cfg.scheduler.name()
+    );
+    let timelines = timeline_run_obs(&cfg, &obs);
+    let total: f64 = timelines.iter().map(|t| t.makespan).sum();
+    println!("iterations\t{}", timelines.len());
+    println!("makespan_s\t{total:.4}");
+    let report = RunReport::from_events(&obs.events());
+    println!("rank_imbalance\t{:.4}", report.rank_imbalance());
+    println!("rank_utilization\t{:.4}", report.mean_rank_utilization());
+    println!(
+        "sched_partition_ns\t{}",
+        report.partition_ns.iter().sum::<u64>()
+    );
+    finish_obs(&obs, metrics_out.as_deref())?;
+    Ok(())
+}
+
+const USAGE: &str = "usage: multihit <synth|discover|classify|cluster> [options]
   synth    --out-dir DIR [--genes G --tumor NT --normal NN --combos C
            --hits H --penetrance P --noise-tumor X --noise-normal Y --seed S]
   discover --tumor T.maf --normal N.maf [--hits H --max-combos N
-           --cohort LABEL --out R.tsv]
-  classify --results R.tsv --tumor T.maf --normal N.maf";
+           --cohort LABEL --out R.tsv --metrics-out M.jsonl --trace]
+  classify --results R.tsv --tumor T.maf --normal N.maf
+  cluster  [--dataset brca|acc --nodes N --scheduler ea|ed|ec
+           --metrics-out M.jsonl --trace]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -223,6 +367,7 @@ fn main() -> ExitCode {
         "synth" => cmd_synth(rest),
         "discover" => cmd_discover(rest),
         "classify" => cmd_classify(rest),
+        "cluster" => cmd_cluster(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())

@@ -21,10 +21,16 @@ fn synth_discover_classify_pipeline() {
     let out = bin()
         .args(["synth", "--out-dir"])
         .arg(&dir)
-        .args(["--genes", "24", "--hits", "2", "--combos", "2", "--seed", "3"])
+        .args([
+            "--genes", "24", "--hits", "2", "--combos", "2", "--seed", "3",
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "synth failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "synth failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     for f in ["tumor.maf", "normal.maf", "truth.txt"] {
         assert!(dir.join(f).exists(), "{f} missing");
     }
@@ -39,10 +45,17 @@ fn synth_discover_classify_pipeline() {
         .arg(&results)
         .output()
         .unwrap();
-    assert!(out.status.success(), "discover failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "discover failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = std::fs::read_to_string(&results).unwrap();
     assert!(text.starts_with("#cohort\tclitest"));
-    assert!(text.lines().count() > 3, "no combinations discovered:\n{text}");
+    assert!(
+        text.lines().count() > 3,
+        "no combinations discovered:\n{text}"
+    );
 
     // The planted truth must appear among the discovered combinations.
     let truth = std::fs::read_to_string(dir.join("truth.txt")).unwrap();

@@ -33,15 +33,21 @@ fn maf_pipeline_feeds_discovery() {
     // samples that survive (all-zero columns drop out of MAF).
     let cohort = small_cohort(11);
     let names = gene_symbols(&cohort);
-    let gi: HashMap<String, usize> =
-        names.iter().enumerate().map(|(i, n)| (n.clone(), i)).collect();
+    let gi: HashMap<String, usize> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.clone(), i))
+        .collect();
 
     let maf = write_maf(&matrix_to_records(&cohort.tumor, &names, "T"));
     let tumor2 = summarize(&parse_maf(&maf).unwrap(), &gi).matrix;
     let maf_n = write_maf(&matrix_to_records(&cohort.normal, &names, "N"));
     let normal2 = summarize(&parse_maf(&maf_n).unwrap(), &gi).matrix;
 
-    let cfg = GreedyConfig { max_combinations: 2, ..GreedyConfig::default() };
+    let cfg = GreedyConfig {
+        max_combinations: 2,
+        ..GreedyConfig::default()
+    };
     let direct = discover::<3>(&cohort.tumor, &cohort.normal, &cfg);
     let roundtrip = discover::<3>(&tumor2, &normal2, &cfg);
     // With dense driver implants every tumor sample carries ≥1 mutation, so
@@ -81,12 +87,19 @@ fn distributed_equals_local_across_schedulers_and_schemes() {
     let reference = discover::<4>(
         &cohort.tumor,
         &cohort.normal,
-        &GreedyConfig { max_combinations: 2, parallel: false, ..GreedyConfig::default() },
+        &GreedyConfig {
+            max_combinations: 2,
+            parallel: false,
+            ..GreedyConfig::default()
+        },
     );
     for nodes in [1usize, 2, 5] {
         for scheduler in [SchedulerKind::EquiArea, SchedulerKind::EquiDistance] {
             let cfg = DistributedConfig {
-                shape: ClusterShape { nodes, gpus_per_node: 2 },
+                shape: ClusterShape {
+                    nodes,
+                    gpus_per_node: 2,
+                },
                 scheme: Scheme4::ThreeXOne,
                 scheduler,
                 max_combinations: 2,
@@ -106,14 +119,26 @@ fn train_test_protocol_produces_useful_classifier() {
     let spec = CancerType::Gbm.mini_spec(30, 77);
     let cohort = generate(&spec);
     let split = split_cohort(&cohort.tumor, &cohort.normal, 0.75, 4242);
-    let result = discover::<4>(&split.train_tumor, &split.train_normal, &GreedyConfig::default());
+    let result = discover::<4>(
+        &split.train_tumor,
+        &split.train_normal,
+        &GreedyConfig::default(),
+    );
     assert!(!result.combinations.is_empty());
     let clf = ComboClassifier::from_fixed(&result.combinations);
     let perf = clf.evaluate(&split.test_tumor, &split.test_normal);
     // On synthetic data with planted signal the classifier must clearly
     // beat chance on both axes.
-    assert!(perf.sensitivity.value() > 0.5, "sens {}", perf.sensitivity.value());
-    assert!(perf.specificity.value() > 0.7, "spec {}", perf.specificity.value());
+    assert!(
+        perf.sensitivity.value() > 0.5,
+        "sens {}",
+        perf.sensitivity.value()
+    );
+    assert!(
+        perf.specificity.value() > 0.7,
+        "spec {}",
+        perf.specificity.value()
+    );
 }
 
 #[test]

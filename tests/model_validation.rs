@@ -45,7 +45,12 @@ fn executed_runs_converge_in_paper_order_combo_counts() {
     );
     let early: u32 = run.iterations.iter().take(5).map(|r| r.newly_covered).sum();
     assert!(early > 911 / 2, "first 5 combos cover only {early}/911");
-    let head: u32 = run.iterations.iter().take(12).map(|r| r.newly_covered).sum();
+    let head: u32 = run
+        .iterations
+        .iter()
+        .take(12)
+        .map(|r| r.newly_covered)
+        .sum();
     assert!(head > 911 * 3 / 4, "first 12 combos cover only {head}/911");
 }
 
@@ -83,7 +88,10 @@ fn functional_combo_audit_matches_modeled_partitions() {
         hits_per_combo: 4,
         ..CohortSpec::default()
     });
-    let shape = ClusterShape { nodes: 2, gpus_per_node: 3 };
+    let shape = ClusterShape {
+        nodes: 2,
+        gpus_per_node: 3,
+    };
     let cfg = DistributedConfig {
         shape,
         scheme: Scheme4::ThreeXOne,

@@ -3,9 +3,7 @@
 //! substrate is a simulator, not Summit; see EXPERIMENTS.md).
 
 use multihit::cluster::driver::{model_run, ModelConfig, SchedulerKind};
-use multihit::cluster::timing::{
-    average_efficiency, strong_scaling_sweep, weak_scaling_sweep,
-};
+use multihit::cluster::timing::{average_efficiency, strong_scaling_sweep, weak_scaling_sweep};
 use multihit::core::combin::binomial;
 use multihit::core::reduce::footprint_bytes;
 use multihit::core::schemes::Scheme4;
@@ -19,7 +17,10 @@ fn abstract_strong_scaling_band() {
     let avg = average_efficiency(&pts);
     assert!((0.80..=0.98).contains(&avg), "avg efficiency {avg}");
     let at_1000 = pts.last().unwrap().efficiency;
-    assert!((0.75..=0.95).contains(&at_1000), "1000-node efficiency {at_1000}");
+    assert!(
+        (0.75..=0.95).contains(&at_1000),
+        "1000-node efficiency {at_1000}"
+    );
     for p in &pts[1..] {
         assert!(
             (0.78..=1.0).contains(&p.efficiency),
