@@ -3,6 +3,7 @@
 
 pub mod accuracy;
 pub mod extensions;
+pub mod faults;
 pub mod memopts;
 pub mod scaling;
 pub mod timeline;
@@ -36,6 +37,7 @@ pub const EXPERIMENTS: &[(&str, Generator)] = &[
     ("tbl-5hit", extensions::tbl_5hit),
     ("tbl-fullsummit", extensions::tbl_fullsummit),
     ("tbl-allcancers", scaling::tbl_allcancers),
+    ("tbl-fault", faults::tbl_fault),
     ("timeline", || timeline::timeline(20)),
 ];
 
@@ -59,7 +61,7 @@ mod registry_tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), before, "duplicate experiment names");
-        assert_eq!(before, 19);
+        assert_eq!(before, 20);
         for n in names {
             assert!(dispatch(n).is_some(), "{n} not dispatchable");
         }

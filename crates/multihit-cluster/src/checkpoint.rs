@@ -9,12 +9,21 @@
 //! matrix).
 //!
 //! The format is a versioned, line-oriented text file: portable, diffable,
-//! and parsable without extra dependencies.
+//! and parsable without extra dependencies. Version 2 appends a CRC-32
+//! trailer over the whole body, so torn writes and silent media corruption
+//! are detected at resume instead of resuming from garbage; version 1 files
+//! (no trailer) still parse. [`CheckpointStore`] adds the durable on-disk
+//! protocol: write-to-temp + rename atomicity, a `.bak` of the previous
+//! good checkpoint, and automatic fallback to it when the primary file is
+//! corrupt.
 
+use crate::fault::{crc32, CheckpointFault, FaultState};
 use multihit_core::bitmat::BitMatrix;
 use multihit_core::greedy::{best_combination, GreedyConfig};
 use multihit_core::obs::Obs;
 use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
 
 /// Resumable state of a 4-hit discovery run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -31,8 +40,8 @@ pub struct Checkpoint {
     pub uncovered_mask: Vec<u64>,
 }
 
-/// Current format version.
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// Current format version (2 = CRC-32 trailer; 1 = legacy, no trailer).
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 impl Checkpoint {
     /// A fresh checkpoint for an input cohort (nothing chosen yet).
@@ -53,7 +62,8 @@ impl Checkpoint {
         BitMatrix::mask_popcount(&self.uncovered_mask)
     }
 
-    /// Serialize to the text format.
+    /// Serialize to the text format. Version ≥ 2 appends a `crc` trailer
+    /// line: CRC-32 over every byte before it.
     #[must_use]
     pub fn to_text(&self) -> String {
         let mut out = String::new();
@@ -64,32 +74,59 @@ impl Checkpoint {
         for c in &self.chosen {
             let _ = writeln!(out, "combo\t{}\t{}\t{}\t{}", c[0], c[1], c[2], c[3]);
         }
+        if self.version >= 2 {
+            let _ = writeln!(out, "crc\t{:08x}", crc32(out.as_bytes()));
+        }
         out
     }
 
-    /// Parse the text format.
+    /// Parse the text format. Version 2 requires (and verifies) the CRC
+    /// trailer; version 1 has none. Rejects duplicate header records,
+    /// out-of-range gene ids, and a mask whose length disagrees with the
+    /// tumor count — corruption that slips past the CRC (or a legacy v1
+    /// file) must not resume into a silently wrong run.
     ///
     /// # Errors
     /// Returns a message naming the offending line.
     pub fn from_text(text: &str) -> Result<Self, String> {
-        let mut lines = text.lines();
+        // Split off the trailer first: everything before it is the body the
+        // CRC covers.
+        let (body, crc_hex) = match text.rfind("\ncrc\t") {
+            Some(pos) => (&text[..pos + 1], Some(text[pos + 5..].trim_end())),
+            None => (text, None),
+        };
+        let mut lines = body.lines();
         let head = lines.next().ok_or("empty checkpoint")?;
         let version: u32 = head
             .strip_prefix("multihit-checkpoint\tv")
             .and_then(|v| v.parse().ok())
             .ok_or("bad checkpoint header")?;
-        if version != CHECKPOINT_VERSION {
+        if !(1..=CHECKPOINT_VERSION).contains(&version) {
             return Err(format!("unsupported checkpoint version {version}"));
         }
-        let mut n_genes = None;
-        let mut n_tumor = None;
-        let mut uncovered_mask = None;
-        let mut chosen = Vec::new();
+        if version >= 2 {
+            let hex = crc_hex.ok_or("missing crc trailer")?;
+            let stated =
+                u32::from_str_radix(hex, 16).map_err(|_| format!("bad crc trailer {hex:?}"))?;
+            let actual = crc32(body.as_bytes());
+            if stated != actual {
+                return Err(format!(
+                    "crc mismatch: file says {stated:08x}, content is {actual:08x}"
+                ));
+            }
+        }
+        let mut n_genes: Option<usize> = None;
+        let mut n_tumor: Option<usize> = None;
+        let mut uncovered_mask: Option<Vec<u64>> = None;
+        let mut chosen: Vec<[u32; 4]> = Vec::new();
         for (idx, line) in lines.enumerate() {
             let err = |what: &str| format!("line {}: {what}", idx + 2);
             let mut f = line.split('\t');
             match f.next() {
                 Some("genes") => {
+                    if n_genes.is_some() {
+                        return Err(err("duplicate genes record"));
+                    }
                     n_genes = Some(
                         f.next()
                             .and_then(|v| v.parse().ok())
@@ -97,6 +134,9 @@ impl Checkpoint {
                     );
                 }
                 Some("tumors") => {
+                    if n_tumor.is_some() {
+                        return Err(err("duplicate tumors record"));
+                    }
                     n_tumor = Some(
                         f.next()
                             .and_then(|v| v.parse().ok())
@@ -104,6 +144,9 @@ impl Checkpoint {
                     );
                 }
                 Some("mask") => {
+                    if uncovered_mask.is_some() {
+                        return Err(err("duplicate mask record"));
+                    }
                     uncovered_mask =
                         Some(parse_hex_words(f.next().unwrap_or("")).map_err(|e| err(&e))?);
                 }
@@ -121,12 +164,29 @@ impl Checkpoint {
                 Some(other) => return Err(err(&format!("unknown record {other}"))),
             }
         }
+        let n_genes = n_genes.ok_or("missing genes record")?;
+        let n_tumor = n_tumor.ok_or("missing tumors record")?;
+        let uncovered_mask = uncovered_mask.ok_or("missing mask record")?;
+        let expect_words = n_tumor.div_ceil(64);
+        if uncovered_mask.len() != expect_words {
+            return Err(format!(
+                "mask has {} words, {n_tumor} tumors need {expect_words}",
+                uncovered_mask.len()
+            ));
+        }
+        for (i, c) in chosen.iter().enumerate() {
+            if let Some(&g) = c.iter().find(|&&g| g as usize >= n_genes) {
+                return Err(format!(
+                    "combo {i} has gene id {g} outside the {n_genes}-gene universe"
+                ));
+            }
+        }
         Ok(Checkpoint {
             version,
-            n_genes: n_genes.ok_or("missing genes record")?,
-            n_tumor: n_tumor.ok_or("missing tumors record")?,
+            n_genes,
+            n_tumor,
             chosen,
-            uncovered_mask: uncovered_mask.ok_or("missing mask record")?,
+            uncovered_mask,
         })
     }
 
@@ -150,6 +210,114 @@ impl Checkpoint {
             ));
         }
         Ok(())
+    }
+}
+
+/// Durable on-disk checkpoint storage.
+///
+/// Saves are atomic: the text is written to `<path>.tmp` and renamed over
+/// `<path>`, so a crash mid-write never destroys the previous checkpoint;
+/// the previous good file is additionally kept as `<path>.bak`. Loads
+/// verify the format CRC and fall back to the `.bak` automatically when the
+/// primary file is corrupt, emitting a `recovery` obs point — production
+/// resume loses at most one iteration of progress, which the greedy loop
+/// recomputes identically.
+pub struct CheckpointStore {
+    path: PathBuf,
+    obs: Obs,
+}
+
+impl CheckpointStore {
+    /// A store rooted at `path`. The directory must exist.
+    #[must_use]
+    pub fn new(path: impl Into<PathBuf>, obs: &Obs) -> Self {
+        CheckpointStore {
+            path: path.into(),
+            obs: obs.clone(),
+        }
+    }
+
+    /// Primary checkpoint path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn sibling(&self, ext: &str) -> PathBuf {
+        let mut os = self.path.clone().into_os_string();
+        os.push(ext);
+        PathBuf::from(os)
+    }
+
+    /// Atomically persist `ckpt`, rotating the previous good file to
+    /// `.bak`. `faults` lets an armed plan damage the file *after* the
+    /// writer believes the save durable (torn write / media corruption) —
+    /// exactly what the CRC + fallback protocol must survive.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn save(&self, ckpt: &Checkpoint, faults: Option<&FaultState>) -> std::io::Result<()> {
+        let tmp = self.sibling(".tmp");
+        if self.path.exists() {
+            fs::copy(&self.path, self.sibling(".bak"))?;
+        }
+        fs::write(&tmp, ckpt.to_text())?;
+        fs::rename(&tmp, &self.path)?;
+        if let Some(f) = faults {
+            match f.on_checkpoint_save() {
+                CheckpointFault::None => {}
+                CheckpointFault::Truncate => {
+                    let bytes = fs::read(&self.path)?;
+                    fs::write(&self.path, &bytes[..bytes.len() / 2])?;
+                }
+                CheckpointFault::Bitflip(word) => {
+                    let mut bytes = fs::read(&self.path)?;
+                    if !bytes.is_empty() {
+                        let bit = word as usize % (bytes.len() * 8);
+                        bytes[bit / 8] ^= 1 << (bit % 8);
+                        fs::write(&self.path, &bytes)?;
+                    }
+                }
+            }
+        }
+        if self.obs.is_enabled() {
+            self.obs.counter_add("ckpt.saves", 1);
+        }
+        Ok(())
+    }
+
+    /// Load the newest good checkpoint: the primary file if it parses and
+    /// its CRC checks out, else the `.bak` (recorded as a `recovery` point
+    /// with kind `ckpt_fallback`).
+    ///
+    /// # Errors
+    /// Returns a message when neither file yields a valid checkpoint.
+    pub fn load(&self) -> Result<Checkpoint, String> {
+        let primary = fs::read_to_string(&self.path)
+            .map_err(|e| format!("read {}: {e}", self.path.display()))
+            .and_then(|t| Checkpoint::from_text(&t));
+        let err = match primary {
+            Ok(c) => return Ok(c),
+            Err(e) => e,
+        };
+        let bak = self.sibling(".bak");
+        let fallback = fs::read_to_string(&bak)
+            .map_err(|e| format!("read {}: {e}", bak.display()))
+            .and_then(|t| Checkpoint::from_text(&t))
+            .map_err(|bak_err| {
+                format!("primary checkpoint invalid ({err}); backup invalid too ({bak_err})")
+            })?;
+        if self.obs.is_enabled() {
+            self.obs.point(
+                "recovery",
+                &[
+                    ("kind", "ckpt_fallback".into()),
+                    ("error", err.as_str().into()),
+                ],
+            );
+            self.obs.counter_add("recovery.ckpt_fallbacks", 1);
+        }
+        Ok(fallback)
     }
 }
 
@@ -303,6 +471,153 @@ mod tests {
         assert!(Checkpoint::from_text(missing_mask)
             .unwrap_err()
             .contains("mask"));
+    }
+
+    /// A small valid v2 checkpoint to corrupt in the tests below.
+    fn sample_text() -> String {
+        let (t, _) = lcg_matrices(10, 70, 10, 2);
+        let mut c = Checkpoint::fresh(&t);
+        c.chosen.push([0, 3, 6, 9]);
+        c.to_text()
+    }
+
+    #[test]
+    fn parse_rejects_truncation() {
+        let text = sample_text();
+        for frac in [1, 2, 3] {
+            let cut = &text[..text.len() * frac / 4];
+            assert!(
+                Checkpoint::from_text(cut).is_err(),
+                "survived cut to {frac}/4"
+            );
+        }
+    }
+
+    #[test]
+    fn no_single_bitflip_parses_to_a_different_checkpoint() {
+        // The CRC can't make every flip a parse error (flipping the case of
+        // a trailer hex digit is a no-op), but no flip may ever parse into
+        // a checkpoint that differs from the original — that would be the
+        // silent corruption the format exists to stop.
+        let text = sample_text();
+        let original = Checkpoint::from_text(&text).unwrap();
+        let mut bytes = text.as_bytes().to_vec();
+        for bit in 0..bytes.len() * 8 {
+            bytes[bit / 8] ^= 1 << (bit % 8);
+            if let Some(parsed) = String::from_utf8(bytes.clone())
+                .ok()
+                .and_then(|s| Checkpoint::from_text(&s).ok())
+            {
+                assert_eq!(parsed, original, "bit {bit} flip silently corrupted");
+            }
+            bytes[bit / 8] ^= 1 << (bit % 8);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_hex_mask() {
+        let text = sample_text().replace("mask\t", "mask\tzz");
+        assert!(Checkpoint::from_text(&text).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_duplicate_headers() {
+        // Rebuild with a duplicate record and a fresh CRC so only the
+        // duplication (not the checksum) can be the rejection reason.
+        let (t, _) = lcg_matrices(10, 70, 10, 2);
+        let c = Checkpoint::fresh(&t);
+        for record in ["genes\t10\n", "tumors\t70\n"] {
+            let mut body: String = c
+                .to_text()
+                .lines()
+                .filter(|l| !l.starts_with("crc\t"))
+                .map(|l| format!("{l}\n"))
+                .collect();
+            body.push_str(record);
+            let with_crc = format!("{body}crc\t{:08x}\n", crc32(body.as_bytes()));
+            let err = Checkpoint::from_text(&with_crc).unwrap_err();
+            assert!(err.contains("duplicate"), "{record:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_out_of_range_gene_ids() {
+        let (t, _) = lcg_matrices(10, 70, 10, 2);
+        let mut c = Checkpoint::fresh(&t);
+        c.chosen.push([0, 3, 6, 10]); // gene 10 in a 10-gene universe
+        let err = Checkpoint::from_text(&c.to_text()).unwrap_err();
+        assert!(err.contains("outside"), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_wrong_mask_length() {
+        let (t, _) = lcg_matrices(10, 70, 10, 2);
+        let mut c = Checkpoint::fresh(&t);
+        c.uncovered_mask.push(0); // 70 tumors need 2 words, not 3
+        let err = Checkpoint::from_text(&c.to_text()).unwrap_err();
+        assert!(err.contains("words"), "{err}");
+    }
+
+    #[test]
+    fn parse_accepts_legacy_v1_without_crc() {
+        let (t, _) = lcg_matrices(10, 70, 10, 2);
+        let mut c = Checkpoint::fresh(&t);
+        c.version = 1;
+        let text = c.to_text();
+        assert!(!text.contains("crc"), "v1 must not carry a trailer");
+        assert_eq!(Checkpoint::from_text(&text).unwrap(), c);
+    }
+
+    fn temp_store_path(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("multihit-ckpt-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("run.ckpt")
+    }
+
+    #[test]
+    fn store_round_trips_atomically() {
+        use crate::fault::{FaultPlan, FaultState};
+        let path = temp_store_path("roundtrip");
+        let obs = Obs::disabled();
+        let store = CheckpointStore::new(&path, &obs);
+        let (t, _) = lcg_matrices(10, 70, 10, 2);
+        let mut c = Checkpoint::fresh(&t);
+        store.save(&c, None).unwrap();
+        assert_eq!(store.load().unwrap(), c);
+        c.chosen.push([1, 2, 3, 4]);
+        let st = FaultState::new(FaultPlan::none(), &obs);
+        store.save(&c, Some(&st)).unwrap();
+        assert_eq!(store.load().unwrap(), c);
+        assert!(!store.path().with_extension("ckpt.tmp").exists());
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn store_falls_back_to_backup_on_corruption() {
+        use crate::fault::{FaultPlan, FaultState};
+        for (tag, spec) in [("trunc", "ckpt-truncate=1"), ("flip", "ckpt-bitflip=1")] {
+            let path = temp_store_path(tag);
+            let obs = Obs::enabled();
+            let store = CheckpointStore::new(&path, &obs);
+            let st = FaultState::new(FaultPlan::parse(spec, 9).unwrap(), &obs);
+            let (t, _) = lcg_matrices(10, 70, 10, 2);
+            let mut good = Checkpoint::fresh(&t);
+            store.save(&good, Some(&st)).unwrap(); // save 0: intact
+            good.chosen.push([1, 2, 3, 4]);
+            store.save(&good, Some(&st)).unwrap(); // save 1: damaged on disk
+            let loaded = store.load().unwrap();
+            // The damaged save is rejected; resume restarts from save 0.
+            assert_eq!(loaded.chosen.len(), 0, "{spec}");
+            assert_eq!(st.fired().len(), 1, "{spec}");
+            let events = obs.events();
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.name == "recovery" && e.str("kind") == Some("ckpt_fallback")),
+                "{spec}: no fallback recovery point"
+            );
+            std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+        }
     }
 
     #[test]

@@ -235,6 +235,31 @@ pub fn simulate_iteration(
     timeline
 }
 
+/// Sample failure event times over `[0, horizon_s)` from a Poisson process
+/// with mean time between failures `mtbf_s` (exponential inter-arrivals),
+/// deterministically from `seed`. This is the discrete-event side of the
+/// failure model: [`crate::driver::model_run_faulty`] walks the modeled
+/// iterations and charges detection, restart, and re-execution for every
+/// sampled event.
+#[must_use]
+pub fn sample_failures(mtbf_s: f64, horizon_s: f64, seed: u64) -> Vec<f64> {
+    assert!(mtbf_s > 0.0 && mtbf_s.is_finite(), "MTBF must be positive");
+    let mut out = Vec::new();
+    let mut t = 0.0f64;
+    let mut state = seed;
+    loop {
+        state = state.wrapping_add(1);
+        let word = crate::fault::splitmix64(state);
+        // Uniform in (0, 1]: never 0, so ln() is finite.
+        let u = ((word >> 11) as f64 + 1.0) / ((1u64 << 53) as f64);
+        t += -mtbf_s * u.ln();
+        if t >= horizon_s {
+            return out;
+        }
+        out.push(t);
+    }
+}
+
 /// Does rank q, viewed as a reduce-tree node, have everything it needs?
 fn reduce_complete(
     q: usize,
@@ -367,6 +392,21 @@ mod tests {
             nodes,
             gpus_per_node: 2,
         }
+    }
+
+    #[test]
+    fn failure_sampling_is_deterministic_and_calibrated() {
+        let a = sample_failures(100.0, 10_000.0, 7);
+        let b = sample_failures(100.0, 10_000.0, 7);
+        assert_eq!(a, b, "same seed, same failures");
+        assert_ne!(a, sample_failures(100.0, 10_000.0, 8));
+        // Sorted, in range.
+        assert!(a.windows(2).all(|w| w[0] < w[1]));
+        assert!(a.iter().all(|&t| (0.0..10_000.0).contains(&t)));
+        // ~100 expected events; Poisson σ = 10, allow 5σ.
+        assert!((a.len() as f64 - 100.0).abs() < 50.0, "{} events", a.len());
+        // A short horizon with a huge MTBF usually sees none.
+        assert!(sample_failures(1e12, 1.0, 1).is_empty());
     }
 
     fn comm() -> CommModel {

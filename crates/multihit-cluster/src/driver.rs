@@ -11,8 +11,9 @@
 //!   would take 6000 GPU-days. This is what regenerates the paper's scaling
 //!   figures.
 
-use crate::comm::{run_ranks, CommModel};
-use crate::sched::{schedule_ea_fast, schedule_ed, Partition};
+use crate::comm::{run_ranks, BcastMsg, CommModel, FtCtx, FtStats};
+use crate::fault::{FaultState, FtParams};
+use crate::sched::{schedule_ea_fast, schedule_ed, validate_partitions, Partition};
 use crate::topology::ClusterShape;
 use multihit_core::bitmat::BitMatrix;
 use multihit_core::obs::Obs;
@@ -24,17 +25,28 @@ use multihit_gpusim::device::NodeSpec;
 use multihit_gpusim::exec::run_maxf4;
 use multihit_gpusim::profile::{kernel_levels4, prefetch_depth4, profile_partitions};
 use multihit_gpusim::{CostModel, GpuCost};
+use std::collections::BTreeSet;
 use std::time::Instant;
 
 fn elapsed_ns(start: Instant) -> u64 {
     u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
+/// Convert a duration in seconds to nanoseconds, saturating at the `u64`
+/// range. Durations must be well-formed: debug builds assert against NaN
+/// and (beyond float round-off) negative inputs instead of silently mapping
+/// them to 0; release builds saturate (NaN/negative → 0, +∞ → `u64::MAX`).
 fn secs_to_ns(s: f64) -> u64 {
-    if s.is_finite() && s > 0.0 {
-        (s * 1e9).round() as u64
+    debug_assert!(!s.is_nan(), "NaN duration");
+    debug_assert!(s >= -1e-9, "negative duration: {s}");
+    if s.is_nan() || s <= 0.0 {
+        return 0;
+    }
+    let ns = (s * 1e9).round();
+    if ns >= u64::MAX as f64 {
+        u64::MAX
     } else {
-        0
+        ns as u64
     }
 }
 
@@ -323,6 +335,345 @@ pub fn distributed_discover4_obs(
 }
 
 // ---------------------------------------------------------------------------
+// Fault-tolerant functional runs
+// ---------------------------------------------------------------------------
+
+/// Recovery bookkeeping of a fault-tolerant functional run: how much λ-work
+/// was re-executed, what the protocol retried, and who died.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryStats {
+    /// Iteration attempts that had to be re-executed.
+    pub re_executed_iterations: u64,
+    /// Combinations evaluated on attempts whose results were discarded
+    /// (the re-executed λ-work).
+    pub re_executed_combos: u64,
+    /// Ranks declared dead, by original id, in death order.
+    pub dead_ranks: Vec<usize>,
+    /// Merged per-rank protocol counters (retransmits, CRC rejects, …).
+    pub ft: FtStats,
+}
+
+/// Result of a fault-tolerant functional run.
+#[derive(Clone, Debug)]
+pub struct FtDistResult {
+    /// The discovery result — bit-identical to the fault-free reference
+    /// whenever the run completes.
+    pub result: DistResult,
+    /// What recovery cost.
+    pub recovery: RecoveryStats,
+}
+
+enum RankOutcome {
+    /// Normal completion: the broadcast verdict and this rank's audit data.
+    Done {
+        winner: Scored<4>,
+        combos: Vec<u64>,
+        stats: FtStats,
+    },
+    /// The rank was killed by the fault plan (analog of a process death the
+    /// MPI runtime reports).
+    Crashed,
+    /// The iteration aborted on this rank; `dead` holds the original ids of
+    /// the ranks it learned are gone.
+    Aborted {
+        dead: Vec<usize>,
+        combos: Vec<u64>,
+        stats: FtStats,
+    },
+}
+
+/// Cap on an injected straggler delay, so delayed ranks stay well inside
+/// the failure detector's retry budget (a straggler is slow, not dead).
+const STRAGGLER_DELAY_CAP: std::time::Duration = std::time::Duration::from_millis(10);
+
+/// [`distributed_discover4`] hardened against rank crashes, stragglers, and
+/// lost/corrupt messages. Each iteration runs the usual kernels + reduce +
+/// broadcast over the currently-alive ranks via the fault-tolerant framed
+/// collectives ([`FtCtx`]); if any rank dies or the verdict is an abort,
+/// the dead ranks are removed and the **same iteration is re-executed** with
+/// the survivors — the full λ-range is re-partitioned across the remaining
+/// GPUs by the configured scheduler, so (by associativity + commutativity
+/// of the deterministic max) the chosen combinations are bit-identical to
+/// the fault-free reference no matter who died when.
+///
+/// With `faults: None` the discovered combinations equal
+/// [`distributed_discover4`]'s exactly (tested); the plain path itself is
+/// untouched.
+///
+/// # Panics
+/// Panics if iterations repeatedly fail without identifying a dead rank
+/// (cannot happen under the injection model: bounded message faults are
+/// always recovered by retransmission).
+#[must_use]
+pub fn distributed_discover4_ft(
+    tumor: &BitMatrix,
+    normal: &BitMatrix,
+    cfg: &DistributedConfig,
+    faults: Option<&FaultState>,
+    params: FtParams,
+    obs: &Obs,
+) -> FtDistResult {
+    let _run_span = obs.span("distributed_discover_ft");
+    let g = tumor.n_genes() as u32;
+    let total_threads = cfg.scheme.thread_count(g);
+    let mut work_tumor = tumor.clone();
+    let mut remaining = tumor.n_samples() as u32;
+    let mut combinations = Vec::new();
+    let mut iterations = Vec::new();
+    let mut recovery = RecoveryStats::default();
+    // Original rank ids still alive; position in this vector is the compact
+    // rank id inside the current mesh.
+    let mut alive: Vec<usize> = (0..cfg.shape.nodes).collect();
+
+    'outer: while remaining > 0 {
+        if cfg.max_combinations != 0 && combinations.len() >= cfg.max_combinations {
+            break;
+        }
+        if alive.is_empty() {
+            break;
+        }
+        let iter_idx = iterations.len();
+        let iter_start = Instant::now();
+        let mut fruitless_attempts = 0u32;
+        let (best, combos_per_gpu) = loop {
+            let n_ranks = alive.len();
+            let n_gpus = n_ranks * cfg.shape.gpus_per_node;
+            let parts = cfg.scheduler.partitions_obs(cfg.scheme, g, n_gpus, obs);
+            debug_assert!(validate_partitions(&parts, total_threads).is_ok());
+            let tumor_ref = &work_tumor;
+            let alive_ref = &alive;
+            let outcomes: Vec<RankOutcome> = run_ranks(n_ranks, |ctx| {
+                let orig = alive_ref[ctx.rank];
+                if let Some(f) = faults {
+                    if f.should_kill(orig, iter_idx) {
+                        return RankOutcome::Crashed;
+                    }
+                }
+                let busy_start = Instant::now();
+                let mut local = Scored::NEG_INFINITY;
+                let mut combos = Vec::new();
+                for slot in 0..cfg.shape.gpus_per_node {
+                    let p = parts[ctx.rank * cfg.shape.gpus_per_node + slot];
+                    let out = run_maxf4(
+                        tumor_ref,
+                        normal,
+                        cfg.alpha,
+                        cfg.scheme,
+                        p.lo,
+                        p.hi,
+                        cfg.block_size,
+                    );
+                    combos.push(out.profile.combos);
+                    local = local.max_det(out.best);
+                }
+                let busy_ns = elapsed_ns(busy_start);
+                let combos_total: u64 = combos.iter().sum();
+                if let Some(f) = faults {
+                    if let Some(factor) = f.straggler_factor(orig) {
+                        let delay = std::time::Duration::from_nanos(
+                            ((busy_ns as f64) * (factor - 1.0)) as u64,
+                        )
+                        .min(STRAGGLER_DELAY_CAP);
+                        std::thread::sleep(delay);
+                        f.note_straggle(orig, iter_idx, factor, delay.as_nanos() as u64);
+                    }
+                }
+                let comm_start = Instant::now();
+                let mut ft = FtCtx::new(&ctx, params, faults, iter_idx);
+                let red = ft.reduce_to_root(local, Scored::max_det, ser_scored, de_scored);
+                let to_orig =
+                    |d: &BTreeSet<usize>| d.iter().map(|&c| alive_ref[c]).collect::<Vec<_>>();
+                if red.parent_dead {
+                    return RankOutcome::Aborted {
+                        dead: to_orig(&red.dead),
+                        combos,
+                        stats: ft.stats,
+                    };
+                }
+                let verdict = if ctx.rank == 0 {
+                    Some(if red.failed {
+                        BcastMsg::Abort(red.dead.iter().copied().collect())
+                    } else {
+                        BcastMsg::Value(ser_scored(&red.root_value.expect("root fold")))
+                    })
+                } else {
+                    None
+                };
+                let outcome = match ft.broadcast(verdict) {
+                    Ok((BcastMsg::Value(v), suspects)) if suspects.is_empty() => {
+                        RankOutcome::Done {
+                            winner: de_scored(&v),
+                            combos,
+                            stats: ft.stats,
+                        }
+                    }
+                    Ok((BcastMsg::Value(_), suspects)) => RankOutcome::Aborted {
+                        dead: to_orig(&suspects),
+                        combos,
+                        stats: ft.stats,
+                    },
+                    Ok((BcastMsg::Abort(dead), suspects)) => {
+                        let mut all: BTreeSet<usize> = dead.iter().copied().collect();
+                        all.extend(suspects.iter().copied());
+                        RankOutcome::Aborted {
+                            dead: to_orig(&all),
+                            combos,
+                            stats: ft.stats,
+                        }
+                    }
+                    Err(_) => RankOutcome::Aborted {
+                        dead: to_orig(&red.dead),
+                        combos,
+                        stats: ft.stats,
+                    },
+                };
+                if obs.is_enabled() {
+                    obs.point(
+                        "rank_exec",
+                        &[
+                            ("iter", iter_idx.into()),
+                            ("rank", orig.into()),
+                            ("busy_ns", busy_ns.into()),
+                            ("comm_ns", elapsed_ns(comm_start).into()),
+                            ("combos", combos_total.into()),
+                        ],
+                    );
+                    obs.counter_add("dist.rank_busy_ns", busy_ns);
+                }
+                outcome
+            });
+
+            let mut dead: BTreeSet<usize> = BTreeSet::new();
+            let mut all_done = true;
+            let mut winner: Option<Scored<4>> = None;
+            let mut attempt_combos: Vec<u64> = Vec::new();
+            for (i, out) in outcomes.iter().enumerate() {
+                match out {
+                    RankOutcome::Done {
+                        winner: w,
+                        combos,
+                        stats,
+                    } => {
+                        if i == 0 {
+                            winner = Some(*w);
+                        }
+                        debug_assert!(winner.is_none_or(|ww| ww == *w));
+                        attempt_combos.extend_from_slice(combos);
+                        recovery.ft.merge(stats);
+                    }
+                    RankOutcome::Crashed => {
+                        all_done = false;
+                        dead.insert(alive[i]);
+                    }
+                    RankOutcome::Aborted {
+                        dead: d,
+                        combos,
+                        stats,
+                    } => {
+                        all_done = false;
+                        dead.extend(d.iter().copied());
+                        attempt_combos.extend_from_slice(combos);
+                        recovery.ft.merge(stats);
+                    }
+                }
+            }
+
+            if all_done {
+                break (winner.expect("root outcome"), attempt_combos);
+            }
+
+            // Failed attempt: discard its work, drop the dead, re-execute.
+            recovery.re_executed_iterations += 1;
+            let wasted: u64 = attempt_combos.iter().sum();
+            recovery.re_executed_combos += wasted;
+            if dead.is_empty() {
+                fruitless_attempts += 1;
+                assert!(
+                    fruitless_attempts <= 3,
+                    "iteration {iter_idx} failed repeatedly without identifying a dead rank"
+                );
+            } else {
+                fruitless_attempts = 0;
+                alive.retain(|r| !dead.contains(r));
+                recovery.dead_ranks.extend(dead.iter().copied());
+            }
+            if obs.is_enabled() {
+                obs.point(
+                    "recovery",
+                    &[
+                        ("iter", iter_idx.into()),
+                        ("dead", dead.len().into()),
+                        ("survivors", alive.len().into()),
+                        ("re_executed_combos", wasted.into()),
+                    ],
+                );
+                obs.counter_add("recovery.re_executed_iterations", 1);
+                obs.counter_add("recovery.re_executed_combos", wasted);
+                obs.counter_add("recovery.dead_ranks", dead.len() as u64);
+            }
+            if alive.is_empty() {
+                break 'outer;
+            }
+        };
+
+        if best.tp == 0 {
+            break;
+        }
+        remaining -= best.tp;
+        let cov = work_tumor.cover_mask(&best.genes);
+        let mut keep = work_tumor.full_mask();
+        for (k, c) in keep.iter_mut().zip(cov.iter()) {
+            *k &= !c;
+        }
+        work_tumor = work_tumor.splice_columns(&keep);
+        combinations.push(best.genes);
+        iterations.push(DistIteration {
+            best,
+            remaining,
+            combos_per_gpu,
+        });
+        if obs.is_enabled() {
+            obs.point(
+                "dist_iter",
+                &[
+                    ("iter", iter_idx.into()),
+                    ("iter_ns", elapsed_ns(iter_start).into()),
+                    ("newly_covered", u64::from(best.tp).into()),
+                    ("remaining", u64::from(remaining).into()),
+                ],
+            );
+            obs.counter_add("dist.iterations", 1);
+        }
+    }
+
+    if obs.is_enabled() {
+        // Nonzero-only so fault-free runs keep a byte-identical counter
+        // registry to the plain driver's.
+        let ft = &recovery.ft;
+        for (name, v) in [
+            ("ft.retrans_requests", ft.retrans_requests),
+            ("ft.retransmits", ft.retransmits),
+            ("ft.crc_failures", ft.crc_failures),
+            ("ft.duplicates", ft.duplicates),
+            ("ft.timeouts", ft.timeouts),
+        ] {
+            if v > 0 {
+                obs.counter_add(name, v);
+            }
+        }
+    }
+
+    FtDistResult {
+        result: DistResult {
+            combinations,
+            iterations,
+            uncovered: remaining,
+        },
+        recovery,
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Modeled (paper-scale) runs
 // ---------------------------------------------------------------------------
 
@@ -593,6 +944,120 @@ pub fn timeline_run_obs(cfg: &ModelConfig, obs: &Obs) -> Vec<crate::des::Timelin
         .collect()
 }
 
+// ---------------------------------------------------------------------------
+// Modeled failures
+// ---------------------------------------------------------------------------
+
+/// A modeled paper-scale run with MTBF-driven failures priced in
+/// ([`model_run_faulty`]).
+#[derive(Clone, Debug)]
+pub struct FaultyModeledRun {
+    /// The fault-free modeled run.
+    pub base: ModeledRun,
+    /// Sampled failure times on the useful-work clock, seconds.
+    pub failures: Vec<f64>,
+    /// Checkpoint cost over the run (one write per iteration), seconds.
+    pub ckpt_cost_s: f64,
+    /// Work lost to failures and re-executed, seconds.
+    pub rework_s: f64,
+    /// Restart latency paid across failures, seconds.
+    pub restart_s: f64,
+    /// End-to-end wall time including all overheads.
+    pub total_s: f64,
+    /// Closed-form expected overhead at Young's optimal checkpoint
+    /// interval, for comparison with the per-iteration policy.
+    pub expected: crate::timing::FailureOverhead,
+}
+
+impl FaultyModeledRun {
+    /// Overhead of failures + checkpointing relative to the useful time.
+    #[must_use]
+    pub fn overhead_fraction(&self) -> f64 {
+        (self.total_s - self.base.total_s) / self.base.total_s
+    }
+}
+
+/// Price a paper-scale run under failures: the fault-free iterations come
+/// from [`model_run`], failure events are sampled from the MTBF by
+/// [`crate::des::sample_failures`], and every failure costs the restart
+/// latency plus re-execution of the interrupted iteration from its start
+/// (the greedy loop checkpoints after every iteration, so at most one
+/// iteration of work is ever lost). Emits one `fault` point per sampled
+/// failure and a `recovery` summary point.
+#[must_use]
+pub fn model_run_faulty(
+    cfg: &ModelConfig,
+    fm: &crate::timing::FailureModel,
+    obs: &Obs,
+) -> FaultyModeledRun {
+    let base = model_run_obs(cfg, obs);
+    let mtbf = fm.system_mtbf_s(cfg.shape.nodes);
+    let failures = crate::des::sample_failures(mtbf, base.total_s, cfg.seed);
+    let ckpt_cost_s = base.iterations.len() as f64 * fm.ckpt_write_s;
+    let mut rework_s = 0.0f64;
+    for &t in &failures {
+        // Locate the iteration the failure interrupts; the time already
+        // spent in it is lost and re-executed.
+        let mut start = 0.0f64;
+        let mut lost = 0.0f64;
+        let mut iter_idx = base.iterations.len().saturating_sub(1);
+        for (i, it) in base.iterations.iter().enumerate() {
+            if t < start + it.time_s {
+                lost = t - start;
+                iter_idx = i;
+                break;
+            }
+            start += it.time_s;
+        }
+        rework_s += lost;
+        if obs.is_enabled() {
+            obs.point(
+                "fault",
+                &[
+                    ("kind", "node_failure".into()),
+                    ("iter", iter_idx.into()),
+                    ("t_ns", secs_to_ns(t).into()),
+                    ("lost_ns", secs_to_ns(lost).into()),
+                ],
+            );
+            obs.counter_add("fault.node_failure", 1);
+        }
+    }
+    let restart_s = failures.len() as f64 * fm.recovery_s;
+    let total_s = base.total_s + ckpt_cost_s + rework_s + restart_s;
+    let expected = fm.expected_overhead(
+        cfg.shape.nodes,
+        base.total_s,
+        fm.young_interval_s(cfg.shape.nodes),
+    );
+    if obs.is_enabled() {
+        obs.point(
+            "recovery",
+            &[
+                ("kind", "modeled".into()),
+                ("failures", failures.len().into()),
+                ("ckpt_cost_ns", secs_to_ns(ckpt_cost_s).into()),
+                ("rework_ns", secs_to_ns(rework_s).into()),
+                ("restart_ns", secs_to_ns(restart_s).into()),
+                (
+                    "overhead_fraction",
+                    ((total_s - base.total_s) / base.total_s).into(),
+                ),
+            ],
+        );
+        obs.counter_add("recovery.modeled_failures", failures.len() as u64);
+    }
+    FaultyModeledRun {
+        base,
+        failures,
+        ckpt_cost_s,
+        rework_s,
+        restart_s,
+        total_s,
+        expected,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -660,6 +1125,61 @@ mod tests {
     }
 
     #[test]
+    fn secs_to_ns_saturates_cleanly() {
+        assert_eq!(secs_to_ns(1.5), 1_500_000_000);
+        assert_eq!(secs_to_ns(0.0), 0);
+        assert_eq!(secs_to_ns(-0.0), 0);
+        // Float round-off below zero saturates to 0 instead of wrapping.
+        assert_eq!(secs_to_ns(-1e-12), 0);
+        assert_eq!(secs_to_ns(f64::INFINITY), u64::MAX);
+        assert_eq!(secs_to_ns(1e300), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN duration")]
+    #[cfg(debug_assertions)]
+    fn secs_to_ns_rejects_nan_in_debug() {
+        let _ = secs_to_ns(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative duration")]
+    #[cfg(debug_assertions)]
+    fn secs_to_ns_rejects_negative_in_debug() {
+        let _ = secs_to_ns(-1.0);
+    }
+
+    #[test]
+    fn ft_driver_without_faults_matches_plain_driver() {
+        let (t, n) = lcg_matrices(11, 90, 60, 13);
+        let cfg = DistributedConfig {
+            shape: ClusterShape {
+                nodes: 3,
+                gpus_per_node: 2,
+            },
+            max_combinations: 3,
+            ..DistributedConfig::default()
+        };
+        let plain = distributed_discover4(&t, &n, &cfg);
+        let ft = distributed_discover4_ft(
+            &t,
+            &n,
+            &cfg,
+            None,
+            crate::fault::FtParams::fast_test(),
+            &Obs::disabled(),
+        );
+        assert_eq!(ft.result.combinations, plain.combinations);
+        assert_eq!(ft.result.uncovered, plain.uncovered);
+        assert_eq!(ft.recovery.re_executed_iterations, 0);
+        assert_eq!(ft.recovery.dead_ranks, Vec::<usize>::new());
+        for (a, b) in ft.result.iterations.iter().zip(&plain.iterations) {
+            assert_eq!(a.best, b.best);
+            assert_eq!(a.combos_per_gpu, b.combos_per_gpu);
+        }
+    }
+
+    #[test]
     fn distributed_workload_audit_matches_scheduler() {
         let (t, n) = lcg_matrices(12, 64, 32, 5);
         let cfg = DistributedConfig {
@@ -698,6 +1218,35 @@ mod tests {
         let t0 = run.iterations[0].time_s;
         let tl = run.iterations.last().unwrap().time_s;
         assert!(tl < t0);
+    }
+
+    #[test]
+    fn modeled_failures_price_sanely() {
+        use crate::timing::FailureModel;
+        let cfg = ModelConfig::brca(100);
+        // Astronomical MTBF → no failures, overhead is checkpointing only.
+        let calm = FailureModel {
+            node_mtbf_s: 1e18,
+            ..FailureModel::summit_like()
+        };
+        let quiet = model_run_faulty(&cfg, &calm, &Obs::disabled());
+        assert!(quiet.failures.is_empty());
+        assert!((quiet.rework_s, quiet.restart_s) == (0.0, 0.0));
+        assert!(quiet.total_s >= quiet.base.total_s);
+        // Absurdly failure-prone cluster → failures land, overhead grows,
+        // and the run is deterministic in the seed.
+        let frail = FailureModel {
+            node_mtbf_s: cfg.shape.nodes as f64 * quiet.base.total_s / 5.0,
+            ..FailureModel::summit_like()
+        };
+        let rough = model_run_faulty(&cfg, &frail, &Obs::disabled());
+        assert!(!rough.failures.is_empty());
+        assert!(rough.total_s > rough.base.total_s);
+        assert!(rough.overhead_fraction() > 0.0);
+        let again = model_run_faulty(&cfg, &frail, &Obs::disabled());
+        assert_eq!(rough.failures, again.failures);
+        // The closed-form expectation agrees on the failure count scale.
+        assert!(rough.expected.expected_failures > 0.0);
     }
 
     #[test]

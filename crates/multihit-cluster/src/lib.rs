@@ -17,14 +17,20 @@ pub mod checkpoint;
 pub mod comm;
 pub mod des;
 pub mod driver;
+pub mod fault;
 pub mod sched;
 pub mod sched_weighted;
 pub mod timing;
 pub mod topology;
 
-pub use comm::{run_ranks, CommModel, RankCtx};
+pub use checkpoint::CheckpointStore;
+pub use comm::{run_ranks, CommModel, FtCtx, FtStats, RankCtx};
 pub use driver::{
-    distributed_discover4, model_run, DistributedConfig, ModelConfig, ModeledRun, SchedulerKind,
+    distributed_discover4, distributed_discover4_ft, model_run, model_run_faulty,
+    DistributedConfig, FaultyModeledRun, FtDistResult, ModelConfig, ModeledRun, RecoveryStats,
+    SchedulerKind,
 };
-pub use sched::{schedule_ea_fast, schedule_ed, Partition};
+pub use fault::{FaultPlan, FaultSpec, FaultState, FtParams};
+pub use sched::{schedule_ea_fast, schedule_ed, validate_partitions, Partition};
+pub use timing::{FailureModel, FailureOverhead};
 pub use topology::ClusterShape;

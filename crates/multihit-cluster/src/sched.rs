@@ -165,6 +165,37 @@ pub fn partition_areas(levels: &[Level], parts: &[Partition]) -> Vec<u64> {
         .collect()
 }
 
+/// Check that `parts` exactly tile `[0, total)`: starts at 0, ends at
+/// `total`, no gaps, no overlaps. The fault-tolerant driver asserts this on
+/// every re-partitioning — losing λ-range on recovery would silently change
+/// the discovered combinations.
+///
+/// # Errors
+/// A message naming the first violation.
+pub fn validate_partitions(parts: &[Partition], total: u64) -> Result<(), String> {
+    let Some(first) = parts.first() else {
+        return Err("no partitions".to_string());
+    };
+    if first.lo != 0 {
+        return Err(format!("first partition starts at {}, not 0", first.lo));
+    }
+    for (i, w) in parts.windows(2).enumerate() {
+        if w[0].hi != w[1].lo {
+            return Err(format!(
+                "partition {i} ends at {} but partition {} starts at {}",
+                w[0].hi,
+                i + 1,
+                w[1].lo
+            ));
+        }
+    }
+    let last = parts.last().expect("non-empty");
+    if last.hi != total {
+        return Err(format!("last partition ends at {}, not {total}", last.hi));
+    }
+    Ok(())
+}
+
 /// Load-imbalance ratio: max partition area / mean partition area. 1.0 is
 /// perfect balance; ED's ratio is what costs it the paper's 3× slowdown.
 #[must_use]
@@ -186,11 +217,21 @@ mod tests {
     use multihit_core::sweep::levels_scheme4;
 
     fn check_partitioning(parts: &[Partition], n: u64) {
-        assert_eq!(parts[0].lo, 0);
-        assert_eq!(parts.last().unwrap().hi, n);
-        for w in parts.windows(2) {
-            assert_eq!(w[0].hi, w[1].lo, "gap or overlap");
-        }
+        validate_partitions(parts, n).unwrap();
+    }
+
+    #[test]
+    fn validate_partitions_catches_violations() {
+        let p = |lo, hi| Partition { lo, hi };
+        assert!(validate_partitions(&[p(0, 5), p(5, 9)], 9).is_ok());
+        assert!(validate_partitions(&[], 9).is_err());
+        assert!(validate_partitions(&[p(1, 9)], 9).is_err(), "late start");
+        assert!(validate_partitions(&[p(0, 4), p(5, 9)], 9).is_err(), "gap");
+        assert!(
+            validate_partitions(&[p(0, 6), p(5, 9)], 9).is_err(),
+            "overlap"
+        );
+        assert!(validate_partitions(&[p(0, 8)], 9).is_err(), "short");
     }
 
     #[test]

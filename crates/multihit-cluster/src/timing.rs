@@ -178,9 +178,124 @@ pub fn project(cfg: &ModelConfig, cpu_ops_per_s: f64) -> Projections {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Failure modeling: MTBF, optimal checkpoint interval, expected overhead.
+// ---------------------------------------------------------------------------
+
+/// MTBF-driven failure model for a production allocation: what failures
+/// cost, and what checkpointing to survive them costs.
+#[derive(Clone, Copy, Debug)]
+pub struct FailureModel {
+    /// Mean time between failures of one node, seconds.
+    pub node_mtbf_s: f64,
+    /// Wall time of one checkpoint write, seconds (the checkpoint is tiny —
+    /// tens of bytes per iteration — so this is dominated by filesystem
+    /// latency, not bandwidth).
+    pub ckpt_write_s: f64,
+    /// Restart latency after a failure (failure detection, respawn,
+    /// checkpoint read, re-partitioning), seconds.
+    pub recovery_s: f64,
+}
+
+impl FailureModel {
+    /// Summit-like defaults: node MTBF ≈ 46 days (a 1000-node job then sees
+    /// a failure every ~66 minutes), 1 s checkpoint writes (parallel
+    /// filesystem latency), 2 min restart.
+    #[must_use]
+    pub fn summit_like() -> Self {
+        FailureModel {
+            node_mtbf_s: 4.0e6,
+            ckpt_write_s: 1.0,
+            recovery_s: 120.0,
+        }
+    }
+
+    /// System MTBF of a `nodes`-node allocation (failures are independent,
+    /// so rates add).
+    #[must_use]
+    pub fn system_mtbf_s(&self, nodes: usize) -> f64 {
+        self.node_mtbf_s / nodes.max(1) as f64
+    }
+
+    /// Young's optimal checkpoint interval: `√(2 · ckpt_cost · MTBF_sys)`.
+    #[must_use]
+    pub fn young_interval_s(&self, nodes: usize) -> f64 {
+        (2.0 * self.ckpt_write_s * self.system_mtbf_s(nodes)).sqrt()
+    }
+
+    /// Expected cost of running `run_s` of useful work on `nodes` nodes
+    /// while checkpointing every `interval_s`.
+    #[must_use]
+    pub fn expected_overhead(&self, nodes: usize, run_s: f64, interval_s: f64) -> FailureOverhead {
+        let mtbf = self.system_mtbf_s(nodes);
+        let expected_failures = run_s / mtbf;
+        let ckpt_cost_s = (run_s / interval_s) * self.ckpt_write_s;
+        // Each failure loses, on average, half a checkpoint interval of
+        // work plus the restart latency.
+        let rework_s = expected_failures * (interval_s / 2.0);
+        let restart_s = expected_failures * self.recovery_s;
+        let total_overhead_s = ckpt_cost_s + rework_s + restart_s;
+        FailureOverhead {
+            interval_s,
+            expected_failures,
+            ckpt_cost_s,
+            rework_s,
+            restart_s,
+            total_overhead_s,
+            overhead_fraction: total_overhead_s / run_s,
+        }
+    }
+}
+
+/// Expected checkpoint-and-failure overhead of a run
+/// ([`FailureModel::expected_overhead`]).
+#[derive(Clone, Copy, Debug)]
+pub struct FailureOverhead {
+    /// Checkpoint interval assessed, seconds.
+    pub interval_s: f64,
+    /// Expected failure count over the run.
+    pub expected_failures: f64,
+    /// Time spent writing checkpoints, seconds.
+    pub ckpt_cost_s: f64,
+    /// Expected re-executed work, seconds.
+    pub rework_s: f64,
+    /// Expected restart latency, seconds.
+    pub restart_s: f64,
+    /// Sum of the above, seconds.
+    pub total_overhead_s: f64,
+    /// Overhead as a fraction of the useful run time.
+    pub overhead_fraction: f64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn failure_model_shapes() {
+        let fm = FailureModel::summit_like();
+        // Rates add: 1000 nodes fail 1000× as often as one.
+        assert!((fm.system_mtbf_s(1000) - fm.node_mtbf_s / 1000.0).abs() < 1e-9);
+        // Young's interval shrinks with the square root of the node count.
+        let i100 = fm.young_interval_s(100);
+        let i400 = fm.young_interval_s(400);
+        assert!((i100 / i400 - 2.0).abs() < 1e-9);
+        // At the optimal interval the checkpoint cost ≈ the rework cost.
+        let run_s = 86_400.0;
+        let ov = fm.expected_overhead(1000, run_s, fm.young_interval_s(1000));
+        assert!((ov.ckpt_cost_s / ov.rework_s - 1.0).abs() < 1e-9);
+        // …and any other interval is worse (checking a coarse grid).
+        for scale in [0.25, 0.5, 2.0, 4.0] {
+            let other = fm.expected_overhead(1000, run_s, fm.young_interval_s(1000) * scale);
+            assert!(
+                other.ckpt_cost_s + other.rework_s > ov.ckpt_cost_s + ov.rework_s,
+                "interval ×{scale} should cost more"
+            );
+        }
+        // Summit-scale multi-day run: failures are certain, overhead small.
+        assert!(ov.expected_failures > 10.0);
+        assert!(ov.overhead_fraction > 0.0 && ov.overhead_fraction < 0.2);
+    }
 
     #[test]
     fn efficiency_formulas() {

@@ -1,0 +1,221 @@
+//! End-to-end fault-injection tests for the fault-tolerant distributed
+//! driver: every recoverable fault class must leave the discovered
+//! combinations bit-identical to the single-process reference, and the
+//! zero-fault path must be indistinguishable from the plain driver.
+
+use multihit_cluster::driver::{distributed_discover4_ft, DistributedConfig};
+use multihit_cluster::fault::{FaultPlan, FaultState, FtParams};
+use multihit_cluster::topology::ClusterShape;
+use multihit_core::bitmat::BitMatrix;
+use multihit_core::greedy::{discover, GreedyConfig};
+use multihit_core::obs::Obs;
+
+fn lcg_matrices(g: usize, nt: usize, nn: usize, seed: u64) -> (BitMatrix, BitMatrix) {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    let mut t = BitMatrix::zeros(g, nt);
+    let mut n = BitMatrix::zeros(g, nn);
+    for gene in 0..g {
+        for s in 0..nt {
+            if next() % 2 == 0 {
+                t.set(gene, s, true);
+            }
+        }
+        for s in 0..nn {
+            if next() % 6 == 0 {
+                n.set(gene, s, true);
+            }
+        }
+    }
+    (t, n)
+}
+
+fn four_rank_config() -> DistributedConfig {
+    DistributedConfig {
+        shape: ClusterShape {
+            nodes: 4,
+            gpus_per_node: 2,
+        },
+        max_combinations: 3,
+        ..DistributedConfig::default()
+    }
+}
+
+fn reference(t: &BitMatrix, n: &BitMatrix, max: usize) -> Vec<[u32; 4]> {
+    discover::<4>(
+        t,
+        n,
+        &GreedyConfig {
+            parallel: false,
+            max_combinations: max,
+            ..GreedyConfig::default()
+        },
+    )
+    .combinations
+}
+
+/// Satellite (d): kill each rank of a 4-rank run, once per iteration index.
+/// Every run must finish with the survivors and produce combinations
+/// bit-identical to the single-process reference.
+#[test]
+fn killing_any_rank_at_any_iteration_preserves_the_answer() {
+    let (t, n) = lcg_matrices(11, 90, 60, 13);
+    let cfg = four_rank_config();
+    let expect = reference(&t, &n, cfg.max_combinations);
+    assert_eq!(expect.len(), 3, "fixture should run 3 iterations");
+
+    for iter in 0..expect.len() {
+        for rank in 0..cfg.shape.nodes {
+            let spec = format!("rank-kill={rank}@{iter}");
+            let plan = FaultPlan::parse(&spec, 7).unwrap();
+            let obs = Obs::enabled();
+            let faults = FaultState::new(plan, &obs);
+            let ft =
+                distributed_discover4_ft(&t, &n, &cfg, Some(&faults), FtParams::fast_test(), &obs);
+            assert_eq!(ft.result.combinations, expect, "{spec}");
+            assert_eq!(ft.recovery.dead_ranks, vec![rank], "{spec}");
+            assert!(ft.recovery.re_executed_iterations >= 1, "{spec}");
+            assert!(ft.recovery.re_executed_combos > 0, "{spec}");
+            assert_eq!(faults.fired().len(), 1, "{spec}: kill did not fire");
+            // The recovery is visible in the report the CLI builds.
+            let report = multihit_core::RunReport::from_json_lines(&obs.to_json_lines()).unwrap();
+            assert_eq!(report.dead_ranks(), 1, "{spec}");
+            assert!(report.re_executed_combos() > 0, "{spec}");
+        }
+    }
+}
+
+/// Two ranks dying in different iterations: the mesh shrinks twice and the
+/// answer still matches.
+#[test]
+fn successive_rank_deaths_shrink_the_mesh_and_preserve_the_answer() {
+    let (t, n) = lcg_matrices(11, 90, 60, 13);
+    let cfg = four_rank_config();
+    let expect = reference(&t, &n, cfg.max_combinations);
+    let plan = FaultPlan::parse("rank-kill=3@0, rank-kill=1@2", 7).unwrap();
+    let faults = FaultState::new(plan, &Obs::disabled());
+    let ft = distributed_discover4_ft(
+        &t,
+        &n,
+        &cfg,
+        Some(&faults),
+        FtParams::fast_test(),
+        &Obs::disabled(),
+    );
+    assert_eq!(ft.result.combinations, expect);
+    assert_eq!(ft.recovery.dead_ranks, vec![3, 1]);
+    assert_eq!(ft.recovery.re_executed_iterations, 2);
+}
+
+/// Dropped and corrupted reduce frames are retransmitted, not recovered by
+/// re-execution: the answer matches with zero re-executed iterations.
+#[test]
+fn wire_faults_are_healed_by_retransmission() {
+    let (t, n) = lcg_matrices(11, 90, 60, 13);
+    let cfg = four_rank_config();
+    let expect = reference(&t, &n, cfg.max_combinations);
+    let plan = FaultPlan::parse("msg-drop=1-0, msg-corrupt=3-2, msg-drop=2-0@2", 7).unwrap();
+    let faults = FaultState::new(plan, &Obs::disabled());
+    let ft = distributed_discover4_ft(
+        &t,
+        &n,
+        &cfg,
+        Some(&faults),
+        FtParams::fast_test(),
+        &Obs::disabled(),
+    );
+    assert_eq!(ft.result.combinations, expect);
+    assert_eq!(ft.recovery.re_executed_iterations, 0);
+    assert_eq!(ft.recovery.dead_ranks, Vec::<usize>::new());
+    assert!(ft.recovery.ft.retransmits >= 3, "{:?}", ft.recovery.ft);
+    assert!(ft.recovery.ft.crc_failures >= 1, "{:?}", ft.recovery.ft);
+}
+
+/// A straggling rank slows the run down but changes nothing about the
+/// result, and nobody is declared dead as long as it answers within the
+/// retry budget.
+#[test]
+fn stragglers_are_tolerated_without_eviction() {
+    let (t, n) = lcg_matrices(11, 90, 60, 13);
+    let cfg = four_rank_config();
+    let expect = reference(&t, &n, cfg.max_combinations);
+    let plan = FaultPlan::parse("straggler=2@8.0", 7).unwrap();
+    let faults = FaultState::new(plan, &Obs::disabled());
+    let ft = distributed_discover4_ft(
+        &t,
+        &n,
+        &cfg,
+        Some(&faults),
+        FtParams::fast_test(),
+        &Obs::disabled(),
+    );
+    assert_eq!(ft.result.combinations, expect);
+    assert_eq!(ft.recovery.dead_ranks, Vec::<usize>::new());
+}
+
+/// Zero-fault acceptance: with no plan the FT driver's observability stream
+/// has exactly the plain driver's event shape — no fault or recovery points,
+/// no FT counters — and the same combinations.
+#[test]
+fn zero_fault_ft_run_is_indistinguishable_from_plain() {
+    let (t, n) = lcg_matrices(11, 90, 60, 13);
+    let cfg = four_rank_config();
+
+    let plain_obs = Obs::enabled();
+    let plain = multihit_cluster::driver::distributed_discover4_obs(&t, &n, &cfg, &plain_obs);
+    let ft_obs = Obs::enabled();
+    let ft = distributed_discover4_ft(&t, &n, &cfg, None, FtParams::fast_test(), &ft_obs);
+
+    assert_eq!(ft.result.combinations, plain.combinations);
+    assert_eq!(ft.result.uncovered, plain.uncovered);
+
+    // Same event-name sequence (field values carry wall times and differ).
+    let names = |o: &Obs| -> Vec<String> { o.events().iter().map(|e| e.name.clone()).collect() };
+    let plain_names = names(&plain_obs);
+    let ft_names: Vec<String> = names(&ft_obs)
+        .into_iter()
+        .filter(|n| n != "distributed_discover_ft")
+        .collect();
+    let plain_names: Vec<String> = plain_names
+        .into_iter()
+        .filter(|n| n != "distributed_discover")
+        .collect();
+    assert_eq!(ft_names, plain_names);
+    assert!(!ft_names.iter().any(|n| n == "fault" || n == "recovery"));
+    assert!(ft_obs.counters().keys().all(|k| !k.starts_with("ft.")));
+    assert!(ft_obs
+        .counters()
+        .keys()
+        .all(|k| !k.starts_with("recovery.")));
+}
+
+/// The killed-rank path also survives under the equi-distance scheduler
+/// (the recovery re-partitions with whatever scheduler the run was
+/// configured with).
+#[test]
+fn recovery_works_under_equi_distance_scheduling() {
+    use multihit_cluster::driver::SchedulerKind;
+    let (t, n) = lcg_matrices(11, 90, 60, 13);
+    let cfg = DistributedConfig {
+        scheduler: SchedulerKind::EquiDistance,
+        ..four_rank_config()
+    };
+    let expect = reference(&t, &n, cfg.max_combinations);
+    let plan = FaultPlan::parse("rank-kill=2@1", 7).unwrap();
+    let faults = FaultState::new(plan, &Obs::disabled());
+    let ft = distributed_discover4_ft(
+        &t,
+        &n,
+        &cfg,
+        Some(&faults),
+        FtParams::fast_test(),
+        &Obs::disabled(),
+    );
+    assert_eq!(ft.result.combinations, expect);
+    assert_eq!(ft.recovery.dead_ranks, vec![2]);
+}

@@ -1,7 +1,8 @@
 //! Property-based tests for the cluster substrate: scheduler invariants
 //! over random workload structures, collective correctness over random rank
-//! counts, and modeled-run sanity.
+//! counts, checkpoint format round-trips, and modeled-run sanity.
 
+use multihit_cluster::checkpoint::{Checkpoint, CHECKPOINT_VERSION};
 use multihit_cluster::comm::run_ranks;
 use multihit_cluster::sched::{partition_areas, schedule_ea_fast, schedule_ea_naive, schedule_ed};
 use multihit_cluster::sched_weighted::{schedule_ea_weighted, CostWeights};
@@ -89,6 +90,65 @@ proptest! {
         let ea = max_area(&schedule_ea_fast(&levels, parts));
         let ed = max_area(&schedule_ed(n, parts));
         prop_assert!(ea <= ed, "EA straggler {ea} > ED {ed}");
+    }
+}
+
+/// Random well-formed checkpoints: mask word count must match the tumor
+/// count and combo gene ids must fit the universe, mirroring what a real
+/// run can produce.
+fn arb_checkpoint() -> impl Strategy<Value = Checkpoint> {
+    (1usize..300, 1usize..200).prop_flat_map(|(n_genes, n_tumor)| {
+        let words = n_tumor.div_ceil(64);
+        let mask = prop::collection::vec(any::<u64>(), words).prop_map(move |mut m| {
+            // Clear padding bits past n_tumor in the final word.
+            let used = n_tumor % 64;
+            if used != 0 {
+                *m.last_mut().unwrap() &= (1u64 << used) - 1;
+            }
+            m
+        });
+        let g = n_genes as u32;
+        let combos = prop::collection::vec(
+            (0..g, 0..g, 0..g, 0..g).prop_map(|(a, b, c, d)| [a, b, c, d]),
+            0..12,
+        );
+        (mask, combos).prop_map(move |(uncovered_mask, chosen)| Checkpoint {
+            version: CHECKPOINT_VERSION,
+            n_genes,
+            n_tumor,
+            chosen,
+            uncovered_mask,
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn checkpoint_text_round_trips(ckpt in arb_checkpoint()) {
+        let text = ckpt.to_text();
+        let back = match Checkpoint::from_text(&text) {
+            Ok(b) => b,
+            Err(e) => return Err(format!("round-trip rejected: {e}")),
+        };
+        prop_assert_eq!(back, ckpt);
+    }
+
+    #[test]
+    fn truncated_checkpoint_never_parses_to_a_different_state(
+        ckpt in arb_checkpoint(),
+        cut in 1usize..64,
+    ) {
+        // Chop off the tail (at least one byte): either the parser rejects
+        // it, or — if a prefix happens to still be well-formed — it must
+        // reproduce the original state exactly. It must never resume a
+        // silently different run.
+        let text = ckpt.to_text();
+        let keep = text.len().saturating_sub(cut);
+        if let Ok(parsed) = Checkpoint::from_text(&text[..keep]) {
+            prop_assert_eq!(parsed, ckpt);
+        }
     }
 }
 

@@ -55,5 +55,5 @@ pub mod weight;
 
 pub use bitmat::BitMatrix;
 pub use greedy::{discover, GreedyConfig, GreedyResult};
-pub use obs::{Obs, RunReport};
+pub use obs::{FaultReport, Obs, RecoveryReport, RunReport};
 pub use weight::{Alpha, Combo, Scored};

@@ -181,6 +181,12 @@ impl Event {
         self.get(key).and_then(Value::as_f64)
     }
 
+    /// Field as a string slice.
+    #[must_use]
+    pub fn str(&self, key: &str) -> Option<&str> {
+        self.get(key).and_then(Value::as_str)
+    }
+
     /// Serialize as one JSON line (no trailing newline).
     #[must_use]
     pub fn to_json(&self) -> String {
@@ -696,6 +702,33 @@ pub struct RankReport {
     pub kernel_ns: u64,
 }
 
+/// One injected fault (from `fault` points).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultReport {
+    /// Fault kind (`rank_kill`, `msg_drop`, `ckpt_bitflip`, `node_failure`, …).
+    pub kind: String,
+    /// Iteration the fault fired in.
+    pub iter: u64,
+}
+
+/// One recovery event (from `recovery` points): a driver re-execution after
+/// a failed iteration attempt, a checkpoint fallback to the backup copy, or
+/// a modeled-failure cost summary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecoveryReport {
+    /// Recovery kind: `rank_recovery` (driver re-execution), `ckpt_fallback`,
+    /// or `modeled`.
+    pub kind: String,
+    /// Iteration the recovery happened in (0 for stream-level events).
+    pub iter: u64,
+    /// Ranks newly declared dead by this recovery step.
+    pub dead: u64,
+    /// Ranks still alive afterwards.
+    pub survivors: u64,
+    /// λ-work (combinations) discarded and re-executed.
+    pub re_executed_combos: u64,
+}
+
 /// Aggregated view of one observability stream.
 #[derive(Clone, Debug, Default)]
 pub struct RunReport {
@@ -709,6 +742,10 @@ pub struct RunReport {
     pub checkpoint_ns: Vec<u64>,
     /// Iteration makespans (from `timeline_iter` points), nanoseconds.
     pub makespan_ns: Vec<u64>,
+    /// Injected faults in firing order (empty for fault-free runs).
+    pub faults: Vec<FaultReport>,
+    /// Recovery events in order (empty for fault-free runs).
+    pub recoveries: Vec<RecoveryReport>,
     /// Final counter registry.
     pub counters: BTreeMap<String, u64>,
 }
@@ -749,6 +786,22 @@ impl RunReport {
                 }
                 (EventKind::Point, "timeline_iter") => {
                     r.makespan_ns.push(e.u64("makespan_ns").unwrap_or(0));
+                }
+                (EventKind::Point, "fault") => {
+                    r.faults.push(FaultReport {
+                        kind: e.str("kind").unwrap_or("unknown").to_string(),
+                        iter: e.u64("iter").unwrap_or(0),
+                    });
+                }
+                (EventKind::Point, "recovery") => {
+                    // Driver re-execution points carry no `kind` field.
+                    r.recoveries.push(RecoveryReport {
+                        kind: e.str("kind").unwrap_or("rank_recovery").to_string(),
+                        iter: e.u64("iter").unwrap_or(0),
+                        dead: e.u64("dead").unwrap_or(0),
+                        survivors: e.u64("survivors").unwrap_or(0),
+                        re_executed_combos: e.u64("re_executed_combos").unwrap_or(0),
+                    });
                 }
                 (EventKind::Counters, _) => {
                     for (k, v) in &e.fields {
@@ -826,6 +879,38 @@ impl RunReport {
             })
             .sum();
         total / self.ranks.len() as f64
+    }
+
+    /// Total λ-work (combinations) discarded and re-executed by recovery.
+    #[must_use]
+    pub fn re_executed_combos(&self) -> u64 {
+        self.recoveries.iter().map(|r| r.re_executed_combos).sum()
+    }
+
+    /// Ranks declared dead across the run.
+    #[must_use]
+    pub fn dead_ranks(&self) -> u64 {
+        self.recoveries
+            .iter()
+            .filter(|r| r.kind == "rank_recovery")
+            .map(|r| r.dead)
+            .sum()
+    }
+
+    /// Checkpoint loads that fell back to the backup copy.
+    #[must_use]
+    pub fn ckpt_fallbacks(&self) -> u64 {
+        self.recoveries
+            .iter()
+            .filter(|r| r.kind == "ckpt_fallback")
+            .count() as u64
+    }
+
+    /// Message retransmissions performed by the fault-tolerant collectives
+    /// (from the `ft.retransmits` counter; 0 on clean runs).
+    #[must_use]
+    pub fn retransmits(&self) -> u64 {
+        self.counters.get("ft.retransmits").copied().unwrap_or(0)
     }
 }
 
@@ -995,6 +1080,54 @@ mod tests {
         assert!((imb - 1.2).abs() < 1e-12, "imbalance {imb}");
         let util = report.mean_rank_utilization();
         assert!((util - 0.75).abs() < 1e-12, "utilization {util}");
+    }
+
+    #[test]
+    fn run_report_aggregates_faults_and_recoveries() {
+        let obs = Obs::enabled();
+        obs.point(
+            "fault",
+            &[
+                ("kind", Value::Str("rank_kill".to_string())),
+                ("iter", Value::U64(2)),
+                ("rank", Value::U64(1)),
+            ],
+        );
+        obs.point(
+            "recovery",
+            &[
+                ("iter", Value::U64(2)),
+                ("dead", Value::U64(1)),
+                ("survivors", Value::U64(3)),
+                ("re_executed_combos", Value::U64(4000)),
+            ],
+        );
+        obs.point(
+            "recovery",
+            &[
+                ("kind", Value::Str("ckpt_fallback".to_string())),
+                ("error", Value::Str("bad crc".to_string())),
+            ],
+        );
+        obs.counter_add("ft.retransmits", 3);
+
+        let report = RunReport::from_json_lines(&obs.to_json_lines()).unwrap();
+        assert_eq!(report.faults.len(), 1);
+        assert_eq!(report.faults[0].kind, "rank_kill");
+        assert_eq!(report.faults[0].iter, 2);
+        assert_eq!(report.recoveries.len(), 2);
+        assert_eq!(report.recoveries[0].kind, "rank_recovery");
+        assert_eq!(report.recoveries[0].survivors, 3);
+        assert_eq!(report.re_executed_combos(), 4000);
+        assert_eq!(report.dead_ranks(), 1);
+        assert_eq!(report.ckpt_fallbacks(), 1);
+        assert_eq!(report.retransmits(), 3);
+
+        // A fault-free stream leaves the new fields empty.
+        let clean = RunReport::from_events(&[]);
+        assert!(clean.faults.is_empty() && clean.recoveries.is_empty());
+        assert_eq!(clean.re_executed_combos(), 0);
+        assert_eq!(clean.retransmits(), 0);
     }
 
     #[test]

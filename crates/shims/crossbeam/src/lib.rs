@@ -3,12 +3,14 @@
 //! Provides only `crossbeam::channel::{unbounded, Sender, Receiver}` — the
 //! surface `multihit-cluster`'s rank mesh uses. Semantics match crossbeam's
 //! unbounded channel for this use case: senders are `Clone + Send + Sync`,
-//! `send` fails once the receiver is gone, and `recv` blocks until a message
-//! arrives or every sender has hung up.
+//! `send` fails once the receiver is gone, `recv` blocks until a message
+//! arrives or every sender has hung up, and `recv_timeout` bounds the wait
+//! (the fault-tolerant collectives' failure detector is built on it).
 
 pub mod channel {
     use std::collections::VecDeque;
     use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
 
     struct State<T> {
         queue: VecDeque<T>,
@@ -30,6 +32,15 @@ pub mod channel {
     /// disconnected.
     #[derive(Debug, PartialEq, Eq)]
     pub struct RecvError;
+
+    /// Error from [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the deadline.
+        Timeout,
+        /// The channel is empty and every sender disconnected.
+        Disconnected,
+    }
 
     /// Producer half; clone freely across threads.
     pub struct Sender<T> {
@@ -115,6 +126,30 @@ pub mod channel {
                 st = self.shared.ready.wait(st).expect("channel mutex poisoned");
             }
         }
+
+        /// Block until a message arrives or `timeout` elapses.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.shared.state.lock().expect("channel mutex poisoned");
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _timed_out) = self
+                    .shared
+                    .ready
+                    .wait_timeout(st, deadline - now)
+                    .expect("channel mutex poisoned");
+                st = guard;
+            }
+        }
     }
 
     impl<T> Drop for Receiver<T> {
@@ -130,8 +165,25 @@ pub mod channel {
 
 #[cfg(test)]
 mod tests {
-    use super::channel::{unbounded, RecvError};
+    use super::channel::{unbounded, RecvError, RecvTimeoutError};
     use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(9));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
 
     #[test]
     fn fifo_within_one_sender() {

@@ -8,6 +8,10 @@
 //!                   [--metrics-out M.jsonl] [--trace]
 //! multihit classify --results R.tsv --tumor T.maf --normal N.maf
 //! multihit cluster  [--dataset brca|acc] [--nodes N] [--scheduler ea|ed|ec]
+//!                   [--mtbf S] [--ckpt-write S] [--recovery-time S]
+//!                   [--metrics-out M.jsonl] [--trace]
+//! multihit cluster  --inject SPECS [--nodes N] [--scheduler ea|ed|ec]
+//!                   [--seed S] [--ft-timeout-ms MS]
 //!                   [--metrics-out M.jsonl] [--trace]
 //! ```
 //!
@@ -16,13 +20,20 @@
 //! two MAF files and writes a results TSV; `classify` evaluates a results
 //! file as a tumor/normal classifier against held-out MAFs; `cluster` runs
 //! the modeled paper-scale cluster simulation through the discrete-event
-//! timeline and reports per-rank busy/idle attribution.
+//! timeline and reports per-rank busy/idle attribution. With `--mtbf` the
+//! modeled run additionally prices node failures, checkpoint writes, and
+//! restarts. With `--inject` the subcommand instead runs a *functional*
+//! fault-injection demo: real rank threads on a synthetic cohort under a
+//! deterministic fault plan (e.g. `--inject rank-kill=1@2`), verified
+//! bit-identical against the fault-free reference, with the recovery bill
+//! (re-executed λ-work, retransmits, checkpoint fallbacks) printed.
 //!
 //! `--metrics-out` writes the observability stream (JSON lines: spans,
 //! per-iteration/per-rank points, final counters) produced by the run;
 //! `--trace` additionally echoes each record to stderr as it happens.
 
-use multihit::cluster::driver::{timeline_run_obs, ModelConfig, SchedulerKind};
+use multihit::cluster::driver::{model_run_faulty, timeline_run_obs, ModelConfig, SchedulerKind};
+use multihit::cluster::timing::FailureModel;
 use multihit::core::bitmat::BitMatrix;
 use multihit::core::greedy::{discover_obs, GreedyConfig};
 use multihit::core::obs::{Obs, RunReport};
@@ -300,24 +311,20 @@ fn cmd_classify(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn parse_scheduler(args: &[String]) -> Result<Option<SchedulerKind>, String> {
+    match arg_value(args, "--scheduler").as_deref() {
+        None => Ok(None),
+        Some("ea") => Ok(Some(SchedulerKind::EquiArea)),
+        Some("ed") => Ok(Some(SchedulerKind::EquiDistance)),
+        Some("ec") => Ok(Some(SchedulerKind::EquiCost)),
+        Some(other) => Err(format!("unknown scheduler {other} (ea|ed|ec)")),
+    }
+}
+
 fn cmd_cluster(args: &[String]) -> Result<(), String> {
-    let dataset = arg_value(args, "--dataset").unwrap_or_else(|| "acc".to_string());
     let nodes: usize = parse_or(args, "--nodes", 8usize)?;
     if nodes == 0 {
         return Err("--nodes must be positive".to_string());
-    }
-    let mut cfg = match dataset.as_str() {
-        "brca" => ModelConfig::brca(nodes),
-        "acc" => ModelConfig::acc(nodes),
-        other => return Err(format!("unknown dataset {other} (brca|acc)")),
-    };
-    if let Some(s) = arg_value(args, "--scheduler") {
-        cfg.scheduler = match s.as_str() {
-            "ea" => SchedulerKind::EquiArea,
-            "ed" => SchedulerKind::EquiDistance,
-            "ec" => SchedulerKind::EquiCost,
-            other => return Err(format!("unknown scheduler {other} (ea|ed|ec)")),
-        };
     }
     let (obs, metrics_out) = obs_from_args(args);
     // Metrics are this subcommand's whole point: collect even without
@@ -327,6 +334,21 @@ fn cmd_cluster(args: &[String]) -> Result<(), String> {
     } else {
         Obs::enabled()
     };
+
+    if let Some(specs) = arg_value(args, "--inject") {
+        cluster_fault_demo(args, &specs, nodes, &obs)?;
+        return finish_obs(&obs, metrics_out.as_deref());
+    }
+
+    let dataset = arg_value(args, "--dataset").unwrap_or_else(|| "acc".to_string());
+    let mut cfg = match dataset.as_str() {
+        "brca" => ModelConfig::brca(nodes),
+        "acc" => ModelConfig::acc(nodes),
+        other => return Err(format!("unknown dataset {other} (brca|acc)")),
+    };
+    if let Some(s) = parse_scheduler(args)? {
+        cfg.scheduler = s;
+    }
     eprintln!(
         "modeling {dataset} on {nodes} nodes ({} GPUs), scheduler {}",
         cfg.shape.total_gpus(),
@@ -343,7 +365,125 @@ fn cmd_cluster(args: &[String]) -> Result<(), String> {
         "sched_partition_ns\t{}",
         report.partition_ns.iter().sum::<u64>()
     );
+    if let Some(mtbf) = arg_value(args, "--mtbf") {
+        let fm = FailureModel {
+            node_mtbf_s: mtbf.parse().map_err(|_| format!("bad --mtbf: {mtbf}"))?,
+            ckpt_write_s: parse_or(args, "--ckpt-write", 1.0f64)?,
+            recovery_s: parse_or(args, "--recovery-time", 120.0f64)?,
+        };
+        let run = model_run_faulty(&cfg, &fm, &obs);
+        println!("modeled_failures\t{}", run.failures.len());
+        println!("ckpt_cost_s\t{:.2}", run.ckpt_cost_s);
+        println!("rework_s\t{:.2}", run.rework_s);
+        println!("restart_s\t{:.2}", run.restart_s);
+        println!("faulty_total_s\t{:.2}", run.total_s);
+        println!("young_interval_s\t{:.2}", run.expected.interval_s);
+        println!(
+            "expected_overhead_fraction\t{:.4}",
+            run.expected.overhead_fraction
+        );
+    }
     finish_obs(&obs, metrics_out.as_deref())?;
+    Ok(())
+}
+
+/// `cluster --inject`: run the fault-tolerant driver for real (rank threads
+/// on a synthetic cohort) under a deterministic fault plan, route the
+/// checkpoints through the durable store so `ckpt-*` injections bite, and
+/// print the recovery bill. Fails unless the surviving ranks reproduce the
+/// fault-free reference bit-for-bit.
+fn cluster_fault_demo(args: &[String], specs: &str, nodes: usize, obs: &Obs) -> Result<(), String> {
+    use multihit::cluster::checkpoint::{Checkpoint, CheckpointStore};
+    use multihit::cluster::driver::{
+        distributed_discover4, distributed_discover4_ft, DistributedConfig,
+    };
+    use multihit::cluster::fault::{FaultPlan, FaultState, FtParams};
+    use multihit::cluster::topology::ClusterShape;
+
+    let seed: u64 = parse_or(args, "--seed", 2021u64)?;
+    let timeout_ms: u64 = parse_or(args, "--ft-timeout-ms", 50u64)?;
+    let plan = FaultPlan::parse(specs, seed)?;
+    let cohort = generate(&CohortSpec {
+        n_genes: 18,
+        n_tumor: 90,
+        n_normal: 60,
+        n_driver_combos: 3,
+        hits_per_combo: 4,
+        driver_penetrance: 0.9,
+        passenger_rate_tumor: 0.05,
+        passenger_rate_normal: 0.02,
+        seed,
+    });
+    let mut cfg = DistributedConfig {
+        shape: ClusterShape {
+            nodes,
+            gpus_per_node: 2,
+        },
+        max_combinations: 4,
+        ..DistributedConfig::default()
+    };
+    if let Some(s) = parse_scheduler(args)? {
+        cfg.scheduler = s;
+    }
+    eprintln!(
+        "fault-injection demo: {nodes} ranks x {} GPUs, plan [{specs}], seed {seed}",
+        cfg.shape.gpus_per_node
+    );
+
+    let reference = distributed_discover4(&cohort.tumor, &cohort.normal, &cfg);
+    let faults = FaultState::new(plan, obs);
+    let params = FtParams {
+        timeout: std::time::Duration::from_millis(timeout_ms),
+        ..FtParams::default()
+    };
+    let ft = distributed_discover4_ft(
+        &cohort.tumor,
+        &cohort.normal,
+        &cfg,
+        Some(&faults),
+        params,
+        obs,
+    );
+
+    // Replay the run's checkpoint schedule through the durable store: one
+    // save per discovered combination, then resume from disk. The plan's
+    // ckpt-truncate / ckpt-bitflip events damage these writes.
+    let dir = std::env::temp_dir().join(format!("multihit-inject-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let store = CheckpointStore::new(dir.join("run.ckpt"), obs);
+    let mut ck = Checkpoint::fresh(&cohort.tumor);
+    let io = |e: std::io::Error| format!("checkpoint save: {e}");
+    store.save(&ck, Some(&faults)).map_err(io)?;
+    for combo in &ft.result.combinations {
+        let cov = cohort.tumor.cover_mask(combo);
+        for (m, c) in ck.uncovered_mask.iter_mut().zip(&cov) {
+            *m &= !c;
+        }
+        ck.chosen.push(*combo);
+        store.save(&ck, Some(&faults)).map_err(io)?;
+    }
+    let resumed = store.load()?;
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let matches = ft.result.combinations == reference.combinations
+        && ft.result.uncovered == reference.uncovered;
+    let r = &ft.recovery;
+    let report = RunReport::from_events(&obs.events());
+    println!("combinations\t{}", ft.result.combinations.len());
+    println!("matches_reference\t{matches}");
+    println!("faults_fired\t{}", faults.fired().len());
+    println!("dead_ranks\t{:?}", r.dead_ranks);
+    println!("re_executed_iterations\t{}", r.re_executed_iterations);
+    println!("re_executed_combos\t{}", r.re_executed_combos);
+    println!("retransmits\t{}", r.ft.retransmits);
+    println!("retrans_requests\t{}", r.ft.retrans_requests);
+    println!("crc_failures\t{}", r.ft.crc_failures);
+    println!("timeouts\t{}", r.ft.timeouts);
+    println!("ckpt_fallbacks\t{}", report.ckpt_fallbacks());
+    println!("resumed_combinations\t{}", resumed.chosen.len());
+    if !matches {
+        return Err("fault-injected run diverged from the fault-free reference".to_string());
+    }
     Ok(())
 }
 
@@ -354,7 +494,12 @@ const USAGE: &str = "usage: multihit <synth|discover|classify|cluster> [options]
            --cohort LABEL --out R.tsv --metrics-out M.jsonl --trace]
   classify --results R.tsv --tumor T.maf --normal N.maf
   cluster  [--dataset brca|acc --nodes N --scheduler ea|ed|ec
-           --metrics-out M.jsonl --trace]";
+           --mtbf S --ckpt-write S --recovery-time S
+           --metrics-out M.jsonl --trace]
+  cluster  --inject SPECS [--nodes N --scheduler ea|ed|ec --seed S
+           --ft-timeout-ms MS --metrics-out M.jsonl --trace]
+           SPECS: rank-kill=R@K | straggler=R@F | msg-drop=F-T[@N]
+                  | msg-corrupt=F-T[@N] | ckpt-truncate=K | ckpt-bitflip=K";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
