@@ -1,10 +1,12 @@
 //! End-to-end greedy discovery benchmarks: hit counts 2–4, sequential vs
-//! rayon-parallel scanning, and the functional distributed driver.
+//! work-stealing parallel scanning, the scalar/vectorized/pruned scan
+//! ladder, and the functional distributed driver.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use multihit_cluster::driver::{distributed_discover4, DistributedConfig};
 use multihit_cluster::topology::ClusterShape;
-use multihit_core::greedy::{discover, GreedyConfig};
+use multihit_core::greedy::{best_combination, discover, GreedyConfig};
+use multihit_core::kernel;
 use multihit_data::synth::{generate, CohortSpec};
 
 fn cohort(g: usize, h: usize) -> (multihit_core::BitMatrix, multihit_core::BitMatrix) {
@@ -73,11 +75,37 @@ fn bench_hits(c: &mut Criterion) {
     grp.finish();
 }
 
+fn bench_scan_ladder(c: &mut Criterion) {
+    // The PR-3 acceptance surface: one 3-hit argmax scan at G = 300,
+    // climbing scalar → vectorized → vectorized+pruned. All three arms
+    // return bit-identical winners (asserted by tests and bench_scan).
+    let (t, n) = cohort(300, 3);
+    let mut grp = c.benchmark_group("scan_h3_g300");
+    grp.sample_size(10);
+    for (name, scalar, prune) in [
+        ("scalar_unpruned", true, false),
+        ("vector_unpruned", false, false),
+        ("vector_pruned", false, true),
+    ] {
+        grp.bench_function(name, |b| {
+            kernel::force_scalar(scalar);
+            let cfg = GreedyConfig {
+                parallel: true,
+                prune,
+                ..GreedyConfig::default()
+            };
+            b.iter(|| best_combination::<3>(&t, &n, None, &cfg).score);
+            kernel::force_scalar(false);
+        });
+    }
+    grp.finish();
+}
+
 fn bench_parallel_scan(c: &mut Criterion) {
     let (t, n) = cohort(48, 3);
     let mut grp = c.benchmark_group("greedy_h3_g48_parallelism");
     grp.sample_size(10);
-    for (name, par) in [("sequential", false), ("rayon", true)] {
+    for (name, par) in [("sequential", false), ("work_stealing", true)] {
         grp.bench_function(name, |b| {
             b.iter(|| {
                 discover::<3>(
@@ -124,5 +152,11 @@ fn bench_distributed(c: &mut Criterion) {
     grp.finish();
 }
 
-criterion_group!(benches, bench_hits, bench_parallel_scan, bench_distributed);
+criterion_group!(
+    benches,
+    bench_hits,
+    bench_scan_ladder,
+    bench_parallel_scan,
+    bench_distributed
+);
 criterion_main!(benches);

@@ -5,6 +5,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use multihit_core::combin::binomial;
 use multihit_core::greedy::ComboScanner;
+use multihit_core::kernel;
 use multihit_core::reduce::{gpu_reduce, tree_reduce};
 use multihit_core::schemes::Scheme4;
 use multihit_core::weight::{Alpha, Scored};
@@ -35,6 +36,31 @@ fn bench_maxf_schemes(c: &mut Criterion) {
             b.iter(|| run_maxf4(&t, &n, Alpha::PAPER, scheme, 0, threads, 512).best)
         });
     }
+    grp.finish();
+}
+
+fn bench_popcount_kernels(c: &mut Criterion) {
+    // The word-level primitives everything above bottoms out in: portable
+    // unrolled scalar vs the runtime-dispatched AVX2/POPCNT path, on a
+    // BitSplicing-realistic row length (4096 samples = 64 words).
+    let a: Vec<u64> = (0..64u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect();
+    let b: Vec<u64> = (0..64u64)
+        .map(|i| !i.wrapping_mul(0xC2B2_AE3D_27D4_EB4F))
+        .collect();
+    let mut dst = vec![0u64; 64];
+    let mut grp = c.benchmark_group("kernel_64words");
+    grp.bench_function(format!("and_popcount_{}", kernel::active().name()), |bch| {
+        bch.iter(|| kernel::and_popcount(black_box(&a), black_box(&b)))
+    });
+    grp.bench_function("and_popcount_scalar", |bch| {
+        bch.iter(|| kernel::and_popcount_scalar(black_box(&a), black_box(&b)))
+    });
+    grp.bench_function(
+        format!("and_store_popcount_{}", kernel::active().name()),
+        |bch| bch.iter(|| kernel::and_store_popcount(black_box(&mut dst), &a, &b)),
+    );
     grp.finish();
 }
 
@@ -75,7 +101,7 @@ fn bench_model_eval(c: &mut Criterion) {
         &multihit_core::sweep::levels_scheme4(Scheme4::ThreeXOne, 19411),
         6000,
     );
-    let bounds: Vec<(u64, u64)> = parts.iter().map(|p| (p.lo, p.hi)).collect();
+    let bounds = multihit_cluster::sched::partitions_to_ranges(&parts);
     let model = CostModel::new(GpuSpec::v100_summit());
     c.bench_function("model_iteration_G19411_P6000", |b| {
         b.iter(|| {
@@ -111,6 +137,7 @@ fn bench_packed_vs_byte_matrix(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_maxf_schemes,
+    bench_popcount_kernels,
     bench_scanner,
     bench_reductions,
     bench_model_eval,

@@ -1,0 +1,200 @@
+//! Record the PR-3 scan-acceleration ladder into `BENCH_scan.json`.
+//!
+//! ```text
+//! bench_scan [--out FILE] [--genes G] [--reps R]
+//! ```
+//!
+//! Runs one 3-hit argmax scan over a synthetic cohort three ways —
+//! scalar un-pruned (the pre-PR baseline), vectorized un-pruned, and
+//! vectorized + bound-pruned — each `R` times, keeping the best wall time.
+//! All arms must return bit-identical winners; any divergence exits
+//! nonzero so CI fails loudly. The JSON records combos/s (over the full
+//! enumerated space, so pruning shows up as throughput), the pruned
+//! fraction, and work-stealing block/steal counts.
+
+use multihit_core::combin::binomial;
+use multihit_core::greedy::{best_combination_stats, GreedyConfig, ScanStats};
+use multihit_core::kernel;
+use multihit_core::weight::Scored;
+use multihit_data::synth::{generate, CohortSpec};
+use std::time::Instant;
+
+const N_TUMOR: usize = 240;
+const N_NORMAL: usize = 120;
+
+struct Arm {
+    name: &'static str,
+    kernel: String,
+    prune: bool,
+    best_ns: u128,
+    combos_per_sec: f64,
+    stats: ScanStats,
+    best: Scored<3>,
+}
+
+fn run_arm(
+    name: &'static str,
+    scalar: bool,
+    prune: bool,
+    reps: usize,
+    total: u64,
+    t: &multihit_core::BitMatrix,
+    n: &multihit_core::BitMatrix,
+) -> Arm {
+    kernel::force_scalar(scalar);
+    let cfg = GreedyConfig {
+        parallel: true,
+        prune,
+        ..GreedyConfig::default()
+    };
+    let mut best_ns = u128::MAX;
+    let mut last = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let out = best_combination_stats::<3>(t, n, None, &cfg);
+        best_ns = best_ns.min(start.elapsed().as_nanos());
+        last = Some(out);
+    }
+    let (best, stats) = last.expect("reps >= 1");
+    let kern = kernel::active().name().to_string();
+    kernel::force_scalar(false);
+    Arm {
+        name,
+        kernel: kern,
+        prune,
+        best_ns,
+        combos_per_sec: total as f64 / (best_ns as f64 / 1e9),
+        stats,
+        best,
+    }
+}
+
+fn arm_json(a: &Arm) -> String {
+    format!(
+        "    {{\n      \"name\": \"{}\",\n      \"kernel\": \"{}\",\n      \
+         \"prune\": {},\n      \"best_ns\": {},\n      \
+         \"combos_per_sec\": {:.0},\n      \"pruned_fraction\": {:.4},\n      \
+         \"pruned_subtrees\": {},\n      \"steal_blocks\": {},\n      \
+         \"steals\": {},\n      \"best_score\": {},\n      \
+         \"best_genes\": [{}, {}, {}]\n    }}",
+        a.name,
+        a.kernel,
+        a.prune,
+        a.best_ns,
+        a.combos_per_sec,
+        a.stats.pruned_fraction(),
+        a.stats.pruned_subtrees,
+        a.stats.blocks,
+        a.stats.steals,
+        a.best.score,
+        a.best.genes[0],
+        a.best.genes[1],
+        a.best.genes[2],
+    )
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = String::from("BENCH_scan.json");
+    let mut genes = 300usize;
+    let mut reps = 3usize;
+    let take = |flag: &str, args: &mut Vec<String>| -> Option<String> {
+        let pos = args.iter().position(|a| a == flag)?;
+        if pos + 1 >= args.len() {
+            eprintln!("{flag} requires a value");
+            std::process::exit(2);
+        }
+        let v = args.remove(pos + 1);
+        args.remove(pos);
+        Some(v)
+    };
+    if let Some(v) = take("--out", &mut args) {
+        out = v;
+    }
+    if let Some(v) = take("--genes", &mut args) {
+        genes = v.parse().expect("--genes expects an integer");
+    }
+    if let Some(v) = take("--reps", &mut args) {
+        reps = v
+            .parse::<usize>()
+            .expect("--reps expects an integer")
+            .max(1);
+    }
+    if !args.is_empty() {
+        eprintln!("unknown arguments: {args:?}");
+        std::process::exit(2);
+    }
+
+    let cohort = generate(&CohortSpec {
+        n_genes: genes,
+        n_tumor: N_TUMOR,
+        n_normal: N_NORMAL,
+        n_driver_combos: 4,
+        hits_per_combo: 3,
+        ..CohortSpec::default()
+    });
+    let total = binomial(genes as u64, 3);
+    eprintln!(
+        "bench_scan: G={genes} H=3 Nt={N_TUMOR} Nn={N_NORMAL} \
+         combos={total} reps={reps} kernel={}",
+        kernel::active().name()
+    );
+
+    let arms = [
+        ("scalar_unpruned", true, false),
+        ("vector_unpruned", false, false),
+        ("vector_pruned", false, true),
+    ]
+    .map(|(name, scalar, prune)| {
+        let arm = run_arm(
+            name,
+            scalar,
+            prune,
+            reps,
+            total,
+            &cohort.tumor,
+            &cohort.normal,
+        );
+        eprintln!(
+            "  {:16} {:>8.1} ms  {:>6.2} Mcombos/s  pruned {:.1}%  \
+             {} blocks ({} steals)",
+            arm.name,
+            arm.best_ns as f64 / 1e6,
+            arm.combos_per_sec / 1e6,
+            arm.stats.pruned_fraction() * 100.0,
+            arm.stats.blocks,
+            arm.stats.steals,
+        );
+        arm
+    });
+
+    let identical = arms.iter().all(|a| a.best == arms[0].best);
+    let speedup_vector = arms[1].combos_per_sec / arms[0].combos_per_sec;
+    let speedup_pruned = arms[2].combos_per_sec / arms[0].combos_per_sec;
+    eprintln!(
+        "  speedups vs scalar_unpruned: vector {speedup_vector:.2}x, \
+         vector+pruned {speedup_pruned:.2}x, identical={identical}"
+    );
+
+    let body: Vec<String> = arms.iter().map(arm_json).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"scan_h3\",\n  \"genes\": {genes},\n  \"hits\": 3,\n  \
+         \"n_tumor\": {N_TUMOR},\n  \"n_normal\": {N_NORMAL},\n  \
+         \"combos\": {total},\n  \"reps\": {reps},\n  \
+         \"dispatch\": \"{}\",\n  \"arms\": [\n{}\n  ],\n  \
+         \"speedup_vector\": {speedup_vector:.3},\n  \
+         \"speedup_pruned\": {speedup_pruned:.3},\n  \
+         \"identical\": {identical}\n}}\n",
+        kernel::active().name(),
+        body.join(",\n"),
+    );
+    std::fs::write(&out, json).expect("write BENCH_scan.json");
+    eprintln!("  wrote {out}");
+
+    if !identical {
+        eprintln!(
+            "FAIL: scan arms diverged — pruned/vectorized winner differs from scalar reference"
+        );
+        std::process::exit(1);
+    }
+}

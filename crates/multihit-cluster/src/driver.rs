@@ -17,6 +17,8 @@ use crate::sched::{schedule_ea_fast, schedule_ed, validate_partitions, Partition
 use crate::topology::ClusterShape;
 use multihit_core::bitmat::BitMatrix;
 use multihit_core::obs::Obs;
+use multihit_core::par::{default_workers, par_map_indexed};
+use multihit_core::reduce::fold_partials;
 use multihit_core::schemes::Scheme4;
 use multihit_core::sweep::levels_scheme4;
 use multihit_core::weight::{Alpha, Scored};
@@ -249,11 +251,14 @@ pub fn distributed_discover4_obs(
         let tumor_ref = &work_tumor;
         let rank_results: Vec<(Option<Scored<4>>, Vec<u64>)> = run_ranks(cfg.shape.nodes, |ctx| {
             let busy_start = Instant::now();
-            let mut local = Scored::NEG_INFINITY;
-            let mut combos = Vec::new();
-            for gi in cfg.shape.gpus_of_rank(ctx.rank) {
-                let p = parts[gi];
-                let out = run_maxf4(
+            // The rank's GPUs execute via the work-stealing dispatcher: a
+            // heavy λ-partition overlaps the light ones instead of
+            // serializing behind a fixed GPU order.
+            let gpus = cfg.shape.gpus_of_rank(ctx.rank);
+            let first_gpu = gpus.start;
+            let (outs, steal) = par_map_indexed(gpus.len(), default_workers(), |i| {
+                let p = parts[first_gpu + i];
+                run_maxf4(
                     tumor_ref,
                     normal,
                     cfg.alpha,
@@ -261,10 +266,10 @@ pub fn distributed_discover4_obs(
                     p.lo,
                     p.hi,
                     cfg.block_size,
-                );
-                combos.push(out.profile.combos);
-                local = local.max_det(out.best);
-            }
+                )
+            });
+            let combos: Vec<u64> = outs.iter().map(|o| o.profile.combos).collect();
+            let local = fold_partials(outs.into_iter().map(|o| o.best));
             let busy_ns = elapsed_ns(busy_start);
             let comm_start = Instant::now();
             let root = ctx.reduce_to_root(local, Scored::max_det, ser_scored, de_scored);
@@ -283,10 +288,14 @@ pub fn distributed_discover4_obs(
                         ("busy_ns", busy_ns.into()),
                         ("comm_ns", comm_ns.into()),
                         ("combos", combos.iter().sum::<u64>().into()),
+                        ("steal_blocks", steal.blocks.into()),
+                        ("steals", steal.steals.into()),
                     ],
                 );
                 obs.counter_add("dist.rank_busy_ns", busy_ns);
                 obs.counter_add("dist.rank_comm_ns", comm_ns);
+                obs.counter_add("dist.steal_blocks", steal.blocks);
+                obs.counter_add("dist.steals", steal.steals);
             }
             (Some(winner), combos)
         });
@@ -829,7 +838,7 @@ pub fn model_run_obs(cfg: &ModelConfig, obs: &Obs) -> ModeledRun {
         let remaining = (f64::from(cfg.n_tumor) * frac).ceil() as u32;
         let wt = u64::from(remaining.div_ceil(64).max(1));
         let w = wt + wn;
-        let bounds: Vec<(u64, u64)> = parts.iter().map(|p| (p.lo, p.hi)).collect();
+        let bounds = crate::sched::partitions_to_ranges(&parts);
         let costs: Vec<GpuCost> = profile_partitions(&levels, &bounds, w, prefetch, mid)
             .iter()
             .map(|pr| model.evaluate(pr))

@@ -39,6 +39,13 @@ impl Partition {
     }
 }
 
+/// Flatten a schedule into the `(lo, hi)` pairs the executors
+/// ([`multihit_gpusim::exec::run_gpus4`] and friends) take.
+#[must_use]
+pub fn partitions_to_ranges(parts: &[Partition]) -> Vec<(u64, u64)> {
+    parts.iter().map(|p| (p.lo, p.hi)).collect()
+}
+
 /// Equi-distance: equal thread counts (the naive baseline).
 ///
 /// # Panics

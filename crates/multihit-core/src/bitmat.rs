@@ -10,6 +10,12 @@
 //! The matrix also implements **BitSplicing** (§III-D): physically removing
 //! covered sample columns between greedy iterations so later iterations touch
 //! fewer words.
+//!
+//! All counting bottoms out in [`crate::kernel`], which runtime-dispatches
+//! to AVX2/POPCNT (and BMI2 `PEXT` for splicing) on `x86_64` with a portable
+//! unrolled fallback; results are bit-identical either way.
+
+use crate::kernel;
 
 /// Bits per packed word.
 pub const WORD_BITS: usize = 64;
@@ -133,7 +139,7 @@ impl BitMatrix {
     /// Number of mutated samples in gene `g`'s row.
     #[must_use]
     pub fn row_popcount(&self, g: usize) -> u32 {
-        self.row(g).iter().map(|w| w.count_ones()).sum()
+        kernel::popcount(self.row(g))
     }
 
     /// Count samples mutated in **all** the given genes (popcount of the
@@ -149,15 +155,7 @@ impl BitMatrix {
     #[must_use]
     pub fn count_all<const H: usize>(&self, genes: &[u32; H]) -> u32 {
         let rows: [&[u64]; H] = std::array::from_fn(|t| self.row(genes[t] as usize));
-        let mut total = 0u32;
-        for w in 0..self.words_per_row {
-            let mut acc = rows[0][w];
-            for r in rows.iter().skip(1) {
-                acc &= r[w];
-            }
-            total += acc.count_ones();
-        }
-        total
+        kernel::and_rows_popcount(&rows)
     }
 
     /// The column mask (one bit per sample, packed) of samples mutated in all
@@ -173,7 +171,7 @@ impl BitMatrix {
     /// Population count of a packed column mask.
     #[must_use]
     pub fn mask_popcount(mask: &[u64]) -> u32 {
-        mask.iter().map(|w| w.count_ones()).sum()
+        kernel::popcount(mask)
     }
 
     /// **BitSplicing** (§III-D): return a new matrix containing only the
@@ -185,20 +183,43 @@ impl BitMatrix {
     #[must_use]
     pub fn splice_columns(&self, keep: &[u64]) -> BitMatrix {
         assert!(keep.len() >= self.words_per_row, "keep mask too short");
-        // Precompute the surviving column positions once.
-        let kept: Vec<usize> = (0..self.n_samples)
-            .filter(|&s| (keep[s / WORD_BITS] >> (s % WORD_BITS)) & 1 == 1)
-            .collect();
-        let mut out = BitMatrix::zeros(self.n_genes, kept.len());
+        // Normalize the mask to in-range columns, then compact each row a
+        // word at a time with PEXT: the surviving bits of `row[w] & keep[w]`
+        // stream into a little bit-buffer that spills full output words.
+        let mut keep = keep[..self.words_per_row].to_vec();
+        Self::trim_mask_tail(&mut keep, self.n_samples);
+        let kept_count: usize = kernel::popcount(&keep) as usize;
+        let mut out = BitMatrix::zeros(self.n_genes, kept_count);
         for g in 0..self.n_genes {
             let row = self.row(g);
             let off = g * out.words_per_row;
-            for (new_s, &old_s) in kept.iter().enumerate() {
-                if (row[old_s / WORD_BITS] >> (old_s % WORD_BITS)) & 1 == 1 {
-                    out.data[off + new_s / WORD_BITS] |= 1u64 << (new_s % WORD_BITS);
+            let mut dst = off;
+            let mut buf = 0u64;
+            let mut fill = 0u32; // bits currently in `buf`
+            for (w, &k) in keep.iter().enumerate() {
+                let take = k.count_ones();
+                if take == 0 {
+                    continue;
+                }
+                let bits = kernel::pext(row[w], k);
+                buf |= bits << fill;
+                if fill + take >= 64 {
+                    out.data[dst] = buf;
+                    dst += 1;
+                    let consumed = 64 - fill;
+                    // `consumed` can be 64 only when fill == 0 and take == 64,
+                    // in which case there is nothing left over.
+                    buf = if consumed == 64 { 0 } else { bits >> consumed };
+                    fill = fill + take - 64;
+                } else {
+                    fill += take;
                 }
             }
+            if fill > 0 {
+                out.data[dst] = buf;
+            }
         }
+        debug_assert!(out.tail_is_clean());
         out
     }
 

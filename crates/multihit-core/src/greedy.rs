@@ -9,9 +9,27 @@
 //! The scan is the expensive part. [`ComboScanner`] walks combinations in
 //! colex order keeping a stack of partial row-ANDs — when only the lowest
 //! coordinate advances (the overwhelmingly common case), scoring one more
-//! combination costs a single fused AND+popcount pass per matrix. This is
-//! the CPU realization of the paper's MemOpt prefetching, generalized to
-//! every level of the `H`-deep loop.
+//! combination costs a single fused AND+popcount pass per matrix (via
+//! [`crate::kernel`], runtime-dispatched to AVX2/POPCNT). This is the CPU
+//! realization of the paper's MemOpt prefetching, generalized to every
+//! level of the `H`-deep loop.
+//!
+//! On top of the incremental scan sit two exact accelerations:
+//!
+//! * **Branch-and-bound pruning** ([`ComboScanner::scan_pruned`]): at colex
+//!   level `t` the partial-AND popcount bounds TP for *every* completion of
+//!   the lower coordinates, so `F_ub = (α·TP_partial + Nn)/(Nt+Nn)`; when
+//!   `F_ub` cannot beat the running best, the entire subtree sharing that
+//!   prefix — `C(c[t], t)` combinations — is skipped. The argmax is
+//!   bit-identical to the un-pruned scan by construction (ties lose to the
+//!   colex-earlier incumbent), and the test suite asserts it.
+//! * **Work stealing** ([`best_combination`]): an atomic λ-cursor
+//!   ([`crate::par::BlockQueue`]) hands out guided-size blocks so
+//!   pruning- and splice-induced imbalance cannot stall workers on static
+//!   chunks; per-worker winners fold with the deterministic
+//!   [`Scored::max_det`]. Workers share their best score through an atomic,
+//!   which only ever *increases* pruning power (strict-inequality cut), so
+//!   the fold stays bit-identical to the sequential scan.
 //!
 //! Covered samples are excluded either by **BitSplicing** (physically
 //! shrinking the tumor matrix, §III-D) or by carrying an active-column mask
@@ -20,9 +38,12 @@
 
 use crate::bitmat::BitMatrix;
 use crate::combin::{binomial, unrank_tuple};
+use crate::kernel;
 use crate::obs::Obs;
+use crate::par::{self, BlockQueue};
+use crate::reduce::fold_partials;
 use crate::weight::{Alpha, Combo, Scored};
-use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// How covered tumor samples are excluded between iterations.
@@ -54,8 +75,11 @@ pub struct GreedyConfig {
     pub exclusion: Exclusion,
     /// Stop after this many combinations even if tumors remain (0 = no cap).
     pub max_combinations: usize,
-    /// Score combinations across rayon worker threads.
+    /// Score combinations across work-stealing worker threads.
     pub parallel: bool,
+    /// Skip subtrees whose F upper bound cannot beat the running best.
+    /// Exact: the selected combinations are bit-identical either way.
+    pub prune: bool,
 }
 
 impl Default for GreedyConfig {
@@ -65,6 +89,44 @@ impl Default for GreedyConfig {
             exclusion: Exclusion::BitSplice,
             max_combinations: 0,
             parallel: true,
+            prune: true,
+        }
+    }
+}
+
+/// Work accounting of one combination scan (sequential or work-stealing).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Combinations actually scored.
+    pub scored: u64,
+    /// Subtrees eliminated by the F upper bound.
+    pub pruned_subtrees: u64,
+    /// Combinations skipped inside pruned subtrees.
+    pub pruned_combos: u64,
+    /// λ-blocks dispatched by the work-stealing cursor.
+    pub blocks: u64,
+    /// Blocks beyond each worker's first (load rebalanced at runtime).
+    pub steals: u64,
+}
+
+impl ScanStats {
+    /// Accumulate another worker's counters.
+    pub fn merge(&mut self, other: &ScanStats) {
+        self.scored += other.scored;
+        self.pruned_subtrees += other.pruned_subtrees;
+        self.pruned_combos += other.pruned_combos;
+        self.blocks += other.blocks;
+        self.steals += other.steals;
+    }
+
+    /// Fraction of the enumerated range eliminated without scoring.
+    #[must_use]
+    pub fn pruned_fraction(&self) -> f64 {
+        let total = self.scored + self.pruned_combos;
+        if total == 0 {
+            0.0
+        } else {
+            self.pruned_combos as f64 / total as f64
         }
     }
 }
@@ -119,9 +181,15 @@ pub struct ComboScanner<'a, const H: usize> {
     tumor_mask: Option<&'a [u64]>,
     alpha: Alpha,
     g: u32,
+    n_normal: u32,
     /// partial_t[t] = AND over tumor rows of genes c[t..H] (and the mask).
     partial_t: Vec<Vec<u64>>,
     partial_n: Vec<Vec<u64>>,
+    /// pop_t[t] = popcount of partial_t[t], maintained by the fused
+    /// AND+store+popcount kernel during rebuilds. pop_t[0] is TP; every
+    /// higher level is the branch-and-bound TP upper bound for its subtree.
+    pop_t: [u32; H],
+    pop_n: [u32; H],
     combo: [u32; H],
 }
 
@@ -149,56 +217,62 @@ impl<'a, const H: usize> ComboScanner<'a, H> {
             tumor_mask,
             alpha,
             g,
+            n_normal: normal.n_samples() as u32,
             partial_t: vec![vec![0; tumor.words_per_row()]; H],
             partial_n: vec![vec![0; normal.words_per_row()]; H],
+            pop_t: [0; H],
+            pop_n: [0; H],
             combo: unrank_tuple::<H>(start),
         };
         s.rebuild_from(H - 1);
         s
     }
 
-    /// Recompute partial ANDs for levels `t..=0` after `combo[t..]` changed.
+    /// Recompute partial ANDs (and their popcounts) for levels `t..=0` after
+    /// `combo[t..]` changed.
     fn rebuild_from(&mut self, t: usize) {
         for level in (0..=t).rev() {
-            let gene = self.combo[level] as usize;
-            if level == H - 1 {
-                let row_t = self.tumor.row(gene);
-                match self.tumor_mask {
-                    Some(m) => {
-                        for (dst, (r, mw)) in
-                            self.partial_t[level].iter_mut().zip(row_t.iter().zip(m))
-                        {
-                            *dst = r & mw;
-                        }
-                    }
-                    None => self.partial_t[level].copy_from_slice(row_t),
-                }
-                self.partial_n[level].copy_from_slice(self.normal.row(gene));
-            } else {
-                let (lower_t, upper_t) = self.partial_t.split_at_mut(level + 1);
-                for (dst, (r, up)) in lower_t[level]
-                    .iter_mut()
-                    .zip(self.tumor.row(gene).iter().zip(upper_t[0].iter()))
-                {
-                    *dst = r & up;
-                }
-                let (lower_n, upper_n) = self.partial_n.split_at_mut(level + 1);
-                for (dst, (r, up)) in lower_n[level]
-                    .iter_mut()
-                    .zip(self.normal.row(gene).iter().zip(upper_n[0].iter()))
-                {
-                    *dst = r & up;
-                }
-            }
+            self.rebuild_level(level);
         }
     }
 
-    /// Score the current combination.
+    /// Recompute one level's partial AND, assuming the level above is fresh.
+    fn rebuild_level(&mut self, level: usize) {
+        let gene = self.combo[level] as usize;
+        if level == H - 1 {
+            let row_t = self.tumor.row(gene);
+            match self.tumor_mask {
+                Some(m) => {
+                    self.pop_t[level] = kernel::and_store_popcount(
+                        &mut self.partial_t[level],
+                        row_t,
+                        &m[..row_t.len()],
+                    );
+                }
+                None => {
+                    self.partial_t[level].copy_from_slice(row_t);
+                    self.pop_t[level] = kernel::popcount(row_t);
+                }
+            }
+            let row_n = self.normal.row(gene);
+            self.partial_n[level].copy_from_slice(row_n);
+            self.pop_n[level] = kernel::popcount(row_n);
+        } else {
+            let (lower_t, upper_t) = self.partial_t.split_at_mut(level + 1);
+            self.pop_t[level] =
+                kernel::and_store_popcount(&mut lower_t[level], self.tumor.row(gene), &upper_t[0]);
+            let (lower_n, upper_n) = self.partial_n.split_at_mut(level + 1);
+            self.pop_n[level] =
+                kernel::and_store_popcount(&mut lower_n[level], self.normal.row(gene), &upper_n[0]);
+        }
+    }
+
+    /// Score the current combination (O(1): popcounts are maintained by the
+    /// rebuild kernel).
     #[inline]
     fn score_current(&self) -> Scored<H> {
-        let tp: u32 = self.partial_t[0].iter().map(|w| w.count_ones()).sum();
-        let covered_n: u32 = self.partial_n[0].iter().map(|w| w.count_ones()).sum();
-        let tn = self.normal.n_samples() as u32 - covered_n;
+        let tp = self.pop_t[0];
+        let tn = self.n_normal - self.pop_n[0];
         Scored {
             score: self.alpha.score(tp, tn),
             tp,
@@ -239,13 +313,111 @@ impl<'a, const H: usize> ComboScanner<'a, H> {
         }
         best
     }
+
+    /// Scan `count` combinations with branch-and-bound pruning. Returns the
+    /// deterministic best of `seed` and the scanned range — bit-identical to
+    /// `seed.max_det(self.scan(count))`.
+    ///
+    /// `seed` must come from combinations that are colex-*earlier* than this
+    /// range (or be `NEG_INFINITY`): a subtree is cut when its bound cannot
+    /// *strictly* beat `seed`'s score, which is exact because colex-later
+    /// ties lose to the incumbent under [`Scored::cmp_det`]. `shared`, when
+    /// given, carries the best score seen by *any* worker; since another
+    /// worker's equal-scoring combination may be colex-later than this range,
+    /// the shared cut requires the bound to be strictly below it.
+    pub fn scan_pruned(
+        &mut self,
+        count: u64,
+        seed: Scored<H>,
+        shared: Option<&AtomicU64>,
+        stats: &mut ScanStats,
+    ) -> Scored<H> {
+        let mut best = seed;
+        let mut remaining = count;
+        while remaining > 0 {
+            let s = self.score_current();
+            stats.scored += 1;
+            if s.beats(&best) {
+                best = s;
+                if let Some(sh) = shared {
+                    sh.fetch_max(best.score, Ordering::Relaxed);
+                }
+            }
+            remaining -= 1;
+            if remaining == 0 || !self.advance_pruned(&mut remaining, &best, shared, stats) {
+                break;
+            }
+        }
+        best
+    }
+
+    /// Advance to the next combination whose subtree bound survives, pruning
+    /// bound-dominated subtrees along the way. Decrements `remaining` by the
+    /// combinations each pruned subtree would have scored (clamped so a
+    /// subtree overhanging the caller's range never over-counts). Returns
+    /// `false` when the enumeration is exhausted; `remaining == 0` on return
+    /// means the range ended inside a pruned subtree.
+    fn advance_pruned(
+        &mut self,
+        remaining: &mut u64,
+        best: &Scored<H>,
+        shared: Option<&AtomicU64>,
+        stats: &mut ScanStats,
+    ) -> bool {
+        // Smallest level allowed to move; pruning at level `t` resumes the
+        // colex enumeration at the first combination past the subtree, which
+        // is exactly "advance at level >= t".
+        let mut from = 0usize;
+        'advance: loop {
+            let mut moved = usize::MAX;
+            for t in from..H {
+                let limit = if t + 1 < H { self.combo[t + 1] } else { self.g };
+                if self.combo[t] + 1 < limit {
+                    self.combo[t] += 1;
+                    for (low, c) in self.combo.iter_mut().enumerate().take(t) {
+                        *c = low as u32;
+                    }
+                    moved = t;
+                    break;
+                }
+            }
+            if moved == usize::MAX {
+                return false;
+            }
+            // Rebuild top-down, checking the F upper bound at every level
+            // above the leaves. After the advance, coordinates below `level`
+            // are minimal, so the C(c[level], level) combinations of the
+            // subtree are exactly the next ones in colex order.
+            for level in (0..=moved).rev() {
+                self.rebuild_level(level);
+                if level == 0 {
+                    break;
+                }
+                let bound = self.alpha.score(self.pop_t[level], self.n_normal);
+                let cut = bound <= best.score
+                    || shared.is_some_and(|sh| bound < sh.load(Ordering::Relaxed));
+                if cut {
+                    let subtree = binomial(u64::from(self.combo[level]), level as u64);
+                    let skipped = subtree.min(*remaining);
+                    stats.pruned_subtrees += 1;
+                    stats.pruned_combos += skipped;
+                    *remaining -= skipped;
+                    if *remaining == 0 {
+                        return true;
+                    }
+                    from = level;
+                    continue 'advance;
+                }
+            }
+            return true;
+        }
+    }
 }
 
 /// Find the argmax-F combination over all `C(G,H)` candidates.
 ///
-/// With `cfg.parallel` the λ-range is split into contiguous chunks scanned by
-/// rayon workers; the per-chunk winners fold with the deterministic combiner,
-/// so the result is identical to the sequential scan.
+/// Thin wrapper over [`best_combination_stats`] for callers that do not need
+/// the scan accounting.
 #[must_use]
 pub fn best_combination<const H: usize>(
     tumor: &BitMatrix,
@@ -253,29 +425,74 @@ pub fn best_combination<const H: usize>(
     tumor_mask: Option<&[u64]>,
     cfg: &GreedyConfig,
 ) -> Scored<H> {
+    best_combination_stats(tumor, normal, tumor_mask, cfg).0
+}
+
+/// Find the argmax-F combination and report how the scan got there.
+///
+/// With `cfg.parallel` a [`BlockQueue`] λ-cursor hands guided-size blocks to
+/// one worker per core; each worker threads its own running best through
+/// consecutive (colex-ordered) blocks and publishes its best *score* to a
+/// shared atomic that tightens every worker's pruning bound. Per-worker
+/// winners fold with [`fold_partials`], so the result is bit-identical to
+/// the sequential scan regardless of schedule, and with `cfg.prune` off it
+/// is bit-identical to the exhaustive reference.
+#[must_use]
+pub fn best_combination_stats<const H: usize>(
+    tumor: &BitMatrix,
+    normal: &BitMatrix,
+    tumor_mask: Option<&[u64]>,
+    cfg: &GreedyConfig,
+) -> (Scored<H>, ScanStats) {
     let g = tumor.n_genes() as u64;
     let total = binomial(g, H as u64);
+    let mut stats = ScanStats::default();
     if total == 0 {
-        return Scored::NEG_INFINITY;
+        return (Scored::NEG_INFINITY, stats);
     }
-    if !cfg.parallel {
+    // Never spawn more workers than there are min-grain blocks of work.
+    let workers = if cfg.parallel {
+        let cap = usize::try_from(total.div_ceil(par::DEFAULT_MIN_GRAIN)).unwrap_or(usize::MAX);
+        par::default_workers().min(cap).max(1)
+    } else {
+        1
+    };
+    if workers == 1 {
         let mut sc = ComboScanner::<H>::new(tumor, normal, tumor_mask, cfg.alpha, 0);
-        return sc.scan(total);
+        let best = if cfg.prune {
+            sc.scan_pruned(total, Scored::NEG_INFINITY, None, &mut stats)
+        } else {
+            stats.scored = total;
+            sc.scan(total)
+        };
+        stats.blocks = 1;
+        return (best, stats);
     }
-    let chunks = (rayon::current_num_threads() as u64 * 8).clamp(1, total);
-    let chunk = total.div_ceil(chunks);
-    (0..chunks)
-        .into_par_iter()
-        .map(|c| {
-            let start = c * chunk;
-            if start >= total {
-                return Scored::NEG_INFINITY;
+    let queue = BlockQueue::new(total, workers);
+    let shared = AtomicU64::new(0);
+    let results = par::run_workers(workers, |_| {
+        let mut local = Scored::NEG_INFINITY;
+        let mut st = ScanStats::default();
+        while let Some((lo, hi)) = queue.next() {
+            st.blocks += 1;
+            let mut sc = ComboScanner::<H>::new(tumor, normal, tumor_mask, cfg.alpha, lo);
+            if cfg.prune {
+                local = sc.scan_pruned(hi - lo, local, Some(&shared), &mut st);
+            } else {
+                st.scored += hi - lo;
+                local = local.max_det(sc.scan(hi - lo));
             }
-            let count = chunk.min(total - start);
-            let mut sc = ComboScanner::<H>::new(tumor, normal, tumor_mask, cfg.alpha, start);
-            sc.scan(count)
-        })
-        .reduce(|| Scored::NEG_INFINITY, Scored::max_det)
+        }
+        if st.blocks > 0 {
+            st.steals = st.blocks - 1;
+        }
+        (local, st)
+    });
+    for (_, st) in &results {
+        stats.merge(st);
+    }
+    let best = fold_partials(results.into_iter().map(|(b, _)| b));
+    (best, stats)
 }
 
 /// Run the full greedy weighted-set-cover discovery for `H`-hit
@@ -323,7 +540,7 @@ pub fn discover_obs<const H: usize>(
         };
         let combos_scored = binomial(work_tumor.n_genes() as u64, H as u64);
         let scan_start = Instant::now();
-        let best = best_combination::<H>(&work_tumor, normal, mask_arg, cfg);
+        let (best, scan_stats) = best_combination_stats::<H>(&work_tumor, normal, mask_arg, cfg);
         let scan_ns = u64::try_from(scan_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         if best.tp == 0 {
             // No combination covers any remaining tumor sample: stall.
@@ -372,10 +589,21 @@ pub fn discover_obs<const H: usize>(
                     ("newly_covered", u64::from(newly).into()),
                     ("remaining", u64::from(remaining).into()),
                     ("words_per_row", words.into()),
+                    ("scan_scored", scan_stats.scored.into()),
+                    ("pruned_combos", scan_stats.pruned_combos.into()),
+                    ("pruned_subtrees", scan_stats.pruned_subtrees.into()),
+                    ("steal_blocks", scan_stats.blocks.into()),
+                    ("steals", scan_stats.steals.into()),
+                    ("kernel", kernel::active().name().into()),
                 ],
             );
             obs.counter_add("greedy.iterations", 1);
             obs.counter_add("greedy.combos_scored", combos_scored);
+            obs.counter_add("greedy.scan_scored", scan_stats.scored);
+            obs.counter_add("greedy.pruned_combos", scan_stats.pruned_combos);
+            obs.counter_add("greedy.pruned_subtrees", scan_stats.pruned_subtrees);
+            obs.counter_add("greedy.steal_blocks", scan_stats.blocks);
+            obs.counter_add("greedy.steals", scan_stats.steals);
             obs.counter_add("greedy.scan_ns", scan_ns);
             obs.counter_add("greedy.splice_ns", splice_ns);
             obs.counter_add("greedy.splice_words", splice_words);
@@ -516,6 +744,142 @@ mod tests {
         let mut b = ComboScanner::<3>::new(&t, &n, None, Alpha::PAPER, total / 2);
         let second = b.scan(total - total / 2);
         assert_eq!(first.max_det(second), whole);
+    }
+
+    #[test]
+    fn pruned_scan_is_bit_identical_to_unpruned() {
+        for seed in [3u64, 17, 99] {
+            let (t, n) = lcg_matrices(12, 120, 60, seed);
+            let unpruned = GreedyConfig {
+                parallel: false,
+                prune: false,
+                ..GreedyConfig::default()
+            };
+            let pruned = GreedyConfig {
+                parallel: false,
+                prune: true,
+                ..GreedyConfig::default()
+            };
+            let (want, base) = best_combination_stats::<3>(&t, &n, None, &unpruned);
+            let (got, st) = best_combination_stats::<3>(&t, &n, None, &pruned);
+            assert_eq!(got, want);
+            // Pruning must account for every enumerated combination exactly.
+            assert_eq!(st.scored + st.pruned_combos, base.scored);
+        }
+    }
+
+    #[test]
+    fn pruned_scan_identical_under_mask() {
+        let (t, n) = lcg_matrices(10, 90, 45, 41);
+        let mut mask = t.full_mask();
+        mask[0] &= 0x00ff_00ff_00ff_00ff;
+        let unpruned = GreedyConfig {
+            parallel: false,
+            prune: false,
+            ..GreedyConfig::default()
+        };
+        let pruned = GreedyConfig {
+            parallel: false,
+            prune: true,
+            ..GreedyConfig::default()
+        };
+        assert_eq!(
+            best_combination::<3>(&t, &n, Some(&mask), &pruned),
+            best_combination::<3>(&t, &n, Some(&mask), &unpruned)
+        );
+    }
+
+    #[test]
+    fn pruned_scan_handles_all_zero_tumor() {
+        // Every combination has TP = 0, so every subtree bound is 0 and the
+        // scan prunes to a single scored combination — which must still be
+        // the colex-first one the unpruned scan returns by tie-break.
+        let t = BitMatrix::zeros(8, 50);
+        let (_, n) = lcg_matrices(8, 50, 30, 7);
+        let unpruned = GreedyConfig {
+            parallel: false,
+            prune: false,
+            ..GreedyConfig::default()
+        };
+        let pruned = GreedyConfig {
+            parallel: false,
+            prune: true,
+            ..GreedyConfig::default()
+        };
+        let want = best_combination::<3>(&t, &n, None, &unpruned);
+        let (got, st) = best_combination_stats::<3>(&t, &n, None, &pruned);
+        assert_eq!(got, want);
+        assert_eq!(got.genes, [0, 1, 2]);
+        assert_eq!(st.scored, 1, "everything after the first combo prunes");
+    }
+
+    #[test]
+    fn pruned_scan_range_splits_compose() {
+        // scan_pruned over [0, k) and [k, total) with threaded seed must
+        // equal one scan over [0, total): the block-queue contract.
+        let (t, n) = lcg_matrices(11, 80, 40, 23);
+        let total = binomial(11, 3);
+        let mut stats = ScanStats::default();
+        let mut whole = ComboScanner::<3>::new(&t, &n, None, Alpha::PAPER, 0);
+        let want = whole.scan_pruned(total, Scored::NEG_INFINITY, None, &mut stats);
+        for k in [1, 7, total / 3, total / 2, total - 1] {
+            let mut st = ScanStats::default();
+            let mut a = ComboScanner::<3>::new(&t, &n, None, Alpha::PAPER, 0);
+            let first = a.scan_pruned(k, Scored::NEG_INFINITY, None, &mut st);
+            let mut b = ComboScanner::<3>::new(&t, &n, None, Alpha::PAPER, k);
+            let got = b.scan_pruned(total - k, first, None, &mut st);
+            assert_eq!(got, want, "split at {k}");
+            assert_eq!(st.scored + st.pruned_combos, total);
+        }
+    }
+
+    #[test]
+    fn parallel_pruned_equals_sequential_unpruned() {
+        let (t, n) = lcg_matrices(13, 128, 64, 55);
+        let reference = GreedyConfig {
+            parallel: false,
+            prune: false,
+            ..GreedyConfig::default()
+        };
+        let accelerated = GreedyConfig {
+            parallel: true,
+            prune: true,
+            ..GreedyConfig::default()
+        };
+        let want = best_combination::<3>(&t, &n, None, &reference);
+        for _ in 0..3 {
+            assert_eq!(best_combination::<3>(&t, &n, None, &accelerated), want);
+        }
+    }
+
+    #[test]
+    fn discover_agrees_across_all_scan_modes() {
+        let (t, n) = lcg_matrices(10, 150, 80, 61);
+        let reference = discover::<2>(
+            &t,
+            &n,
+            &GreedyConfig {
+                parallel: false,
+                prune: false,
+                ..GreedyConfig::default()
+            },
+        );
+        for parallel in [false, true] {
+            for exclusion in [Exclusion::BitSplice, Exclusion::Mask] {
+                let got = discover::<2>(
+                    &t,
+                    &n,
+                    &GreedyConfig {
+                        parallel,
+                        prune: true,
+                        exclusion,
+                        ..GreedyConfig::default()
+                    },
+                );
+                assert_eq!(got.combinations, reference.combinations);
+                assert_eq!(got.uncovered, reference.uncovered);
+            }
+        }
     }
 
     #[test]

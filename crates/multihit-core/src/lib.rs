@@ -14,6 +14,10 @@
 //!   general `H`-simplex) plus the paper's float formulas;
 //! * [`weight`] — the `F = (α·TP + TN)/(Nt + Nn)` objective with exact
 //!   integer, reduction-order-independent comparison;
+//! * [`kernel`] — fused AND+popcount primitives, runtime-dispatched to
+//!   AVX2/POPCNT on `x86_64` with a portable unrolled scalar fallback;
+//! * [`par`] — the work-stealing λ-cursor and scoped worker pool the scan
+//!   and the simulators schedule onto;
 //! * [`schemes`] — the `1x3`/`2x2`/`3x1`/`4x1` parallelization schemes;
 //! * [`sweep`] — the `O(G)` workload-level decomposition schedulers use;
 //! * [`memopt`] — the MemOpt1/MemOpt2/BitSplicing kernel ablation;
@@ -44,9 +48,11 @@
 pub mod bitmat;
 pub mod combin;
 pub mod greedy;
+pub mod kernel;
 pub mod memopt;
 pub mod naive;
 pub mod obs;
+pub mod par;
 pub mod reduce;
 pub mod schemes;
 pub mod setcover;

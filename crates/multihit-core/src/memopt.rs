@@ -20,6 +20,7 @@
 
 use crate::bitmat::BitMatrix;
 use crate::combin::unrank_pair;
+use crate::kernel;
 use crate::obs::Obs;
 use crate::weight::{score_combo, Alpha, Scored};
 
@@ -162,14 +163,8 @@ pub fn scan_3hit(
                 stats.prefetch_reads += 2 * (wt + wn);
                 stats.and_ops += wt + wn;
                 for k in j + 1..g {
-                    let mut tp = 0u32;
-                    for (w, x) in local_t.iter().zip(tumor.row(k as usize)) {
-                        tp += (w & x).count_ones();
-                    }
-                    let mut cn = 0u32;
-                    for (w, x) in local_n.iter().zip(normal.row(k as usize)) {
-                        cn += (w & x).count_ones();
-                    }
+                    let tp = kernel::and_popcount(&local_t, tumor.row(k as usize));
+                    let cn = kernel::and_popcount(&local_n, normal.row(k as usize));
                     stats.inner_reads += wt + wn;
                     stats.and_ops += wt + wn;
                     let tn = n_norm - cn;
@@ -233,15 +228,10 @@ fn and3_counts(
     n_b: &[u64],
     n_c: &[u64],
 ) -> (u32, u32) {
-    let mut tp = 0u32;
-    for ((a, b), c) in t_a.iter().zip(t_b).zip(t_c) {
-        tp += (a & b & c).count_ones();
-    }
-    let mut cn = 0u32;
-    for ((a, b), c) in n_a.iter().zip(n_b).zip(n_c) {
-        cn += (a & b & c).count_ones();
-    }
-    (tp, cn)
+    (
+        kernel::and3_popcount(t_a, t_b, t_c),
+        kernel::and3_popcount(n_a, n_b, n_c),
+    )
 }
 
 /// Modeled inner-loop global reads for a full 3-hit scan at `g` genes and

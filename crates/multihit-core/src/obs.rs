@@ -686,6 +686,17 @@ pub struct GreedyIterReport {
     pub newly_covered: u64,
     /// Tumor samples still uncovered.
     pub remaining: u64,
+    /// Combinations the scan actually evaluated (≤ `combos_scored` when
+    /// branch-and-bound pruning is on; 0 on streams from older versions).
+    pub scan_scored: u64,
+    /// Combinations eliminated without scoring by the F upper bound.
+    pub pruned_combos: u64,
+    /// Subtrees eliminated by the F upper bound.
+    pub pruned_subtrees: u64,
+    /// λ-blocks dispatched by the work-stealing cursor.
+    pub steal_blocks: u64,
+    /// Blocks beyond each worker's first.
+    pub steals: u64,
 }
 
 /// One rank's aggregated busy/idle attribution (from `rank` points).
@@ -765,6 +776,11 @@ impl RunReport {
                         combos_per_sec: e.f64("combos_per_sec").unwrap_or(0.0),
                         newly_covered: e.u64("newly_covered").unwrap_or(0),
                         remaining: e.u64("remaining").unwrap_or(0),
+                        scan_scored: e.u64("scan_scored").unwrap_or(0),
+                        pruned_combos: e.u64("pruned_combos").unwrap_or(0),
+                        pruned_subtrees: e.u64("pruned_subtrees").unwrap_or(0),
+                        steal_blocks: e.u64("steal_blocks").unwrap_or(0),
+                        steals: e.u64("steals").unwrap_or(0),
                     });
                 }
                 (EventKind::Point, "rank") => {
@@ -841,6 +857,30 @@ impl RunReport {
     #[must_use]
     pub fn total_combos_scored(&self) -> u64 {
         self.greedy_iters.iter().map(|i| i.combos_scored).sum()
+    }
+
+    /// Total combinations the F upper bound eliminated without scoring.
+    #[must_use]
+    pub fn total_pruned_combos(&self) -> u64 {
+        self.greedy_iters.iter().map(|i| i.pruned_combos).sum()
+    }
+
+    /// Fraction of enumerated combinations pruned across the run (0.0 when
+    /// no greedy iterations were recorded).
+    #[must_use]
+    pub fn pruned_fraction(&self) -> f64 {
+        let total = self.total_combos_scored();
+        if total == 0 {
+            0.0
+        } else {
+            self.total_pruned_combos() as f64 / total as f64
+        }
+    }
+
+    /// Total work-stealing blocks dispatched across greedy iterations.
+    #[must_use]
+    pub fn total_steal_blocks(&self) -> u64 {
+        self.greedy_iters.iter().map(|i| i.steal_blocks).sum()
     }
 
     /// Rank busy-time imbalance: max busy / mean busy (1.0 = balanced,

@@ -100,6 +100,17 @@ pub fn rank0_reduce<const H: usize>(per_rank: &[Scored<H>]) -> Scored<H> {
         .fold(Scored::NEG_INFINITY, Scored::max_det)
 }
 
+/// Fold any stream of partial winners — per-worker, per-GPU, per-rank —
+/// under the deterministic total order. The fold order is irrelevant because
+/// [`Scored::cmp_det`] is total, which is what lets the work-stealing scan's
+/// nondeterministic schedule still return a bit-identical argmax.
+#[must_use]
+pub fn fold_partials<const H: usize>(parts: impl IntoIterator<Item = Scored<H>>) -> Scored<H> {
+    parts
+        .into_iter()
+        .fold(Scored::NEG_INFINITY, Scored::max_det)
+}
+
 /// Bytes of intermediate storage the unreduced candidate list would need
 /// (`n_combos` 20-byte records) versus after the block stage — the paper's
 /// 24.34 TB → 47.5 GB computation for BRCA.

@@ -5,7 +5,10 @@ use multihit_core::bitmat::BitMatrix;
 use multihit_core::combin::{
     binomial, rank_pair, rank_triple, rank_tuple, tri, unrank_pair, unrank_triple, unrank_tuple,
 };
-use multihit_core::greedy::{best_combination, ComboScanner, GreedyConfig};
+use multihit_core::greedy::{
+    best_combination, best_combination_stats, discover, ComboScanner, Exclusion, GreedyConfig,
+};
+use multihit_core::kernel;
 use multihit_core::reduce::{block_reduce, gpu_reduce, tree_reduce};
 use multihit_core::weight::{score_combo, Alpha, Scored};
 use proptest::prelude::*;
@@ -145,6 +148,112 @@ proptest! {
             start += count;
         }
         prop_assert_eq!(best, expect);
+    }
+}
+
+/// Strategy: a ragged pair of equal-length word slices, biased to exercise
+/// the 4-way unroll remainder (lengths straddling multiples of 4) and a
+/// partial final word (high lanes masked off).
+fn word_pairs() -> impl Strategy<Value = (Vec<u64>, Vec<u64>, u64)> {
+    (0usize..19, 0u32..64).prop_flat_map(|(len, tail_bits)| {
+        (
+            prop::collection::vec(any::<u64>(), len),
+            prop::collection::vec(any::<u64>(), len),
+            Just(if tail_bits == 0 {
+                u64::MAX
+            } else {
+                u64::MAX >> tail_bits
+            }),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn kernel_dispatch_matches_scalar((mut a, mut b, tail) in word_pairs()) {
+        // Emulate a partial final word the way BitMatrix stores one: the
+        // bits past n_samples are zero.
+        if let (Some(la), Some(lb)) = (a.last_mut(), b.last_mut()) {
+            *la &= tail;
+            *lb &= tail;
+        }
+        prop_assert_eq!(kernel::popcount(&a), kernel::popcount_scalar(&a));
+        prop_assert_eq!(kernel::and_popcount(&a, &b), kernel::and_popcount_scalar(&a, &b));
+        let c: Vec<u64> = a.iter().zip(&b).map(|(x, y)| x ^ y).collect();
+        prop_assert_eq!(
+            kernel::and3_popcount(&a, &b, &c),
+            kernel::and3_popcount_scalar(&a, &b, &c)
+        );
+        let mut dst_v = vec![0u64; a.len()];
+        let mut dst_s = vec![0u64; a.len()];
+        let pop_v = kernel::and_store_popcount(&mut dst_v, &a, &b);
+        let pop_s = kernel::and_store_popcount_scalar(&mut dst_s, &a, &b);
+        prop_assert_eq!(pop_v, pop_s);
+        prop_assert_eq!(dst_v, dst_s);
+        let rows = [a.as_slice(), b.as_slice(), c.as_slice()];
+        prop_assert_eq!(
+            kernel::and_rows_popcount(&rows),
+            kernel::and_rows_popcount_scalar(&rows)
+        );
+    }
+
+    #[test]
+    fn kernel_pext_matches_scalar(x in any::<u64>(), mask in any::<u64>()) {
+        prop_assert_eq!(kernel::pext(x, mask), kernel::pext_scalar(x, mask));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pruned_scan_identical_to_reference((td, nd) in cohort(9, 64), masked in any::<bool>()) {
+        let t = BitMatrix::from_dense(&td);
+        let n = BitMatrix::from_dense(&nd);
+        prop_assume!(t.n_genes() >= 3);
+        let mask_store;
+        let mask = if masked {
+            let mut m = t.full_mask();
+            // Deactivate every third sample.
+            for s in (0..t.n_samples()).step_by(3) {
+                m[s / 64] &= !(1u64 << (s % 64));
+            }
+            mask_store = m;
+            Some(mask_store.as_slice())
+        } else {
+            None
+        };
+        let reference = GreedyConfig { parallel: false, prune: false, ..GreedyConfig::default() };
+        let want = best_combination::<3>(&t, &n, mask, &reference);
+        for parallel in [false, true] {
+            let cfg = GreedyConfig { parallel, prune: true, ..GreedyConfig::default() };
+            let (got, stats) = best_combination_stats::<3>(&t, &n, mask, &cfg);
+            prop_assert_eq!(got, want);
+            prop_assert_eq!(stats.scored + stats.pruned_combos, binomial(t.n_genes() as u64, 3));
+        }
+    }
+
+    #[test]
+    fn pruned_discovery_identical_across_exclusion_modes((td, nd) in cohort(8, 48)) {
+        let t = BitMatrix::from_dense(&td);
+        let n = BitMatrix::from_dense(&nd);
+        prop_assume!(t.n_genes() >= 2);
+        let reference = discover::<2>(
+            &t,
+            &n,
+            &GreedyConfig { parallel: false, prune: false, ..GreedyConfig::default() },
+        );
+        for exclusion in [Exclusion::BitSplice, Exclusion::Mask] {
+            let got = discover::<2>(
+                &t,
+                &n,
+                &GreedyConfig { parallel: false, prune: true, exclusion, ..GreedyConfig::default() },
+            );
+            prop_assert_eq!(&got.combinations, &reference.combinations);
+            prop_assert_eq!(got.uncovered, reference.uncovered);
+        }
     }
 }
 

@@ -14,10 +14,11 @@
 
 use crate::profile::WorkProfile;
 use multihit_core::bitmat::BitMatrix;
+use multihit_core::kernel;
+use multihit_core::par::{self, StealStats};
 use multihit_core::reduce::{gpu_reduce, ReduceStats};
 use multihit_core::schemes::{Scheme3, Scheme4};
 use multihit_core::weight::{Alpha, Scored};
-use rayon::prelude::*;
 
 /// Outcome of executing one λ-range on one simulated GPU.
 #[derive(Clone, Copy, Debug)]
@@ -37,7 +38,7 @@ fn fold_and(dst: &mut [u64], row: &[u64]) {
 }
 
 fn count_and(a: &[u64], b: &[u64]) -> u32 {
-    a.iter().zip(b).map(|(x, y)| (x & y).count_ones()).sum()
+    kernel::and_popcount(a, b)
 }
 
 /// Execute the 4-hit `maxF` kernel over threads `[lo, hi)` of `scheme`.
@@ -224,7 +225,9 @@ pub fn run_maxf3(
 }
 
 /// Execute the full 4-hit range of a scheme split across several simulated
-/// GPUs (one rayon task each), returning per-GPU outcomes. The caller is
+/// GPUs, returning per-GPU outcomes in range order. GPUs are dispatched by a
+/// work-stealing cursor ([`par::par_map_indexed`]) so one heavy λ-partition
+/// cannot serialize the others behind a static round-robin; the caller is
 /// responsible for the rank-0 reduction across GPUs.
 #[must_use]
 pub fn run_gpus4(
@@ -235,10 +238,60 @@ pub fn run_gpus4(
     ranges: &[(u64, u64)],
     block_size: usize,
 ) -> Vec<ExecOutcome<4>> {
-    ranges
-        .par_iter()
-        .map(|&(lo, hi)| run_maxf4(tumor, normal, alpha, scheme, lo, hi, block_size))
-        .collect()
+    run_gpus4_stats(tumor, normal, alpha, scheme, ranges, block_size).0
+}
+
+/// [`run_gpus4`] plus the scheduling counters of the GPU dispatch.
+#[must_use]
+pub fn run_gpus4_stats(
+    tumor: &BitMatrix,
+    normal: &BitMatrix,
+    alpha: Alpha,
+    scheme: Scheme4,
+    ranges: &[(u64, u64)],
+    block_size: usize,
+) -> (Vec<ExecOutcome<4>>, StealStats) {
+    par::par_map_indexed(ranges.len(), par::default_workers(), |i| {
+        let (lo, hi) = ranges[i];
+        run_maxf4(tumor, normal, alpha, scheme, lo, hi, block_size)
+    })
+}
+
+/// [`run_gpus4`] with observability: emits one `gpu_fleet` point (ranges,
+/// wall time, steal accounting, kernel dispatch) and `exec.steal_*`
+/// counters.
+#[must_use]
+pub fn run_gpus4_obs(
+    tumor: &BitMatrix,
+    normal: &BitMatrix,
+    alpha: Alpha,
+    scheme: Scheme4,
+    ranges: &[(u64, u64)],
+    block_size: usize,
+    obs: &multihit_core::obs::Obs,
+) -> Vec<ExecOutcome<4>> {
+    let span = obs.span("gpu_fleet");
+    let start = std::time::Instant::now();
+    let (outs, steals) = run_gpus4_stats(tumor, normal, alpha, scheme, ranges, block_size);
+    let fleet_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    if obs.is_enabled() {
+        obs.point(
+            "gpu_fleet",
+            &[
+                ("scheme", scheme.name().into()),
+                ("gpus", ranges.len().into()),
+                ("fleet_ns", fleet_ns.into()),
+                ("steal_blocks", steals.blocks.into()),
+                ("steals", steals.steals.into()),
+                ("kernel", kernel::active().name().into()),
+            ],
+        );
+        obs.counter_add("exec.fleet_launches", 1);
+        obs.counter_add("exec.steal_blocks", steals.blocks);
+        obs.counter_add("exec.steals", steals.steals);
+    }
+    drop(span);
+    outs
 }
 
 #[cfg(test)]

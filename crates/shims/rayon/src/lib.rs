@@ -2,11 +2,19 @@
 //!
 //! The build environment has no network access, so this crate provides the
 //! subset of the rayon API the workspace uses — `par_iter()` on slices,
-//! `into_par_iter()` on integer ranges, `map`, `collect`, `reduce`, and
-//! [`current_num_threads`] — implemented with `std::thread::scope` over
-//! contiguous chunks. Results are produced in input order, so deterministic
-//! reductions (like the workspace's `Scored::max_det`) behave identically
-//! to real rayon.
+//! `into_par_iter()` on integer ranges and vectors, `map`, `collect`,
+//! `reduce`, and [`current_num_threads`] — implemented with
+//! `std::thread::scope` over contiguous chunks.
+//!
+//! Sources implement [`ParSource`]: they know their length and split into
+//! per-worker chunk iterators *without* materializing items first — an
+//! integer range splits arithmetically into sub-ranges, a `Vec` splits in
+//! place, a slice splits into subslices. `reduce` folds each chunk directly
+//! into one partial per worker (no intermediate `Vec` of mapped results);
+//! `collect` concatenates per-worker vectors in chunk order. Chunks are
+//! contiguous and folded in input order, so deterministic reductions (like
+//! the workspace's `Scored::max_det`, or any associative op) behave
+//! identically to a sequential fold.
 
 use std::ops::Range;
 
@@ -21,100 +29,149 @@ pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
 }
 
-/// A materialized parallel iterator.
-pub struct ParIter<T> {
-    items: Vec<T>,
+/// A splittable source of items: the lazy seed of a parallel iterator.
+pub trait ParSource: Send + Sized {
+    /// Item type produced.
+    type Item: Send;
+    /// Per-worker chunk iterator.
+    type Chunk: Iterator<Item = Self::Item> + Send;
+
+    /// Number of items the source will yield.
+    fn source_len(&self) -> usize;
+
+    /// Split into at most `parts` contiguous chunk iterators, in input
+    /// order, covering every item exactly once.
+    fn split(self, parts: usize) -> Vec<Self::Chunk>;
+}
+
+/// A lazy parallel iterator over a [`ParSource`].
+pub struct ParIter<S> {
+    source: S,
 }
 
 /// A lazily mapped parallel iterator.
-pub struct ParMap<T, F> {
-    items: Vec<T>,
+pub struct ParMap<S, F> {
+    source: S,
     f: F,
 }
 
-impl<T: Send> ParIter<T> {
+impl<S: ParSource> ParIter<S> {
     /// Map each item with `f` (runs when the chain is consumed).
-    pub fn map<U, F>(self, f: F) -> ParMap<T, F>
+    pub fn map<U, F>(self, f: F) -> ParMap<S, F>
     where
         U: Send,
-        F: Fn(T) -> U + Sync,
+        F: Fn(S::Item) -> U + Sync,
     {
         ParMap {
-            items: self.items,
+            source: self.source,
             f,
         }
     }
 }
 
-impl<T, U, F> ParMap<T, F>
+/// Run one closure per chunk on scoped threads, returning results in chunk
+/// order. A single chunk runs on the calling thread.
+fn run_chunks<C, T, W>(chunks: Vec<C>, work: W) -> Vec<T>
 where
+    C: Send,
     T: Send,
-    U: Send,
-    F: Fn(T) -> U + Sync,
+    W: Fn(C) -> T + Sync,
 {
-    fn run(self) -> Vec<U> {
-        let ParMap { items, f } = self;
-        let n = items.len();
-        let threads = current_num_threads().min(n);
-        if threads <= 1 {
-            return items.into_iter().map(f).collect();
-        }
-        let chunk = n.div_ceil(threads);
-        let mut out: Vec<Option<U>> = Vec::with_capacity(n);
-        out.resize_with(n, || None);
-        let mut pending = items.into_iter();
-        let mut chunks_in: Vec<Vec<T>> = Vec::with_capacity(threads);
-        loop {
-            let c: Vec<T> = pending.by_ref().take(chunk).collect();
-            if c.is_empty() {
-                break;
-            }
-            chunks_in.push(c);
-        }
-        let f = &f;
-        std::thread::scope(|s| {
-            for (slots, chunk_items) in out.chunks_mut(chunk).zip(chunks_in) {
-                s.spawn(move || {
-                    for (slot, item) in slots.iter_mut().zip(chunk_items) {
-                        *slot = Some(f(item));
-                    }
-                });
-            }
-        });
-        out.into_iter()
-            .map(|o| o.expect("worker filled every slot"))
-            .collect()
+    if chunks.len() <= 1 {
+        return chunks.into_iter().map(work).collect();
     }
+    let work = &work;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || work(c)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+}
 
+impl<S, U, F> ParMap<S, F>
+where
+    S: ParSource,
+    U: Send,
+    F: Fn(S::Item) -> U + Sync,
+{
     /// Collect mapped results in input order.
     pub fn collect<C: From<Vec<U>>>(self) -> C {
-        C::from(self.run())
+        let ParMap { source, f } = self;
+        let n = source.source_len();
+        let chunks = source.split(current_num_threads());
+        let parts = run_chunks(chunks, |c| c.map(&f).collect::<Vec<U>>());
+        let mut out = Vec::with_capacity(n);
+        for p in parts {
+            out.extend(p);
+        }
+        C::from(out)
     }
 
     /// Fold mapped results with `op`, seeded by `identity`.
+    ///
+    /// Each worker streams its chunk straight into one partial accumulator;
+    /// only the per-worker partials are materialized, then folded in chunk
+    /// order.
     pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> U
     where
-        ID: Fn() -> U,
-        OP: Fn(U, U) -> U,
+        ID: Fn() -> U + Sync,
+        OP: Fn(U, U) -> U + Sync,
     {
-        self.run().into_iter().fold(identity(), op)
+        let ParMap { source, f } = self;
+        let chunks = source.split(current_num_threads());
+        let partials = run_chunks(chunks, |c| c.map(&f).fold(identity(), &op));
+        partials.into_iter().fold(identity(), op)
     }
 }
 
-/// Owned conversion into a parallel iterator (`0..n` ranges).
+/// Owned conversion into a parallel iterator (`0..n` ranges, vectors).
 pub trait IntoParallelIterator {
-    /// Item type produced.
-    type Item: Send;
-    /// Materialize into a parallel iterator.
-    fn into_par_iter(self) -> ParIter<Self::Item>;
+    /// The splittable source the chain runs over.
+    type Source: ParSource;
+    /// Start a lazy parallel chain.
+    fn into_par_iter(self) -> ParIter<Self::Source>;
 }
 
 macro_rules! impl_range_par {
     ($($t:ty),*) => {$(
-        impl IntoParallelIterator for Range<$t> {
+        impl ParSource for Range<$t> {
             type Item = $t;
-            fn into_par_iter(self) -> ParIter<$t> {
-                ParIter { items: self.collect() }
+            type Chunk = Range<$t>;
+
+            fn source_len(&self) -> usize {
+                if self.end <= self.start {
+                    0
+                } else {
+                    (self.end - self.start) as usize
+                }
+            }
+
+            fn split(self, parts: usize) -> Vec<Range<$t>> {
+                let n = self.source_len();
+                if n == 0 {
+                    return Vec::new();
+                }
+                let chunk = n.div_ceil(parts.max(1)) as $t;
+                let mut out = Vec::new();
+                let mut lo = self.start;
+                while lo < self.end {
+                    let hi = self.end.min(lo + chunk);
+                    out.push(lo..hi);
+                    lo = hi;
+                }
+                out
+            }
+        }
+
+        impl IntoParallelIterator for Range<$t> {
+            type Source = Range<$t>;
+            fn into_par_iter(self) -> ParIter<Range<$t>> {
+                ParIter { source: self }
             }
         }
     )*};
@@ -122,26 +179,73 @@ macro_rules! impl_range_par {
 
 impl_range_par!(u32, u64, usize);
 
-impl<T: Send> IntoParallelIterator for Vec<T> {
+impl<T: Send> ParSource for Vec<T> {
     type Item = T;
-    fn into_par_iter(self) -> ParIter<T> {
-        ParIter { items: self }
+    type Chunk = std::vec::IntoIter<T>;
+
+    fn source_len(&self) -> usize {
+        self.len()
+    }
+
+    fn split(mut self, parts: usize) -> Vec<Self::Chunk> {
+        let n = self.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let chunk = n.div_ceil(parts.max(1));
+        let mut out = Vec::with_capacity(parts);
+        while !self.is_empty() {
+            let rest = self.split_off(chunk.min(self.len()));
+            out.push(std::mem::replace(&mut self, rest).into_iter());
+        }
+        out
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Source = Vec<T>;
+    fn into_par_iter(self) -> ParIter<Vec<T>> {
+        ParIter { source: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> ParSource for &'a [T] {
+    type Item = &'a T;
+    type Chunk = std::slice::Iter<'a, T>;
+
+    fn source_len(&self) -> usize {
+        self.len()
+    }
+
+    fn split(self, parts: usize) -> Vec<Self::Chunk> {
+        if self.is_empty() {
+            return Vec::new();
+        }
+        let chunk = self.len().div_ceil(parts.max(1));
+        self.chunks(chunk).map(<[T]>::iter).collect()
     }
 }
 
 /// Borrowing conversion (`slice.par_iter()`).
 pub trait IntoParallelRefIterator<'a> {
-    /// Item type produced (a borrow).
-    type Item: Send + 'a;
-    /// Materialize references into a parallel iterator.
-    fn par_iter(&'a self) -> ParIter<Self::Item>;
+    /// The splittable borrowing source.
+    type Source: ParSource;
+    /// Start a lazy parallel chain over borrows.
+    fn par_iter(&'a self) -> ParIter<Self::Source>;
 }
 
 impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
-    type Item = &'a T;
-    fn par_iter(&'a self) -> ParIter<&'a T> {
+    type Source = &'a [T];
+    fn par_iter(&'a self) -> ParIter<&'a [T]> {
+        ParIter { source: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Source = &'a [T];
+    fn par_iter(&'a self) -> ParIter<&'a [T]> {
         ParIter {
-            items: self.iter().collect(),
+            source: self.as_slice(),
         }
     }
 }
@@ -149,6 +253,7 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::ParSource;
 
     #[test]
     fn map_collect_preserves_order() {
@@ -176,5 +281,44 @@ mod tests {
     fn empty_input_is_fine() {
         let v: Vec<u64> = (0u64..0).into_par_iter().map(|x| x).collect();
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn vec_source_moves_items_without_clone() {
+        // String is not Copy: proves items are moved chunk-wise, not cloned.
+        let words: Vec<String> = (0..100).map(|i| format!("w{i}")).collect();
+        let lens: Vec<usize> = words.into_par_iter().map(|w| w.len()).collect();
+        assert_eq!(
+            lens.iter().sum::<usize>(),
+            (0..100).map(|i| format!("w{i}").len()).sum()
+        );
+    }
+
+    #[test]
+    fn range_split_is_a_partition() {
+        for parts in [1usize, 3, 7, 64] {
+            let chunks = (0u64..1000).split(parts);
+            assert!(chunks.len() <= parts.max(1));
+            let mut expect = 0u64;
+            for c in chunks {
+                for x in c {
+                    assert_eq!(x, expect);
+                    expect += 1;
+                }
+            }
+            assert_eq!(expect, 1000);
+        }
+    }
+
+    #[test]
+    fn noncommutative_reduce_keeps_chunk_order() {
+        // String concatenation is associative but not commutative: the fold
+        // must visit chunks in input order.
+        let joined = (0u32..50)
+            .into_par_iter()
+            .map(|x| x.to_string())
+            .reduce(String::new, |a, b| a + &b);
+        let want: String = (0u32..50).map(|x| x.to_string()).collect();
+        assert_eq!(joined, want);
     }
 }

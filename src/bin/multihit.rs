@@ -4,8 +4,8 @@
 //! multihit synth    --out-dir DIR [--genes G] [--tumor NT] [--normal NN]
 //!                   [--hits H] [--seed S]
 //! multihit discover --tumor T.maf --normal N.maf --hits H [--out R.tsv]
-//!                   [--max-combos N] [--cohort LABEL]
-//!                   [--metrics-out M.jsonl] [--trace]
+//!                   [--max-combos N] [--cohort LABEL] [--no-prune]
+//!                   [--scan auto|scalar] [--metrics-out M.jsonl] [--trace]
 //! multihit classify --results R.tsv --tumor T.maf --normal N.maf
 //! multihit cluster  [--dataset brca|acc] [--nodes N] [--scheduler ea|ed|ec]
 //!                   [--mtbf S] [--ckpt-write S] [--recovery-time S]
@@ -96,6 +96,18 @@ fn finish_obs(obs: &Obs, metrics_out: Option<&str>) -> Result<(), String> {
             report.greedy_iters.len(),
             report.total_combos_scored(),
             report.total_scan_ns() as f64 / 1e6
+        );
+        eprintln!(
+            "scan: kernel {}, {:.1}% pruned ({} subtrees), {} blocks ({} steals)",
+            multihit::core::kernel::active().name(),
+            100.0 * report.pruned_fraction(),
+            report
+                .greedy_iters
+                .iter()
+                .map(|i| i.pruned_subtrees)
+                .sum::<u64>(),
+            report.total_steal_blocks(),
+            report.greedy_iters.iter().map(|i| i.steals).sum::<u64>(),
         );
     }
     if !report.ranks.is_empty() {
@@ -195,10 +207,12 @@ fn run_discovery(
     normal: &BitMatrix,
     hits: usize,
     max: usize,
+    prune: bool,
     obs: &Obs,
 ) -> Result<Vec<DiscoveryRow>, String> {
     let cfg = GreedyConfig {
         max_combinations: max,
+        prune,
         ..GreedyConfig::default()
     };
     macro_rules! run {
@@ -228,9 +242,16 @@ fn cmd_discover(args: &[String]) -> Result<(), String> {
     let cohort = arg_value(args, "--cohort").unwrap_or_else(|| "cohort".to_string());
     let out = arg_value(args, "--out");
 
+    let prune = !has_flag(args, "--no-prune");
+    match arg_value(args, "--scan").as_deref() {
+        None | Some("auto") => multihit::core::kernel::force_scalar(false),
+        Some("scalar") => multihit::core::kernel::force_scalar(true),
+        Some(other) => return Err(format!("unknown scan mode {other} (auto|scalar)")),
+    }
+
     let (obs, metrics_out) = obs_from_args(args);
     let (tmat, nmat, genes) = load_matrices(&tumor_path, &normal_path)?;
-    let rows = run_discovery(&tmat, &nmat, hits, max, &obs)?;
+    let rows = run_discovery(&tmat, &nmat, hits, max, prune, &obs)?;
     finish_obs(&obs, metrics_out.as_deref())?;
 
     let mut rf = ResultsFile {
@@ -491,7 +512,8 @@ const USAGE: &str = "usage: multihit <synth|discover|classify|cluster> [options]
   synth    --out-dir DIR [--genes G --tumor NT --normal NN --combos C
            --hits H --penetrance P --noise-tumor X --noise-normal Y --seed S]
   discover --tumor T.maf --normal N.maf [--hits H --max-combos N
-           --cohort LABEL --out R.tsv --metrics-out M.jsonl --trace]
+           --cohort LABEL --out R.tsv --no-prune --scan auto|scalar
+           --metrics-out M.jsonl --trace]
   classify --results R.tsv --tumor T.maf --normal N.maf
   cluster  [--dataset brca|acc --nodes N --scheduler ea|ed|ec
            --mtbf S --ckpt-write S --recovery-time S
