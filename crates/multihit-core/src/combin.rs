@@ -138,16 +138,78 @@ pub fn unrank_triple(lambda: u64) -> (u32, u32, u32) {
     (i, j, k as u32)
 }
 
+/// First λ where [`unrank_pair_float`] diverges from the exact
+/// [`unrank_pair`]: `C(2²⁷+1, 2) − 1 = 2⁵³ + 2²⁶ − 1`.
+///
+/// At this λ (the last pair of the `j = 2²⁷` block) the float seed
+/// `sqrt(0.25 + 2λ)` loses the `+0.25` to rounding and tips `j` one too
+/// high, after which the recovered `i = λ − C(j,2)` wraps. Every
+/// `λ < UNRANK_PAIR_FLOAT_LIMIT` is bit-exact (verified by a boundary scan
+/// over every `j` block: the computed float map is monotone in λ, so
+/// checking both ends of each block covers the interior). The paper's
+/// 3-hit runs at `G ≈ 20000` stay ~45 million times below this boundary.
+pub const UNRANK_PAIR_FLOAT_LIMIT: u64 = (1 << 53) + (1 << 26) - 1;
+
+/// First λ where [`unrank_triple_float`] diverges from the exact
+/// [`unrank_triple`]: `C(9,3) = 84`.
+///
+/// This is *not* a float-rounding artifact at 2⁵³ scale — the closed-form
+/// cube-root recovery of Algorithm 3 truncates the series for the depressed
+/// cubic, so at range-boundary λ values (where the true root is an exact
+/// integer) the formula lands just *below* the root and `floor` undershoots
+/// `k` by one. λ = 84 = C(9,3) is the first such boundary it misses: the
+/// formula yields `k_shifted = 6.9993… → 6` where the true value is 7,
+/// producing the invalid tuple `(0, 8, 8)` instead of `(0, 1, 9)`. Interior
+/// λ values keep matching far beyond this (the sampled 4-hit-domain test
+/// passes), but correctness guarantees end here — which is why the gpusim
+/// decode path falls back to the exact map from this λ on.
+pub const UNRANK_TRIPLE_FLOAT_LIMIT: u64 = 84;
+
 /// The paper's Algorithm 1 float formula for the triangular inverse, kept
-/// verbatim (no integer fix-up). Accurate for the λ range of a 3-hit run at
-/// `G ≈ 20000`; drifts for λ beyond ~2^52. Exposed so the benches can chart
-/// its accuracy domain against [`unrank_pair`].
+/// verbatim (no integer fix-up). Bit-exact for every
+/// `λ < `[`UNRANK_PAIR_FLOAT_LIMIT`]` = 2⁵³ + 2²⁶ − 1` — comfortably
+/// covering the λ range of a 3-hit run at `G ≈ 20000` — and silently
+/// corrupt past it (the recovered `i` wraps through `u64`). Exposed so the
+/// benches can chart its accuracy domain against [`unrank_pair`]; runtime
+/// callers use [`unrank_pair_fast`], which falls back to the exact map at
+/// the boundary.
 #[inline]
 #[must_use]
 pub fn unrank_pair_float(lambda: u64) -> (u32, u32) {
     let j = ((0.25 + 2.0 * lambda as f64).sqrt() + 0.5).floor() as u64;
-    let i = lambda - j * (j - 1) / 2;
+    // Wrapping on purpose: past UNRANK_PAIR_FLOAT_LIMIT the float `j` can
+    // overshoot, and the CUDA original's unsigned arithmetic wraps rather
+    // than trapping. Keeping that behavior makes the corruption visible
+    // (i ≈ u64::MAX) instead of a plausible-looking nearby tuple.
+    let i = lambda.wrapping_sub(j.wrapping_mul(j.wrapping_sub(1)) / 2);
     (i as u32, j as u32)
+}
+
+/// GPU-path pair unranking: the paper's float formula inside its verified
+/// accuracy domain (`λ < `[`UNRANK_PAIR_FLOAT_LIMIT`]), the exact integer
+/// map beyond it. Bit-identical to [`unrank_pair`] for **every** λ.
+#[inline]
+#[must_use]
+pub fn unrank_pair_fast(lambda: u64) -> (u32, u32) {
+    if lambda < UNRANK_PAIR_FLOAT_LIMIT {
+        unrank_pair_float(lambda)
+    } else {
+        unrank_pair(lambda)
+    }
+}
+
+/// GPU-path triple unranking: the paper's §III-F float formula inside its
+/// verified accuracy domain (`1 ≤ λ < `[`UNRANK_TRIPLE_FLOAT_LIMIT`]), the
+/// exact integer map beyond it (and at λ = 0, where the log/exp trick is
+/// undefined). Bit-identical to [`unrank_triple`] for **every** λ.
+#[inline]
+#[must_use]
+pub fn unrank_triple_fast(lambda: u64) -> (u32, u32, u32) {
+    if (1..UNRANK_TRIPLE_FLOAT_LIMIT).contains(&lambda) {
+        unrank_triple_float(lambda)
+    } else {
+        unrank_triple(lambda)
+    }
 }
 
 /// The paper's §III-F tetrahedral inverse: the intermediate
@@ -156,8 +218,12 @@ pub fn unrank_pair_float(lambda: u64) -> (u32, u32) {
 /// `A = exp(0.5·(ln(3λ) + ln(243λ − 1/λ)))`. We reproduce that exact
 /// expression, then apply the closed-form cube-root recovery of `k`.
 ///
-/// Like the CUDA original this is *approximate*; callers needing exactness
-/// use [`unrank_triple`]. Requires `lambda ≥ 1`.
+/// Like the CUDA original this is *approximate*: bit-exact only for
+/// `1 ≤ λ < `[`UNRANK_TRIPLE_FLOAT_LIMIT`]` = 84` (the truncated cube-root
+/// series undershoots `k` at range-boundary λ from C(9,3) on — see the
+/// constant's docs), and silently corrupt past that. Callers needing
+/// exactness use [`unrank_triple`]; the runtime decode path is
+/// [`unrank_triple_fast`]. Requires `lambda ≥ 1`.
 #[inline]
 #[must_use]
 pub fn unrank_triple_float(lambda: u64) -> (u32, u32, u32) {
@@ -170,10 +236,17 @@ pub fn unrank_triple_float(lambda: u64) -> (u32, u32, u32) {
     let k = (q / 9f64.cbrt() + 1.0 / (3.0 * q / 9f64.cbrt()) - 1.0).floor() as u64;
     // Note the paper folds the two 3-powers as (q/3²)^(1/3) + 1/(3q)^(1/3);
     // algebraically identical to the above.
+    //
+    // Wrapping on purpose: when the float `k` overshoots (possible past the
+    // accuracy domain), `λ − tz` underflows. The CUDA original's unsigned
+    // arithmetic wraps there; an earlier revision saturated via
+    // `tz.min(lambda)`, which *hid* the underflow behind a plausible-looking
+    // (0, 1, k+2) tuple. Wrapping keeps the out-of-domain corruption
+    // visible, and within the domain the two are identical (tz ≤ λ always).
     let tz = k * (k + 1) * (k + 2) / 6;
-    let rem = lambda - tz.min(lambda);
+    let rem = lambda.wrapping_sub(tz);
     let j = ((0.25 + 2.0 * rem as f64).sqrt() - 0.5).floor() as u64;
-    let i = rem - j * (j + 1) / 2;
+    let i = rem.wrapping_sub(j.wrapping_mul(j + 1) / 2);
     // Algorithm 3 indexes with i ≤ j ≤ k over a shifted tetrahedron; convert
     // to our strict colex convention (i < j < k).
     (i as u32, (j + 1) as u32, (k + 2) as u32)
@@ -385,13 +458,84 @@ mod tests {
     }
 
     #[test]
-    fn float_triple_matches_exact_in_4hit_domain() {
-        // λ < C(19411, 3) ≈ 1.2e12: sample across the whole domain.
+    fn float_triple_matches_exact_at_sampled_interior_points() {
+        // Interior λ values across the 4-hit domain keep matching (the
+        // closed form only misses near range boundaries — the huge prime
+        // stride here never lands on one). This is exactly the sampling
+        // blind spot that let the λ = 84 boundary bug hide; the pinning
+        // tests below cover the boundaries.
         let max = binomial(19411, 3);
         for l in (1..max).step_by(10_000_000_019).chain([max - 1]) {
             let exact = unrank_triple(l);
             let float = unrank_triple_float(l);
             assert_eq!(exact, float, "λ={l}");
+        }
+    }
+
+    #[test]
+    fn pair_float_limit_pins_first_divergence() {
+        // One below the boundary: still bit-exact.
+        let last_good = UNRANK_PAIR_FLOAT_LIMIT - 1;
+        assert_eq!(unrank_pair_float(last_good), unrank_pair(last_good));
+        // At the boundary (λ = C(2²⁷+1, 2) − 1, the last pair of the
+        // j = 2²⁷ block): the float seed tips j one too high and the
+        // recovered i wraps.
+        assert_eq!(UNRANK_PAIR_FLOAT_LIMIT, tri(134_217_729) - 1);
+        let exact = unrank_pair(UNRANK_PAIR_FLOAT_LIMIT);
+        let float = unrank_pair_float(UNRANK_PAIR_FLOAT_LIMIT);
+        assert_eq!(exact, (134_217_727, 134_217_728));
+        assert_ne!(
+            float, exact,
+            "float formula no longer diverges at the documented boundary"
+        );
+        // Dense sweep well below the boundary plus every j-block boundary
+        // near it: the computed float map is monotone in λ, so block
+        // endpoints witness the interior.
+        for j in (1u64..2000).chain(134_217_700..134_217_729) {
+            for l in [tri(j), tri(j + 1) - 1] {
+                if l < UNRANK_PAIR_FLOAT_LIMIT {
+                    assert_eq!(unrank_pair_float(l), unrank_pair(l), "λ={l}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn triple_float_limit_pins_first_divergence() {
+        // Exhaustive below the boundary: every λ in [1, 84) is bit-exact.
+        for l in 1..UNRANK_TRIPLE_FLOAT_LIMIT {
+            assert_eq!(unrank_triple_float(l), unrank_triple(l), "λ={l}");
+        }
+        // At λ = 84 = C(9,3) the truncated cube-root series undershoots k:
+        // the formula produces the *invalid* tuple (0, 8, 8) where the
+        // exact map gives (0, 1, 9).
+        assert_eq!(UNRANK_TRIPLE_FLOAT_LIMIT, tet(9));
+        assert_eq!(unrank_triple(84), (0, 1, 9));
+        let float = unrank_triple_float(84);
+        assert_ne!(
+            float,
+            (0, 1, 9),
+            "float formula no longer diverges at the documented boundary"
+        );
+        assert_eq!(float, (0, 8, 8));
+    }
+
+    #[test]
+    fn fast_unranking_is_exact_everywhere() {
+        // Inside the float domains, at the boundaries, and far beyond:
+        // the hybrid decode is bit-identical to the exact maps.
+        for l in (0..10_000).chain([
+            UNRANK_TRIPLE_FLOAT_LIMIT - 1,
+            UNRANK_TRIPLE_FLOAT_LIMIT,
+            UNRANK_TRIPLE_FLOAT_LIMIT + 1,
+            binomial(19411, 3) - 1,
+            UNRANK_PAIR_FLOAT_LIMIT - 1,
+            UNRANK_PAIR_FLOAT_LIMIT,
+            UNRANK_PAIR_FLOAT_LIMIT + 1,
+            u64::from(u32::MAX) * 1000,
+        ]) {
+            assert_eq!(unrank_pair_fast(l), unrank_pair(l), "pair λ={l}");
+            assert_eq!(unrank_triple_fast(l), unrank_triple(l), "triple λ={l}");
         }
     }
 

@@ -272,8 +272,55 @@ fn write_value(v: &Value, out: &mut String) {
     }
 }
 
-/// Parse a flat JSON object of scalar values (the only shape this stream
-/// emits). Returns the key/value pairs in input order.
+/// Serialize a flat key/value list as one JSON object line (no trailing
+/// newline) — the same shape [`Event::to_json`] writes and
+/// [`parse_json_object`] reads back. The serving protocol reuses this for
+/// its request/response lines so the repo carries exactly one JSON codec.
+#[must_use]
+pub fn json_object(pairs: &[(String, Value)]) -> String {
+    let mut out = String::with_capacity(16 + 16 * pairs.len());
+    out.push('{');
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_json(k, &mut out);
+        out.push_str("\":");
+        write_value(v, &mut out);
+    }
+    out.push('}');
+    out
+}
+
+/// Parse a flat JSON object of scalar values (the only shape this stream —
+/// and the serving wire protocol — emits). Returns the key/value pairs in
+/// input order. JSON `null` parses as [`Value::F64`]`(NAN)`; consumers that
+/// report ratios must pass such fields through [`finite_or_zero`].
+///
+/// # Errors
+/// Returns a description of the first syntax problem.
+pub fn parse_json_object(line: &str) -> Result<Vec<(String, Value)>, String> {
+    parse_flat_object(line)
+}
+
+/// Clamp a possibly non-finite reported ratio to something finite (0.0).
+///
+/// The wire format writes non-finite `f64` as `null` and parses `null`
+/// back as NaN, so any ratio read from a stream can be NaN even though
+/// in-process producers never emit one. Every `RunReport` ratio field is
+/// routed through this so downstream arithmetic (means, JSON re-emission,
+/// bench gates) never sees NaN/∞.
+#[inline]
+#[must_use]
+pub fn finite_or_zero(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        0.0
+    }
+}
+
 fn parse_flat_object(line: &str) -> Result<Vec<(String, Value)>, String> {
     let mut chars = line.trim().char_indices().peekable();
     let src = line.trim();
@@ -740,6 +787,75 @@ pub struct RecoveryReport {
     pub re_executed_combos: u64,
 }
 
+/// Aggregated serving-layer metrics, built from per-batch `serve_batch`
+/// points and the one `serve_summary` point the server emits at shutdown.
+///
+/// All ratio accessors are zero-guarded: an empty or summary-less stream
+/// reports 0.0 everywhere, never NaN.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServeReport {
+    /// Requests admitted or shed (everything that reached admission).
+    pub requests: u64,
+    /// Requests answered successfully.
+    pub ok: u64,
+    /// Requests rejected by queue-full load shedding.
+    pub shed: u64,
+    /// Requests failed with an error response.
+    pub errors: u64,
+    /// Ok responses served from the signature cache.
+    pub cache_hits: u64,
+    /// Scoring batches executed.
+    pub batches: u64,
+    /// Samples scored across all batches.
+    pub batched_samples: u64,
+    /// Configured batch-size ceiling (denominator of [`Self::mean_batch_fill`]).
+    pub batch_max: u64,
+    /// Deepest queue observed at batch formation.
+    pub max_queue_depth: u64,
+    /// Median request latency, nanoseconds.
+    pub p50_latency_ns: u64,
+    /// 95th-percentile request latency, nanoseconds.
+    pub p95_latency_ns: u64,
+    /// 99th-percentile request latency, nanoseconds.
+    pub p99_latency_ns: u64,
+    /// Sustained ok-responses per second over the serving window.
+    pub throughput_rps: f64,
+}
+
+impl ServeReport {
+    /// Fraction of ok responses served from the cache (0.0 with no traffic).
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.ok == 0 {
+            0.0
+        } else {
+            finite_or_zero(self.cache_hits as f64 / self.ok as f64)
+        }
+    }
+
+    /// Mean batch occupancy relative to the configured ceiling
+    /// (0.0 with no batches or an unknown ceiling).
+    #[must_use]
+    pub fn mean_batch_fill(&self) -> f64 {
+        let denom = self.batches.saturating_mul(self.batch_max);
+        if denom == 0 {
+            0.0
+        } else {
+            finite_or_zero(self.batched_samples as f64 / denom as f64)
+        }
+    }
+
+    /// Fraction of admitted requests shed (0.0 with no traffic).
+    #[must_use]
+    pub fn shed_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            finite_or_zero(self.shed as f64 / self.requests as f64)
+        }
+    }
+}
+
 /// Aggregated view of one observability stream.
 #[derive(Clone, Debug, Default)]
 pub struct RunReport {
@@ -757,6 +873,8 @@ pub struct RunReport {
     pub faults: Vec<FaultReport>,
     /// Recovery events in order (empty for fault-free runs).
     pub recoveries: Vec<RecoveryReport>,
+    /// Serving-layer aggregates (all-zero for non-serving runs).
+    pub serve: ServeReport,
     /// Final counter registry.
     pub counters: BTreeMap<String, u64>,
 }
@@ -773,7 +891,9 @@ impl RunReport {
                         iter: e.u64("iter").unwrap_or(0),
                         scan_ns: e.u64("scan_ns").unwrap_or(0),
                         combos_scored: e.u64("combos_scored").unwrap_or(0),
-                        combos_per_sec: e.f64("combos_per_sec").unwrap_or(0.0),
+                        // `null` on the wire parses as NaN; keep the report
+                        // finite (regression: NaN used to flow through here).
+                        combos_per_sec: finite_or_zero(e.f64("combos_per_sec").unwrap_or(0.0)),
                         newly_covered: e.u64("newly_covered").unwrap_or(0),
                         remaining: e.u64("remaining").unwrap_or(0),
                         scan_scored: e.u64("scan_scored").unwrap_or(0),
@@ -818,6 +938,26 @@ impl RunReport {
                         survivors: e.u64("survivors").unwrap_or(0),
                         re_executed_combos: e.u64("re_executed_combos").unwrap_or(0),
                     });
+                }
+                (EventKind::Point, "serve_batch") => {
+                    r.serve.batches += 1;
+                    r.serve.batched_samples += e.u64("batch_size").unwrap_or(0);
+                    r.serve.max_queue_depth = r
+                        .serve
+                        .max_queue_depth
+                        .max(e.u64("queue_depth").unwrap_or(0));
+                }
+                (EventKind::Point, "serve_summary") => {
+                    r.serve.requests = e.u64("requests").unwrap_or(0);
+                    r.serve.ok = e.u64("ok").unwrap_or(0);
+                    r.serve.shed = e.u64("shed").unwrap_or(0);
+                    r.serve.errors = e.u64("errors").unwrap_or(0);
+                    r.serve.cache_hits = e.u64("cache_hits").unwrap_or(0);
+                    r.serve.batch_max = e.u64("batch_max").unwrap_or(0);
+                    r.serve.p50_latency_ns = e.u64("p50_latency_ns").unwrap_or(0);
+                    r.serve.p95_latency_ns = e.u64("p95_latency_ns").unwrap_or(0);
+                    r.serve.p99_latency_ns = e.u64("p99_latency_ns").unwrap_or(0);
+                    r.serve.throughput_rps = finite_or_zero(e.f64("throughput_rps").unwrap_or(0.0));
                 }
                 (EventKind::Counters, _) => {
                     for (k, v) in &e.fields {
@@ -1168,6 +1308,106 @@ mod tests {
         assert!(clean.faults.is_empty() && clean.recoveries.is_empty());
         assert_eq!(clean.re_executed_combos(), 0);
         assert_eq!(clean.retransmits(), 0);
+    }
+
+    #[test]
+    fn run_report_sanitizes_non_finite_ratios() {
+        // Regression: non-finite f64 serialize as `null`, parse back as
+        // NaN, and used to flow straight into GreedyIterReport — any
+        // mean/sum over iterations then went NaN too.
+        let stream = concat!(
+            "{\"type\":\"point\",\"name\":\"greedy_iter\",\"iter\":0,",
+            "\"scan_ns\":0,\"combos_scored\":0,\"combos_per_sec\":null}\n",
+        );
+        let report = RunReport::from_json_lines(stream).unwrap();
+        assert_eq!(report.greedy_iters.len(), 1);
+        let cps = report.greedy_iters[0].combos_per_sec;
+        assert!(cps.is_finite(), "combos_per_sec not finite: {cps}");
+        assert_eq!(cps, 0.0);
+
+        // The round trip really does produce `null` for non-finite input.
+        let obs = Obs::enabled();
+        obs.point("greedy_iter", &[("combos_per_sec", Value::F64(f64::NAN))]);
+        assert!(obs.to_json_lines().contains("\"combos_per_sec\":null"));
+        let back = RunReport::from_json_lines(&obs.to_json_lines()).unwrap();
+        assert_eq!(back.greedy_iters[0].combos_per_sec, 0.0);
+    }
+
+    #[test]
+    fn empty_run_report_ratios_are_finite() {
+        let r = RunReport::from_events(&[]);
+        for (name, v) in [
+            ("pruned_fraction", r.pruned_fraction()),
+            ("rank_imbalance", r.rank_imbalance()),
+            ("mean_rank_utilization", r.mean_rank_utilization()),
+            ("cache_hit_rate", r.serve.cache_hit_rate()),
+            ("mean_batch_fill", r.serve.mean_batch_fill()),
+            ("shed_rate", r.serve.shed_rate()),
+            ("throughput_rps", r.serve.throughput_rps),
+        ] {
+            assert!(v.is_finite(), "{name} not finite on empty run: {v}");
+        }
+        // Rank data present but all-zero must also stay finite.
+        let zeroed = RunReport {
+            ranks: vec![RankReport::default(); 2],
+            ..RunReport::default()
+        };
+        assert!(zeroed.rank_imbalance().is_finite());
+        assert!(zeroed.mean_rank_utilization().is_finite());
+    }
+
+    #[test]
+    fn run_report_aggregates_serve_points() {
+        let obs = Obs::enabled();
+        for (size, depth) in [(8u64, 3u64), (6, 12), (2, 0)] {
+            obs.point(
+                "serve_batch",
+                &[
+                    ("batch_size", Value::U64(size)),
+                    ("queue_depth", Value::U64(depth)),
+                ],
+            );
+        }
+        obs.point(
+            "serve_summary",
+            &[
+                ("requests", Value::U64(20)),
+                ("ok", Value::U64(16)),
+                ("shed", Value::U64(4)),
+                ("errors", Value::U64(0)),
+                ("cache_hits", Value::U64(4)),
+                ("batch_max", Value::U64(8)),
+                ("p50_latency_ns", Value::U64(1_000)),
+                ("p95_latency_ns", Value::U64(5_000)),
+                ("p99_latency_ns", Value::U64(9_000)),
+                ("throughput_rps", Value::F64(1.25e5)),
+            ],
+        );
+        let r = RunReport::from_json_lines(&obs.to_json_lines()).unwrap();
+        assert_eq!(r.serve.batches, 3);
+        assert_eq!(r.serve.batched_samples, 16);
+        assert_eq!(r.serve.max_queue_depth, 12);
+        assert_eq!(r.serve.shed, 4);
+        assert!((r.serve.cache_hit_rate() - 0.25).abs() < 1e-12);
+        assert!((r.serve.mean_batch_fill() - 16.0 / 24.0).abs() < 1e-12);
+        assert!((r.serve.shed_rate() - 0.2).abs() < 1e-12);
+        assert_eq!(r.serve.p95_latency_ns, 5_000);
+    }
+
+    #[test]
+    fn json_object_round_trips_through_public_parser() {
+        let pairs = vec![
+            ("id".to_string(), Value::U64(7)),
+            ("genes".to_string(), Value::Str("TP53,KRAS".to_string())),
+            ("tumor".to_string(), Value::Bool(true)),
+            ("score".to_string(), Value::F64(0.5)),
+        ];
+        let line = json_object(&pairs);
+        assert_eq!(parse_json_object(&line).unwrap(), pairs);
+        assert!(parse_json_object("not json").is_err());
+        assert_eq!(finite_or_zero(f64::NAN), 0.0);
+        assert_eq!(finite_or_zero(f64::INFINITY), 0.0);
+        assert_eq!(finite_or_zero(1.5), 1.5);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! Wilson-score 95% confidence interval (the error bars of Fig 9).
 
 use multihit_core::bitmat::BitMatrix;
+use multihit_core::kernel;
 
 /// A disjunction-of-conjunctions classifier over gene ids.
 ///
@@ -48,6 +49,63 @@ impl ComboClassifier {
     #[must_use]
     pub fn count_positive(&self, m: &BitMatrix) -> usize {
         (0..m.n_samples()).filter(|&s| self.classify(m, s)).count()
+    }
+
+    /// Classify **every** sample column of `m` in one batched pass.
+    ///
+    /// Folds each combination's gene rows with the vectorized AND kernel
+    /// ([`multihit_core::kernel`]) and ORs the surviving column masks, so a
+    /// batch of B samples costs one row-AND chain per combination instead
+    /// of B scalar walks. Bit-identical to calling [`Self::classify`] per
+    /// column (both compute "sample carries all genes of some combination");
+    /// the serving layer's batched-vs-scalar proptests pin that equality.
+    ///
+    /// An empty combination is vacuously satisfied (everything tumor), the
+    /// same as the scalar path's `.all()` over zero genes.
+    ///
+    /// # Panics
+    /// Panics if any combination references a gene `>= m.n_genes()` — the
+    /// scalar path panics on such ids too (row access out of bounds); the
+    /// serving registry validates panels against its gene universe at load.
+    #[must_use]
+    pub fn classify_batch(&self, m: &BitMatrix) -> Vec<bool> {
+        for combo in &self.combinations {
+            for &g in combo {
+                assert!(
+                    (g as usize) < m.n_genes(),
+                    "combination gene {g} out of range for {}-gene matrix",
+                    m.n_genes()
+                );
+            }
+        }
+        let words = m.words_per_row();
+        let mut tumor_mask = vec![0u64; words];
+        let mut acc = vec![0u64; words];
+        for combo in &self.combinations {
+            if combo.is_empty() {
+                tumor_mask = m.full_mask();
+                break;
+            }
+            acc.copy_from_slice(m.row(combo[0] as usize));
+            let mut alive = kernel::popcount(&acc);
+            for &g in &combo[1..] {
+                if alive == 0 {
+                    break;
+                }
+                for (d, r) in acc.iter_mut().zip(m.row(g as usize)) {
+                    *d &= r;
+                }
+                alive = kernel::popcount(&acc);
+            }
+            if alive > 0 {
+                for (t, a) in tumor_mask.iter_mut().zip(&acc) {
+                    *t |= a;
+                }
+            }
+        }
+        (0..m.n_samples())
+            .map(|s| (tumor_mask[s / 64] >> (s % 64)) & 1 == 1)
+            .collect()
     }
 
     /// Evaluate on a held-out split: sensitivity over `test_tumor`,
@@ -123,15 +181,28 @@ pub struct Performance {
 
 /// Average performance across cancer types (the paper reports 83%
 /// sensitivity / 90% specificity averaged over 11 types).
+///
+/// Zero-trial cohorts are **skipped per metric**, matching the paper's
+/// Fig 9 semantics: a cohort with no held-out tumor samples contributes no
+/// sensitivity observation (and likewise for normals/specificity). An
+/// earlier revision let `Proportion::value()`'s `total == 0 → 0.0`
+/// convention flow into the mean, silently dragging the cross-cancer
+/// average toward zero. With no non-empty cohort at all, the metric is 0.0.
 #[must_use]
 pub fn average(perfs: &[Performance]) -> (f64, f64) {
-    if perfs.is_empty() {
-        return (0.0, 0.0);
-    }
-    let n = perfs.len() as f64;
+    let mean_of = |vals: &mut dyn Iterator<Item = Proportion>| -> f64 {
+        let (sum, n) = vals
+            .filter(|p| p.total > 0)
+            .fold((0.0f64, 0usize), |(s, n), p| (s + p.value(), n + 1));
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    };
     (
-        perfs.iter().map(|p| p.sensitivity.value()).sum::<f64>() / n,
-        perfs.iter().map(|p| p.specificity.value()).sum::<f64>() / n,
+        mean_of(&mut perfs.iter().map(|p| p.sensitivity)),
+        mean_of(&mut perfs.iter().map(|p| p.specificity)),
     )
 }
 
@@ -255,6 +326,68 @@ mod tests {
         let (sens, spec) = average(&[p(8, 9), p(9, 9), p(7, 10)]);
         assert!((sens - 0.8).abs() < 1e-12);
         assert!((spec - 28.0 / 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_skips_zero_trial_cohorts() {
+        // Regression: a cohort with no held-out tumor samples used to
+        // contribute sensitivity 0.0 (via Proportion::value's total==0
+        // convention), dragging the mean from 0.8 down to 0.4.
+        let good = Performance {
+            sensitivity: Proportion::new(8, 10),
+            specificity: Proportion::new(9, 10),
+        };
+        let empty_tumor = Performance {
+            sensitivity: Proportion::new(0, 0),
+            specificity: Proportion::new(5, 10),
+        };
+        let (sens, spec) = average(&[good, empty_tumor]);
+        assert!((sens - 0.8).abs() < 1e-12, "sens {sens}");
+        // Specificity has two real cohorts and still averages both.
+        assert!((spec - 0.7).abs() < 1e-12, "spec {spec}");
+
+        // All-empty input: no observations at all → 0.0, not NaN.
+        let (s0, p0) = average(&[Performance {
+            sensitivity: Proportion::new(0, 0),
+            specificity: Proportion::new(0, 0),
+        }]);
+        assert_eq!((s0, p0), (0.0, 0.0));
+        assert_eq!(average(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn classify_batch_matches_scalar() {
+        // 130 samples spans three u64 words.
+        let n = 130;
+        let rows: Vec<Vec<usize>> = (0..6)
+            .map(|g| (0..n).filter(|s| (s * 7 + g * 13) % (g + 2) == 0).collect())
+            .collect();
+        let m = matrix(&rows, n);
+        let c = ComboClassifier {
+            combinations: vec![vec![0, 1], vec![2, 3, 4], vec![5]],
+        };
+        let batched = c.classify_batch(&m);
+        assert_eq!(batched.len(), n);
+        for (s, &b) in batched.iter().enumerate() {
+            assert_eq!(b, c.classify(&m, s), "sample {s}");
+        }
+
+        // Empty combination is vacuously true in both paths.
+        let vac = ComboClassifier {
+            combinations: vec![vec![0, 1], vec![]],
+        };
+        assert!(vac.classify_batch(&m).iter().all(|&b| b));
+        assert!((0..n).all(|s| vac.classify(&m, s)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn classify_batch_rejects_unknown_genes() {
+        let m = matrix(&[vec![0]], 1);
+        let c = ComboClassifier {
+            combinations: vec![vec![0, 99]],
+        };
+        let _ = c.classify_batch(&m);
     }
 
     #[test]

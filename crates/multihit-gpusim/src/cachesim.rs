@@ -112,7 +112,7 @@ pub fn simulate_3hit(g: u32, level: MemOptLevel, capacity_rows: usize) -> CacheS
     let mut cache = LruCache::new(capacity_rows);
     let gu = u64::from(g);
     for lambda in 0..tri(gu) {
-        let (i, j) = multihit_core::combin::unrank_pair(lambda);
+        let (i, j) = multihit_core::combin::unrank_pair_fast(lambda);
         // Prefetch phase (counts as cold fetches once per thread).
         match level {
             MemOptLevel::NoOpt => {}

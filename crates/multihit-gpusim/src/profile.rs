@@ -225,18 +225,20 @@ fn accumulate(
 
 /// Inner-loop trip count of thread λ under a 4-hit scheme (the `T` of the
 /// kernel levels; distinct from `Scheme4::workload`, which counts
-/// *combinations*).
+/// *combinations*). Thread-index decode follows the GPU float path
+/// (`unrank_*_fast`): the paper's float formulas inside their verified
+/// accuracy domain, the exact integer maps beyond it.
 #[must_use]
 pub fn inner_len4(scheme: Scheme4, lambda: u64, g: u32) -> u64 {
     let gu = u64::from(g);
     match scheme {
         Scheme4::OneXThree => gu - 1 - lambda,
         Scheme4::TwoXTwo => {
-            let (_i, j) = multihit_core::combin::unrank_pair(lambda);
+            let (_i, j) = multihit_core::combin::unrank_pair_fast(lambda);
             gu - 1 - u64::from(j)
         }
         Scheme4::ThreeXOne => {
-            let (_i, _j, k) = multihit_core::combin::unrank_triple(lambda);
+            let (_i, _j, k) = multihit_core::combin::unrank_triple_fast(lambda);
             gu - 1 - u64::from(k)
         }
         Scheme4::FourXOne => 1,
@@ -289,7 +291,7 @@ pub fn inner_len3(scheme: Scheme3, lambda: u64, g: u32) -> u64 {
     match scheme {
         Scheme3::OneXTwo => gu - 1 - lambda,
         Scheme3::TwoXOne => {
-            let (_i, j) = multihit_core::combin::unrank_pair(lambda);
+            let (_i, j) = multihit_core::combin::unrank_pair_fast(lambda);
             gu - 1 - u64::from(j)
         }
         Scheme3::ThreeXZero => 1,

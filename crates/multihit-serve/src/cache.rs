@@ -1,0 +1,145 @@
+//! LRU result cache keyed by a sample's packed bit-signature.
+//!
+//! Two requests naming the same mutated-gene set against the same panel are
+//! the same computation, and real mutation profiles repeat heavily (a few
+//! driver genes dominate), so the serving layer short-circuits repeats. The
+//! key is the *packed* signature — the `Vec<u64>` bitset over the panel's
+//! gene universe — not the raw gene-name list, so permuted or duplicated
+//! gene lists hit the same entry.
+//!
+//! Recency is a monotone tick per entry; eviction scans for the minimum
+//! tick. That is O(capacity) per overflow, which is deliberate: capacities
+//! here are small (hundreds to a few thousand entries per shard) and the
+//! scan keeps the structure a single `HashMap` with no unsafe links or
+//! secondary index to desynchronize.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A fixed-capacity least-recently-used map.
+pub struct LruCache<K, V> {
+    cap: usize,
+    tick: u64,
+    map: HashMap<K, (V, u64)>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
+    /// A cache holding at most `cap` entries; `cap == 0` disables caching
+    /// (every lookup misses, inserts are dropped).
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        LruCache {
+            cap,
+            tick: 0,
+            map: HashMap::with_capacity(cap.min(4096)),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Look up `key`, refreshing its recency on hit.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        self.tick += 1;
+        match self.map.get_mut(key) {
+            Some((v, t)) => {
+                *t = self.tick;
+                self.hits += 1;
+                Some(v.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert `key → value`, evicting the least-recently-used entry when
+    /// at capacity.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.cap == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.cap {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+                self.evictions += 1;
+            }
+        }
+        self.map.insert(key, (value, self.tick));
+    }
+
+    /// Entries currently cached.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// `(hits, misses, evictions)` so far.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_refreshes_recency() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.get(&"a"), Some(1)); // a is now most recent
+        c.insert("c", 3); // evicts b, not a
+        assert_eq!(c.get(&"a"), Some(1));
+        assert_eq!(c.get(&"b"), None);
+        assert_eq!(c.get(&"c"), Some(3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_updates_without_eviction() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        c.insert("a", 10); // same key: no eviction
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&"a"), Some(10));
+        assert_eq!(c.get(&"b"), Some(2));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = LruCache::new(0);
+        c.insert("a", 1);
+        assert_eq!(c.get(&"a"), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn eviction_count_tracks_overflow() {
+        let mut c = LruCache::new(1);
+        c.insert(1u32, ());
+        c.insert(2u32, ());
+        c.insert(3u32, ());
+        assert_eq!(c.stats().2, 2);
+        assert_eq!(c.len(), 1);
+    }
+}

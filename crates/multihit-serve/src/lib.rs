@@ -1,0 +1,34 @@
+//! Batched classification serving over discovered hit-combo panels.
+//!
+//! The paper's end product is a classifier — h-hit gene panels separating
+//! tumor from normal samples — and the roadmap's north star is serving
+//! that classifier under heavy traffic. This crate is the serving layer:
+//!
+//! * [`registry`] — immutable [`registry::ModelRegistry`] of compiled
+//!   panels, loaded from results TSVs.
+//! * [`protocol`] — flat JSON-lines [`protocol::Request`] /
+//!   [`protocol::Response`], sharing the observability stream's codec.
+//! * [`queue`] — hand-built bounded MPMC [`queue::BoundedQueue`] with
+//!   explicit `QueueFull` rejection (backpressure by shedding, never by
+//!   unbounded buffering).
+//! * [`cache`] — per-shard [`cache::LruCache`] keyed by the sample's
+//!   packed bit-signature.
+//! * [`server`] — the sharded worker pool: requests coalesce into
+//!   `BitMatrix` batches scored by the `multihit-core` AND+popcount
+//!   kernels, bit-identical to scalar classification.
+//! * [`tcp`] — `std::net::TcpListener` front end over the same submit
+//!   path.
+//! * [`loadgen`] — closed-loop load generator producing
+//!   `BENCH_serve.json` and the CI gate's lost/divergent/shed invariants.
+
+pub mod cache;
+pub mod loadgen;
+pub mod protocol;
+pub mod queue;
+pub mod registry;
+pub mod server;
+pub mod tcp;
+
+pub use protocol::{Request, Response, Status};
+pub use registry::{ModelRegistry, Panel};
+pub use server::{InProcClient, ServeConfig, Server};

@@ -1,0 +1,322 @@
+//! Closed-loop load generator for the in-process server.
+//!
+//! N client threads issue seeded requests drawn from a bounded pool of
+//! mutation profiles (bounded so repeats occur and the cache path is
+//! exercised), every response is checked against the scalar reference
+//! classification, and the outcome — throughput, latency percentiles,
+//! cache hit rate, shed/lost/divergent counts — feeds `BENCH_serve.json`
+//! and the CI serving gate: **zero lost**, **zero divergent**, and **no
+//! shed without a queue-full rejection**.
+
+use crate::registry::ModelRegistry;
+use crate::server::{InProcClient, ServeConfig, Server};
+use multihit_core::obs::{json_object, Obs, RunReport, ServeReport, Value};
+use multihit_data::results::{ResultRow, ResultsFile};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Deterministic splitmix64 — the loadgen's only randomness source.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// A deterministic synthetic panel: `combos` distinct `hits`-gene
+/// combinations over a `genes`-symbol universe (`G0 … G{genes-1}`).
+#[must_use]
+pub fn synth_results(
+    name: &str,
+    genes: usize,
+    combos: usize,
+    hits: usize,
+    seed: u64,
+) -> ResultsFile {
+    assert!(hits >= 1 && genes >= hits, "need at least `hits` genes");
+    let mut rng = Rng(seed ^ 0x5eed);
+    let mut rows = Vec::with_capacity(combos);
+    for iteration in 0..combos {
+        let mut picked = Vec::with_capacity(hits);
+        while picked.len() < hits {
+            let g = rng.below(genes as u64) as usize;
+            if !picked.contains(&g) {
+                picked.push(g);
+            }
+        }
+        rows.push(ResultRow {
+            iteration,
+            genes: picked.iter().map(|g| format!("G{g}")).collect(),
+            f: 0.5,
+            tp: 1,
+            tn: 1,
+        });
+    }
+    ResultsFile {
+        cohort: name.to_string(),
+        hits,
+        rows,
+    }
+}
+
+/// Loadgen knobs.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Total requests across all clients.
+    pub requests: u64,
+    /// Distinct mutation profiles in the request pool — smaller pools mean
+    /// more repeats and a hotter cache.
+    pub profile_pool: usize,
+    /// Seed for panel, profiles, and request draws.
+    pub seed: u64,
+    /// Server configuration under test.
+    pub serve: ServeConfig,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            clients: 8,
+            requests: 10_000,
+            profile_pool: 512,
+            seed: 7,
+            serve: ServeConfig::default(),
+        }
+    }
+}
+
+/// What one loadgen run measured.
+#[derive(Clone, Debug)]
+pub struct LoadgenOutcome {
+    /// The server's aggregate report (via the obs stream round trip).
+    pub report: ServeReport,
+    /// Requests whose response channel died unanswered. Must be 0.
+    pub lost: u64,
+    /// Ok responses that disagreed with scalar classification. Must be 0.
+    pub divergent: u64,
+    /// Queue-full rejections the shards recorded; every shed response must
+    /// be matched by one.
+    pub queue_rejections: u64,
+    /// Wall time of the request phase, seconds.
+    pub elapsed_secs: f64,
+}
+
+impl LoadgenOutcome {
+    /// The `BENCH_serve.json` content (one flat JSON object).
+    #[must_use]
+    pub fn bench_json(&self, cfg: &LoadgenConfig) -> String {
+        json_object(&[
+            ("bench".to_string(), Value::Str("serve".to_string())),
+            ("clients".to_string(), Value::U64(cfg.clients as u64)),
+            ("requests".to_string(), Value::U64(self.report.requests)),
+            ("ok".to_string(), Value::U64(self.report.ok)),
+            ("shed".to_string(), Value::U64(self.report.shed)),
+            ("errors".to_string(), Value::U64(self.report.errors)),
+            ("lost".to_string(), Value::U64(self.lost)),
+            ("divergent".to_string(), Value::U64(self.divergent)),
+            (
+                "queue_rejections".to_string(),
+                Value::U64(self.queue_rejections),
+            ),
+            (
+                "throughput_rps".to_string(),
+                Value::F64(self.report.requests as f64 / self.elapsed_secs.max(1e-9)),
+            ),
+            (
+                "p50_latency_ns".to_string(),
+                Value::U64(self.report.p50_latency_ns),
+            ),
+            (
+                "p95_latency_ns".to_string(),
+                Value::U64(self.report.p95_latency_ns),
+            ),
+            (
+                "p99_latency_ns".to_string(),
+                Value::U64(self.report.p99_latency_ns),
+            ),
+            (
+                "cache_hit_rate".to_string(),
+                Value::F64(self.report.cache_hit_rate()),
+            ),
+            (
+                "mean_batch_fill".to_string(),
+                Value::F64(self.report.mean_batch_fill()),
+            ),
+            (
+                "max_queue_depth".to_string(),
+                Value::U64(self.report.max_queue_depth),
+            ),
+            ("batches".to_string(), Value::U64(self.report.batches)),
+            ("batch_max".to_string(), Value::U64(self.report.batch_max)),
+        ])
+    }
+}
+
+/// Run the closed-loop load test against a fresh in-process server.
+///
+/// # Panics
+/// Panics on internal thread failures (a worker or client panicking), not
+/// on bad measurements — gating on the measurements is the caller's job.
+#[must_use]
+pub fn run(cfg: &LoadgenConfig, obs: &Obs) -> LoadgenOutcome {
+    let mut registry = ModelRegistry::new();
+    let results = synth_results("loadgen", 48, 24, 3, cfg.seed);
+    registry
+        .insert_results(&results)
+        .expect("synthetic panel is valid");
+    let server = Server::start(registry, cfg.serve.clone(), obs);
+    let panel = server.registry().get("loadgen").expect("panel registered");
+
+    // The profile pool: gene-symbol sets of varied size, a few of them
+    // naming genes outside the panel universe (must be ignored, not error).
+    let mut rng = Rng(cfg.seed);
+    let profiles: Vec<Vec<String>> = (0..cfg.profile_pool.max(1))
+        .map(|_| {
+            let len = rng.below(9) as usize;
+            (0..len).map(|_| format!("G{}", rng.below(56))).collect()
+        })
+        .collect();
+    let expected: Vec<bool> = profiles
+        .iter()
+        .map(|genes| panel.classify_signature(&panel.signature(genes)))
+        .collect();
+
+    let issued = AtomicU64::new(0);
+    let lost = AtomicU64::new(0);
+    let divergent = AtomicU64::new(0);
+    let shed_seen = AtomicU64::new(0);
+    let started = std::time::Instant::now();
+    std::thread::scope(|s| {
+        for client_idx in 0..cfg.clients.max(1) {
+            let client = InProcClient::new(Arc::clone(&server));
+            let profiles = &profiles;
+            let expected = &expected;
+            let issued = &issued;
+            let lost = &lost;
+            let divergent = &divergent;
+            let shed_seen = &shed_seen;
+            let mut rng = Rng(cfg.seed ^ (client_idx as u64).wrapping_mul(0x9e37_79b9));
+            s.spawn(move || {
+                while issued.fetch_add(1, Ordering::Relaxed) < cfg.requests {
+                    let p = rng.below(profiles.len() as u64) as usize;
+                    match client.classify("loadgen", &profiles[p]) {
+                        None => {
+                            lost.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Some(resp) => match resp.status {
+                            crate::protocol::Status::Ok => {
+                                if resp.tumor != expected[p] {
+                                    divergent.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            crate::protocol::Status::Shed => {
+                                shed_seen.fetch_add(1, Ordering::Relaxed);
+                            }
+                            crate::protocol::Status::Error => {
+                                divergent.fetch_add(1, Ordering::Relaxed);
+                            }
+                        },
+                    }
+                }
+            });
+        }
+    });
+    let elapsed_secs = started.elapsed().as_secs_f64();
+    let queue_rejections = server.queue_rejections();
+    server.shutdown();
+
+    // Read the report back through the wire format — the same path the CI
+    // gate and bench harness consume — rather than trusting in-process
+    // state.
+    let report = RunReport::from_json_lines(&obs.to_json_lines())
+        .expect("obs stream parses")
+        .serve;
+    LoadgenOutcome {
+        report,
+        lost: lost.load(Ordering::Relaxed),
+        divergent: divergent.load(Ordering::Relaxed),
+        queue_rejections,
+        elapsed_secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loadgen_smoke_is_clean() {
+        let obs = Obs::enabled();
+        let cfg = LoadgenConfig {
+            clients: 4,
+            requests: 2_000,
+            profile_pool: 64,
+            seed: 11,
+            serve: ServeConfig::default(),
+        };
+        let out = run(&cfg, &obs);
+        assert_eq!(out.lost, 0, "lost responses");
+        assert_eq!(out.divergent, 0, "batched vs scalar divergence");
+        assert_eq!(out.report.requests, 2_000);
+        assert_eq!(out.report.ok + out.report.shed, 2_000);
+        // Generous queue, closed-loop clients ≤ queue_cap: nothing sheds.
+        assert_eq!(out.report.shed, 0, "shed without queue pressure");
+        assert_eq!(out.queue_rejections, 0);
+        // 64 profiles over 2000 requests: the cache must be doing work.
+        assert!(
+            out.report.cache_hit_rate() > 0.5,
+            "cache hit rate {}",
+            out.report.cache_hit_rate()
+        );
+        let json = out.bench_json(&cfg);
+        assert!(json.contains("\"bench\":\"serve\""));
+        assert!(json.contains("p99_latency_ns"));
+    }
+
+    #[test]
+    fn loadgen_under_pressure_sheds_only_on_full_queues() {
+        let obs = Obs::enabled();
+        let cfg = LoadgenConfig {
+            clients: 8,
+            requests: 300,
+            profile_pool: 256,
+            seed: 13,
+            serve: ServeConfig {
+                shards: 1,
+                batch_max: 4,
+                queue_cap: 2,
+                cache_cap: 0,
+                score_delay_ns: 2_000_000,
+            },
+        };
+        let out = run(&cfg, &obs);
+        assert_eq!(out.lost, 0);
+        assert_eq!(out.divergent, 0);
+        assert_eq!(out.report.ok + out.report.shed, 300);
+        // The invariant the CI gate checks: sheds imply queue-full
+        // rejections, one for one.
+        assert_eq!(out.report.shed, out.queue_rejections);
+    }
+
+    #[test]
+    fn synth_results_is_deterministic() {
+        let a = synth_results("x", 20, 5, 3, 42);
+        let b = synth_results("x", 20, 5, 3, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.rows.len(), 5);
+        for row in &a.rows {
+            assert_eq!(row.genes.len(), 3);
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! The immutable model registry: discovered panels, indexed for serving.
+//!
+//! A *panel* is one discovery run's output — the hit combinations of a
+//! cohort (`ResultsFile` TSV, the paper's supporting-information tables) —
+//! compiled into the form the hot path needs: a dense gene-id universe
+//! (only genes that appear in some combination matter for classification),
+//! a name→id index for request translation, and a [`ComboClassifier`] over
+//! those ids. Panels are built once at startup and shared immutably
+//! (`Arc`) across shards; there is deliberately no mutation or reload path
+//! — restart to change models, like the discovery jobs themselves.
+
+use multihit_data::classify::ComboClassifier;
+use multihit_data::results::ResultsFile;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One compiled panel.
+#[derive(Clone, Debug)]
+pub struct Panel {
+    /// Registry name (the cohort label of the results file).
+    pub name: String,
+    /// Hits per combination as discovered.
+    pub hits: usize,
+    /// Gene symbols of the panel universe, id order.
+    pub gene_names: Vec<String>,
+    /// Symbol → dense id over [`Self::gene_names`].
+    pub gene_index: BTreeMap<String, u32>,
+    /// The classifier, in dense-id space.
+    pub classifier: ComboClassifier,
+}
+
+impl Panel {
+    /// Compile a results file into a servable panel.
+    ///
+    /// # Errors
+    /// Rejects results with no combinations (nothing to serve).
+    pub fn from_results(results: &ResultsFile) -> Result<Panel, String> {
+        if results.rows.is_empty() {
+            return Err(format!("panel {:?} has no combinations", results.cohort));
+        }
+        let mut gene_index = BTreeMap::new();
+        let mut gene_names = Vec::new();
+        let mut combinations = Vec::with_capacity(results.rows.len());
+        for row in &results.rows {
+            let mut combo = Vec::with_capacity(row.genes.len());
+            for g in &row.genes {
+                let id = *gene_index.entry(g.clone()).or_insert_with(|| {
+                    gene_names.push(g.clone());
+                    u32::try_from(gene_names.len() - 1).expect("gene universe fits u32")
+                });
+                combo.push(id);
+            }
+            if combo.is_empty() {
+                return Err(format!(
+                    "panel {:?} row {} has an empty combination",
+                    results.cohort, row.iteration
+                ));
+            }
+            combinations.push(combo);
+        }
+        Ok(Panel {
+            name: results.cohort.clone(),
+            hits: results.hits,
+            gene_names,
+            gene_index,
+            classifier: ComboClassifier { combinations },
+        })
+    }
+
+    /// Genes in the panel universe.
+    #[must_use]
+    pub fn n_genes(&self) -> usize {
+        self.gene_names.len()
+    }
+
+    /// Packed words per signature for this universe.
+    #[must_use]
+    pub fn signature_words(&self) -> usize {
+        self.n_genes().div_ceil(64)
+    }
+
+    /// Pack a request's gene symbols into the panel-universe bit signature.
+    /// Symbols outside the universe are ignored — they cannot participate
+    /// in any combination, so they cannot change the verdict.
+    #[must_use]
+    pub fn signature(&self, genes: &[String]) -> Vec<u64> {
+        let mut sig = vec![0u64; self.signature_words()];
+        for g in genes {
+            if let Some(&id) = self.gene_index.get(g) {
+                sig[id as usize / 64] |= 1 << (id % 64);
+            }
+        }
+        sig
+    }
+
+    /// Scalar reference classification of one signature (the ground truth
+    /// the batched path must reproduce bit-for-bit).
+    #[must_use]
+    pub fn classify_signature(&self, sig: &[u64]) -> bool {
+        self.classifier.combinations.iter().any(|c| {
+            c.iter()
+                .all(|&g| (sig[g as usize / 64] >> (g % 64)) & 1 == 1)
+        })
+    }
+}
+
+/// The immutable set of panels a server instance answers for.
+#[derive(Clone, Debug, Default)]
+pub struct ModelRegistry {
+    panels: BTreeMap<String, Arc<Panel>>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> ModelRegistry {
+        ModelRegistry::default()
+    }
+
+    /// Register one results file under its cohort name.
+    ///
+    /// # Errors
+    /// Rejects empty panels and duplicate names.
+    pub fn insert_results(&mut self, results: &ResultsFile) -> Result<(), String> {
+        let panel = Panel::from_results(results)?;
+        if self.panels.contains_key(&panel.name) {
+            return Err(format!("duplicate panel {:?}", panel.name));
+        }
+        self.panels.insert(panel.name.clone(), Arc::new(panel));
+        Ok(())
+    }
+
+    /// Load every `*.tsv` results file in a directory.
+    ///
+    /// # Errors
+    /// Propagates I/O and parse failures, naming the offending file.
+    pub fn load_dir(dir: &std::path::Path) -> Result<ModelRegistry, String> {
+        let mut reg = ModelRegistry::new();
+        let entries =
+            std::fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+        let mut paths: Vec<_> = entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "tsv"))
+            .collect();
+        paths.sort();
+        for path in paths {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("reading {}: {e}", path.display()))?;
+            let results = ResultsFile::from_tsv(&text)
+                .map_err(|e| format!("parsing {}: {e}", path.display()))?;
+            reg.insert_results(&results)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+        }
+        if reg.is_empty() {
+            return Err(format!("no .tsv results files in {}", dir.display()));
+        }
+        Ok(reg)
+    }
+
+    /// Look up a panel by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<Arc<Panel>> {
+        self.panels.get(name).cloned()
+    }
+
+    /// Panel names, sorted.
+    #[must_use]
+    pub fn names(&self) -> Vec<&str> {
+        self.panels.keys().map(String::as_str).collect()
+    }
+
+    /// Number of panels.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.panels.len()
+    }
+
+    /// Whether the registry has no panels.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.panels.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multihit_data::results::ResultRow;
+
+    fn results(cohort: &str, combos: &[&[&str]]) -> ResultsFile {
+        ResultsFile {
+            cohort: cohort.to_string(),
+            hits: combos.first().map_or(0, |c| c.len()),
+            rows: combos
+                .iter()
+                .enumerate()
+                .map(|(i, genes)| ResultRow {
+                    iteration: i,
+                    genes: genes.iter().map(ToString::to_string).collect(),
+                    f: 0.5,
+                    tp: 1,
+                    tn: 1,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn panel_compiles_dense_universe() {
+        let rf = results("X", &[&["TP53", "KRAS"], &["KRAS", "EGFR"]]);
+        let p = Panel::from_results(&rf).unwrap();
+        assert_eq!(p.n_genes(), 3); // KRAS deduplicated
+        assert_eq!(p.classifier.combinations.len(), 2);
+        // Ids are assignment-ordered and consistent between index and names.
+        for (name, &id) in &p.gene_index {
+            assert_eq!(&p.gene_names[id as usize], name);
+        }
+    }
+
+    #[test]
+    fn signature_ignores_unknown_genes() {
+        let rf = results("X", &[&["A", "B"]]);
+        let p = Panel::from_results(&rf).unwrap();
+        let sig = p.signature(&["B".to_string(), "ZZZ".to_string(), "A".to_string()]);
+        assert!(p.classify_signature(&sig));
+        let partial = p.signature(&["A".to_string(), "ZZZ".to_string()]);
+        assert!(!p.classify_signature(&partial));
+    }
+
+    #[test]
+    fn registry_rejects_duplicates_and_empties() {
+        let mut reg = ModelRegistry::new();
+        reg.insert_results(&results("X", &[&["A"]])).unwrap();
+        assert!(reg.insert_results(&results("X", &[&["B"]])).is_err());
+        assert!(reg.insert_results(&results("Y", &[])).is_err());
+        assert_eq!(reg.names(), vec!["X"]);
+        assert!(reg.get("X").is_some());
+        assert!(reg.get("Z").is_none());
+    }
+
+    #[test]
+    fn load_dir_reads_tsv_files() {
+        let dir = std::env::temp_dir().join(format!("mh-serve-reg-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("a.tsv"), results("A", &[&["G1", "G2"]]).to_tsv()).unwrap();
+        std::fs::write(dir.join("b.tsv"), results("B", &[&["G3"]]).to_tsv()).unwrap();
+        std::fs::write(dir.join("ignored.txt"), "not a results file").unwrap();
+        let reg = ModelRegistry::load_dir(&dir).unwrap();
+        assert_eq!(reg.names(), vec!["A", "B"]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

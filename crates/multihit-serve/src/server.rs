@@ -1,0 +1,487 @@
+//! The sharded, batched classification server.
+//!
+//! Request flow:
+//!
+//! ```text
+//! submit() ── panel lookup ── signature pack ── shard hash ── try_push ──► BoundedQueue
+//!     │                                                          │ full
+//!     │                                                          └──► shed response (503-style)
+//!     ▼
+//! worker (one per shard): pop_batch(B) → per-panel grouping → LRU cache probe
+//!     → misses packed as columns of one BitMatrix → ComboClassifier::classify_batch
+//!     (the multihit-core AND+popcount kernel path) → responses + cache fill
+//! ```
+//!
+//! Sharding is by signature hash, so repeats of the same sample land on the
+//! same shard and its private LRU cache — shard caches need no cross-thread
+//! locking and stay coherent by construction (a panel's verdict for a
+//! signature is immutable, so duplicated entries across shards would also
+//! be consistent; hashing merely avoids the duplication).
+//!
+//! Every admitted request is answered exactly once: with an ok verdict, a
+//! shed rejection, or an error. Workers hold the only channel sender, and
+//! every control path through the batch loop responds before dropping the
+//! job.
+
+use crate::cache::LruCache;
+use crate::protocol::{Request, Response};
+use crate::queue::{BoundedQueue, QueueFull};
+use crate::registry::{ModelRegistry, Panel};
+use multihit_core::bitmat::BitMatrix;
+use multihit_core::obs::{Obs, ServeReport, Value};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
+
+/// Serving knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker shards (each owns one queue, one thread, one cache).
+    pub shards: usize,
+    /// Most requests coalesced into one scoring batch.
+    pub batch_max: usize,
+    /// Per-shard queue capacity; overflow is shed, never buffered.
+    pub queue_cap: usize,
+    /// Per-shard LRU cache entries (0 disables caching).
+    pub cache_cap: usize,
+    /// Artificial per-batch scoring delay, nanoseconds — a test/bench aid
+    /// that emulates heavier models so backpressure paths can be exercised
+    /// deterministically. 0 (the default) for real serving.
+    pub score_delay_ns: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 4,
+            batch_max: 64,
+            queue_cap: 1024,
+            cache_cap: 4096,
+            score_delay_ns: 0,
+        }
+    }
+}
+
+struct Job {
+    id: u64,
+    panel: Arc<Panel>,
+    signature: Vec<u64>,
+    enqueued: Instant,
+    tx: mpsc::Sender<Response>,
+}
+
+#[derive(Default)]
+struct Stats {
+    requests: AtomicU64,
+    ok: AtomicU64,
+    shed: AtomicU64,
+    errors: AtomicU64,
+    cache_hits: AtomicU64,
+    batches: AtomicU64,
+    batched_samples: AtomicU64,
+    max_queue_depth: AtomicU64,
+}
+
+impl Stats {
+    fn observe_depth(&self, depth: u64) {
+        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+}
+
+/// The server: immutable registry + sharded worker pool.
+pub struct Server {
+    registry: Arc<ModelRegistry>,
+    cfg: ServeConfig,
+    queues: Vec<Arc<BoundedQueue<Job>>>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    stats: Arc<Stats>,
+    latencies: Arc<Mutex<Vec<u64>>>,
+    obs: Obs,
+    started: Instant,
+}
+
+impl Server {
+    /// Start the worker pool over `registry`.
+    #[must_use]
+    pub fn start(registry: ModelRegistry, cfg: ServeConfig, obs: &Obs) -> Arc<Server> {
+        let cfg = ServeConfig {
+            shards: cfg.shards.max(1),
+            batch_max: cfg.batch_max.max(1),
+            queue_cap: cfg.queue_cap.max(1),
+            ..cfg
+        };
+        let queues: Vec<_> = (0..cfg.shards)
+            .map(|_| Arc::new(BoundedQueue::new(cfg.queue_cap)))
+            .collect();
+        let server = Arc::new(Server {
+            registry: Arc::new(registry),
+            cfg: cfg.clone(),
+            queues: queues.clone(),
+            workers: Mutex::new(Vec::new()),
+            stats: Arc::new(Stats::default()),
+            latencies: Arc::new(Mutex::new(Vec::new())),
+            obs: obs.clone(),
+            started: Instant::now(),
+        });
+        let mut workers = server.workers.lock().expect("workers poisoned");
+        for (shard, queue) in queues.into_iter().enumerate() {
+            let stats = Arc::clone(&server.stats);
+            let latencies = Arc::clone(&server.latencies);
+            let obs = obs.clone();
+            let cfg = cfg.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-shard-{shard}"))
+                    .spawn(move || worker_loop(&queue, &cfg, &stats, &latencies, &obs))
+                    .expect("spawn serve worker"),
+            );
+        }
+        drop(workers);
+        server
+    }
+
+    /// The registry this server answers for.
+    #[must_use]
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Total queue-full rejections across shards (for asserting that every
+    /// shed response corresponds to an actually-full queue).
+    #[must_use]
+    pub fn queue_rejections(&self) -> u64 {
+        self.queues.iter().map(|q| q.rejections()).sum()
+    }
+
+    /// Admit one request. The response — ok, shed, or error — arrives on
+    /// the returned channel exactly once.
+    pub fn submit(&self, req: &Request) -> mpsc::Receiver<Response> {
+        let (tx, rx) = mpsc::channel();
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        self.obs.counter_add("serve.requests", 1);
+        let Some(panel) = self.registry.get(&req.model) else {
+            self.stats.errors.fetch_add(1, Ordering::Relaxed);
+            self.obs.counter_add("serve.errors", 1);
+            let _ = tx.send(Response::error(
+                req.id,
+                format!("unknown model {:?}", req.model),
+            ));
+            return rx;
+        };
+        let signature = panel.signature(&req.genes);
+        let shard = (sig_hash(&panel.name, &signature) % self.queues.len() as u64) as usize;
+        let job = Job {
+            id: req.id,
+            panel,
+            signature,
+            enqueued: Instant::now(),
+            tx,
+        };
+        if let Err(QueueFull(job)) = self.queues[shard].try_push(job) {
+            self.stats.shed.fetch_add(1, Ordering::Relaxed);
+            self.obs.counter_add("serve.shed", 1);
+            let _ = job.tx.send(Response::shed(job.id));
+        }
+        rx
+    }
+
+    /// Stop accepting work, drain the queues, join the workers, and emit
+    /// the `serve_summary` observability point. Idempotent; returns the
+    /// aggregate report.
+    pub fn shutdown(&self) -> ServeReport {
+        for q in &self.queues {
+            q.close();
+        }
+        let workers = std::mem::take(&mut *self.workers.lock().expect("workers poisoned"));
+        for w in workers {
+            let _ = w.join();
+        }
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let mut lat = self.latencies.lock().expect("latencies poisoned").clone();
+        lat.sort_unstable();
+        let pct = |q: f64| -> u64 {
+            if lat.is_empty() {
+                0
+            } else {
+                lat[((lat.len() - 1) as f64 * q).round() as usize]
+            }
+        };
+        let ok = self.stats.ok.load(Ordering::Relaxed);
+        let report = ServeReport {
+            requests: self.stats.requests.load(Ordering::Relaxed),
+            ok,
+            shed: self.stats.shed.load(Ordering::Relaxed),
+            errors: self.stats.errors.load(Ordering::Relaxed),
+            cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
+            batches: self.stats.batches.load(Ordering::Relaxed),
+            batched_samples: self.stats.batched_samples.load(Ordering::Relaxed),
+            batch_max: self.cfg.batch_max as u64,
+            max_queue_depth: self.stats.max_queue_depth.load(Ordering::Relaxed),
+            p50_latency_ns: pct(0.50),
+            p95_latency_ns: pct(0.95),
+            p99_latency_ns: pct(0.99),
+            throughput_rps: if elapsed > 0.0 {
+                ok as f64 / elapsed
+            } else {
+                0.0
+            },
+        };
+        self.obs.point(
+            "serve_summary",
+            &[
+                ("requests", Value::U64(report.requests)),
+                ("ok", Value::U64(report.ok)),
+                ("shed", Value::U64(report.shed)),
+                ("errors", Value::U64(report.errors)),
+                ("cache_hits", Value::U64(report.cache_hits)),
+                ("batch_max", Value::U64(report.batch_max)),
+                ("p50_latency_ns", Value::U64(report.p50_latency_ns)),
+                ("p95_latency_ns", Value::U64(report.p95_latency_ns)),
+                ("p99_latency_ns", Value::U64(report.p99_latency_ns)),
+                ("throughput_rps", Value::F64(report.throughput_rps)),
+            ],
+        );
+        report
+    }
+}
+
+/// FNV-1a over the panel name and signature words — stable shard routing.
+fn sig_hash(model: &str, sig: &[u64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in model.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+    }
+    for &w in sig {
+        for shift in (0..64).step_by(8) {
+            h = (h ^ ((w >> shift) & 0xff)).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn worker_loop(
+    queue: &BoundedQueue<Job>,
+    cfg: &ServeConfig,
+    stats: &Stats,
+    latencies: &Mutex<Vec<u64>>,
+    obs: &Obs,
+) {
+    let mut cache: LruCache<(String, Vec<u64>), bool> = LruCache::new(cfg.cache_cap);
+    let mut batch_latencies: Vec<u64> = Vec::new();
+    while let Some(batch) = queue.pop_batch(cfg.batch_max) {
+        let span = obs.span("serve_batch");
+        let queue_depth = batch.len() as u64 + queue.len() as u64;
+        stats.observe_depth(queue_depth);
+        let batch_size = batch.len() as u64;
+        batch_latencies.clear();
+
+        // Group the batch per panel; each group scores as one BitMatrix.
+        let mut groups: BTreeMap<String, Vec<Job>> = BTreeMap::new();
+        for job in batch {
+            groups.entry(job.panel.name.clone()).or_default().push(job);
+        }
+        let score_start = Instant::now();
+        for (model, jobs) in groups {
+            let panel = Arc::clone(&jobs[0].panel);
+            let mut misses: Vec<Job> = Vec::new();
+            for job in jobs {
+                if let Some(tumor) = cache.get(&(model.clone(), job.signature.clone())) {
+                    stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    obs.counter_add("serve.cache_hits", 1);
+                    respond_ok(&job, tumor, true, stats, obs, &mut batch_latencies);
+                } else {
+                    misses.push(job);
+                }
+            }
+            if misses.is_empty() {
+                continue;
+            }
+            // Pack the misses as sample columns of one panel-universe
+            // matrix and score them in a single kernel pass.
+            let mut m = BitMatrix::zeros(panel.n_genes(), misses.len());
+            for (col, job) in misses.iter().enumerate() {
+                for g in 0..panel.n_genes() {
+                    if (job.signature[g / 64] >> (g % 64)) & 1 == 1 {
+                        m.set(g, col, true);
+                    }
+                }
+            }
+            let verdicts = panel.classifier.classify_batch(&m);
+            stats
+                .batched_samples
+                .fetch_add(misses.len() as u64, Ordering::Relaxed);
+            for (job, tumor) in misses.into_iter().zip(verdicts) {
+                cache.insert((model.clone(), job.signature.clone()), tumor);
+                respond_ok(&job, tumor, false, stats, obs, &mut batch_latencies);
+            }
+        }
+        if cfg.score_delay_ns > 0 {
+            std::thread::sleep(std::time::Duration::from_nanos(cfg.score_delay_ns));
+        }
+        let score_ns = u64::try_from(score_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        stats.batches.fetch_add(1, Ordering::Relaxed);
+        obs.counter_add("serve.batches", 1);
+        obs.point(
+            "serve_batch",
+            &[
+                ("batch_size", Value::U64(batch_size)),
+                ("queue_depth", Value::U64(queue_depth)),
+                ("score_ns", Value::U64(score_ns)),
+            ],
+        );
+        latencies
+            .lock()
+            .expect("latencies poisoned")
+            .extend_from_slice(&batch_latencies);
+        drop(span);
+    }
+}
+
+fn respond_ok(
+    job: &Job,
+    tumor: bool,
+    cache_hit: bool,
+    stats: &Stats,
+    obs: &Obs,
+    batch_latencies: &mut Vec<u64>,
+) {
+    stats.ok.fetch_add(1, Ordering::Relaxed);
+    obs.counter_add("serve.ok", 1);
+    batch_latencies.push(u64::try_from(job.enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    let _ = job.tx.send(Response::ok(job.id, tumor, cache_hit));
+}
+
+/// Blocking in-process client — the test and loadgen entry point; the TCP
+/// front end is the same `submit` path behind a socket.
+pub struct InProcClient {
+    server: Arc<Server>,
+    next_id: AtomicU64,
+}
+
+impl InProcClient {
+    /// A client bound to `server`.
+    #[must_use]
+    pub fn new(server: Arc<Server>) -> InProcClient {
+        InProcClient {
+            server,
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Classify one sample, blocking for the response. `None` means the
+    /// response channel died without an answer — a lost request, which the
+    /// loadgen counts and the CI gate fails on.
+    #[must_use]
+    pub fn classify(&self, model: &str, genes: &[String]) -> Option<Response> {
+        let req = Request {
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            model: model.to_string(),
+            genes: genes.to_vec(),
+        };
+        self.server.submit(&req).recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loadgen::synth_results;
+
+    fn small_server(cfg: ServeConfig) -> (Arc<Server>, Obs) {
+        let obs = Obs::enabled();
+        let mut reg = ModelRegistry::new();
+        reg.insert_results(&synth_results("P", 12, 6, 3, 7))
+            .unwrap();
+        (Server::start(reg, cfg, &obs), obs)
+    }
+
+    #[test]
+    fn serves_and_matches_scalar() {
+        let (server, _obs) = small_server(ServeConfig::default());
+        let panel = server.registry().get("P").unwrap();
+        let client = InProcClient::new(Arc::clone(&server));
+        for i in 0..200u64 {
+            let genes: Vec<String> = (0..12)
+                .filter(|g| (i >> (g % 8)) & 1 == 1)
+                .map(|g| format!("G{g}"))
+                .collect();
+            let resp = client.classify("P", &genes).expect("lost response");
+            assert_eq!(resp.status, crate::protocol::Status::Ok);
+            let expected = panel.classify_signature(&panel.signature(&genes));
+            assert_eq!(resp.tumor, expected, "request {i}");
+        }
+        let report = server.shutdown();
+        assert_eq!(report.ok, 200);
+        assert_eq!(report.shed, 0);
+        assert!(report.cache_hits > 0, "repeat signatures should hit cache");
+    }
+
+    #[test]
+    fn unknown_model_errors_immediately() {
+        let (server, _obs) = small_server(ServeConfig::default());
+        let client = InProcClient::new(Arc::clone(&server));
+        let resp = client.classify("nope", &[]).unwrap();
+        assert_eq!(resp.status, crate::protocol::Status::Error);
+        assert!(resp.error.contains("unknown model"));
+        let report = server.shutdown();
+        assert_eq!(report.errors, 1);
+        assert_eq!(report.ok, 0);
+    }
+
+    #[test]
+    fn full_queue_sheds_deterministically() {
+        // One shard, queue of 1, slow scoring: the worker takes the first
+        // job, the second fills the queue, every later one is shed.
+        let (server, _obs) = small_server(ServeConfig {
+            shards: 1,
+            batch_max: 1,
+            queue_cap: 1,
+            cache_cap: 0,
+            score_delay_ns: 40_000_000,
+        });
+        let genes: Vec<String> = vec!["G0".to_string()];
+        let mut rxs = Vec::new();
+        for id in 0..6u64 {
+            let req = Request {
+                id,
+                model: "P".to_string(),
+                genes: genes.clone(),
+            };
+            rxs.push(server.submit(&req));
+        }
+        let mut ok = 0u64;
+        let mut shed = 0u64;
+        for rx in rxs {
+            match rx.recv().expect("lost response").status {
+                crate::protocol::Status::Ok => ok += 1,
+                crate::protocol::Status::Shed => shed += 1,
+                crate::protocol::Status::Error => panic!("unexpected error"),
+            }
+        }
+        let report = server.shutdown();
+        assert_eq!(ok + shed, 6, "every request answered");
+        assert!(shed >= 1, "tiny queue under burst must shed");
+        assert_eq!(report.shed, shed);
+        // Every shed corresponds to a queue-full rejection.
+        assert_eq!(server.queue_rejections(), shed);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_sheds_late_submits() {
+        let (server, obs) = small_server(ServeConfig::default());
+        let r1 = server.shutdown();
+        let r2 = server.shutdown();
+        assert_eq!(r1.ok, r2.ok);
+        let client = InProcClient::new(Arc::clone(&server));
+        let resp = client.classify("P", &[]).unwrap();
+        assert_eq!(resp.status, crate::protocol::Status::Shed);
+        assert!(obs.to_json_lines().contains("serve_summary"));
+    }
+}

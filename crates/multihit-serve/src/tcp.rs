@@ -1,0 +1,169 @@
+//! TCP front end: the JSON-lines protocol over `std::net`.
+//!
+//! One thread per connection, blocking reads, one response line per
+//! request line — deliberately boring transport. All batching, caching,
+//! and backpressure live behind [`Server::submit`], shared with the
+//! in-process client, so the tests that pin batched-vs-scalar equivalence
+//! exercise exactly the code this socket path runs.
+
+use crate::protocol::{Request, Response};
+use crate::server::Server;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Handle to a running TCP front end.
+pub struct TcpHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TcpHandle {
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting new connections and join the accept loop. Existing
+    /// connections finish at their own pace (their threads end when the
+    /// peer closes or a read fails).
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Bind `addr` and serve [`Server::submit`] over JSON lines until
+/// [`TcpHandle::stop`].
+///
+/// # Errors
+/// Propagates the bind failure.
+pub fn spawn(server: Arc<Server>, addr: &str) -> std::io::Result<TcpHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    // Non-blocking accept so the loop can observe the stop flag.
+    listener.set_nonblocking(true)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let accept_thread = std::thread::Builder::new()
+        .name("serve-accept".to_string())
+        .spawn(move || {
+            while !stop2.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let server = Arc::clone(&server);
+                        let _ = std::thread::Builder::new()
+                            .name("serve-conn".to_string())
+                            .spawn(move || handle_connection(&server, stream));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        })
+        .expect("spawn accept thread");
+    Ok(TcpHandle {
+        addr: local,
+        stop,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn handle_connection(server: &Server, stream: TcpStream) {
+    let Ok(peer_write) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = std::io::BufWriter::new(peer_write);
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { return };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match Request::from_json(&line) {
+            // Requests are answered in submission order per connection —
+            // blocking recv here keeps the wire protocol free of
+            // out-of-order delivery concerns.
+            Ok(req) => server
+                .submit(&req)
+                .recv()
+                .unwrap_or_else(|_| Response::error(req.id, "server shut down")),
+            Err(e) => Response::error(0, format!("bad request: {e}")),
+        };
+        if writer
+            .write_all(response.to_json().as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loadgen::synth_results;
+    use crate::protocol::Status;
+    use crate::registry::ModelRegistry;
+    use crate::server::ServeConfig;
+    use multihit_core::obs::Obs;
+
+    #[test]
+    fn tcp_round_trip_matches_scalar() {
+        let obs = Obs::enabled();
+        let mut reg = ModelRegistry::new();
+        reg.insert_results(&synth_results("P", 16, 8, 3, 3))
+            .unwrap();
+        let server = Server::start(reg, ServeConfig::default(), &obs);
+        let panel = server.registry().get("P").unwrap();
+        let handle = spawn(Arc::clone(&server), "127.0.0.1:0").unwrap();
+
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        for id in 0..40u64 {
+            let genes: Vec<String> = (0..16)
+                .filter(|g| (id >> (g % 6)) & 1 == 1)
+                .map(|g| format!("G{g}"))
+                .collect();
+            let req = Request {
+                id,
+                model: "P".to_string(),
+                genes: genes.clone(),
+            };
+            writer
+                .write_all(format!("{}\n", req.to_json()).as_bytes())
+                .unwrap();
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            let resp = Response::from_json(&line).unwrap();
+            assert_eq!(resp.id, id);
+            assert_eq!(resp.status, Status::Ok);
+            let expected = panel.classify_signature(&panel.signature(&genes));
+            assert_eq!(resp.tumor, expected, "request {id}");
+        }
+
+        // Malformed line gets an error response, connection stays usable.
+        writer.write_all(b"{\"nonsense\":true}\n").unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        let resp = Response::from_json(&line).unwrap();
+        assert_eq!(resp.status, Status::Error);
+
+        drop(writer);
+        drop(reader);
+        handle.stop();
+        let report = server.shutdown();
+        assert_eq!(report.ok, 40);
+    }
+}

@@ -1,0 +1,218 @@
+//! Property-based tests for the serving layer.
+//!
+//! The load-bearing property: batched, sharded, cached serving returns
+//! exactly what one-by-one scalar `ComboClassifier::classify` returns, for
+//! every random panel, batch size, shard count, cache size, and request
+//! interleaving. Plus: bounded queues shed if and only if full, and the
+//! LRU cache stays consistent across evictions.
+
+use multihit_core::bitmat::BitMatrix;
+use multihit_core::obs::Obs;
+use multihit_data::results::{ResultRow, ResultsFile};
+use multihit_serve::cache::LruCache;
+use multihit_serve::queue::BoundedQueue;
+use multihit_serve::{InProcClient, ModelRegistry, ServeConfig, Server, Status};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A random panel: 1–8 combinations of 1–4 genes over a ≤ 24-gene universe.
+fn arb_panel() -> impl Strategy<Value = ResultsFile> {
+    prop::collection::vec(prop::collection::vec(0u32..24, 1..5), 1..9).prop_map(|combos| {
+        ResultsFile {
+            cohort: "prop".to_string(),
+            hits: combos[0].len(),
+            rows: combos
+                .iter()
+                .enumerate()
+                .map(|(i, combo)| {
+                    let mut genes: Vec<String> = combo.iter().map(|g| format!("G{g}")).collect();
+                    genes.dedup();
+                    ResultRow {
+                        iteration: i,
+                        genes,
+                        f: 1.0,
+                        tp: 1,
+                        tn: 1,
+                    }
+                })
+                .collect(),
+        }
+    })
+}
+
+/// Random request gene sets (names may fall outside the panel universe).
+fn arb_requests() -> impl Strategy<Value = Vec<Vec<String>>> {
+    prop::collection::vec(
+        prop::collection::vec(0u32..30, 0..10)
+            .prop_map(|gs| gs.iter().map(|g| format!("G{g}")).collect()),
+        1..80,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn batched_serving_matches_scalar_classify(
+        panel in arb_panel(),
+        requests in arb_requests(),
+        shards in 1usize..5,
+        batch_max in 1usize..17,
+        cache_cap in 0usize..32,
+    ) {
+        let obs = Obs::enabled();
+        let mut reg = ModelRegistry::new();
+        reg.insert_results(&panel).unwrap();
+        let server = Server::start(
+            reg,
+            ServeConfig {
+                shards,
+                batch_max,
+                queue_cap: 4096, // generous: nothing sheds, everything scores
+                cache_cap,
+                score_delay_ns: 0,
+            },
+            &obs,
+        );
+        let compiled = server.registry().get("prop").unwrap();
+
+        // Scalar reference: one single-sample matrix per request, classified
+        // by the per-sample path the batch must reproduce bit-for-bit.
+        let expected: Vec<bool> = requests
+            .iter()
+            .map(|genes| {
+                let sig = compiled.signature(genes);
+                let mut m = BitMatrix::zeros(compiled.n_genes(), 1);
+                for g in 0..compiled.n_genes() {
+                    if (sig[g / 64] >> (g % 64)) & 1 == 1 {
+                        m.set(g, 0, true);
+                    }
+                }
+                compiled.classifier.classify(&m, 0)
+            })
+            .collect();
+
+        // Interleave the requests across concurrent clients so batching
+        // composes them in nondeterministic orders.
+        let n_clients = shards.min(requests.len()).max(1);
+        let results: Vec<(usize, bool)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n_clients)
+                .map(|c| {
+                    let client = InProcClient::new(Arc::clone(&server));
+                    let requests = &requests;
+                    s.spawn(move || {
+                        let mut out = Vec::new();
+                        let mut i = c;
+                        while i < requests.len() {
+                            let resp = client.classify("prop", &requests[i]).expect("lost");
+                            assert_eq!(resp.status, Status::Ok);
+                            out.push((i, resp.tumor));
+                            i += n_clients;
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        let report = server.shutdown();
+        prop_assert_eq!(report.shed, 0);
+        prop_assert_eq!(report.ok, requests.len() as u64);
+        for (i, tumor) in results {
+            prop_assert_eq!(tumor, expected[i]);
+        }
+    }
+
+    #[test]
+    fn queue_sheds_iff_full(cap in 1usize..9, pushes in 1usize..30) {
+        let q = BoundedQueue::new(cap);
+        let mut accepted = 0usize;
+        for i in 0..pushes {
+            match q.try_push(i) {
+                Ok(()) => accepted += 1,
+                Err(rejected) => {
+                    // Rejection happens exactly when at capacity, and the
+                    // item comes back intact.
+                    prop_assert_eq!(q.len(), cap);
+                    prop_assert_eq!(rejected.0, i);
+                }
+            }
+        }
+        prop_assert_eq!(accepted, pushes.min(cap));
+        prop_assert_eq!(q.rejections(), (pushes - accepted) as u64);
+        // Draining restores capacity: the next push is accepted again.
+        if accepted == cap {
+            q.pop_batch(1).unwrap();
+            prop_assert!(q.try_push(usize::MAX).is_ok());
+        }
+    }
+
+    #[test]
+    fn cache_is_consistent_after_eviction(
+        cap in 1usize..6,
+        keys in prop::collection::vec(0u64..12, 1..120),
+    ) {
+        // The cache caches a pure function (key → key * 3). Under any
+        // access pattern and eviction churn, a hit must never return a
+        // value that differs from recomputation.
+        let mut cache = LruCache::new(cap);
+        for &k in &keys {
+            match cache.get(&k) {
+                Some(v) => prop_assert_eq!(v, k * 3),
+                None => cache.insert(k, k * 3),
+            }
+            prop_assert!(cache.len() <= cap);
+        }
+        let (hits, misses, evictions) = cache.stats();
+        prop_assert_eq!(hits + misses, keys.len() as u64);
+        // Evictions can only happen once the distinct-key count exceeds cap.
+        let distinct = {
+            let mut ks = keys.clone();
+            ks.sort_unstable();
+            ks.dedup();
+            ks.len()
+        };
+        if distinct <= cap {
+            prop_assert_eq!(evictions, 0);
+        }
+    }
+
+    #[test]
+    fn served_verdicts_survive_cache_eviction_churn(
+        panel in arb_panel(),
+        picks in prop::collection::vec(0usize..6, 10..60),
+    ) {
+        // Cycle 6 distinct samples through a 2-entry cache: every round
+        // trips evictions, and re-scored verdicts must equal cached ones.
+        let obs = Obs::enabled();
+        let mut reg = ModelRegistry::new();
+        reg.insert_results(&panel).unwrap();
+        let server = Server::start(
+            reg,
+            ServeConfig {
+                shards: 1,
+                batch_max: 1, // no intra-batch dedup: each repeat re-probes
+                queue_cap: 64,
+                cache_cap: 2,
+                score_delay_ns: 0,
+            },
+            &obs,
+        );
+        let compiled = server.registry().get("prop").unwrap();
+        let samples: Vec<Vec<String>> = (0..6)
+            .map(|i| (0..24).filter(|g| (g + i) % 3 == 0).map(|g| format!("G{g}")).collect())
+            .collect();
+        let expected: Vec<bool> = samples
+            .iter()
+            .map(|genes| compiled.classify_signature(&compiled.signature(genes)))
+            .collect();
+        let client = InProcClient::new(Arc::clone(&server));
+        for &p in &picks {
+            let resp = client.classify("prop", &samples[p]).expect("lost");
+            prop_assert_eq!(resp.status, Status::Ok);
+            prop_assert_eq!(resp.tumor, expected[p]);
+        }
+        let report = server.shutdown();
+        prop_assert_eq!(report.ok, picks.len() as u64);
+    }
+}

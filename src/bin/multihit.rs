@@ -13,6 +13,14 @@
 //! multihit cluster  --inject SPECS [--nodes N] [--scheduler ea|ed|ec]
 //!                   [--seed S] [--ft-timeout-ms MS]
 //!                   [--metrics-out M.jsonl] [--trace]
+//! multihit serve    (--results DIR | --synth) [--addr HOST:PORT]
+//!                   [--shards S] [--batch-max B] [--queue-cap Q]
+//!                   [--cache-cap C] [--duration-secs T]
+//!                   [--metrics-out M.jsonl] [--trace]
+//! multihit loadgen  [--clients N] [--requests R] [--profiles P] [--seed S]
+//!                   [--shards S] [--batch-max B] [--queue-cap Q]
+//!                   [--cache-cap C] [--out BENCH_serve.json]
+//!                   [--metrics-out M.jsonl] [--trace]
 //! ```
 //!
 //! `synth` writes a synthetic cohort as a pair of MAF files plus the planted
@@ -27,6 +35,14 @@
 //! deterministic fault plan (e.g. `--inject rank-kill=1@2`), verified
 //! bit-identical against the fault-free reference, with the recovery bill
 //! (re-executed λ-work, retransmits, checkpoint fallbacks) printed.
+//!
+//! `serve` loads discovered panels into the batched classification server
+//! and answers the JSON-lines protocol on a TCP socket; `loadgen` drives
+//! the same server in-process with N concurrent clients, cross-checks
+//! every batched verdict against scalar classification, and writes
+//! `BENCH_serve.json`. `loadgen` exits non-zero on any lost response,
+//! batched-vs-scalar divergence, or shed response without a matching
+//! queue-full rejection — the CI serving gate.
 //!
 //! `--metrics-out` writes the observability stream (JSON lines: spans,
 //! per-iteration/per-rank points, final counters) produced by the run;
@@ -116,6 +132,18 @@ fn finish_obs(obs: &Obs, metrics_out: Option<&str>) -> Result<(), String> {
             report.ranks.len(),
             report.rank_imbalance(),
             100.0 * report.mean_rank_utilization()
+        );
+    }
+    if report.serve.requests > 0 {
+        eprintln!(
+            "serve: {} requests ({} ok, {} shed, {} errors), cache hit rate {:.1}%, batch fill {:.1}%, p99 {:.3} ms",
+            report.serve.requests,
+            report.serve.ok,
+            report.serve.shed,
+            report.serve.errors,
+            100.0 * report.serve.cache_hit_rate(),
+            100.0 * report.serve.mean_batch_fill(),
+            report.serve.p99_latency_ns as f64 / 1e6,
         );
     }
     Ok(())
@@ -508,7 +536,133 @@ fn cluster_fault_demo(args: &[String], specs: &str, nodes: usize, obs: &Obs) -> 
     Ok(())
 }
 
-const USAGE: &str = "usage: multihit <synth|discover|classify|cluster> [options]
+/// Serving knobs shared by `serve` and `loadgen`.
+fn serve_config_from_args(args: &[String]) -> Result<multihit::serve::ServeConfig, String> {
+    Ok(multihit::serve::ServeConfig {
+        shards: parse_or(args, "--shards", 4usize)?,
+        batch_max: parse_or(args, "--batch-max", 64usize)?,
+        queue_cap: parse_or(args, "--queue-cap", 1024usize)?,
+        cache_cap: parse_or(args, "--cache-cap", 4096usize)?,
+        score_delay_ns: parse_or(args, "--score-delay-ns", 0u64)?,
+    })
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use multihit::serve::loadgen::synth_results;
+    use multihit::serve::{ModelRegistry, Server};
+
+    let registry = match arg_value(args, "--results") {
+        Some(dir) => ModelRegistry::load_dir(Path::new(&dir))?,
+        None if has_flag(args, "--synth") => {
+            let mut reg = ModelRegistry::new();
+            let seed: u64 = parse_or(args, "--seed", 7u64)?;
+            reg.insert_results(&synth_results("synth", 48, 24, 3, seed))?;
+            reg
+        }
+        None => return Err("serve needs --results DIR or --synth".to_string()),
+    };
+    let addr = arg_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let duration_secs: u64 = parse_or(args, "--duration-secs", 0u64)?;
+    let (obs, metrics_out) = obs_from_args(args);
+
+    let cfg = serve_config_from_args(args)?;
+    eprintln!(
+        "serving {} panel(s) {:?}: {} shards, batch {}, queue {}, cache {}",
+        registry.len(),
+        registry.names(),
+        cfg.shards,
+        cfg.batch_max,
+        cfg.queue_cap,
+        cfg.cache_cap
+    );
+    let server = Server::start(registry, cfg, &obs);
+    let handle = multihit::serve::tcp::spawn(std::sync::Arc::clone(&server), &addr)
+        .map_err(|e| format!("bind {addr}: {e}"))?;
+    println!("listening on {}", handle.addr());
+
+    if duration_secs == 0 {
+        // Serve until killed; the accept loop owns the process from here.
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+    std::thread::sleep(std::time::Duration::from_secs(duration_secs));
+    handle.stop();
+    let report = server.shutdown();
+    println!("requests\t{}", report.requests);
+    println!("ok\t{}", report.ok);
+    println!("shed\t{}", report.shed);
+    println!("errors\t{}", report.errors);
+    finish_obs(&obs, metrics_out.as_deref())
+}
+
+fn cmd_loadgen(args: &[String]) -> Result<(), String> {
+    use multihit::serve::loadgen::{run, LoadgenConfig};
+
+    let cfg = LoadgenConfig {
+        clients: parse_or(args, "--clients", 8usize)?,
+        requests: parse_or(args, "--requests", 10_000u64)?,
+        profile_pool: parse_or(args, "--profiles", 512usize)?,
+        seed: parse_or(args, "--seed", 7u64)?,
+        serve: serve_config_from_args(args)?,
+    };
+    let out_path = arg_value(args, "--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let (obs, metrics_out) = obs_from_args(args);
+    // The summary below always needs the serve aggregates.
+    let obs = if obs.is_enabled() {
+        obs
+    } else {
+        Obs::enabled()
+    };
+    eprintln!(
+        "loadgen: {} clients, {} requests, pool {}, {} shards, batch {}",
+        cfg.clients, cfg.requests, cfg.profile_pool, cfg.serve.shards, cfg.serve.batch_max
+    );
+
+    let outcome = run(&cfg, &obs);
+    std::fs::write(&out_path, outcome.bench_json(&cfg) + "\n")
+        .map_err(|e| format!("{out_path}: {e}"))?;
+    println!("wrote {out_path}");
+    println!("requests\t{}", outcome.report.requests);
+    println!("ok\t{}", outcome.report.ok);
+    println!("shed\t{}", outcome.report.shed);
+    println!("lost\t{}", outcome.lost);
+    println!("divergent\t{}", outcome.divergent);
+    println!(
+        "throughput_rps\t{:.0}",
+        outcome.report.requests as f64 / outcome.elapsed_secs.max(1e-9)
+    );
+    println!(
+        "p50/p95/p99_ms\t{:.3}/{:.3}/{:.3}",
+        outcome.report.p50_latency_ns as f64 / 1e6,
+        outcome.report.p95_latency_ns as f64 / 1e6,
+        outcome.report.p99_latency_ns as f64 / 1e6
+    );
+    println!("cache_hit_rate\t{:.4}", outcome.report.cache_hit_rate());
+    println!("mean_batch_fill\t{:.4}", outcome.report.mean_batch_fill());
+    finish_obs(&obs, metrics_out.as_deref())?;
+
+    // The serving gate: any of these is a correctness failure, not a
+    // performance disappointment.
+    if outcome.lost > 0 {
+        return Err(format!("{} responses lost", outcome.lost));
+    }
+    if outcome.divergent > 0 {
+        return Err(format!(
+            "{} batched verdicts diverged from scalar classification",
+            outcome.divergent
+        ));
+    }
+    if outcome.report.shed != outcome.queue_rejections {
+        return Err(format!(
+            "shed responses ({}) do not match queue-full rejections ({})",
+            outcome.report.shed, outcome.queue_rejections
+        ));
+    }
+    Ok(())
+}
+
+const USAGE: &str = "usage: multihit <synth|discover|classify|cluster|serve|loadgen> [options]
   synth    --out-dir DIR [--genes G --tumor NT --normal NN --combos C
            --hits H --penetrance P --noise-tumor X --noise-normal Y --seed S]
   discover --tumor T.maf --normal N.maf [--hits H --max-combos N
@@ -521,7 +675,13 @@ const USAGE: &str = "usage: multihit <synth|discover|classify|cluster> [options]
   cluster  --inject SPECS [--nodes N --scheduler ea|ed|ec --seed S
            --ft-timeout-ms MS --metrics-out M.jsonl --trace]
            SPECS: rank-kill=R@K | straggler=R@F | msg-drop=F-T[@N]
-                  | msg-corrupt=F-T[@N] | ckpt-truncate=K | ckpt-bitflip=K";
+                  | msg-corrupt=F-T[@N] | ckpt-truncate=K | ckpt-bitflip=K
+  serve    (--results DIR | --synth) [--addr HOST:PORT --shards S
+           --batch-max B --queue-cap Q --cache-cap C --duration-secs T
+           --metrics-out M.jsonl --trace]
+  loadgen  [--clients N --requests R --profiles P --seed S --shards S
+           --batch-max B --queue-cap Q --cache-cap C --out BENCH_serve.json
+           --metrics-out M.jsonl --trace]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -535,6 +695,8 @@ fn main() -> ExitCode {
         "discover" => cmd_discover(rest),
         "classify" => cmd_classify(rest),
         "cluster" => cmd_cluster(rest),
+        "serve" => cmd_serve(rest),
+        "loadgen" => cmd_loadgen(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())

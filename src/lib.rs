@@ -5,9 +5,12 @@
 //! * [`core`] — the weighted-set-cover multi-hit algorithm itself;
 //! * [`data`] — synthetic TCGA-like cohorts, MAF I/O, classifiers;
 //! * [`gpusim`] — the V100-like GPU execution / cost-model substrate;
-//! * [`cluster`] — schedulers, message-passing ranks, scale-out driver.
+//! * [`cluster`] — schedulers, message-passing ranks, scale-out driver;
+//! * [`serve`] — batched, sharded classification serving over discovered
+//!   panels.
 
 pub use multihit_cluster as cluster;
 pub use multihit_core as core;
 pub use multihit_data as data;
 pub use multihit_gpusim as gpusim;
+pub use multihit_serve as serve;

@@ -127,6 +127,101 @@ fn missing_arguments_are_reported() {
 }
 
 #[test]
+fn loadgen_smoke_is_clean_and_writes_bench_json() {
+    let dir = tempdir("loadgen");
+    let bench = dir.join("BENCH_serve.json");
+    let out = bin()
+        .args([
+            "loadgen",
+            "--clients",
+            "8",
+            "--requests",
+            "3000",
+            "--profiles",
+            "128",
+            "--seed",
+            "5",
+            "--out",
+        ])
+        .arg(&bench)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "loadgen failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("lost\t0"), "{stdout}");
+    assert!(stdout.contains("divergent\t0"), "{stdout}");
+    let json = std::fs::read_to_string(&bench).unwrap();
+    for key in [
+        "\"bench\":\"serve\"",
+        "\"requests\":3000",
+        "\"lost\":0",
+        "\"divergent\":0",
+        "p50_latency_ns",
+        "p95_latency_ns",
+        "p99_latency_ns",
+        "cache_hit_rate",
+        "throughput_rps",
+        "\"shed\":",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_smoke_answers_over_tcp() {
+    // Bind an ephemeral port for a short window, classify over the socket.
+    use std::io::{BufRead, BufReader, Write};
+    let mut child = bin()
+        .args([
+            "serve",
+            "--synth",
+            "--addr",
+            "127.0.0.1:0",
+            "--duration-secs",
+            "10",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+    let mut child_out = BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    child_out.read_line(&mut line).unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {line}"))
+        .to_string();
+
+    let stream = std::net::TcpStream::connect(&addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    writer
+        .write_all(b"{\"id\":1,\"model\":\"synth\",\"genes\":\"G0,G1,G2\"}\n")
+        .unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"status\":\"ok\""), "{line}");
+    assert!(line.contains("\"id\":1"), "{line}");
+    // Unknown model errors without killing the connection.
+    writer
+        .write_all(b"{\"id\":2,\"model\":\"nope\",\"genes\":\"\"}\n")
+        .unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"status\":\"error\""), "{line}");
+    drop(writer);
+    drop(reader);
+    let _ = child.kill();
+    let _ = child.wait();
+}
+
+#[test]
 fn help_prints_usage() {
     let out = bin().arg("--help").output().unwrap();
     assert!(out.status.success());
