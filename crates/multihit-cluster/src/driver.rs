@@ -16,15 +16,17 @@ use crate::fault::{FaultState, FtParams};
 use crate::sched::{schedule_ea_fast, schedule_ed, validate_partitions, Partition};
 use crate::topology::ClusterShape;
 use multihit_core::bitmat::BitMatrix;
+use multihit_core::combin::binomial;
+use multihit_core::frontier::{self, Frontier};
 use multihit_core::obs::Obs;
 use multihit_core::par::{default_workers, par_map_indexed};
-use multihit_core::reduce::fold_partials;
+use multihit_core::reduce::{fold_partials, merge_top_k};
 use multihit_core::schemes::Scheme4;
 use multihit_core::sweep::levels_scheme4;
 use multihit_core::weight::{Alpha, Scored};
 use multihit_gpusim::counters::{apply_jitter, record_run_metrics, run_metrics};
 use multihit_gpusim::device::NodeSpec;
-use multihit_gpusim::exec::run_maxf4;
+use multihit_gpusim::exec::{run_maxf4, run_maxf4_topk};
 use multihit_gpusim::profile::{kernel_levels4, prefetch_depth4, profile_partitions};
 use multihit_gpusim::{CostModel, GpuCost};
 use std::collections::BTreeSet;
@@ -140,6 +142,9 @@ pub struct DistributedConfig {
     pub block_size: usize,
     /// Cap on discovered combinations (0 = run to full cover).
     pub max_combinations: usize,
+    /// Lazy-greedy frontier size per rank (0 disables the frontier; the
+    /// selected combinations are bit-identical either way).
+    pub frontier_k: usize,
 }
 
 impl Default for DistributedConfig {
@@ -151,6 +156,7 @@ impl Default for DistributedConfig {
             alpha: Alpha::PAPER,
             block_size: 512,
             max_combinations: 0,
+            frontier_k: frontier::DEFAULT_FRONTIER_K,
         }
     }
 }
@@ -204,6 +210,66 @@ fn de_scored(b: &[u8]) -> Scored<4> {
     }
 }
 
+/// Serialize the kernel-round verdict: the winner plus the global K-th
+/// frontier floor (40 bytes), so every rank learns the next iteration's
+/// floor alongside the combination it splices on.
+fn ser_scored_floor(v: &(Scored<4>, u64)) -> Vec<u8> {
+    let mut b = ser_scored(&v.0);
+    b.extend_from_slice(&v.1.to_le_bytes());
+    b
+}
+
+fn de_scored_floor(b: &[u8]) -> (Scored<4>, u64) {
+    (
+        de_scored(&b[..32]),
+        u64::from_le_bytes(b[32..40].try_into().unwrap()),
+    )
+}
+
+/// Serialize a rank's top-K shard for the list reduction: a `u32` count
+/// followed by `count` 32-byte [`Scored`] records.
+fn ser_scored_list(l: &Vec<Scored<4>>) -> Vec<u8> {
+    let mut b = Vec::with_capacity(4 + 32 * l.len());
+    b.extend_from_slice(
+        &u32::try_from(l.len())
+            .expect("shard fits u32")
+            .to_le_bytes(),
+    );
+    for s in l {
+        b.extend_from_slice(&ser_scored(s));
+    }
+    b
+}
+
+fn de_scored_list(b: &[u8]) -> Vec<Scored<4>> {
+    let n = u32::from_le_bytes(b[0..4].try_into().unwrap()) as usize;
+    (0..n)
+        .map(|i| de_scored(&b[4 + 32 * i..4 + 32 * (i + 1)]))
+        .collect()
+}
+
+/// Driver-held lazy-greedy frontier of a distributed run: every rank's
+/// locally retained top-K shard plus the global K-th floor from the build
+/// iteration. The union of the per-rank shards is a superset of the global
+/// top-K, so rescoring all shards and reducing with the deterministic max
+/// visits every global frontier member — any combination outside the union
+/// scored at most `floor` at build time and (numerator monotonicity, see
+/// [`multihit_core::frontier`]) at most that now.
+/// What each rank returns from a top-K kernel round: the broadcast
+/// `(winner, floor)` verdict, per-GPU combo counts, and its retained shard.
+type TopKRankResult = ((Scored<4>, u64), Vec<u64>, Vec<Scored<4>>);
+
+struct DistFrontier {
+    /// Per-**original**-rank retained lists; empty for ranks that retain
+    /// nothing (e.g. ranks that have died since the build).
+    lists: Vec<Vec<Scored<4>>>,
+    /// Global K-th score at build time (0 when `complete`).
+    floor: u64,
+    /// The shards jointly hold the entire enumeration, so every rescore
+    /// round is a hit by construction.
+    complete: bool,
+}
+
 /// Run 4-hit greedy discovery functionally across simulated ranks and GPUs.
 ///
 /// Every rank executes the kernels of its node's GPUs (via
@@ -239,6 +305,9 @@ pub fn distributed_discover4_obs(
     let mut combinations = Vec::new();
     let mut iterations = Vec::new();
     let n_gpus = cfg.shape.total_gpus();
+    let k = cfg.frontier_k;
+    let total_combos = binomial(u64::from(g), 4);
+    let mut frontier_state: Option<DistFrontier> = None;
 
     while remaining > 0 {
         if cfg.max_combinations != 0 && combinations.len() >= cfg.max_combinations {
@@ -246,63 +315,200 @@ pub fn distributed_discover4_obs(
         }
         let iter_idx = iterations.len();
         let iter_start = Instant::now();
-        let parts = cfg.scheduler.partitions_obs(cfg.scheme, g, n_gpus, obs);
-        // One OS thread per rank; each executes its GPUs' λ-ranges.
         let tumor_ref = &work_tumor;
-        let rank_results: Vec<(Option<Scored<4>>, Vec<u64>)> = run_ranks(cfg.shape.nodes, |ctx| {
-            let busy_start = Instant::now();
-            // The rank's GPUs execute via the work-stealing dispatcher: a
-            // heavy λ-partition overlaps the light ones instead of
-            // serializing behind a fixed GPU order.
-            let gpus = cfg.shape.gpus_of_rank(ctx.rank);
-            let first_gpu = gpus.start;
-            let (outs, steal) = par_map_indexed(gpus.len(), default_workers(), |i| {
-                let p = parts[first_gpu + i];
-                run_maxf4(
-                    tumor_ref,
-                    normal,
-                    cfg.alpha,
-                    cfg.scheme,
-                    p.lo,
-                    p.hi,
-                    cfg.block_size,
-                )
-            });
-            let combos: Vec<u64> = outs.iter().map(|o| o.profile.combos).collect();
-            let local = fold_partials(outs.into_iter().map(|o| o.best));
-            let busy_ns = elapsed_ns(busy_start);
-            let comm_start = Instant::now();
-            let root = ctx.reduce_to_root(local, Scored::max_det, ser_scored, de_scored);
-            // Rank 0 broadcasts the winner so every rank splices alike
-            // (here we only need it back on the driver, but the exchange
-            // exercises the real pattern).
-            let winner_bytes = ctx.broadcast(root.as_ref().map(ser_scored));
-            let comm_ns = elapsed_ns(comm_start);
-            let winner = de_scored(&winner_bytes);
-            if obs.is_enabled() {
-                obs.point(
-                    "rank_exec",
-                    &[
-                        ("iter", iter_idx.into()),
-                        ("rank", ctx.rank.into()),
-                        ("busy_ns", busy_ns.into()),
-                        ("comm_ns", comm_ns.into()),
-                        ("combos", combos.iter().sum::<u64>().into()),
-                        ("steal_blocks", steal.blocks.into()),
-                        ("steals", steal.steals.into()),
-                    ],
-                );
-                obs.counter_add("dist.rank_busy_ns", busy_ns);
-                obs.counter_add("dist.rank_comm_ns", comm_ns);
-                obs.counter_add("dist.steal_blocks", steal.blocks);
-                obs.counter_add("dist.steals", steal.steals);
-            }
-            (Some(winner), combos)
-        });
 
-        let best = rank_results[0].0.expect("root result");
-        // All ranks agreed on the winner.
-        debug_assert!(rank_results.iter().all(|(w, _)| *w == Some(best)));
+        // Lazy-greedy rescore round: every rank rescores its retained shard
+        // against the spliced matrix and the deterministic max is reduced to
+        // rank 0 and broadcast back. If the rescored best strictly clears
+        // the build-time floor it is provably the global argmax and the full
+        // kernel round is skipped.
+        let mut frontier_hit = false;
+        let mut frontier_best = Scored::NEG_INFINITY;
+        if let Some(fr) = frontier_state.as_ref() {
+            let lists_ref = &fr.lists;
+            let rank_results: Vec<Option<Scored<4>>> = run_ranks(cfg.shape.nodes, |ctx| {
+                let busy_start = Instant::now();
+                let mut local = Scored::NEG_INFINITY;
+                for e in &lists_ref[ctx.rank] {
+                    local = local.max_det(frontier::rescore_combo(
+                        tumor_ref, normal, None, &e.genes, cfg.alpha,
+                    ));
+                }
+                let busy_ns = elapsed_ns(busy_start);
+                let comm_start = Instant::now();
+                let root = ctx.reduce_to_root(local, Scored::max_det, ser_scored, de_scored);
+                let winner_bytes = ctx.broadcast(root.as_ref().map(ser_scored));
+                let comm_ns = elapsed_ns(comm_start);
+                let winner = de_scored(&winner_bytes);
+                if obs.is_enabled() {
+                    obs.point(
+                        "rank_exec",
+                        &[
+                            ("iter", iter_idx.into()),
+                            ("rank", ctx.rank.into()),
+                            ("busy_ns", busy_ns.into()),
+                            ("comm_ns", comm_ns.into()),
+                            ("combos", 0u64.into()),
+                            ("rescored", (lists_ref[ctx.rank].len() as u64).into()),
+                        ],
+                    );
+                    obs.counter_add("dist.rank_busy_ns", busy_ns);
+                    obs.counter_add("dist.rank_comm_ns", comm_ns);
+                }
+                Some(winner)
+            });
+            let w = rank_results[0].expect("root rescore result");
+            debug_assert!(rank_results.iter().all(|x| *x == Some(w)));
+            if fr.complete || w.score > fr.floor {
+                frontier_hit = true;
+                frontier_best = w;
+            }
+        }
+
+        let (best, combos_per_gpu) = if frontier_hit {
+            // The kernels never ran: zero combos on every GPU this round.
+            (frontier_best, vec![0u64; n_gpus])
+        } else if k > 0 {
+            // Full kernel round, retaining each rank's top-K shard: the
+            // shards reduce (binomial tree, count-prefixed records) to the
+            // global top-K at rank 0, whose head is the winner and whose
+            // K-th score is the floor broadcast for later rescore rounds.
+            let parts = cfg.scheduler.partitions_obs(cfg.scheme, g, n_gpus, obs);
+            let rank_results: Vec<TopKRankResult> = run_ranks(cfg.shape.nodes, |ctx| {
+                let busy_start = Instant::now();
+                let gpus = cfg.shape.gpus_of_rank(ctx.rank);
+                let first_gpu = gpus.start;
+                let (outs, steal) = par_map_indexed(gpus.len(), default_workers(), |i| {
+                    let p = parts[first_gpu + i];
+                    run_maxf4_topk(
+                        tumor_ref,
+                        normal,
+                        cfg.alpha,
+                        cfg.scheme,
+                        p.lo,
+                        p.hi,
+                        cfg.block_size,
+                        k,
+                    )
+                });
+                let combos: Vec<u64> = outs.iter().map(|(o, _)| o.profile.combos).collect();
+                let shards: Vec<Vec<Scored<4>>> = outs.into_iter().map(|(_, s)| s).collect();
+                let local_list = merge_top_k(&shards, k);
+                let busy_ns = elapsed_ns(busy_start);
+                let comm_start = Instant::now();
+                let root_list = ctx.reduce_to_root(
+                    local_list.clone(),
+                    |a, b| merge_top_k(&[a, b], k),
+                    ser_scored_list,
+                    de_scored_list,
+                );
+                let verdict = root_list.map(|l| {
+                    let fr = Frontier::new(l, total_combos);
+                    ser_scored_floor(&(fr.best(), fr.floor()))
+                });
+                let verdict_bytes = ctx.broadcast(verdict);
+                let comm_ns = elapsed_ns(comm_start);
+                let (winner, floor) = de_scored_floor(&verdict_bytes);
+                if obs.is_enabled() {
+                    obs.point(
+                        "rank_exec",
+                        &[
+                            ("iter", iter_idx.into()),
+                            ("rank", ctx.rank.into()),
+                            ("busy_ns", busy_ns.into()),
+                            ("comm_ns", comm_ns.into()),
+                            ("combos", combos.iter().sum::<u64>().into()),
+                            ("steal_blocks", steal.blocks.into()),
+                            ("steals", steal.steals.into()),
+                        ],
+                    );
+                    obs.counter_add("dist.rank_busy_ns", busy_ns);
+                    obs.counter_add("dist.rank_comm_ns", comm_ns);
+                    obs.counter_add("dist.steal_blocks", steal.blocks);
+                    obs.counter_add("dist.steals", steal.steals);
+                }
+                ((winner, floor), combos, local_list)
+            });
+            let (best, floor) = rank_results[0].0;
+            debug_assert!(rank_results.iter().all(|(v, _, _)| *v == (best, floor)));
+            frontier_state = Some(DistFrontier {
+                lists: rank_results.iter().map(|(_, _, l)| l.clone()).collect(),
+                floor,
+                complete: total_combos <= k as u64,
+            });
+            (
+                best,
+                rank_results
+                    .iter()
+                    .flat_map(|(_, c, _)| c.iter().copied())
+                    .collect(),
+            )
+        } else {
+            let parts = cfg.scheduler.partitions_obs(cfg.scheme, g, n_gpus, obs);
+            // One OS thread per rank; each executes its GPUs' λ-ranges.
+            let rank_results: Vec<(Option<Scored<4>>, Vec<u64>)> =
+                run_ranks(cfg.shape.nodes, |ctx| {
+                    let busy_start = Instant::now();
+                    // The rank's GPUs execute via the work-stealing dispatcher: a
+                    // heavy λ-partition overlaps the light ones instead of
+                    // serializing behind a fixed GPU order.
+                    let gpus = cfg.shape.gpus_of_rank(ctx.rank);
+                    let first_gpu = gpus.start;
+                    let (outs, steal) = par_map_indexed(gpus.len(), default_workers(), |i| {
+                        let p = parts[first_gpu + i];
+                        run_maxf4(
+                            tumor_ref,
+                            normal,
+                            cfg.alpha,
+                            cfg.scheme,
+                            p.lo,
+                            p.hi,
+                            cfg.block_size,
+                        )
+                    });
+                    let combos: Vec<u64> = outs.iter().map(|o| o.profile.combos).collect();
+                    let local = fold_partials(outs.into_iter().map(|o| o.best));
+                    let busy_ns = elapsed_ns(busy_start);
+                    let comm_start = Instant::now();
+                    let root = ctx.reduce_to_root(local, Scored::max_det, ser_scored, de_scored);
+                    // Rank 0 broadcasts the winner so every rank splices alike
+                    // (here we only need it back on the driver, but the exchange
+                    // exercises the real pattern).
+                    let winner_bytes = ctx.broadcast(root.as_ref().map(ser_scored));
+                    let comm_ns = elapsed_ns(comm_start);
+                    let winner = de_scored(&winner_bytes);
+                    if obs.is_enabled() {
+                        obs.point(
+                            "rank_exec",
+                            &[
+                                ("iter", iter_idx.into()),
+                                ("rank", ctx.rank.into()),
+                                ("busy_ns", busy_ns.into()),
+                                ("comm_ns", comm_ns.into()),
+                                ("combos", combos.iter().sum::<u64>().into()),
+                                ("steal_blocks", steal.blocks.into()),
+                                ("steals", steal.steals.into()),
+                            ],
+                        );
+                        obs.counter_add("dist.rank_busy_ns", busy_ns);
+                        obs.counter_add("dist.rank_comm_ns", comm_ns);
+                        obs.counter_add("dist.steal_blocks", steal.blocks);
+                        obs.counter_add("dist.steals", steal.steals);
+                    }
+                    (Some(winner), combos)
+                });
+
+            let best = rank_results[0].0.expect("root result");
+            // All ranks agreed on the winner.
+            debug_assert!(rank_results.iter().all(|(w, _)| *w == Some(best)));
+            (
+                best,
+                rank_results
+                    .iter()
+                    .flat_map(|(_, c)| c.iter().copied())
+                    .collect(),
+            )
+        };
         if best.tp == 0 {
             break;
         }
@@ -317,10 +523,7 @@ pub fn distributed_discover4_obs(
         iterations.push(DistIteration {
             best,
             remaining,
-            combos_per_gpu: rank_results
-                .iter()
-                .flat_map(|(_, c)| c.iter().copied())
-                .collect(),
+            combos_per_gpu,
         });
         if obs.is_enabled() {
             obs.point(
@@ -330,9 +533,13 @@ pub fn distributed_discover4_obs(
                     ("iter_ns", elapsed_ns(iter_start).into()),
                     ("newly_covered", u64::from(best.tp).into()),
                     ("remaining", u64::from(remaining).into()),
+                    ("frontier_hit", u64::from(frontier_hit).into()),
                 ],
             );
             obs.counter_add("dist.iterations", 1);
+            if frontier_hit {
+                obs.counter_add("dist.frontier_hits", 1);
+            }
         }
     }
 
@@ -376,6 +583,12 @@ enum RankOutcome {
     /// Normal completion: the broadcast verdict and this rank's audit data.
     Done {
         winner: Scored<4>,
+        /// Global K-th frontier floor from the verdict (0 outside top-K
+        /// kernel rounds).
+        floor: u64,
+        /// This rank's retained top-K shard (empty outside top-K kernel
+        /// rounds).
+        list: Vec<Scored<4>>,
         combos: Vec<u64>,
         stats: FtStats,
     },
@@ -433,6 +646,9 @@ pub fn distributed_discover4_ft(
     // Original rank ids still alive; position in this vector is the compact
     // rank id inside the current mesh.
     let mut alive: Vec<usize> = (0..cfg.shape.nodes).collect();
+    let k = cfg.frontier_k;
+    let total_combos = binomial(u64::from(g), 4);
+    let mut frontier_state: Option<DistFrontier> = None;
 
     'outer: while remaining > 0 {
         if cfg.max_combinations != 0 && combinations.len() >= cfg.max_combinations {
@@ -444,13 +660,24 @@ pub fn distributed_discover4_ft(
         let iter_idx = iterations.len();
         let iter_start = Instant::now();
         let mut fruitless_attempts = 0u32;
+        // Attempt the cheap frontier-rescore round first whenever a frontier
+        // is live; any failed attempt invalidates it (a dead rank's shard is
+        // gone) and falls back to the full kernels.
+        let mut try_frontier = k > 0 && frontier_state.is_some();
+        let mut frontier_hit = false;
         let (best, combos_per_gpu) = loop {
             let n_ranks = alive.len();
             let n_gpus = n_ranks * cfg.shape.gpus_per_node;
-            let parts = cfg.scheduler.partitions_obs(cfg.scheme, g, n_gpus, obs);
-            debug_assert!(validate_partitions(&parts, total_threads).is_ok());
+            let rescore_round = try_frontier;
+            let parts = if rescore_round {
+                Vec::new()
+            } else {
+                cfg.scheduler.partitions_obs(cfg.scheme, g, n_gpus, obs)
+            };
+            debug_assert!(rescore_round || validate_partitions(&parts, total_threads).is_ok());
             let tumor_ref = &work_tumor;
             let alive_ref = &alive;
+            let lists_ref = frontier_state.as_ref().map(|f| &f.lists);
             let outcomes: Vec<RankOutcome> = run_ranks(n_ranks, |ctx| {
                 let orig = alive_ref[ctx.rank];
                 if let Some(f) = faults {
@@ -460,20 +687,51 @@ pub fn distributed_discover4_ft(
                 }
                 let busy_start = Instant::now();
                 let mut local = Scored::NEG_INFINITY;
+                let mut local_list: Vec<Scored<4>> = Vec::new();
                 let mut combos = Vec::new();
-                for slot in 0..cfg.shape.gpus_per_node {
-                    let p = parts[ctx.rank * cfg.shape.gpus_per_node + slot];
-                    let out = run_maxf4(
-                        tumor_ref,
-                        normal,
-                        cfg.alpha,
-                        cfg.scheme,
-                        p.lo,
-                        p.hi,
-                        cfg.block_size,
-                    );
-                    combos.push(out.profile.combos);
-                    local = local.max_det(out.best);
+                if rescore_round {
+                    // Rescore the retained shard instead of scanning; the
+                    // kernels never run, so every GPU audits zero combos.
+                    for e in &lists_ref.expect("live frontier")[orig] {
+                        local = local.max_det(frontier::rescore_combo(
+                            tumor_ref, normal, None, &e.genes, cfg.alpha,
+                        ));
+                    }
+                    combos = vec![0u64; cfg.shape.gpus_per_node];
+                } else if k > 0 {
+                    let mut shards = Vec::new();
+                    for slot in 0..cfg.shape.gpus_per_node {
+                        let p = parts[ctx.rank * cfg.shape.gpus_per_node + slot];
+                        let (out, shard) = run_maxf4_topk(
+                            tumor_ref,
+                            normal,
+                            cfg.alpha,
+                            cfg.scheme,
+                            p.lo,
+                            p.hi,
+                            cfg.block_size,
+                            k,
+                        );
+                        combos.push(out.profile.combos);
+                        local = local.max_det(out.best);
+                        shards.push(shard);
+                    }
+                    local_list = merge_top_k(&shards, k);
+                } else {
+                    for slot in 0..cfg.shape.gpus_per_node {
+                        let p = parts[ctx.rank * cfg.shape.gpus_per_node + slot];
+                        let out = run_maxf4(
+                            tumor_ref,
+                            normal,
+                            cfg.alpha,
+                            cfg.scheme,
+                            p.lo,
+                            p.hi,
+                            cfg.block_size,
+                        );
+                        combos.push(out.profile.combos);
+                        local = local.max_det(out.best);
+                    }
                 }
                 let busy_ns = elapsed_ns(busy_start);
                 let combos_total: u64 = combos.iter().sum();
@@ -489,29 +747,61 @@ pub fn distributed_discover4_ft(
                 }
                 let comm_start = Instant::now();
                 let mut ft = FtCtx::new(&ctx, params, faults, iter_idx);
-                let red = ft.reduce_to_root(local, Scored::max_det, ser_scored, de_scored);
+                // Top-K kernel rounds reduce the rank shards (the merged
+                // head is the winner, the merged K-th the floor); every
+                // other round reduces the single 32-byte winner with a zero
+                // floor. Either way the verdict broadcast is (winner, floor).
+                let (root_verdict, red_dead, red_failed, red_parent_dead) =
+                    if !rescore_round && k > 0 {
+                        let red = ft.reduce_to_root(
+                            local_list.clone(),
+                            |a, b| merge_top_k(&[a, b], k),
+                            ser_scored_list,
+                            de_scored_list,
+                        );
+                        (
+                            red.root_value.map(|l| {
+                                let fr = Frontier::new(l, total_combos);
+                                (fr.best(), fr.floor())
+                            }),
+                            red.dead,
+                            red.failed,
+                            red.parent_dead,
+                        )
+                    } else {
+                        let red = ft.reduce_to_root(local, Scored::max_det, ser_scored, de_scored);
+                        (
+                            red.root_value.map(|w| (w, 0u64)),
+                            red.dead,
+                            red.failed,
+                            red.parent_dead,
+                        )
+                    };
                 let to_orig =
                     |d: &BTreeSet<usize>| d.iter().map(|&c| alive_ref[c]).collect::<Vec<_>>();
-                if red.parent_dead {
+                if red_parent_dead {
                     return RankOutcome::Aborted {
-                        dead: to_orig(&red.dead),
+                        dead: to_orig(&red_dead),
                         combos,
                         stats: ft.stats,
                     };
                 }
                 let verdict = if ctx.rank == 0 {
-                    Some(if red.failed {
-                        BcastMsg::Abort(red.dead.iter().copied().collect())
+                    Some(if red_failed {
+                        BcastMsg::Abort(red_dead.iter().copied().collect())
                     } else {
-                        BcastMsg::Value(ser_scored(&red.root_value.expect("root fold")))
+                        BcastMsg::Value(ser_scored_floor(&root_verdict.expect("root fold")))
                     })
                 } else {
                     None
                 };
                 let outcome = match ft.broadcast(verdict) {
                     Ok((BcastMsg::Value(v), suspects)) if suspects.is_empty() => {
+                        let (winner, floor) = de_scored_floor(&v);
                         RankOutcome::Done {
-                            winner: de_scored(&v),
+                            winner,
+                            floor,
+                            list: local_list,
                             combos,
                             stats: ft.stats,
                         }
@@ -531,7 +821,7 @@ pub fn distributed_discover4_ft(
                         }
                     }
                     Err(_) => RankOutcome::Aborted {
-                        dead: to_orig(&red.dead),
+                        dead: to_orig(&red_dead),
                         combos,
                         stats: ft.stats,
                     },
@@ -554,19 +844,23 @@ pub fn distributed_discover4_ft(
 
             let mut dead: BTreeSet<usize> = BTreeSet::new();
             let mut all_done = true;
-            let mut winner: Option<Scored<4>> = None;
+            let mut winner: Option<(Scored<4>, u64)> = None;
             let mut attempt_combos: Vec<u64> = Vec::new();
+            let mut rank_lists: Vec<Vec<Scored<4>>> = vec![Vec::new(); cfg.shape.nodes];
             for (i, out) in outcomes.iter().enumerate() {
                 match out {
                     RankOutcome::Done {
                         winner: w,
+                        floor,
+                        list,
                         combos,
                         stats,
                     } => {
                         if i == 0 {
-                            winner = Some(*w);
+                            winner = Some((*w, *floor));
                         }
-                        debug_assert!(winner.is_none_or(|ww| ww == *w));
+                        debug_assert!(winner.is_none_or(|(ww, ff)| ww == *w && ff == *floor));
+                        rank_lists[alive[i]] = list.clone();
                         attempt_combos.extend_from_slice(combos);
                         recovery.ft.merge(stats);
                     }
@@ -588,10 +882,34 @@ pub fn distributed_discover4_ft(
             }
 
             if all_done {
-                break (winner.expect("root outcome"), attempt_combos);
+                let (w, floor) = winner.expect("root outcome");
+                if rescore_round {
+                    let fr = frontier_state.as_ref().expect("live frontier");
+                    if fr.complete || w.score > fr.floor {
+                        frontier_hit = true;
+                        break (w, attempt_combos);
+                    }
+                    // Floor miss: discard the (cheap) rescore round and fall
+                    // through to a full kernel attempt.
+                    try_frontier = false;
+                    continue;
+                }
+                if k > 0 {
+                    frontier_state = Some(DistFrontier {
+                        lists: rank_lists,
+                        floor,
+                        complete: total_combos <= k as u64,
+                    });
+                }
+                break (w, attempt_combos);
             }
 
             // Failed attempt: discard its work, drop the dead, re-execute.
+            // Dead ranks take their frontier shards with them, so the
+            // frontier is invalidated and the retry runs the full kernels —
+            // keeping the discovery bit-identical to the fault-free run.
+            frontier_state = None;
+            try_frontier = false;
             recovery.re_executed_iterations += 1;
             let wasted: u64 = attempt_combos.iter().sum();
             recovery.re_executed_combos += wasted;
@@ -649,9 +967,13 @@ pub fn distributed_discover4_ft(
                     ("iter_ns", elapsed_ns(iter_start).into()),
                     ("newly_covered", u64::from(best.tp).into()),
                     ("remaining", u64::from(remaining).into()),
+                    ("frontier_hit", u64::from(frontier_hit).into()),
                 ],
             );
             obs.counter_add("dist.iterations", 1);
+            if frontier_hit {
+                obs.counter_add("dist.frontier_hits", 1);
+            }
         }
     }
 
@@ -1184,6 +1506,116 @@ mod tests {
         assert_eq!(ft.recovery.dead_ranks, Vec::<usize>::new());
         for (a, b) in ft.result.iterations.iter().zip(&plain.iterations) {
             assert_eq!(a.best, b.best);
+            assert_eq!(a.combos_per_gpu, b.combos_per_gpu);
+        }
+    }
+
+    #[test]
+    fn frontier_driver_matches_disabled_frontier_driver() {
+        let (t, n) = lcg_matrices(11, 90, 60, 13);
+        let total = binomial(11, 4);
+        for nodes in [1, 4] {
+            let base = DistributedConfig {
+                shape: ClusterShape {
+                    nodes,
+                    gpus_per_node: 2,
+                },
+                ..DistributedConfig::default()
+            };
+            let full = distributed_discover4(
+                &t,
+                &n,
+                &DistributedConfig {
+                    frontier_k: 0,
+                    ..base
+                },
+            );
+            let obs = Obs::enabled();
+            let lazy = distributed_discover4_obs(&t, &n, &base, &obs);
+            assert_eq!(lazy.combinations, full.combinations, "{nodes} nodes");
+            assert_eq!(lazy.uncovered, full.uncovered, "{nodes} nodes");
+            for (a, b) in lazy.iterations.iter().zip(&full.iterations) {
+                assert_eq!(a.best, b.best);
+                assert_eq!(a.remaining, b.remaining);
+            }
+            // Every iteration either skipped the kernels outright (hit) or
+            // rescanned the full enumeration (floor miss), and the hit
+            // counter agrees with the audit.
+            let hits = lazy
+                .iterations
+                .iter()
+                .filter(|it| {
+                    let sum: u64 = it.combos_per_gpu.iter().sum();
+                    assert!(sum == 0 || sum == total, "partial scan audited: {sum}");
+                    sum == 0
+                })
+                .count() as u64;
+            assert_eq!(
+                obs.counters()
+                    .get("dist.frontier_hits")
+                    .copied()
+                    .unwrap_or(0),
+                hits,
+                "{nodes} nodes"
+            );
+        }
+    }
+
+    #[test]
+    fn complete_frontier_skips_every_later_kernel_round() {
+        let (t, n) = lcg_matrices(9, 70, 40, 3);
+        // K >= C(9,4): the frontier holds the whole enumeration, so every
+        // iteration after the first is a hit by construction.
+        let total = binomial(9, 4);
+        let cfg = DistributedConfig {
+            shape: ClusterShape {
+                nodes: 2,
+                gpus_per_node: 2,
+            },
+            frontier_k: total as usize,
+            ..DistributedConfig::default()
+        };
+        let lazy = distributed_discover4(&t, &n, &cfg);
+        let full = distributed_discover4(
+            &t,
+            &n,
+            &DistributedConfig {
+                frontier_k: 0,
+                ..cfg
+            },
+        );
+        assert_eq!(lazy.combinations, full.combinations);
+        assert!(lazy.iterations.len() > 1, "fixture should iterate");
+        for (i, it) in lazy.iterations.iter().enumerate() {
+            let sum: u64 = it.combos_per_gpu.iter().sum();
+            assert_eq!(sum, if i == 0 { total } else { 0 }, "iteration {i}");
+        }
+    }
+
+    #[test]
+    fn ft_frontier_driver_matches_plain_frontier_driver() {
+        let (t, n) = lcg_matrices(11, 90, 60, 13);
+        let cfg = DistributedConfig {
+            shape: ClusterShape {
+                nodes: 3,
+                gpus_per_node: 2,
+            },
+            ..DistributedConfig::default()
+        };
+        assert!(cfg.frontier_k > 0);
+        let plain = distributed_discover4(&t, &n, &cfg);
+        let ft = distributed_discover4_ft(
+            &t,
+            &n,
+            &cfg,
+            None,
+            crate::fault::FtParams::fast_test(),
+            &Obs::disabled(),
+        );
+        assert_eq!(ft.result.combinations, plain.combinations);
+        // Hit/miss decisions are deterministic, so the per-GPU audits agree
+        // exactly — including the all-zero rows of frontier-hit iterations.
+        for (a, b) in ft.result.iterations.iter().zip(&plain.iterations) {
             assert_eq!(a.combos_per_gpu, b.combos_per_gpu);
         }
     }

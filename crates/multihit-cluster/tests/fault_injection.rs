@@ -65,7 +65,13 @@ fn reference(t: &BitMatrix, n: &BitMatrix, max: usize) -> Vec<[u32; 4]> {
 #[test]
 fn killing_any_rank_at_any_iteration_preserves_the_answer() {
     let (t, n) = lcg_matrices(11, 90, 60, 13);
-    let cfg = four_rank_config();
+    // frontier_k: 0 pins the kernel-recovery path: with the lazy-greedy
+    // frontier on, a kill landing in a rescore round wastes zero kernel
+    // combos by design (covered by the frontier-specific fault tests).
+    let cfg = DistributedConfig {
+        frontier_k: 0,
+        ..four_rank_config()
+    };
     let expect = reference(&t, &n, cfg.max_combinations);
     assert_eq!(expect.len(), 3, "fixture should run 3 iterations");
 
@@ -86,6 +92,38 @@ fn killing_any_rank_at_any_iteration_preserves_the_answer() {
             let report = multihit_core::RunReport::from_json_lines(&obs.to_json_lines()).unwrap();
             assert_eq!(report.dead_ranks(), 1, "{spec}");
             assert!(report.re_executed_combos() > 0, "{spec}");
+        }
+    }
+}
+
+/// Frontier-enabled fault runs: with the lazy-greedy frontier on (the
+/// default), killing each rank at each iteration must still produce
+/// combinations bit-identical to the single-process reference — a kill
+/// during a rescore round invalidates the frontier (the dead rank's shard
+/// is gone) and the survivors re-run the full kernels.
+#[test]
+fn frontier_fault_runs_stay_bit_identical() {
+    let (t, n) = lcg_matrices(11, 90, 60, 13);
+    let cfg = four_rank_config();
+    assert!(cfg.frontier_k > 0, "frontier should default on");
+    let expect = reference(&t, &n, cfg.max_combinations);
+
+    for iter in 0..expect.len() {
+        for rank in 0..cfg.shape.nodes {
+            let spec = format!("rank-kill={rank}@{iter}");
+            let plan = FaultPlan::parse(&spec, 7).unwrap();
+            let faults = FaultState::new(plan, &Obs::disabled());
+            let ft = distributed_discover4_ft(
+                &t,
+                &n,
+                &cfg,
+                Some(&faults),
+                FtParams::fast_test(),
+                &Obs::disabled(),
+            );
+            assert_eq!(ft.result.combinations, expect, "{spec}");
+            assert_eq!(ft.recovery.dead_ranks, vec![rank], "{spec}");
+            assert!(ft.recovery.re_executed_iterations >= 1, "{spec}");
         }
     }
 }

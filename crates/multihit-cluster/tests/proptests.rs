@@ -207,6 +207,61 @@ proptest! {
     }
 
     #[test]
+    fn frontier_distributed_discovery_equals_disabled_frontier(
+        seed in 0u64..10_000,
+        density in 2u64..5,
+    ) {
+        use multihit_cluster::driver::{distributed_discover4, DistributedConfig};
+        use multihit_cluster::topology::ClusterShape;
+        use multihit_core::bitmat::BitMatrix;
+
+        let g = 10usize;
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        let mut t = BitMatrix::zeros(g, 70);
+        let mut n = BitMatrix::zeros(g, 40);
+        for gene in 0..g {
+            for s in 0..70 {
+                if next() % density == 0 {
+                    t.set(gene, s, true);
+                }
+            }
+            for s in 0..40 {
+                if next() % (density + 2) == 0 {
+                    n.set(gene, s, true);
+                }
+            }
+        }
+        for nodes in [1usize, 4] {
+            let base = DistributedConfig {
+                shape: ClusterShape { nodes, gpus_per_node: 2 },
+                max_combinations: 3,
+                frontier_k: 0,
+                ..DistributedConfig::default()
+            };
+            let reference = distributed_discover4(&t, &n, &base);
+            // K = 1 can never strictly clear its own floor (every rescore
+            // round misses and falls back to the kernels); larger K gets
+            // genuine hits.
+            for k in [1usize, 4, 64] {
+                let lazy = distributed_discover4(
+                    &t,
+                    &n,
+                    &DistributedConfig { frontier_k: k, ..base },
+                );
+                prop_assert!(
+                    lazy.combinations == reference.combinations,
+                    "diverged at nodes {nodes} k {k}"
+                );
+                prop_assert_eq!(lazy.uncovered, reference.uncovered);
+            }
+        }
+    }
+
+    #[test]
     fn reduce_to_root_is_order_independent(
         size in 1usize..10,
         values in prop::collection::vec(0u64..1000, 10),

@@ -38,6 +38,7 @@
 
 use crate::bitmat::BitMatrix;
 use crate::combin::{binomial, unrank_tuple};
+use crate::frontier::{self, Frontier, TopK};
 use crate::kernel;
 use crate::obs::Obs;
 use crate::par::{self, BlockQueue};
@@ -80,6 +81,11 @@ pub struct GreedyConfig {
     /// Skip subtrees whose F upper bound cannot beat the running best.
     /// Exact: the selected combinations are bit-identical either way.
     pub prune: bool,
+    /// Lazy-greedy frontier size: retain the top-K combinations after a
+    /// full scan and skip later scans whose argmax the frontier proves
+    /// (see [`crate::frontier`]). 0 disables the frontier; the selected
+    /// combinations are bit-identical either way.
+    pub frontier_k: usize,
 }
 
 impl Default for GreedyConfig {
@@ -90,6 +96,7 @@ impl Default for GreedyConfig {
             max_combinations: 0,
             parallel: true,
             prune: true,
+            frontier_k: frontier::DEFAULT_FRONTIER_K,
         }
     }
 }
@@ -412,6 +419,103 @@ impl<'a, const H: usize> ComboScanner<'a, H> {
             return true;
         }
     }
+
+    /// Scan `count` combinations accumulating the top-K into `acc`, with
+    /// optional branch-and-bound pruning against the accumulator's floor.
+    ///
+    /// The cut requires a *full* heap: with K entries, each scoring at
+    /// least the floor and each colex-earlier than the subtree (this
+    /// worker scans monotonically increasing ranges), every subtree
+    /// member whose bound does not exceed the floor loses the entry rule
+    /// to all K incumbents — so the pruned per-shard result is identical
+    /// to [`crate::reduce::top_k`] over the shard. `shared`, when given,
+    /// carries the highest *full-heap* floor published by any worker;
+    /// since K combinations elsewhere score at least it, the shared cut
+    /// is strict.
+    pub fn scan_topk(
+        &mut self,
+        count: u64,
+        acc: &mut TopK<H>,
+        prune: bool,
+        shared: Option<&AtomicU64>,
+        stats: &mut ScanStats,
+    ) {
+        let mut remaining = count;
+        while remaining > 0 {
+            let s = self.score_current();
+            stats.scored += 1;
+            if acc.offer(s) && acc.is_full() {
+                if let Some(sh) = shared {
+                    sh.fetch_max(acc.floor_score(), Ordering::Relaxed);
+                }
+            }
+            remaining -= 1;
+            if remaining == 0 {
+                break;
+            }
+            let more = if prune {
+                self.advance_topk(&mut remaining, acc, shared, stats)
+            } else {
+                self.advance()
+            };
+            if !more {
+                break;
+            }
+        }
+    }
+
+    /// [`Self::advance_pruned`] for top-K accumulation: a subtree is cut
+    /// only when the local heap is full and the bound does not beat its
+    /// floor, or when the bound is strictly below the shared full-heap
+    /// floor.
+    fn advance_topk(
+        &mut self,
+        remaining: &mut u64,
+        acc: &TopK<H>,
+        shared: Option<&AtomicU64>,
+        stats: &mut ScanStats,
+    ) -> bool {
+        let mut from = 0usize;
+        'advance: loop {
+            let mut moved = usize::MAX;
+            for t in from..H {
+                let limit = if t + 1 < H { self.combo[t + 1] } else { self.g };
+                if self.combo[t] + 1 < limit {
+                    self.combo[t] += 1;
+                    for (low, c) in self.combo.iter_mut().enumerate().take(t) {
+                        *c = low as u32;
+                    }
+                    moved = t;
+                    break;
+                }
+            }
+            if moved == usize::MAX {
+                return false;
+            }
+            for level in (0..=moved).rev() {
+                self.rebuild_level(level);
+                if level == 0 {
+                    break;
+                }
+                let bound = self.alpha.score(self.pop_t[level], self.n_normal);
+                let cut = (acc.is_full() && bound <= acc.floor_score())
+                    || shared.is_some_and(|sh| bound < sh.load(Ordering::Relaxed));
+                if cut {
+                    let subtree = binomial(u64::from(self.combo[level]), level as u64);
+                    let skipped = subtree.min(*remaining);
+                    stats.pruned_subtrees += 1;
+                    stats.pruned_combos += skipped;
+                    *remaining -= skipped;
+                    if *remaining == 0 {
+                        return true;
+                    }
+                    from = level;
+                    continue 'advance;
+                }
+            }
+            return true;
+        }
+    }
 }
 
 /// Find the argmax-F combination over all `C(G,H)` candidates.
@@ -444,6 +548,25 @@ pub fn best_combination_stats<const H: usize>(
     tumor_mask: Option<&[u64]>,
     cfg: &GreedyConfig,
 ) -> (Scored<H>, ScanStats) {
+    best_combination_seeded(tumor, normal, tumor_mask, cfg, 0)
+}
+
+/// [`best_combination_stats`] with the shared pruning bound *seeded*.
+///
+/// `seed_score` must be a score some combination of the **current**
+/// matrices actually achieves (e.g. the previous iteration's global floor
+/// after rescoring) or 0: the shared cut drops subtrees whose bound is
+/// strictly below it, which is exact only when a real combination
+/// witnesses the seed. Seeding never changes the returned argmax — it
+/// only lets the scan start hot instead of from zero.
+#[must_use]
+pub fn best_combination_seeded<const H: usize>(
+    tumor: &BitMatrix,
+    normal: &BitMatrix,
+    tumor_mask: Option<&[u64]>,
+    cfg: &GreedyConfig,
+    seed_score: u64,
+) -> (Scored<H>, ScanStats) {
     let g = tumor.n_genes() as u64;
     let total = binomial(g, H as u64);
     let mut stats = ScanStats::default();
@@ -460,7 +583,8 @@ pub fn best_combination_stats<const H: usize>(
     if workers == 1 {
         let mut sc = ComboScanner::<H>::new(tumor, normal, tumor_mask, cfg.alpha, 0);
         let best = if cfg.prune {
-            sc.scan_pruned(total, Scored::NEG_INFINITY, None, &mut stats)
+            let shared = (seed_score > 0).then(|| AtomicU64::new(seed_score));
+            sc.scan_pruned(total, Scored::NEG_INFINITY, shared.as_ref(), &mut stats)
         } else {
             stats.scored = total;
             sc.scan(total)
@@ -469,7 +593,7 @@ pub fn best_combination_stats<const H: usize>(
         return (best, stats);
     }
     let queue = BlockQueue::new(total, workers);
-    let shared = AtomicU64::new(0);
+    let shared = AtomicU64::new(seed_score);
     let results = par::run_workers(workers, |_| {
         let mut local = Scored::NEG_INFINITY;
         let mut st = ScanStats::default();
@@ -493,6 +617,72 @@ pub fn best_combination_stats<const H: usize>(
     }
     let best = fold_partials(results.into_iter().map(|(b, _)| b));
     (best, stats)
+}
+
+/// Full scan that also *builds* the lazy-greedy frontier: the global
+/// top-`cfg.frontier_k` list (merged across workers with the same rule as
+/// [`crate::reduce::merge_top_k`]) plus its K-th-score floor.
+///
+/// The returned argmax is bit-identical to [`best_combination_stats`]:
+/// it is the head of the deterministic top-K. Pruning uses the weaker
+/// full-heap-floor cut (a subtree may hold a top-K member even when it
+/// cannot hold the argmax), so iteration-1 costs somewhat more than the
+/// 1-best scan — the frontier pays that back on every skipped iteration.
+/// `seed_floor` hot-starts the shared cut; it must be witnessed by
+/// `cfg.frontier_k` current combinations (the rescored frontier's K-th
+/// score qualifies) or be 0.
+#[must_use]
+pub fn best_combination_frontier<const H: usize>(
+    tumor: &BitMatrix,
+    normal: &BitMatrix,
+    tumor_mask: Option<&[u64]>,
+    cfg: &GreedyConfig,
+    seed_floor: u64,
+) -> (Scored<H>, ScanStats, Frontier<H>) {
+    let g = tumor.n_genes() as u64;
+    let total = binomial(g, H as u64);
+    let k = cfg.frontier_k;
+    let mut stats = ScanStats::default();
+    if total == 0 {
+        return (Scored::NEG_INFINITY, stats, Frontier::new(Vec::new(), 0));
+    }
+    let workers = if cfg.parallel {
+        let cap = usize::try_from(total.div_ceil(par::DEFAULT_MIN_GRAIN)).unwrap_or(usize::MAX);
+        par::default_workers().min(cap).max(1)
+    } else {
+        1
+    };
+    if workers == 1 {
+        let mut acc = TopK::new(k);
+        let mut sc = ComboScanner::<H>::new(tumor, normal, tumor_mask, cfg.alpha, 0);
+        let shared = (seed_floor > 0).then(|| AtomicU64::new(seed_floor));
+        sc.scan_topk(total, &mut acc, cfg.prune, shared.as_ref(), &mut stats);
+        stats.blocks = 1;
+        let fr = Frontier::new(acc.into_sorted(), total);
+        return (fr.best(), stats, fr);
+    }
+    let queue = BlockQueue::new(total, workers);
+    let shared = AtomicU64::new(seed_floor);
+    let results = par::run_workers(workers, |_| {
+        let mut acc = TopK::new(k);
+        let mut st = ScanStats::default();
+        while let Some((lo, hi)) = queue.next() {
+            st.blocks += 1;
+            let mut sc = ComboScanner::<H>::new(tumor, normal, tumor_mask, cfg.alpha, lo);
+            sc.scan_topk(hi - lo, &mut acc, cfg.prune, Some(&shared), &mut st);
+        }
+        if st.blocks > 0 {
+            st.steals = st.blocks - 1;
+        }
+        (acc.into_sorted(), st)
+    });
+    let mut shards = Vec::with_capacity(results.len());
+    for (shard, st) in results {
+        stats.merge(&st);
+        shards.push(shard);
+    }
+    let fr = Frontier::from_shards(&shards, k, total);
+    (fr.best(), stats, fr)
 }
 
 /// Run the full greedy weighted-set-cover discovery for `H`-hit
@@ -528,6 +718,8 @@ pub fn discover_obs<const H: usize>(
     let mut remaining = n_tumor;
     let mut combinations = Vec::new();
     let mut iterations = Vec::new();
+    // Lazy-greedy frontier, carried across iterations (see `frontier`).
+    let mut frontier_state: Option<Frontier<H>> = None;
 
     while remaining > 0 {
         if cfg.max_combinations != 0 && combinations.len() >= cfg.max_combinations {
@@ -539,8 +731,43 @@ pub fn discover_obs<const H: usize>(
             Exclusion::Mask => Some(mask.as_slice()),
         };
         let combos_scored = binomial(work_tumor.n_genes() as u64, H as u64);
+        let mut frontier_hit = false;
+        let mut frontier_rescored = 0u64;
         let scan_start = Instant::now();
-        let (best, scan_stats) = best_combination_stats::<H>(&work_tumor, normal, mask_arg, cfg);
+        let (best, scan_stats) = if cfg.frontier_k > 0 {
+            // Rescore the retained top-K; a strict floor clear proves the
+            // global argmax without scanning. On a miss, rebuild the
+            // frontier with the shared cut seeded from the rescored K-th
+            // score (witnessed by K current combinations).
+            let mut seed_floor = 0u64;
+            let mut hit = None;
+            if let Some(fr) = frontier_state.as_ref() {
+                let r = fr.rescore(&work_tumor, normal, mask_arg, cfg.alpha);
+                frontier_rescored = r.rescored;
+                if fr.is_hit(&r.best) {
+                    frontier_hit = true;
+                    hit = Some((r.best, ScanStats::default()));
+                } else {
+                    seed_floor = r.kth_score;
+                }
+            }
+            match hit {
+                Some(found) => found,
+                None => {
+                    let (best, st, fr) = best_combination_frontier::<H>(
+                        &work_tumor,
+                        normal,
+                        mask_arg,
+                        cfg,
+                        seed_floor,
+                    );
+                    frontier_state = Some(fr);
+                    (best, st)
+                }
+            }
+        } else {
+            best_combination_stats::<H>(&work_tumor, normal, mask_arg, cfg)
+        };
         let scan_ns = u64::try_from(scan_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         if best.tp == 0 {
             // No combination covers any remaining tumor sample: stall.
@@ -594,10 +821,15 @@ pub fn discover_obs<const H: usize>(
                     ("pruned_subtrees", scan_stats.pruned_subtrees.into()),
                     ("steal_blocks", scan_stats.blocks.into()),
                     ("steals", scan_stats.steals.into()),
+                    ("frontier_hit", u64::from(frontier_hit).into()),
+                    ("frontier_rescored", frontier_rescored.into()),
                     ("kernel", kernel::active().name().into()),
                 ],
             );
             obs.counter_add("greedy.iterations", 1);
+            obs.counter_add("greedy.frontier_hits", u64::from(frontier_hit));
+            obs.counter_add("greedy.frontier_rescored", frontier_rescored);
+            obs.counter_add("greedy.full_rescans", u64::from(!frontier_hit));
             obs.counter_add("greedy.combos_scored", combos_scored);
             obs.counter_add("greedy.scan_scored", scan_stats.scored);
             obs.counter_add("greedy.pruned_combos", scan_stats.pruned_combos);
@@ -978,6 +1210,164 @@ mod tests {
             },
         );
         assert_eq!(res.combinations.len(), 1);
+    }
+
+    #[test]
+    fn frontier_scan_matches_stats_scan_and_brute_top_k() {
+        use crate::reduce::top_k;
+        for (k, seed) in [(1usize, 3u64), (4, 17), (64, 99)] {
+            let (t, n) = lcg_matrices(12, 120, 60, seed);
+            let cfg = GreedyConfig {
+                parallel: false,
+                frontier_k: k,
+                ..GreedyConfig::default()
+            };
+            let (want, _) = best_combination_stats::<3>(&t, &n, None, &cfg);
+            let (got, st, fr) = best_combination_frontier::<3>(&t, &n, None, &cfg, 0);
+            assert_eq!(got, want, "k={k}");
+            assert_eq!(fr.best(), want, "k={k}");
+            // The pruned top-K scan must still account for every combination.
+            let total = binomial(12, 3);
+            assert_eq!(st.scored + st.pruned_combos, total, "k={k}");
+            // And the retained entries are the exhaustive top-K.
+            let all: Vec<Scored<3>> = (0..total)
+                .map(|l| score_combo(&t, &n, &unrank_tuple::<3>(l), Alpha::PAPER))
+                .collect();
+            assert_eq!(fr.entries(), &top_k(&all, k)[..], "k={k}");
+        }
+    }
+
+    #[test]
+    fn frontier_scan_parallel_equals_sequential() {
+        let (t, n) = lcg_matrices(13, 128, 64, 31);
+        for k in [1usize, 8, 64] {
+            let seq = GreedyConfig {
+                parallel: false,
+                frontier_k: k,
+                ..GreedyConfig::default()
+            };
+            let par = GreedyConfig {
+                parallel: true,
+                frontier_k: k,
+                ..GreedyConfig::default()
+            };
+            let (wb, _, wf) = best_combination_frontier::<3>(&t, &n, None, &seq, 0);
+            for _ in 0..2 {
+                let (gb, _, gf) = best_combination_frontier::<3>(&t, &n, None, &par, 0);
+                assert_eq!(gb, wb, "k={k}");
+                assert_eq!(gf.entries(), wf.entries(), "k={k}");
+                assert_eq!(gf.floor(), wf.floor(), "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_scan_matches_unseeded() {
+        let (t, n) = lcg_matrices(12, 100, 50, 47);
+        let cfg = GreedyConfig {
+            parallel: false,
+            ..GreedyConfig::default()
+        };
+        let (want, _) = best_combination_stats::<3>(&t, &n, None, &cfg);
+        // Any achieved score is a sound seed, including the argmax's own.
+        let weaker = score_combo(&t, &n, &[0, 1, 2], Alpha::PAPER);
+        for seed in [0, weaker.score, want.score] {
+            let (got, _) = best_combination_seeded::<3>(&t, &n, None, &cfg, seed);
+            assert_eq!(got, want, "seed={seed}");
+        }
+        let par = GreedyConfig {
+            parallel: true,
+            ..GreedyConfig::default()
+        };
+        let (got, _) = best_combination_seeded::<3>(&t, &n, None, &par, want.score);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn frontier_discovery_is_bit_identical_to_disabled() {
+        let (t, n) = lcg_matrices(10, 150, 80, 61);
+        for exclusion in [Exclusion::BitSplice, Exclusion::Mask] {
+            let reference = discover::<2>(
+                &t,
+                &n,
+                &GreedyConfig {
+                    parallel: false,
+                    frontier_k: 0,
+                    exclusion,
+                    ..GreedyConfig::default()
+                },
+            );
+            for k in [1usize, 4, 64] {
+                for parallel in [false, true] {
+                    let got = discover::<2>(
+                        &t,
+                        &n,
+                        &GreedyConfig {
+                            parallel,
+                            frontier_k: k,
+                            exclusion,
+                            ..GreedyConfig::default()
+                        },
+                    );
+                    assert_eq!(
+                        got.combinations, reference.combinations,
+                        "k={k} parallel={parallel} {exclusion:?}"
+                    );
+                    assert_eq!(got.uncovered, reference.uncovered);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_counters_track_hits_and_misses() {
+        let (t, n) = lcg_matrices(9, 140, 70, 13);
+        // K = 1: the floor equals the old max, a rescored member can never
+        // strictly clear it, so every iteration past the first must be a
+        // full rescan (the fallback path fires).
+        let obs = Obs::enabled();
+        let res = discover_obs::<2>(
+            &t,
+            &n,
+            &GreedyConfig {
+                parallel: false,
+                frontier_k: 1,
+                ..GreedyConfig::default()
+            },
+            &obs,
+        );
+        let c = obs.counters();
+        let iters = res.iterations.len() as u64;
+        assert!(iters >= 2, "need a multi-iteration run");
+        assert_eq!(c.get("greedy.frontier_hits").copied(), Some(0));
+        assert_eq!(c.get("greedy.full_rescans").copied(), Some(iters));
+        assert_eq!(c.get("greedy.frontier_rescored").copied(), Some(iters - 1));
+
+        // K ≥ C(G,2): the frontier is complete after iteration 1 and every
+        // later iteration is a hit with zero scan work.
+        let obs = Obs::enabled();
+        let res = discover_obs::<2>(
+            &t,
+            &n,
+            &GreedyConfig {
+                parallel: false,
+                frontier_k: binomial(9, 2) as usize,
+                ..GreedyConfig::default()
+            },
+            &obs,
+        );
+        let c = obs.counters();
+        let iters = res.iterations.len() as u64;
+        assert_eq!(c.get("greedy.frontier_hits").copied(), Some(iters - 1));
+        assert_eq!(c.get("greedy.full_rescans").copied(), Some(1));
+        let hit_iters: Vec<_> = obs
+            .events()
+            .iter()
+            .filter(|e| e.name == "greedy_iter" && e.u64("frontier_hit") == Some(1))
+            .map(|e| e.u64("scan_scored").unwrap())
+            .collect();
+        assert_eq!(hit_iters.len() as u64, iters - 1);
+        assert!(hit_iters.iter().all(|&s| s == 0), "hits must not scan");
     }
 
     #[test]

@@ -22,6 +22,8 @@
 //! * [`sweep`] — the `O(G)` workload-level decomposition schedulers use;
 //! * [`memopt`] — the MemOpt1/MemOpt2/BitSplicing kernel ablation;
 //! * [`reduce`] — the two-kernel, multi-stage max-reduction;
+//! * [`frontier`] — the persistent top-K frontier behind the exact
+//!   lazy-greedy (Minoux) skip of later full scans;
 //! * [`greedy`] — the full greedy discovery loop with an incremental
 //!   partial-AND scanner;
 //! * [`naive`] — the uncompressed byte-matrix baseline (§II-C comparator);
@@ -47,6 +49,7 @@
 
 pub mod bitmat;
 pub mod combin;
+pub mod frontier;
 pub mod greedy;
 pub mod kernel;
 pub mod memopt;

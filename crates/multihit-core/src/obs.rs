@@ -744,6 +744,11 @@ pub struct GreedyIterReport {
     pub steal_blocks: u64,
     /// Blocks beyond each worker's first.
     pub steals: u64,
+    /// 1 when the lazy-greedy frontier proved the argmax and the full scan
+    /// was skipped (0 on full rescans and on streams from older versions).
+    pub frontier_hit: u64,
+    /// Frontier members rescored this iteration.
+    pub frontier_rescored: u64,
 }
 
 /// One rank's aggregated busy/idle attribution (from `rank` points).
@@ -901,6 +906,8 @@ impl RunReport {
                         pruned_subtrees: e.u64("pruned_subtrees").unwrap_or(0),
                         steal_blocks: e.u64("steal_blocks").unwrap_or(0),
                         steals: e.u64("steals").unwrap_or(0),
+                        frontier_hit: e.u64("frontier_hit").unwrap_or(0),
+                        frontier_rescored: e.u64("frontier_rescored").unwrap_or(0),
                     });
                 }
                 (EventKind::Point, "rank") => {
@@ -1021,6 +1028,41 @@ impl RunReport {
     #[must_use]
     pub fn total_steal_blocks(&self) -> u64 {
         self.greedy_iters.iter().map(|i| i.steal_blocks).sum()
+    }
+
+    /// Iterations whose argmax the lazy-greedy frontier proved without a
+    /// full scan.
+    #[must_use]
+    pub fn frontier_hits(&self) -> u64 {
+        self.greedy_iters.iter().map(|i| i.frontier_hit).sum()
+    }
+
+    /// Iterations that fell back to (or started with) a full scan.
+    #[must_use]
+    pub fn full_rescans(&self) -> u64 {
+        self.greedy_iters.len() as u64 - self.frontier_hits()
+    }
+
+    /// Total frontier members rescored across iterations.
+    #[must_use]
+    pub fn total_frontier_rescored(&self) -> u64 {
+        self.greedy_iters.iter().map(|i| i.frontier_rescored).sum()
+    }
+
+    /// Fraction of iterations the frontier skipped the full scan (0.0 on
+    /// empty runs).
+    #[must_use]
+    pub fn frontier_hit_rate(&self) -> f64 {
+        finite_or_zero(self.frontier_hits() as f64 / self.greedy_iters.len() as f64)
+    }
+
+    /// Share of scoring work done by cheap frontier rescoring rather than
+    /// scan evaluation (0.0 on empty runs).
+    #[must_use]
+    pub fn frontier_rescore_fraction(&self) -> f64 {
+        let rescored = self.total_frontier_rescored();
+        let scanned: u64 = self.greedy_iters.iter().map(|i| i.scan_scored).sum();
+        finite_or_zero(rescored as f64 / (rescored + scanned) as f64)
     }
 
     /// Rank busy-time imbalance: max busy / mean busy (1.0 = balanced,
@@ -1344,8 +1386,11 @@ mod tests {
             ("mean_batch_fill", r.serve.mean_batch_fill()),
             ("shed_rate", r.serve.shed_rate()),
             ("throughput_rps", r.serve.throughput_rps),
+            ("frontier_hit_rate", r.frontier_hit_rate()),
+            ("frontier_rescore_fraction", r.frontier_rescore_fraction()),
         ] {
             assert!(v.is_finite(), "{name} not finite on empty run: {v}");
+            assert_eq!(v, 0.0, "{name} must be 0.0 on an empty run");
         }
         // Rank data present but all-zero must also stay finite.
         let zeroed = RunReport {
@@ -1354,6 +1399,35 @@ mod tests {
         };
         assert!(zeroed.rank_imbalance().is_finite());
         assert!(zeroed.mean_rank_utilization().is_finite());
+    }
+
+    #[test]
+    fn run_report_aggregates_frontier_counters() {
+        let obs = Obs::enabled();
+        obs.point(
+            "greedy_iter",
+            &[
+                ("iter", Value::U64(0)),
+                ("scan_scored", Value::U64(100)),
+                ("frontier_hit", Value::U64(0)),
+                ("frontier_rescored", Value::U64(0)),
+            ],
+        );
+        obs.point(
+            "greedy_iter",
+            &[
+                ("iter", Value::U64(1)),
+                ("scan_scored", Value::U64(0)),
+                ("frontier_hit", Value::U64(1)),
+                ("frontier_rescored", Value::U64(25)),
+            ],
+        );
+        let r = RunReport::from_json_lines(&obs.to_json_lines()).unwrap();
+        assert_eq!(r.frontier_hits(), 1);
+        assert_eq!(r.full_rescans(), 1);
+        assert_eq!(r.total_frontier_rescored(), 25);
+        assert!((r.frontier_hit_rate() - 0.5).abs() < 1e-12);
+        assert!((r.frontier_rescore_fraction() - 0.2).abs() < 1e-12);
     }
 
     #[test]

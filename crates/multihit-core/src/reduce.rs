@@ -314,6 +314,48 @@ mod tests {
     }
 
     #[test]
+    fn top_k_ties_resolve_colex_smaller_first() {
+        // Equal scores everywhere: the retained k and their order must be
+        // exactly the colex-smallest combinations, matching `cmp_det`.
+        let scores: Vec<Scored<2>> = (0..50u32).rev().map(|g| scored(7, g)).collect();
+        let got = top_k(&scores, 5);
+        let genes: Vec<[u32; 2]> = got.iter().map(|s| s.genes).collect();
+        assert_eq!(genes, vec![[0, 1], [1, 2], [2, 3], [3, 4], [4, 5]]);
+    }
+
+    #[test]
+    fn shard_merge_order_never_changes_kth_identity() {
+        // The frontier floor is the K-th element: its *identity* (not just
+        // its score) must be invariant under how shards are formed and in
+        // what order they merge, even with heavy score ties straddling the
+        // K boundary.
+        let scores: Vec<Scored<2>> = (0..300u32)
+            .map(|i| scored(u64::from(i % 5), i % 280)) // only 5 distinct scores
+            .collect();
+        for k in [1usize, 4, 64] {
+            let want = top_k(&scores, k);
+            for chunk in [29usize, 50, 97, 150] {
+                let mut shards: Vec<Vec<Scored<2>>> =
+                    scores.chunks(chunk).map(|c| top_k(c, k)).collect();
+                let orders: Vec<Vec<Vec<Scored<2>>>> =
+                    vec![shards.clone(), shards.iter().rev().cloned().collect(), {
+                        shards.rotate_left(1);
+                        shards.clone()
+                    }];
+                for (o, sh) in orders.iter().enumerate() {
+                    let got = merge_top_k(sh, k);
+                    assert_eq!(got, want, "k={k} chunk={chunk} order={o}");
+                    assert_eq!(
+                        got.last().map(|s| s.genes),
+                        want.last().map(|s| s.genes),
+                        "k-th identity k={k} chunk={chunk} order={o}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn reduce_stats_block_count() {
         let scores = vec![scored(0, 0); 1025];
         let (_, stats) = gpu_reduce(&scores, 512);

@@ -236,6 +236,34 @@ proptest! {
     }
 
     #[test]
+    fn frontier_discovery_identical_to_exhaustive((td, nd) in cohort(8, 48), parallel in any::<bool>()) {
+        let t = BitMatrix::from_dense(&td);
+        let n = BitMatrix::from_dense(&nd);
+        prop_assume!(t.n_genes() >= 2);
+        let reference = discover::<2>(
+            &t,
+            &n,
+            &GreedyConfig { parallel: false, frontier_k: 0, ..GreedyConfig::default() },
+        );
+        for exclusion in [Exclusion::BitSplice, Exclusion::Mask] {
+            // K = 1 can never strictly clear its own floor, so it exercises
+            // the floor-miss fallback (full pruned rescan seeded by the
+            // rescored frontier) on every iteration; K = 64 usually exceeds
+            // C(g,2) here, making the frontier complete and every later
+            // iteration a hit.
+            for k in [1usize, 4, 64] {
+                let got = discover::<2>(
+                    &t,
+                    &n,
+                    &GreedyConfig { parallel, exclusion, frontier_k: k, ..GreedyConfig::default() },
+                );
+                prop_assert_eq!(&got.combinations, &reference.combinations);
+                prop_assert_eq!(got.uncovered, reference.uncovered);
+            }
+        }
+    }
+
+    #[test]
     fn pruned_discovery_identical_across_exclusion_modes((td, nd) in cohort(8, 48)) {
         let t = BitMatrix::from_dense(&td);
         let n = BitMatrix::from_dense(&nd);

@@ -55,6 +55,45 @@ pub fn run_maxf4(
     hi: u64,
     block_size: usize,
 ) -> ExecOutcome<4> {
+    run_maxf4_sink(tumor, normal, alpha, scheme, lo, hi, block_size, |_| {})
+}
+
+/// [`run_maxf4`] that additionally retains the GPU's top-`k` scored
+/// combinations (the lazy-greedy frontier shard), selected with the same
+/// rule as [`multihit_core::reduce::top_k`]. The [`ExecOutcome`] — winner,
+/// audited profile, reduction stats — is identical to [`run_maxf4`]'s.
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+pub fn run_maxf4_topk(
+    tumor: &BitMatrix,
+    normal: &BitMatrix,
+    alpha: Alpha,
+    scheme: Scheme4,
+    lo: u64,
+    hi: u64,
+    block_size: usize,
+    k: usize,
+) -> (ExecOutcome<4>, Vec<Scored<4>>) {
+    let mut acc = multihit_core::frontier::TopK::new(k);
+    let out = run_maxf4_sink(tumor, normal, alpha, scheme, lo, hi, block_size, |s| {
+        acc.offer(*s);
+    });
+    (out, acc.into_sorted())
+}
+
+/// The shared `maxF` body: every scored combination is also offered to
+/// `sink` (a no-op closure for the plain argmax path, monomorphized away).
+#[allow(clippy::too_many_arguments)]
+fn run_maxf4_sink<F: FnMut(&Scored<4>)>(
+    tumor: &BitMatrix,
+    normal: &BitMatrix,
+    alpha: Alpha,
+    scheme: Scheme4,
+    lo: u64,
+    hi: u64,
+    block_size: usize,
+    mut sink: F,
+) -> ExecOutcome<4> {
     assert_eq!(tumor.n_genes(), normal.n_genes());
     let g = tumor.n_genes() as u32;
     let wt = tumor.words_per_row();
@@ -89,12 +128,14 @@ pub fn run_maxf4(
                 let cn = count_and(&acc_n, normal.row(c[3] as usize));
                 inner += 1;
                 let tn = n_norm - cn;
-                best = best.max_det(Scored {
+                let s = Scored {
                     score: alpha.score(tp, tn),
                     tp,
                     tn,
                     genes: c,
-                });
+                };
+                sink(&s);
+                best = best.max_det(s);
             });
             profile.n_threads += 1;
             profile.combos += inner;
@@ -410,6 +451,40 @@ mod tests {
                 // mid-loop rebuild via the prefetch path instead.
                 assert_eq!(out.profile.inner_words, analytic.inner_words);
             }
+        }
+    }
+
+    #[test]
+    fn topk_kernel_matches_plain_kernel_and_exhaustive_topk() {
+        use multihit_core::combin::unrank_tuple;
+        use multihit_core::reduce::top_k;
+        use multihit_core::weight::score_combo;
+        let (t, n) = lcg_matrices(11, 96, 64, 29);
+        let all: Vec<Scored<4>> = (0..binomial(11, 4))
+            .map(|l| score_combo(&t, &n, &unrank_tuple::<4>(l), Alpha::PAPER))
+            .collect();
+        for scheme in [Scheme4::ThreeXOne, Scheme4::TwoXTwo] {
+            let total = scheme.thread_count(11);
+            let plain = run_maxf4(&t, &n, Alpha::PAPER, scheme, 0, total, 512);
+            for k in [1usize, 8, 64] {
+                let (out, shard) = run_maxf4_topk(&t, &n, Alpha::PAPER, scheme, 0, total, 512, k);
+                assert_eq!(out.best, plain.best, "{} k={k}", scheme.name());
+                assert_eq!(out.profile, plain.profile, "{} k={k}", scheme.name());
+                assert_eq!(out.reduce, plain.reduce, "{} k={k}", scheme.name());
+                assert_eq!(shard, top_k(&all, k), "{} k={k}", scheme.name());
+            }
+            // Split ranges: merged shards must equal the whole-range shard.
+            let cuts = [0, total / 3, total / 2, total];
+            let shards: Vec<Vec<Scored<4>>> = cuts
+                .windows(2)
+                .map(|w| run_maxf4_topk(&t, &n, Alpha::PAPER, scheme, w[0], w[1], 512, 8).1)
+                .collect();
+            assert_eq!(
+                multihit_core::reduce::merge_top_k(&shards, 8),
+                top_k(&all, 8),
+                "{}",
+                scheme.name()
+            );
         }
     }
 

@@ -125,6 +125,13 @@ fn finish_obs(obs: &Obs, metrics_out: Option<&str>) -> Result<(), String> {
             report.total_steal_blocks(),
             report.greedy_iters.iter().map(|i| i.steals).sum::<u64>(),
         );
+        eprintln!(
+            "frontier: {} hits / {} full rescans ({:.1}% hit rate), {} combos rescored",
+            report.frontier_hits(),
+            report.full_rescans(),
+            100.0 * report.frontier_hit_rate(),
+            report.total_frontier_rescored(),
+        );
     }
     if !report.ranks.is_empty() {
         eprintln!(
@@ -236,11 +243,13 @@ fn run_discovery(
     hits: usize,
     max: usize,
     prune: bool,
+    frontier_k: usize,
     obs: &Obs,
 ) -> Result<Vec<DiscoveryRow>, String> {
     let cfg = GreedyConfig {
         max_combinations: max,
         prune,
+        frontier_k,
         ..GreedyConfig::default()
     };
     macro_rules! run {
@@ -271,6 +280,15 @@ fn cmd_discover(args: &[String]) -> Result<(), String> {
     let out = arg_value(args, "--out");
 
     let prune = !has_flag(args, "--no-prune");
+    let frontier_k = if has_flag(args, "--no-frontier") {
+        0
+    } else {
+        parse_or(
+            args,
+            "--frontier-k",
+            multihit::core::frontier::DEFAULT_FRONTIER_K,
+        )?
+    };
     match arg_value(args, "--scan").as_deref() {
         None | Some("auto") => multihit::core::kernel::force_scalar(false),
         Some("scalar") => multihit::core::kernel::force_scalar(true),
@@ -279,7 +297,7 @@ fn cmd_discover(args: &[String]) -> Result<(), String> {
 
     let (obs, metrics_out) = obs_from_args(args);
     let (tmat, nmat, genes) = load_matrices(&tumor_path, &normal_path)?;
-    let rows = run_discovery(&tmat, &nmat, hits, max, prune, &obs)?;
+    let rows = run_discovery(&tmat, &nmat, hits, max, prune, frontier_k, &obs)?;
     finish_obs(&obs, metrics_out.as_deref())?;
 
     let mut rf = ResultsFile {
@@ -474,6 +492,11 @@ fn cluster_fault_demo(args: &[String], specs: &str, nodes: usize, obs: &Obs) -> 
     if let Some(s) = parse_scheduler(args)? {
         cfg.scheduler = s;
     }
+    if has_flag(args, "--no-frontier") {
+        cfg.frontier_k = 0;
+    } else {
+        cfg.frontier_k = parse_or(args, "--frontier-k", cfg.frontier_k)?;
+    }
     eprintln!(
         "fault-injection demo: {nodes} ranks x {} GPUs, plan [{specs}], seed {seed}",
         cfg.shape.gpus_per_node
@@ -667,13 +690,14 @@ const USAGE: &str = "usage: multihit <synth|discover|classify|cluster|serve|load
            --hits H --penetrance P --noise-tumor X --noise-normal Y --seed S]
   discover --tumor T.maf --normal N.maf [--hits H --max-combos N
            --cohort LABEL --out R.tsv --no-prune --scan auto|scalar
-           --metrics-out M.jsonl --trace]
+           --frontier-k K --no-frontier --metrics-out M.jsonl --trace]
   classify --results R.tsv --tumor T.maf --normal N.maf
   cluster  [--dataset brca|acc --nodes N --scheduler ea|ed|ec
            --mtbf S --ckpt-write S --recovery-time S
            --metrics-out M.jsonl --trace]
   cluster  --inject SPECS [--nodes N --scheduler ea|ed|ec --seed S
-           --ft-timeout-ms MS --metrics-out M.jsonl --trace]
+           --ft-timeout-ms MS --frontier-k K --no-frontier
+           --metrics-out M.jsonl --trace]
            SPECS: rank-kill=R@K | straggler=R@F | msg-drop=F-T[@N]
                   | msg-corrupt=F-T[@N] | ckpt-truncate=K | ckpt-bitflip=K
   serve    (--results DIR | --synth) [--addr HOST:PORT --shards S
