@@ -1,0 +1,415 @@
+//! Gate a freshly-run benchmark against its committed baseline.
+//!
+//! ```text
+//! bench_compare --baseline BENCH_x.json --candidate fresh.json
+//!               [--floor 0.7] [--keys k1,k2,...]
+//! ```
+//!
+//! The CI `bench-regression` job re-runs every recorded benchmark and feeds
+//! the fresh JSON through this gate. It fails (exit 1) when:
+//!
+//! * any headline metric — by default every top-level numeric key starting
+//!   with `speedup` plus `throughput_rps` — drops below `floor ×` the
+//!   committed baseline value (CI machines are noisy; the default floor of
+//!   0.7 catches real regressions, not scheduler jitter);
+//! * the candidate's `identical` flag is not `true` while the baseline has
+//!   one (the arms of the fresh run diverged);
+//! * the candidate reports nonzero `lost` or `divergent` (serving gate);
+//! * a baseline arm records a winner (`best_genes`) or `panel_size` and the
+//!   candidate's same-named arm disagrees — benchmark cohorts are seeded,
+//!   so the discovered answer must reproduce exactly across runs.
+//!
+//! The parser is a tiny self-contained JSON reader (the workspace is
+//! dependency-free by design); it handles the subset our bench writers
+//! emit: objects, arrays, strings without escapes, numbers, booleans, null.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+    fn num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+    fn str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", char::from(b), self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Value::Str(self.string()?)),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'n' => self.literal("null", Value::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'\\' {
+                return Err(format!("escape sequences unsupported at byte {}", self.pos));
+            }
+            if b == b'"' {
+                let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| e.to_string())?
+                    .to_string();
+                self.pos += 1;
+                return Ok(s);
+            }
+            self.pos += 1;
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse()
+            .map(Value::Num)
+            .map_err(|_| format!("bad number {text:?} at byte {start}"))
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                other => return Err(format!("expected , or ] got {:?}", char::from(other))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Obj(map));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            map.insert(key, self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(map));
+                }
+                other => return Err(format!("expected , or }} got {:?}", char::from(other))),
+            }
+        }
+    }
+}
+
+fn parse_file(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut p = Parser::new(&text);
+    let v = p.value().map_err(|e| format!("{path}: {e}"))?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("{path}: trailing bytes after JSON value"));
+    }
+    Ok(v)
+}
+
+/// Headline keys: explicit `--keys`, else every top-level numeric key named
+/// `speedup*` or `throughput_rps`.
+fn headline_keys(baseline: &Value, explicit: Option<&str>) -> Vec<String> {
+    if let Some(list) = explicit {
+        return list.split(',').map(str::to_string).collect();
+    }
+    match baseline {
+        Value::Obj(m) => m
+            .iter()
+            .filter(|(k, v)| {
+                matches!(v, Value::Num(_)) && (k.starts_with("speedup") || *k == "throughput_rps")
+            })
+            .map(|(k, _)| k.clone())
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+fn arms_by_name(v: &Value) -> BTreeMap<String, &Value> {
+    let mut out = BTreeMap::new();
+    if let Some(Value::Arr(arms)) = v.get("arms") {
+        for arm in arms {
+            if let Some(name) = arm.get("name").and_then(Value::str) {
+                out.insert(name.to_string(), arm);
+            }
+        }
+    }
+    out
+}
+
+fn compare(baseline: &Value, candidate: &Value, floor: f64, keys: &[String]) -> Vec<String> {
+    let mut failures = Vec::new();
+
+    match (baseline.get("bench"), candidate.get("bench")) {
+        (Some(b), Some(c)) if b != c => {
+            failures.push(format!(
+                "bench name mismatch: baseline {b:?}, candidate {c:?}"
+            ));
+        }
+        _ => {}
+    }
+
+    for key in keys {
+        let b = baseline.get(key).and_then(Value::num);
+        let c = candidate.get(key).and_then(Value::num);
+        match (b, c) {
+            (Some(b), Some(c)) => {
+                let min = floor * b;
+                if c < min {
+                    failures.push(format!(
+                        "{key}: candidate {c:.3} below floor {min:.3} ({floor} x baseline {b:.3})"
+                    ));
+                } else {
+                    eprintln!("  ok {key}: {c:.3} vs baseline {b:.3} (floor {min:.3})");
+                }
+            }
+            (Some(_), None) => failures.push(format!("{key}: missing from candidate")),
+            (None, _) => failures.push(format!("{key}: missing from baseline")),
+        }
+    }
+
+    if baseline.get("identical").is_some() && candidate.get("identical") != Some(&Value::Bool(true))
+    {
+        failures.push("identical: candidate arms diverged (expected true)".to_string());
+    }
+    for gate in ["lost", "divergent"] {
+        if let Some(n) = candidate.get(gate).and_then(Value::num) {
+            if n != 0.0 {
+                failures.push(format!("{gate}: candidate reports {n}"));
+            }
+        }
+    }
+
+    // Seeded cohorts: winners and panel sizes must reproduce exactly.
+    let b_arms = arms_by_name(baseline);
+    let c_arms = arms_by_name(candidate);
+    for (name, b_arm) in &b_arms {
+        let Some(c_arm) = c_arms.get(name) else {
+            failures.push(format!("arm {name}: missing from candidate"));
+            continue;
+        };
+        for field in ["best_genes", "best_score", "panel_size", "uncovered"] {
+            match (b_arm.get(field), c_arm.get(field)) {
+                (Some(b), Some(c)) if b != c => {
+                    failures.push(format!(
+                        "arm {name}.{field}: baseline {b:?} != candidate {c:?}"
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    failures
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let (Some(baseline_path), Some(candidate_path)) = (get("--baseline"), get("--candidate"))
+    else {
+        eprintln!(
+            "usage: bench_compare --baseline FILE --candidate FILE [--floor 0.7] [--keys k1,k2]"
+        );
+        return ExitCode::from(2);
+    };
+    let floor: f64 = get("--floor")
+        .map(|v| v.parse().expect("--floor expects a number"))
+        .unwrap_or(0.7);
+    let keys_arg = get("--keys");
+
+    let (baseline, candidate) = match (parse_file(&baseline_path), parse_file(&candidate_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let keys = headline_keys(&baseline, keys_arg.as_deref());
+    if keys.is_empty() {
+        eprintln!("error: no headline keys to compare (pass --keys)");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("bench_compare: {baseline_path} vs {candidate_path}, floor {floor}, keys {keys:?}");
+
+    let failures = compare(&baseline, &candidate, floor, &keys);
+    if failures.is_empty() {
+        eprintln!("PASS: candidate within floor on all headline metrics");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"{
+        "bench": "scan_h3", "speedup_vector": 1.5, "speedup_pruned": 300.0,
+        "identical": true,
+        "arms": [{"name": "a", "best_genes": [1, 2, 3], "panel_size": 4}]
+    }"#;
+
+    #[test]
+    fn parses_and_passes_identical_reports() {
+        let b = Parser::new(BASE).value().unwrap();
+        let keys = headline_keys(&b, None);
+        assert_eq!(keys, vec!["speedup_pruned", "speedup_vector"]);
+        assert!(compare(&b, &b, 0.7, &keys).is_empty());
+    }
+
+    #[test]
+    fn flags_speedup_below_floor() {
+        let b = Parser::new(BASE).value().unwrap();
+        let c = Parser::new(&BASE.replace("300.0", "100.0"))
+            .value()
+            .unwrap();
+        let keys = headline_keys(&b, None);
+        let failures = compare(&b, &c, 0.7, &keys);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("speedup_pruned"), "{failures:?}");
+    }
+
+    #[test]
+    fn flags_divergent_winner_and_missing_identical() {
+        let b = Parser::new(BASE).value().unwrap();
+        let c = Parser::new(
+            &BASE
+                .replace("[1, 2, 3]", "[1, 2, 9]")
+                .replace("\"identical\": true", "\"identical\": false"),
+        )
+        .value()
+        .unwrap();
+        let keys = headline_keys(&b, None);
+        let failures = compare(&b, &c, 0.7, &keys);
+        assert!(
+            failures.iter().any(|f| f.contains("identical")),
+            "{failures:?}"
+        );
+        assert!(
+            failures.iter().any(|f| f.contains("best_genes")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn serve_gates_on_lost_and_divergent() {
+        let base = r#"{"bench": "serve", "throughput_rps": 50000.0, "lost": 0, "divergent": 0}"#;
+        let b = Parser::new(base).value().unwrap();
+        let c = Parser::new(&base.replace("\"lost\": 0", "\"lost\": 3"))
+            .value()
+            .unwrap();
+        let keys = headline_keys(&b, None);
+        assert_eq!(keys, vec!["throughput_rps"]);
+        let failures = compare(&b, &c, 0.7, &keys);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("lost"), "{failures:?}");
+    }
+}

@@ -1,0 +1,236 @@
+//! Record the kernelization + sparse-scan speedup into `BENCH_kernelize.json`.
+//!
+//! ```text
+//! bench_kernelize [--out FILE] [--genes G] [--reps R]
+//! ```
+//!
+//! Runs the full multi-iteration 3-hit greedy discovery over a large sparse
+//! synthetic cohort (default `G = 5000`, mutation rates low enough that most
+//! genes never appear in any tumor — the regime the reduction targets) three
+//! ways: the PR-5 pruned + frontier baseline, the same with the exact
+//! `kernelize` reduction in front, and kernelize + the sparse skip-list
+//! scan. Each arm runs `R` times keeping the best wall time. The discovered
+//! panels must be bit-identical across all arms; any divergence exits
+//! nonzero so CI fails loudly. The JSON records the reduction certificate's
+//! gene/column statistics, the all-zero words skipped by the sparse scan,
+//! and the compounded end-to-end speedup of each arm over the baseline.
+
+use multihit_core::combin::binomial;
+use multihit_core::greedy::{discover_obs, GreedyConfig, SparseMode};
+use multihit_core::kernel;
+use multihit_core::obs::{KernelizeReport, Obs, RunReport};
+use multihit_data::synth::{generate, CohortSpec};
+use std::time::Instant;
+
+const N_TUMOR: usize = 240;
+const N_NORMAL: usize = 120;
+const NOISE_TUMOR: f64 = 0.0008;
+const NOISE_NORMAL: f64 = 0.0004;
+const DRIVER_COMBOS: usize = 24;
+
+struct Arm {
+    name: &'static str,
+    kernelize: bool,
+    sparse: &'static str,
+    best_ns: u128,
+    iterations: u64,
+    scan_scored: u64,
+    words_skipped: u64,
+    kern: Option<KernelizeReport>,
+    panel: Vec<[u32; 3]>,
+    uncovered: u32,
+}
+
+fn run_arm(
+    name: &'static str,
+    kernelize: bool,
+    sparse: SparseMode,
+    reps: usize,
+    t: &multihit_core::BitMatrix,
+    n: &multihit_core::BitMatrix,
+) -> Arm {
+    let cfg = GreedyConfig {
+        parallel: true,
+        prune: true,
+        kernelize,
+        sparse,
+        ..GreedyConfig::default()
+    };
+    let mut best_ns = u128::MAX;
+    let mut last = None;
+    for _ in 0..reps {
+        let obs = Obs::enabled();
+        let start = Instant::now();
+        let res = discover_obs::<3>(t, n, &cfg, &obs);
+        best_ns = best_ns.min(start.elapsed().as_nanos());
+        last = Some((res, RunReport::from_events(&obs.events())));
+    }
+    let (res, report) = last.expect("reps >= 1");
+    Arm {
+        name,
+        kernelize,
+        sparse: sparse.name(),
+        best_ns,
+        iterations: res.iterations.len() as u64,
+        scan_scored: report.total_combos_scored(),
+        words_skipped: report.total_words_skipped(),
+        kern: report.kernelize,
+        panel: res.combinations,
+        uncovered: res.uncovered,
+    }
+}
+
+fn arm_json(a: &Arm, speedup: f64) -> String {
+    let kern = match &a.kern {
+        None => String::from("null"),
+        Some(k) => format!(
+            "{{\"orig_genes\": {}, \"kept_genes\": {}, \"useless_genes\": {}, \
+             \"dominated_genes\": {}, \"zero_tumor_cols\": {}, \
+             \"zero_normal_cols\": {}, \"ones_normal_cols\": {}, \
+             \"forced_tumor_cols\": {}, \"dup_tumor_cols\": {}, \
+             \"gene_reduction\": {:.4}, \"kernelize_ns\": {}}}",
+            k.orig_genes,
+            k.kept_genes,
+            k.useless_genes,
+            k.dominated_genes,
+            k.zero_tumor_cols,
+            k.zero_normal_cols,
+            k.ones_normal_cols,
+            k.forced_tumor_cols,
+            k.dup_tumor_cols,
+            k.gene_reduction,
+            k.kernelize_ns,
+        ),
+    };
+    format!(
+        "    {{\n      \"name\": \"{}\",\n      \"kernelize\": {},\n      \
+         \"sparse\": \"{}\",\n      \"best_ns\": {},\n      \
+         \"iterations\": {},\n      \"scan_scored\": {},\n      \
+         \"words_skipped\": {},\n      \"speedup\": {:.3},\n      \
+         \"reduction\": {},\n      \"panel_size\": {},\n      \
+         \"uncovered\": {}\n    }}",
+        a.name,
+        a.kernelize,
+        a.sparse,
+        a.best_ns,
+        a.iterations,
+        a.scan_scored,
+        a.words_skipped,
+        speedup,
+        kern,
+        a.panel.len(),
+        a.uncovered,
+    )
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = String::from("BENCH_kernelize.json");
+    let mut genes = 5000usize;
+    let mut reps = 2usize;
+    let take = |flag: &str, args: &mut Vec<String>| -> Option<String> {
+        let pos = args.iter().position(|a| a == flag)?;
+        if pos + 1 >= args.len() {
+            eprintln!("{flag} requires a value");
+            std::process::exit(2);
+        }
+        let v = args.remove(pos + 1);
+        args.remove(pos);
+        Some(v)
+    };
+    if let Some(v) = take("--out", &mut args) {
+        out = v;
+    }
+    if let Some(v) = take("--genes", &mut args) {
+        genes = v.parse().expect("--genes expects an integer");
+    }
+    if let Some(v) = take("--reps", &mut args) {
+        reps = v
+            .parse::<usize>()
+            .expect("--reps expects an integer")
+            .max(1);
+    }
+    if !args.is_empty() {
+        eprintln!("unknown arguments: {args:?}");
+        std::process::exit(2);
+    }
+
+    let cohort = generate(&CohortSpec {
+        n_genes: genes,
+        n_tumor: N_TUMOR,
+        n_normal: N_NORMAL,
+        n_driver_combos: DRIVER_COMBOS,
+        hits_per_combo: 3,
+        driver_penetrance: 1.0,
+        passenger_rate_tumor: NOISE_TUMOR,
+        passenger_rate_normal: NOISE_NORMAL,
+        ..CohortSpec::default()
+    });
+    let total = binomial(genes as u64, 3);
+    eprintln!(
+        "bench_kernelize: G={genes} H=3 Nt={N_TUMOR} Nn={N_NORMAL} \
+         combos={total} reps={reps} kernel={}",
+        kernel::active().name()
+    );
+
+    let arms = [
+        ("pruned_frontier", false, SparseMode::Off),
+        ("kernelized", true, SparseMode::Off),
+        ("kernelized_sparse", true, SparseMode::Auto),
+    ]
+    .map(|(name, kz, sparse)| {
+        let arm = run_arm(name, kz, sparse, reps, &cohort.tumor, &cohort.normal);
+        let red = arm.kern.as_ref().map_or_else(
+            || "-".to_string(),
+            |k| format!("{} -> {} genes", k.orig_genes, k.kept_genes),
+        );
+        eprintln!(
+            "  {:18} {:>9.1} ms  {} iters  {} scored  {} words skipped  reduction {}",
+            arm.name,
+            arm.best_ns as f64 / 1e6,
+            arm.iterations,
+            arm.scan_scored,
+            arm.words_skipped,
+            red,
+        );
+        arm
+    });
+
+    let identical = arms
+        .iter()
+        .all(|a| a.panel == arms[0].panel && a.uncovered == arms[0].uncovered);
+    let speedup_kernelized = arms[0].best_ns as f64 / arms[1].best_ns as f64;
+    let speedup_sparse = arms[0].best_ns as f64 / arms[2].best_ns as f64;
+    eprintln!(
+        "  speedups vs pruned_frontier: kernelized {speedup_kernelized:.2}x, \
+         kernelized+sparse {speedup_sparse:.2}x, identical={identical}"
+    );
+
+    let speedups = [1.0, speedup_kernelized, speedup_sparse];
+    let body: Vec<String> = arms
+        .iter()
+        .zip(speedups)
+        .map(|(a, s)| arm_json(a, s))
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"kernelize_h3\",\n  \"genes\": {genes},\n  \"hits\": 3,\n  \
+         \"n_tumor\": {N_TUMOR},\n  \"n_normal\": {N_NORMAL},\n  \
+         \"combos\": {total},\n  \"driver_combos\": {DRIVER_COMBOS},\n  \
+         \"noise_tumor\": {NOISE_TUMOR},\n  \"noise_normal\": {NOISE_NORMAL},\n  \
+         \"reps\": {reps},\n  \"dispatch\": \"{}\",\n  \"arms\": [\n{}\n  ],\n  \
+         \"speedup_kernelized\": {speedup_kernelized:.3},\n  \
+         \"speedup_kernelized_sparse\": {speedup_sparse:.3},\n  \
+         \"identical\": {identical}\n}}\n",
+        kernel::active().name(),
+        body.join(",\n"),
+    );
+    std::fs::write(&out, json).expect("write BENCH_kernelize.json");
+    eprintln!("  wrote {out}");
+
+    if !identical {
+        eprintln!(
+            "FAIL: kernelize arms diverged — reduced-instance panel differs from the baseline"
+        );
+        std::process::exit(1);
+    }
+}

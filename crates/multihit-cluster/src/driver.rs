@@ -18,6 +18,7 @@ use crate::topology::ClusterShape;
 use multihit_core::bitmat::BitMatrix;
 use multihit_core::combin::binomial;
 use multihit_core::frontier::{self, Frontier};
+use multihit_core::kernelize::{kernelize, ReductionCert};
 use multihit_core::obs::Obs;
 use multihit_core::par::{default_workers, par_map_indexed};
 use multihit_core::reduce::{fold_partials, merge_top_k};
@@ -145,6 +146,10 @@ pub struct DistributedConfig {
     /// Lazy-greedy frontier size per rank (0 disables the frontier; the
     /// selected combinations are bit-identical either way).
     pub frontier_k: usize,
+    /// Kernelize the instance once on rank 0 and broadcast the reduction
+    /// certificate before the main loop (see [`multihit_core::kernelize`]).
+    /// The selected combinations are bit-identical either way.
+    pub kernelize: bool,
 }
 
 impl Default for DistributedConfig {
@@ -157,6 +162,7 @@ impl Default for DistributedConfig {
             block_size: 512,
             max_combinations: 0,
             frontier_k: frontier::DEFAULT_FRONTIER_K,
+            kernelize: false,
         }
     }
 }
@@ -270,6 +276,102 @@ struct DistFrontier {
     complete: bool,
 }
 
+/// Kernelize the instance once on rank 0 and broadcast the serialized
+/// [`ReductionCert`] to every rank over the same binomial broadcast tree
+/// the winner takes each iteration — the distributed analogue of
+/// "preprocess on the driver, ship the certificate". Every rank checks the
+/// received certificate against the root's (the simulation shares memory;
+/// the assert stands in for the MPI-world invariant that all ranks reduce
+/// identically). Emits the `kernelize` point/counters via the core module.
+fn kernelize_broadcast(
+    tumor: &BitMatrix,
+    normal: &BitMatrix,
+    cfg: &DistributedConfig,
+    obs: &Obs,
+) -> (BitMatrix, BitMatrix, ReductionCert) {
+    let span = obs.span("kernelize");
+    let start = Instant::now();
+    let (red_t, red_n, cert) = kernelize(tumor, normal, 4);
+    let bytes = cert.to_bytes();
+    let bytes_ref = &bytes;
+    let received: Vec<Vec<u8>> = run_ranks(cfg.shape.nodes, |ctx| {
+        ctx.broadcast((ctx.rank == 0).then(|| bytes_ref.clone()))
+    });
+    for (rank, got) in received.iter().enumerate() {
+        assert_eq!(
+            ReductionCert::from_bytes(got),
+            cert,
+            "rank {rank} received a diverging certificate"
+        );
+    }
+    let kernelize_ns = elapsed_ns(start);
+    drop(span);
+    if obs.is_enabled() {
+        let s = cert.stats();
+        obs.point(
+            "kernelize",
+            &[
+                ("kernelize_ns", kernelize_ns.into()),
+                ("orig_genes", u64::from(s.orig_genes).into()),
+                ("kept_genes", u64::from(s.kept_genes).into()),
+                ("useless_genes", u64::from(s.useless_genes).into()),
+                ("dominated_genes", u64::from(s.dominated_genes).into()),
+                ("zero_tumor_cols", u64::from(s.zero_tumor_cols).into()),
+                ("zero_normal_cols", u64::from(s.zero_normal_cols).into()),
+                ("ones_normal_cols", u64::from(s.ones_normal_cols).into()),
+                ("forced_tumor_cols", u64::from(s.forced_tumor_cols).into()),
+                ("dup_tumor_cols", u64::from(s.dup_tumor_cols).into()),
+                ("gene_reduction", s.gene_reduction().into()),
+                ("cert_bytes", (bytes.len() as u64).into()),
+            ],
+        );
+        obs.counter_add("kernelize.runs", 1);
+        obs.counter_add("kernelize.ns", kernelize_ns);
+        obs.counter_add(
+            "kernelize.genes_removed",
+            u64::from(s.useless_genes + s.dominated_genes),
+        );
+        obs.counter_add("dist.cert_broadcast_bytes", bytes.len() as u64);
+    }
+    (red_t, red_n, cert)
+}
+
+/// Map a reduced-instance [`DistResult`] back to original indices: combos
+/// un-mapped through the certificate, per-iteration winners re-scored with
+/// the zero-normal TN shift, and the uncoverable tumor columns re-added to
+/// `remaining`/`uncovered`.
+fn unmap_dist_result(r: DistResult, cert: &ReductionCert, alpha: Alpha) -> DistResult {
+    let zt = cert.stats().zero_tumor_cols;
+    DistResult {
+        combinations: r
+            .combinations
+            .into_iter()
+            .map(|c| cert.unmap_combo(c))
+            .collect(),
+        iterations: r
+            .iterations
+            .into_iter()
+            .map(|it| DistIteration {
+                best: cert.unmap_scored(it.best, alpha),
+                remaining: it.remaining + zt,
+                combos_per_gpu: it.combos_per_gpu,
+            })
+            .collect(),
+        uncovered: r.uncovered + zt,
+    }
+}
+
+/// The stalled result a kernelized run returns when fewer than 4 genes
+/// survive reduction: every original combination contains a removed gene,
+/// so the unkernelized run stalls on iteration 1 with an empty panel.
+fn stalled_dist_result(tumor: &BitMatrix) -> DistResult {
+    DistResult {
+        combinations: Vec::new(),
+        iterations: Vec::new(),
+        uncovered: tumor.n_samples() as u32,
+    }
+}
+
 /// Run 4-hit greedy discovery functionally across simulated ranks and GPUs.
 ///
 /// Every rank executes the kernels of its node's GPUs (via
@@ -298,6 +400,18 @@ pub fn distributed_discover4_obs(
     cfg: &DistributedConfig,
     obs: &Obs,
 ) -> DistResult {
+    if cfg.kernelize {
+        let (red_t, red_n, cert) = kernelize_broadcast(tumor, normal, cfg, obs);
+        if cert.kept_genes() < 4 {
+            return stalled_dist_result(tumor);
+        }
+        let inner = DistributedConfig {
+            kernelize: false,
+            ..*cfg
+        };
+        let r = distributed_discover4_obs(&red_t, &red_n, &inner, obs);
+        return unmap_dist_result(r, &cert, cfg.alpha);
+    }
     let _run_span = obs.span("distributed_discover");
     let g = tumor.n_genes() as u32;
     let mut work_tumor = tumor.clone();
@@ -635,6 +749,22 @@ pub fn distributed_discover4_ft(
     params: FtParams,
     obs: &Obs,
 ) -> FtDistResult {
+    if cfg.kernelize {
+        let (red_t, red_n, cert) = kernelize_broadcast(tumor, normal, cfg, obs);
+        if cert.kept_genes() < 4 {
+            return FtDistResult {
+                result: stalled_dist_result(tumor),
+                recovery: RecoveryStats::default(),
+            };
+        }
+        let inner = DistributedConfig {
+            kernelize: false,
+            ..*cfg
+        };
+        let mut r = distributed_discover4_ft(&red_t, &red_n, &inner, faults, params, obs);
+        r.result = unmap_dist_result(r.result, &cert, cfg.alpha);
+        return r;
+    }
     let _run_span = obs.span("distributed_discover_ft");
     let g = tumor.n_genes() as u32;
     let total_threads = cfg.scheme.thread_count(g);
@@ -1478,6 +1608,73 @@ mod tests {
     #[cfg(debug_assertions)]
     fn secs_to_ns_rejects_negative_in_debug() {
         let _ = secs_to_ns(-1.0);
+    }
+
+    #[test]
+    fn kernelized_distributed_matches_unkernelized() {
+        // A cohort with useless genes (zero tumor rows) and duplicate rows so
+        // the reduction actually removes something, plus random filler.
+        let (mut t, n) = lcg_matrices(14, 90, 60, 29);
+        for s in 0..90 {
+            t.set(12, s, false);
+            t.set(13, s, t.get(0, s));
+        }
+        let base = DistributedConfig {
+            shape: ClusterShape {
+                nodes: 3,
+                gpus_per_node: 2,
+            },
+            max_combinations: 3,
+            ..DistributedConfig::default()
+        };
+        let plain = distributed_discover4(&t, &n, &base);
+        let kern = distributed_discover4(
+            &t,
+            &n,
+            &DistributedConfig {
+                kernelize: true,
+                ..base
+            },
+        );
+        assert_eq!(kern.combinations, plain.combinations);
+        assert_eq!(kern.uncovered, plain.uncovered);
+        for (a, b) in kern.iterations.iter().zip(&plain.iterations) {
+            assert_eq!(a.best, b.best);
+        }
+
+        let ft = distributed_discover4_ft(
+            &t,
+            &n,
+            &DistributedConfig {
+                kernelize: true,
+                ..base
+            },
+            None,
+            crate::fault::FtParams::fast_test(),
+            &Obs::disabled(),
+        );
+        assert_eq!(ft.result.combinations, plain.combinations);
+        assert_eq!(ft.result.uncovered, plain.uncovered);
+    }
+
+    #[test]
+    fn kernelized_distributed_stalls_on_degenerate_reduction() {
+        // Every gene has a zero tumor row: reduction keeps < 4 genes, the
+        // driver must stall with an empty panel and everything uncovered.
+        let t = BitMatrix::zeros(6, 40);
+        let n = BitMatrix::zeros(6, 20);
+        let cfg = DistributedConfig {
+            shape: ClusterShape {
+                nodes: 2,
+                gpus_per_node: 1,
+            },
+            kernelize: true,
+            max_combinations: 2,
+            ..DistributedConfig::default()
+        };
+        let r = distributed_discover4(&t, &n, &cfg);
+        assert!(r.combinations.is_empty());
+        assert_eq!(r.uncovered, 40);
     }
 
     #[test]

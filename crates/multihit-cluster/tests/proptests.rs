@@ -262,6 +262,61 @@ proptest! {
     }
 
     #[test]
+    fn kernelized_distributed_discovery_equals_unkernelized(
+        seed in 0u64..10_000,
+        density in 2u64..6,
+    ) {
+        use multihit_cluster::driver::{distributed_discover4, DistributedConfig};
+        use multihit_cluster::topology::ClusterShape;
+        use multihit_core::bitmat::BitMatrix;
+
+        // Sparser than the reference-identity cohort so the reduction has
+        // useless genes and dominated rows to actually remove.
+        let g = 12usize;
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        let mut t = BitMatrix::zeros(g, 70);
+        let mut n = BitMatrix::zeros(g, 40);
+        for gene in 0..g {
+            // Every fourth gene is left empty: guaranteed useless rows.
+            if gene % 4 == 3 {
+                continue;
+            }
+            for s in 0..70 {
+                if next() % density == 0 {
+                    t.set(gene, s, true);
+                }
+            }
+            for s in 0..40 {
+                if next() % (density + 2) == 0 {
+                    n.set(gene, s, true);
+                }
+            }
+        }
+        for nodes in [1usize, 3] {
+            let base = DistributedConfig {
+                shape: ClusterShape { nodes, gpus_per_node: 2 },
+                max_combinations: 3,
+                ..DistributedConfig::default()
+            };
+            let reference = distributed_discover4(&t, &n, &base);
+            let kern = distributed_discover4(
+                &t,
+                &n,
+                &DistributedConfig { kernelize: true, ..base },
+            );
+            prop_assert!(
+                kern.combinations == reference.combinations,
+                "diverged at nodes {nodes}"
+            );
+            prop_assert_eq!(kern.uncovered, reference.uncovered);
+        }
+    }
+
+    #[test]
     fn reduce_to_root_is_order_independent(
         size in 1usize..10,
         values in prop::collection::vec(0u64..1000, 10),

@@ -277,6 +277,87 @@ impl BitMatrix {
     pub fn mask_indices(mask: &[u64], n_samples: usize) -> impl Iterator<Item = usize> + '_ {
         (0..n_samples).filter(move |&s| (mask[s / WORD_BITS] >> (s % WORD_BITS)) & 1 == 1)
     }
+
+    /// A new matrix holding only the given rows, in the given order.
+    /// Whole-word copies; sample columns are untouched.
+    ///
+    /// # Panics
+    /// Panics if any row index is out of range.
+    #[must_use]
+    pub fn select_rows(&self, rows: &[u32]) -> BitMatrix {
+        let mut out = BitMatrix::zeros(rows.len(), self.n_samples);
+        for (dst, &g) in rows.iter().enumerate() {
+            let src = self.row(g as usize);
+            let off = dst * out.words_per_row;
+            out.data[off..off + out.words_per_row].copy_from_slice(src);
+        }
+        out
+    }
+}
+
+/// Per-gene skip lists over the all-zero 64-bit words of a [`BitMatrix`].
+///
+/// Real mutation matrices are overwhelmingly zeros: at TCGA-like rates most
+/// genes are mutated in well under 1% of samples, so most packed words of a
+/// row are 0 and contribute nothing to any AND chain or popcount. A
+/// `SkipIndex` records, per gene, the sorted indices of the row's *nonzero*
+/// words; sparse scan paths seed their compact partial ANDs from this list
+/// and never touch the zero words at all. Results are bit-identical to the
+/// dense scan by construction.
+///
+/// The index is derived data: build it once per scan over an immutable
+/// matrix (splicing invalidates it).
+#[derive(Clone, Debug)]
+pub struct SkipIndex {
+    /// `rows[g]` = sorted indices of gene `g`'s nonzero words.
+    rows: Vec<Vec<u32>>,
+    /// Total nonzero words across all rows.
+    nonzero_words: u64,
+    /// Total words across all rows (genes × words_per_row).
+    total_words: u64,
+}
+
+impl SkipIndex {
+    /// Scan `m` and record every gene's nonzero-word positions.
+    #[must_use]
+    pub fn build(m: &BitMatrix) -> SkipIndex {
+        let mut rows = Vec::with_capacity(m.n_genes());
+        let mut nonzero_words = 0u64;
+        for g in 0..m.n_genes() {
+            let idx: Vec<u32> = m
+                .row(g)
+                .iter()
+                .enumerate()
+                .filter(|(_, &w)| w != 0)
+                .map(|(i, _)| i as u32)
+                .collect();
+            nonzero_words += idx.len() as u64;
+            rows.push(idx);
+        }
+        SkipIndex {
+            rows,
+            nonzero_words,
+            total_words: (m.n_genes() * m.words_per_row()) as u64,
+        }
+    }
+
+    /// Sorted nonzero-word indices of gene `g`'s row.
+    #[inline]
+    #[must_use]
+    pub fn row(&self, g: usize) -> &[u32] {
+        &self.rows[g]
+    }
+
+    /// Fraction of packed words that are all-zero (what the sparse scan
+    /// skips when seeding from a single row).
+    #[must_use]
+    pub fn zero_word_fraction(&self) -> f64 {
+        if self.total_words == 0 {
+            0.0
+        } else {
+            1.0 - self.nonzero_words as f64 / self.total_words as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -404,6 +485,31 @@ mod tests {
     fn oob_get_panics() {
         let m = sample_matrix();
         let _ = m.get(0, 70);
+    }
+
+    #[test]
+    fn select_rows_copies_whole_rows() {
+        let m = sample_matrix();
+        let s = m.select_rows(&[2, 0]);
+        assert_eq!(s.n_genes(), 2);
+        assert_eq!(s.n_samples(), 70);
+        assert_eq!(s.row(0), m.row(2));
+        assert_eq!(s.row(1), m.row(0));
+        assert!(s.tail_is_clean());
+    }
+
+    #[test]
+    fn skip_index_finds_nonzero_words() {
+        let mut m = BitMatrix::zeros(3, 200); // 4 words per row
+        m.set(0, 0, true);
+        m.set(0, 130, true); // words 0 and 2
+        m.set(2, 70, true); // word 1
+        let idx = SkipIndex::build(&m);
+        assert_eq!(idx.row(0), &[0, 2]);
+        assert_eq!(idx.row(1), &[] as &[u32]);
+        assert_eq!(idx.row(2), &[1]);
+        let frac = idx.zero_word_fraction();
+        assert!((frac - 9.0 / 12.0).abs() < 1e-12, "frac {frac}");
     }
 
     #[test]

@@ -36,7 +36,7 @@
 //! (the unspliced baseline the Fig 5 ablation compares against). Both modes
 //! produce identical combinations; tests assert it.
 
-use crate::bitmat::BitMatrix;
+use crate::bitmat::{BitMatrix, SkipIndex};
 use crate::combin::{binomial, unrank_tuple};
 use crate::frontier::{self, Frontier, TopK};
 use crate::kernel;
@@ -67,6 +67,34 @@ impl Exclusion {
     }
 }
 
+/// When the scan uses the sparse (skip-list) partial-AND representation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SparseMode {
+    /// Measure the matrices' zero-word fraction and enable the sparse path
+    /// when at least [`SPARSE_AUTO_THRESHOLD`] of packed words are zero.
+    Auto,
+    /// Always scan sparse.
+    On,
+    /// Always scan dense.
+    Off,
+}
+
+impl SparseMode {
+    /// Stable name used in metric streams and CLI flags.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SparseMode::Auto => "auto",
+            SparseMode::On => "on",
+            SparseMode::Off => "off",
+        }
+    }
+}
+
+/// Zero-word fraction (across tumor + normal words) at which
+/// [`SparseMode::Auto`] switches the scan to the sparse path.
+pub const SPARSE_AUTO_THRESHOLD: f64 = 0.5;
+
 /// Configuration for a greedy discovery run.
 #[derive(Clone, Copy, Debug)]
 pub struct GreedyConfig {
@@ -86,6 +114,12 @@ pub struct GreedyConfig {
     /// (see [`crate::frontier`]). 0 disables the frontier; the selected
     /// combinations are bit-identical either way.
     pub frontier_k: usize,
+    /// Run the exact [`crate::kernelize`] reduction before the greedy loop
+    /// and un-map the result. The selected panel is bit-identical either
+    /// way; defaults off so existing call sites keep their exact behavior.
+    pub kernelize: bool,
+    /// Sparse (skip-list) scan selection; bit-identical in every mode.
+    pub sparse: SparseMode,
 }
 
 impl Default for GreedyConfig {
@@ -97,6 +131,8 @@ impl Default for GreedyConfig {
             parallel: true,
             prune: true,
             frontier_k: frontier::DEFAULT_FRONTIER_K,
+            kernelize: false,
+            sparse: SparseMode::Auto,
         }
     }
 }
@@ -114,6 +150,8 @@ pub struct ScanStats {
     pub blocks: u64,
     /// Blocks beyond each worker's first (load rebalanced at runtime).
     pub steals: u64,
+    /// All-zero 64-bit words the sparse scan never touched (0 when dense).
+    pub words_skipped: u64,
 }
 
 impl ScanStats {
@@ -124,6 +162,7 @@ impl ScanStats {
         self.pruned_combos += other.pruned_combos;
         self.blocks += other.blocks;
         self.steals += other.steals;
+        self.words_skipped += other.words_skipped;
     }
 
     /// Fraction of the enumerated range eliminated without scoring.
@@ -190,8 +229,21 @@ pub struct ComboScanner<'a, const H: usize> {
     g: u32,
     n_normal: u32,
     /// partial_t[t] = AND over tumor rows of genes c[t..H] (and the mask).
+    /// Empty (unallocated) when scanning sparse.
     partial_t: Vec<Vec<u64>>,
     partial_n: Vec<Vec<u64>>,
+    /// Sparse mode: per-gene skip lists over all-zero words. When set, the
+    /// per-level partials are kept *compacted* as parallel (word index,
+    /// word value) vectors instead of dense rows — the AND support only
+    /// shrinks as the chain deepens, so deeper rebuilds touch fewer words.
+    skip: Option<(&'a SkipIndex, &'a SkipIndex)>,
+    sp_idx_t: Vec<Vec<u32>>,
+    sp_val_t: Vec<Vec<u64>>,
+    sp_idx_n: Vec<Vec<u32>>,
+    sp_val_n: Vec<Vec<u64>>,
+    /// Words a dense rebuild would have touched that the sparse path
+    /// skipped (both matrices).
+    words_skipped: u64,
     /// pop_t[t] = popcount of partial_t[t], maintained by the fused
     /// AND+store+popcount kernel during rebuilds. pop_t[0] is TP; every
     /// higher level is the branch-and-bound TP upper bound for its subtree.
@@ -215,9 +267,63 @@ impl<'a, const H: usize> ComboScanner<'a, H> {
         alpha: Alpha,
         start: u64,
     ) -> Self {
+        Self::build(tumor, normal, tumor_mask, alpha, start, None)
+    }
+
+    /// [`Self::new`] scanning through per-gene skip lists: partial ANDs are
+    /// kept compacted and all-zero words are never touched. Bit-identical
+    /// to the dense scanner (zero words contribute nothing to any AND or
+    /// popcount); [`Self::words_skipped`] reports the saved word traffic.
+    ///
+    /// The indexes must have been built from exactly these matrices.
+    ///
+    /// # Panics
+    /// Panics if the matrices disagree on gene count or `H > G`.
+    #[must_use]
+    pub fn with_skip(
+        tumor: &'a BitMatrix,
+        normal: &'a BitMatrix,
+        tumor_mask: Option<&'a [u64]>,
+        alpha: Alpha,
+        start: u64,
+        skip: (&'a SkipIndex, &'a SkipIndex),
+    ) -> Self {
+        Self::build(tumor, normal, tumor_mask, alpha, start, Some(skip))
+    }
+
+    fn build(
+        tumor: &'a BitMatrix,
+        normal: &'a BitMatrix,
+        tumor_mask: Option<&'a [u64]>,
+        alpha: Alpha,
+        start: u64,
+        skip: Option<(&'a SkipIndex, &'a SkipIndex)>,
+    ) -> Self {
         assert_eq!(tumor.n_genes(), normal.n_genes(), "gene universes differ");
         let g = tumor.n_genes() as u32;
         assert!(H as u32 <= g, "H = {H} exceeds G = {g}");
+        let sparse = skip.is_some();
+        let dense_alloc = |words: usize| {
+            if sparse {
+                Vec::new()
+            } else {
+                vec![vec![0; words]; H]
+            }
+        };
+        let sparse_idx = |words: usize| {
+            if sparse {
+                vec![Vec::with_capacity(words); H]
+            } else {
+                Vec::new()
+            }
+        };
+        let sparse_val = |words: usize| {
+            if sparse {
+                vec![Vec::with_capacity(words); H]
+            } else {
+                Vec::new()
+            }
+        };
         let mut s = ComboScanner {
             tumor,
             normal,
@@ -225,14 +331,26 @@ impl<'a, const H: usize> ComboScanner<'a, H> {
             alpha,
             g,
             n_normal: normal.n_samples() as u32,
-            partial_t: vec![vec![0; tumor.words_per_row()]; H],
-            partial_n: vec![vec![0; normal.words_per_row()]; H],
+            partial_t: dense_alloc(tumor.words_per_row()),
+            partial_n: dense_alloc(normal.words_per_row()),
+            skip,
+            sp_idx_t: sparse_idx(tumor.words_per_row()),
+            sp_val_t: sparse_val(tumor.words_per_row()),
+            sp_idx_n: sparse_idx(normal.words_per_row()),
+            sp_val_n: sparse_val(normal.words_per_row()),
+            words_skipped: 0,
             pop_t: [0; H],
             pop_n: [0; H],
             combo: unrank_tuple::<H>(start),
         };
         s.rebuild_from(H - 1);
         s
+    }
+
+    /// All-zero words the sparse path skipped so far (0 for dense scans).
+    #[must_use]
+    pub fn words_skipped(&self) -> u64 {
+        self.words_skipped
     }
 
     /// Recompute partial ANDs (and their popcounts) for levels `t..=0` after
@@ -245,6 +363,10 @@ impl<'a, const H: usize> ComboScanner<'a, H> {
 
     /// Recompute one level's partial AND, assuming the level above is fresh.
     fn rebuild_level(&mut self, level: usize) {
+        if self.skip.is_some() {
+            self.rebuild_level_sparse(level);
+            return;
+        }
         let gene = self.combo[level] as usize;
         if level == H - 1 {
             let row_t = self.tumor.row(gene);
@@ -271,6 +393,86 @@ impl<'a, const H: usize> ComboScanner<'a, H> {
             let (lower_n, upper_n) = self.partial_n.split_at_mut(level + 1);
             self.pop_n[level] =
                 kernel::and_store_popcount(&mut lower_n[level], self.normal.row(gene), &upper_n[0]);
+        }
+    }
+
+    /// Sparse [`Self::rebuild_level`]: the top level seeds its compact
+    /// partial from the gene's skip list (folding in the mask); lower
+    /// levels AND their row into the level above's compact support via
+    /// [`kernel::and_compact`], dropping words that go to zero.
+    fn rebuild_level_sparse(&mut self, level: usize) {
+        let gene = self.combo[level] as usize;
+        let (t_skip, n_skip) = self.skip.expect("sparse rebuild without skip index");
+        let wt = self.tumor.words_per_row() as u64;
+        let wn = self.normal.words_per_row() as u64;
+        if level == H - 1 {
+            let row = self.tumor.row(gene);
+            let list = t_skip.row(gene);
+            let idx = &mut self.sp_idx_t[level];
+            let val = &mut self.sp_val_t[level];
+            idx.clear();
+            val.clear();
+            let mut pop = 0u32;
+            match self.tumor_mask {
+                Some(m) => {
+                    for &wi in list {
+                        let w = row[wi as usize] & m[wi as usize];
+                        if w != 0 {
+                            idx.push(wi);
+                            val.push(w);
+                            pop += w.count_ones();
+                        }
+                    }
+                }
+                None => {
+                    for &wi in list {
+                        let w = row[wi as usize];
+                        idx.push(wi);
+                        val.push(w);
+                        pop += w.count_ones();
+                    }
+                }
+            }
+            self.pop_t[level] = pop;
+            self.words_skipped += wt - list.len() as u64;
+
+            let row = self.normal.row(gene);
+            let list = n_skip.row(gene);
+            let idx = &mut self.sp_idx_n[level];
+            let val = &mut self.sp_val_n[level];
+            idx.clear();
+            val.clear();
+            let mut pop = 0u32;
+            for &wi in list {
+                let w = row[wi as usize];
+                idx.push(wi);
+                val.push(w);
+                pop += w.count_ones();
+            }
+            self.pop_n[level] = pop;
+            self.words_skipped += wn - list.len() as u64;
+        } else {
+            let (lo_i, hi_i) = self.sp_idx_t.split_at_mut(level + 1);
+            let (lo_v, hi_v) = self.sp_val_t.split_at_mut(level + 1);
+            self.pop_t[level] = kernel::and_compact(
+                &hi_i[0],
+                &hi_v[0],
+                self.tumor.row(gene),
+                &mut lo_i[level],
+                &mut lo_v[level],
+            );
+            self.words_skipped += wt - hi_i[0].len() as u64;
+
+            let (lo_i, hi_i) = self.sp_idx_n.split_at_mut(level + 1);
+            let (lo_v, hi_v) = self.sp_val_n.split_at_mut(level + 1);
+            self.pop_n[level] = kernel::and_compact(
+                &hi_i[0],
+                &hi_v[0],
+                self.normal.row(gene),
+                &mut lo_i[level],
+                &mut lo_v[level],
+            );
+            self.words_skipped += wn - hi_i[0].len() as u64;
         }
     }
 
@@ -551,6 +753,24 @@ pub fn best_combination_stats<const H: usize>(
     best_combination_seeded(tumor, normal, tumor_mask, cfg, 0)
 }
 
+/// Resolve [`GreedyConfig::sparse`] for a scan over these matrices: build
+/// the per-gene skip indexes (once per scan; splicing invalidates them) and
+/// keep them only when forced on or the zero-word fraction clears
+/// [`SPARSE_AUTO_THRESHOLD`].
+fn build_skip(
+    mode: SparseMode,
+    tumor: &BitMatrix,
+    normal: &BitMatrix,
+) -> Option<(SkipIndex, SkipIndex)> {
+    if mode == SparseMode::Off {
+        return None;
+    }
+    let ts = SkipIndex::build(tumor);
+    let ns = SkipIndex::build(normal);
+    let frac = (ts.zero_word_fraction() + ns.zero_word_fraction()) / 2.0;
+    (mode == SparseMode::On || frac >= SPARSE_AUTO_THRESHOLD).then_some((ts, ns))
+}
+
 /// [`best_combination_stats`] with the shared pruning bound *seeded*.
 ///
 /// `seed_score` must be a score some combination of the **current**
@@ -580,8 +800,15 @@ pub fn best_combination_seeded<const H: usize>(
     } else {
         1
     };
+    let skip = build_skip(cfg.sparse, tumor, normal);
+    let make_scanner = |start: u64| match &skip {
+        Some((ts, ns)) => {
+            ComboScanner::<H>::with_skip(tumor, normal, tumor_mask, cfg.alpha, start, (ts, ns))
+        }
+        None => ComboScanner::<H>::new(tumor, normal, tumor_mask, cfg.alpha, start),
+    };
     if workers == 1 {
-        let mut sc = ComboScanner::<H>::new(tumor, normal, tumor_mask, cfg.alpha, 0);
+        let mut sc = make_scanner(0);
         let best = if cfg.prune {
             let shared = (seed_score > 0).then(|| AtomicU64::new(seed_score));
             sc.scan_pruned(total, Scored::NEG_INFINITY, shared.as_ref(), &mut stats)
@@ -590,6 +817,7 @@ pub fn best_combination_seeded<const H: usize>(
             sc.scan(total)
         };
         stats.blocks = 1;
+        stats.words_skipped = sc.words_skipped();
         return (best, stats);
     }
     let queue = BlockQueue::new(total, workers);
@@ -599,13 +827,14 @@ pub fn best_combination_seeded<const H: usize>(
         let mut st = ScanStats::default();
         while let Some((lo, hi)) = queue.next() {
             st.blocks += 1;
-            let mut sc = ComboScanner::<H>::new(tumor, normal, tumor_mask, cfg.alpha, lo);
+            let mut sc = make_scanner(lo);
             if cfg.prune {
                 local = sc.scan_pruned(hi - lo, local, Some(&shared), &mut st);
             } else {
                 st.scored += hi - lo;
                 local = local.max_det(sc.scan(hi - lo));
             }
+            st.words_skipped += sc.words_skipped();
         }
         if st.blocks > 0 {
             st.steals = st.blocks - 1;
@@ -652,12 +881,20 @@ pub fn best_combination_frontier<const H: usize>(
     } else {
         1
     };
+    let skip = build_skip(cfg.sparse, tumor, normal);
+    let make_scanner = |start: u64| match &skip {
+        Some((ts, ns)) => {
+            ComboScanner::<H>::with_skip(tumor, normal, tumor_mask, cfg.alpha, start, (ts, ns))
+        }
+        None => ComboScanner::<H>::new(tumor, normal, tumor_mask, cfg.alpha, start),
+    };
     if workers == 1 {
         let mut acc = TopK::new(k);
-        let mut sc = ComboScanner::<H>::new(tumor, normal, tumor_mask, cfg.alpha, 0);
+        let mut sc = make_scanner(0);
         let shared = (seed_floor > 0).then(|| AtomicU64::new(seed_floor));
         sc.scan_topk(total, &mut acc, cfg.prune, shared.as_ref(), &mut stats);
         stats.blocks = 1;
+        stats.words_skipped = sc.words_skipped();
         let fr = Frontier::new(acc.into_sorted(), total);
         return (fr.best(), stats, fr);
     }
@@ -668,8 +905,9 @@ pub fn best_combination_frontier<const H: usize>(
         let mut st = ScanStats::default();
         while let Some((lo, hi)) = queue.next() {
             st.blocks += 1;
-            let mut sc = ComboScanner::<H>::new(tumor, normal, tumor_mask, cfg.alpha, lo);
+            let mut sc = make_scanner(lo);
             sc.scan_topk(hi - lo, &mut acc, cfg.prune, Some(&shared), &mut st);
+            st.words_skipped += sc.words_skipped();
         }
         if st.blocks > 0 {
             st.steals = st.blocks - 1;
@@ -710,6 +948,11 @@ pub fn discover_obs<const H: usize>(
     cfg: &GreedyConfig,
     obs: &Obs,
 ) -> GreedyResult<H> {
+    if cfg.kernelize {
+        // Reduce first, run the greedy loop on the reduced instance, and
+        // un-map. Bit-identical panels either way (see `crate::kernelize`).
+        return crate::kernelize::discover_kernelized_obs::<H>(tumor, normal, cfg, obs);
+    }
     let _run_span = obs.span("discover");
     let n_tumor = tumor.n_samples() as u32;
     let n_normal = normal.n_samples() as u32;
@@ -823,6 +1066,7 @@ pub fn discover_obs<const H: usize>(
                     ("steals", scan_stats.steals.into()),
                     ("frontier_hit", u64::from(frontier_hit).into()),
                     ("frontier_rescored", frontier_rescored.into()),
+                    ("words_skipped", scan_stats.words_skipped.into()),
                     ("kernel", kernel::active().name().into()),
                 ],
             );
@@ -836,6 +1080,7 @@ pub fn discover_obs<const H: usize>(
             obs.counter_add("greedy.pruned_subtrees", scan_stats.pruned_subtrees);
             obs.counter_add("greedy.steal_blocks", scan_stats.blocks);
             obs.counter_add("greedy.steals", scan_stats.steals);
+            obs.counter_add("greedy.words_skipped", scan_stats.words_skipped);
             obs.counter_add("greedy.scan_ns", scan_ns);
             obs.counter_add("greedy.splice_ns", splice_ns);
             obs.counter_add("greedy.splice_words", splice_words);
@@ -976,6 +1221,61 @@ mod tests {
         let mut b = ComboScanner::<3>::new(&t, &n, None, Alpha::PAPER, total / 2);
         let second = b.scan(total - total / 2);
         assert_eq!(first.max_det(second), whole);
+    }
+
+    #[test]
+    fn sparse_scan_is_bit_identical_to_dense() {
+        use crate::bitmat::SkipIndex;
+        for seed in [4u64, 19, 73] {
+            let (t, n) = lcg_matrices(12, 200, 130, seed);
+            let total = binomial(12, 3);
+            let ts = SkipIndex::build(&t);
+            let ns = SkipIndex::build(&n);
+            let mut dense = ComboScanner::<3>::new(&t, &n, None, Alpha::PAPER, 0);
+            let mut sparse =
+                ComboScanner::<3>::with_skip(&t, &n, None, Alpha::PAPER, 0, (&ts, &ns));
+            assert_eq!(sparse.scan(total), dense.scan(total));
+            // Under a mask too.
+            let mut mask = t.full_mask();
+            mask[0] &= 0x0f0f_0f0f_0f0f_0f0f;
+            let mut dense = ComboScanner::<3>::new(&t, &n, Some(&mask), Alpha::PAPER, 0);
+            let mut sparse =
+                ComboScanner::<3>::with_skip(&t, &n, Some(&mask), Alpha::PAPER, 0, (&ts, &ns));
+            assert_eq!(sparse.scan(total), dense.scan(total));
+        }
+    }
+
+    #[test]
+    fn sparse_mode_on_matches_off_end_to_end() {
+        let (t, n) = lcg_matrices(14, 150, 90, 33);
+        let base = GreedyConfig {
+            parallel: false,
+            sparse: SparseMode::Off,
+            ..GreedyConfig::default()
+        };
+        let on = GreedyConfig {
+            sparse: SparseMode::On,
+            ..base
+        };
+        let want = discover::<3>(&t, &n, &base);
+        let got = discover::<3>(&t, &n, &on);
+        assert_eq!(want.combinations, got.combinations);
+        assert_eq!(want.uncovered, got.uncovered);
+        // On a genuinely sparse input the sparse path must skip zero words
+        // (and Auto must pick it up).
+        let mut st = BitMatrix::zeros(8, 640);
+        let mut sn = BitMatrix::zeros(8, 640);
+        for g in 0..8 {
+            st.set(g, g * 70, true);
+            st.set(g, g * 70 + 3, true);
+            sn.set(g, 639 - g, true);
+        }
+        let auto = GreedyConfig {
+            sparse: SparseMode::Auto,
+            ..base
+        };
+        let (_, stats) = best_combination_stats::<3>(&st, &sn, None, &auto);
+        assert!(stats.words_skipped > 0, "stats: {stats:?}");
     }
 
     #[test]

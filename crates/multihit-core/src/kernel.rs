@@ -203,6 +203,43 @@ pub fn and_rows_popcount_scalar(rows: &[&[u64]]) -> u32 {
     total
 }
 
+/// Sparse fused AND+store+popcount over a *compact* parent support.
+///
+/// `parent_idx`/`parent_val` hold the nonzero words of a partial AND as
+/// (word index, word value) pairs in increasing index order. The result of
+/// ANDing `row` into that partial is written — again compacted, zero words
+/// dropped — into `out_idx`/`out_val` (cleared first), and the total
+/// popcount is returned. Because an AND can only *clear* bits, the support
+/// shrinks monotonically as a combination chain deepens, so deeper levels
+/// touch ever fewer words. Bit-identical to the dense kernel by
+/// construction: only all-zero words (which contribute nothing to any AND
+/// or popcount) are skipped.
+///
+/// Gathers through data-dependent indices don't vectorize profitably, so
+/// this is a single portable path used by both dispatch modes.
+#[must_use]
+pub fn and_compact(
+    parent_idx: &[u32],
+    parent_val: &[u64],
+    row: &[u64],
+    out_idx: &mut Vec<u32>,
+    out_val: &mut Vec<u64>,
+) -> u32 {
+    debug_assert_eq!(parent_idx.len(), parent_val.len());
+    out_idx.clear();
+    out_val.clear();
+    let mut pop = 0u32;
+    for (&wi, &pv) in parent_idx.iter().zip(parent_val) {
+        let w = pv & row[wi as usize];
+        if w != 0 {
+            out_idx.push(wi);
+            out_val.push(w);
+            pop += w.count_ones();
+        }
+    }
+    pop
+}
+
 /// Parallel bit extract: compact the bits of `x` selected by `mask` into the
 /// low bits of the result — the per-word primitive of column splicing.
 #[must_use]
@@ -521,6 +558,39 @@ mod tests {
                     and_rows_popcount_scalar(&rows),
                     "n={n}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn and_compact_matches_dense() {
+        for n in [0usize, 1, 4, 7, 16] {
+            let a = lcg_words(n, 11);
+            let row = lcg_words(n, 29);
+            // Seed the compact parent from `a`, dropping every third word to
+            // simulate an already-sparse support.
+            let mut pidx = Vec::new();
+            let mut pval = Vec::new();
+            for (i, &w) in a.iter().enumerate() {
+                if i % 3 != 0 && w != 0 {
+                    pidx.push(i as u32);
+                    pval.push(w);
+                }
+            }
+            let mut oidx = Vec::new();
+            let mut oval = Vec::new();
+            let pop = and_compact(&pidx, &pval, &row, &mut oidx, &mut oval);
+            let want: u32 = pidx
+                .iter()
+                .zip(&pval)
+                .map(|(&i, &v)| (v & row[i as usize]).count_ones())
+                .sum();
+            assert_eq!(pop, want, "n={n}");
+            assert!(oval.iter().all(|&w| w != 0));
+            assert!(oidx.windows(2).all(|w| w[0] < w[1]));
+            for (&i, &v) in oidx.iter().zip(&oval) {
+                let orig = pidx.iter().position(|&p| p == i).unwrap();
+                assert_eq!(v, pval[orig] & row[i as usize]);
             }
         }
     }

@@ -26,6 +26,9 @@
 //!   lazy-greedy (Minoux) skip of later full scans;
 //! * [`greedy`] — the full greedy discovery loop with an incremental
 //!   partial-AND scanner;
+//! * [`kernelize`] — exact instance reduction (dominated/useless genes,
+//!   removable sample columns) with a certificate mapping reduced results
+//!   back to original indices;
 //! * [`naive`] — the uncompressed byte-matrix baseline (§II-C comparator);
 //! * [`setcover`] — the generic weighted-set-cover greedy the multi-hit
 //!   problem maps to (§II-B);
@@ -52,6 +55,7 @@ pub mod combin;
 pub mod frontier;
 pub mod greedy;
 pub mod kernel;
+pub mod kernelize;
 pub mod memopt;
 pub mod naive;
 pub mod obs;
@@ -62,7 +66,8 @@ pub mod setcover;
 pub mod sweep;
 pub mod weight;
 
-pub use bitmat::BitMatrix;
-pub use greedy::{discover, GreedyConfig, GreedyResult};
+pub use bitmat::{BitMatrix, SkipIndex};
+pub use greedy::{discover, GreedyConfig, GreedyResult, SparseMode};
+pub use kernelize::{kernelize, ReductionCert, ReductionStats};
 pub use obs::{FaultReport, Obs, RecoveryReport, RunReport};
 pub use weight::{Alpha, Combo, Scored};

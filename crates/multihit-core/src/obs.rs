@@ -749,6 +749,36 @@ pub struct GreedyIterReport {
     pub frontier_hit: u64,
     /// Frontier members rescored this iteration.
     pub frontier_rescored: u64,
+    /// All-zero words the sparse scan skipped (0 on dense scans and on
+    /// streams from older versions).
+    pub words_skipped: u64,
+}
+
+/// The instance-reduction summary (from the `kernelize` point).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct KernelizeReport {
+    /// Reduction wall time, nanoseconds.
+    pub kernelize_ns: u64,
+    /// Genes before reduction.
+    pub orig_genes: u64,
+    /// Genes surviving reduction.
+    pub kept_genes: u64,
+    /// Genes removed for an all-zero tumor row.
+    pub useless_genes: u64,
+    /// Genes removed by the ≥H-dominators rule.
+    pub dominated_genes: u64,
+    /// Uncoverable tumor columns removed.
+    pub zero_tumor_cols: u64,
+    /// All-zero normal columns removed (uniform TN shift).
+    pub zero_normal_cols: u64,
+    /// All-ones normal columns removed (no shift).
+    pub ones_normal_cols: u64,
+    /// All-ones tumor columns detected (not removed).
+    pub forced_tumor_cols: u64,
+    /// Duplicate nonzero tumor columns detected (not removed).
+    pub dup_tumor_cols: u64,
+    /// Fraction of genes removed.
+    pub gene_reduction: f64,
 }
 
 /// One rank's aggregated busy/idle attribution (from `rank` points).
@@ -880,6 +910,8 @@ pub struct RunReport {
     pub recoveries: Vec<RecoveryReport>,
     /// Serving-layer aggregates (all-zero for non-serving runs).
     pub serve: ServeReport,
+    /// Instance-reduction summary (None when kernelization did not run).
+    pub kernelize: Option<KernelizeReport>,
     /// Final counter registry.
     pub counters: BTreeMap<String, u64>,
 }
@@ -908,6 +940,22 @@ impl RunReport {
                         steals: e.u64("steals").unwrap_or(0),
                         frontier_hit: e.u64("frontier_hit").unwrap_or(0),
                         frontier_rescored: e.u64("frontier_rescored").unwrap_or(0),
+                        words_skipped: e.u64("words_skipped").unwrap_or(0),
+                    });
+                }
+                (EventKind::Point, "kernelize") => {
+                    r.kernelize = Some(KernelizeReport {
+                        kernelize_ns: e.u64("kernelize_ns").unwrap_or(0),
+                        orig_genes: e.u64("orig_genes").unwrap_or(0),
+                        kept_genes: e.u64("kept_genes").unwrap_or(0),
+                        useless_genes: e.u64("useless_genes").unwrap_or(0),
+                        dominated_genes: e.u64("dominated_genes").unwrap_or(0),
+                        zero_tumor_cols: e.u64("zero_tumor_cols").unwrap_or(0),
+                        zero_normal_cols: e.u64("zero_normal_cols").unwrap_or(0),
+                        ones_normal_cols: e.u64("ones_normal_cols").unwrap_or(0),
+                        forced_tumor_cols: e.u64("forced_tumor_cols").unwrap_or(0),
+                        dup_tumor_cols: e.u64("dup_tumor_cols").unwrap_or(0),
+                        gene_reduction: finite_or_zero(e.f64("gene_reduction").unwrap_or(0.0)),
                     });
                 }
                 (EventKind::Point, "rank") => {
@@ -1047,6 +1095,20 @@ impl RunReport {
     #[must_use]
     pub fn total_frontier_rescored(&self) -> u64 {
         self.greedy_iters.iter().map(|i| i.frontier_rescored).sum()
+    }
+
+    /// Total all-zero words the sparse scan skipped across iterations.
+    #[must_use]
+    pub fn total_words_skipped(&self) -> u64 {
+        self.greedy_iters.iter().map(|i| i.words_skipped).sum()
+    }
+
+    /// Genes removed by kernelization (0 when it did not run).
+    #[must_use]
+    pub fn genes_removed(&self) -> u64 {
+        self.kernelize
+            .as_ref()
+            .map_or(0, |k| k.useless_genes + k.dominated_genes)
     }
 
     /// Fraction of iterations the frontier skipped the full scan (0.0 on

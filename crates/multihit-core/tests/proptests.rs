@@ -7,9 +7,13 @@ use multihit_core::combin::{
 };
 use multihit_core::greedy::{
     best_combination, best_combination_stats, discover, ComboScanner, Exclusion, GreedyConfig,
+    SparseMode,
 };
 use multihit_core::kernel;
+use multihit_core::kernelize::kernelize;
 use multihit_core::reduce::{block_reduce, gpu_reduce, tree_reduce};
+use multihit_core::schemes::Scheme4;
+use multihit_core::sweep::{levels_scheme4, total_area};
 use multihit_core::weight::{score_combo, Alpha, Scored};
 use proptest::prelude::*;
 
@@ -308,6 +312,55 @@ proptest! {
     }
 
     #[test]
+    fn kernelized_discovery_identical_to_plain((td, nd) in cohort(8, 48)) {
+        let t = BitMatrix::from_dense(&td);
+        let n = BitMatrix::from_dense(&nd);
+        prop_assume!(t.n_genes() >= 2);
+        for exclusion in [Exclusion::BitSplice, Exclusion::Mask] {
+            let reference = discover::<2>(
+                &t,
+                &n,
+                &GreedyConfig { parallel: false, exclusion, ..GreedyConfig::default() },
+            );
+            let got = discover::<2>(
+                &t,
+                &n,
+                &GreedyConfig { parallel: false, exclusion, kernelize: true, ..GreedyConfig::default() },
+            );
+            prop_assert_eq!(&got.combinations, &reference.combinations);
+            prop_assert_eq!(got.uncovered, reference.uncovered);
+        }
+    }
+
+    #[test]
+    fn kernelize_unrank_roundtrips_and_rescores(
+        (td, nd) in cohort(9, 40),
+        lambda_seed in any::<u64>(),
+    ) {
+        let t = BitMatrix::from_dense(&td);
+        let n = BitMatrix::from_dense(&nd);
+        let (rt, rn, cert) = kernelize(&t, &n, 3);
+        prop_assume!(cert.kept_genes() >= 3);
+        let lambda = lambda_seed % binomial(cert.kept_genes() as u64, 3);
+        let c_red = unrank_tuple::<3>(lambda);
+        let c_orig = cert.unmap_combo(c_red);
+        // The gene map is strictly increasing: a colex-unranked combination
+        // stays sorted, and ranks stay ordered after un-mapping.
+        prop_assert!(c_orig.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(rank_tuple(&c_orig) >= lambda);
+        // Re-scoring the un-mapped combination on the ORIGINAL matrices
+        // must agree with un-mapping the reduced-instance score.
+        let s_red = score_combo(&rt, &rn, &c_red, Alpha::PAPER);
+        let s_orig = score_combo(&t, &n, &c_orig, Alpha::PAPER);
+        if s_red.tp > 0 {
+            prop_assert_eq!(cert.unmap_scored(s_red, Alpha::PAPER), s_orig);
+        } else {
+            prop_assert_eq!(s_orig.tp, 0);
+            prop_assert_eq!(s_orig.score, 0);
+        }
+    }
+
+    #[test]
     fn max_det_total_order(
         a in (0u64..10, 0u32..6, 0u32..6),
         b in (0u64..10, 0u32..6, 0u32..6),
@@ -323,4 +376,100 @@ proptest! {
         // Idempotence.
         prop_assert_eq!(x.max_det(x), x);
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sparse_scan_identical_to_dense(
+        (td, nd) in cohort(10, 80),
+        kinds in prop::collection::vec(0usize..4, 10),
+        masked in any::<bool>(),
+    ) {
+        // Reshape each gene row by kind so the skip-list scan sees the full
+        // density spectrum: 0 = dense as generated, 1 = sparsified (zero
+        // words become common), 2 = all-zero, 3 = all-one.
+        let shape = |rows: &[Vec<bool>]| -> Vec<Vec<bool>> {
+            rows.iter()
+                .enumerate()
+                .map(|(g, row)| match kinds[g % kinds.len()] {
+                    1 => row.iter().enumerate().map(|(s, &b)| b && s % 7 == 0).collect(),
+                    2 => vec![false; row.len()],
+                    3 => vec![true; row.len()],
+                    _ => row.clone(),
+                })
+                .collect()
+        };
+        let t = BitMatrix::from_dense(&shape(&td));
+        let n = BitMatrix::from_dense(&shape(&nd));
+        prop_assume!(t.n_genes() >= 3);
+        let mask_store;
+        let mask = if masked {
+            let mut m = t.full_mask();
+            for s in (0..t.n_samples()).step_by(3) {
+                m[s / 64] &= !(1u64 << (s % 64));
+            }
+            mask_store = m;
+            Some(mask_store.as_slice())
+        } else {
+            None
+        };
+        let reference = best_combination::<3>(
+            &t,
+            &n,
+            mask,
+            &GreedyConfig { parallel: false, sparse: SparseMode::Off, ..GreedyConfig::default() },
+        );
+        for parallel in [false, true] {
+            let cfg = GreedyConfig { parallel, sparse: SparseMode::On, ..GreedyConfig::default() };
+            prop_assert_eq!(best_combination::<3>(&t, &n, mask, &cfg), reference);
+        }
+    }
+}
+
+/// `C(20000, 4)` ≈ 6.66e15 — far past `u32`, well inside `u64`. These pin
+/// the G = 20,000 h = 4 boundary the scale-out roadmap targets: the combo
+/// index maps, the workload formulas, and the scheme decomposition must all
+/// stay exact there (see DESIGN.md §11 for the arithmetic-width audit).
+#[test]
+fn rank_unrank_survive_g20000_h4_boundary() {
+    let g: u64 = 20_000;
+    let total = binomial(g, 4);
+    let expect: u128 = 20_000u128 * 19_999 * 19_998 * 19_997 / 24;
+    assert_eq!(u128::from(total), expect);
+
+    let last = unrank_tuple::<4>(total - 1);
+    assert_eq!(last, [19_996, 19_997, 19_998, 19_999]);
+    for lambda in [0, 1, total / 2, total - 2, total - 1] {
+        let c = unrank_tuple::<4>(lambda);
+        assert!(c.windows(2).all(|w| w[0] < w[1]));
+        assert!(u64::from(c[3]) < g);
+        assert_eq!(rank_tuple(&c), lambda);
+    }
+}
+
+#[test]
+fn schemes_and_workloads_stay_exact_at_g20000() {
+    let g: u32 = 20_000;
+    let total = binomial(u64::from(g), 4);
+    for scheme in [
+        Scheme4::OneXThree,
+        Scheme4::TwoXTwo,
+        Scheme4::ThreeXOne,
+        Scheme4::FourXOne,
+    ] {
+        assert_eq!(total_area(&levels_scheme4(scheme, g)), total);
+    }
+    // Workload formulas at the extreme thread indices: the first 2x2 thread
+    // (pair {0,1}) owns tri(G-2) quads, the last owns zero; the last 3x1
+    // thread runs an empty tail loop.
+    assert_eq!(
+        multihit_core::combin::workload_2x2(0, g),
+        tri(u64::from(g) - 2)
+    );
+    let last_pair = binomial(u64::from(g), 2) - 1;
+    assert_eq!(multihit_core::combin::workload_2x2(last_pair, g), 0);
+    let last_triple = binomial(u64::from(g), 3) - 1;
+    assert_eq!(multihit_core::combin::workload_3x1(last_triple, g), 0);
 }

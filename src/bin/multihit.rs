@@ -5,6 +5,7 @@
 //!                   [--hits H] [--seed S]
 //! multihit discover --tumor T.maf --normal N.maf --hits H [--out R.tsv]
 //!                   [--max-combos N] [--cohort LABEL] [--no-prune]
+//!                   [--no-kernelize] [--sparse auto|on|off]
 //!                   [--scan auto|scalar] [--metrics-out M.jsonl] [--trace]
 //! multihit classify --results R.tsv --tumor T.maf --normal N.maf
 //! multihit cluster  [--dataset brca|acc] [--nodes N] [--scheduler ea|ed|ec]
@@ -51,7 +52,7 @@
 use multihit::cluster::driver::{model_run_faulty, timeline_run_obs, ModelConfig, SchedulerKind};
 use multihit::cluster::timing::FailureModel;
 use multihit::core::bitmat::BitMatrix;
-use multihit::core::greedy::{discover_obs, GreedyConfig};
+use multihit::core::greedy::{discover_obs, GreedyConfig, SparseMode};
 use multihit::core::obs::{Obs, RunReport};
 use multihit::data::classify::ComboClassifier;
 use multihit::data::maf::{matrix_to_records, parse_maf, summarize, write_maf};
@@ -106,6 +107,21 @@ fn finish_obs(obs: &Obs, metrics_out: Option<&str>) -> Result<(), String> {
         eprintln!("wrote metrics stream to {path}");
     }
     let report = RunReport::from_events(&obs.events());
+    if let Some(k) = &report.kernelize {
+        eprintln!(
+            "kernelize: {} -> {} genes ({:.1}% removed: {} useless, {} dominated) in {:.3} ms",
+            k.orig_genes,
+            k.kept_genes,
+            100.0 * k.gene_reduction,
+            k.useless_genes,
+            k.dominated_genes,
+            k.kernelize_ns as f64 / 1e6,
+        );
+        eprintln!(
+            "kernelize: columns -{} zero-tumor -{} zero-normal -{} ones-normal; detected {} forced, {} duplicate",
+            k.zero_tumor_cols, k.zero_normal_cols, k.ones_normal_cols, k.forced_tumor_cols, k.dup_tumor_cols,
+        );
+    }
     if !report.greedy_iters.is_empty() {
         eprintln!(
             "greedy: {} iterations, {} combinations scored, {:.3} ms scanning",
@@ -125,6 +141,12 @@ fn finish_obs(obs: &Obs, metrics_out: Option<&str>) -> Result<(), String> {
             report.total_steal_blocks(),
             report.greedy_iters.iter().map(|i| i.steals).sum::<u64>(),
         );
+        if report.total_words_skipped() > 0 {
+            eprintln!(
+                "sparse: {} all-zero words skipped across rebuilds",
+                report.total_words_skipped()
+            );
+        }
         eprintln!(
             "frontier: {} hits / {} full rescans ({:.1}% hit rate), {} combos rescored",
             report.frontier_hits(),
@@ -241,20 +263,12 @@ fn run_discovery(
     tumor: &BitMatrix,
     normal: &BitMatrix,
     hits: usize,
-    max: usize,
-    prune: bool,
-    frontier_k: usize,
+    cfg: &GreedyConfig,
     obs: &Obs,
 ) -> Result<Vec<DiscoveryRow>, String> {
-    let cfg = GreedyConfig {
-        max_combinations: max,
-        prune,
-        frontier_k,
-        ..GreedyConfig::default()
-    };
     macro_rules! run {
         ($h:literal) => {{
-            Ok(discover_obs::<$h>(tumor, normal, &cfg, obs)
+            Ok(discover_obs::<$h>(tumor, normal, cfg, obs)
                 .iterations
                 .iter()
                 .enumerate()
@@ -294,10 +308,26 @@ fn cmd_discover(args: &[String]) -> Result<(), String> {
         Some("scalar") => multihit::core::kernel::force_scalar(true),
         Some(other) => return Err(format!("unknown scan mode {other} (auto|scalar)")),
     }
+    let kernelize = !has_flag(args, "--no-kernelize");
+    let sparse = match arg_value(args, "--sparse").as_deref() {
+        None | Some("auto") => SparseMode::Auto,
+        Some("on") => SparseMode::On,
+        Some("off") => SparseMode::Off,
+        Some(other) => return Err(format!("unknown sparse mode {other} (auto|on|off)")),
+    };
+
+    let cfg = GreedyConfig {
+        max_combinations: max,
+        prune,
+        frontier_k,
+        kernelize,
+        sparse,
+        ..GreedyConfig::default()
+    };
 
     let (obs, metrics_out) = obs_from_args(args);
     let (tmat, nmat, genes) = load_matrices(&tumor_path, &normal_path)?;
-    let rows = run_discovery(&tmat, &nmat, hits, max, prune, frontier_k, &obs)?;
+    let rows = run_discovery(&tmat, &nmat, hits, &cfg, &obs)?;
     finish_obs(&obs, metrics_out.as_deref())?;
 
     let mut rf = ResultsFile {
@@ -497,6 +527,7 @@ fn cluster_fault_demo(args: &[String], specs: &str, nodes: usize, obs: &Obs) -> 
     } else {
         cfg.frontier_k = parse_or(args, "--frontier-k", cfg.frontier_k)?;
     }
+    cfg.kernelize = has_flag(args, "--kernelize");
     eprintln!(
         "fault-injection demo: {nodes} ranks x {} GPUs, plan [{specs}], seed {seed}",
         cfg.shape.gpus_per_node
@@ -690,13 +721,14 @@ const USAGE: &str = "usage: multihit <synth|discover|classify|cluster|serve|load
            --hits H --penetrance P --noise-tumor X --noise-normal Y --seed S]
   discover --tumor T.maf --normal N.maf [--hits H --max-combos N
            --cohort LABEL --out R.tsv --no-prune --scan auto|scalar
+           --no-kernelize --sparse auto|on|off
            --frontier-k K --no-frontier --metrics-out M.jsonl --trace]
   classify --results R.tsv --tumor T.maf --normal N.maf
   cluster  [--dataset brca|acc --nodes N --scheduler ea|ed|ec
            --mtbf S --ckpt-write S --recovery-time S
            --metrics-out M.jsonl --trace]
   cluster  --inject SPECS [--nodes N --scheduler ea|ed|ec --seed S
-           --ft-timeout-ms MS --frontier-k K --no-frontier
+           --ft-timeout-ms MS --frontier-k K --no-frontier --kernelize
            --metrics-out M.jsonl --trace]
            SPECS: rank-kill=R@K | straggler=R@F | msg-drop=F-T[@N]
                   | msg-corrupt=F-T[@N] | ckpt-truncate=K | ckpt-bitflip=K
