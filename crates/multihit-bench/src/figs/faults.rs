@@ -99,6 +99,119 @@ pub fn tbl_fault() -> Vec<Table> {
     vec![t, r]
 }
 
+/// The elastic-membership recovery bill: (a) modeled — what a failure
+/// costs at paper scale (up to 1000 nodes / 6000 GPUs) under MTBF-driven
+/// churn when the job aborts, shrinks to the survivors, or admits an
+/// elastic replacement; (b) executed — churned 4-rank runs with kills and
+/// joins, showing the incremental re-balance and the bit-identical panel.
+#[must_use]
+pub fn tbl_elastic() -> Vec<Table> {
+    use multihit_cluster::timing::{churn_sweep, ChurnParams};
+
+    let params = ChurnParams::summit_like();
+    let mut t = Table::new(
+        "Elastic membership — modeled recovery bill under MTBF churn, BRCA 3x1 \
+         (abort vs survivor-shrink vs elastic-replace)",
+        &[
+            "nodes",
+            "gpus",
+            "base time",
+            "E[failures]",
+            "abort",
+            "shrink",
+            "elastic",
+            "abort ovh",
+            "shrink ovh",
+            "elastic ovh",
+        ],
+    );
+    for bill in churn_sweep(ModelConfig::brca, &params, &[100, 200, 500, 1000]) {
+        let pct = |s: f64| format!("{:.2}%", 100.0 * bill.overhead_fraction(s));
+        t.row(&[
+            bill.nodes.to_string(),
+            bill.gpus.to_string(),
+            fmt_secs(bill.run_s),
+            format!("{:.2}", bill.expected_failures),
+            fmt_secs(bill.abort_s),
+            fmt_secs(bill.shrink_s),
+            fmt_secs(bill.elastic_s),
+            pct(bill.abort_s),
+            pct(bill.shrink_s),
+            pct(bill.elastic_s),
+        ]);
+    }
+
+    let mut r = Table::new(
+        "Elastic membership — recovery bill under injected churn (executed, 4 ranks)",
+        &[
+            "plan",
+            "dead ranks",
+            "joined ranks",
+            "epochs",
+            "slab area moved",
+            "frontier records moved",
+            "re-executed iters",
+            "matches reference",
+        ],
+    );
+    let cohort = generate(&CohortSpec {
+        n_genes: 16,
+        n_tumor: 80,
+        n_normal: 50,
+        n_driver_combos: 3,
+        hits_per_combo: 4,
+        driver_penetrance: 0.9,
+        passenger_rate_tumor: 0.05,
+        passenger_rate_normal: 0.02,
+        seed: 11,
+    });
+    let cfg = DistributedConfig {
+        shape: ClusterShape {
+            nodes: 4,
+            gpus_per_node: 2,
+        },
+        max_combinations: 3,
+        ..DistributedConfig::default()
+    };
+    let reference = distributed_discover4(&cohort.tumor, &cohort.normal, &cfg);
+    for plan in [
+        "rank-join=4-1",
+        "rank-kill=2@0, rank-join=2-1",
+        "rank-kill=1@1, rank-join=5-2",
+    ] {
+        let obs = Obs::enabled();
+        let faults = FaultState::new(FaultPlan::parse(plan, 5).unwrap(), &obs);
+        let ft = distributed_discover4_ft(
+            &cohort.tumor,
+            &cohort.normal,
+            &cfg,
+            Some(&faults),
+            FtParams::fast_test(),
+            &obs,
+        );
+        let counters = obs.counters();
+        r.row(&[
+            plan.to_string(),
+            format!("{:?}", ft.recovery.dead_ranks),
+            format!("{:?}", ft.recovery.joined_ranks),
+            ft.recovery.membership_epochs.to_string(),
+            counters
+                .get("elastic.moved_slab_area")
+                .copied()
+                .unwrap_or(0)
+                .to_string(),
+            counters
+                .get("elastic.frontier_records_moved")
+                .copied()
+                .unwrap_or(0)
+                .to_string(),
+            ft.recovery.re_executed_iterations.to_string(),
+            (ft.result.combinations == reference.combinations).to_string(),
+        ]);
+    }
+    vec![t, r]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,5 +235,36 @@ mod tests {
         for row in &tables[1].rows {
             assert_eq!(row[4], "true", "{row:?}");
         }
+    }
+
+    #[test]
+    fn elastic_table_orders_the_arms_and_matches_reference() {
+        let tables = tbl_elastic();
+        assert_eq!(tables.len(), 2);
+        // The acceptance bar: at every modeled scale — including the
+        // 1000-node / 6000-GPU row — elastic-replace < survivor-shrink <
+        // abort, read back from the rendered overhead columns.
+        let last = tables[0].rows.last().unwrap();
+        assert_eq!(last[0], "1000");
+        assert_eq!(last[1], "6000");
+        for row in &tables[0].rows {
+            let pct = |i: usize| -> f64 { row[i].trim_end_matches('%').parse().unwrap() };
+            let (abort, shrink, elastic) = (pct(7), pct(8), pct(9));
+            assert!(
+                elastic < shrink && shrink < abort,
+                "row {row:?}: elastic {elastic} < shrink {shrink} < abort {abort}"
+            );
+            assert!(elastic >= 0.0, "{row:?}");
+        }
+        // Every churned executed run ends bit-identical to the reference,
+        // and the join-bearing plans record an epoch.
+        for row in &tables[1].rows {
+            assert_eq!(row[7], "true", "{row:?}");
+            assert_eq!(row[3], "1", "{row:?}: one membership epoch each");
+        }
+        // The pure join moved slabs without re-executing anything.
+        let join_only = &tables[1].rows[0];
+        assert!(join_only[4].parse::<u64>().unwrap() > 0, "{join_only:?}");
+        assert_eq!(join_only[6], "0", "{join_only:?}");
     }
 }

@@ -38,6 +38,7 @@ pub const EXPERIMENTS: &[(&str, Generator)] = &[
     ("tbl-fullsummit", extensions::tbl_fullsummit),
     ("tbl-allcancers", scaling::tbl_allcancers),
     ("tbl-fault", faults::tbl_fault),
+    ("tbl-elastic", faults::tbl_elastic),
     ("timeline", || timeline::timeline(20)),
 ];
 
@@ -61,7 +62,7 @@ mod registry_tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), before, "duplicate experiment names");
-        assert_eq!(before, 20);
+        assert_eq!(before, 21);
         for n in names {
             assert!(dispatch(n).is_some(), "{n} not dispatchable");
         }

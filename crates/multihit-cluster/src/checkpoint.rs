@@ -621,6 +621,135 @@ mod tests {
     }
 
     #[test]
+    fn store_survives_compound_corruption_plans() {
+        // Satellite (c): both checkpoint fault kinds armed in ONE plan.
+        // Each damaged save is individually survived via the `.bak` as long
+        // as a good save lands in between (the rotation keeps exactly one
+        // generation of history).
+        use crate::fault::{FaultPlan, FaultState};
+        let path = temp_store_path("compound");
+        let obs = Obs::enabled();
+        let store = CheckpointStore::new(&path, &obs);
+        let st = FaultState::new(
+            FaultPlan::parse("ckpt-truncate=1, ckpt-bitflip=3", 9).unwrap(),
+            &obs,
+        );
+        let (t, _) = lcg_matrices(10, 70, 10, 2);
+        let mut c = Checkpoint::fresh(&t);
+        store.save(&c, Some(&st)).unwrap(); // save 0: intact
+        c.chosen.push([1, 2, 3, 4]);
+        store.save(&c, Some(&st)).unwrap(); // save 1: truncated on disk
+        assert_eq!(store.load().unwrap().chosen.len(), 0, "fell back to save 0");
+        c.chosen.push([2, 3, 4, 5]);
+        store.save(&c, Some(&st)).unwrap(); // save 2: intact again
+        assert_eq!(store.load().unwrap().chosen.len(), 2);
+        c.chosen.push([3, 4, 5, 6]);
+        store.save(&c, Some(&st)).unwrap(); // save 3: bit-flipped on disk
+        assert_eq!(store.load().unwrap().chosen.len(), 2, "fell back to save 2");
+        assert_eq!(st.fired().len(), 2, "both fault kinds fired in one plan");
+        assert_eq!(obs.counters().get("recovery.ckpt_fallbacks"), Some(&2));
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn consecutive_damaged_saves_fail_loudly_not_silently() {
+        // The protocol keeps one generation of history: two damaged saves
+        // in a row leave both the primary and the `.bak` corrupt, and load
+        // must report that — never resume from garbage.
+        use crate::fault::{FaultPlan, FaultState};
+        let path = temp_store_path("double");
+        let obs = Obs::disabled();
+        let store = CheckpointStore::new(&path, &obs);
+        let st = FaultState::new(
+            FaultPlan::parse("ckpt-truncate=1, ckpt-bitflip=2", 9).unwrap(),
+            &obs,
+        );
+        let (t, _) = lcg_matrices(10, 70, 10, 2);
+        let mut c = Checkpoint::fresh(&t);
+        store.save(&c, Some(&st)).unwrap(); // save 0: intact
+        c.chosen.push([1, 2, 3, 4]);
+        store.save(&c, Some(&st)).unwrap(); // save 1: truncated
+        c.chosen.push([2, 3, 4, 5]);
+        store.save(&c, Some(&st)).unwrap(); // save 2: rotates the damaged
+                                            // save 1 into `.bak`, then flips
+        let err = store.load().unwrap_err();
+        assert!(
+            err.contains("backup invalid too"),
+            "double corruption must name both failures: {err}"
+        );
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn restore_across_a_membership_epoch_change() {
+        // Satellite (c): a checkpoint written BEFORE a membership epoch
+        // change resumes to the same answer the churned cluster produced.
+        // The checkpoint format is roster-free by design (combinations +
+        // uncovered mask), so a resume never depends on which ranks were
+        // alive when it was written.
+        use crate::driver::{distributed_discover4_ft, DistributedConfig};
+        use crate::fault::{FaultPlan, FaultState, FtParams};
+        use crate::topology::ClusterShape;
+        let (t, n) = lcg_matrices(11, 90, 60, 13);
+        let cfg = DistributedConfig {
+            shape: ClusterShape {
+                nodes: 4,
+                gpus_per_node: 2,
+            },
+            max_combinations: 3,
+            ..DistributedConfig::default()
+        };
+        // Churned run: rank 2 dies at iteration 0, a replacement joins at
+        // the iteration-1 barrier — one membership epoch.
+        let plan = FaultPlan::parse("rank-kill=2@0, rank-join=2-1", 7).unwrap();
+        let faults = FaultState::new(plan, &Obs::disabled());
+        let ft = distributed_discover4_ft(
+            &t,
+            &n,
+            &cfg,
+            Some(&faults),
+            FtParams::fast_test(),
+            &Obs::disabled(),
+        );
+        assert_eq!(ft.recovery.membership_epochs, 1);
+        assert!(
+            ft.result.combinations.len() >= 2,
+            "need iterations on both sides"
+        );
+
+        // The checkpoint as the epoch-0 roster would have written it after
+        // the first combination — before the join existed.
+        let mut ck = Checkpoint::fresh(&t);
+        let first = ft.result.combinations[0];
+        let cov = t.cover_mask(&first);
+        for (m, c) in ck.uncovered_mask.iter_mut().zip(cov.iter()) {
+            *m &= !c;
+        }
+        ck.chosen.push(first);
+        // Persist + reload through the store (process restart), then resume.
+        let path = temp_store_path("epoch");
+        let store = CheckpointStore::new(&path, &Obs::disabled());
+        store.save(&ck, None).unwrap();
+        let resumed = store.load().unwrap();
+        let done = run_with_checkpoints(
+            &t,
+            &n,
+            &GreedyConfig {
+                exclusion: Exclusion::Mask,
+                parallel: false,
+                max_combinations: cfg.max_combinations,
+                ..GreedyConfig::default()
+            },
+            resumed,
+            usize::MAX,
+            |_| {},
+        );
+        assert_eq!(done.chosen, ft.result.combinations);
+        assert_eq!(done.remaining(), ft.result.uncovered);
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
     fn resumed_run_equals_uninterrupted_run() {
         let (t, n) = lcg_matrices(10, 120, 60, 42);
         let cfg = GreedyConfig {

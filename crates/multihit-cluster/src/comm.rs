@@ -297,6 +297,18 @@ pub enum BcastMsg {
     Value(Vec<u8>),
     /// The reduce failed; these ranks are dead and the iteration aborts.
     Abort(Vec<usize>),
+    /// Membership epoch announcement: the roster now holds these original
+    /// rank ids, in compact-rank order. Broadcast by rank 0 at the
+    /// iteration barrier where joiners are admitted; every rank checks the
+    /// announced roster against its own view before proceeding, so the
+    /// whole tree converges on the same epoch or aborts.
+    Join {
+        /// Membership epoch, bumped once per roster change.
+        epoch: u32,
+        /// Original rank ids in compact order (order matters: compact rank
+        /// `i` owns partition `i`, so this is NOT a set).
+        roster: Vec<usize>,
+    },
 }
 
 impl BcastMsg {
@@ -313,6 +325,15 @@ impl BcastMsg {
                 b.extend_from_slice(&encode_ranks(&dead.iter().copied().collect()));
                 b
             }
+            BcastMsg::Join { epoch, roster } => {
+                let mut b = Vec::with_capacity(5 + 4 * roster.len());
+                b.push(2);
+                b.extend_from_slice(&epoch.to_le_bytes());
+                for &r in roster {
+                    b.extend_from_slice(&(r as u32).to_le_bytes());
+                }
+                b
+            }
         }
     }
 
@@ -322,6 +343,18 @@ impl BcastMsg {
             1 => Some(BcastMsg::Abort(
                 decode_ranks(&bytes[1..]).into_iter().collect(),
             )),
+            2 => {
+                let epoch = u32::from_le_bytes(bytes.get(1..5)?.try_into().ok()?);
+                let body = &bytes[5..];
+                if !body.len().is_multiple_of(4) {
+                    return None;
+                }
+                let roster = body
+                    .chunks_exact(4)
+                    .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")) as usize)
+                    .collect();
+                Some(BcastMsg::Join { epoch, roster })
+            }
             _ => None,
         }
     }
@@ -660,7 +693,7 @@ impl<'a> FtCtx<'a> {
 
         let skip: BTreeSet<usize> = match &have {
             BcastMsg::Abort(dead) => dead.iter().copied().collect(),
-            BcastMsg::Value(_) => BTreeSet::new(),
+            BcastMsg::Value(_) | BcastMsg::Join { .. } => BTreeSet::new(),
         };
         let encoded = have.encode();
         let mut suspects: BTreeSet<usize> = BTreeSet::new();
@@ -917,7 +950,8 @@ mod tests {
         match ft.broadcast(verdict) {
             Ok((BcastMsg::Value(v), _)) => Some(Ok(u64_de(&v))),
             Ok((BcastMsg::Abort(dead), _)) => Some(Err(dead)),
-            Err(_) => None,
+            // Joins never happen mid-round in this harness.
+            Ok((BcastMsg::Join { .. }, _)) | Err(_) => None,
         }
     }
 
@@ -976,6 +1010,58 @@ mod tests {
         }
         // Rank 0 (the parent of 2) must have reached a verdict.
         assert!(matches!(&out[0], Some(Err(d)) if d.contains(&2)));
+    }
+
+    #[test]
+    fn join_frame_round_trips_and_rejects_garbage() {
+        let msg = BcastMsg::Join {
+            epoch: 3,
+            roster: vec![0, 2, 3, 5],
+        };
+        assert_eq!(BcastMsg::decode(&msg.encode()), Some(msg.clone()));
+        // Roster order is part of the announcement, not a set.
+        let reordered = BcastMsg::Join {
+            epoch: 3,
+            roster: vec![0, 3, 2, 5],
+        };
+        assert_ne!(msg.encode(), reordered.encode());
+        // An empty roster round-trips (epoch-only announcement).
+        let empty = BcastMsg::Join {
+            epoch: 9,
+            roster: vec![],
+        };
+        assert_eq!(BcastMsg::decode(&empty.encode()), Some(empty));
+        // Truncated epoch or ragged roster bytes are undecodable, which the
+        // broadcast path answers with a retransmit request.
+        assert_eq!(BcastMsg::decode(&[2u8, 1]), None);
+        assert_eq!(BcastMsg::decode(&[2u8, 1, 0, 0, 0, 7, 0]), None);
+        assert_eq!(BcastMsg::decode(&[9u8]), None);
+    }
+
+    #[test]
+    fn join_announcement_survives_a_dropped_frame() {
+        use crate::fault::{FaultPlan, FaultState};
+        use multihit_core::obs::Obs;
+        // The JOIN control frame rides the same CRC-framed, retransmitted
+        // broadcast as the FAIL/Abort verdicts: drop rank 0's forward to
+        // rank 1 and every rank must still converge on the same epoch.
+        let plan = FaultPlan::parse("msg-drop=0-1", 5).unwrap();
+        let obs = Obs::disabled();
+        let st = FaultState::new(plan, &obs);
+        let announce = BcastMsg::Join {
+            epoch: 2,
+            roster: vec![0, 1, 2, 3, 7],
+        };
+        let expect = announce.clone();
+        let out = run_ranks(4, |ctx| {
+            let mut ft = FtCtx::new(&ctx, crate::fault::FtParams::fast_test(), Some(&st), 0);
+            let root = (ctx.rank == 0).then(|| announce.clone());
+            ft.broadcast(root).map(|(m, _)| m)
+        });
+        for (r, o) in out.iter().enumerate() {
+            assert_eq!(o, &Ok(expect.clone()), "rank {r}");
+        }
+        assert_eq!(st.fired().len(), 1, "the planned drop fired");
     }
 
     #[test]

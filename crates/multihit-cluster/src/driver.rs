@@ -13,7 +13,7 @@
 
 use crate::comm::{run_ranks, BcastMsg, CommModel, FtCtx, FtStats};
 use crate::fault::{FaultState, FtParams};
-use crate::sched::{schedule_ea_fast, schedule_ed, validate_partitions, Partition};
+use crate::sched::{rebalance_join, schedule_ea_fast, schedule_ed, validate_cover, Partition};
 use crate::topology::ClusterShape;
 use multihit_core::bitmat::BitMatrix;
 use multihit_core::combin::binomial;
@@ -679,6 +679,11 @@ pub struct RecoveryStats {
     pub re_executed_combos: u64,
     /// Ranks declared dead, by original id, in death order.
     pub dead_ranks: Vec<usize>,
+    /// Ranks admitted mid-run, by original id, in admission order.
+    pub joined_ranks: Vec<usize>,
+    /// Membership epochs consumed: one per roster change (admission
+    /// barrier), so a churn-free run reports 0.
+    pub membership_epochs: u64,
     /// Merged per-rank protocol counters (retransmits, CRC rejects, …).
     pub ft: FtStats,
 }
@@ -721,6 +726,165 @@ enum RankOutcome {
 /// Cap on an injected straggler delay, so delayed ranks stay well inside
 /// the failure detector's retry budget (a straggler is slow, not dead).
 const STRAGGLER_DELAY_CAP: std::time::Duration = std::time::Duration::from_millis(10);
+
+/// Membership epoch protocol: admit `joiners` (original rank ids — freshly
+/// provisioned replacements or scale-up slots) into the roster at the
+/// iteration barrier before `iter_idx`. Already-alive ids are ignored.
+///
+/// The admission has three legs:
+///
+/// 1. **JOIN announcement** — rank 0 broadcasts a [`BcastMsg::Join`]
+///    carrying the bumped epoch and the roster (in compact-rank order)
+///    through the same CRC-framed, retransmitted FT broadcast the
+///    FAIL/Abort verdicts take; every rank confirms the announced roster
+///    against its own view, so the whole mesh converges on one epoch.
+/// 2. **Incremental re-partitioning** — each new GPU takes the high half of
+///    the currently largest λ-partition ([`rebalance_join`]): only joiner
+///    boundaries move, the donors' loads never grow, and
+///    [`crate::sched::validate_cover`] proves the moved slabs still tile
+///    `C(G,4)` exactly.
+/// 3. **Frontier shard transfer** — the joiner receives half of the largest
+///    holder's retained top-K shard over the count-prefixed wire format the
+///    shard reduce uses. A join removes no record from the shard union, so
+///    (unlike a death) it does **not** invalidate the frontier: the next
+///    rescore round reduces the identical union and the discovered panel
+///    stays bit-identical to the fault-free reference.
+///
+/// If any leg fails (an announcement that never converges under wire
+/// faults, an un-tileable slab move) the join degrades instead of
+/// corrupting state: the roster keeps the joiners but the driver falls back
+/// to a full re-shard and a full kernel rescan — always correct, just not
+/// incremental.
+#[allow(clippy::too_many_arguments)]
+fn admit_joiners(
+    cfg: &DistributedConfig,
+    faults: Option<&FaultState>,
+    params: FtParams,
+    obs: &Obs,
+    g: u32,
+    iter_idx: usize,
+    joiners: &[usize],
+    alive: &mut Vec<usize>,
+    epoch: &mut u32,
+    elastic_parts: &mut Option<Vec<Partition>>,
+    frontier_state: &mut Option<DistFrontier>,
+    recovery: &mut RecoveryStats,
+) {
+    let admitted: Vec<usize> = joiners
+        .iter()
+        .copied()
+        .filter(|r| !alive.contains(r))
+        .collect();
+    if admitted.is_empty() {
+        return;
+    }
+    let n_prev_gpus = alive.len() * cfg.shape.gpus_per_node;
+    alive.extend(admitted.iter().copied());
+    *epoch += 1;
+    recovery.membership_epochs += 1;
+    recovery.joined_ranks.extend(admitted.iter().copied());
+
+    // Leg 1: the JOIN control frame, agreed on at the barrier.
+    let announce = BcastMsg::Join {
+        epoch: *epoch,
+        roster: alive.clone(),
+    };
+    let confirmations: Vec<(bool, FtStats)> = run_ranks(alive.len(), |ctx| {
+        let mut ft = FtCtx::new(&ctx, params, faults, iter_idx);
+        let root = (ctx.rank == 0).then(|| announce.clone());
+        let ok = match ft.broadcast(root) {
+            Ok((msg, suspects)) => suspects.is_empty() && msg == announce,
+            Err(_) => false,
+        };
+        (ok, ft.stats)
+    });
+    let mut converged = true;
+    for (ok, stats) in &confirmations {
+        converged &= *ok;
+        recovery.ft.merge(stats);
+    }
+
+    // Leg 2: boundary slab moves instead of a full re-shard.
+    let mut incremental = converged;
+    let mut slab_moves = 0usize;
+    let mut moved_area = 0u64;
+    if incremental {
+        let base = match elastic_parts.take() {
+            Some(p) => p,
+            None => cfg
+                .scheduler
+                .partitions_obs(cfg.scheme, g, n_prev_gpus, obs),
+        };
+        let levels = levels_scheme4(cfg.scheme, g);
+        match rebalance_join(&levels, &base, admitted.len() * cfg.shape.gpus_per_node) {
+            Ok((parts, moves)) => {
+                slab_moves = moves.len();
+                moved_area = moves.iter().map(|m| m.area).sum();
+                *elastic_parts = Some(parts);
+            }
+            Err(_) => incremental = false,
+        }
+    }
+
+    // Leg 3: frontier shard transfer — or, on a degraded join, the same
+    // invalidation a death forces (full re-shard + full rescan).
+    let mut records_moved = 0u64;
+    if incremental {
+        if let Some(fr) = frontier_state.as_mut() {
+            let cap = alive.iter().copied().max().map_or(0, |m| m + 1);
+            if fr.lists.len() < cap {
+                fr.lists.resize_with(cap, Vec::new);
+            }
+            for &joiner in &admitted {
+                let donor = alive
+                    .iter()
+                    .copied()
+                    .filter(|&r| r != joiner)
+                    .max_by_key(|&r| (fr.lists[r].len(), std::cmp::Reverse(r)));
+                let Some(donor) = donor else { continue };
+                let list = std::mem::take(&mut fr.lists[donor]);
+                let keep = list.len() / 2;
+                let shipped = list[keep..].to_vec();
+                fr.lists[donor] = list[..keep].to_vec();
+                // The shard rides the same count-prefixed record format the
+                // top-K reduce uses; the joiner decodes exactly what the
+                // donor encoded.
+                fr.lists[joiner] = de_scored_list(&ser_scored_list(&shipped));
+                records_moved += fr.lists[joiner].len() as u64;
+            }
+        }
+    } else {
+        *elastic_parts = None;
+        *frontier_state = None;
+    }
+
+    if obs.is_enabled() {
+        obs.point(
+            "membership",
+            &[
+                ("iter", iter_idx.into()),
+                ("epoch", u64::from(*epoch).into()),
+                ("joined", admitted.len().into()),
+                ("roster", alive.len().into()),
+                ("incremental", u64::from(incremental).into()),
+                ("slab_moves", slab_moves.into()),
+                ("moved_area", moved_area.into()),
+                ("frontier_records_moved", records_moved.into()),
+            ],
+        );
+        obs.counter_add("elastic.joins", admitted.len() as u64);
+        obs.counter_add("elastic.epochs", 1);
+        if moved_area > 0 {
+            obs.counter_add("elastic.moved_slab_area", moved_area);
+        }
+        if records_moved > 0 {
+            obs.counter_add("elastic.frontier_records_moved", records_moved);
+        }
+        if !incremental {
+            obs.counter_add("elastic.rejected_incremental", 1);
+        }
+    }
+}
 
 /// [`distributed_discover4`] hardened against rank crashes, stragglers, and
 /// lost/corrupt messages. Each iteration runs the usual kernels + reduce +
@@ -779,6 +943,12 @@ pub fn distributed_discover4_ft(
     let k = cfg.frontier_k;
     let total_combos = binomial(u64::from(g), 4);
     let mut frontier_state: Option<DistFrontier> = None;
+    let mut membership_epoch: u32 = 0;
+    // λ-partitions maintained incrementally across joins. `None` means
+    // re-shard from scratch each attempt — the launch state, and the state
+    // after any death (the survivor-shrink path re-partitions the full
+    // range across survivors exactly as before this refactor).
+    let mut elastic_parts: Option<Vec<Partition>> = None;
 
     'outer: while remaining > 0 {
         if cfg.max_combinations != 0 && combinations.len() >= cfg.max_combinations {
@@ -789,6 +959,27 @@ pub fn distributed_discover4_ft(
         }
         let iter_idx = iterations.len();
         let iter_start = Instant::now();
+        // Elastic membership: planned joiners are admitted here, at the
+        // iteration barrier, before any attempt of this iteration runs.
+        if let Some(f) = faults {
+            let joiners = f.take_joins(iter_idx);
+            if !joiners.is_empty() {
+                admit_joiners(
+                    cfg,
+                    faults,
+                    params,
+                    obs,
+                    g,
+                    iter_idx,
+                    &joiners,
+                    &mut alive,
+                    &mut membership_epoch,
+                    &mut elastic_parts,
+                    &mut frontier_state,
+                    &mut recovery,
+                );
+            }
+        }
         let mut fruitless_attempts = 0u32;
         // Attempt the cheap frontier-rescore round first whenever a frontier
         // is live; any failed attempt invalidates it (a dead rank's shard is
@@ -801,10 +992,16 @@ pub fn distributed_discover4_ft(
             let rescore_round = try_frontier;
             let parts = if rescore_round {
                 Vec::new()
+            } else if let Some(p) = &elastic_parts {
+                // Slab-moved partitions from the membership protocol: GPU
+                // order no longer follows λ order, but the set still tiles
+                // the full range (proven at admission, re-checked below).
+                p.clone()
             } else {
                 cfg.scheduler.partitions_obs(cfg.scheme, g, n_gpus, obs)
             };
-            debug_assert!(rescore_round || validate_partitions(&parts, total_threads).is_ok());
+            debug_assert!(rescore_round || validate_cover(&parts, total_threads).is_ok());
+            debug_assert!(rescore_round || parts.len() == n_gpus);
             let tumor_ref = &work_tumor;
             let alive_ref = &alive;
             let lists_ref = frontier_state.as_ref().map(|f| &f.lists);
@@ -950,7 +1147,10 @@ pub fn distributed_discover4_ft(
                             stats: ft.stats,
                         }
                     }
-                    Err(_) => RankOutcome::Aborted {
+                    // A membership announcement where a verdict was expected
+                    // is a protocol violation (epochs only change at the
+                    // iteration barrier): abort the attempt.
+                    Ok((BcastMsg::Join { .. }, _)) | Err(_) => RankOutcome::Aborted {
                         dead: to_orig(&red_dead),
                         combos,
                         stats: ft.stats,
@@ -976,7 +1176,10 @@ pub fn distributed_discover4_ft(
             let mut all_done = true;
             let mut winner: Option<(Scored<4>, u64)> = None;
             let mut attempt_combos: Vec<u64> = Vec::new();
-            let mut rank_lists: Vec<Vec<Scored<4>>> = vec![Vec::new(); cfg.shape.nodes];
+            // Sized by the highest original id in the roster: joins can push
+            // ids past the launch size (scale-up slots).
+            let roster_cap = alive.iter().copied().max().map_or(0, |m| m + 1);
+            let mut rank_lists: Vec<Vec<Scored<4>>> = vec![Vec::new(); roster_cap];
             for (i, out) in outcomes.iter().enumerate() {
                 match out {
                     RankOutcome::Done {
@@ -1011,27 +1214,31 @@ pub fn distributed_discover4_ft(
                 }
             }
 
+            // `winner` can only be `None` here if rank 0's outcome went
+            // missing entirely; degrade to the failed-attempt path below
+            // instead of panicking the aggregation.
             if all_done {
-                let (w, floor) = winner.expect("root outcome");
-                if rescore_round {
-                    let fr = frontier_state.as_ref().expect("live frontier");
-                    if fr.complete || w.score > fr.floor {
-                        frontier_hit = true;
-                        break (w, attempt_combos);
+                if let Some((w, floor)) = winner {
+                    if rescore_round {
+                        let fr = frontier_state.as_ref().expect("live frontier");
+                        if fr.complete || w.score > fr.floor {
+                            frontier_hit = true;
+                            break (w, attempt_combos);
+                        }
+                        // Floor miss: discard the (cheap) rescore round and
+                        // fall through to a full kernel attempt.
+                        try_frontier = false;
+                        continue;
                     }
-                    // Floor miss: discard the (cheap) rescore round and fall
-                    // through to a full kernel attempt.
-                    try_frontier = false;
-                    continue;
+                    if k > 0 {
+                        frontier_state = Some(DistFrontier {
+                            lists: rank_lists,
+                            floor,
+                            complete: total_combos <= k as u64,
+                        });
+                    }
+                    break (w, attempt_combos);
                 }
-                if k > 0 {
-                    frontier_state = Some(DistFrontier {
-                        lists: rank_lists,
-                        floor,
-                        complete: total_combos <= k as u64,
-                    });
-                }
-                break (w, attempt_combos);
             }
 
             // Failed attempt: discard its work, drop the dead, re-execute.
@@ -1053,6 +1260,9 @@ pub fn distributed_discover4_ft(
                 fruitless_attempts = 0;
                 alive.retain(|r| !dead.contains(r));
                 recovery.dead_ranks.extend(dead.iter().copied());
+                // A death invalidates the incremental partitions along with
+                // the frontier: survivors re-shard the full λ-range.
+                elastic_parts = None;
             }
             if obs.is_enabled() {
                 obs.point(
@@ -1832,8 +2042,25 @@ mod tests {
         let combos: u64 = dist.iterations[0].combos_per_gpu.iter().sum();
         assert_eq!(combos, multihit_core::combin::binomial(12, 4));
         // EA: per-GPU combos within ±1 thread-workload of each other.
-        let max = dist.iterations[0].combos_per_gpu.iter().max().unwrap();
-        let min = dist.iterations[0].combos_per_gpu.iter().min().unwrap();
+        // Guarded defaults: a run whose audit stream came back partial (a
+        // killed rank, an aborted attempt) must degrade this check to an
+        // explicit empty-audit failure, not an unwrap panic.
+        let max = dist.iterations[0]
+            .combos_per_gpu
+            .iter()
+            .max()
+            .copied()
+            .unwrap_or(0);
+        let min = dist.iterations[0]
+            .combos_per_gpu
+            .iter()
+            .min()
+            .copied()
+            .unwrap_or(0);
+        assert!(
+            !dist.iterations[0].combos_per_gpu.is_empty(),
+            "empty per-GPU audit"
+        );
         assert!(max - min <= 12, "spread {}", max - min);
     }
 
@@ -1928,10 +2155,14 @@ mod tests {
         let rank_points: Vec<_> = events.iter().filter(|e| e.name == "rank").collect();
         assert_eq!(rank_points.len(), tls.len() * cfg.shape.nodes);
         for p in &rank_points {
-            let busy = p.u64("busy_ns").unwrap();
-            let idle = p.u64("idle_ns").unwrap();
-            let makespan = p.u64("makespan_ns").unwrap();
-            assert!(makespan > 0);
+            // Guarded defaults: a partial metrics stream (e.g. a rank killed
+            // mid-iteration dropped a field) degrades to 0 and fails the
+            // attribution check below with the offending point named,
+            // instead of panicking the aggregation.
+            let busy = p.u64("busy_ns").unwrap_or(0);
+            let idle = p.u64("idle_ns").unwrap_or(0);
+            let makespan = p.u64("makespan_ns").unwrap_or(0);
+            assert!(makespan > 0, "rank point missing makespan_ns: {p:?}");
             let sum = busy + idle;
             let diff = sum.abs_diff(makespan);
             assert!(

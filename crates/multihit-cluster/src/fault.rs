@@ -71,6 +71,16 @@ pub enum FaultSpec {
         /// Save index to corrupt.
         save: usize,
     },
+    /// Rank `rank` joins the run at the barrier before iteration `iter`
+    /// (a recovered node or a scale-up slot). The driver admits it into
+    /// the roster, moves it a boundary slab of the λ-range, and transfers
+    /// a frontier shard so the join forces no full rescan.
+    RankJoin {
+        /// Original rank id of the joiner (may exceed the launch size).
+        rank: usize,
+        /// Iteration barrier at which the rank is admitted.
+        iter: usize,
+    },
 }
 
 impl FaultSpec {
@@ -84,6 +94,7 @@ impl FaultSpec {
             FaultSpec::MsgCorrupt { .. } => "msg_corrupt",
             FaultSpec::CkptTruncate { .. } => "ckpt_truncate",
             FaultSpec::CkptBitflip { .. } => "ckpt_bitflip",
+            FaultSpec::RankJoin { .. } => "rank_join",
         }
     }
 }
@@ -114,7 +125,10 @@ impl FaultPlan {
     /// msg-corrupt=F-T[@N]  bit-flip the first N (default 1) frames F → T
     /// ckpt-truncate=K      truncate the checkpoint written by save K
     /// ckpt-bitflip=K       flip one bit of the checkpoint written by save K
+    /// rank-join=R-K        admit rank R at the barrier before iteration K
     /// ```
+    ///
+    /// `rank-join` also accepts `R@K` for symmetry with `rank-kill`.
     ///
     /// # Errors
     /// Returns a message naming the offending spec.
@@ -166,6 +180,18 @@ impl FaultPlan {
                 "ckpt-bitflip" => events.push(FaultSpec::CkptBitflip {
                     save: parse_usize(arg, "bad save index")?,
                 }),
+                "rank-join" => {
+                    // The ISSUE spec writes R-I; accept R@K too so join
+                    // specs compose textually with rank-kill specs.
+                    let (r, k) = arg
+                        .split_once('-')
+                        .or_else(|| arg.split_once('@'))
+                        .ok_or_else(|| err("expected R-K"))?;
+                    events.push(FaultSpec::RankJoin {
+                        rank: parse_usize(r, "bad rank")?,
+                        iter: parse_usize(k, "bad iteration")?,
+                    });
+                }
                 other => return Err(format!("unknown fault kind {other:?}")),
             }
         }
@@ -227,6 +253,12 @@ struct KillFlag {
     fired: AtomicU32,
 }
 
+struct JoinFlag {
+    rank: usize,
+    iter: usize,
+    fired: AtomicU32,
+}
+
 /// Shared runtime state of a fault plan: consulted by the comm layer on
 /// every data-frame transmission, by rank bodies at iteration start, and by
 /// the checkpoint store on every save. Emits a `fault` obs point every time
@@ -235,6 +267,7 @@ pub struct FaultState {
     plan: FaultPlan,
     links: Vec<LinkCounter>,
     kills: Vec<KillFlag>,
+    joins: Vec<JoinFlag>,
     ckpt_saves: AtomicU32,
     fired: Mutex<Vec<FaultSpec>>,
     obs: Obs,
@@ -275,10 +308,23 @@ impl FaultState {
                 _ => None,
             })
             .collect();
+        let joins = plan
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                FaultSpec::RankJoin { rank, iter } => Some(JoinFlag {
+                    rank,
+                    iter,
+                    fired: AtomicU32::new(0),
+                }),
+                _ => None,
+            })
+            .collect();
         FaultState {
             plan,
             links,
             kills,
+            joins,
             ckpt_saves: AtomicU32::new(0),
             fired: Mutex::new(Vec::new()),
             obs: obs.clone(),
@@ -329,6 +375,36 @@ impl FaultState {
             }
         }
         false
+    }
+
+    /// Ranks the plan admits at the barrier before iteration `iter`, in
+    /// plan order. Each planned join fires at most once; firing records a
+    /// `fault` obs point like every other injection. The driver calls this
+    /// from the membership epoch protocol at each iteration barrier.
+    #[must_use]
+    pub fn take_joins(&self, iter: usize) -> Vec<usize> {
+        let mut admitted = Vec::new();
+        for j in &self.joins {
+            if j.iter == iter
+                && j.fired
+                    .compare_exchange(0, 1, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+            {
+                self.record(
+                    FaultSpec::RankJoin { rank: j.rank, iter },
+                    iter,
+                    &[("rank", j.rank.into())],
+                );
+                admitted.push(j.rank);
+            }
+        }
+        admitted
+    }
+
+    /// Does the plan contain any `rank-join` events (fired or not)?
+    #[must_use]
+    pub fn has_joins(&self) -> bool {
+        !self.joins.is_empty()
     }
 
     /// Straggler factor for original rank `rank`, if planned.
@@ -471,7 +547,7 @@ mod tests {
     fn parse_round_trips_every_kind() {
         let plan = FaultPlan::parse(
             "rank-kill=1@2, straggler=3@2.5, msg-drop=2-0, msg-corrupt=1-0@3, \
-             ckpt-truncate=4, ckpt-bitflip=5",
+             ckpt-truncate=4, ckpt-bitflip=5, rank-join=6-3",
             7,
         )
         .unwrap();
@@ -496,8 +572,33 @@ mod tests {
                 },
                 FaultSpec::CkptTruncate { save: 4 },
                 FaultSpec::CkptBitflip { save: 5 },
+                FaultSpec::RankJoin { rank: 6, iter: 3 },
             ]
         );
+    }
+
+    #[test]
+    fn parse_rank_join_accepts_both_separators() {
+        let dash = FaultPlan::parse("rank-join=2-1", 0).unwrap();
+        let at = FaultPlan::parse("rank-join=2@1", 0).unwrap();
+        assert_eq!(dash.events, at.events);
+        assert_eq!(dash.events, vec![FaultSpec::RankJoin { rank: 2, iter: 1 }]);
+        assert!(FaultPlan::parse("rank-join=2", 0).is_err());
+        assert!(FaultPlan::parse("rank-join=x-1", 0).is_err());
+    }
+
+    #[test]
+    fn join_fires_exactly_once_at_its_barrier() {
+        let st = FaultState::new(
+            FaultPlan::parse("rank-join=4-2, rank-join=5-2, rank-join=6-3", 0).unwrap(),
+            &Obs::disabled(),
+        );
+        assert!(st.has_joins());
+        assert!(st.take_joins(1).is_empty());
+        assert_eq!(st.take_joins(2), vec![4, 5]);
+        assert!(st.take_joins(2).is_empty(), "joins must not re-fire");
+        assert_eq!(st.take_joins(3), vec![6]);
+        assert_eq!(st.fired().len(), 3);
     }
 
     #[test]

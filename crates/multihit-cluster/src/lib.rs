@@ -31,6 +31,9 @@ pub use driver::{
     SchedulerKind,
 };
 pub use fault::{FaultPlan, FaultSpec, FaultState, FtParams};
-pub use sched::{schedule_ea_fast, schedule_ed, validate_partitions, Partition};
+pub use sched::{
+    rebalance_join, schedule_ea_fast, schedule_ed, validate_cover, validate_partitions, Partition,
+    SchedError, SlabMove,
+};
 pub use timing::{FailureModel, FailureOverhead};
 pub use topology::ClusterShape;

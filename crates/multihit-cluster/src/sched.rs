@@ -22,6 +22,81 @@
 
 use multihit_core::sweep::{range_area, total_area, total_threads, Level};
 
+/// Structured scheduler error: partition sets that fail to tile the
+/// λ-range, and slab moves that would break the tiling. Carries the exact
+/// boundary values so recovery code can log *which* λ-range went missing
+/// instead of a pre-formatted string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SchedError {
+    /// An empty partition set can tile nothing.
+    NoPartitions,
+    /// The λ-lowest partition starts after 0, leaking the range head.
+    LateStart {
+        /// Observed first start.
+        lo: u64,
+    },
+    /// Adjacent partitions (in λ order) leave a gap or overlap.
+    GapOrOverlap {
+        /// Index (in λ order) of the left partition.
+        index: usize,
+        /// Where the left partition ends.
+        end: u64,
+        /// Where the right partition starts.
+        next_start: u64,
+    },
+    /// The λ-highest partition misses the end of the range.
+    ShortEnd {
+        /// Observed last end.
+        hi: u64,
+        /// Expected end of the range.
+        total: u64,
+    },
+    /// A slab move targeted a donor index that does not exist.
+    NoSuchDonor {
+        /// Requested donor index.
+        donor: usize,
+        /// Number of partitions.
+        parts: usize,
+    },
+    /// A slab move would leave the moved slabs no longer tiling the range
+    /// exactly (the wrapped violation says where).
+    UntileableMove(Box<SchedError>),
+}
+
+impl std::fmt::Display for SchedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedError::NoPartitions => write!(f, "no partitions"),
+            SchedError::LateStart { lo } => {
+                write!(f, "first partition starts at {lo}, not 0")
+            }
+            SchedError::GapOrOverlap {
+                index,
+                end,
+                next_start,
+            } => write!(
+                f,
+                "partition {index} ends at {end} but partition {} starts at {next_start}",
+                index + 1
+            ),
+            SchedError::ShortEnd { hi, total } => {
+                write!(f, "last partition ends at {hi}, not {total}")
+            }
+            SchedError::NoSuchDonor { donor, parts } => {
+                write!(
+                    f,
+                    "slab-move donor {donor} out of range ({parts} partitions)"
+                )
+            }
+            SchedError::UntileableMove(inner) => {
+                write!(f, "un-tileable slab move: {inner}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
 /// A contiguous λ-range assigned to one GPU.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Partition {
@@ -178,29 +253,130 @@ pub fn partition_areas(levels: &[Level], parts: &[Partition]) -> Vec<u64> {
 /// the discovered combinations.
 ///
 /// # Errors
-/// A message naming the first violation.
-pub fn validate_partitions(parts: &[Partition], total: u64) -> Result<(), String> {
+/// A [`SchedError`] naming the first violation.
+pub fn validate_partitions(parts: &[Partition], total: u64) -> Result<(), SchedError> {
     let Some(first) = parts.first() else {
-        return Err("no partitions".to_string());
+        return Err(SchedError::NoPartitions);
     };
     if first.lo != 0 {
-        return Err(format!("first partition starts at {}, not 0", first.lo));
+        return Err(SchedError::LateStart { lo: first.lo });
     }
     for (i, w) in parts.windows(2).enumerate() {
         if w[0].hi != w[1].lo {
-            return Err(format!(
-                "partition {i} ends at {} but partition {} starts at {}",
-                w[0].hi,
-                i + 1,
-                w[1].lo
-            ));
+            return Err(SchedError::GapOrOverlap {
+                index: i,
+                end: w[0].hi,
+                next_start: w[1].lo,
+            });
         }
     }
     let last = parts.last().expect("non-empty");
     if last.hi != total {
-        return Err(format!("last partition ends at {}, not {total}", last.hi));
+        return Err(SchedError::ShortEnd { hi: last.hi, total });
     }
     Ok(())
+}
+
+/// [`validate_partitions`] for partition sets whose λ-order no longer
+/// matches their GPU-id order (after slab moves, joiner ranges sit in the
+/// middle of the λ-range but at the end of the roster). Sorts a copy by
+/// `lo` and validates the tiling of that.
+///
+/// # Errors
+/// A [`SchedError`] naming the first violation in λ order.
+pub fn validate_cover(parts: &[Partition], total: u64) -> Result<(), SchedError> {
+    let mut sorted = parts.to_vec();
+    sorted.sort_unstable_by_key(|p| (p.lo, p.hi));
+    validate_partitions(&sorted, total)
+}
+
+/// One boundary slab handed from a donor partition to a joining GPU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlabMove {
+    /// Index (GPU id) of the partition that shrank.
+    pub donor: usize,
+    /// Index (GPU id) the moved slab now belongs to.
+    pub joiner: usize,
+    /// First thread id of the moved slab.
+    pub lo: u64,
+    /// One past the last thread id of the moved slab.
+    pub hi: u64,
+    /// Workload area of the moved slab.
+    pub area: u64,
+}
+
+/// Smallest cut point `c ∈ [p.lo, p.hi]` whose head `[p.lo, c)` carries at
+/// least half the partition's area — the EA midpoint of the slab.
+fn ea_midpoint(levels: &[Level], p: Partition) -> u64 {
+    let half = range_area(levels, p.lo, p.hi).div_ceil(2);
+    let (mut lo, mut hi) = (p.lo, p.hi);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if range_area(levels, p.lo, mid) >= half {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo
+}
+
+/// Incremental re-partitioning for elastic joins: instead of re-sharding
+/// the whole λ-range (which would move every boundary and invalidate every
+/// rank's locality), each of the `joiners` new GPUs takes the *high half*
+/// (by EA area) of the currently largest partition. Only one boundary moves
+/// per joiner, the donor's load never increases, and the maximum per-GPU
+/// area is non-increasing — an iteration's makespan cannot get worse from
+/// absorbing a joiner.
+///
+/// Returns the extended partition vector (joiners appended in admission
+/// order) plus the slab moves performed. The result is proven to still tile
+/// `[0, total_threads)` exactly via [`validate_cover`]; a violation is
+/// reported as [`SchedError::UntileableMove`] rather than asserted, so the
+/// driver can refuse the join instead of corrupting the λ-range.
+///
+/// # Errors
+/// [`SchedError::NoPartitions`] when there is nothing to split, or
+/// [`SchedError::UntileableMove`] when the moved slabs no longer tile the
+/// range.
+pub fn rebalance_join(
+    levels: &[Level],
+    parts: &[Partition],
+    joiners: usize,
+) -> Result<(Vec<Partition>, Vec<SlabMove>), SchedError> {
+    if parts.is_empty() {
+        return Err(SchedError::NoPartitions);
+    }
+    let mut out = parts.to_vec();
+    let mut areas = partition_areas(levels, &out);
+    let mut moves = Vec::with_capacity(joiners);
+    for _ in 0..joiners {
+        let donor = areas
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &a)| (a, std::cmp::Reverse(i)))
+            .map(|(i, _)| i)
+            .expect("non-empty partition set");
+        let d = out[donor];
+        let cut = ea_midpoint(levels, d);
+        let joiner = out.len();
+        out[donor] = Partition { lo: d.lo, hi: cut };
+        let slab = Partition { lo: cut, hi: d.hi };
+        out.push(slab);
+        let slab_area = range_area(levels, slab.lo, slab.hi);
+        areas[donor] -= slab_area;
+        areas.push(slab_area);
+        moves.push(SlabMove {
+            donor,
+            joiner,
+            lo: slab.lo,
+            hi: slab.hi,
+            area: slab_area,
+        });
+    }
+    validate_cover(&out, total_threads(levels))
+        .map_err(|e| SchedError::UntileableMove(Box::new(e)))?;
+    Ok((out, moves))
 }
 
 /// Load-imbalance ratio: max partition area / mean partition area. 1.0 is
@@ -223,31 +399,56 @@ mod tests {
     use multihit_core::schemes::Scheme4;
     use multihit_core::sweep::levels_scheme4;
 
-    fn check_partitioning(parts: &[Partition], n: u64) {
-        validate_partitions(parts, n).unwrap();
+    /// Propagates the structured validation error instead of unwrapping, so
+    /// a failing tiling names the violated boundary in the test output.
+    fn check_partitioning(parts: &[Partition], n: u64) -> Result<(), SchedError> {
+        validate_partitions(parts, n)
     }
 
     #[test]
     fn validate_partitions_catches_violations() {
         let p = |lo, hi| Partition { lo, hi };
         assert!(validate_partitions(&[p(0, 5), p(5, 9)], 9).is_ok());
-        assert!(validate_partitions(&[], 9).is_err());
-        assert!(validate_partitions(&[p(1, 9)], 9).is_err(), "late start");
-        assert!(validate_partitions(&[p(0, 4), p(5, 9)], 9).is_err(), "gap");
-        assert!(
-            validate_partitions(&[p(0, 6), p(5, 9)], 9).is_err(),
-            "overlap"
+        assert_eq!(validate_partitions(&[], 9), Err(SchedError::NoPartitions));
+        assert_eq!(
+            validate_partitions(&[p(1, 9)], 9),
+            Err(SchedError::LateStart { lo: 1 })
         );
-        assert!(validate_partitions(&[p(0, 8)], 9).is_err(), "short");
+        assert_eq!(
+            validate_partitions(&[p(0, 4), p(5, 9)], 9),
+            Err(SchedError::GapOrOverlap {
+                index: 0,
+                end: 4,
+                next_start: 5
+            })
+        );
+        assert_eq!(
+            validate_partitions(&[p(0, 6), p(5, 9)], 9),
+            Err(SchedError::GapOrOverlap {
+                index: 0,
+                end: 6,
+                next_start: 5
+            })
+        );
+        assert_eq!(
+            validate_partitions(&[p(0, 8)], 9),
+            Err(SchedError::ShortEnd { hi: 8, total: 9 })
+        );
+        // The Display impl keeps the old human-readable messages.
+        assert_eq!(
+            SchedError::LateStart { lo: 1 }.to_string(),
+            "first partition starts at 1, not 0"
+        );
     }
 
     #[test]
-    fn ed_splits_evenly() {
+    fn ed_splits_evenly() -> Result<(), SchedError> {
         let parts = schedule_ed(103, 10);
-        check_partitioning(&parts, 103);
+        check_partitioning(&parts, 103)?;
         for p in &parts {
             assert!(p.n_threads() == 10 || p.n_threads() == 11);
         }
+        Ok(())
     }
 
     #[test]
@@ -273,13 +474,14 @@ mod tests {
     }
 
     #[test]
-    fn ea_partitions_cover_range() {
+    fn ea_partitions_cover_range() -> Result<(), SchedError> {
         let levels = levels_scheme4(Scheme4::ThreeXOne, 50);
         for parts in [1, 2, 6, 30, 100] {
             let p = schedule_ea_fast(&levels, parts);
             assert_eq!(p.len(), parts);
-            check_partitioning(&p, total_threads(&levels));
+            check_partitioning(&p, total_threads(&levels))?;
         }
+        Ok(())
     }
 
     #[test]
@@ -298,7 +500,7 @@ mod tests {
     }
 
     #[test]
-    fn ea_area_spread_is_tight_at_scale() {
+    fn ea_area_spread_is_tight_at_scale() -> Result<(), SchedError> {
         // Paper scale (BRCA, 3x1, 6000 GPUs): areas must all be within a
         // fraction of a percent of the mean — one thread's workload ≤ G.
         let g = 19411;
@@ -312,7 +514,7 @@ mod tests {
                 "partition {i}: {a} vs mean {mean}"
             );
         }
-        check_partitioning(&parts, total_threads(&levels));
+        check_partitioning(&parts, total_threads(&levels))
     }
 
     #[test]
@@ -341,11 +543,105 @@ mod tests {
     }
 
     #[test]
-    fn more_partitions_than_threads_yields_empty_tails() {
+    fn more_partitions_than_threads_yields_empty_tails() -> Result<(), SchedError> {
         let levels = levels_scheme4(Scheme4::ThreeXOne, 5); // C(5,3) = 10 threads
         let p = schedule_ea_fast(&levels, 16);
-        check_partitioning(&p, 10);
+        check_partitioning(&p, 10)?;
         assert!(p.iter().filter(|q| q.n_threads() == 0).count() >= 6);
+        Ok(())
+    }
+
+    #[test]
+    fn rebalance_join_moves_only_boundary_slabs() -> Result<(), SchedError> {
+        let levels = levels_scheme4(Scheme4::ThreeXOne, 50);
+        let total = total_threads(&levels);
+        for joiners in [1usize, 2, 5] {
+            let base = schedule_ea_fast(&levels, 6);
+            let (grown, moves) = rebalance_join(&levels, &base, joiners)?;
+            assert_eq!(grown.len(), 6 + joiners);
+            assert_eq!(moves.len(), joiners);
+            // The moved slabs still tile C(G,4) exactly.
+            validate_cover(&grown, total)?;
+            // Each joiner owns exactly the slab its move describes, cut from
+            // the donor's high boundary — donors only ever shrink in place.
+            for m in &moves {
+                assert_eq!(grown[m.joiner], Partition { lo: m.lo, hi: m.hi });
+                assert_eq!(grown[m.donor].hi, m.lo);
+            }
+            // Every original boundary that did not donate is untouched.
+            let donors: Vec<usize> = moves.iter().map(|m| m.donor).collect();
+            for (i, p) in base.iter().enumerate() {
+                if !donors.contains(&i) {
+                    assert_eq!(grown[i], *p);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn rebalance_join_never_raises_the_max_load() -> Result<(), SchedError> {
+        let levels = levels_scheme4(Scheme4::ThreeXOne, 80);
+        let base = schedule_ea_fast(&levels, 12);
+        let max_before = partition_areas(&levels, &base).into_iter().max().unwrap();
+        let (grown, _) = rebalance_join(&levels, &base, 4)?;
+        let areas = partition_areas(&levels, &grown);
+        let max_after = areas.iter().copied().max().unwrap();
+        assert!(
+            max_after <= max_before,
+            "join raised the makespan bound: {max_after} > {max_before}"
+        );
+        // Splitting the largest partition in half per joiner keeps the
+        // imbalance within the (P+g)/P envelope (plus one thread of slack).
+        let mean = areas.iter().sum::<u64>() as f64 / areas.len() as f64;
+        assert!(max_after as f64 / mean < (12.0 + 4.0) / 12.0 + 0.1);
+        Ok(())
+    }
+
+    #[test]
+    fn rebalance_join_is_deterministic_and_composable() -> Result<(), SchedError> {
+        // Admitting two joiners at once equals admitting them one at a time:
+        // the protocol's roster growth is order-deterministic.
+        let levels = levels_scheme4(Scheme4::TwoXTwo, 40);
+        let base = schedule_ea_fast(&levels, 4);
+        let (both, _) = rebalance_join(&levels, &base, 2)?;
+        let (one, _) = rebalance_join(&levels, &base, 1)?;
+        let (then_two, _) = rebalance_join(&levels, &one, 1)?;
+        assert_eq!(both, then_two);
+        Ok(())
+    }
+
+    #[test]
+    fn rebalance_join_handles_empty_donors() -> Result<(), SchedError> {
+        // More GPUs than threads: the largest partitions still split; once
+        // everything is empty the joiner legitimately receives zero work.
+        let levels = levels_scheme4(Scheme4::ThreeXOne, 5); // 10 threads
+        let base = schedule_ea_fast(&levels, 8);
+        let (grown, moves) = rebalance_join(&levels, &base, 6)?;
+        validate_cover(&grown, total_threads(&levels))?;
+        assert_eq!(grown.len(), 14);
+        assert_eq!(moves.len(), 6);
+        Ok(())
+    }
+
+    #[test]
+    fn rebalance_join_rejects_empty_roster() {
+        let levels = levels_scheme4(Scheme4::ThreeXOne, 20);
+        assert_eq!(
+            rebalance_join(&levels, &[], 1).unwrap_err(),
+            SchedError::NoPartitions
+        );
+    }
+
+    #[test]
+    fn untileable_move_is_a_structured_error() {
+        // A partition set that never tiled the range cannot survive a slab
+        // move; the scheduler reports the violation instead of asserting.
+        let levels = levels_scheme4(Scheme4::ThreeXOne, 20);
+        let broken = [Partition { lo: 5, hi: 50 }];
+        let err = rebalance_join(&levels, &broken, 1).unwrap_err();
+        assert!(matches!(err, SchedError::UntileableMove(_)), "{err:?}");
+        assert!(err.to_string().contains("un-tileable slab move"));
     }
 
     #[test]

@@ -232,6 +232,163 @@ fn zero_fault_ft_run_is_indistinguishable_from_plain() {
         .all(|k| !k.starts_with("recovery.")));
 }
 
+/// The elastic smoke matrix: kill rank R at iteration I, admit a
+/// replacement for R at the next iteration barrier, for every (rank,
+/// iteration) pair. Every churned run must stay bit-identical to the
+/// fault-free reference, and the recovery report must show exactly one
+/// death, one join, and one membership epoch.
+#[test]
+fn kill_then_rejoin_matrix_stays_bit_identical() {
+    let (t, n) = lcg_matrices(11, 90, 60, 13);
+    let cfg = four_rank_config();
+    let expect = reference(&t, &n, cfg.max_combinations);
+    assert_eq!(expect.len(), 3, "fixture should run 3 iterations");
+
+    // The join must land at a barrier the run still reaches, so the last
+    // kill iteration is len − 2 (its join lands at the final iteration).
+    for iter in 0..expect.len() - 1 {
+        for rank in 0..cfg.shape.nodes {
+            let spec = format!("rank-kill={rank}@{iter}, rank-join={rank}-{}", iter + 1);
+            let plan = FaultPlan::parse(&spec, 7).unwrap();
+            let obs = Obs::enabled();
+            let faults = FaultState::new(plan, &obs);
+            let ft =
+                distributed_discover4_ft(&t, &n, &cfg, Some(&faults), FtParams::fast_test(), &obs);
+            assert_eq!(ft.result.combinations, expect, "{spec}");
+            assert_eq!(ft.recovery.dead_ranks, vec![rank], "{spec}");
+            assert_eq!(ft.recovery.joined_ranks, vec![rank], "{spec}");
+            assert_eq!(ft.recovery.membership_epochs, 1, "{spec}");
+            assert_eq!(faults.fired().len(), 2, "{spec}: kill + join must fire");
+            assert_eq!(obs.counters().get("elastic.joins"), Some(&1), "{spec}");
+        }
+    }
+}
+
+/// A join with no preceding death scales the roster up mid-run — the new
+/// rank gets boundary slabs instead of forcing a full re-shard, and the
+/// answer is bit-identical with zero re-executed iterations.
+#[test]
+fn scale_up_join_is_incremental_and_preserves_the_answer() {
+    let (t, n) = lcg_matrices(11, 90, 60, 13);
+    let cfg = four_rank_config();
+    let expect = reference(&t, &n, cfg.max_combinations);
+    // Rank id 5 is outside the launch roster 0..4: a genuinely new node.
+    let plan = FaultPlan::parse("rank-join=5-1", 7).unwrap();
+    let obs = Obs::enabled();
+    let faults = FaultState::new(plan, &obs);
+    let ft = distributed_discover4_ft(&t, &n, &cfg, Some(&faults), FtParams::fast_test(), &obs);
+    assert_eq!(ft.result.combinations, expect);
+    assert_eq!(ft.recovery.dead_ranks, Vec::<usize>::new());
+    assert_eq!(ft.recovery.joined_ranks, vec![5]);
+    assert_eq!(ft.recovery.membership_epochs, 1);
+    assert_eq!(
+        ft.recovery.re_executed_iterations, 0,
+        "a join discards no work"
+    );
+    let counters = obs.counters();
+    assert_eq!(counters.get("elastic.joins"), Some(&1));
+    assert_eq!(counters.get("elastic.epochs"), Some(&1));
+    assert!(
+        counters
+            .get("elastic.moved_slab_area")
+            .copied()
+            .unwrap_or(0)
+            > 0,
+        "the joiner must receive boundary slabs: {counters:?}"
+    );
+    assert!(
+        !counters.contains_key("elastic.rejected_incremental"),
+        "a clean join must not degrade to a re-shard: {counters:?}"
+    );
+}
+
+/// The frontier shard transfer: with the lazy-greedy frontier on, a join
+/// splits a donor's top-K shard to the joiner rather than invalidating the
+/// frontier, and the churned run still matches the reference bit-for-bit.
+#[test]
+fn join_transfers_frontier_shards_instead_of_rescanning() {
+    let (t, n) = lcg_matrices(11, 90, 60, 13);
+    let cfg = four_rank_config();
+    assert!(cfg.frontier_k > 0, "frontier should default on");
+    let expect = reference(&t, &n, cfg.max_combinations);
+    // Join at iteration 2 so a frontier from iteration 1 exists to split.
+    let plan = FaultPlan::parse("rank-join=4-2", 7).unwrap();
+    let obs = Obs::enabled();
+    let faults = FaultState::new(plan, &obs);
+    let ft = distributed_discover4_ft(&t, &n, &cfg, Some(&faults), FtParams::fast_test(), &obs);
+    assert_eq!(ft.result.combinations, expect);
+    assert!(
+        obs.counters()
+            .get("elastic.frontier_records_moved")
+            .copied()
+            .unwrap_or(0)
+            > 0,
+        "the joiner must inherit frontier records: {:?}",
+        obs.counters()
+    );
+    // The membership point records the transfer for the report pipeline.
+    let events = obs.events();
+    let ev = events
+        .iter()
+        .find(|e| e.name == "membership")
+        .expect("membership point");
+    assert_eq!(ev.u64("incremental"), Some(1), "{ev:?}");
+    assert!(ev.u64("frontier_records_moved").unwrap_or(0) > 0, "{ev:?}");
+}
+
+/// A kill and a join of the same rank at the same barrier: the join is
+/// admitted first (the rank is still alive, so it is a no-op) and the kill
+/// then fires — the run degrades to plain survivor-shrink recovery.
+#[test]
+fn same_barrier_kill_and_join_is_a_noop_join() {
+    let (t, n) = lcg_matrices(11, 90, 60, 13);
+    let cfg = four_rank_config();
+    let expect = reference(&t, &n, cfg.max_combinations);
+    let plan = FaultPlan::parse("rank-kill=2@1, rank-join=2-1", 7).unwrap();
+    let faults = FaultState::new(plan, &Obs::disabled());
+    let ft = distributed_discover4_ft(
+        &t,
+        &n,
+        &cfg,
+        Some(&faults),
+        FtParams::fast_test(),
+        &Obs::disabled(),
+    );
+    assert_eq!(ft.result.combinations, expect);
+    assert_eq!(ft.recovery.dead_ranks, vec![2]);
+    assert_eq!(ft.recovery.joined_ranks, Vec::<usize>::new());
+    assert_eq!(ft.recovery.membership_epochs, 0);
+    assert_eq!(faults.fired().len(), 2, "both specs still fire");
+}
+
+/// Joins compose with every other fault class in one plan: a death, a
+/// fresh-node join, a straggler, and a dropped frame together still
+/// produce the reference answer.
+#[test]
+fn joins_compose_with_kills_stragglers_and_drops() {
+    let (t, n) = lcg_matrices(11, 90, 60, 13);
+    let cfg = four_rank_config();
+    let expect = reference(&t, &n, cfg.max_combinations);
+    let plan = FaultPlan::parse(
+        "rank-kill=3@0, rank-join=4-1, straggler=1@4.0, msg-drop=0-1",
+        7,
+    )
+    .unwrap();
+    let faults = FaultState::new(plan, &Obs::disabled());
+    let ft = distributed_discover4_ft(
+        &t,
+        &n,
+        &cfg,
+        Some(&faults),
+        FtParams::fast_test(),
+        &Obs::disabled(),
+    );
+    assert_eq!(ft.result.combinations, expect);
+    assert_eq!(ft.recovery.dead_ranks, vec![3]);
+    assert_eq!(ft.recovery.joined_ranks, vec![4]);
+    assert_eq!(ft.recovery.membership_epochs, 1);
+}
+
 /// The killed-rank path also survives under the equi-distance scheduler
 /// (the recovery re-partitions with whatever scheduler the run was
 /// configured with).

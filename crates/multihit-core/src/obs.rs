@@ -822,6 +822,29 @@ pub struct RecoveryReport {
     pub re_executed_combos: u64,
 }
 
+/// One membership epoch (from `membership` points): ranks admitted to the
+/// roster at an iteration barrier, and what the admission moved.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MembershipReport {
+    /// Iteration barrier the epoch began at.
+    pub iter: u64,
+    /// Epoch number after the admission (1-based).
+    pub epoch: u64,
+    /// Ranks admitted in this epoch.
+    pub joined: u64,
+    /// Roster size after the admission.
+    pub roster: u64,
+    /// 1 when the join was incremental (boundary slab moves + frontier
+    /// shard transfer); 0 when it degraded to a full re-shard.
+    pub incremental: bool,
+    /// Boundary slabs moved to the joiners.
+    pub slab_moves: u64,
+    /// Total λ-area of the moved slabs.
+    pub moved_area: u64,
+    /// Frontier records shipped to the joiners instead of rescanned.
+    pub frontier_records_moved: u64,
+}
+
 /// Aggregated serving-layer metrics, built from per-batch `serve_batch`
 /// points and the one `serve_summary` point the server emits at shutdown.
 ///
@@ -908,6 +931,8 @@ pub struct RunReport {
     pub faults: Vec<FaultReport>,
     /// Recovery events in order (empty for fault-free runs).
     pub recoveries: Vec<RecoveryReport>,
+    /// Membership epochs in order (empty for fixed-roster runs).
+    pub memberships: Vec<MembershipReport>,
     /// Serving-layer aggregates (all-zero for non-serving runs).
     pub serve: ServeReport,
     /// Instance-reduction summary (None when kernelization did not run).
@@ -992,6 +1017,18 @@ impl RunReport {
                         dead: e.u64("dead").unwrap_or(0),
                         survivors: e.u64("survivors").unwrap_or(0),
                         re_executed_combos: e.u64("re_executed_combos").unwrap_or(0),
+                    });
+                }
+                (EventKind::Point, "membership") => {
+                    r.memberships.push(MembershipReport {
+                        iter: e.u64("iter").unwrap_or(0),
+                        epoch: e.u64("epoch").unwrap_or(0),
+                        joined: e.u64("joined").unwrap_or(0),
+                        roster: e.u64("roster").unwrap_or(0),
+                        incremental: e.u64("incremental").unwrap_or(0) != 0,
+                        slab_moves: e.u64("slab_moves").unwrap_or(0),
+                        moved_area: e.u64("moved_area").unwrap_or(0),
+                        frontier_records_moved: e.u64("frontier_records_moved").unwrap_or(0),
                     });
                 }
                 (EventKind::Point, "serve_batch") => {
@@ -1178,6 +1215,27 @@ impl RunReport {
             .iter()
             .filter(|r| r.kind == "rank_recovery")
             .map(|r| r.dead)
+            .sum()
+    }
+
+    /// Ranks admitted to the roster mid-run across all membership epochs.
+    #[must_use]
+    pub fn joined_ranks(&self) -> u64 {
+        self.memberships.iter().map(|m| m.joined).sum()
+    }
+
+    /// Membership epochs begun during the run.
+    #[must_use]
+    pub fn membership_epochs(&self) -> u64 {
+        self.memberships.len() as u64
+    }
+
+    /// Frontier records shipped to joiners instead of being rescanned.
+    #[must_use]
+    pub fn frontier_records_moved(&self) -> u64 {
+        self.memberships
+            .iter()
+            .map(|m| m.frontier_records_moved)
             .sum()
     }
 
@@ -1412,6 +1470,46 @@ mod tests {
         assert!(clean.faults.is_empty() && clean.recoveries.is_empty());
         assert_eq!(clean.re_executed_combos(), 0);
         assert_eq!(clean.retransmits(), 0);
+    }
+
+    #[test]
+    fn run_report_aggregates_membership_epochs() {
+        let obs = Obs::enabled();
+        obs.point(
+            "membership",
+            &[
+                ("iter", Value::U64(1)),
+                ("epoch", Value::U64(1)),
+                ("joined", Value::U64(2)),
+                ("roster", Value::U64(6)),
+                ("incremental", Value::U64(1)),
+                ("slab_moves", Value::U64(4)),
+                ("moved_area", Value::U64(12_000)),
+                ("frontier_records_moved", Value::U64(9)),
+            ],
+        );
+        obs.point(
+            "membership",
+            &[
+                ("iter", Value::U64(3)),
+                ("epoch", Value::U64(2)),
+                ("joined", Value::U64(1)),
+                ("roster", Value::U64(7)),
+                ("incremental", Value::U64(0)),
+            ],
+        );
+        let report = RunReport::from_json_lines(&obs.to_json_lines()).unwrap();
+        assert_eq!(report.membership_epochs(), 2);
+        assert_eq!(report.joined_ranks(), 3);
+        assert_eq!(report.frontier_records_moved(), 9);
+        assert!(report.memberships[0].incremental);
+        assert_eq!(report.memberships[0].slab_moves, 4);
+        assert!(!report.memberships[1].incremental, "degraded join");
+        // Missing fields parse defensively to zero, never panic.
+        assert_eq!(report.memberships[1].moved_area, 0);
+        let clean = RunReport::from_events(&[]);
+        assert_eq!(clean.membership_epochs(), 0);
+        assert_eq!(clean.joined_ranks(), 0);
     }
 
     #[test]

@@ -35,7 +35,10 @@
 //! fault-injection demo: real rank threads on a synthetic cohort under a
 //! deterministic fault plan (e.g. `--inject rank-kill=1@2`), verified
 //! bit-identical against the fault-free reference, with the recovery bill
-//! (re-executed λ-work, retransmits, checkpoint fallbacks) printed.
+//! (re-executed λ-work, retransmits, checkpoint fallbacks) printed. Plans
+//! may also grow the roster mid-run: `rank-join=R-K` admits rank `R` at the
+//! iteration-`K` barrier through the elastic membership protocol (boundary
+//! slab moves + frontier shard transfer instead of a full re-shard).
 //!
 //! `serve` loads discovered panels into the batched classification server
 //! and answers the JSON-lines protocol on a TCP socket; `loadgen` drives
@@ -576,6 +579,8 @@ fn cluster_fault_demo(args: &[String], specs: &str, nodes: usize, obs: &Obs) -> 
     println!("matches_reference\t{matches}");
     println!("faults_fired\t{}", faults.fired().len());
     println!("dead_ranks\t{:?}", r.dead_ranks);
+    println!("joined_ranks\t{:?}", r.joined_ranks);
+    println!("membership_epochs\t{}", r.membership_epochs);
     println!("re_executed_iterations\t{}", r.re_executed_iterations);
     println!("re_executed_combos\t{}", r.re_executed_combos);
     println!("retransmits\t{}", r.ft.retransmits);
@@ -730,8 +735,9 @@ const USAGE: &str = "usage: multihit <synth|discover|classify|cluster|serve|load
   cluster  --inject SPECS [--nodes N --scheduler ea|ed|ec --seed S
            --ft-timeout-ms MS --frontier-k K --no-frontier --kernelize
            --metrics-out M.jsonl --trace]
-           SPECS: rank-kill=R@K | straggler=R@F | msg-drop=F-T[@N]
-                  | msg-corrupt=F-T[@N] | ckpt-truncate=K | ckpt-bitflip=K
+           SPECS: rank-kill=R@K | rank-join=R-K | straggler=R@F
+                  | msg-drop=F-T[@N] | msg-corrupt=F-T[@N]
+                  | ckpt-truncate=K | ckpt-bitflip=K
   serve    (--results DIR | --synth) [--addr HOST:PORT --shards S
            --batch-max B --queue-cap Q --cache-cap C --duration-secs T
            --metrics-out M.jsonl --trace]
