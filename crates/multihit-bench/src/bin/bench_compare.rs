@@ -207,7 +207,8 @@ fn parse_file(path: &str) -> Result<Value, String> {
 }
 
 /// Headline keys: explicit `--keys`, else every top-level numeric key named
-/// `speedup*` or `throughput_rps`.
+/// `speedup*` or `throughput_rps*` (the serve baseline carries one headline
+/// per protocol: in-process, JSON-over-TCP, binary-over-TCP).
 fn headline_keys(baseline: &Value, explicit: Option<&str>) -> Vec<String> {
     if let Some(list) = explicit {
         return list.split(',').map(str::to_string).collect();
@@ -216,7 +217,8 @@ fn headline_keys(baseline: &Value, explicit: Option<&str>) -> Vec<String> {
         Value::Obj(m) => m
             .iter()
             .filter(|(k, v)| {
-                matches!(v, Value::Num(_)) && (k.starts_with("speedup") || *k == "throughput_rps")
+                matches!(v, Value::Num(_))
+                    && (k.starts_with("speedup") || k.starts_with("throughput_rps"))
             })
             .map(|(k, _)| k.clone())
             .collect(),
@@ -401,13 +403,13 @@ mod tests {
 
     #[test]
     fn serve_gates_on_lost_and_divergent() {
-        let base = r#"{"bench": "serve", "throughput_rps": 50000.0, "lost": 0, "divergent": 0}"#;
+        let base = r#"{"bench": "serve", "throughput_rps": 50000.0, "throughput_rps_binary": 9000.0, "lost": 0, "divergent": 0}"#;
         let b = Parser::new(base).value().unwrap();
         let c = Parser::new(&base.replace("\"lost\": 0", "\"lost\": 3"))
             .value()
             .unwrap();
         let keys = headline_keys(&b, None);
-        assert_eq!(keys, vec!["throughput_rps"]);
+        assert_eq!(keys, vec!["throughput_rps", "throughput_rps_binary"]);
         let failures = compare(&b, &c, 0.7, &keys);
         assert_eq!(failures.len(), 1);
         assert!(failures[0].contains("lost"), "{failures:?}");

@@ -870,6 +870,19 @@ pub struct ServeReport {
     pub batch_max: u64,
     /// Deepest queue observed at batch formation.
     pub max_queue_depth: u64,
+    /// Front-end connections accepted over the serving window.
+    pub conn_accepted: u64,
+    /// Front-end connections closed (drained) over the serving window.
+    pub conn_closed: u64,
+    /// Binary frames decoded by the front end.
+    pub frames_decoded: u64,
+    /// Registry hot swaps published while serving.
+    pub swaps: u64,
+    /// Reactor event-loop iterations (from `serve_reactor` points).
+    pub reactor_loops: u64,
+    /// Nanoseconds the reactor spent processing ready events (vs parked
+    /// in the poller) — numerator of [`Self::mean_reactor_loop_ns`].
+    pub reactor_busy_ns: u64,
     /// Median request latency, nanoseconds.
     pub p50_latency_ns: u64,
     /// 95th-percentile request latency, nanoseconds.
@@ -910,6 +923,17 @@ impl ServeReport {
             0.0
         } else {
             finite_or_zero(self.shed as f64 / self.requests as f64)
+        }
+    }
+
+    /// Mean busy time per reactor event-loop iteration, nanoseconds
+    /// (0.0 for in-process serving with no reactor).
+    #[must_use]
+    pub fn mean_reactor_loop_ns(&self) -> f64 {
+        if self.reactor_loops == 0 {
+            0.0
+        } else {
+            finite_or_zero(self.reactor_busy_ns as f64 / self.reactor_loops as f64)
         }
     }
 }
@@ -1046,10 +1070,18 @@ impl RunReport {
                     r.serve.errors = e.u64("errors").unwrap_or(0);
                     r.serve.cache_hits = e.u64("cache_hits").unwrap_or(0);
                     r.serve.batch_max = e.u64("batch_max").unwrap_or(0);
+                    r.serve.conn_accepted = e.u64("conn_accepted").unwrap_or(0);
+                    r.serve.conn_closed = e.u64("conn_closed").unwrap_or(0);
+                    r.serve.frames_decoded = e.u64("frames_decoded").unwrap_or(0);
+                    r.serve.swaps = e.u64("swaps").unwrap_or(0);
                     r.serve.p50_latency_ns = e.u64("p50_latency_ns").unwrap_or(0);
                     r.serve.p95_latency_ns = e.u64("p95_latency_ns").unwrap_or(0);
                     r.serve.p99_latency_ns = e.u64("p99_latency_ns").unwrap_or(0);
                     r.serve.throughput_rps = finite_or_zero(e.f64("throughput_rps").unwrap_or(0.0));
+                }
+                (EventKind::Point, "serve_reactor") => {
+                    r.serve.reactor_loops += e.u64("loops").unwrap_or(0);
+                    r.serve.reactor_busy_ns += e.u64("busy_ns").unwrap_or(0);
                 }
                 (EventKind::Counters, _) => {
                     for (k, v) in &e.fields {

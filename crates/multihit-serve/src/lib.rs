@@ -4,25 +4,32 @@
 //! tumor from normal samples — and the roadmap's north star is serving
 //! that classifier under heavy traffic. This crate is the serving layer:
 //!
-//! * [`registry`] — immutable [`registry::ModelRegistry`] of compiled
-//!   panels, loaded from results TSVs.
+//! * [`registry`] — compiled panels loaded from results TSVs, published
+//!   in immutable generations behind [`registry::SharedRegistry`], a
+//!   hand-rolled epoch-based arc-swap that hot-swaps the live model set
+//!   without dropping traffic.
 //! * [`protocol`] — flat JSON-lines [`protocol::Request`] /
 //!   [`protocol::Response`], sharing the observability stream's codec.
+//! * [`frame`] — the length-prefixed binary wire protocol: packed
+//!   bit-signatures travel verbatim and decode straight into batch slots.
+//! * [`poll`] — readiness poller (raw epoll on Linux) behind the reactor.
 //! * [`queue`] — hand-built bounded MPMC [`queue::BoundedQueue`] with
-//!   explicit `QueueFull` rejection (backpressure by shedding, never by
-//!   unbounded buffering).
-//! * [`cache`] — per-shard [`cache::LruCache`] keyed by the sample's
-//!   packed bit-signature.
+//!   explicit `QueueFull` rejection and an adaptive batch fill window
+//!   (backpressure by shedding, never by unbounded buffering).
+//! * [`cache`] — per-shard [`cache::LruCache`] keyed by registry
+//!   generation and the sample's packed bit-signature.
 //! * [`server`] — the sharded worker pool: requests coalesce into
 //!   `BitMatrix` batches scored by the `multihit-core` AND+popcount
 //!   kernels, bit-identical to scalar classification.
-//! * [`tcp`] — `std::net::TcpListener` front end over the same submit
-//!   path.
-//! * [`loadgen`] — closed-loop load generator producing
-//!   `BENCH_serve.json` and the CI gate's lost/divergent/shed invariants.
+//! * [`tcp`] — event-loop front end: one reactor thread multiplexes
+//!   1k+ non-blocking connections over both wire protocols.
+//! * [`loadgen`] — load generator producing `BENCH_serve.json` and the
+//!   CI gate's lost/divergent/shed invariants, in-process and over TCP.
 
 pub mod cache;
+pub mod frame;
 pub mod loadgen;
+pub mod poll;
 pub mod protocol;
 pub mod queue;
 pub mod registry;
@@ -30,5 +37,5 @@ pub mod server;
 pub mod tcp;
 
 pub use protocol::{Request, Response, Status};
-pub use registry::{ModelRegistry, Panel};
-pub use server::{InProcClient, ServeConfig, Server};
+pub use registry::{ModelRegistry, Panel, RegistryReader, SharedRegistry, VersionedRegistry};
+pub use server::{InProcClient, Reply, ReplyWindow, ResponseSink, ServeConfig, Server};

@@ -1,19 +1,41 @@
-//! Closed-loop load generator for the in-process server.
+//! Load generator for the serving stack: in-process, TCP JSON-lines, and
+//! TCP binary frames, with registry hot swaps driven mid-load.
 //!
-//! N client threads issue seeded requests drawn from a bounded pool of
-//! mutation profiles (bounded so repeats occur and the cache path is
-//! exercised), every response is checked against the scalar reference
-//! classification, and the outcome — throughput, latency percentiles,
-//! cache hit rate, shed/lost/divergent counts — feeds `BENCH_serve.json`
-//! and the CI serving gate: **zero lost**, **zero divergent**, and **no
-//! shed without a queue-full rejection**.
+//! Three phases (selected by [`Proto`]), each against a fresh server so
+//! per-phase numbers stay clean:
+//!
+//! * **in-process** — pipelined windows of pre-packed signatures through
+//!   [`InProcClient::classify_packed_window`]: the serving hot path with
+//!   no socket, the headline `throughput_rps`.
+//! * **TCP JSON** / **TCP binary** — a single-threaded non-blocking
+//!   client engine (the same [`crate::poll`] reactor the server uses)
+//!   drives a ring of `connections` sockets, rotating request issue
+//!   across the ring under a global `inflight` budget. The budget is what
+//!   bounds client-observed latency at high connection counts (Little's
+//!   law: latency ≈ outstanding / throughput), so p99 stays meaningful at
+//!   1k+ connections.
+//!
+//! Every response is checked against the scalar reference classification
+//! *of the registry generation that answered it* — hot swaps mid-load are
+//! part of the workload, and the invariants gate CI: **zero lost**,
+//! **zero divergent**, **no shed without a queue-full rejection**, across
+//! every swap. A sampled binary-vs-JSON cross-check additionally pins the
+//! two wire protocols to byte-identical decoded responses.
 
-use crate::registry::ModelRegistry;
+use crate::frame::{self, FrameDecoder, Msg};
+use crate::poll::{Interest, Poller};
+use crate::protocol::{Request, Response, Status};
+use crate::registry::{ModelRegistry, Panel};
 use crate::server::{InProcClient, ServeConfig, Server};
+use crate::tcp;
 use multihit_core::obs::{json_object, Obs, RunReport, ServeReport, Value};
 use multihit_data::results::{ResultRow, ResultsFile};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Deterministic splitmix64 — the loadgen's only randomness source.
 struct Rng(u64);
@@ -68,12 +90,39 @@ pub fn synth_results(
     }
 }
 
+/// Which serving paths to load.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Proto {
+    /// In-process pipelined windows only.
+    InProc,
+    /// TCP JSON-lines only.
+    Json,
+    /// TCP binary frames only.
+    Binary,
+    /// All three phases plus the binary-vs-JSON cross-check.
+    All,
+}
+
+impl Proto {
+    /// Parse a CLI name.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Proto> {
+        match s {
+            "inproc" => Some(Proto::InProc),
+            "json" => Some(Proto::Json),
+            "binary" => Some(Proto::Binary),
+            "all" => Some(Proto::All),
+            _ => None,
+        }
+    }
+}
+
 /// Loadgen knobs.
 #[derive(Clone, Debug)]
 pub struct LoadgenConfig {
-    /// Concurrent closed-loop clients.
+    /// Concurrent in-process client threads.
     pub clients: usize,
-    /// Total requests across all clients.
+    /// Requests per phase.
     pub requests: u64,
     /// Distinct mutation profiles in the request pool — smaller pools mean
     /// more repeats and a hotter cache.
@@ -82,173 +131,807 @@ pub struct LoadgenConfig {
     pub seed: u64,
     /// Server configuration under test.
     pub serve: ServeConfig,
+    /// Which phases to run.
+    pub proto: Proto,
+    /// TCP connections in the client ring.
+    pub connections: usize,
+    /// Outstanding-request budget across the whole TCP ring.
+    pub inflight: usize,
+    /// In-process pipelined window size.
+    pub window: usize,
+    /// Registry hot swaps driven during *each* phase.
+    pub swaps: u64,
+    /// Milliseconds between swaps (spaced so the one-generation grace
+    /// period always covers in-flight requests).
+    pub swap_gap_ms: u64,
 }
 
 impl Default for LoadgenConfig {
     fn default() -> Self {
         LoadgenConfig {
-            clients: 8,
+            clients: 2,
             requests: 10_000,
             profile_pool: 512,
             seed: 7,
             serve: ServeConfig::default(),
+            proto: Proto::InProc,
+            connections: 64,
+            inflight: 64,
+            window: 256,
+            swaps: 1,
+            swap_gap_ms: 20,
         }
     }
 }
 
-/// What one loadgen run measured.
-#[derive(Clone, Debug)]
-pub struct LoadgenOutcome {
-    /// The server's aggregate report (via the obs stream round trip).
+/// One reference registry generation: the panel the server will publish as
+/// `version`, with per-profile signatures and scalar verdicts precomputed.
+struct GenRef {
+    panel: Arc<Panel>,
+    sigs: Vec<Vec<u64>>,
+    expected: Vec<bool>,
+}
+
+fn build_generations(
+    cfg: &LoadgenConfig,
+    profiles: &[Vec<String>],
+) -> (Vec<ResultsFile>, Vec<GenRef>) {
+    let n = cfg.swaps + 1;
+    let mut files = Vec::with_capacity(n as usize);
+    let mut gens = Vec::with_capacity(n as usize);
+    for g in 0..n {
+        // Each generation is a genuinely different combination set over
+        // the same universe — a swap that changed nothing would not prove
+        // anything. The 288-gene universe packs to multi-word signatures,
+        // so the binary protocol's fixed-size frames are exercised beyond
+        // the one-word case.
+        let results = synth_results("loadgen", 288, 24, 3, cfg.seed.wrapping_add(g << 12));
+        let mut reg = ModelRegistry::new();
+        reg.insert_results(&results)
+            .expect("synthetic panel is valid");
+        let panel = reg.get("loadgen").expect("panel registered");
+        let sigs: Vec<Vec<u64>> = profiles.iter().map(|p| panel.signature(p)).collect();
+        let expected: Vec<bool> = sigs.iter().map(|s| panel.classify_signature(s)).collect();
+        files.push(results);
+        gens.push(GenRef {
+            panel,
+            sigs,
+            expected,
+        });
+    }
+    (files, gens)
+}
+
+fn registry_for(file: &ResultsFile) -> ModelRegistry {
+    let mut reg = ModelRegistry::new();
+    reg.insert_results(file).expect("synthetic panel is valid");
+    reg
+}
+
+/// Drive `files` as successive hot swaps, `gap` apart, publishing the
+/// just-swapped generation number into `announce` so clients pack new
+/// requests against it.
+fn spawn_swap_driver(
+    server: &Arc<Server>,
+    files: &[ResultsFile],
+    gap: Duration,
+    announce: &Arc<AtomicU64>,
+) -> std::thread::JoinHandle<u64> {
+    let server = Arc::clone(server);
+    let files: Vec<ResultsFile> = files.to_vec();
+    let announce = Arc::clone(announce);
+    std::thread::Builder::new()
+        .name("loadgen-swap".to_string())
+        .spawn(move || {
+            let mut count = 0u64;
+            for f in &files {
+                std::thread::sleep(gap);
+                let version = server.swap_registry(registry_for(f));
+                announce.store(version, Ordering::Release);
+                count += 1;
+            }
+            count
+        })
+        .expect("spawn swap driver")
+}
+
+/// What one phase measured.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseStats {
+    /// The phase server's aggregate report (via the obs wire round trip).
     pub report: ServeReport,
-    /// Requests whose response channel died unanswered. Must be 0.
-    pub lost: u64,
-    /// Ok responses that disagreed with scalar classification. Must be 0.
-    pub divergent: u64,
-    /// Queue-full rejections the shards recorded; every shed response must
-    /// be matched by one.
-    pub queue_rejections: u64,
-    /// Wall time of the request phase, seconds.
+    /// Client-observed completions per second.
+    pub throughput_rps: f64,
+    /// Wall time of the phase, seconds.
     pub elapsed_secs: f64,
+    /// Requests that never got a response. Must be 0.
+    pub lost: u64,
+    /// Responses disagreeing with the scalar reference of their
+    /// generation (or error responses). Must be 0.
+    pub divergent: u64,
+    /// Shed responses observed by clients.
+    pub shed: u64,
+    /// Queue-full rejections the shards recorded.
+    pub queue_rejections: u64,
+    /// Client-observed p50 latency, nanoseconds (TCP phases).
+    pub client_p50_ns: u64,
+    /// Client-observed p99 latency, nanoseconds (TCP phases).
+    pub client_p99_ns: u64,
+    /// Hot swaps published during the phase.
+    pub swaps: u64,
+}
+
+/// What one loadgen run measured across its phases.
+#[derive(Clone, Debug, Default)]
+pub struct LoadgenOutcome {
+    /// In-process phase (None when skipped).
+    pub inproc: Option<PhaseStats>,
+    /// TCP JSON phase (None when skipped).
+    pub json: Option<PhaseStats>,
+    /// TCP binary phase (None when skipped).
+    pub binary: Option<PhaseStats>,
+    /// Requests cross-checked byte-for-byte between the two wire
+    /// protocols (0 when the binary phase was skipped).
+    pub crosscheck_samples: u64,
+    /// Cross-check disagreements. Must be 0.
+    pub crosscheck_mismatches: u64,
 }
 
 impl LoadgenOutcome {
-    /// The `BENCH_serve.json` content (one flat JSON object).
+    fn phases(&self) -> impl Iterator<Item = &PhaseStats> {
+        self.inproc
+            .iter()
+            .chain(self.json.iter())
+            .chain(self.binary.iter())
+    }
+
+    /// Total lost responses across phases. Must be 0.
+    #[must_use]
+    pub fn lost(&self) -> u64 {
+        self.phases().map(|p| p.lost).sum()
+    }
+
+    /// Total divergent responses across phases. Must be 0.
+    #[must_use]
+    pub fn divergent(&self) -> u64 {
+        self.phases().map(|p| p.divergent).sum()
+    }
+
+    /// Total shed responses observed by clients.
+    #[must_use]
+    pub fn shed(&self) -> u64 {
+        self.phases().map(|p| p.shed).sum()
+    }
+
+    /// Total queue-full rejections recorded by shards; every shed must be
+    /// matched by one.
+    #[must_use]
+    pub fn queue_rejections(&self) -> u64 {
+        self.phases().map(|p| p.queue_rejections).sum()
+    }
+
+    /// Total hot swaps published across phases.
+    #[must_use]
+    pub fn swap_count(&self) -> u64 {
+        self.phases().map(|p| p.swaps).sum()
+    }
+
+    /// The `BENCH_serve.json` content (one flat JSON object). Headline
+    /// throughput keys (`throughput_rps*`) are per-protocol; latency
+    /// percentiles are the in-process server-side numbers plus the
+    /// client-observed binary-over-TCP p99 at the configured connection
+    /// count.
     #[must_use]
     pub fn bench_json(&self, cfg: &LoadgenConfig) -> String {
+        let zero = PhaseStats::default();
+        let inp = self.inproc.as_ref().unwrap_or(&zero);
+        let json = self.json.as_ref().unwrap_or(&zero);
+        let bin = self.binary.as_ref().unwrap_or(&zero);
+        let requests: u64 = self.phases().map(|p| p.report.requests).sum();
+        let ok: u64 = self.phases().map(|p| p.report.ok).sum();
+        let errors: u64 = self.phases().map(|p| p.report.errors).sum();
         json_object(&[
             ("bench".to_string(), Value::Str("serve".to_string())),
             ("clients".to_string(), Value::U64(cfg.clients as u64)),
-            ("requests".to_string(), Value::U64(self.report.requests)),
-            ("ok".to_string(), Value::U64(self.report.ok)),
-            ("shed".to_string(), Value::U64(self.report.shed)),
-            ("errors".to_string(), Value::U64(self.report.errors)),
-            ("lost".to_string(), Value::U64(self.lost)),
-            ("divergent".to_string(), Value::U64(self.divergent)),
+            (
+                "connections".to_string(),
+                Value::U64(cfg.connections as u64),
+            ),
+            ("requests".to_string(), Value::U64(requests)),
+            ("ok".to_string(), Value::U64(ok)),
+            ("shed".to_string(), Value::U64(self.shed())),
+            ("errors".to_string(), Value::U64(errors)),
+            ("lost".to_string(), Value::U64(self.lost())),
+            ("divergent".to_string(), Value::U64(self.divergent())),
             (
                 "queue_rejections".to_string(),
-                Value::U64(self.queue_rejections),
+                Value::U64(self.queue_rejections()),
+            ),
+            ("swap_count".to_string(), Value::U64(self.swap_count())),
+            (
+                "crosscheck_samples".to_string(),
+                Value::U64(self.crosscheck_samples),
             ),
             (
-                "throughput_rps".to_string(),
-                Value::F64(self.report.requests as f64 / self.elapsed_secs.max(1e-9)),
+                "crosscheck_mismatches".to_string(),
+                Value::U64(self.crosscheck_mismatches),
+            ),
+            ("throughput_rps".to_string(), Value::F64(inp.throughput_rps)),
+            (
+                "throughput_rps_json".to_string(),
+                Value::F64(json.throughput_rps),
+            ),
+            (
+                "throughput_rps_binary".to_string(),
+                Value::F64(bin.throughput_rps),
             ),
             (
                 "p50_latency_ns".to_string(),
-                Value::U64(self.report.p50_latency_ns),
+                Value::U64(inp.report.p50_latency_ns),
             ),
             (
                 "p95_latency_ns".to_string(),
-                Value::U64(self.report.p95_latency_ns),
+                Value::U64(inp.report.p95_latency_ns),
             ),
             (
                 "p99_latency_ns".to_string(),
-                Value::U64(self.report.p99_latency_ns),
+                Value::U64(inp.report.p99_latency_ns),
+            ),
+            (
+                "tcp_p99_latency_ns".to_string(),
+                Value::U64(bin.client_p99_ns),
             ),
             (
                 "cache_hit_rate".to_string(),
-                Value::F64(self.report.cache_hit_rate()),
+                Value::F64(inp.report.cache_hit_rate()),
             ),
             (
                 "mean_batch_fill".to_string(),
-                Value::F64(self.report.mean_batch_fill()),
+                Value::F64(inp.report.mean_batch_fill()),
             ),
             (
                 "max_queue_depth".to_string(),
-                Value::U64(self.report.max_queue_depth),
+                Value::U64(inp.report.max_queue_depth),
             ),
-            ("batches".to_string(), Value::U64(self.report.batches)),
-            ("batch_max".to_string(), Value::U64(self.report.batch_max)),
+            ("batches".to_string(), Value::U64(inp.report.batches)),
+            ("batch_max".to_string(), Value::U64(inp.report.batch_max)),
         ])
     }
 }
 
-/// Run the closed-loop load test against a fresh in-process server.
+/// Validate one response against the reference tables. Returns
+/// `(divergent, shed)` increments.
+fn judge(resp: &Response, profile: usize, pinned: Option<u64>, gens: &[GenRef]) -> (u64, u64) {
+    match resp.status {
+        Status::Ok => {
+            let v = resp.version;
+            let in_range = v >= 1 && (v as usize) <= gens.len();
+            let pin_ok = pinned.is_none_or(|p| p == v);
+            if in_range && pin_ok && gens[(v - 1) as usize].expected[profile] == resp.tumor {
+                (0, 0)
+            } else {
+                (1, 0)
+            }
+        }
+        Status::Shed => (0, 1),
+        Status::Error => (1, 0),
+    }
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        0
+    } else {
+        sorted[((sorted.len() - 1) as f64 * q).round() as usize]
+    }
+}
+
+/// Run the load test (all configured phases) and emit one
+/// `loadgen_summary` point into `obs`.
 ///
 /// # Panics
-/// Panics on internal thread failures (a worker or client panicking), not
-/// on bad measurements — gating on the measurements is the caller's job.
+/// Panics on internal failures (a worker or client thread dying, a bind
+/// failing), not on bad measurements — gating on the measurements is the
+/// caller's job.
 #[must_use]
 pub fn run(cfg: &LoadgenConfig, obs: &Obs) -> LoadgenOutcome {
-    let mut registry = ModelRegistry::new();
-    let results = synth_results("loadgen", 48, 24, 3, cfg.seed);
-    registry
-        .insert_results(&results)
-        .expect("synthetic panel is valid");
-    let server = Server::start(registry, cfg.serve.clone(), obs);
-    let panel = server.registry().get("loadgen").expect("panel registered");
-
-    // The profile pool: gene-symbol sets of varied size, a few of them
-    // naming genes outside the panel universe (must be ignored, not error).
+    // The profile pool: mutation profiles of realistic width (tens of
+    // mutated gene symbols), a few naming genes outside the panel universe
+    // (must be ignored, not error). Wide profiles are what separates the
+    // wire protocols: JSON ships and re-parses every symbol, the binary
+    // frame ships one packed 8-byte signature word.
     let mut rng = Rng(cfg.seed);
     let profiles: Vec<Vec<String>> = (0..cfg.profile_pool.max(1))
         .map(|_| {
-            let len = rng.below(9) as usize;
-            (0..len).map(|_| format!("G{}", rng.below(56))).collect()
+            let len = rng.below(161) as usize;
+            (0..len).map(|_| format!("G{}", rng.below(320))).collect()
         })
         .collect();
-    let expected: Vec<bool> = profiles
-        .iter()
-        .map(|genes| panel.classify_signature(&panel.signature(genes)))
-        .collect();
+    let (files, gens) = build_generations(cfg, &profiles);
 
+    let mut out = LoadgenOutcome::default();
+    if matches!(cfg.proto, Proto::InProc | Proto::All) {
+        out.inproc = Some(run_inproc_phase(cfg, &profiles, &files, &gens));
+    }
+    if matches!(cfg.proto, Proto::Json | Proto::All) {
+        out.json = Some(run_tcp_phase(cfg, false, &profiles, &files, &gens));
+    }
+    if matches!(cfg.proto, Proto::Binary | Proto::All) {
+        out.binary = Some(run_tcp_phase(cfg, true, &profiles, &files, &gens));
+        let (samples, mismatches) = run_crosscheck(cfg, &profiles, &files, &gens);
+        out.crosscheck_samples = samples;
+        out.crosscheck_mismatches = mismatches;
+    }
+
+    let zero = PhaseStats::default();
+    let inp = out.inproc.as_ref().unwrap_or(&zero);
+    let bin = out.binary.as_ref().unwrap_or(&zero);
+    obs.point(
+        "loadgen_summary",
+        &[
+            ("lost", Value::U64(out.lost())),
+            ("divergent", Value::U64(out.divergent())),
+            ("shed", Value::U64(out.shed())),
+            ("queue_rejections", Value::U64(out.queue_rejections())),
+            ("swap_count", Value::U64(out.swap_count())),
+            (
+                "crosscheck_mismatches",
+                Value::U64(out.crosscheck_mismatches),
+            ),
+            ("throughput_rps", Value::F64(inp.throughput_rps)),
+            ("throughput_rps_binary", Value::F64(bin.throughput_rps)),
+        ],
+    );
+    out
+}
+
+fn phase_report(obs: &Obs) -> ServeReport {
+    RunReport::from_json_lines(&obs.to_json_lines())
+        .expect("obs stream parses")
+        .serve
+}
+
+fn run_inproc_phase(
+    cfg: &LoadgenConfig,
+    _profiles: &[Vec<String>],
+    files: &[ResultsFile],
+    gens: &[GenRef],
+) -> PhaseStats {
+    let obs = Obs::enabled();
+    let server = Server::start(registry_for(&files[0]), cfg.serve.clone(), &obs);
+    let announce = Arc::new(AtomicU64::new(1));
+    let swap_driver = spawn_swap_driver(
+        &server,
+        &files[1..],
+        Duration::from_millis(cfg.swap_gap_ms),
+        &announce,
+    );
+
+    let window = cfg.window.max(1);
     let issued = AtomicU64::new(0);
     let lost = AtomicU64::new(0);
     let divergent = AtomicU64::new(0);
-    let shed_seen = AtomicU64::new(0);
-    let started = std::time::Instant::now();
+    let shed = AtomicU64::new(0);
+    let started = Instant::now();
     std::thread::scope(|s| {
         for client_idx in 0..cfg.clients.max(1) {
             let client = InProcClient::new(Arc::clone(&server));
-            let profiles = &profiles;
-            let expected = &expected;
             let issued = &issued;
             let lost = &lost;
             let divergent = &divergent;
-            let shed_seen = &shed_seen;
+            let shed = &shed;
             let mut rng = Rng(cfg.seed ^ (client_idx as u64).wrapping_mul(0x9e37_79b9));
-            s.spawn(move || {
-                while issued.fetch_add(1, Ordering::Relaxed) < cfg.requests {
-                    let p = rng.below(profiles.len() as u64) as usize;
-                    match client.classify("loadgen", &profiles[p]) {
+            s.spawn(move || loop {
+                let claim = issued.fetch_add(window as u64, Ordering::Relaxed);
+                if claim >= cfg.requests {
+                    break;
+                }
+                let w = window.min((cfg.requests - claim) as usize);
+                let version = client.window_version();
+                let g = &gens[((version - 1) as usize).min(gens.len() - 1)];
+                let picks: Vec<usize> = (0..w)
+                    .map(|_| rng.below(g.sigs.len() as u64) as usize)
+                    .collect();
+                let refs: Vec<&[u64]> = picks.iter().map(|&p| g.sigs[p].as_slice()).collect();
+                let responses = client.classify_packed_window(version, g.panel.id, &refs);
+                for (k, resp) in responses.iter().enumerate() {
+                    match resp {
                         None => {
                             lost.fetch_add(1, Ordering::Relaxed);
                         }
-                        Some(resp) => match resp.status {
-                            crate::protocol::Status::Ok => {
-                                if resp.tumor != expected[p] {
-                                    divergent.fetch_add(1, Ordering::Relaxed);
-                                }
-                            }
-                            crate::protocol::Status::Shed => {
-                                shed_seen.fetch_add(1, Ordering::Relaxed);
-                            }
-                            crate::protocol::Status::Error => {
-                                divergent.fetch_add(1, Ordering::Relaxed);
-                            }
-                        },
+                        Some(r) => {
+                            let (d, sh) = judge(r, picks[k], Some(version), gens);
+                            divergent.fetch_add(d, Ordering::Relaxed);
+                            shed.fetch_add(sh, Ordering::Relaxed);
+                        }
                     }
                 }
             });
         }
     });
     let elapsed_secs = started.elapsed().as_secs_f64();
+    let swaps = swap_driver.join().expect("swap driver");
     let queue_rejections = server.queue_rejections();
     server.shutdown();
-
-    // Read the report back through the wire format — the same path the CI
-    // gate and bench harness consume — rather than trusting in-process
-    // state.
-    let report = RunReport::from_json_lines(&obs.to_json_lines())
-        .expect("obs stream parses")
-        .serve;
-    LoadgenOutcome {
-        report,
+    let report = phase_report(&obs);
+    PhaseStats {
+        throughput_rps: report.requests as f64 / elapsed_secs.max(1e-9),
+        elapsed_secs,
         lost: lost.load(Ordering::Relaxed),
         divergent: divergent.load(Ordering::Relaxed),
+        shed: shed.load(Ordering::Relaxed),
         queue_rejections,
-        elapsed_secs,
+        client_p50_ns: report.p50_latency_ns,
+        client_p99_ns: report.p99_latency_ns,
+        swaps,
+        report,
     }
+}
+
+/// Per-connection state of the non-blocking TCP client engine.
+struct ClientConn {
+    stream: TcpStream,
+    out: Vec<u8>,
+    pos: usize,
+    want_write: bool,
+    dec: FrameDecoder,
+    line: Vec<u8>,
+    preamble_seen: usize,
+    dead: bool,
+}
+
+impl ClientConn {
+    fn flush(&mut self, poller: &Poller, token: u64) {
+        loop {
+            if self.dead || self.pos >= self.out.len() {
+                self.out.clear();
+                self.pos = 0;
+                if self.want_write && !self.dead {
+                    self.want_write = false;
+                    let _ = poller.modify(self.stream.as_raw_fd(), token, Interest::READ);
+                }
+                return;
+            }
+            let r = {
+                let mut s = &self.stream;
+                s.write(&self.out[self.pos..])
+            };
+            match r {
+                Ok(0) => self.dead = true,
+                Ok(n) => self.pos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if self.pos >= 64 * 1024 {
+                        self.out.drain(..self.pos);
+                        self.pos = 0;
+                    }
+                    if !self.want_write {
+                        self.want_write = true;
+                        let _ = poller.modify(self.stream.as_raw_fd(), token, Interest::READ_WRITE);
+                    }
+                    return;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => self.dead = true,
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_tcp_phase(
+    cfg: &LoadgenConfig,
+    binary: bool,
+    profiles: &[Vec<String>],
+    files: &[ResultsFile],
+    gens: &[GenRef],
+) -> PhaseStats {
+    let obs = Obs::enabled();
+    let server = Server::start(registry_for(&files[0]), cfg.serve.clone(), &obs);
+    let handle = tcp::spawn(Arc::clone(&server), "127.0.0.1:0").expect("bind loadgen server");
+    let addr = handle.addr();
+    let announce = Arc::new(AtomicU64::new(1));
+    let swap_driver = spawn_swap_driver(
+        &server,
+        &files[1..],
+        Duration::from_millis(cfg.swap_gap_ms),
+        &announce,
+    );
+
+    let poller = Poller::new().expect("client poller");
+    let n_conns = cfg.connections.max(1);
+    let mut conns: Vec<ClientConn> = (0..n_conns)
+        .map(|i| {
+            let stream = TcpStream::connect(addr).expect("connect loadgen server");
+            stream.set_nonblocking(true).expect("nonblocking client");
+            let _ = stream.set_nodelay(true);
+            poller
+                .register(stream.as_raw_fd(), i as u64, Interest::READ)
+                .expect("register client conn");
+            let mut c = ClientConn {
+                stream,
+                out: Vec::new(),
+                pos: 0,
+                want_write: false,
+                dec: FrameDecoder::new(),
+                line: Vec::new(),
+                preamble_seen: if binary { 0 } else { 2 },
+                dead: false,
+            };
+            if binary {
+                frame::encode_preamble(&mut c.out);
+                c.flush(&poller, i as u64);
+            }
+            c
+        })
+        .collect();
+
+    let budget = cfg.inflight.max(1);
+    let n_req = cfg.requests;
+    // Issue-time record per request id: profile index, pinned generation
+    // (binary only), issue instant.
+    let mut pending: Vec<Option<(u32, u64, Instant)>> = vec![None; n_req as usize];
+    let mut issued = 0u64;
+    let mut completed = 0u64;
+    let mut inflight = 0usize;
+    let mut lost = 0u64;
+    let mut divergent = 0u64;
+    let mut shed = 0u64;
+    let mut latencies: Vec<u64> = Vec::with_capacity(n_req as usize);
+    let mut rng = Rng(cfg.seed ^ 0x7cb);
+    let mut events = Vec::new();
+    let mut scratch = vec![0u8; 64 * 1024];
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let started = Instant::now();
+
+    let mut dirty: Vec<bool> = vec![false; n_conns];
+    'outer: while completed < n_req {
+        // Issue a burst up to the inflight budget, then flush each touched
+        // connection once — requests sharing a connection coalesce into
+        // one write.
+        while issued < n_req && inflight < budget {
+            let token = issued % n_conns as u64;
+            let p = rng.below(profiles.len() as u64) as usize;
+            let v = announce.load(Ordering::Acquire);
+            let g = &gens[((v - 1) as usize).min(gens.len() - 1)];
+            let conn = &mut conns[token as usize];
+            if binary {
+                frame::encode_request(&mut conn.out, issued, v, g.panel.id, &g.sigs[p]);
+            } else {
+                let req = Request {
+                    id: issued,
+                    model: "loadgen".to_string(),
+                    genes: profiles[p].clone(),
+                };
+                let line = req.to_json();
+                conn.out.reserve(line.len() + 1);
+                conn.out.extend_from_slice(line.as_bytes());
+                conn.out.push(b'\n');
+            }
+            pending[issued as usize] = Some((
+                u32::try_from(p).expect("pool fits u32"),
+                if binary { v } else { 0 },
+                Instant::now(),
+            ));
+            dirty[token as usize] = true;
+            issued += 1;
+            inflight += 1;
+        }
+        for (i, d) in dirty.iter_mut().enumerate() {
+            if *d {
+                *d = false;
+                conns[i].flush(&poller, i as u64);
+            }
+        }
+        if Instant::now() > deadline {
+            break 'outer;
+        }
+        if poller.wait(&mut events, 50).is_err() {
+            break 'outer;
+        }
+        for &ev in &events {
+            let Ok(token) = usize::try_from(ev.token) else {
+                continue;
+            };
+            if token >= conns.len() {
+                continue;
+            }
+            if ev.writable {
+                conns[token].flush(&poller, ev.token);
+            }
+            if !(ev.readable || ev.hangup) {
+                continue;
+            }
+            loop {
+                let r = conns[token].stream.read(&mut scratch);
+                match r {
+                    Ok(0) => {
+                        conns[token].dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        let mut bytes = &scratch[..n];
+                        let conn = &mut conns[token];
+                        while conn.preamble_seen < 2 && !bytes.is_empty() {
+                            let expect = if conn.preamble_seen == 0 {
+                                frame::MAGIC
+                            } else {
+                                frame::VERSION
+                            };
+                            assert_eq!(bytes[0], expect, "bad preamble echo");
+                            conn.preamble_seen += 1;
+                            bytes = &bytes[1..];
+                        }
+                        let mut responses: Vec<Response> = Vec::new();
+                        if binary {
+                            conn.dec.push(bytes);
+                            while let Some(msg) = conn.dec.next().expect("well-formed frames") {
+                                match msg {
+                                    Msg::Response(r) => responses.push(r),
+                                    Msg::Request { .. } => {
+                                        panic!("server sent a request frame")
+                                    }
+                                }
+                            }
+                        } else {
+                            conn.line.extend_from_slice(bytes);
+                            let mut start = 0usize;
+                            while let Some(nl) = conn.line[start..].iter().position(|&b| b == b'\n')
+                            {
+                                let end = start + nl;
+                                let text = String::from_utf8_lossy(&conn.line[start..end]);
+                                responses.push(
+                                    Response::from_json(text.trim())
+                                        .expect("well-formed response line"),
+                                );
+                                start = end + 1;
+                            }
+                            if start > 0 {
+                                conn.line.drain(..start);
+                            }
+                        }
+                        for resp in responses {
+                            let slot = pending.get_mut(resp.id as usize).and_then(Option::take);
+                            let Some((p, v, t0)) = slot else {
+                                divergent += 1;
+                                continue;
+                            };
+                            latencies
+                                .push(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                            inflight -= 1;
+                            completed += 1;
+                            let pinned = if binary { Some(v) } else { None };
+                            let (d, sh) = judge(&resp, p as usize, pinned, gens);
+                            divergent += d;
+                            shed += sh;
+                        }
+                        if n < scratch.len() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        conns[token].dead = true;
+                        break;
+                    }
+                }
+            }
+            if conns[token].dead {
+                // A dead connection strands its in-flight requests; they
+                // surface as lost below.
+                let _ = poller.deregister(conns[token].stream.as_raw_fd());
+            }
+        }
+        if conns.iter().all(|c| c.dead) {
+            break 'outer;
+        }
+    }
+    let elapsed_secs = started.elapsed().as_secs_f64();
+    lost += pending.iter().filter(|s| s.is_some()).count() as u64;
+
+    let swaps = swap_driver.join().expect("swap driver");
+    let queue_rejections = server.queue_rejections();
+    handle.stop();
+    server.shutdown();
+    let report = phase_report(&obs);
+    latencies.sort_unstable();
+    PhaseStats {
+        throughput_rps: completed as f64 / elapsed_secs.max(1e-9),
+        elapsed_secs,
+        lost,
+        divergent,
+        shed,
+        queue_rejections,
+        client_p50_ns: percentile(&latencies, 0.50),
+        client_p99_ns: percentile(&latencies, 0.99),
+        swaps,
+        report,
+    }
+}
+
+/// Send a sampled subset of profiles through both wire protocols against
+/// one server and require byte-identical decoded responses (cache-hit
+/// flag normalized — the second protocol to ask is expected to hit the
+/// cache). Returns `(samples, mismatches)`.
+fn run_crosscheck(
+    cfg: &LoadgenConfig,
+    profiles: &[Vec<String>],
+    files: &[ResultsFile],
+    gens: &[GenRef],
+) -> (u64, u64) {
+    let obs = Obs::enabled();
+    let server = Server::start(registry_for(&files[0]), cfg.serve.clone(), &obs);
+    let handle = tcp::spawn(Arc::clone(&server), "127.0.0.1:0").expect("bind crosscheck server");
+    let addr = handle.addr();
+
+    let json_stream = TcpStream::connect(addr).expect("connect json");
+    json_stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    let mut json_writer = json_stream.try_clone().expect("clone json stream");
+    let mut json_reader = BufReader::new(json_stream);
+
+    let mut bin_stream = TcpStream::connect(addr).expect("connect binary");
+    bin_stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    let mut preamble = Vec::new();
+    frame::encode_preamble(&mut preamble);
+    bin_stream.write_all(&preamble).expect("send preamble");
+    let mut echo = [0u8; 2];
+    bin_stream.read_exact(&mut echo).expect("preamble echo");
+    assert_eq!(echo, [frame::MAGIC, frame::VERSION], "preamble echo");
+
+    let g = &gens[0];
+    let samples = 64u64.min(profiles.len() as u64);
+    let mut mismatches = 0u64;
+    let mut dec = FrameDecoder::new();
+    let mut buf = [0u8; 4096];
+    let mut line = String::new();
+    for k in 0..samples {
+        let p = k as usize % profiles.len();
+        // JSON side.
+        let req = Request {
+            id: k,
+            model: "loadgen".to_string(),
+            genes: profiles[p].clone(),
+        };
+        json_writer
+            .write_all(format!("{}\n", req.to_json()).as_bytes())
+            .expect("send json request");
+        line.clear();
+        json_reader.read_line(&mut line).expect("json response");
+        let mut rj = Response::from_json(line.trim()).expect("parse json response");
+        // Binary side: the same sample as a packed generation-1 signature.
+        let mut wire = Vec::new();
+        frame::encode_request(&mut wire, k, 1, g.panel.id, &g.sigs[p]);
+        bin_stream.write_all(&wire).expect("send binary request");
+        let rb = loop {
+            if let Some(msg) = dec.next().expect("well-formed frame") {
+                match msg {
+                    Msg::Response(r) => break r,
+                    Msg::Request { .. } => panic!("server sent a request frame"),
+                }
+            }
+            let n = bin_stream.read(&mut buf).expect("binary response");
+            assert!(n > 0, "server closed during crosscheck");
+            dec.push(&buf[..n]);
+        };
+        let mut rb = rb;
+        // The only field allowed to differ: whichever protocol asked
+        // second hits the signature cache.
+        rj.cache_hit = false;
+        rb.cache_hit = false;
+        if rj.to_json().as_bytes() != rb.to_json().as_bytes() {
+            mismatches += 1;
+        }
+    }
+    drop(json_writer);
+    drop(json_reader);
+    drop(bin_stream);
+    handle.stop();
+    server.shutdown();
+    (samples, mismatches)
 }
 
 #[cfg(test)]
@@ -259,54 +942,120 @@ mod tests {
     fn loadgen_smoke_is_clean() {
         let obs = Obs::enabled();
         let cfg = LoadgenConfig {
-            clients: 4,
+            clients: 2,
             requests: 2_000,
             profile_pool: 64,
             seed: 11,
-            serve: ServeConfig::default(),
+            window: 64,
+            swaps: 0,
+            ..LoadgenConfig::default()
         };
         let out = run(&cfg, &obs);
-        assert_eq!(out.lost, 0, "lost responses");
-        assert_eq!(out.divergent, 0, "batched vs scalar divergence");
-        assert_eq!(out.report.requests, 2_000);
-        assert_eq!(out.report.ok + out.report.shed, 2_000);
-        // Generous queue, closed-loop clients ≤ queue_cap: nothing sheds.
-        assert_eq!(out.report.shed, 0, "shed without queue pressure");
-        assert_eq!(out.queue_rejections, 0);
+        let inp = out.inproc.as_ref().expect("inproc phase ran");
+        assert_eq!(out.lost(), 0, "lost responses");
+        assert_eq!(out.divergent(), 0, "batched vs scalar divergence");
+        assert_eq!(inp.report.requests, 2_000);
+        assert_eq!(inp.report.ok + inp.report.shed, 2_000);
+        // Generous queue: nothing sheds.
+        assert_eq!(inp.report.shed, 0, "shed without queue pressure");
+        assert_eq!(out.queue_rejections(), 0);
         // 64 profiles over 2000 requests: the cache must be doing work.
         assert!(
-            out.report.cache_hit_rate() > 0.5,
+            inp.report.cache_hit_rate() > 0.5,
             "cache hit rate {}",
-            out.report.cache_hit_rate()
+            inp.report.cache_hit_rate()
         );
         let json = out.bench_json(&cfg);
         assert!(json.contains("\"bench\":\"serve\""));
         assert!(json.contains("p99_latency_ns"));
+        assert!(json.contains("throughput_rps_binary"));
+        assert!(obs.to_json_lines().contains("loadgen_summary"));
     }
 
     #[test]
     fn loadgen_under_pressure_sheds_only_on_full_queues() {
         let obs = Obs::enabled();
         let cfg = LoadgenConfig {
-            clients: 8,
+            clients: 4,
             requests: 300,
             profile_pool: 256,
             seed: 13,
+            window: 8,
+            swaps: 0,
             serve: ServeConfig {
                 shards: 1,
                 batch_max: 4,
                 queue_cap: 2,
                 cache_cap: 0,
                 score_delay_ns: 2_000_000,
+                ..ServeConfig::default()
             },
+            ..LoadgenConfig::default()
         };
         let out = run(&cfg, &obs);
-        assert_eq!(out.lost, 0);
-        assert_eq!(out.divergent, 0);
-        assert_eq!(out.report.ok + out.report.shed, 300);
+        let inp = out.inproc.as_ref().expect("inproc phase ran");
+        assert_eq!(out.lost(), 0);
+        assert_eq!(out.divergent(), 0);
+        assert_eq!(inp.report.ok + inp.report.shed, 300);
         // The invariant the CI gate checks: sheds imply queue-full
         // rejections, one for one.
-        assert_eq!(out.report.shed, out.queue_rejections);
+        assert_eq!(out.shed(), out.queue_rejections());
+    }
+
+    #[test]
+    fn hot_swap_under_load_loses_nothing() {
+        let obs = Obs::enabled();
+        let cfg = LoadgenConfig {
+            clients: 2,
+            requests: 4_000,
+            profile_pool: 64,
+            seed: 17,
+            window: 32,
+            swaps: 3,
+            swap_gap_ms: 5,
+            ..LoadgenConfig::default()
+        };
+        let out = run(&cfg, &obs);
+        let inp = out.inproc.as_ref().expect("inproc phase ran");
+        assert_eq!(out.swap_count(), 3, "all swaps published");
+        assert_eq!(out.lost(), 0, "no gaps across swaps");
+        // Zero divergent means every ok response matched the scalar
+        // reference of the generation stamped on it — old or new.
+        assert_eq!(out.divergent(), 0, "response disagreed with its generation");
+        assert_eq!(inp.report.ok + inp.report.shed, 4_000);
+        assert_eq!(inp.report.swaps, 3);
+    }
+
+    #[test]
+    fn tcp_phases_and_crosscheck_are_clean() {
+        let obs = Obs::enabled();
+        let cfg = LoadgenConfig {
+            clients: 1,
+            requests: 600,
+            profile_pool: 64,
+            seed: 19,
+            window: 32,
+            proto: Proto::All,
+            connections: 8,
+            inflight: 16,
+            swaps: 1,
+            swap_gap_ms: 5,
+            ..LoadgenConfig::default()
+        };
+        let out = run(&cfg, &obs);
+        assert!(out.inproc.is_some() && out.json.is_some() && out.binary.is_some());
+        assert_eq!(out.lost(), 0, "lost");
+        assert_eq!(out.divergent(), 0, "divergent");
+        assert_eq!(out.shed(), out.queue_rejections(), "shed accounting");
+        assert_eq!(out.swap_count(), 3, "one swap per phase");
+        assert_eq!(out.crosscheck_mismatches, 0, "binary/json disagree");
+        assert!(out.crosscheck_samples > 0);
+        let bin = out.binary.as_ref().unwrap();
+        assert_eq!(bin.report.ok + bin.report.shed + bin.report.errors, 600);
+        assert!(bin.report.frames_decoded >= 600);
+        assert!(bin.report.conn_accepted >= 8);
+        let json = out.json.as_ref().unwrap();
+        assert_eq!(json.report.ok + json.report.shed + json.report.errors, 600);
     }
 
     #[test]

@@ -9,10 +9,19 @@
 //!
 //! ```text
 //! → {"id":1,"model":"BRCA-synth","genes":"TP53,KRAS,EGFR"}
-//! ← {"id":1,"status":"ok","tumor":true,"cache_hit":false}
+//! ← {"id":1,"status":"ok","tumor":true,"cache_hit":false,"v":1}
 //! ← {"id":2,"status":"shed"}                      (queue full: 503-style)
 //! ← {"id":3,"status":"error","error":"unknown model \"X\""}
 //! ```
+//!
+//! `v` is the registry generation that produced the verdict. The registry
+//! is hot-swappable (see [`crate::registry::SharedRegistry`]); stamping
+//! every ok response with its generation is what lets the load generator
+//! prove that a swap mid-load loses or corrupts nothing — each response
+//! must match the scalar reference of *some* published generation.
+//!
+//! The binary sibling of this protocol lives in [`crate::frame`]; a
+//! connection's first byte selects between them.
 
 use multihit_core::obs::{json_object, parse_json_object, Value};
 
@@ -116,19 +125,22 @@ pub struct Response {
     pub tumor: bool,
     /// Whether the verdict came from the signature cache.
     pub cache_hit: bool,
+    /// Registry generation that produced the verdict (0 outside `Ok`).
+    pub version: u64,
     /// Error description (empty unless `status == Error`).
     pub error: String,
 }
 
 impl Response {
-    /// A successful classification.
+    /// A successful classification under registry generation `version`.
     #[must_use]
-    pub fn ok(id: u64, tumor: bool, cache_hit: bool) -> Response {
+    pub fn ok(id: u64, tumor: bool, cache_hit: bool, version: u64) -> Response {
         Response {
             id,
             status: Status::Ok,
             tumor,
             cache_hit,
+            version,
             error: String::new(),
         }
     }
@@ -141,6 +153,7 @@ impl Response {
             status: Status::Shed,
             tumor: false,
             cache_hit: false,
+            version: 0,
             error: String::new(),
         }
     }
@@ -153,6 +166,7 @@ impl Response {
             status: Status::Error,
             tumor: false,
             cache_hit: false,
+            version: 0,
             error: message.into(),
         }
     }
@@ -173,6 +187,7 @@ impl Response {
             Status::Ok => {
                 fields.push(("tumor".to_string(), Value::Bool(self.tumor)));
                 fields.push(("cache_hit".to_string(), Value::Bool(self.cache_hit)));
+                fields.push(("v".to_string(), Value::U64(self.version)));
             }
             Status::Shed => {}
             Status::Error => fields.push(("error".to_string(), Value::Str(self.error.clone()))),
@@ -190,6 +205,7 @@ impl Response {
         let mut status = None;
         let mut tumor = false;
         let mut cache_hit = false;
+        let mut version = 0;
         let mut error = String::new();
         for (k, v) in pairs {
             match (k.as_str(), v) {
@@ -200,6 +216,7 @@ impl Response {
                 }
                 ("tumor", Value::Bool(b)) => tumor = b,
                 ("cache_hit", Value::Bool(b)) => cache_hit = b,
+                ("v", v) => version = v.as_u64().unwrap_or(0),
                 ("error", Value::Str(s)) => error = s,
                 _ => {}
             }
@@ -209,6 +226,7 @@ impl Response {
             status: status.ok_or("missing \"status\"")?,
             tumor,
             cache_hit,
+            version,
             error,
         })
     }
@@ -242,8 +260,8 @@ mod tests {
     #[test]
     fn responses_round_trip() {
         for r in [
-            Response::ok(1, true, false),
-            Response::ok(2, false, true),
+            Response::ok(1, true, false, 1),
+            Response::ok(2, false, true, 7),
             Response::shed(3),
             Response::error(4, "unknown model \"X\""),
         ] {

@@ -1,22 +1,41 @@
-//! The immutable model registry: discovered panels, indexed for serving.
+//! The model registry: discovered panels, indexed for serving, published
+//! in immutable hot-swappable generations.
 //!
 //! A *panel* is one discovery run's output — the hit combinations of a
 //! cohort (`ResultsFile` TSV, the paper's supporting-information tables) —
 //! compiled into the form the hot path needs: a dense gene-id universe
 //! (only genes that appear in some combination matter for classification),
 //! a name→id index for request translation, and a [`ComboClassifier`] over
-//! those ids. Panels are built once at startup and shared immutably
-//! (`Arc`) across shards; there is deliberately no mutation or reload path
-//! — restart to change models, like the discovery jobs themselves.
+//! those ids. Each [`ModelRegistry`] is built once and then never mutated;
+//! *replacing* the registry is how freshly discovered panels reach a live
+//! server, closing the discover→serve loop without dropping traffic:
+//!
+//! * [`SharedRegistry`] — a hand-rolled epoch-based arc-swap. Writers
+//!   publish a new immutable generation ([`SharedRegistry::swap`]) and
+//!   bump an atomic epoch; the previous generation is retained for one
+//!   epoch so in-flight binary requests packed against it still resolve.
+//! * [`RegistryReader`] — a per-thread cached view. The hot path costs
+//!   one relaxed atomic load per use ([`RegistryReader::current`]); only
+//!   the first use after a swap touches the publisher's mutex. Readers
+//!   therefore never block each other and never block the writer for
+//!   longer than one `Arc` clone.
+//!
+//! Memory reclamation is the `Arc` refcount: a retired generation is
+//! freed when the last reader cache and in-flight job drop it — the
+//! "grace period" of a classical epoch scheme without the bookkeeping.
 
 use multihit_data::classify::ComboClassifier;
 use multihit_data::results::ResultsFile;
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// One compiled panel.
 #[derive(Clone, Debug)]
 pub struct Panel {
+    /// Dense id within its registry (position in insertion order) — what
+    /// binary-frame requests carry instead of the name.
+    pub id: u32,
     /// Registry name (the cohort label of the results file).
     pub name: String,
     /// Hits per combination as discovered.
@@ -59,6 +78,7 @@ impl Panel {
             combinations.push(combo);
         }
         Ok(Panel {
+            id: 0, // assigned by ModelRegistry::insert_results
             name: results.cohort.clone(),
             hits: results.hits,
             gene_names,
@@ -104,10 +124,11 @@ impl Panel {
     }
 }
 
-/// The immutable set of panels a server instance answers for.
+/// The immutable set of panels one registry generation answers for.
 #[derive(Clone, Debug, Default)]
 pub struct ModelRegistry {
     panels: BTreeMap<String, Arc<Panel>>,
+    by_id: Vec<Arc<Panel>>,
 }
 
 impl ModelRegistry {
@@ -117,16 +138,20 @@ impl ModelRegistry {
         ModelRegistry::default()
     }
 
-    /// Register one results file under its cohort name.
+    /// Register one results file under its cohort name. The panel's dense
+    /// id is its insertion position.
     ///
     /// # Errors
     /// Rejects empty panels and duplicate names.
     pub fn insert_results(&mut self, results: &ResultsFile) -> Result<(), String> {
-        let panel = Panel::from_results(results)?;
+        let mut panel = Panel::from_results(results)?;
         if self.panels.contains_key(&panel.name) {
             return Err(format!("duplicate panel {:?}", panel.name));
         }
-        self.panels.insert(panel.name.clone(), Arc::new(panel));
+        panel.id = u32::try_from(self.by_id.len()).expect("panel count fits u32");
+        let panel = Arc::new(panel);
+        self.panels.insert(panel.name.clone(), Arc::clone(&panel));
+        self.by_id.push(panel);
         Ok(())
     }
 
@@ -164,6 +189,12 @@ impl ModelRegistry {
         self.panels.get(name).cloned()
     }
 
+    /// Look up a panel by dense id (the binary-protocol model reference).
+    #[must_use]
+    pub fn get_by_id(&self, id: u32) -> Option<&Arc<Panel>> {
+        self.by_id.get(id as usize)
+    }
+
     /// Panel names, sorted.
     #[must_use]
     pub fn names(&self) -> Vec<&str> {
@@ -180,6 +211,127 @@ impl ModelRegistry {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.panels.is_empty()
+    }
+}
+
+/// One published registry generation.
+#[derive(Debug)]
+pub struct VersionedRegistry {
+    /// Generation number, 1-based and strictly increasing per swap.
+    pub version: u64,
+    /// The immutable panel set of this generation.
+    pub registry: ModelRegistry,
+}
+
+/// The hand-rolled epoch-based arc-swap publishing registry generations.
+///
+/// The epoch is [`SharedRegistry::version`]; readers validate their cached
+/// `Arc` against it with one atomic load and only touch the mutex on the
+/// first use after a swap. The writer holds the mutex just long enough to
+/// replace two `Arc`s, so a swap never stalls behind traffic.
+pub struct SharedRegistry {
+    version: AtomicU64,
+    slots: Mutex<Slots>,
+}
+
+struct Slots {
+    current: Arc<VersionedRegistry>,
+    /// The immediately preceding generation, retained so binary requests
+    /// packed against it mid-swap still resolve (answered *under that
+    /// generation*, never silently re-interpreted against the new one).
+    previous: Option<Arc<VersionedRegistry>>,
+}
+
+impl SharedRegistry {
+    /// Publish `registry` as generation 1.
+    #[must_use]
+    pub fn new(registry: ModelRegistry) -> Arc<SharedRegistry> {
+        Arc::new(SharedRegistry {
+            version: AtomicU64::new(1),
+            slots: Mutex::new(Slots {
+                current: Arc::new(VersionedRegistry {
+                    version: 1,
+                    registry,
+                }),
+                previous: None,
+            }),
+        })
+    }
+
+    /// The current epoch (generation number).
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Clone out the current generation (cold path; hot paths go through a
+    /// [`RegistryReader`]).
+    #[must_use]
+    pub fn load(&self) -> Arc<VersionedRegistry> {
+        Arc::clone(&self.slots.lock().expect("registry poisoned").current)
+    }
+
+    /// Publish a new generation; returns its version. The displaced
+    /// generation stays resolvable for exactly one more swap.
+    pub fn swap(&self, registry: ModelRegistry) -> u64 {
+        let mut slots = self.slots.lock().expect("registry poisoned");
+        let version = slots.current.version + 1;
+        let fresh = Arc::new(VersionedRegistry { version, registry });
+        slots.previous = Some(std::mem::replace(&mut slots.current, fresh));
+        // Publish the epoch only after both slots are consistent.
+        self.version.store(version, Ordering::Release);
+        version
+    }
+
+    /// A reader caching the current generation.
+    #[must_use]
+    pub fn reader(self: &Arc<SharedRegistry>) -> RegistryReader {
+        let slots = self.slots.lock().expect("registry poisoned");
+        RegistryReader {
+            cached: Arc::clone(&slots.current),
+            cached_previous: slots.previous.clone(),
+            shared: Arc::clone(self),
+        }
+    }
+}
+
+/// A per-thread cached view of a [`SharedRegistry`]: the `registry.load()`
+/// each batch performs. Validation is one atomic compare; refresh after a
+/// swap is one brief mutex acquisition.
+pub struct RegistryReader {
+    cached: Arc<VersionedRegistry>,
+    cached_previous: Option<Arc<VersionedRegistry>>,
+    shared: Arc<SharedRegistry>,
+}
+
+impl RegistryReader {
+    fn refresh_if_stale(&mut self) {
+        if self.shared.version() != self.cached.version {
+            let slots = self.shared.slots.lock().expect("registry poisoned");
+            self.cached = Arc::clone(&slots.current);
+            self.cached_previous = slots.previous.clone();
+        }
+    }
+
+    /// The current generation.
+    pub fn current(&mut self) -> &Arc<VersionedRegistry> {
+        self.refresh_if_stale();
+        &self.cached
+    }
+
+    /// Resolve a request's generation number: the current generation, the
+    /// one it displaced (grace period for in-flight requests packed
+    /// against the old universe), or `None` if the caller is two or more
+    /// swaps behind.
+    pub fn resolve_version(&mut self, version: u64) -> Option<&Arc<VersionedRegistry>> {
+        self.refresh_if_stale();
+        if self.cached.version == version {
+            Some(&self.cached)
+        } else {
+            self.cached_previous
+                .as_ref()
+                .filter(|p| p.version == version)
+        }
     }
 }
 
@@ -237,6 +389,105 @@ mod tests {
         assert_eq!(reg.names(), vec!["X"]);
         assert!(reg.get("X").is_some());
         assert!(reg.get("Z").is_none());
+    }
+
+    #[test]
+    fn dense_ids_follow_insertion_order() {
+        let mut reg = ModelRegistry::new();
+        reg.insert_results(&results("B", &[&["A"]])).unwrap();
+        reg.insert_results(&results("A", &[&["B"]])).unwrap();
+        assert_eq!(reg.get("B").unwrap().id, 0);
+        assert_eq!(reg.get("A").unwrap().id, 1);
+        assert_eq!(reg.get_by_id(0).unwrap().name, "B");
+        assert_eq!(reg.get_by_id(1).unwrap().name, "A");
+        assert!(reg.get_by_id(2).is_none());
+    }
+
+    #[test]
+    fn swap_publishes_and_retains_one_generation() {
+        let mut v1 = ModelRegistry::new();
+        v1.insert_results(&results("X", &[&["A"]])).unwrap();
+        let shared = SharedRegistry::new(v1);
+        let mut reader = shared.reader();
+        assert_eq!(reader.current().version, 1);
+        assert!(reader.resolve_version(1).is_some());
+        assert!(reader.resolve_version(2).is_none());
+
+        let mut v2 = ModelRegistry::new();
+        v2.insert_results(&results("X", &[&["A", "B"]])).unwrap();
+        assert_eq!(shared.swap(v2), 2);
+
+        // A stale reader refreshes on first use; both generations resolve.
+        assert_eq!(reader.current().version, 2);
+        assert_eq!(reader.resolve_version(1).unwrap().version, 1);
+        assert_eq!(reader.resolve_version(2).unwrap().version, 2);
+
+        // One more swap retires generation 1 entirely.
+        let mut v3 = ModelRegistry::new();
+        v3.insert_results(&results("X", &[&["C"]])).unwrap();
+        assert_eq!(shared.swap(v3), 3);
+        assert!(reader.resolve_version(1).is_none());
+        assert_eq!(reader.resolve_version(2).unwrap().version, 2);
+        assert_eq!(reader.resolve_version(3).unwrap().version, 3);
+    }
+
+    #[test]
+    fn readers_never_observe_a_torn_generation() {
+        // Hammer swap from one thread while readers validate that the
+        // version stamp always matches the registry contents it travels
+        // with (each generation's panel count encodes its version parity).
+        let mut v1 = ModelRegistry::new();
+        v1.insert_results(&results("X", &[&["A"]])).unwrap();
+        let shared = SharedRegistry::new(v1);
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let shared2 = Arc::clone(&shared);
+            let stop = &stop;
+            s.spawn(move || {
+                for i in 0..200u64 {
+                    let mut reg = ModelRegistry::new();
+                    let combos: Vec<&[&str]> = if i % 2 == 0 {
+                        vec![&["A"], &["B"]]
+                    } else {
+                        vec![&["A"]]
+                    };
+                    reg.insert_results(&results("X", &combos)).unwrap();
+                    shared2.swap(reg);
+                }
+                stop.store(true, std::sync::atomic::Ordering::Release);
+            });
+            for _ in 0..2 {
+                let mut reader = shared.reader();
+                s.spawn(move || {
+                    let mut last = 0;
+                    while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                        let cur = reader.current();
+                        // Versions move forward only, and the generation's
+                        // contents agree with its stamp.
+                        assert!(cur.version >= last, "epoch went backwards");
+                        last = cur.version;
+                        let panels = cur.registry.get("X").unwrap();
+                        let want = if cur.version == 1 || cur.version.is_multiple_of(2) {
+                            // v1 seeds 1 combo; swap i produces version i+2
+                            // with 2 combos when i is even.
+                            if cur.version == 1 {
+                                1
+                            } else {
+                                2
+                            }
+                        } else {
+                            1
+                        };
+                        assert_eq!(
+                            panels.classifier.combinations.len(),
+                            want,
+                            "torn read at version {}",
+                            cur.version
+                        );
+                    }
+                });
+            }
+        });
     }
 
     #[test]

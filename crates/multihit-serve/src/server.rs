@@ -3,36 +3,38 @@
 //! Request flow:
 //!
 //! ```text
-//! submit() ── panel lookup ── signature pack ── shard hash ── try_push ──► BoundedQueue
-//!     │                                                          │ full
-//!     │                                                          └──► shed response (503-style)
-//!     ▼
-//! worker (one per shard): pop_batch(B) → per-panel grouping → LRU cache probe
-//!     → misses packed as columns of one BitMatrix → ComboClassifier::classify_batch
-//!     (the multihit-core AND+popcount kernel path) → responses + cache fill
+//! submit ── registry.load() (epoch-cached) ── signature pack ── shard hash
+//!     │                                                          │
+//!     ▼                                                          ▼ try_push
+//! worker (one per shard): pop_batch_window(B, W) → per-(version, panel)
+//!     grouping → LRU cache probe → misses packed as columns of one
+//!     BitMatrix → ComboClassifier::classify_batch (the multihit-core
+//!     AND+popcount kernel path) → responses + cache fill
 //! ```
 //!
 //! Sharding is by signature hash, so repeats of the same sample land on the
 //! same shard and its private LRU cache — shard caches need no cross-thread
-//! locking and stay coherent by construction (a panel's verdict for a
-//! signature is immutable, so duplicated entries across shards would also
-//! be consistent; hashing merely avoids the duplication).
+//! locking and stay coherent by construction. Cache keys carry the registry
+//! generation, so a hot swap can never serve a stale verdict: entries from
+//! a retired generation simply stop being probed and age out.
 //!
 //! Every admitted request is answered exactly once: with an ok verdict, a
-//! shed rejection, or an error. Workers hold the only channel sender, and
+//! shed rejection, or an error. Workers hold the only reply handles, and
 //! every control path through the batch loop responds before dropping the
-//! job.
+//! job. Replies are polymorphic ([`ResponseSink`]): a blocking channel for
+//! the simple client, a shared window for the pipelined client, or a
+//! connection write buffer for the TCP event loop.
 
 use crate::cache::LruCache;
 use crate::protocol::{Request, Response};
 use crate::queue::{BoundedQueue, QueueFull};
-use crate::registry::{ModelRegistry, Panel};
+use crate::registry::{ModelRegistry, Panel, RegistryReader, SharedRegistry, VersionedRegistry};
 use multihit_core::bitmat::BitMatrix;
 use multihit_core::obs::{Obs, ServeReport, Value};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
-use std::time::Instant;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Serving knobs.
 #[derive(Clone, Debug)]
@@ -45,6 +47,11 @@ pub struct ServeConfig {
     pub queue_cap: usize,
     /// Per-shard LRU cache entries (0 disables caching).
     pub cache_cap: usize,
+    /// Adaptive batch fill window, nanoseconds: after the first job of a
+    /// batch arrives, the worker keeps accumulating until the batch is
+    /// full or this window elapses. 0 (the default) drains whatever is
+    /// queued without waiting — already batch-forming under load.
+    pub fill_window_ns: u64,
     /// Artificial per-batch scoring delay, nanoseconds — a test/bench aid
     /// that emulates heavier models so backpressure paths can be exercised
     /// deterministically. 0 (the default) for real serving.
@@ -58,17 +65,47 @@ impl Default for ServeConfig {
             batch_max: 64,
             queue_cap: 1024,
             cache_cap: 4096,
+            fill_window_ns: 0,
             score_delay_ns: 0,
         }
     }
 }
 
-struct Job {
-    id: u64,
-    panel: Arc<Panel>,
-    signature: Vec<u64>,
-    enqueued: Instant,
-    tx: mpsc::Sender<Response>,
+/// Where a finished [`Response`] goes. Implementations must be non-blocking
+/// and infallible from the worker's point of view (a dead peer swallows
+/// the response; it must never stall the batch loop).
+pub trait ResponseSink: Send + Sync {
+    /// Deliver one response.
+    fn send(&self, resp: Response);
+}
+
+/// A reply handle: the cheap channel for one-shot clients, or a shared
+/// sink for pipelined windows and TCP connections.
+pub enum Reply {
+    /// One-shot blocking receiver.
+    Chan(mpsc::Sender<Response>),
+    /// Shared sink (window or connection write buffer).
+    Sink(Arc<dyn ResponseSink>),
+}
+
+impl Reply {
+    pub(crate) fn send(&self, resp: Response) {
+        match self {
+            Reply::Chan(tx) => {
+                let _ = tx.send(resp);
+            }
+            Reply::Sink(sink) => sink.send(resp),
+        }
+    }
+}
+
+pub(crate) struct Job {
+    pub(crate) id: u64,
+    pub(crate) panel: Arc<Panel>,
+    pub(crate) version: u64,
+    pub(crate) signature: Vec<u64>,
+    pub(crate) enqueued: Instant,
+    pub(crate) reply: Reply,
 }
 
 #[derive(Default)]
@@ -81,6 +118,10 @@ struct Stats {
     batches: AtomicU64,
     batched_samples: AtomicU64,
     max_queue_depth: AtomicU64,
+    conn_accepted: AtomicU64,
+    conn_closed: AtomicU64,
+    frames_decoded: AtomicU64,
+    swaps: AtomicU64,
 }
 
 impl Stats {
@@ -89,9 +130,9 @@ impl Stats {
     }
 }
 
-/// The server: immutable registry + sharded worker pool.
+/// The server: hot-swappable registry + sharded worker pool.
 pub struct Server {
-    registry: Arc<ModelRegistry>,
+    shared: Arc<SharedRegistry>,
     cfg: ServeConfig,
     queues: Vec<Arc<BoundedQueue<Job>>>,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
@@ -102,7 +143,7 @@ pub struct Server {
 }
 
 impl Server {
-    /// Start the worker pool over `registry`.
+    /// Start the worker pool over `registry` (published as generation 1).
     #[must_use]
     pub fn start(registry: ModelRegistry, cfg: ServeConfig, obs: &Obs) -> Arc<Server> {
         let cfg = ServeConfig {
@@ -115,7 +156,7 @@ impl Server {
             .map(|_| Arc::new(BoundedQueue::new(cfg.queue_cap)))
             .collect();
         let server = Arc::new(Server {
-            registry: Arc::new(registry),
+            shared: SharedRegistry::new(registry),
             cfg: cfg.clone(),
             queues: queues.clone(),
             workers: Mutex::new(Vec::new()),
@@ -141,16 +182,37 @@ impl Server {
         server
     }
 
-    /// The registry this server answers for.
+    /// The current registry generation (cold-path snapshot).
     #[must_use]
-    pub fn registry(&self) -> &ModelRegistry {
-        &self.registry
+    pub fn registry(&self) -> Arc<VersionedRegistry> {
+        self.shared.load()
+    }
+
+    /// The shared registry cell — for [`RegistryReader`]s and swaps.
+    #[must_use]
+    pub fn shared_registry(&self) -> &Arc<SharedRegistry> {
+        &self.shared
+    }
+
+    /// Publish a new registry generation without dropping in-flight
+    /// traffic; returns the new generation number.
+    pub fn swap_registry(&self, registry: ModelRegistry) -> u64 {
+        let version = self.shared.swap(registry);
+        self.stats.swaps.fetch_add(1, Ordering::Relaxed);
+        self.obs.counter_add("serve.swap", 1);
+        version
     }
 
     /// The active configuration.
     #[must_use]
     pub fn config(&self) -> &ServeConfig {
         &self.cfg
+    }
+
+    /// The server's observability handle (shared with front ends).
+    #[must_use]
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Total queue-full rejections across shards (for asserting that every
@@ -160,36 +222,102 @@ impl Server {
         self.queues.iter().map(|q| q.rejections()).sum()
     }
 
+    /// Record one accepted front-end connection.
+    pub fn note_conn_accepted(&self) {
+        self.stats.conn_accepted.fetch_add(1, Ordering::Relaxed);
+        self.obs.counter_add("serve.conn_accepted", 1);
+    }
+
+    /// Record one closed front-end connection.
+    pub fn note_conn_closed(&self) {
+        self.stats.conn_closed.fetch_add(1, Ordering::Relaxed);
+        self.obs.counter_add("serve.conn_closed", 1);
+    }
+
+    /// Record `n` binary frames decoded by a front end.
+    pub fn note_frames_decoded(&self, n: u64) {
+        if n > 0 {
+            self.stats.frames_decoded.fetch_add(n, Ordering::Relaxed);
+            self.obs.counter_add("serve.frames_decoded", n);
+        }
+    }
+
     /// Admit one request. The response — ok, shed, or error — arrives on
-    /// the returned channel exactly once.
+    /// the returned channel exactly once. Resolution goes through a
+    /// cold-path registry snapshot; hot paths keep a [`RegistryReader`]
+    /// and use [`Self::submit_resolved`].
     pub fn submit(&self, req: &Request) -> mpsc::Receiver<Response> {
         let (tx, rx) = mpsc::channel();
+        let generation = self.shared.load();
+        self.admit_named(req, &generation, Reply::Chan(tx));
+        rx
+    }
+
+    /// Admit one named-gene request against `generation`, replying into
+    /// `reply`.
+    pub(crate) fn admit_named(&self, req: &Request, generation: &VersionedRegistry, reply: Reply) {
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
         self.obs.counter_add("serve.requests", 1);
-        let Some(panel) = self.registry.get(&req.model) else {
+        let Some(panel) = generation.registry.get(&req.model) else {
             self.stats.errors.fetch_add(1, Ordering::Relaxed);
             self.obs.counter_add("serve.errors", 1);
-            let _ = tx.send(Response::error(
+            reply.send(Response::error(
                 req.id,
                 format!("unknown model {:?}", req.model),
             ));
-            return rx;
+            return;
         };
         let signature = panel.signature(&req.genes);
-        let shard = (sig_hash(&panel.name, &signature) % self.queues.len() as u64) as usize;
-        let job = Job {
+        self.enqueue(Job {
             id: req.id,
             panel,
+            version: generation.version,
             signature,
             enqueued: Instant::now(),
-            tx,
-        };
+            reply,
+        });
+    }
+
+    /// Admit one pre-resolved request: the panel and packed signature are
+    /// already in batch-slot form (the binary-protocol and pipelined hot
+    /// path — no name lookup, no repacking).
+    pub fn submit_resolved(
+        &self,
+        id: u64,
+        panel: &Arc<Panel>,
+        version: u64,
+        signature: Vec<u64>,
+        reply: Reply,
+    ) {
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        self.obs.counter_add("serve.requests", 1);
+        self.enqueue(Job {
+            id,
+            panel: Arc::clone(panel),
+            version,
+            signature,
+            enqueued: Instant::now(),
+            reply,
+        });
+    }
+
+    /// Admit one request that already failed resolution (unknown model id
+    /// or a stale registry generation): counted and answered as an error.
+    pub fn submit_unresolvable(&self, id: u64, message: String, reply: &Reply) {
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        self.obs.counter_add("serve.requests", 1);
+        self.stats.errors.fetch_add(1, Ordering::Relaxed);
+        self.obs.counter_add("serve.errors", 1);
+        reply.send(Response::error(id, message));
+    }
+
+    fn enqueue(&self, job: Job) {
+        let shard = (sig_hash(job.panel.id, &job.signature) % self.queues.len() as u64) as usize;
         if let Err(QueueFull(job)) = self.queues[shard].try_push(job) {
             self.stats.shed.fetch_add(1, Ordering::Relaxed);
             self.obs.counter_add("serve.shed", 1);
-            let _ = job.tx.send(Response::shed(job.id));
+            job.reply.send(Response::shed(job.id));
         }
-        rx
     }
 
     /// Stop accepting work, drain the queues, join the workers, and emit
@@ -224,6 +352,12 @@ impl Server {
             batched_samples: self.stats.batched_samples.load(Ordering::Relaxed),
             batch_max: self.cfg.batch_max as u64,
             max_queue_depth: self.stats.max_queue_depth.load(Ordering::Relaxed),
+            conn_accepted: self.stats.conn_accepted.load(Ordering::Relaxed),
+            conn_closed: self.stats.conn_closed.load(Ordering::Relaxed),
+            frames_decoded: self.stats.frames_decoded.load(Ordering::Relaxed),
+            swaps: self.stats.swaps.load(Ordering::Relaxed),
+            reactor_loops: 0,
+            reactor_busy_ns: 0,
             p50_latency_ns: pct(0.50),
             p95_latency_ns: pct(0.95),
             p99_latency_ns: pct(0.99),
@@ -242,6 +376,10 @@ impl Server {
                 ("errors", Value::U64(report.errors)),
                 ("cache_hits", Value::U64(report.cache_hits)),
                 ("batch_max", Value::U64(report.batch_max)),
+                ("conn_accepted", Value::U64(report.conn_accepted)),
+                ("conn_closed", Value::U64(report.conn_closed)),
+                ("frames_decoded", Value::U64(report.frames_decoded)),
+                ("swaps", Value::U64(report.swaps)),
                 ("p50_latency_ns", Value::U64(report.p50_latency_ns)),
                 ("p95_latency_ns", Value::U64(report.p95_latency_ns)),
                 ("p99_latency_ns", Value::U64(report.p99_latency_ns)),
@@ -252,10 +390,11 @@ impl Server {
     }
 }
 
-/// FNV-1a over the panel name and signature words — stable shard routing.
-fn sig_hash(model: &str, sig: &[u64]) -> u64 {
+/// FNV-1a over the panel id and signature words — stable shard routing
+/// with no string traffic on the hot path.
+fn sig_hash(panel_id: u32, sig: &[u64]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in model.bytes() {
+    for b in panel_id.to_le_bytes() {
         h = (h ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
     }
     for &w in sig {
@@ -266,6 +405,11 @@ fn sig_hash(model: &str, sig: &[u64]) -> u64 {
     h
 }
 
+/// Cache key: registry generation, panel id, packed signature. The
+/// generation component is what makes hot swaps safe: verdicts from a
+/// retired registry can never answer a request packed against a newer one.
+type CacheKey = (u64, u32, Vec<u64>);
+
 fn worker_loop(
     queue: &BoundedQueue<Job>,
     cfg: &ServeConfig,
@@ -273,31 +417,39 @@ fn worker_loop(
     latencies: &Mutex<Vec<u64>>,
     obs: &Obs,
 ) {
-    let mut cache: LruCache<(String, Vec<u64>), bool> = LruCache::new(cfg.cache_cap);
+    let mut cache: LruCache<CacheKey, bool> = LruCache::new(cfg.cache_cap);
     let mut batch_latencies: Vec<u64> = Vec::new();
-    while let Some(batch) = queue.pop_batch(cfg.batch_max) {
+    let fill_window = Duration::from_nanos(cfg.fill_window_ns);
+    while let Some(batch) = queue.pop_batch_window(cfg.batch_max, fill_window) {
         let span = obs.span("serve_batch");
         let queue_depth = batch.len() as u64 + queue.len() as u64;
         stats.observe_depth(queue_depth);
         let batch_size = batch.len() as u64;
         batch_latencies.clear();
 
-        // Group the batch per panel; each group scores as one BitMatrix.
-        let mut groups: BTreeMap<String, Vec<Job>> = BTreeMap::new();
+        // Group the batch per (generation, panel); each group scores as
+        // one BitMatrix under that generation's classifier.
+        let mut groups: BTreeMap<(u64, u32), Vec<Job>> = BTreeMap::new();
         for job in batch {
-            groups.entry(job.panel.name.clone()).or_default().push(job);
+            groups
+                .entry((job.version, job.panel.id))
+                .or_default()
+                .push(job);
         }
         let score_start = Instant::now();
-        for (model, jobs) in groups {
+        for ((version, panel_id), jobs) in groups {
             let panel = Arc::clone(&jobs[0].panel);
-            let mut misses: Vec<Job> = Vec::new();
-            for job in jobs {
-                if let Some(tumor) = cache.get(&(model.clone(), job.signature.clone())) {
+            // (key, job) pairs for the cache misses; the key owns the
+            // packed signature, which doubles as the batch-slot source.
+            let mut misses: Vec<(CacheKey, Job)> = Vec::new();
+            for mut job in jobs {
+                let key = (version, panel_id, std::mem::take(&mut job.signature));
+                if let Some(tumor) = cache.get(&key) {
                     stats.cache_hits.fetch_add(1, Ordering::Relaxed);
                     obs.counter_add("serve.cache_hits", 1);
                     respond_ok(&job, tumor, true, stats, obs, &mut batch_latencies);
                 } else {
-                    misses.push(job);
+                    misses.push((key, job));
                 }
             }
             if misses.is_empty() {
@@ -306,9 +458,10 @@ fn worker_loop(
             // Pack the misses as sample columns of one panel-universe
             // matrix and score them in a single kernel pass.
             let mut m = BitMatrix::zeros(panel.n_genes(), misses.len());
-            for (col, job) in misses.iter().enumerate() {
+            for (col, (key, _)) in misses.iter().enumerate() {
+                let sig = &key.2;
                 for g in 0..panel.n_genes() {
-                    if (job.signature[g / 64] >> (g % 64)) & 1 == 1 {
+                    if (sig[g / 64] >> (g % 64)) & 1 == 1 {
                         m.set(g, col, true);
                     }
                 }
@@ -317,13 +470,13 @@ fn worker_loop(
             stats
                 .batched_samples
                 .fetch_add(misses.len() as u64, Ordering::Relaxed);
-            for (job, tumor) in misses.into_iter().zip(verdicts) {
-                cache.insert((model.clone(), job.signature.clone()), tumor);
+            for ((key, job), tumor) in misses.into_iter().zip(verdicts) {
+                cache.insert(key, tumor);
                 respond_ok(&job, tumor, false, stats, obs, &mut batch_latencies);
             }
         }
         if cfg.score_delay_ns > 0 {
-            std::thread::sleep(std::time::Duration::from_nanos(cfg.score_delay_ns));
+            std::thread::sleep(Duration::from_nanos(cfg.score_delay_ns));
         }
         let score_ns = u64::try_from(score_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         stats.batches.fetch_add(1, Ordering::Relaxed);
@@ -355,13 +508,57 @@ fn respond_ok(
     stats.ok.fetch_add(1, Ordering::Relaxed);
     obs.counter_add("serve.ok", 1);
     batch_latencies.push(u64::try_from(job.enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX));
-    let _ = job.tx.send(Response::ok(job.id, tumor, cache_hit));
+    job.reply
+        .send(Response::ok(job.id, tumor, cache_hit, job.version));
+}
+
+/// A pipelined reply window: collects `expected` responses, then releases
+/// the waiting client. Cheap enough to allocate per window (one `Arc`, one
+/// `Vec`), shared by all of the window's jobs.
+pub struct ReplyWindow {
+    expected: usize,
+    state: Mutex<Vec<Response>>,
+    done: Condvar,
+}
+
+impl ReplyWindow {
+    /// A window expecting `expected` responses.
+    #[must_use]
+    pub fn new(expected: usize) -> Arc<ReplyWindow> {
+        Arc::new(ReplyWindow {
+            expected,
+            state: Mutex::new(Vec::with_capacity(expected)),
+            done: Condvar::new(),
+        })
+    }
+
+    /// Block until all expected responses have arrived; returns them in
+    /// arrival order (correlate by [`Response::id`]).
+    #[must_use]
+    pub fn wait(&self) -> Vec<Response> {
+        let mut got = self.state.lock().expect("window poisoned");
+        while got.len() < self.expected {
+            got = self.done.wait(got).expect("window poisoned");
+        }
+        std::mem::take(&mut *got)
+    }
+}
+
+impl ResponseSink for ReplyWindow {
+    fn send(&self, resp: Response) {
+        let mut got = self.state.lock().expect("window poisoned");
+        got.push(resp);
+        if got.len() >= self.expected {
+            self.done.notify_one();
+        }
+    }
 }
 
 /// Blocking in-process client — the test and loadgen entry point; the TCP
-/// front end is the same `submit` path behind a socket.
+/// front end is the same admission path behind a socket.
 pub struct InProcClient {
     server: Arc<Server>,
+    reader: Mutex<RegistryReader>,
     next_id: AtomicU64,
 }
 
@@ -369,8 +566,10 @@ impl InProcClient {
     /// A client bound to `server`.
     #[must_use]
     pub fn new(server: Arc<Server>) -> InProcClient {
+        let reader = server.shared_registry().reader();
         InProcClient {
             server,
+            reader: Mutex::new(reader),
             next_id: AtomicU64::new(1),
         }
     }
@@ -385,7 +584,82 @@ impl InProcClient {
             model: model.to_string(),
             genes: genes.to_vec(),
         };
-        self.server.submit(&req).recv().ok()
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut reader = self.reader.lock().expect("reader poisoned");
+            let generation = Arc::clone(reader.current());
+            self.server.admit_named(&req, &generation, Reply::Chan(tx));
+        }
+        rx.recv().ok()
+    }
+
+    /// The registry generation the next pipelined window will resolve
+    /// against (refreshes the cached epoch).
+    #[must_use]
+    pub fn window_version(&self) -> u64 {
+        self.reader
+            .lock()
+            .expect("reader poisoned")
+            .current()
+            .version
+    }
+
+    /// Classify a pipelined window of signatures pre-packed against
+    /// registry generation `version`'s panel `model_id` — the in-process
+    /// hot path, and the same resolution rule as the binary wire protocol
+    /// (current generation, or the one it displaced). Responses come back
+    /// indexed by window position, `None` marking a lost response; a
+    /// generation two or more swaps behind yields error responses, never
+    /// reinterpretation against the wrong universe.
+    #[must_use]
+    pub fn classify_packed_window(
+        &self,
+        version: u64,
+        model_id: u32,
+        sigs: &[&[u64]],
+    ) -> Vec<Option<Response>> {
+        let window = ReplyWindow::new(sigs.len());
+        let base = {
+            let mut reader = self.reader.lock().expect("reader poisoned");
+            let base = self.next_id.fetch_add(sigs.len() as u64, Ordering::Relaxed);
+            let panel = reader
+                .resolve_version(version)
+                .and_then(|generation| generation.registry.get_by_id(model_id))
+                .map(Arc::clone);
+            match panel {
+                Some(panel) => {
+                    for (i, sig) in sigs.iter().enumerate() {
+                        self.server.submit_resolved(
+                            base + i as u64,
+                            &panel,
+                            version,
+                            sig.to_vec(),
+                            Reply::Sink(
+                                Arc::<ReplyWindow>::clone(&window) as Arc<dyn ResponseSink>
+                            ),
+                        );
+                    }
+                }
+                None => {
+                    for i in 0..sigs.len() {
+                        self.server.submit_unresolvable(
+                            base + i as u64,
+                            format!("unresolvable model id {model_id} at generation {version}"),
+                            &Reply::Sink(
+                                Arc::<ReplyWindow>::clone(&window) as Arc<dyn ResponseSink>
+                            ),
+                        );
+                    }
+                }
+            }
+            base
+        };
+        let mut out: Vec<Option<Response>> = vec![None; sigs.len()];
+        for resp in window.wait() {
+            let idx = (resp.id - base) as usize;
+            out[idx] = Some(resp);
+        }
+        out
     }
 }
 
@@ -405,7 +679,7 @@ mod tests {
     #[test]
     fn serves_and_matches_scalar() {
         let (server, _obs) = small_server(ServeConfig::default());
-        let panel = server.registry().get("P").unwrap();
+        let panel = server.registry().registry.get("P").unwrap();
         let client = InProcClient::new(Arc::clone(&server));
         for i in 0..200u64 {
             let genes: Vec<String> = (0..12)
@@ -414,6 +688,7 @@ mod tests {
                 .collect();
             let resp = client.classify("P", &genes).expect("lost response");
             assert_eq!(resp.status, crate::protocol::Status::Ok);
+            assert_eq!(resp.version, 1, "generation stamp");
             let expected = panel.classify_signature(&panel.signature(&genes));
             assert_eq!(resp.tumor, expected, "request {i}");
         }
@@ -424,14 +699,45 @@ mod tests {
     }
 
     #[test]
+    fn packed_window_matches_scalar() {
+        let (server, _obs) = small_server(ServeConfig::default());
+        let panel = server.registry().registry.get("P").unwrap();
+        let client = InProcClient::new(Arc::clone(&server));
+        let sigs: Vec<Vec<u64>> = (0..40u64)
+            .map(|i| {
+                let genes: Vec<String> = (0..12)
+                    .filter(|g| (i >> (g % 7)) & 1 == 1)
+                    .map(|g| format!("G{g}"))
+                    .collect();
+                panel.signature(&genes)
+            })
+            .collect();
+        let refs: Vec<&[u64]> = sigs.iter().map(Vec::as_slice).collect();
+        let out = client.classify_packed_window(client.window_version(), panel.id, &refs);
+        for (i, resp) in out.iter().enumerate() {
+            let resp = resp.as_ref().expect("lost response");
+            assert_eq!(resp.status, crate::protocol::Status::Ok);
+            assert_eq!(resp.version, 1);
+            assert_eq!(resp.tumor, panel.classify_signature(&sigs[i]), "slot {i}");
+        }
+        let report = server.shutdown();
+        assert_eq!(report.ok, 40);
+    }
+
+    #[test]
     fn unknown_model_errors_immediately() {
         let (server, _obs) = small_server(ServeConfig::default());
         let client = InProcClient::new(Arc::clone(&server));
         let resp = client.classify("nope", &[]).unwrap();
         assert_eq!(resp.status, crate::protocol::Status::Error);
         assert!(resp.error.contains("unknown model"));
+        let out = client.classify_packed_window(1, 99, &[&[0u64]]);
+        assert_eq!(
+            out[0].as_ref().unwrap().status,
+            crate::protocol::Status::Error
+        );
         let report = server.shutdown();
-        assert_eq!(report.errors, 1);
+        assert_eq!(report.errors, 2);
         assert_eq!(report.ok, 0);
     }
 
@@ -444,9 +750,11 @@ mod tests {
             batch_max: 1,
             queue_cap: 1,
             cache_cap: 0,
+            fill_window_ns: 0,
             score_delay_ns: 40_000_000,
         });
         let genes: Vec<String> = vec!["G0".to_string()];
+        let generation = server.registry();
         let mut rxs = Vec::new();
         for id in 0..6u64 {
             let req = Request {
@@ -454,7 +762,9 @@ mod tests {
                 model: "P".to_string(),
                 genes: genes.clone(),
             };
-            rxs.push(server.submit(&req));
+            let (tx, rx) = mpsc::channel();
+            server.admit_named(&req, &generation, Reply::Chan(tx));
+            rxs.push(rx);
         }
         let mut ok = 0u64;
         let mut shed = 0u64;
@@ -471,6 +781,32 @@ mod tests {
         assert_eq!(report.shed, shed);
         // Every shed corresponds to a queue-full rejection.
         assert_eq!(server.queue_rejections(), shed);
+    }
+
+    #[test]
+    fn swap_stamps_new_generation_and_preserves_verdicts() {
+        let (server, _obs) = small_server(ServeConfig::default());
+        let client = InProcClient::new(Arc::clone(&server));
+        let genes = vec!["G0".to_string(), "G1".to_string(), "G2".to_string()];
+        let r1 = client.classify("P", &genes).unwrap();
+        assert_eq!(r1.version, 1);
+
+        // New generation: same cohort name, different combination set.
+        let mut v2 = ModelRegistry::new();
+        v2.insert_results(&synth_results("P", 12, 6, 3, 99))
+            .unwrap();
+        assert_eq!(server.swap_registry(v2), 2);
+
+        let panel2 = server.registry().registry.get("P").unwrap();
+        let r2 = client.classify("P", &genes).unwrap();
+        assert_eq!(r2.version, 2, "post-swap responses carry the new epoch");
+        assert_eq!(
+            r2.tumor,
+            panel2.classify_signature(&panel2.signature(&genes))
+        );
+        let report = server.shutdown();
+        assert_eq!(report.swaps, 1);
+        assert_eq!(report.ok, 2);
     }
 
     #[test]

@@ -10,8 +10,9 @@ use multihit_core::bitmat::BitMatrix;
 use multihit_core::obs::Obs;
 use multihit_data::results::{ResultRow, ResultsFile};
 use multihit_serve::cache::LruCache;
+use multihit_serve::frame::{self, FrameDecoder, Msg};
 use multihit_serve::queue::BoundedQueue;
-use multihit_serve::{InProcClient, ModelRegistry, ServeConfig, Server, Status};
+use multihit_serve::{InProcClient, ModelRegistry, Response, ServeConfig, Server, Status};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -70,11 +71,12 @@ proptest! {
                 batch_max,
                 queue_cap: 4096, // generous: nothing sheds, everything scores
                 cache_cap,
+                fill_window_ns: 0,
                 score_delay_ns: 0,
             },
             &obs,
         );
-        let compiled = server.registry().get("prop").unwrap();
+        let compiled = server.registry().registry.get("prop").unwrap();
 
         // Scalar reference: one single-sample matrix per request, classified
         // by the per-sample path the batch must reproduce bit-for-bit.
@@ -194,11 +196,12 @@ proptest! {
                 batch_max: 1, // no intra-batch dedup: each repeat re-probes
                 queue_cap: 64,
                 cache_cap: 2,
+                fill_window_ns: 0,
                 score_delay_ns: 0,
             },
             &obs,
         );
-        let compiled = server.registry().get("prop").unwrap();
+        let compiled = server.registry().registry.get("prop").unwrap();
         let samples: Vec<Vec<String>> = (0..6)
             .map(|i| (0..24).filter(|g| (g + i) % 3 == 0).map(|g| format!("G{g}")).collect())
             .collect();
@@ -214,5 +217,172 @@ proptest! {
         }
         let report = server.shutdown();
         prop_assert_eq!(report.ok, picks.len() as u64);
+    }
+
+    #[test]
+    fn frame_codec_roundtrips_any_message_stream(
+        msgs in prop::collection::vec(arb_wire_msg(), 1..40),
+    ) {
+        // Encode a whole stream, decode it in one push: every message comes
+        // back exactly, in order, and nothing trails.
+        let mut wire = Vec::new();
+        for m in &msgs {
+            encode_msg(&mut wire, m);
+        }
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire);
+        for m in &msgs {
+            let got = dec.next().unwrap().expect("message present");
+            prop_assert!(msg_eq(&got, m));
+        }
+        prop_assert!(dec.next().unwrap().is_none());
+        prop_assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn frame_codec_reassembles_across_arbitrary_segmentation(
+        msgs in prop::collection::vec(arb_wire_msg(), 1..20),
+        cuts in prop::collection::vec(1usize..7, 1..64),
+    ) {
+        // Feed the same wire bytes in arbitrary-sized chunks (as a socket
+        // would deliver them) and drain after every push: identical result.
+        let mut wire = Vec::new();
+        for m in &msgs {
+            encode_msg(&mut wire, m);
+        }
+        let mut dec = FrameDecoder::new();
+        let mut decoded = Vec::new();
+        let mut off = 0usize;
+        let mut ci = 0usize;
+        while off < wire.len() {
+            let step = cuts[ci % cuts.len()].min(wire.len() - off);
+            ci += 1;
+            dec.push(&wire[off..off + step]);
+            off += step;
+            while let Some(m) = dec.next().unwrap() {
+                decoded.push(m);
+            }
+        }
+        prop_assert_eq!(decoded.len(), msgs.len());
+        for (got, want) in decoded.iter().zip(&msgs) {
+            prop_assert!(msg_eq(got, want));
+        }
+    }
+
+    #[test]
+    fn truncated_frames_never_yield_messages(
+        msg in arb_wire_msg(),
+        keep_frac in 0.0f64..1.0,
+    ) {
+        // Any strict prefix of a single frame decodes to "not yet", never
+        // to a message and never to garbage.
+        let mut wire = Vec::new();
+        encode_msg(&mut wire, &msg);
+        let keep = ((wire.len() - 1) as f64 * keep_frac) as usize;
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire[..keep]);
+        prop_assert!(dec.next().unwrap().is_none());
+        prop_assert_eq!(dec.pending(), keep);
+        // Completing the frame releases exactly the original message.
+        dec.push(&wire[keep..]);
+        let got = dec.next().unwrap().expect("completed frame decodes");
+        prop_assert!(msg_eq(&got, &msg));
+    }
+
+    #[test]
+    fn corrupt_frames_are_rejected_not_misread(
+        msg in arb_wire_msg(),
+        flip_byte in 4usize..20,
+        flip_bit in 0u32..8,
+    ) {
+        // Flip one payload bit (past the length prefix). The decoder must
+        // never panic: it either rejects the frame, keeps waiting (the
+        // length grew), or decodes a well-formed message — e.g. when the
+        // flip lands in a field the strict validator legitimately admits.
+        let mut wire = Vec::new();
+        encode_msg(&mut wire, &msg);
+        if flip_byte >= wire.len() {
+            return Ok(());
+        }
+        wire[flip_byte] ^= 1 << flip_bit;
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire);
+        match dec.next() {
+            Err(e) => prop_assert!(!e.is_empty()),
+            Ok(None) => {}
+            Ok(Some(Msg::Request { sig, .. })) => {
+                prop_assert!(sig.len() <= u16::MAX as usize);
+            }
+            Ok(Some(Msg::Response(r))) => {
+                // Status byte and flag bits are strictly validated, so any
+                // surviving response re-encodes cleanly.
+                let mut re = Vec::new();
+                frame::encode_response(&mut re, &r);
+                prop_assert!(re.len() >= 4);
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_immediately(extra in 1u32..1000) {
+        let len = (frame::MAX_FRAME as u32) + extra;
+        let mut dec = FrameDecoder::new();
+        dec.push(&len.to_le_bytes());
+        prop_assert!(dec.next().is_err());
+    }
+}
+
+/// A random wire message, request or response (all three statuses).
+fn arb_wire_msg() -> impl Strategy<Value = Msg> {
+    (
+        0u32..5,
+        any::<u64>(),
+        1u64..1000,
+        any::<u32>(),
+        prop::collection::vec(any::<u64>(), 0..9),
+    )
+        .prop_map(|(kind, id, version, model_id, sig)| match kind {
+            0 | 1 => Msg::Request {
+                id,
+                version,
+                model_id,
+                sig,
+            },
+            2 => Msg::Response(Response::ok(id, id & 1 == 1, version & 1 == 1, version)),
+            3 => Msg::Response(Response::shed(id)),
+            _ => Msg::Response(Response::error(id, format!("e{:x}", id % 0x1000))),
+        })
+}
+
+fn encode_msg(out: &mut Vec<u8>, msg: &Msg) {
+    match msg {
+        Msg::Request {
+            id,
+            version,
+            model_id,
+            sig,
+        } => frame::encode_request(out, *id, *version, *model_id, sig),
+        Msg::Response(r) => frame::encode_response(out, r),
+    }
+}
+
+fn msg_eq(a: &Msg, b: &Msg) -> bool {
+    match (a, b) {
+        (
+            Msg::Request {
+                id: ai,
+                version: av,
+                model_id: am,
+                sig: asig,
+            },
+            Msg::Request {
+                id: bi,
+                version: bv,
+                model_id: bm,
+                sig: bsig,
+            },
+        ) => ai == bi && av == bv && am == bm && asig == bsig,
+        (Msg::Response(ra), Msg::Response(rb)) => ra.to_json() == rb.to_json(),
+        _ => false,
     }
 }

@@ -16,11 +16,14 @@
 //!                   [--metrics-out M.jsonl] [--trace]
 //! multihit serve    (--results DIR | --synth) [--addr HOST:PORT]
 //!                   [--shards S] [--batch-max B] [--queue-cap Q]
-//!                   [--cache-cap C] [--duration-secs T]
-//!                   [--metrics-out M.jsonl] [--trace]
-//! multihit loadgen  [--clients N] [--requests R] [--profiles P] [--seed S]
-//!                   [--shards S] [--batch-max B] [--queue-cap Q]
-//!                   [--cache-cap C] [--out BENCH_serve.json]
+//!                   [--cache-cap C] [--fill-window-ns W] [--reactors N]
+//!                   [--duration-secs T] [--metrics-out M.jsonl] [--trace]
+//! multihit loadgen  [--proto inproc|json|binary|all] [--clients N]
+//!                   [--connections C] [--inflight F] [--window W]
+//!                   [--requests R] [--profiles P] [--seed S] [--swaps K]
+//!                   [--swap-gap-ms MS] [--shards S] [--batch-max B]
+//!                   [--queue-cap Q] [--cache-cap C] [--fill-window-ns W]
+//!                   [--gate-p99-ns NS] [--out BENCH_serve.json]
 //!                   [--metrics-out M.jsonl] [--trace]
 //! ```
 //!
@@ -41,12 +44,15 @@
 //! slab moves + frontier shard transfer instead of a full re-shard).
 //!
 //! `serve` loads discovered panels into the batched classification server
-//! and answers the JSON-lines protocol on a TCP socket; `loadgen` drives
-//! the same server in-process with N concurrent clients, cross-checks
-//! every batched verdict against scalar classification, and writes
+//! and answers both wire protocols (JSON-lines and length-prefixed binary
+//! frames, negotiated per connection by the first byte) on an event-loop
+//! TCP front end; `loadgen` drives the same server — in-process pipelined
+//! windows and/or over TCP in either protocol — with registry hot swaps
+//! mid-load, cross-checks every verdict against scalar classification of
+//! the registry generation stamped on the response, and writes
 //! `BENCH_serve.json`. `loadgen` exits non-zero on any lost response,
-//! batched-vs-scalar divergence, or shed response without a matching
-//! queue-full rejection — the CI serving gate.
+//! divergence, shed response without a matching queue-full rejection, or
+//! binary/JSON cross-check mismatch — the CI serving gate.
 //!
 //! `--metrics-out` writes the observability stream (JSON lines: spans,
 //! per-iteration/per-rank points, final counters) produced by the run;
@@ -602,6 +608,7 @@ fn serve_config_from_args(args: &[String]) -> Result<multihit::serve::ServeConfi
         batch_max: parse_or(args, "--batch-max", 64usize)?,
         queue_cap: parse_or(args, "--queue-cap", 1024usize)?,
         cache_cap: parse_or(args, "--cache-cap", 4096usize)?,
+        fill_window_ns: parse_or(args, "--fill-window-ns", 0u64)?,
         score_delay_ns: parse_or(args, "--score-delay-ns", 0u64)?,
     })
 }
@@ -634,8 +641,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         cfg.queue_cap,
         cfg.cache_cap
     );
+    let reactors: usize = parse_or(args, "--reactors", 1usize)?;
     let server = Server::start(registry, cfg, &obs);
-    let handle = multihit::serve::tcp::spawn(std::sync::Arc::clone(&server), &addr)
+    let handle = multihit::serve::tcp::spawn_with(std::sync::Arc::clone(&server), &addr, reactors)
         .map_err(|e| format!("bind {addr}: {e}"))?;
     println!("listening on {}", handle.addr());
 
@@ -656,15 +664,25 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_loadgen(args: &[String]) -> Result<(), String> {
-    use multihit::serve::loadgen::{run, LoadgenConfig};
+    use multihit::serve::loadgen::{run, LoadgenConfig, Proto};
 
+    let proto_name = arg_value(args, "--proto").unwrap_or_else(|| "inproc".to_string());
+    let proto = Proto::parse(&proto_name)
+        .ok_or_else(|| format!("--proto {proto_name}: expected inproc|json|binary|all"))?;
     let cfg = LoadgenConfig {
         clients: parse_or(args, "--clients", 8usize)?,
         requests: parse_or(args, "--requests", 10_000u64)?,
         profile_pool: parse_or(args, "--profiles", 512usize)?,
         seed: parse_or(args, "--seed", 7u64)?,
         serve: serve_config_from_args(args)?,
+        proto,
+        connections: parse_or(args, "--connections", 64usize)?,
+        inflight: parse_or(args, "--inflight", 64usize)?,
+        window: parse_or(args, "--window", 256usize)?,
+        swaps: parse_or(args, "--swaps", 1u64)?,
+        swap_gap_ms: parse_or(args, "--swap-gap-ms", 20u64)?,
     };
+    let gate_p99_ns: u64 = parse_or(args, "--gate-p99-ns", 0u64)?;
     let out_path = arg_value(args, "--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
     let (obs, metrics_out) = obs_from_args(args);
     // The summary below always needs the serve aggregates.
@@ -674,49 +692,83 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
         Obs::enabled()
     };
     eprintln!(
-        "loadgen: {} clients, {} requests, pool {}, {} shards, batch {}",
-        cfg.clients, cfg.requests, cfg.profile_pool, cfg.serve.shards, cfg.serve.batch_max
+        "loadgen: proto {proto_name}, {} clients, {} conns (inflight {}), {} requests, pool {}, {} shards, batch {}, window {}, {} swap(s)",
+        cfg.clients,
+        cfg.connections,
+        cfg.inflight,
+        cfg.requests,
+        cfg.profile_pool,
+        cfg.serve.shards,
+        cfg.serve.batch_max,
+        cfg.window,
+        cfg.swaps
     );
 
     let outcome = run(&cfg, &obs);
     std::fs::write(&out_path, outcome.bench_json(&cfg) + "\n")
         .map_err(|e| format!("{out_path}: {e}"))?;
     println!("wrote {out_path}");
-    println!("requests\t{}", outcome.report.requests);
-    println!("ok\t{}", outcome.report.ok);
-    println!("shed\t{}", outcome.report.shed);
-    println!("lost\t{}", outcome.lost);
-    println!("divergent\t{}", outcome.divergent);
+    for (name, phase) in [
+        ("inproc", outcome.inproc.as_ref()),
+        ("json", outcome.json.as_ref()),
+        ("binary", outcome.binary.as_ref()),
+    ] {
+        let Some(p) = phase else { continue };
+        println!(
+            "{name}\t{:.0} rps\t{} ok\t{} shed\t{} swaps\tp99 {:.3} ms",
+            p.throughput_rps,
+            p.report.ok,
+            p.report.shed,
+            p.swaps,
+            if p.client_p99_ns > 0 {
+                p.client_p99_ns
+            } else {
+                p.report.p99_latency_ns
+            } as f64
+                / 1e6
+        );
+    }
+    println!("lost\t{}", outcome.lost());
+    println!("divergent\t{}", outcome.divergent());
     println!(
-        "throughput_rps\t{:.0}",
-        outcome.report.requests as f64 / outcome.elapsed_secs.max(1e-9)
+        "crosscheck\t{}/{} mismatched",
+        outcome.crosscheck_mismatches, outcome.crosscheck_samples
     );
-    println!(
-        "p50/p95/p99_ms\t{:.3}/{:.3}/{:.3}",
-        outcome.report.p50_latency_ns as f64 / 1e6,
-        outcome.report.p95_latency_ns as f64 / 1e6,
-        outcome.report.p99_latency_ns as f64 / 1e6
-    );
-    println!("cache_hit_rate\t{:.4}", outcome.report.cache_hit_rate());
-    println!("mean_batch_fill\t{:.4}", outcome.report.mean_batch_fill());
     finish_obs(&obs, metrics_out.as_deref())?;
 
     // The serving gate: any of these is a correctness failure, not a
     // performance disappointment.
-    if outcome.lost > 0 {
-        return Err(format!("{} responses lost", outcome.lost));
+    if outcome.lost() > 0 {
+        return Err(format!("{} responses lost", outcome.lost()));
     }
-    if outcome.divergent > 0 {
+    if outcome.divergent() > 0 {
         return Err(format!(
-            "{} batched verdicts diverged from scalar classification",
-            outcome.divergent
+            "{} verdicts diverged from scalar classification of their registry generation",
+            outcome.divergent()
         ));
     }
-    if outcome.report.shed != outcome.queue_rejections {
+    if outcome.shed() != outcome.queue_rejections() {
         return Err(format!(
             "shed responses ({}) do not match queue-full rejections ({})",
-            outcome.report.shed, outcome.queue_rejections
+            outcome.shed(),
+            outcome.queue_rejections()
         ));
+    }
+    if outcome.crosscheck_mismatches > 0 {
+        return Err(format!(
+            "{} binary/JSON cross-check mismatches",
+            outcome.crosscheck_mismatches
+        ));
+    }
+    if gate_p99_ns > 0 {
+        if let Some(bin) = outcome.binary.as_ref() {
+            if bin.client_p99_ns > gate_p99_ns {
+                return Err(format!(
+                    "binary client p99 {} ns exceeds gate {} ns",
+                    bin.client_p99_ns, gate_p99_ns
+                ));
+            }
+        }
     }
     Ok(())
 }
@@ -739,10 +791,13 @@ const USAGE: &str = "usage: multihit <synth|discover|classify|cluster|serve|load
                   | msg-drop=F-T[@N] | msg-corrupt=F-T[@N]
                   | ckpt-truncate=K | ckpt-bitflip=K
   serve    (--results DIR | --synth) [--addr HOST:PORT --shards S
-           --batch-max B --queue-cap Q --cache-cap C --duration-secs T
-           --metrics-out M.jsonl --trace]
-  loadgen  [--clients N --requests R --profiles P --seed S --shards S
-           --batch-max B --queue-cap Q --cache-cap C --out BENCH_serve.json
+           --batch-max B --queue-cap Q --cache-cap C --fill-window-ns W
+           --reactors N --duration-secs T --metrics-out M.jsonl --trace]
+  loadgen  [--proto inproc|json|binary|all --clients N --connections C
+           --inflight F --window W --requests R --profiles P --seed S
+           --swaps K --swap-gap-ms MS --shards S --batch-max B
+           --queue-cap Q --cache-cap C --fill-window-ns W
+           --gate-p99-ns NS --out BENCH_serve.json
            --metrics-out M.jsonl --trace]";
 
 fn main() -> ExitCode {
