@@ -845,6 +845,18 @@ pub struct MembershipReport {
     pub frontier_records_moved: u64,
 }
 
+/// Per-tenant admission totals, from the `serve_tenant` points the server
+/// emits at shutdown (one per tenant seen by admission control).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TenantReport {
+    /// Tenant id (the wire's `tenant` field).
+    pub tenant: u64,
+    /// Requests that passed the tenant's fair-share gate.
+    pub admitted: u64,
+    /// Requests shed at admission because the tenant's budget was spent.
+    pub shed: u64,
+}
+
 /// Aggregated serving-layer metrics, built from per-batch `serve_batch`
 /// points and the one `serve_summary` point the server emits at shutdown.
 ///
@@ -856,12 +868,18 @@ pub struct ServeReport {
     pub requests: u64,
     /// Requests answered successfully.
     pub ok: u64,
-    /// Requests rejected by queue-full load shedding.
+    /// Requests rejected by shedding — over-budget tenants plus queue-full
+    /// overflow.
     pub shed: u64,
+    /// The subset of [`Self::shed`] rejected by per-tenant admission
+    /// control, before any queue was probed.
+    pub admission_shed: u64,
     /// Requests failed with an error response.
     pub errors: u64,
     /// Ok responses served from the signature cache.
     pub cache_hits: u64,
+    /// Dead-generation cache entries purged after registry hot swaps.
+    pub stale_evictions: u64,
     /// Scoring batches executed.
     pub batches: u64,
     /// Samples scored across all batches.
@@ -878,6 +896,8 @@ pub struct ServeReport {
     pub frames_decoded: u64,
     /// Registry hot swaps published while serving.
     pub swaps: u64,
+    /// Swaps that arrived as publish control frames (discover→serve).
+    pub publishes: u64,
     /// Reactor event-loop iterations (from `serve_reactor` points).
     pub reactor_loops: u64,
     /// Nanoseconds the reactor spent processing ready events (vs parked
@@ -891,6 +911,9 @@ pub struct ServeReport {
     pub p99_latency_ns: u64,
     /// Sustained ok-responses per second over the serving window.
     pub throughput_rps: f64,
+    /// Per-tenant admission totals, in tenant order (empty when admission
+    /// control is disabled).
+    pub tenants: Vec<TenantReport>,
 }
 
 impl ServeReport {
@@ -1067,17 +1090,34 @@ impl RunReport {
                     r.serve.requests = e.u64("requests").unwrap_or(0);
                     r.serve.ok = e.u64("ok").unwrap_or(0);
                     r.serve.shed = e.u64("shed").unwrap_or(0);
+                    r.serve.admission_shed = e.u64("admission_shed").unwrap_or(0);
                     r.serve.errors = e.u64("errors").unwrap_or(0);
                     r.serve.cache_hits = e.u64("cache_hits").unwrap_or(0);
+                    r.serve.stale_evictions = e.u64("stale_evictions").unwrap_or(0);
                     r.serve.batch_max = e.u64("batch_max").unwrap_or(0);
                     r.serve.conn_accepted = e.u64("conn_accepted").unwrap_or(0);
                     r.serve.conn_closed = e.u64("conn_closed").unwrap_or(0);
                     r.serve.frames_decoded = e.u64("frames_decoded").unwrap_or(0);
                     r.serve.swaps = e.u64("swaps").unwrap_or(0);
+                    r.serve.publishes = e.u64("publishes").unwrap_or(0);
                     r.serve.p50_latency_ns = e.u64("p50_latency_ns").unwrap_or(0);
                     r.serve.p95_latency_ns = e.u64("p95_latency_ns").unwrap_or(0);
                     r.serve.p99_latency_ns = e.u64("p99_latency_ns").unwrap_or(0);
                     r.serve.throughput_rps = finite_or_zero(e.f64("throughput_rps").unwrap_or(0.0));
+                }
+                (EventKind::Point, "serve_tenant") => {
+                    // One point per tenant; an idempotent second shutdown
+                    // re-emits the same tenants, so replace, don't append.
+                    let tenant = e.u64("tenant").unwrap_or(0);
+                    let entry = TenantReport {
+                        tenant,
+                        admitted: e.u64("admitted").unwrap_or(0),
+                        shed: e.u64("shed").unwrap_or(0),
+                    };
+                    match r.serve.tenants.iter_mut().find(|t| t.tenant == tenant) {
+                        Some(slot) => *slot = entry,
+                        None => r.serve.tenants.push(entry),
+                    }
                 }
                 (EventKind::Point, "serve_reactor") => {
                     r.serve.reactor_loops += e.u64("loops").unwrap_or(0);

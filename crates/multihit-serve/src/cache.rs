@@ -78,6 +78,17 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
         self.map.insert(key, (value, self.tick));
     }
 
+    /// Drop every entry whose key fails `keep`; returns how many entries
+    /// were removed. Used by the serving shards to purge dead-generation
+    /// entries after a registry hot swap — without this, retired verdicts
+    /// squat in the map until LRU pressure happens to reach them, silently
+    /// shrinking the cache's effective capacity during rollouts.
+    pub fn retain(&mut self, keep: impl Fn(&K) -> bool) -> u64 {
+        let before = self.map.len();
+        self.map.retain(|k, _| keep(k));
+        (before - self.map.len()) as u64
+    }
+
     /// Entries currently cached.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -131,6 +142,22 @@ mod tests {
         c.insert("a", 1);
         assert_eq!(c.get(&"a"), None);
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn retain_drops_only_matching_keys() {
+        let mut c = LruCache::new(8);
+        for g in 1u64..=3 {
+            c.insert((g, 7u32), g);
+        }
+        let removed = c.retain(|k| k.0 >= 2);
+        assert_eq!(removed, 1);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&(1, 7)), None);
+        assert_eq!(c.get(&(2, 7)), Some(2));
+        // Survivors keep working through later inserts and evictions.
+        c.insert((4, 7), 4);
+        assert_eq!(c.get(&(4, 7)), Some(4));
     }
 
     #[test]

@@ -19,12 +19,15 @@
 //! ## Frame layout (all integers little-endian)
 //!
 //! ```text
-//! preamble  : [0xB7][version=0x01]                      (once, each way)
+//! preamble  : [0xB7][version=0x02]                      (once, each way)
 //! frame     : [len: u32][payload: len bytes]            len ≤ 1 MiB
 //! request   : [0x01][id: u64][registry_version: u64]
-//!             [model_id: u32][n_words: u16][sig: u64 × n_words]
+//!             [model_id: u32][tenant: u32]
+//!             [n_words: u16][sig: u64 × n_words]
 //! response  : [0x02][id: u64][status: u8][flags: u8]
-//!             [registry_version: u64][error: utf-8 bytes…]
+//!             [registry_version: u64][tenant: u32][error: utf-8 bytes…]
+//! publish   : [0x03][id: u64][n_panels: u16]
+//!             [len: u32][tsv: utf-8 bytes] × n_panels
 //! ```
 //!
 //! `status`: 0 = ok, 1 = shed, 2 = error. `flags`: bit 0 = tumor,
@@ -32,18 +35,34 @@
 //! generation the client packed its signature against (signatures are
 //! only meaningful relative to a panel universe); on a response it names
 //! the generation that produced the verdict, which is how the loadgen
-//! proves hot swaps lose nothing.
+//! proves hot swaps lose nothing. `tenant` names the admission-control
+//! account the request bills against (0 = default); responses echo it so
+//! sheds are attributable to the budget they were charged to.
+//!
+//! Version 0x02 added the tenant fields and the publish frame; 0x01 peers
+//! are rejected at the preamble — the fleet upgrades client and server
+//! from the same build, so there is no mixed-version window to support.
+//!
+//! A **publish** frame is the control-plane half of the discover→serve
+//! pipeline: its payload is one results-TSV text per panel (the exact
+//! artifact `discover` writes). The server compiles them into a fresh
+//! registry, arc-swaps it in (see [`crate::registry::SharedRegistry`]),
+//! and acks with a response frame whose `registry_version` is the new
+//! generation (status ok) or whose `error` says why the snapshot was
+//! rejected — the swap is all-or-nothing.
 
 use crate::protocol::{Response, Status};
 
 /// First byte of a binary connection.
 pub const MAGIC: u8 = 0xB7;
 /// Binary protocol version this build speaks.
-pub const VERSION: u8 = 0x01;
+pub const VERSION: u8 = 0x02;
 /// Payload kind: classification request.
 pub const KIND_REQUEST: u8 = 0x01;
 /// Payload kind: classification response.
 pub const KIND_RESPONSE: u8 = 0x02;
+/// Payload kind: registry publish (control plane).
+pub const KIND_PUBLISH: u8 = 0x03;
 /// Frames larger than this are rejected as corrupt, not buffered.
 pub const MAX_FRAME: usize = 1 << 20;
 
@@ -59,11 +78,21 @@ pub enum Msg {
         version: u64,
         /// Dense panel id within that generation.
         model_id: u32,
+        /// Admission-control account this request bills against.
+        tenant: u32,
         /// Packed signature words (moves straight into the batch slot).
         sig: Vec<u64>,
     },
     /// A classification response.
     Response(Response),
+    /// A registry publish: one results-TSV text per panel, to be compiled
+    /// and arc-swapped in as the next registry generation.
+    Publish {
+        /// Caller correlation id, echoed in the ack response.
+        id: u64,
+        /// Results-TSV texts, one per panel.
+        panels: Vec<String>,
+    },
 }
 
 /// Append the 2-byte preamble.
@@ -73,8 +102,15 @@ pub fn encode_preamble(out: &mut Vec<u8>) {
 }
 
 /// Append one request frame.
-pub fn encode_request(out: &mut Vec<u8>, id: u64, version: u64, model_id: u32, sig: &[u64]) {
-    let payload = 1 + 8 + 8 + 4 + 2 + 8 * sig.len();
+pub fn encode_request(
+    out: &mut Vec<u8>,
+    id: u64,
+    version: u64,
+    model_id: u32,
+    tenant: u32,
+    sig: &[u64],
+) {
+    let payload = 1 + 8 + 8 + 4 + 4 + 2 + 8 * sig.len();
     debug_assert!(payload <= MAX_FRAME, "request frame over MAX_FRAME");
     out.reserve(4 + payload);
     out.extend_from_slice(
@@ -86,6 +122,7 @@ pub fn encode_request(out: &mut Vec<u8>, id: u64, version: u64, model_id: u32, s
     out.extend_from_slice(&id.to_le_bytes());
     out.extend_from_slice(&version.to_le_bytes());
     out.extend_from_slice(&model_id.to_le_bytes());
+    out.extend_from_slice(&tenant.to_le_bytes());
     out.extend_from_slice(
         &u16::try_from(sig.len())
             .expect("signature fits u16 words")
@@ -103,7 +140,7 @@ pub fn encode_response(out: &mut Vec<u8>, resp: &Response) {
     } else {
         &[]
     };
-    let payload = 1 + 8 + 1 + 1 + 8 + err.len();
+    let payload = 1 + 8 + 1 + 1 + 8 + 4 + err.len();
     debug_assert!(payload <= MAX_FRAME, "response frame over MAX_FRAME");
     out.reserve(4 + payload);
     out.extend_from_slice(
@@ -120,7 +157,40 @@ pub fn encode_response(out: &mut Vec<u8>, resp: &Response) {
     });
     out.push(u8::from(resp.tumor) | (u8::from(resp.cache_hit) << 1));
     out.extend_from_slice(&resp.version.to_le_bytes());
+    out.extend_from_slice(&resp.tenant.to_le_bytes());
     out.extend_from_slice(err);
+}
+
+/// Append one publish frame: one results-TSV text per panel.
+///
+/// # Panics
+/// Panics (via the frame-length assertion) if the snapshot exceeds
+/// [`MAX_FRAME`]; callers ship panels, not cohorts, so real snapshots are
+/// kilobytes.
+pub fn encode_publish(out: &mut Vec<u8>, id: u64, panels: &[String]) {
+    let payload = 1 + 8 + 2 + panels.iter().map(|p| 4 + p.len()).sum::<usize>();
+    assert!(payload <= MAX_FRAME, "publish frame over MAX_FRAME");
+    out.reserve(4 + payload);
+    out.extend_from_slice(
+        &u32::try_from(payload)
+            .expect("frame length fits u32")
+            .to_le_bytes(),
+    );
+    out.push(KIND_PUBLISH);
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(
+        &u16::try_from(panels.len())
+            .expect("panel count fits u16")
+            .to_le_bytes(),
+    );
+    for p in panels {
+        out.extend_from_slice(
+            &u32::try_from(p.len())
+                .expect("panel text fits u32")
+                .to_le_bytes(),
+        );
+        out.extend_from_slice(p.as_bytes());
+    }
 }
 
 /// Streaming decoder: feed arbitrary TCP segments in, complete messages
@@ -185,14 +255,15 @@ fn decode_payload(p: &[u8]) -> Result<Msg, String> {
     let kind = *p.first().ok_or("empty frame payload")?;
     match kind {
         KIND_REQUEST => {
-            if p.len() < 1 + 8 + 8 + 4 + 2 {
+            if p.len() < 1 + 8 + 8 + 4 + 4 + 2 {
                 return Err(format!("request frame truncated at {} bytes", p.len()));
             }
             let id = u64::from_le_bytes(p[1..9].try_into().expect("sized"));
             let version = u64::from_le_bytes(p[9..17].try_into().expect("sized"));
             let model_id = u32::from_le_bytes(p[17..21].try_into().expect("sized"));
-            let n_words = u16::from_le_bytes(p[21..23].try_into().expect("sized")) as usize;
-            let words = &p[23..];
+            let tenant = u32::from_le_bytes(p[21..25].try_into().expect("sized"));
+            let n_words = u16::from_le_bytes(p[25..27].try_into().expect("sized")) as usize;
+            let words = &p[27..];
             if words.len() != 8 * n_words {
                 return Err(format!(
                     "request signature: expected {} words ({} bytes), got {} bytes",
@@ -209,11 +280,12 @@ fn decode_payload(p: &[u8]) -> Result<Msg, String> {
                 id,
                 version,
                 model_id,
+                tenant,
                 sig,
             })
         }
         KIND_RESPONSE => {
-            if p.len() < 1 + 8 + 1 + 1 + 8 {
+            if p.len() < 1 + 8 + 1 + 1 + 8 + 4 {
                 return Err(format!("response frame truncated at {} bytes", p.len()));
             }
             let id = u64::from_le_bytes(p[1..9].try_into().expect("sized"));
@@ -228,7 +300,8 @@ fn decode_payload(p: &[u8]) -> Result<Msg, String> {
                 return Err(format!("unknown response flag bits {flags:#04x}"));
             }
             let version = u64::from_le_bytes(p[11..19].try_into().expect("sized"));
-            let error = std::str::from_utf8(&p[19..])
+            let tenant = u32::from_le_bytes(p[19..23].try_into().expect("sized"));
+            let error = std::str::from_utf8(&p[23..])
                 .map_err(|e| format!("error text not utf-8: {e}"))?
                 .to_string();
             if status != Status::Error && !error.is_empty() {
@@ -240,8 +313,41 @@ fn decode_payload(p: &[u8]) -> Result<Msg, String> {
                 tumor: flags & 1 != 0,
                 cache_hit: flags & 2 != 0,
                 version,
+                tenant,
                 error,
             }))
+        }
+        KIND_PUBLISH => {
+            if p.len() < 1 + 8 + 2 {
+                return Err(format!("publish frame truncated at {} bytes", p.len()));
+            }
+            let id = u64::from_le_bytes(p[1..9].try_into().expect("sized"));
+            let n_panels = u16::from_le_bytes(p[9..11].try_into().expect("sized")) as usize;
+            let mut panels = Vec::with_capacity(n_panels);
+            let mut off = 11;
+            for _ in 0..n_panels {
+                if p.len() < off + 4 {
+                    return Err("publish frame truncated in panel length".to_string());
+                }
+                let len = u32::from_le_bytes(p[off..off + 4].try_into().expect("sized")) as usize;
+                off += 4;
+                if p.len() < off + len {
+                    return Err(format!(
+                        "publish panel: expected {} bytes, {} remain",
+                        len,
+                        p.len() - off
+                    ));
+                }
+                let text = std::str::from_utf8(&p[off..off + len])
+                    .map_err(|e| format!("panel text not utf-8: {e}"))?
+                    .to_string();
+                off += len;
+                panels.push(text);
+            }
+            if off != p.len() {
+                return Err("trailing bytes after publish panels".to_string());
+            }
+            Ok(Msg::Publish { id, panels })
         }
         other => Err(format!("unknown frame kind {other:#04x}")),
     }
@@ -262,15 +368,16 @@ mod tests {
     #[test]
     fn request_roundtrips() {
         let mut out = Vec::new();
-        encode_request(&mut out, 42, 3, 7, &[0xdead_beef, 0x1234]);
+        encode_request(&mut out, 42, 3, 7, 11, &[0xdead_beef, 0x1234]);
         match roundtrip_one(&out) {
             Msg::Request {
                 id,
                 version,
                 model_id,
+                tenant,
                 sig,
             } => {
-                assert_eq!((id, version, model_id), (42, 3, 7));
+                assert_eq!((id, version, model_id, tenant), (42, 3, 7, 11));
                 assert_eq!(sig, vec![0xdead_beef, 0x1234]);
             }
             other => panic!("decoded {other:?}"),
@@ -281,9 +388,10 @@ mod tests {
     fn responses_roundtrip() {
         for resp in [
             Response::ok(1, true, false, 2),
-            Response::ok(2, false, true, 9),
+            Response::ok(2, false, true, 9).with_tenant(5),
             Response::shed(3),
-            Response::error(4, "unknown model \"X\""),
+            Response::shed(7).with_tenant(u32::MAX),
+            Response::error(4, "unknown model \"X\"").with_tenant(1),
         ] {
             let mut out = Vec::new();
             encode_response(&mut out, &resp);
@@ -292,9 +400,51 @@ mod tests {
     }
 
     #[test]
+    fn publish_roundtrips() {
+        let panels = vec![
+            "# cohort=a\thits=2\n1\tTP53,KRAS\t0.5\t3\t4\n".to_string(),
+            "# cohort=b\thits=3\n1\tEGFR\t0.25\t1\t2\n".to_string(),
+        ];
+        let mut out = Vec::new();
+        encode_publish(&mut out, 99, &panels);
+        match roundtrip_one(&out) {
+            Msg::Publish { id, panels: got } => {
+                assert_eq!(id, 99);
+                assert_eq!(got, panels);
+            }
+            other => panic!("decoded {other:?}"),
+        }
+        // Empty snapshots are representable; the server decides whether to
+        // reject them.
+        let mut out = Vec::new();
+        encode_publish(&mut out, 1, &[]);
+        assert!(
+            matches!(roundtrip_one(&out), Msg::Publish { id: 1, ref panels } if panels.is_empty())
+        );
+    }
+
+    #[test]
+    fn corrupt_publish_frames_are_rejected() {
+        let mut ok = Vec::new();
+        encode_publish(&mut ok, 1, &["text".to_string()]);
+        // Panel length pointing past the payload.
+        let mut bad = ok.clone();
+        bad[4 + 11] = 0xFF; // first panel-length low byte
+        let mut d = FrameDecoder::new();
+        d.push(&bad);
+        assert!(d.next().is_err());
+        // Panel count claiming more panels than present.
+        let mut bad = ok.clone();
+        bad[4 + 9] = 2; // n_panels low byte
+        let mut d = FrameDecoder::new();
+        d.push(&bad);
+        assert!(d.next().is_err());
+    }
+
+    #[test]
     fn partial_frames_reassemble_bytewise() {
         let mut out = Vec::new();
-        encode_request(&mut out, 5, 1, 0, &[u64::MAX]);
+        encode_request(&mut out, 5, 1, 0, 0, &[u64::MAX]);
         encode_response(&mut out, &Response::shed(5));
         let mut d = FrameDecoder::new();
         let mut got = Vec::new();
@@ -324,9 +474,9 @@ mod tests {
 
         // Signature word count disagrees with payload length.
         let mut ok = Vec::new();
-        encode_request(&mut ok, 1, 1, 0, &[1, 2]);
+        encode_request(&mut ok, 1, 1, 0, 0, &[1, 2]);
         let mut bad = ok.clone();
-        bad[4 + 21] = 9; // n_words low byte
+        bad[4 + 25] = 9; // n_words low byte
         let mut d = FrameDecoder::new();
         d.push(&bad);
         assert!(d.next().is_err());

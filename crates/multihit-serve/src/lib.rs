@@ -16,6 +16,11 @@
 //! * [`queue`] — hand-built bounded MPMC [`queue::BoundedQueue`] with
 //!   explicit `QueueFull` rejection and an adaptive batch fill window
 //!   (backpressure by shedding, never by unbounded buffering).
+//! * [`admission`] — per-tenant fair-share token accounting in front of
+//!   the queues: an overloaded tenant is shed at its budget while every
+//!   other tenant keeps its full goodput.
+//! * [`publish`] — the discover→serve control plane: ship a results
+//!   snapshot to a live server and arc-swap it in as a new generation.
 //! * [`cache`] — per-shard [`cache::LruCache`] keyed by registry
 //!   generation and the sample's packed bit-signature.
 //! * [`server`] — the sharded worker pool: requests coalesce into
@@ -26,16 +31,19 @@
 //! * [`loadgen`] — load generator producing `BENCH_serve.json` and the
 //!   CI gate's lost/divergent/shed invariants, in-process and over TCP.
 
+pub mod admission;
 pub mod cache;
 pub mod frame;
 pub mod loadgen;
 pub mod poll;
 pub mod protocol;
+pub mod publish;
 pub mod queue;
 pub mod registry;
 pub mod server;
 pub mod tcp;
 
+pub use admission::{Admission, AdmissionConfig, TenantCounters};
 pub use protocol::{Request, Response, Status};
 pub use registry::{ModelRegistry, Panel, RegistryReader, SharedRegistry, VersionedRegistry};
 pub use server::{InProcClient, Reply, ReplyWindow, ResponseSink, ServeConfig, Server};

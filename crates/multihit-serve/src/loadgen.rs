@@ -18,13 +18,28 @@
 //! Every response is checked against the scalar reference classification
 //! *of the registry generation that answered it* — hot swaps mid-load are
 //! part of the workload, and the invariants gate CI: **zero lost**,
-//! **zero divergent**, **no shed without a queue-full rejection**, across
-//! every swap. A sampled binary-vs-JSON cross-check additionally pins the
-//! two wire protocols to byte-identical decoded responses.
+//! **zero divergent**, **every shed matched by a queue-full rejection or
+//! an admission charge**, across every swap. A sampled binary-vs-JSON
+//! cross-check additionally pins the two wire protocols to byte-identical
+//! decoded responses.
+//!
+//! Two optional extensions exercise the multi-tenant control plane:
+//!
+//! * **fairness phase** (`tenants >= 2`) — per-tenant paced binary
+//!   clients against an admission-enabled server: tenant 0 drives 4× its
+//!   fair share while the others stay inside theirs, and the gates
+//!   require the well-behaved tenants to keep ≥90% of their issued
+//!   goodput with zero misattributed responses.
+//! * **publish swaps** (`publish = true`) — the TCP phases drive their
+//!   hot swaps through the wire control frame ([`crate::publish`])
+//!   instead of the in-process `swap_registry`, proving the full
+//!   discover→serve path under load with the same zero-lost gates.
 
+use crate::admission::AdmissionConfig;
 use crate::frame::{self, FrameDecoder, Msg};
 use crate::poll::{Interest, Poller};
 use crate::protocol::{Request, Response, Status};
+use crate::publish;
 use crate::registry::{ModelRegistry, Panel};
 use crate::server::{InProcClient, ServeConfig, Server};
 use crate::tcp;
@@ -144,6 +159,13 @@ pub struct LoadgenConfig {
     /// Milliseconds between swaps (spaced so the one-generation grace
     /// period always covers in-flight requests).
     pub swap_gap_ms: u64,
+    /// Drive the TCP phases' hot swaps through the wire publish frame
+    /// instead of the in-process `swap_registry` call.
+    pub publish: bool,
+    /// Tenants in the fairness phase; `< 2` skips the phase.
+    pub tenants: usize,
+    /// Server admission budget (requests/sec) for the fairness phase.
+    pub admit_rps: u64,
 }
 
 impl Default for LoadgenConfig {
@@ -160,6 +182,9 @@ impl Default for LoadgenConfig {
             window: 256,
             swaps: 1,
             swap_gap_ms: 20,
+            publish: false,
+            tenants: 0,
+            admit_rps: 2_000,
         }
     }
 }
@@ -210,12 +235,16 @@ fn registry_for(file: &ResultsFile) -> ModelRegistry {
 
 /// Drive `files` as successive hot swaps, `gap` apart, publishing the
 /// just-swapped generation number into `announce` so clients pack new
-/// requests against it.
+/// requests against it. With `publish_addr` set, each swap travels the
+/// wire control frame (compile-and-swap on the server's reactor) instead
+/// of calling `swap_registry` in-process — the same registry transition,
+/// reached through the discover→serve control plane.
 fn spawn_swap_driver(
     server: &Arc<Server>,
     files: &[ResultsFile],
     gap: Duration,
     announce: &Arc<AtomicU64>,
+    publish_addr: Option<String>,
 ) -> std::thread::JoinHandle<u64> {
     let server = Arc::clone(server);
     let files: Vec<ResultsFile> = files.to_vec();
@@ -226,7 +255,11 @@ fn spawn_swap_driver(
             let mut count = 0u64;
             for f in &files {
                 std::thread::sleep(gap);
-                let version = server.swap_registry(registry_for(f));
+                let version = match &publish_addr {
+                    Some(addr) => publish::publish_to(addr, std::slice::from_ref(f))
+                        .expect("publish accepted"),
+                    None => server.swap_registry(registry_for(f)),
+                };
                 announce.store(version, Ordering::Release);
                 count += 1;
             }
@@ -251,14 +284,46 @@ pub struct PhaseStats {
     pub divergent: u64,
     /// Shed responses observed by clients.
     pub shed: u64,
-    /// Queue-full rejections the shards recorded.
-    pub queue_rejections: u64,
+    /// Queue-full rejections the shards recorded (closed-queue rejections
+    /// are shutdown artifacts and tracked separately).
+    pub queue_rejected_full: u64,
+    /// Requests shed at admission (over tenant budget).
+    pub admission_shed: u64,
     /// Client-observed p50 latency, nanoseconds (TCP phases).
     pub client_p50_ns: u64,
     /// Client-observed p99 latency, nanoseconds (TCP phases).
     pub client_p99_ns: u64,
     /// Hot swaps published during the phase.
     pub swaps: u64,
+}
+
+/// What the multi-tenant fairness phase measured. Indices into the
+/// per-tenant vectors are tenant ids; tenant 0 is the overloader.
+#[derive(Clone, Debug, Default)]
+pub struct FairnessStats {
+    /// The phase server's aggregate report.
+    pub report: ServeReport,
+    /// Requests issued per tenant.
+    pub issued: Vec<u64>,
+    /// Ok responses per tenant.
+    pub ok: Vec<u64>,
+    /// Shed responses per tenant (client-observed, attributed by the
+    /// response's tenant echo).
+    pub shed: Vec<u64>,
+    /// Requests that never got a response. Must be 0.
+    pub lost: u64,
+    /// Wrong verdicts or error responses. Must be 0.
+    pub divergent: u64,
+    /// Responses whose tenant echo disagreed with the connection that
+    /// issued them. Must be 0.
+    pub attribution_mismatches: u64,
+    /// Wall time of the phase, seconds.
+    pub elapsed_secs: f64,
+    /// Minimum ok/issued ratio across the well-behaved tenants (1..n).
+    /// The fairness gate requires ≥ 0.9.
+    pub min_well_behaved_goodput: f64,
+    /// Minimum ok-per-second across the well-behaved tenants.
+    pub min_well_behaved_rps: f64,
 }
 
 /// What one loadgen run measured across its phases.
@@ -270,6 +335,8 @@ pub struct LoadgenOutcome {
     pub json: Option<PhaseStats>,
     /// TCP binary phase (None when skipped).
     pub binary: Option<PhaseStats>,
+    /// Multi-tenant fairness phase (None unless `tenants >= 2`).
+    pub fairness: Option<FairnessStats>,
     /// Requests cross-checked byte-for-byte between the two wire
     /// protocols (0 when the binary phase was skipped).
     pub crosscheck_samples: u64,
@@ -303,11 +370,18 @@ impl LoadgenOutcome {
         self.phases().map(|p| p.shed).sum()
     }
 
-    /// Total queue-full rejections recorded by shards; every shed must be
-    /// matched by one.
+    /// Total queue-full rejections recorded by shards.
     #[must_use]
-    pub fn queue_rejections(&self) -> u64 {
-        self.phases().map(|p| p.queue_rejections).sum()
+    pub fn queue_rejected_full(&self) -> u64 {
+        self.phases().map(|p| p.queue_rejected_full).sum()
+    }
+
+    /// Total admission-shed requests recorded by the servers. Every
+    /// client-observed shed must be either a queue-full rejection or an
+    /// admission charge: `shed == queue_rejected_full + admission_shed`.
+    #[must_use]
+    pub fn admission_shed(&self) -> u64 {
+        self.phases().map(|p| p.admission_shed).sum()
     }
 
     /// Total hot swaps published across phases.
@@ -320,13 +394,17 @@ impl LoadgenOutcome {
     /// throughput keys (`throughput_rps*`) are per-protocol; latency
     /// percentiles are the in-process server-side numbers plus the
     /// client-observed binary-over-TCP p99 at the configured connection
-    /// count.
+    /// count. When the fairness phase ran, `throughput_rps_tenant_fair`
+    /// (the slowest well-behaved tenant's goodput) joins the headline set
+    /// so regressions in multi-tenant isolation gate the bench compare.
     #[must_use]
     pub fn bench_json(&self, cfg: &LoadgenConfig) -> String {
         let zero = PhaseStats::default();
         let inp = self.inproc.as_ref().unwrap_or(&zero);
         let json = self.json.as_ref().unwrap_or(&zero);
         let bin = self.binary.as_ref().unwrap_or(&zero);
+        let fair_zero = FairnessStats::default();
+        let fair = self.fairness.as_ref().unwrap_or(&fair_zero);
         let requests: u64 = self.phases().map(|p| p.report.requests).sum();
         let ok: u64 = self.phases().map(|p| p.report.ok).sum();
         let errors: u64 = self.phases().map(|p| p.report.errors).sum();
@@ -344,8 +422,12 @@ impl LoadgenOutcome {
             ("lost".to_string(), Value::U64(self.lost())),
             ("divergent".to_string(), Value::U64(self.divergent())),
             (
-                "queue_rejections".to_string(),
-                Value::U64(self.queue_rejections()),
+                "queue_rejected_full".to_string(),
+                Value::U64(self.queue_rejected_full()),
+            ),
+            (
+                "admission_shed".to_string(),
+                Value::U64(self.admission_shed()),
             ),
             ("swap_count".to_string(), Value::U64(self.swap_count())),
             (
@@ -364,6 +446,18 @@ impl LoadgenOutcome {
             (
                 "throughput_rps_binary".to_string(),
                 Value::F64(bin.throughput_rps),
+            ),
+            (
+                "throughput_rps_tenant_fair".to_string(),
+                Value::F64(fair.min_well_behaved_rps),
+            ),
+            (
+                "fair_goodput_ratio".to_string(),
+                Value::F64(fair.min_well_behaved_goodput),
+            ),
+            (
+                "attribution_mismatches".to_string(),
+                Value::U64(fair.attribution_mismatches),
             ),
             (
                 "p50_latency_ns".to_string(),
@@ -418,11 +512,16 @@ fn judge(resp: &Response, profile: usize, pinned: Option<u64>, gens: &[GenRef]) 
     }
 }
 
+/// Nearest-rank percentile (ceil convention): the smallest sample with at
+/// least `q` of the distribution at or below it. `.round()` here would
+/// bias the tail low — p99 of 100 sorted samples must report index 99
+/// (the max), not round 98.01 down to index 98.
 fn percentile(sorted: &[u64], q: f64) -> u64 {
     if sorted.is_empty() {
         0
     } else {
-        sorted[((sorted.len() - 1) as f64 * q).round() as usize]
+        let rank = ((sorted.len() - 1) as f64 * q).ceil() as usize;
+        sorted[rank.min(sorted.len() - 1)]
     }
 }
 
@@ -462,21 +561,35 @@ pub fn run(cfg: &LoadgenConfig, obs: &Obs) -> LoadgenOutcome {
         out.crosscheck_samples = samples;
         out.crosscheck_mismatches = mismatches;
     }
+    if cfg.tenants >= 2 {
+        out.fairness = Some(run_fairness_phase(cfg, &files, &gens));
+    }
 
     let zero = PhaseStats::default();
     let inp = out.inproc.as_ref().unwrap_or(&zero);
     let bin = out.binary.as_ref().unwrap_or(&zero);
+    let fair_zero = FairnessStats::default();
+    let fair = out.fairness.as_ref().unwrap_or(&fair_zero);
     obs.point(
         "loadgen_summary",
         &[
-            ("lost", Value::U64(out.lost())),
-            ("divergent", Value::U64(out.divergent())),
+            ("lost", Value::U64(out.lost() + fair.lost)),
+            ("divergent", Value::U64(out.divergent() + fair.divergent)),
             ("shed", Value::U64(out.shed())),
-            ("queue_rejections", Value::U64(out.queue_rejections())),
+            ("queue_rejected_full", Value::U64(out.queue_rejected_full())),
+            ("admission_shed", Value::U64(out.admission_shed())),
             ("swap_count", Value::U64(out.swap_count())),
             (
                 "crosscheck_mismatches",
                 Value::U64(out.crosscheck_mismatches),
+            ),
+            (
+                "attribution_mismatches",
+                Value::U64(fair.attribution_mismatches),
+            ),
+            (
+                "fair_goodput_ratio",
+                Value::F64(fair.min_well_behaved_goodput),
             ),
             ("throughput_rps", Value::F64(inp.throughput_rps)),
             ("throughput_rps_binary", Value::F64(bin.throughput_rps)),
@@ -505,6 +618,7 @@ fn run_inproc_phase(
         &files[1..],
         Duration::from_millis(cfg.swap_gap_ms),
         &announce,
+        None, // no wire to publish over in-process
     );
 
     let window = cfg.window.max(1);
@@ -551,7 +665,8 @@ fn run_inproc_phase(
     });
     let elapsed_secs = started.elapsed().as_secs_f64();
     let swaps = swap_driver.join().expect("swap driver");
-    let queue_rejections = server.queue_rejections();
+    let queue_rejected_full = server.queue_rejected_full();
+    let admission_shed = server.admission_shed();
     server.shutdown();
     let report = phase_report(&obs);
     PhaseStats {
@@ -560,7 +675,8 @@ fn run_inproc_phase(
         lost: lost.load(Ordering::Relaxed),
         divergent: divergent.load(Ordering::Relaxed),
         shed: shed.load(Ordering::Relaxed),
-        queue_rejections,
+        queue_rejected_full,
+        admission_shed,
         client_p50_ns: report.p50_latency_ns,
         client_p99_ns: report.p99_latency_ns,
         swaps,
@@ -635,6 +751,7 @@ fn run_tcp_phase(
         &files[1..],
         Duration::from_millis(cfg.swap_gap_ms),
         &announce,
+        cfg.publish.then(|| addr.to_string()),
     );
 
     let poller = Poller::new().expect("client poller");
@@ -695,12 +812,13 @@ fn run_tcp_phase(
             let g = &gens[((v - 1) as usize).min(gens.len() - 1)];
             let conn = &mut conns[token as usize];
             if binary {
-                frame::encode_request(&mut conn.out, issued, v, g.panel.id, &g.sigs[p]);
+                frame::encode_request(&mut conn.out, issued, v, g.panel.id, 0, &g.sigs[p]);
             } else {
                 let req = Request {
                     id: issued,
                     model: "loadgen".to_string(),
                     genes: profiles[p].clone(),
+                    tenant: 0,
                 };
                 let line = req.to_json();
                 conn.out.reserve(line.len() + 1);
@@ -767,9 +885,7 @@ fn run_tcp_phase(
                             while let Some(msg) = conn.dec.next().expect("well-formed frames") {
                                 match msg {
                                     Msg::Response(r) => responses.push(r),
-                                    Msg::Request { .. } => {
-                                        panic!("server sent a request frame")
-                                    }
+                                    other => panic!("server sent {other:?}"),
                                 }
                             }
                         } else {
@@ -830,7 +946,8 @@ fn run_tcp_phase(
     lost += pending.iter().filter(|s| s.is_some()).count() as u64;
 
     let swaps = swap_driver.join().expect("swap driver");
-    let queue_rejections = server.queue_rejections();
+    let queue_rejected_full = server.queue_rejected_full();
+    let admission_shed = server.admission_shed();
     handle.stop();
     server.shutdown();
     let report = phase_report(&obs);
@@ -841,7 +958,8 @@ fn run_tcp_phase(
         lost,
         divergent,
         shed,
-        queue_rejections,
+        queue_rejected_full,
+        admission_shed,
         client_p50_ns: percentile(&latencies, 0.50),
         client_p99_ns: percentile(&latencies, 0.99),
         swaps,
@@ -895,6 +1013,7 @@ fn run_crosscheck(
             id: k,
             model: "loadgen".to_string(),
             genes: profiles[p].clone(),
+            tenant: 0,
         };
         json_writer
             .write_all(format!("{}\n", req.to_json()).as_bytes())
@@ -904,13 +1023,13 @@ fn run_crosscheck(
         let mut rj = Response::from_json(line.trim()).expect("parse json response");
         // Binary side: the same sample as a packed generation-1 signature.
         let mut wire = Vec::new();
-        frame::encode_request(&mut wire, k, 1, g.panel.id, &g.sigs[p]);
+        frame::encode_request(&mut wire, k, 1, g.panel.id, 0, &g.sigs[p]);
         bin_stream.write_all(&wire).expect("send binary request");
         let rb = loop {
             if let Some(msg) = dec.next().expect("well-formed frame") {
                 match msg {
                     Msg::Response(r) => break r,
-                    Msg::Request { .. } => panic!("server sent a request frame"),
+                    other => panic!("server sent {other:?}"),
                 }
             }
             let n = bin_stream.read(&mut buf).expect("binary response");
@@ -932,6 +1051,209 @@ fn run_crosscheck(
     handle.stop();
     server.shutdown();
     (samples, mismatches)
+}
+
+/// What one tenant's paced client observed during the fairness phase.
+#[derive(Clone, Copy, Debug, Default)]
+struct TenantObserved {
+    issued: u64,
+    ok: u64,
+    shed: u64,
+    divergent: u64,
+    attribution_mismatches: u64,
+    completed: u64,
+}
+
+/// One tenant's connection state during the fairness phase: the socket,
+/// the frame reassembly buffers, and the in-flight `pending[id] →
+/// profile index` table responses are judged against.
+struct TenantConn {
+    stream: TcpStream,
+    dec: FrameDecoder,
+    buf: Vec<u8>,
+    preamble_seen: usize,
+    pending: Vec<Option<usize>>,
+    tenant: u32,
+}
+
+impl TenantConn {
+    /// Read once (bounded by the stream's read timeout) and account every
+    /// response frame that completes.
+    fn drain(&mut self, g: &GenRef, obs_out: &mut TenantObserved) {
+        let n = match self.stream.read(&mut self.buf) {
+            Ok(0) => panic!("fairness server closed early"),
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                return;
+            }
+            Err(e) => panic!("fairness read: {e}"),
+        };
+        let mut bytes = &self.buf[..n];
+        while self.preamble_seen < 2 && !bytes.is_empty() {
+            let expect = if self.preamble_seen == 0 {
+                frame::MAGIC
+            } else {
+                frame::VERSION
+            };
+            assert_eq!(bytes[0], expect, "bad preamble echo");
+            self.preamble_seen += 1;
+            bytes = &bytes[1..];
+        }
+        self.dec.push(bytes);
+        while let Some(msg) = self.dec.next().expect("well-formed frames") {
+            let Msg::Response(resp) = msg else {
+                panic!("server sent {msg:?}");
+            };
+            let Some(p) = self
+                .pending
+                .get_mut(resp.id as usize)
+                .and_then(Option::take)
+            else {
+                obs_out.divergent += 1;
+                continue;
+            };
+            obs_out.completed += 1;
+            if resp.tenant != self.tenant {
+                obs_out.attribution_mismatches += 1;
+            }
+            match resp.status {
+                Status::Ok if resp.version == 1 && resp.tumor == g.expected[p] => obs_out.ok += 1,
+                Status::Ok | Status::Error => obs_out.divergent += 1,
+                Status::Shed => obs_out.shed += 1,
+            }
+        }
+    }
+}
+
+/// One tenant's paced binary client: issue at `rate` for `duration`,
+/// draining responses between sends, then collect stragglers.
+fn tenant_worker(
+    addr: std::net::SocketAddr,
+    tenant: u32,
+    rate: f64,
+    duration: Duration,
+    g: &GenRef,
+    seed: u64,
+) -> TenantObserved {
+    let stream = TcpStream::connect(addr).expect("connect fairness server");
+    let _ = stream.set_nodelay(true);
+    let mut wire = Vec::new();
+    frame::encode_preamble(&mut wire);
+
+    let n_req = (rate * duration.as_secs_f64()).floor().max(1.0) as u64;
+    let mut conn = TenantConn {
+        stream,
+        dec: FrameDecoder::new(),
+        buf: vec![0u8; 16 * 1024],
+        preamble_seen: 0,
+        pending: vec![None; n_req as usize],
+        tenant,
+    };
+    conn.stream.write_all(&wire).expect("send preamble");
+    let mut out = TenantObserved::default();
+    let mut rng = Rng(seed ^ (u64::from(tenant) << 17) ^ 0xfa17);
+    let start = Instant::now();
+    for i in 0..n_req {
+        // Pace: sleep-by-read until this request's scheduled instant, so
+        // response draining and pacing share the same wait.
+        let due = start + Duration::from_secs_f64(i as f64 / rate);
+        loop {
+            let now = Instant::now();
+            if now >= due {
+                break;
+            }
+            let wait = (due - now).min(Duration::from_millis(1));
+            conn.stream
+                .set_read_timeout(Some(wait.max(Duration::from_micros(50))))
+                .expect("set timeout");
+            conn.drain(g, &mut out);
+        }
+        let p = rng.below(g.sigs.len() as u64) as usize;
+        wire.clear();
+        frame::encode_request(&mut wire, i, 1, g.panel.id, tenant, &g.sigs[p]);
+        conn.stream.write_all(&wire).expect("send request");
+        conn.pending[i as usize] = Some(p);
+        out.issued += 1;
+    }
+    // Collect the stragglers.
+    conn.stream
+        .set_read_timeout(Some(Duration::from_millis(5)))
+        .expect("set timeout");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while out.completed < out.issued && Instant::now() < deadline {
+        conn.drain(g, &mut out);
+    }
+    out
+}
+
+/// The multi-tenant fairness phase: an admission-enabled server under one
+/// overloading tenant (4× its fair share) and `tenants - 1` well-behaved
+/// tenants (80% of theirs). The phase proves isolation: the well-behaved
+/// tenants' goodput must be untouched by the overload next door, and
+/// every shed must be billed to the tenant that caused it.
+fn run_fairness_phase(
+    cfg: &LoadgenConfig,
+    files: &[ResultsFile],
+    gens: &[GenRef],
+) -> FairnessStats {
+    let obs = Obs::enabled();
+    let mut serve = cfg.serve.clone();
+    serve.admission = AdmissionConfig {
+        total_rps: cfg.admit_rps.max(1),
+        // Tight burst window: deep buckets would let the overloader coast
+        // on its opening burst for a large fraction of a short phase.
+        burst_secs: 0.1,
+    };
+    let server = Server::start(registry_for(&files[0]), serve, &obs);
+    let handle = tcp::spawn(Arc::clone(&server), "127.0.0.1:0").expect("bind fairness server");
+    let addr = handle.addr();
+
+    let n = cfg.tenants.max(2);
+    let fair = cfg.admit_rps.max(1) as f64 / n as f64;
+    let total_rate = fair * (4.0 + 0.8 * (n - 1) as f64);
+    let duration = Duration::from_secs_f64((cfg.requests as f64 / total_rate).clamp(0.25, 10.0));
+    let g = &gens[0];
+    let started = Instant::now();
+    let observed: Vec<TenantObserved> = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..n)
+            .map(|t| {
+                let rate = if t == 0 { 4.0 * fair } else { 0.8 * fair };
+                let seed = cfg.seed;
+                s.spawn(move || tenant_worker(addr, t as u32, rate, duration, g, seed))
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("tenant worker"))
+            .collect()
+    });
+    let elapsed_secs = started.elapsed().as_secs_f64();
+    handle.stop();
+    server.shutdown();
+    let report = phase_report(&obs);
+
+    let mut min_ratio = f64::INFINITY;
+    let mut min_rps = f64::INFINITY;
+    for o in &observed[1..] {
+        min_ratio = min_ratio.min(o.ok as f64 / o.issued.max(1) as f64);
+        min_rps = min_rps.min(o.ok as f64 / elapsed_secs.max(1e-9));
+    }
+    FairnessStats {
+        report,
+        issued: observed.iter().map(|o| o.issued).collect(),
+        ok: observed.iter().map(|o| o.ok).collect(),
+        shed: observed.iter().map(|o| o.shed).collect(),
+        lost: observed.iter().map(|o| o.issued - o.completed).sum(),
+        divergent: observed.iter().map(|o| o.divergent).sum(),
+        attribution_mismatches: observed.iter().map(|o| o.attribution_mismatches).sum(),
+        elapsed_secs,
+        min_well_behaved_goodput: min_ratio,
+        min_well_behaved_rps: min_rps,
+    }
 }
 
 #[cfg(test)]
@@ -958,7 +1280,8 @@ mod tests {
         assert_eq!(inp.report.ok + inp.report.shed, 2_000);
         // Generous queue: nothing sheds.
         assert_eq!(inp.report.shed, 0, "shed without queue pressure");
-        assert_eq!(out.queue_rejections(), 0);
+        assert_eq!(out.queue_rejected_full(), 0);
+        assert_eq!(out.admission_shed(), 0, "admission disabled by default");
         // 64 profiles over 2000 requests: the cache must be doing work.
         assert!(
             inp.report.cache_hit_rate() > 0.5,
@@ -997,9 +1320,9 @@ mod tests {
         assert_eq!(out.lost(), 0);
         assert_eq!(out.divergent(), 0);
         assert_eq!(inp.report.ok + inp.report.shed, 300);
-        // The invariant the CI gate checks: sheds imply queue-full
-        // rejections, one for one.
-        assert_eq!(out.shed(), out.queue_rejections());
+        // The invariant the CI gate checks: every shed is a queue-full
+        // rejection or an admission charge, one for one.
+        assert_eq!(out.shed(), out.queue_rejected_full() + out.admission_shed());
     }
 
     #[test]
@@ -1046,7 +1369,11 @@ mod tests {
         assert!(out.inproc.is_some() && out.json.is_some() && out.binary.is_some());
         assert_eq!(out.lost(), 0, "lost");
         assert_eq!(out.divergent(), 0, "divergent");
-        assert_eq!(out.shed(), out.queue_rejections(), "shed accounting");
+        assert_eq!(
+            out.shed(),
+            out.queue_rejected_full() + out.admission_shed(),
+            "shed accounting"
+        );
         assert_eq!(out.swap_count(), 3, "one swap per phase");
         assert_eq!(out.crosscheck_mismatches, 0, "binary/json disagree");
         assert!(out.crosscheck_samples > 0);
@@ -1056,6 +1383,89 @@ mod tests {
         assert!(bin.report.conn_accepted >= 8);
         let json = out.json.as_ref().unwrap();
         assert_eq!(json.report.ok + json.report.shed + json.report.errors, 600);
+    }
+
+    #[test]
+    fn percentile_is_ceil_based_nearest_rank() {
+        // p99 of 100 evenly spread samples must be the max — the old
+        // `.round()` convention reported index 98 (it rounded 98.01 down).
+        let hundred: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&hundred, 0.99), 100);
+        assert_eq!(percentile(&hundred, 0.50), 51); // ceil(49.5) = 50
+        assert_eq!(percentile(&hundred, 0.0), 1);
+        assert_eq!(percentile(&hundred, 1.0), 100);
+        // Small distributions: every quantile lands on a real sample, and
+        // the rank never rounds below the mass it must cover.
+        let five = [10u64, 20, 30, 40, 50];
+        assert_eq!(percentile(&five, 0.50), 30);
+        assert_eq!(percentile(&five, 0.75), 40);
+        assert_eq!(percentile(&five, 0.99), 50);
+        assert_eq!(percentile(&[7], 0.99), 7);
+        assert_eq!(percentile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn fairness_phase_isolates_well_behaved_tenants() {
+        let obs = Obs::enabled();
+        let cfg = LoadgenConfig {
+            requests: 1_000,
+            seed: 23,
+            proto: Proto::InProc, // fairness phase is what's under test
+            tenants: 4,
+            admit_rps: 800,
+            ..LoadgenConfig::default()
+        };
+        let out = run(&cfg, &obs);
+        let fair = out.fairness.as_ref().expect("fairness phase ran");
+        assert_eq!(fair.issued.len(), 4);
+        assert_eq!(fair.lost, 0, "lost responses");
+        assert_eq!(fair.divergent, 0, "divergent responses");
+        assert_eq!(fair.attribution_mismatches, 0, "misattributed tenant");
+        // The overloader (4× its share) must be shed hard...
+        assert!(
+            fair.shed[0] > fair.issued[0] / 4,
+            "overloader shed only {}/{}",
+            fair.shed[0],
+            fair.issued[0]
+        );
+        // ...while every well-behaved tenant keeps ≥90% goodput.
+        assert!(
+            fair.min_well_behaved_goodput >= 0.9,
+            "fair-share goodput {}",
+            fair.min_well_behaved_goodput
+        );
+        // Admission accounting reached the report.
+        assert!(fair.report.admission_shed >= fair.shed.iter().sum::<u64>());
+        assert!(!fair.report.tenants.is_empty(), "per-tenant report rows");
+        let json = out.bench_json(&cfg);
+        assert!(json.contains("throughput_rps_tenant_fair"));
+        assert!(json.contains("\"attribution_mismatches\":0"));
+    }
+
+    #[test]
+    fn publish_driven_swaps_lose_nothing_under_load() {
+        let obs = Obs::enabled();
+        let cfg = LoadgenConfig {
+            clients: 1,
+            requests: 800,
+            profile_pool: 64,
+            seed: 29,
+            proto: Proto::Binary,
+            connections: 8,
+            inflight: 16,
+            swaps: 2,
+            swap_gap_ms: 5,
+            publish: true,
+            ..LoadgenConfig::default()
+        };
+        let out = run(&cfg, &obs);
+        let bin = out.binary.as_ref().expect("binary phase ran");
+        assert_eq!(out.swap_count(), 2, "both publishes landed");
+        assert_eq!(out.lost(), 0, "lost across publish swaps");
+        assert_eq!(out.divergent(), 0, "divergent across publish swaps");
+        // The swaps travelled the wire control frame, not swap_registry.
+        assert_eq!(bin.report.publishes, 2);
+        assert_eq!(bin.report.swaps, 2);
     }
 
     #[test]

@@ -12,7 +12,15 @@
 //! ← {"id":1,"status":"ok","tumor":true,"cache_hit":false,"v":1}
 //! ← {"id":2,"status":"shed"}                      (queue full: 503-style)
 //! ← {"id":3,"status":"error","error":"unknown model \"X\""}
+//! → {"id":4,"model":"m","genes":"TP53","tenant":3}     (tenant-attributed)
+//! ← {"id":4,"status":"shed","tenant":3}          (over per-tenant budget)
 //! ```
+//!
+//! `tenant` names the admission-control account a request bills against
+//! (see [`crate::admission`]); it is optional and defaults to tenant 0,
+//! so single-tenant clients and pre-tenant captures keep parsing. Every
+//! response echoes a nonzero tenant back, which is how the load generator
+//! proves sheds are attributed to the tenant that overran its budget.
 //!
 //! `v` is the registry generation that produced the verdict. The registry
 //! is hot-swappable (see [`crate::registry::SharedRegistry`]); stamping
@@ -36,17 +44,24 @@ pub struct Request {
     /// Mutated gene symbols. Order and duplicates are irrelevant: the
     /// sample is the *set*.
     pub genes: Vec<String>,
+    /// Admission-control account this request bills against (0 = default
+    /// tenant, omitted on the wire).
+    pub tenant: u32,
 }
 
 impl Request {
     /// Serialize as one JSON line (no trailing newline).
     #[must_use]
     pub fn to_json(&self) -> String {
-        json_object(&[
+        let mut fields = vec![
             ("id".to_string(), Value::U64(self.id)),
             ("model".to_string(), Value::Str(self.model.clone())),
             ("genes".to_string(), Value::Str(self.genes.join(","))),
-        ])
+        ];
+        if self.tenant != 0 {
+            fields.push(("tenant".to_string(), Value::U64(u64::from(self.tenant))));
+        }
+        json_object(&fields)
     }
 
     /// Parse one JSON line.
@@ -58,6 +73,7 @@ impl Request {
         let mut id = None;
         let mut model = None;
         let mut genes = Vec::new();
+        let mut tenant = 0u32;
         for (k, v) in pairs {
             match (k.as_str(), v) {
                 ("id", v) => id = v.as_u64(),
@@ -69,6 +85,10 @@ impl Request {
                         .map(ToString::to_string)
                         .collect();
                 }
+                ("tenant", v) => {
+                    tenant = u32::try_from(v.as_u64().ok_or("\"tenant\" must be a number")?)
+                        .map_err(|_| "\"tenant\" exceeds u32".to_string())?;
+                }
                 _ => {}
             }
         }
@@ -76,6 +96,7 @@ impl Request {
             id: id.ok_or("missing \"id\"")?,
             model: model.ok_or("missing \"model\"")?,
             genes,
+            tenant,
         })
     }
 }
@@ -127,6 +148,10 @@ pub struct Response {
     pub cache_hit: bool,
     /// Registry generation that produced the verdict (0 outside `Ok`).
     pub version: u64,
+    /// Tenant the request billed against, echoed back (0 = default,
+    /// omitted on the wire). Shed responses must carry this so a client
+    /// can tell *whose* budget the rejection was charged to.
+    pub tenant: u32,
     /// Error description (empty unless `status == Error`).
     pub error: String,
 }
@@ -141,11 +166,12 @@ impl Response {
             tumor,
             cache_hit,
             version,
+            tenant: 0,
             error: String::new(),
         }
     }
 
-    /// A load-shed rejection.
+    /// A load-shed rejection (queue full or over tenant budget).
     #[must_use]
     pub fn shed(id: u64) -> Response {
         Response {
@@ -154,6 +180,7 @@ impl Response {
             tumor: false,
             cache_hit: false,
             version: 0,
+            tenant: 0,
             error: String::new(),
         }
     }
@@ -167,8 +194,16 @@ impl Response {
             tumor: false,
             cache_hit: false,
             version: 0,
+            tenant: 0,
             error: message.into(),
         }
+    }
+
+    /// Attribute this response to a tenant (billing echo).
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: u32) -> Response {
+        self.tenant = tenant;
+        self
     }
 
     /// Serialize as one JSON line (no trailing newline). Ok responses carry
@@ -192,6 +227,9 @@ impl Response {
             Status::Shed => {}
             Status::Error => fields.push(("error".to_string(), Value::Str(self.error.clone()))),
         }
+        if self.tenant != 0 {
+            fields.push(("tenant".to_string(), Value::U64(u64::from(self.tenant))));
+        }
         json_object(&fields)
     }
 
@@ -206,6 +244,7 @@ impl Response {
         let mut tumor = false;
         let mut cache_hit = false;
         let mut version = 0;
+        let mut tenant = 0u32;
         let mut error = String::new();
         for (k, v) in pairs {
             match (k.as_str(), v) {
@@ -217,6 +256,9 @@ impl Response {
                 ("tumor", Value::Bool(b)) => tumor = b,
                 ("cache_hit", Value::Bool(b)) => cache_hit = b,
                 ("v", v) => version = v.as_u64().unwrap_or(0),
+                ("tenant", v) => {
+                    tenant = u32::try_from(v.as_u64().unwrap_or(0)).unwrap_or(0);
+                }
                 ("error", Value::Str(s)) => error = s,
                 _ => {}
             }
@@ -227,6 +269,7 @@ impl Response {
             tumor,
             cache_hit,
             version,
+            tenant,
             error,
         })
     }
@@ -242,6 +285,7 @@ mod tests {
             id: 42,
             model: "BRCA-synth".to_string(),
             genes: vec!["TP53".to_string(), "KRAS".to_string()],
+            tenant: 0,
         };
         assert_eq!(Request::from_json(&r.to_json()).unwrap(), r);
     }
@@ -252,9 +296,28 @@ mod tests {
             id: 0,
             model: "m".to_string(),
             genes: vec![],
+            tenant: 0,
         };
         let back = Request::from_json(&r.to_json()).unwrap();
         assert!(back.genes.is_empty());
+    }
+
+    #[test]
+    fn tenant_field_round_trips_and_defaults() {
+        let r = Request {
+            id: 7,
+            model: "m".to_string(),
+            genes: vec!["TP53".to_string()],
+            tenant: 3,
+        };
+        let line = r.to_json();
+        assert!(line.contains("\"tenant\":3"), "{line}");
+        assert_eq!(Request::from_json(&line).unwrap(), r);
+        // Pre-tenant captures (no field) parse as the default tenant.
+        let legacy = Request::from_json("{\"id\":1,\"model\":\"m\",\"genes\":\"A\"}").unwrap();
+        assert_eq!(legacy.tenant, 0);
+        // Default tenant stays off the wire.
+        assert!(!legacy.to_json().contains("tenant"));
     }
 
     #[test]
@@ -262,11 +325,20 @@ mod tests {
         for r in [
             Response::ok(1, true, false, 1),
             Response::ok(2, false, true, 7),
+            Response::ok(5, true, true, 2).with_tenant(9),
             Response::shed(3),
+            Response::shed(6).with_tenant(4),
             Response::error(4, "unknown model \"X\""),
         ] {
             assert_eq!(Response::from_json(&r.to_json()).unwrap(), r, "{r:?}");
         }
+    }
+
+    #[test]
+    fn shed_response_carries_tenant_attribution() {
+        let line = Response::shed(11).with_tenant(2).to_json();
+        assert!(line.contains("\"status\":\"shed\""), "{line}");
+        assert!(line.contains("\"tenant\":2"), "{line}");
     }
 
     #[test]

@@ -19,9 +19,13 @@ pub struct QueueFull<T>(pub T);
 struct State<T> {
     items: VecDeque<T>,
     closed: bool,
-    /// Rejections issued so far — lets callers prove every shed coincided
-    /// with a full queue (the CI gate's "no shed without queue-full").
-    rejections: u64,
+    /// Rejections of pushes that found the queue at capacity — the counter
+    /// behind the CI gate's "no shed without queue-full" proof. Kept apart
+    /// from `rejected_closed` so a shutdown race can never masquerade as
+    /// legitimate overload shedding.
+    rejected_full: u64,
+    /// Rejections of pushes that arrived after [`BoundedQueue::close`].
+    rejected_closed: u64,
 }
 
 /// A fixed-capacity multi-producer multi-consumer queue.
@@ -41,7 +45,8 @@ impl<T> BoundedQueue<T> {
             state: Mutex::new(State {
                 items: VecDeque::with_capacity(cap.min(1024)),
                 closed: false,
-                rejections: 0,
+                rejected_full: 0,
+                rejected_closed: 0,
             }),
             nonempty: Condvar::new(),
         }
@@ -53,8 +58,12 @@ impl<T> BoundedQueue<T> {
     /// Returns the item back when the queue is at capacity or closed.
     pub fn try_push(&self, item: T) -> Result<(), QueueFull<T>> {
         let mut s = self.state.lock().expect("queue poisoned");
-        if s.closed || s.items.len() >= self.cap {
-            s.rejections += 1;
+        if s.closed {
+            s.rejected_closed += 1;
+            return Err(QueueFull(item));
+        }
+        if s.items.len() >= self.cap {
+            s.rejected_full += 1;
             return Err(QueueFull(item));
         }
         s.items.push_back(item);
@@ -131,10 +140,23 @@ impl<T> BoundedQueue<T> {
         self.len() == 0
     }
 
-    /// Total `try_push` rejections so far.
+    /// `try_push` rejections that found the queue at capacity.
+    #[must_use]
+    pub fn rejected_full(&self) -> u64 {
+        self.state.lock().expect("queue poisoned").rejected_full
+    }
+
+    /// `try_push` rejections that arrived after [`Self::close`].
+    #[must_use]
+    pub fn rejected_closed(&self) -> u64 {
+        self.state.lock().expect("queue poisoned").rejected_closed
+    }
+
+    /// Total `try_push` rejections so far (full + closed).
     #[must_use]
     pub fn rejections(&self) -> u64 {
-        self.state.lock().expect("queue poisoned").rejections
+        let s = self.state.lock().expect("queue poisoned");
+        s.rejected_full + s.rejected_closed
     }
 }
 
@@ -161,11 +183,24 @@ mod tests {
         q.try_push(2).unwrap();
         let QueueFull(back) = q.try_push(3).unwrap_err();
         assert_eq!(back, 3);
-        assert_eq!(q.rejections(), 1);
+        assert_eq!(q.rejected_full(), 1);
+        assert_eq!(q.rejected_closed(), 0);
         // Draining frees capacity again.
         q.pop_batch(1).unwrap();
         q.try_push(3).unwrap();
-        assert_eq!(q.rejections(), 1);
+        assert_eq!(q.rejected_full(), 1);
+    }
+
+    #[test]
+    fn closed_rejections_count_separately_from_full() {
+        let q = BoundedQueue::new(1);
+        q.try_push(1).unwrap();
+        assert!(q.try_push(2).is_err()); // full
+        q.close();
+        assert!(q.try_push(3).is_err()); // closed (queue still holds 1 item)
+        assert_eq!(q.rejected_full(), 1);
+        assert_eq!(q.rejected_closed(), 1);
+        assert_eq!(q.rejections(), 2);
     }
 
     #[test]

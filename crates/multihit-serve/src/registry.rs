@@ -155,6 +155,28 @@ impl ModelRegistry {
         Ok(())
     }
 
+    /// Compile a registry from in-memory results-TSV texts — the payload
+    /// of a publish control frame (see [`crate::frame`]). All-or-nothing:
+    /// any malformed or duplicate panel rejects the whole snapshot, so a
+    /// live server never swaps in a partially-compiled generation.
+    ///
+    /// # Errors
+    /// Names the offending panel index and the parse/compile failure, or
+    /// rejects an empty snapshot.
+    pub fn from_tsv_texts(texts: &[String]) -> Result<ModelRegistry, String> {
+        if texts.is_empty() {
+            return Err("publish snapshot carries no panels".to_string());
+        }
+        let mut reg = ModelRegistry::new();
+        for (i, text) in texts.iter().enumerate() {
+            let results =
+                ResultsFile::from_tsv(text).map_err(|e| format!("panel {i}: parsing: {e}"))?;
+            reg.insert_results(&results)
+                .map_err(|e| format!("panel {i}: {e}"))?;
+        }
+        Ok(reg)
+    }
+
     /// Load every `*.tsv` results file in a directory.
     ///
     /// # Errors

@@ -25,12 +25,13 @@
 //! the simple client, a shared window for the pipelined client, or a
 //! connection write buffer for the TCP event loop.
 
+use crate::admission::{Admission, AdmissionConfig};
 use crate::cache::LruCache;
 use crate::protocol::{Request, Response};
 use crate::queue::{BoundedQueue, QueueFull};
 use crate::registry::{ModelRegistry, Panel, RegistryReader, SharedRegistry, VersionedRegistry};
 use multihit_core::bitmat::BitMatrix;
-use multihit_core::obs::{Obs, ServeReport, Value};
+use multihit_core::obs::{Obs, ServeReport, TenantReport, Value};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
@@ -56,6 +57,10 @@ pub struct ServeConfig {
     /// that emulates heavier models so backpressure paths can be exercised
     /// deterministically. 0 (the default) for real serving.
     pub score_delay_ns: u64,
+    /// Per-tenant fair-share admission control (see [`crate::admission`]).
+    /// `total_rps == 0` (the default) disables it: no lock, no accounting
+    /// on the single-tenant hot path.
+    pub admission: AdmissionConfig,
 }
 
 impl Default for ServeConfig {
@@ -67,6 +72,7 @@ impl Default for ServeConfig {
             cache_cap: 4096,
             fill_window_ns: 0,
             score_delay_ns: 0,
+            admission: AdmissionConfig::default(),
         }
     }
 }
@@ -103,6 +109,7 @@ pub(crate) struct Job {
     pub(crate) id: u64,
     pub(crate) panel: Arc<Panel>,
     pub(crate) version: u64,
+    pub(crate) tenant: u32,
     pub(crate) signature: Vec<u64>,
     pub(crate) enqueued: Instant,
     pub(crate) reply: Reply,
@@ -113,8 +120,10 @@ struct Stats {
     requests: AtomicU64,
     ok: AtomicU64,
     shed: AtomicU64,
+    admission_shed: AtomicU64,
     errors: AtomicU64,
     cache_hits: AtomicU64,
+    stale_evictions: AtomicU64,
     batches: AtomicU64,
     batched_samples: AtomicU64,
     max_queue_depth: AtomicU64,
@@ -122,6 +131,7 @@ struct Stats {
     conn_closed: AtomicU64,
     frames_decoded: AtomicU64,
     swaps: AtomicU64,
+    publishes: AtomicU64,
 }
 
 impl Stats {
@@ -137,6 +147,7 @@ pub struct Server {
     queues: Vec<Arc<BoundedQueue<Job>>>,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
     stats: Arc<Stats>,
+    admission: Option<Admission>,
     latencies: Arc<Mutex<Vec<u64>>>,
     obs: Obs,
     started: Instant,
@@ -161,6 +172,7 @@ impl Server {
             queues: queues.clone(),
             workers: Mutex::new(Vec::new()),
             stats: Arc::new(Stats::default()),
+            admission: (cfg.admission.total_rps > 0).then(|| Admission::new(cfg.admission)),
             latencies: Arc::new(Mutex::new(Vec::new())),
             obs: obs.clone(),
             started: Instant::now(),
@@ -203,6 +215,20 @@ impl Server {
         version
     }
 
+    /// Compile a published snapshot (results-TSV texts, the payload of a
+    /// publish control frame) and swap it in as the next generation.
+    /// All-or-nothing: a rejected snapshot leaves the live generation
+    /// untouched.
+    ///
+    /// # Errors
+    /// Returns the compile failure, naming the offending panel.
+    pub fn publish_results(&self, panels: &[String]) -> Result<u64, String> {
+        let registry = ModelRegistry::from_tsv_texts(panels)?;
+        self.stats.publishes.fetch_add(1, Ordering::Relaxed);
+        self.obs.counter_add("serve.publish", 1);
+        Ok(self.swap_registry(registry))
+    }
+
     /// The active configuration.
     #[must_use]
     pub fn config(&self) -> &ServeConfig {
@@ -216,10 +242,36 @@ impl Server {
     }
 
     /// Total queue-full rejections across shards (for asserting that every
-    /// shed response corresponds to an actually-full queue).
+    /// queue shed corresponds to an actually-full queue). Shutdown-race
+    /// rejections are counted separately by
+    /// [`Self::queue_rejected_closed`] so they can never satisfy the
+    /// overload-shedding proof.
     #[must_use]
-    pub fn queue_rejections(&self) -> u64 {
-        self.queues.iter().map(|q| q.rejections()).sum()
+    pub fn queue_rejected_full(&self) -> u64 {
+        self.queues.iter().map(|q| q.rejected_full()).sum()
+    }
+
+    /// Total rejections of pushes that arrived after shutdown closed the
+    /// queues.
+    #[must_use]
+    pub fn queue_rejected_closed(&self) -> u64 {
+        self.queues.iter().map(|q| q.rejected_closed()).sum()
+    }
+
+    /// Requests shed by per-tenant admission control (before any queue).
+    #[must_use]
+    pub fn admission_shed(&self) -> u64 {
+        self.stats.admission_shed.load(Ordering::Relaxed)
+    }
+
+    /// Per-tenant admission totals, in tenant order; empty when admission
+    /// control is disabled.
+    #[must_use]
+    pub fn tenant_counters(&self) -> Vec<(u32, crate::admission::TenantCounters)> {
+        self.admission
+            .as_ref()
+            .map(Admission::snapshot)
+            .unwrap_or_default()
     }
 
     /// Record one accepted front-end connection.
@@ -261,10 +313,10 @@ impl Server {
         let Some(panel) = generation.registry.get(&req.model) else {
             self.stats.errors.fetch_add(1, Ordering::Relaxed);
             self.obs.counter_add("serve.errors", 1);
-            reply.send(Response::error(
-                req.id,
-                format!("unknown model {:?}", req.model),
-            ));
+            reply.send(
+                Response::error(req.id, format!("unknown model {:?}", req.model))
+                    .with_tenant(req.tenant),
+            );
             return;
         };
         let signature = panel.signature(&req.genes);
@@ -272,6 +324,7 @@ impl Server {
             id: req.id,
             panel,
             version: generation.version,
+            tenant: req.tenant,
             signature,
             enqueued: Instant::now(),
             reply,
@@ -281,11 +334,13 @@ impl Server {
     /// Admit one pre-resolved request: the panel and packed signature are
     /// already in batch-slot form (the binary-protocol and pipelined hot
     /// path — no name lookup, no repacking).
+    #[allow(clippy::too_many_arguments)]
     pub fn submit_resolved(
         &self,
         id: u64,
         panel: &Arc<Panel>,
         version: u64,
+        tenant: u32,
         signature: Vec<u64>,
         reply: Reply,
     ) {
@@ -295,6 +350,7 @@ impl Server {
             id,
             panel: Arc::clone(panel),
             version,
+            tenant,
             signature,
             enqueued: Instant::now(),
             reply,
@@ -303,20 +359,34 @@ impl Server {
 
     /// Admit one request that already failed resolution (unknown model id
     /// or a stale registry generation): counted and answered as an error.
-    pub fn submit_unresolvable(&self, id: u64, message: String, reply: &Reply) {
+    pub fn submit_unresolvable(&self, id: u64, tenant: u32, message: String, reply: &Reply) {
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
         self.obs.counter_add("serve.requests", 1);
         self.stats.errors.fetch_add(1, Ordering::Relaxed);
         self.obs.counter_add("serve.errors", 1);
-        reply.send(Response::error(id, message));
+        reply.send(Response::error(id, message).with_tenant(tenant));
     }
 
     fn enqueue(&self, job: Job) {
+        // Per-tenant fair-share gate first: an over-budget tenant is shed
+        // here, before it can occupy queue slots other tenants paid for.
+        if let Some(adm) = &self.admission {
+            if !adm.try_admit(job.tenant) {
+                self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                self.stats.admission_shed.fetch_add(1, Ordering::Relaxed);
+                self.obs.counter_add("serve.shed", 1);
+                self.obs.counter_add("serve.admission_shed", 1);
+                job.reply
+                    .send(Response::shed(job.id).with_tenant(job.tenant));
+                return;
+            }
+        }
         let shard = (sig_hash(job.panel.id, &job.signature) % self.queues.len() as u64) as usize;
         if let Err(QueueFull(job)) = self.queues[shard].try_push(job) {
             self.stats.shed.fetch_add(1, Ordering::Relaxed);
             self.obs.counter_add("serve.shed", 1);
-            job.reply.send(Response::shed(job.id));
+            job.reply
+                .send(Response::shed(job.id).with_tenant(job.tenant));
         }
     }
 
@@ -334,20 +404,33 @@ impl Server {
         let elapsed = self.started.elapsed().as_secs_f64();
         let mut lat = self.latencies.lock().expect("latencies poisoned").clone();
         lat.sort_unstable();
+        // Ceil-based nearest rank: round() biases the tail percentiles low
+        // at small sample counts (p99 of 100 samples must report the max).
         let pct = |q: f64| -> u64 {
             if lat.is_empty() {
                 0
             } else {
-                lat[((lat.len() - 1) as f64 * q).round() as usize]
+                lat[(((lat.len() - 1) as f64 * q).ceil() as usize).min(lat.len() - 1)]
             }
         };
         let ok = self.stats.ok.load(Ordering::Relaxed);
+        let tenants: Vec<TenantReport> = self
+            .tenant_counters()
+            .into_iter()
+            .map(|(tenant, c)| TenantReport {
+                tenant: u64::from(tenant),
+                admitted: c.admitted,
+                shed: c.shed,
+            })
+            .collect();
         let report = ServeReport {
             requests: self.stats.requests.load(Ordering::Relaxed),
             ok,
             shed: self.stats.shed.load(Ordering::Relaxed),
+            admission_shed: self.stats.admission_shed.load(Ordering::Relaxed),
             errors: self.stats.errors.load(Ordering::Relaxed),
             cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
+            stale_evictions: self.stats.stale_evictions.load(Ordering::Relaxed),
             batches: self.stats.batches.load(Ordering::Relaxed),
             batched_samples: self.stats.batched_samples.load(Ordering::Relaxed),
             batch_max: self.cfg.batch_max as u64,
@@ -356,6 +439,7 @@ impl Server {
             conn_closed: self.stats.conn_closed.load(Ordering::Relaxed),
             frames_decoded: self.stats.frames_decoded.load(Ordering::Relaxed),
             swaps: self.stats.swaps.load(Ordering::Relaxed),
+            publishes: self.stats.publishes.load(Ordering::Relaxed),
             reactor_loops: 0,
             reactor_busy_ns: 0,
             p50_latency_ns: pct(0.50),
@@ -366,6 +450,7 @@ impl Server {
             } else {
                 0.0
             },
+            tenants,
         };
         self.obs.point(
             "serve_summary",
@@ -373,19 +458,32 @@ impl Server {
                 ("requests", Value::U64(report.requests)),
                 ("ok", Value::U64(report.ok)),
                 ("shed", Value::U64(report.shed)),
+                ("admission_shed", Value::U64(report.admission_shed)),
                 ("errors", Value::U64(report.errors)),
                 ("cache_hits", Value::U64(report.cache_hits)),
+                ("stale_evictions", Value::U64(report.stale_evictions)),
                 ("batch_max", Value::U64(report.batch_max)),
                 ("conn_accepted", Value::U64(report.conn_accepted)),
                 ("conn_closed", Value::U64(report.conn_closed)),
                 ("frames_decoded", Value::U64(report.frames_decoded)),
                 ("swaps", Value::U64(report.swaps)),
+                ("publishes", Value::U64(report.publishes)),
                 ("p50_latency_ns", Value::U64(report.p50_latency_ns)),
                 ("p95_latency_ns", Value::U64(report.p95_latency_ns)),
                 ("p99_latency_ns", Value::U64(report.p99_latency_ns)),
                 ("throughput_rps", Value::F64(report.throughput_rps)),
             ],
         );
+        for t in &report.tenants {
+            self.obs.point(
+                "serve_tenant",
+                &[
+                    ("tenant", Value::U64(t.tenant)),
+                    ("admitted", Value::U64(t.admitted)),
+                    ("shed", Value::U64(t.shed)),
+                ],
+            );
+        }
         report
     }
 }
@@ -420,6 +518,11 @@ fn worker_loop(
     let mut cache: LruCache<CacheKey, bool> = LruCache::new(cfg.cache_cap);
     let mut batch_latencies: Vec<u64> = Vec::new();
     let fill_window = Duration::from_nanos(cfg.fill_window_ns);
+    // Newest registry generation this shard has served. When it advances
+    // (a hot swap), entries two or more generations old are purged: the
+    // resolver only ever admits the current generation or the one it
+    // displaced, so anything older is dead weight squatting in the LRU.
+    let mut latest_gen = 0u64;
     while let Some(batch) = queue.pop_batch_window(cfg.batch_max, fill_window) {
         let span = obs.span("serve_batch");
         let queue_depth = batch.len() as u64 + queue.len() as u64;
@@ -430,11 +533,24 @@ fn worker_loop(
         // Group the batch per (generation, panel); each group scores as
         // one BitMatrix under that generation's classifier.
         let mut groups: BTreeMap<(u64, u32), Vec<Job>> = BTreeMap::new();
+        let mut batch_gen = 0u64;
         for job in batch {
+            batch_gen = batch_gen.max(job.version);
             groups
                 .entry((job.version, job.panel.id))
                 .or_default()
                 .push(job);
+        }
+        // Purge only when this shard first observes a newer generation —
+        // the scan is O(cache) but swaps are rare, so the hot path stays
+        // scan-free.
+        if batch_gen > latest_gen {
+            latest_gen = batch_gen;
+            let stale = cache.retain(|k| k.0 + 1 >= latest_gen);
+            if stale > 0 {
+                stats.stale_evictions.fetch_add(stale, Ordering::Relaxed);
+                obs.counter_add("serve.stale_evictions", stale);
+            }
         }
         let score_start = Instant::now();
         for ((version, panel_id), jobs) in groups {
@@ -509,7 +625,7 @@ fn respond_ok(
     obs.counter_add("serve.ok", 1);
     batch_latencies.push(u64::try_from(job.enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX));
     job.reply
-        .send(Response::ok(job.id, tumor, cache_hit, job.version));
+        .send(Response::ok(job.id, tumor, cache_hit, job.version).with_tenant(job.tenant));
 }
 
 /// A pipelined reply window: collects `expected` responses, then releases
@@ -583,6 +699,7 @@ impl InProcClient {
             id: self.next_id.fetch_add(1, Ordering::Relaxed),
             model: model.to_string(),
             genes: genes.to_vec(),
+            tenant: 0,
         };
         let (tx, rx) = mpsc::channel();
         {
@@ -633,6 +750,7 @@ impl InProcClient {
                             base + i as u64,
                             &panel,
                             version,
+                            0,
                             sig.to_vec(),
                             Reply::Sink(
                                 Arc::<ReplyWindow>::clone(&window) as Arc<dyn ResponseSink>
@@ -644,6 +762,7 @@ impl InProcClient {
                     for i in 0..sigs.len() {
                         self.server.submit_unresolvable(
                             base + i as u64,
+                            0,
                             format!("unresolvable model id {model_id} at generation {version}"),
                             &Reply::Sink(
                                 Arc::<ReplyWindow>::clone(&window) as Arc<dyn ResponseSink>
@@ -750,8 +869,8 @@ mod tests {
             batch_max: 1,
             queue_cap: 1,
             cache_cap: 0,
-            fill_window_ns: 0,
             score_delay_ns: 40_000_000,
+            ..ServeConfig::default()
         });
         let genes: Vec<String> = vec!["G0".to_string()];
         let generation = server.registry();
@@ -761,6 +880,7 @@ mod tests {
                 id,
                 model: "P".to_string(),
                 genes: genes.clone(),
+                tenant: 0,
             };
             let (tx, rx) = mpsc::channel();
             server.admit_named(&req, &generation, Reply::Chan(tx));
@@ -779,8 +899,114 @@ mod tests {
         assert_eq!(ok + shed, 6, "every request answered");
         assert!(shed >= 1, "tiny queue under burst must shed");
         assert_eq!(report.shed, shed);
-        // Every shed corresponds to a queue-full rejection.
-        assert_eq!(server.queue_rejections(), shed);
+        // Every shed corresponds to a queue-full rejection — the
+        // closed-queue counter must stay untouched by overload shedding.
+        assert_eq!(server.queue_rejected_full(), shed);
+        assert_eq!(server.queue_rejected_closed(), 0);
+    }
+
+    #[test]
+    fn admission_sheds_overloaded_tenant_with_attribution() {
+        // 100 rps budget, tiny burst: a burst of 50 same-instant requests
+        // from one tenant blows through its bucket and sheds with the
+        // tenant echoed; the shed count lands in admission_shed, not the
+        // queue counters.
+        let (server, _obs) = small_server(ServeConfig {
+            admission: crate::admission::AdmissionConfig {
+                total_rps: 100,
+                burst_secs: 0.02, // 2-token burst
+            },
+            ..ServeConfig::default()
+        });
+        let generation = server.registry();
+        let mut rxs = Vec::new();
+        for id in 0..50u64 {
+            let req = Request {
+                id,
+                model: "P".to_string(),
+                genes: vec!["G0".to_string()],
+                tenant: 7,
+            };
+            let (tx, rx) = mpsc::channel();
+            server.admit_named(&req, &generation, Reply::Chan(tx));
+            rxs.push(rx);
+        }
+        let mut shed = 0u64;
+        for rx in rxs {
+            let resp = rx.recv().expect("lost response");
+            assert_eq!(resp.tenant, 7, "every response carries its tenant");
+            if resp.status == crate::protocol::Status::Shed {
+                shed += 1;
+            }
+        }
+        let report = server.shutdown();
+        assert!(shed > 0, "burst over budget must shed");
+        assert_eq!(report.admission_shed, shed);
+        assert_eq!(server.queue_rejected_full(), 0, "queues never filled");
+        assert_eq!(report.tenants.len(), 1);
+        assert_eq!(report.tenants[0].tenant, 7);
+        assert_eq!(report.tenants[0].shed, shed);
+        assert_eq!(report.tenants[0].admitted + shed, 50);
+    }
+
+    #[test]
+    fn publish_swaps_in_a_compiled_snapshot() {
+        let (server, _obs) = small_server(ServeConfig::default());
+        let client = InProcClient::new(Arc::clone(&server));
+        let genes = vec!["G0".to_string(), "G1".to_string()];
+        assert_eq!(client.classify("P", &genes).unwrap().version, 1);
+
+        // A bad snapshot is rejected atomically: generation unchanged.
+        assert!(server.publish_results(&[]).is_err());
+        assert!(server
+            .publish_results(&["not a results file".to_string()])
+            .is_err());
+        assert_eq!(server.registry().version, 1);
+
+        // A good snapshot (the exact artifact discover writes) swaps in.
+        let snap = synth_results("P", 12, 6, 3, 99).to_tsv();
+        let v2 = server.publish_results(&[snap]).unwrap();
+        assert_eq!(v2, 2);
+        let resp = client.classify("P", &genes).unwrap();
+        assert_eq!(resp.version, 2, "responses stamp the published epoch");
+        let report = server.shutdown();
+        assert_eq!(report.publishes, 1);
+        assert_eq!(report.swaps, 1);
+    }
+
+    #[test]
+    fn hot_swap_purges_dead_generation_cache_entries() {
+        // One shard so the purge is observable deterministically. Generation
+        // grace is one: entries of gen N-1 survive a swap to N, entries of
+        // gen N-2 are purged the first time the shard sees gen N.
+        let (server, _obs) = small_server(ServeConfig {
+            shards: 1,
+            ..ServeConfig::default()
+        });
+        let client = InProcClient::new(Arc::clone(&server));
+        let genes = vec!["G0".to_string(), "G3".to_string()];
+        assert_eq!(client.classify("P", &genes).unwrap().version, 1);
+
+        let mut v2 = ModelRegistry::new();
+        v2.insert_results(&synth_results("P", 12, 6, 3, 50))
+            .unwrap();
+        assert_eq!(server.swap_registry(v2), 2);
+        // Gen-1 entry still within grace after the first swap.
+        assert_eq!(client.classify("P", &genes).unwrap().version, 2);
+
+        let mut v3 = ModelRegistry::new();
+        v3.insert_results(&synth_results("P", 12, 6, 3, 51))
+            .unwrap();
+        assert_eq!(server.swap_registry(v3), 3);
+        // First gen-3 traffic on the shard evicts the gen-1 entry.
+        assert_eq!(client.classify("P", &genes).unwrap().version, 3);
+
+        let report = server.shutdown();
+        assert!(
+            report.stale_evictions >= 1,
+            "dead-generation entries must be purged, got {}",
+            report.stale_evictions
+        );
     }
 
     #[test]

@@ -577,6 +577,7 @@ fn drain_binary(server: &Arc<Server>, conn: &mut Conn) -> bool {
                 id,
                 version,
                 model_id,
+                tenant,
                 sig,
             })) => {
                 decoded += 1;
@@ -585,19 +586,34 @@ fn drain_binary(server: &Arc<Server>, conn: &mut Conn) -> bool {
                     Some(generation) => match generation.registry.get_by_id(model_id) {
                         Some(panel) => {
                             let panel = Arc::clone(panel);
-                            server.submit_resolved(id, &panel, version, sig, reply);
+                            server.submit_resolved(id, &panel, version, tenant, sig, reply);
                         }
                         None => server.submit_unresolvable(
                             id,
+                            tenant,
                             format!("unknown model id {model_id}"),
                             &reply,
                         ),
                     },
                     None => server.submit_unresolvable(
                         id,
+                        tenant,
                         format!("stale registry generation {version}"),
                         &reply,
                     ),
+                }
+            }
+            Ok(Some(Msg::Publish { id, panels })) => {
+                decoded += 1;
+                // Compile-and-swap happens inline on the reactor thread:
+                // publishes are rare control-plane events, and doing the
+                // swap before decoding the next frame gives the publisher
+                // a strict ack ordering (the ack's generation is live for
+                // every frame admitted after it).
+                let reply = Reply::Sink(Arc::clone(&conn.shared) as Arc<dyn ResponseSink>);
+                match server.publish_results(&panels) {
+                    Ok(generation) => reply.send(Response::ok(id, false, false, generation)),
+                    Err(e) => reply.send(Response::error(id, format!("publish rejected: {e}"))),
                 }
             }
             // Clients must not send response frames.
@@ -647,6 +663,7 @@ mod tests {
                 id,
                 model: "P".to_string(),
                 genes: genes.clone(),
+                tenant: 0,
             };
             writer
                 .write_all(format!("{}\n", req.to_json()).as_bytes())
@@ -693,7 +710,7 @@ mod tests {
                 .map(|g| format!("G{g}"))
                 .collect();
             let sig = panel.signature(&genes);
-            frame::encode_request(&mut wire, id, 1, panel.id, &sig);
+            frame::encode_request(&mut wire, id, 1, panel.id, 0, &sig);
             sigs.push(sig);
         }
         // Pipelined: everything in one write, then collect.

@@ -12,9 +12,12 @@ use multihit_data::results::{ResultRow, ResultsFile};
 use multihit_serve::cache::LruCache;
 use multihit_serve::frame::{self, FrameDecoder, Msg};
 use multihit_serve::queue::BoundedQueue;
-use multihit_serve::{InProcClient, ModelRegistry, Response, ServeConfig, Server, Status};
+use multihit_serve::{
+    Admission, AdmissionConfig, InProcClient, ModelRegistry, Response, ServeConfig, Server, Status,
+};
 use proptest::prelude::*;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// A random panel: 1–8 combinations of 1–4 genes over a ≤ 24-gene universe.
 fn arb_panel() -> impl Strategy<Value = ResultsFile> {
@@ -73,6 +76,7 @@ proptest! {
                 cache_cap,
                 fill_window_ns: 0,
                 score_delay_ns: 0,
+                admission: AdmissionConfig::default(),
             },
             &obs,
         );
@@ -198,6 +202,7 @@ proptest! {
                 cache_cap: 2,
                 fill_window_ns: 0,
                 score_delay_ns: 0,
+                admission: AdmissionConfig::default(),
             },
             &obs,
         );
@@ -313,6 +318,9 @@ proptest! {
             Ok(Some(Msg::Request { sig, .. })) => {
                 prop_assert!(sig.len() <= u16::MAX as usize);
             }
+            Ok(Some(Msg::Publish { panels, .. })) => {
+                prop_assert!(panels.len() <= u16::MAX as usize);
+            }
             Ok(Some(Msg::Response(r))) => {
                 // Status byte and flag bits are strictly validated, so any
                 // surviving response re-encodes cleanly.
@@ -330,27 +338,134 @@ proptest! {
         dec.push(&len.to_le_bytes());
         prop_assert!(dec.next().is_err());
     }
+
+    #[test]
+    fn admission_is_fair_under_any_tenant_mix(
+        n_tenants in 2u32..6,
+        total_rps in 400u64..4000,
+        jitter_seed in any::<u64>(),
+    ) {
+        // One overloader (tenant 0, 4× its fair share) against n-1
+        // well-behaved tenants (75% of theirs), driven on a virtual clock
+        // for one simulated second so the accounting is exactly
+        // reproducible. The properties: nobody inside their budget sheds,
+        // the overloader is held near its fair share (not starved, not
+        // favored), and every shed response carries the culprit tenant on
+        // both wire protocols.
+        let adm = Admission::new(AdmissionConfig { total_rps, burst_secs: 0.1 });
+        let base = Instant::now();
+        let n = n_tenants as usize;
+        let fair = total_rps as f64 / n as f64;
+        // Register everyone up front (one admitted request each) so the
+        // fair share is n-way for the whole run.
+        for t in 0..n_tenants {
+            prop_assert!(adm.try_admit_at(t, base));
+        }
+        // Per-tenant issue rates, requests per millisecond.
+        let rates: Vec<f64> = (0..n)
+            .map(|t| if t == 0 { 4.0 * fair / 1000.0 } else { 0.75 * fair / 1000.0 })
+            .collect();
+        let mut carry = vec![0.0f64; n];
+        let mut issued = vec![0u64; n];
+        let mut admitted = vec![0u64; n];
+        let mut last_us = vec![0u64; n];
+        let mut shed_events: Vec<u32> = Vec::new();
+        let mut rng = jitter_seed;
+        for ms in 0..1000u64 {
+            for t in 0..n {
+                carry[t] += rates[t];
+                while carry[t] >= 1.0 {
+                    carry[t] -= 1.0;
+                    // Deterministic sub-ms jitter so issue instants are not
+                    // all aligned to the millisecond edge — kept monotone
+                    // per tenant, as a real connection's stamps would be.
+                    rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let us = (ms * 1000 + (rng >> 54)).max(last_us[t] + 1); // +0..1023 µs
+                    last_us[t] = us;
+                    issued[t] += 1;
+                    if adm.try_admit_at(t as u32, base + Duration::from_micros(us)) {
+                        admitted[t] += 1;
+                    } else {
+                        shed_events.push(t as u32);
+                    }
+                }
+            }
+        }
+        // Well-behaved tenants are untouched by the overload next door.
+        for t in 1..n {
+            // A well-behaved tenant sheds nothing, whatever the neighbor does.
+            prop_assert_eq!(admitted[t], issued[t]);
+        }
+        // The overloader is capped near its fair share: it keeps at least
+        // 90% of the share (no starvation) and at most the share plus the
+        // burst depth and registration slack (no favoritism).
+        let over = admitted[0] as f64;
+        prop_assert!(over >= 0.9 * fair, "overloader starved: {} < {}", over, fair);
+        prop_assert!(
+            over <= fair * (1.0 + 0.1) + total_rps as f64 * 0.1 + 2.0,
+            "overloader over budget: {} vs fair {}", over, fair
+        );
+        // Every shed is billed to the overloader, and the attribution
+        // survives both wire encodings.
+        for (i, &t) in shed_events.iter().enumerate() {
+            prop_assert_eq!(t, 0u32); // every shed billed to the overloader
+            if i < 4 {
+                let resp = Response::shed(i as u64).with_tenant(t);
+                let mut wire = Vec::new();
+                frame::encode_response(&mut wire, &resp);
+                let mut dec = FrameDecoder::new();
+                dec.push(&wire);
+                match dec.next().unwrap().expect("frame decodes") {
+                    Msg::Response(r) => prop_assert_eq!(r.tenant, t),
+                    other => prop_assert!(false, "unexpected {:?}", other),
+                }
+                let parsed = Response::from_json(&resp.to_json()).expect("json round trip");
+                prop_assert_eq!(parsed.tenant, t);
+                prop_assert_eq!(parsed.status, Status::Shed);
+            }
+        }
+        // The snapshot agrees with the client-side tallies.
+        let snap = adm.snapshot();
+        prop_assert_eq!(snap.len(), n);
+        for (t, counters) in snap {
+            // +1 for the registration request each tenant sent up front.
+            prop_assert_eq!(counters.admitted, admitted[t as usize] + 1);
+        }
+    }
 }
 
-/// A random wire message, request or response (all three statuses).
+/// A random wire message: request, response (all three statuses, tenant
+/// attribution included), or publish control frame.
 fn arb_wire_msg() -> impl Strategy<Value = Msg> {
     (
-        0u32..5,
+        0u32..6,
         any::<u64>(),
         1u64..1000,
         any::<u32>(),
         prop::collection::vec(any::<u64>(), 0..9),
     )
-        .prop_map(|(kind, id, version, model_id, sig)| match kind {
-            0 | 1 => Msg::Request {
-                id,
-                version,
-                model_id,
-                sig,
-            },
-            2 => Msg::Response(Response::ok(id, id & 1 == 1, version & 1 == 1, version)),
-            3 => Msg::Response(Response::shed(id)),
-            _ => Msg::Response(Response::error(id, format!("e{:x}", id % 0x1000))),
+        .prop_map(|(kind, id, version, model_id, sig)| {
+            // The tuple strategy tops out at five slots; the tenant draws
+            // its 32 bits from the id's high half instead.
+            let tenant = (id >> 32) as u32;
+            match kind {
+                0 => Msg::Request {
+                    id,
+                    version,
+                    model_id,
+                    tenant,
+                    sig,
+                },
+                1 => Msg::Publish {
+                    id,
+                    panels: sig.iter().map(|s| format!("panel {s:x}")).collect(),
+                },
+                2 => Msg::Response(
+                    Response::ok(id, id & 1 == 1, version & 1 == 1, version).with_tenant(tenant),
+                ),
+                3 => Msg::Response(Response::shed(id).with_tenant(tenant)),
+                _ => Msg::Response(Response::error(id, format!("e{:x}", id % 0x1000))),
+            }
         })
 }
 
@@ -360,8 +475,10 @@ fn encode_msg(out: &mut Vec<u8>, msg: &Msg) {
             id,
             version,
             model_id,
+            tenant,
             sig,
-        } => frame::encode_request(out, *id, *version, *model_id, sig),
+        } => frame::encode_request(out, *id, *version, *model_id, *tenant, sig),
+        Msg::Publish { id, panels } => frame::encode_publish(out, *id, panels),
         Msg::Response(r) => frame::encode_response(out, r),
     }
 }
@@ -373,16 +490,23 @@ fn msg_eq(a: &Msg, b: &Msg) -> bool {
                 id: ai,
                 version: av,
                 model_id: am,
+                tenant: at,
                 sig: asig,
             },
             Msg::Request {
                 id: bi,
                 version: bv,
                 model_id: bm,
+                tenant: bt,
                 sig: bsig,
             },
-        ) => ai == bi && av == bv && am == bm && asig == bsig,
-        (Msg::Response(ra), Msg::Response(rb)) => ra.to_json() == rb.to_json(),
+        ) => ai == bi && av == bv && am == bm && at == bt && asig == bsig,
+        (Msg::Publish { id: ai, panels: ap }, Msg::Publish { id: bi, panels: bp }) => {
+            ai == bi && ap == bp
+        }
+        (Msg::Response(ra), Msg::Response(rb)) => {
+            ra.to_json() == rb.to_json() && ra.tenant == rb.tenant
+        }
         _ => false,
     }
 }

@@ -4,7 +4,8 @@
 //! multihit synth    --out-dir DIR [--genes G] [--tumor NT] [--normal NN]
 //!                   [--hits H] [--seed S]
 //! multihit discover --tumor T.maf --normal N.maf --hits H [--out R.tsv]
-//!                   [--max-combos N] [--cohort LABEL] [--no-prune]
+//!                   [--publish HOST:PORT] [--max-combos N]
+//!                   [--cohort LABEL] [--no-prune]
 //!                   [--no-kernelize] [--sparse auto|on|off]
 //!                   [--scan auto|scalar] [--metrics-out M.jsonl] [--trace]
 //! multihit classify --results R.tsv --tumor T.maf --normal N.maf
@@ -16,13 +17,15 @@
 //!                   [--metrics-out M.jsonl] [--trace]
 //! multihit serve    (--results DIR | --synth) [--addr HOST:PORT]
 //!                   [--shards S] [--batch-max B] [--queue-cap Q]
-//!                   [--cache-cap C] [--fill-window-ns W] [--reactors N]
+//!                   [--cache-cap C] [--fill-window-ns W]
+//!                   [--admit-rps R] [--admit-burst-secs S] [--reactors N]
 //!                   [--duration-secs T] [--metrics-out M.jsonl] [--trace]
 //! multihit loadgen  [--proto inproc|json|binary|all] [--clients N]
 //!                   [--connections C] [--inflight F] [--window W]
 //!                   [--requests R] [--profiles P] [--seed S] [--swaps K]
-//!                   [--swap-gap-ms MS] [--shards S] [--batch-max B]
-//!                   [--queue-cap Q] [--cache-cap C] [--fill-window-ns W]
+//!                   [--swap-gap-ms MS] [--publish] [--shards S]
+//!                   [--batch-max B] [--queue-cap Q] [--cache-cap C]
+//!                   [--fill-window-ns W] [--tenants N] [--admit-rps R]
 //!                   [--gate-p99-ns NS] [--out BENCH_serve.json]
 //!                   [--metrics-out M.jsonl] [--trace]
 //! ```
@@ -46,13 +49,24 @@
 //! `serve` loads discovered panels into the batched classification server
 //! and answers both wire protocols (JSON-lines and length-prefixed binary
 //! frames, negotiated per connection by the first byte) on an event-loop
-//! TCP front end; `loadgen` drives the same server — in-process pipelined
-//! windows and/or over TCP in either protocol — with registry hot swaps
-//! mid-load, cross-checks every verdict against scalar classification of
-//! the registry generation stamped on the response, and writes
-//! `BENCH_serve.json`. `loadgen` exits non-zero on any lost response,
-//! divergence, shed response without a matching queue-full rejection, or
-//! binary/JSON cross-check mismatch — the CI serving gate.
+//! TCP front end; with `--admit-rps` the server additionally enforces
+//! per-tenant fair-share admission (token buckets keyed by the tenant id
+//! carried in both protocols) ahead of the shed-on-full queues.
+//! `discover --publish HOST:PORT` ships the winning panels straight into
+//! a live server as an atomic registry-generation swap instead of (or in
+//! addition to) writing a TSV. `loadgen` drives the same server —
+//! in-process pipelined windows and/or over TCP in either protocol — with
+//! registry hot swaps mid-load (over the publish control frame when
+//! `--publish` is set), cross-checks every verdict against scalar
+//! classification of the registry generation stamped on the response, and
+//! writes `BENCH_serve.json`. With `--tenants N` it appends a fairness
+//! phase: one overloaded tenant at 4× its fair share of `--admit-rps`
+//! against N−1 well-behaved tenants, gating that the well-behaved keep
+//! ≥90% of fair-share goodput and every shed is attributed to the right
+//! tenant. `loadgen` exits non-zero on any lost response, divergence,
+//! shed response without a matching queue-full or admission rejection,
+//! misattributed shed, starved well-behaved tenant, or binary/JSON
+//! cross-check mismatch — the CI serving gate.
 //!
 //! `--metrics-out` writes the observability stream (JSON lines: spans,
 //! per-iteration/per-rank points, final counters) produced by the run;
@@ -362,7 +376,17 @@ fn cmd_discover(args: &[String]) -> Result<(), String> {
             std::fs::write(&p, &text).map_err(|e| format!("{p}: {e}"))?;
             println!("wrote {p} ({} combinations)", rf.rows.len());
         }
+        None if arg_value(args, "--publish").is_some() => {}
         None => print!("{text}"),
+    }
+    // Ship the winning panel straight into a live server: the snapshot
+    // compiles server-side and arc-swaps in as a new registry generation.
+    if let Some(addr) = arg_value(args, "--publish") {
+        let generation = multihit::serve::publish::publish_to(&addr, std::slice::from_ref(&rf))?;
+        println!(
+            "published {} combination(s) to {addr} as generation {generation}",
+            rf.rows.len()
+        );
     }
     Ok(())
 }
@@ -610,6 +634,10 @@ fn serve_config_from_args(args: &[String]) -> Result<multihit::serve::ServeConfi
         cache_cap: parse_or(args, "--cache-cap", 4096usize)?,
         fill_window_ns: parse_or(args, "--fill-window-ns", 0u64)?,
         score_delay_ns: parse_or(args, "--score-delay-ns", 0u64)?,
+        admission: multihit::serve::AdmissionConfig {
+            total_rps: parse_or(args, "--admit-rps", 0u64)?,
+            burst_secs: parse_or(args, "--admit-burst-secs", 0.25f64)?,
+        },
     })
 }
 
@@ -669,18 +697,26 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
     let proto_name = arg_value(args, "--proto").unwrap_or_else(|| "inproc".to_string());
     let proto = Proto::parse(&proto_name)
         .ok_or_else(|| format!("--proto {proto_name}: expected inproc|json|binary|all"))?;
+    // The single-tenant phases measure raw capacity; --admit-rps feeds the
+    // fairness phase's budget, not the bench servers (which would cap the
+    // throughput headlines at the admission rate).
+    let mut serve = serve_config_from_args(args)?;
+    serve.admission = multihit::serve::AdmissionConfig::default();
     let cfg = LoadgenConfig {
         clients: parse_or(args, "--clients", 8usize)?,
         requests: parse_or(args, "--requests", 10_000u64)?,
         profile_pool: parse_or(args, "--profiles", 512usize)?,
         seed: parse_or(args, "--seed", 7u64)?,
-        serve: serve_config_from_args(args)?,
+        serve,
         proto,
         connections: parse_or(args, "--connections", 64usize)?,
         inflight: parse_or(args, "--inflight", 64usize)?,
         window: parse_or(args, "--window", 256usize)?,
         swaps: parse_or(args, "--swaps", 1u64)?,
         swap_gap_ms: parse_or(args, "--swap-gap-ms", 20u64)?,
+        publish: has_flag(args, "--publish"),
+        tenants: parse_or(args, "--tenants", 0usize)?,
+        admit_rps: parse_or(args, "--admit-rps", 2_000u64)?,
     };
     let gate_p99_ns: u64 = parse_or(args, "--gate-p99-ns", 0u64)?;
     let out_path = arg_value(args, "--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
@@ -728,6 +764,16 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
                 / 1e6
         );
     }
+    if let Some(fair) = outcome.fairness.as_ref() {
+        println!(
+            "fairness\t{} tenants\tmin goodput {:.3}\t{} misattributed\tok {:?}\tshed {:?}",
+            fair.issued.len(),
+            fair.min_well_behaved_goodput,
+            fair.attribution_mismatches,
+            fair.ok,
+            fair.shed
+        );
+    }
     println!("lost\t{}", outcome.lost());
     println!("divergent\t{}", outcome.divergent());
     println!(
@@ -747,11 +793,12 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
             outcome.divergent()
         ));
     }
-    if outcome.shed() != outcome.queue_rejections() {
+    if outcome.shed() != outcome.queue_rejected_full() + outcome.admission_shed() {
         return Err(format!(
-            "shed responses ({}) do not match queue-full rejections ({})",
+            "shed responses ({}) do not match queue-full rejections ({}) plus admission sheds ({})",
             outcome.shed(),
-            outcome.queue_rejections()
+            outcome.queue_rejected_full(),
+            outcome.admission_shed()
         ));
     }
     if outcome.crosscheck_mismatches > 0 {
@@ -759,6 +806,29 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
             "{} binary/JSON cross-check mismatches",
             outcome.crosscheck_mismatches
         ));
+    }
+    if let Some(fair) = outcome.fairness.as_ref() {
+        // The multi-tenant isolation gate: an overloaded neighbor must not
+        // dent anyone else's goodput, and every shed must be billed to the
+        // tenant that caused it.
+        if fair.lost > 0 || fair.divergent > 0 {
+            return Err(format!(
+                "fairness phase lost {} / diverged {}",
+                fair.lost, fair.divergent
+            ));
+        }
+        if fair.attribution_mismatches > 0 {
+            return Err(format!(
+                "{} responses misattributed across tenants",
+                fair.attribution_mismatches
+            ));
+        }
+        if fair.min_well_behaved_goodput < 0.9 {
+            return Err(format!(
+                "well-behaved tenant goodput {:.3} fell below the 0.9 fair-share gate",
+                fair.min_well_behaved_goodput
+            ));
+        }
     }
     if gate_p99_ns > 0 {
         if let Some(bin) = outcome.binary.as_ref() {
@@ -777,7 +847,8 @@ const USAGE: &str = "usage: multihit <synth|discover|classify|cluster|serve|load
   synth    --out-dir DIR [--genes G --tumor NT --normal NN --combos C
            --hits H --penetrance P --noise-tumor X --noise-normal Y --seed S]
   discover --tumor T.maf --normal N.maf [--hits H --max-combos N
-           --cohort LABEL --out R.tsv --no-prune --scan auto|scalar
+           --cohort LABEL --out R.tsv --publish HOST:PORT
+           --no-prune --scan auto|scalar
            --no-kernelize --sparse auto|on|off
            --frontier-k K --no-frontier --metrics-out M.jsonl --trace]
   classify --results R.tsv --tumor T.maf --normal N.maf
@@ -792,13 +863,14 @@ const USAGE: &str = "usage: multihit <synth|discover|classify|cluster|serve|load
                   | ckpt-truncate=K | ckpt-bitflip=K
   serve    (--results DIR | --synth) [--addr HOST:PORT --shards S
            --batch-max B --queue-cap Q --cache-cap C --fill-window-ns W
-           --reactors N --duration-secs T --metrics-out M.jsonl --trace]
+           --admit-rps R --admit-burst-secs B --reactors N
+           --duration-secs T --metrics-out M.jsonl --trace]
   loadgen  [--proto inproc|json|binary|all --clients N --connections C
            --inflight F --window W --requests R --profiles P --seed S
-           --swaps K --swap-gap-ms MS --shards S --batch-max B
+           --swaps K --swap-gap-ms MS --publish --shards S --batch-max B
            --queue-cap Q --cache-cap C --fill-window-ns W
-           --gate-p99-ns NS --out BENCH_serve.json
-           --metrics-out M.jsonl --trace]";
+           --tenants N --admit-rps R --gate-p99-ns NS
+           --out BENCH_serve.json --metrics-out M.jsonl --trace]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
