@@ -380,6 +380,25 @@ mod tests {
     }
 
     #[test]
+    fn discovers_and_gates_block_sweep_headline() {
+        // The block-swept scan arm publishes `speedup_block`; auto-discovery
+        // must pick it up without --keys and the floor must gate it.
+        let base = r#"{
+            "bench": "scan_h3", "speedup_vector": 1.5, "speedup_block": 2.0,
+            "identical": true,
+            "arms": [{"name": "block_swept", "best_genes": [1, 2, 3]}]
+        }"#;
+        let b = Parser::new(base).value().unwrap();
+        let keys = headline_keys(&b, None);
+        assert_eq!(keys, vec!["speedup_block", "speedup_vector"]);
+        assert!(compare(&b, &b, 0.7, &keys).is_empty());
+        let c = Parser::new(&base.replace("2.0", "1.0")).value().unwrap();
+        let failures = compare(&b, &c, 0.7, &keys);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("speedup_block"), "{failures:?}");
+    }
+
+    #[test]
     fn flags_divergent_winner_and_missing_identical() {
         let b = Parser::new(BASE).value().unwrap();
         let c = Parser::new(

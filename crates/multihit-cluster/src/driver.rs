@@ -506,6 +506,7 @@ pub fn distributed_discover4_obs(
                     )
                 });
                 let combos: Vec<u64> = outs.iter().map(|(o, _)| o.profile.combos).collect();
+                let sweeps: u64 = outs.iter().map(|(o, _)| o.block_sweeps).sum();
                 let shards: Vec<Vec<Scored<4>>> = outs.into_iter().map(|(_, s)| s).collect();
                 let local_list = merge_top_k(&shards, k);
                 let busy_ns = elapsed_ns(busy_start);
@@ -534,12 +535,14 @@ pub fn distributed_discover4_obs(
                             ("combos", combos.iter().sum::<u64>().into()),
                             ("steal_blocks", steal.blocks.into()),
                             ("steals", steal.steals.into()),
+                            ("block_sweeps", sweeps.into()),
                         ],
                     );
                     obs.counter_add("dist.rank_busy_ns", busy_ns);
                     obs.counter_add("dist.rank_comm_ns", comm_ns);
                     obs.counter_add("dist.steal_blocks", steal.blocks);
                     obs.counter_add("dist.steals", steal.steals);
+                    obs.counter_add("dist.block_sweeps", sweeps);
                 }
                 ((winner, floor), combos, local_list)
             });
@@ -581,6 +584,7 @@ pub fn distributed_discover4_obs(
                         )
                     });
                     let combos: Vec<u64> = outs.iter().map(|o| o.profile.combos).collect();
+                    let sweeps: u64 = outs.iter().map(|o| o.block_sweeps).sum();
                     let local = fold_partials(outs.into_iter().map(|o| o.best));
                     let busy_ns = elapsed_ns(busy_start);
                     let comm_start = Instant::now();
@@ -602,12 +606,14 @@ pub fn distributed_discover4_obs(
                                 ("combos", combos.iter().sum::<u64>().into()),
                                 ("steal_blocks", steal.blocks.into()),
                                 ("steals", steal.steals.into()),
+                                ("block_sweeps", sweeps.into()),
                             ],
                         );
                         obs.counter_add("dist.rank_busy_ns", busy_ns);
                         obs.counter_add("dist.rank_comm_ns", comm_ns);
                         obs.counter_add("dist.steal_blocks", steal.blocks);
                         obs.counter_add("dist.steals", steal.steals);
+                        obs.counter_add("dist.block_sweeps", sweeps);
                     }
                     (Some(winner), combos)
                 });
@@ -1016,6 +1022,7 @@ pub fn distributed_discover4_ft(
                 let mut local = Scored::NEG_INFINITY;
                 let mut local_list: Vec<Scored<4>> = Vec::new();
                 let mut combos = Vec::new();
+                let mut sweeps = 0u64;
                 if rescore_round {
                     // Rescore the retained shard instead of scanning; the
                     // kernels never run, so every GPU audits zero combos.
@@ -1040,6 +1047,7 @@ pub fn distributed_discover4_ft(
                             k,
                         );
                         combos.push(out.profile.combos);
+                        sweeps += out.block_sweeps;
                         local = local.max_det(out.best);
                         shards.push(shard);
                     }
@@ -1057,6 +1065,7 @@ pub fn distributed_discover4_ft(
                             cfg.block_size,
                         );
                         combos.push(out.profile.combos);
+                        sweeps += out.block_sweeps;
                         local = local.max_det(out.best);
                     }
                 }
@@ -1165,9 +1174,11 @@ pub fn distributed_discover4_ft(
                             ("busy_ns", busy_ns.into()),
                             ("comm_ns", elapsed_ns(comm_start).into()),
                             ("combos", combos_total.into()),
+                            ("block_sweeps", sweeps.into()),
                         ],
                     );
                     obs.counter_add("dist.rank_busy_ns", busy_ns);
+                    obs.counter_add("dist.block_sweeps", sweeps);
                 }
                 outcome
             });

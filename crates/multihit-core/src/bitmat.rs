@@ -114,6 +114,20 @@ impl BitMatrix {
         &self.data[off..off + self.words_per_row]
     }
 
+    /// The contiguous packed words of gene rows `[lo, hi)`.
+    ///
+    /// Rows are stored row-major with no padding, so a block of consecutive
+    /// genes is one contiguous slab — the block-sweep scan hands the
+    /// *upcoming* block's slab to [`kernel::prefetch_words`] while the
+    /// current block is being scored, keeping the row stream one block ahead
+    /// of the ALU (the paper's MemOpt row prefetching).
+    #[inline]
+    #[must_use]
+    pub fn rows_slab(&self, lo: usize, hi: usize) -> &[u64] {
+        debug_assert!(lo <= hi && hi <= self.n_genes);
+        &self.data[lo * self.words_per_row..hi * self.words_per_row]
+    }
+
     /// Read entry `(g, s)`.
     #[inline]
     #[must_use]

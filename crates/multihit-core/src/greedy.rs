@@ -120,6 +120,11 @@ pub struct GreedyConfig {
     pub kernelize: bool,
     /// Sparse (skip-list) scan selection; bit-identical in every mode.
     pub sparse: SparseMode,
+    /// Score level-0 sibling runs through the gene-tiled block kernels
+    /// ([`kernel::and_popcount_block`]) instead of stepping one combination
+    /// at a time. Bit-identical either way (level-0 siblings are never
+    /// individually pruned); off restores the stepping reference path.
+    pub block_sweep: bool,
 }
 
 impl Default for GreedyConfig {
@@ -133,6 +138,7 @@ impl Default for GreedyConfig {
             frontier_k: frontier::DEFAULT_FRONTIER_K,
             kernelize: false,
             sparse: SparseMode::Auto,
+            block_sweep: true,
         }
     }
 }
@@ -152,6 +158,14 @@ pub struct ScanStats {
     pub steals: u64,
     /// All-zero 64-bit words the sparse scan never touched (0 when dense).
     pub words_skipped: u64,
+    /// Level-0 block-kernel invocations (0 when stepping).
+    pub block_sweeps: u64,
+    /// Candidate gene rows scored through the block kernel.
+    pub swept_rows: u64,
+    /// Scanners constructed (allocation events) during this scan. Workers
+    /// re-seek one scanner across stolen blocks, so this stays at one per
+    /// participating worker no matter how many blocks churn.
+    pub scanner_builds: u64,
 }
 
 impl ScanStats {
@@ -163,6 +177,19 @@ impl ScanStats {
         self.blocks += other.blocks;
         self.steals += other.steals;
         self.words_skipped += other.words_skipped;
+        self.block_sweeps += other.block_sweeps;
+        self.swept_rows += other.swept_rows;
+        self.scanner_builds += other.scanner_builds;
+    }
+
+    /// Mean candidate rows per block-kernel call (0 when stepping).
+    #[must_use]
+    pub fn rows_per_sweep(&self) -> f64 {
+        if self.block_sweeps == 0 {
+            0.0
+        } else {
+            self.swept_rows as f64 / self.block_sweeps as f64
+        }
     }
 
     /// Fraction of the enumerated range eliminated without scoring.
@@ -250,6 +277,12 @@ pub struct ComboScanner<'a, const H: usize> {
     pop_t: [u32; H],
     pop_n: [u32; H],
     combo: [u32; H],
+    /// Rows per level-0 block-kernel call; `<= 1` falls back to stepping.
+    sweep_width: usize,
+    /// Block-kernel invocations made by this scanner.
+    block_sweeps: u64,
+    /// Candidate rows scored through the block kernel.
+    swept_rows: u64,
 }
 
 impl<'a, const H: usize> ComboScanner<'a, H> {
@@ -342,6 +375,11 @@ impl<'a, const H: usize> ComboScanner<'a, H> {
             pop_t: [0; H],
             pop_n: [0; H],
             combo: unrank_tuple::<H>(start),
+            // Sweeping needs a fixed level-1 partial above the run; H = 1
+            // has no such level, so it always steps.
+            sweep_width: if H >= 2 { kernel::SWEEP_BLOCK } else { 1 },
+            block_sweeps: 0,
+            swept_rows: 0,
         };
         s.rebuild_from(H - 1);
         s
@@ -353,10 +391,58 @@ impl<'a, const H: usize> ComboScanner<'a, H> {
         self.words_skipped
     }
 
+    /// Block-kernel invocations made so far (0 when stepping).
+    #[must_use]
+    pub fn block_sweeps(&self) -> u64 {
+        self.block_sweeps
+    }
+
+    /// Candidate gene rows scored through the block kernel so far.
+    #[must_use]
+    pub fn swept_rows(&self) -> u64 {
+        self.swept_rows
+    }
+
+    /// Cap the rows per level-0 block-kernel call. `width <= 1` disables the
+    /// sweep (the stepping reference path); anything larger is clamped to
+    /// [`kernel::SWEEP_BLOCK`]. The scanned results are bit-identical at
+    /// every width.
+    pub fn set_sweep_width(&mut self, width: usize) {
+        let was_sweeping = self.sweep_enabled();
+        self.sweep_width = if H >= 2 {
+            width.clamp(1, kernel::SWEEP_BLOCK)
+        } else {
+            1
+        };
+        if was_sweeping && !self.sweep_enabled() {
+            // Sweeping leaves the level-0 partial stale (it scores candidate
+            // rows straight off level 1); stepping reads it, so refresh.
+            self.rebuild_level(0);
+        }
+    }
+
+    #[inline]
+    fn sweep_enabled(&self) -> bool {
+        H >= 2 && self.sweep_width > 1
+    }
+
+    /// Reposition the scanner at combination rank `start`, reusing every
+    /// allocation. Equivalent to building a fresh scanner at `start` (the
+    /// accumulated counters are deliberately kept — harvest them once at
+    /// the end of a worker's life, not per block).
+    pub fn reseek(&mut self, start: u64) {
+        self.combo = unrank_tuple::<H>(start);
+        self.rebuild_from(H - 1);
+    }
+
     /// Recompute partial ANDs (and their popcounts) for levels `t..=0` after
-    /// `combo[t..]` changed.
+    /// `combo[t..]` changed. While sweeping, level 0 is left untouched — the
+    /// sweep scores candidate rows straight off the level-1 partial, so
+    /// rebuilding the leaf would be pure waste (build and every per-block
+    /// re-seek would pay it).
     fn rebuild_from(&mut self, t: usize) {
-        for level in (0..=t).rev() {
+        let floor = usize::from(self.sweep_enabled());
+        for level in (floor..=t).rev() {
             self.rebuild_level(level);
         }
     }
@@ -493,6 +579,14 @@ impl<'a, const H: usize> ComboScanner<'a, H> {
     /// Advance to the next combination in colex order. Returns `false` when
     /// the enumeration is exhausted.
     fn advance(&mut self) -> bool {
+        self.advance_floor(0)
+    }
+
+    /// [`Self::advance`] rebuilding only levels `>= floor`. The block sweep
+    /// passes `floor = 1`: it never reads the level-0 partial (candidate
+    /// rows are scored straight off the level-1 partial), so rebuilding it
+    /// would be pure waste.
+    fn advance_floor(&mut self, floor: usize) -> bool {
         // Find the smallest level whose coordinate can still move up.
         for t in 0..H {
             let limit = if t + 1 < H { self.combo[t + 1] } else { self.g };
@@ -502,17 +596,127 @@ impl<'a, const H: usize> ComboScanner<'a, H> {
                 for (low, c) in self.combo.iter_mut().enumerate().take(t) {
                     *c = low as u32;
                 }
-                self.rebuild_from(t);
+                for level in (floor..=t).rev() {
+                    self.rebuild_level(level);
+                }
                 return true;
             }
         }
         false
     }
 
+    /// Exclusive upper end of the current level-0 sibling run: the lowest
+    /// coordinate sweeps `[combo[0], combo[1])` while every higher
+    /// coordinate stays fixed. Only meaningful for `H >= 2`.
+    #[inline]
+    fn level0_limit(&self) -> u32 {
+        self.combo[1]
+    }
+
+    /// Score the next `n` level-0 siblings `combo[0], combo[0]+1, ..` against
+    /// the fixed level-1 partial through the gene-tiled block kernels,
+    /// feeding each [`Scored`] to `f` in ascending gene order — exactly the
+    /// colex enumeration order, so `max_det`/top-K folds over the callbacks
+    /// tie-break identically to stepping. Leaves `combo[0]` at the last gene
+    /// swept; the level-0 partial is left stale (sweeping never reads it).
+    ///
+    /// `n` must be at least 1 and not overrun the run
+    /// (`combo[0] + n <= combo[1]`).
+    fn sweep_level0<F: FnMut(Scored<H>)>(&mut self, n: usize, mut f: F) {
+        debug_assert!(H >= 2);
+        debug_assert!(n >= 1 && self.combo[0] + n as u32 <= self.level0_limit());
+        let lo = self.combo[0] as usize;
+        let tumor = self.tumor;
+        let normal = self.normal;
+        let sparse = self.skip.is_some();
+        // Sparse accounting: each swept candidate would have touched every
+        // word of both matrices in a dense rebuild, but only the compact
+        // level-1 support is read.
+        let skipped_per_row = if sparse {
+            (tumor.words_per_row() as u64 - self.sp_idx_t[1].len() as u64)
+                + (normal.words_per_row() as u64 - self.sp_idx_n[1].len() as u64)
+        } else {
+            0
+        };
+        let mut done = 0usize;
+        while done < n {
+            let chunk = (n - done).min(self.sweep_width);
+            let base = lo + done;
+            // Stream the *next* chunk's contiguous row slab toward L1 while
+            // this chunk is being scored (MemOpt row prefetching); the block
+            // kernels additionally prefetch row-to-row inside the chunk.
+            let next_end = (base + 2 * chunk).min(lo + n);
+            if base + chunk < next_end {
+                kernel::prefetch_words(tumor.rows_slab(base + chunk, next_end));
+            }
+            let mut rows_t: [&[u64]; kernel::SWEEP_BLOCK] = [&[]; kernel::SWEEP_BLOCK];
+            let mut rows_n: [&[u64]; kernel::SWEEP_BLOCK] = [&[]; kernel::SWEEP_BLOCK];
+            for r in 0..chunk {
+                rows_t[r] = tumor.row(base + r);
+                rows_n[r] = normal.row(base + r);
+            }
+            let mut out_t = [0u32; kernel::SWEEP_BLOCK];
+            let mut out_n = [0u32; kernel::SWEEP_BLOCK];
+            if sparse {
+                kernel::and_compact_popcount_block(
+                    &self.sp_idx_t[1],
+                    &self.sp_val_t[1],
+                    &rows_t[..chunk],
+                    &mut out_t,
+                );
+                kernel::and_compact_popcount_block(
+                    &self.sp_idx_n[1],
+                    &self.sp_val_n[1],
+                    &rows_n[..chunk],
+                    &mut out_n,
+                );
+                self.words_skipped += chunk as u64 * skipped_per_row;
+            } else {
+                kernel::and_popcount_block(&self.partial_t[1], &rows_t[..chunk], &mut out_t);
+                kernel::and_popcount_block(&self.partial_n[1], &rows_n[..chunk], &mut out_n);
+            }
+            self.block_sweeps += 1;
+            self.swept_rows += chunk as u64;
+            for r in 0..chunk {
+                let mut genes = self.combo;
+                genes[0] = (base + r) as u32;
+                let tp = out_t[r];
+                let tn = self.n_normal - out_n[r];
+                f(Scored {
+                    score: self.alpha.score(tp, tn),
+                    tp,
+                    tn,
+                    genes,
+                });
+            }
+            done += chunk;
+        }
+        self.combo[0] = (lo + n - 1) as u32;
+    }
+
     /// Scan `count` combinations starting at the current position, returning
     /// the deterministic best.
     #[must_use]
     pub fn scan(&mut self, count: u64) -> Scored<H> {
+        if !self.sweep_enabled() {
+            return self.scan_step(count);
+        }
+        let mut best = Scored::NEG_INFINITY;
+        let mut remaining = count;
+        while remaining > 0 {
+            let run = u64::from(self.level0_limit() - self.combo[0]);
+            let n = run.min(remaining) as usize;
+            self.sweep_level0(n, |s| best = best.max_det(s));
+            remaining -= n as u64;
+            if remaining == 0 || !self.advance_floor(1) {
+                break;
+            }
+        }
+        best
+    }
+
+    /// Stepping reference for [`Self::scan`] (also the `H = 1` path).
+    fn scan_step(&mut self, count: u64) -> Scored<H> {
         let mut best = Scored::NEG_INFINITY;
         for step in 0..count {
             best = best.max_det(self.score_current());
@@ -541,6 +745,43 @@ impl<'a, const H: usize> ComboScanner<'a, H> {
         shared: Option<&AtomicU64>,
         stats: &mut ScanStats,
     ) -> Scored<H> {
+        if !self.sweep_enabled() {
+            return self.scan_pruned_step(count, seed, shared, stats);
+        }
+        // Level-0 siblings are never individually pruned (the rebuild loop
+        // bound-checks only levels >= 1), so once the level-1 bound survives
+        // the whole run [combo[0], combo[1]) is scored — as a block sweep
+        // here, one step at a time in the reference. Identical either way.
+        let mut best = seed;
+        let mut remaining = count;
+        while remaining > 0 {
+            let run = u64::from(self.level0_limit() - self.combo[0]);
+            let n = run.min(remaining) as usize;
+            self.sweep_level0(n, |s| {
+                if s.beats(&best) {
+                    best = s;
+                    if let Some(sh) = shared {
+                        sh.fetch_max(best.score, Ordering::Relaxed);
+                    }
+                }
+            });
+            stats.scored += n as u64;
+            remaining -= n as u64;
+            if remaining == 0 || !self.advance_pruned(&mut remaining, &best, shared, stats, 1) {
+                break;
+            }
+        }
+        best
+    }
+
+    /// Stepping reference for [`Self::scan_pruned`] (also the `H = 1` path).
+    fn scan_pruned_step(
+        &mut self,
+        count: u64,
+        seed: Scored<H>,
+        shared: Option<&AtomicU64>,
+        stats: &mut ScanStats,
+    ) -> Scored<H> {
         let mut best = seed;
         let mut remaining = count;
         while remaining > 0 {
@@ -553,7 +794,7 @@ impl<'a, const H: usize> ComboScanner<'a, H> {
                 }
             }
             remaining -= 1;
-            if remaining == 0 || !self.advance_pruned(&mut remaining, &best, shared, stats) {
+            if remaining == 0 || !self.advance_pruned(&mut remaining, &best, shared, stats, 0) {
                 break;
             }
         }
@@ -566,12 +807,19 @@ impl<'a, const H: usize> ComboScanner<'a, H> {
     /// subtree overhanging the caller's range never over-counts). Returns
     /// `false` when the enumeration is exhausted; `remaining == 0` on return
     /// means the range ended inside a pruned subtree.
+    ///
+    /// `floor` is the lowest level to rebuild: 0 when stepping (the leaf
+    /// partial feeds [`Self::score_current`]), 1 when block-sweeping (the
+    /// sweep scores candidates straight off the level-1 partial). The bound
+    /// is only ever checked at levels `>= 1`, so the cut decisions are
+    /// identical for both floors.
     fn advance_pruned(
         &mut self,
         remaining: &mut u64,
         best: &Scored<H>,
         shared: Option<&AtomicU64>,
         stats: &mut ScanStats,
+        floor: usize,
     ) -> bool {
         // Smallest level allowed to move; pruning at level `t` resumes the
         // colex enumeration at the first combination past the subtree, which
@@ -597,7 +845,7 @@ impl<'a, const H: usize> ComboScanner<'a, H> {
             // above the leaves. After the advance, coordinates below `level`
             // are minimal, so the C(c[level], level) combinations of the
             // subtree are exactly the next ones in colex order.
-            for level in (0..=moved).rev() {
+            for level in (floor..=moved).rev() {
                 self.rebuild_level(level);
                 if level == 0 {
                     break;
@@ -642,6 +890,45 @@ impl<'a, const H: usize> ComboScanner<'a, H> {
         shared: Option<&AtomicU64>,
         stats: &mut ScanStats,
     ) {
+        if !self.sweep_enabled() {
+            return self.scan_topk_step(count, acc, prune, shared, stats);
+        }
+        let mut remaining = count;
+        while remaining > 0 {
+            let run = u64::from(self.level0_limit() - self.combo[0]);
+            let n = run.min(remaining) as usize;
+            self.sweep_level0(n, |s| {
+                if acc.offer(s) && acc.is_full() {
+                    if let Some(sh) = shared {
+                        sh.fetch_max(acc.floor_score(), Ordering::Relaxed);
+                    }
+                }
+            });
+            stats.scored += n as u64;
+            remaining -= n as u64;
+            if remaining == 0 {
+                break;
+            }
+            let more = if prune {
+                self.advance_topk(&mut remaining, acc, shared, stats, 1)
+            } else {
+                self.advance_floor(1)
+            };
+            if !more {
+                break;
+            }
+        }
+    }
+
+    /// Stepping reference for [`Self::scan_topk`] (also the `H = 1` path).
+    fn scan_topk_step(
+        &mut self,
+        count: u64,
+        acc: &mut TopK<H>,
+        prune: bool,
+        shared: Option<&AtomicU64>,
+        stats: &mut ScanStats,
+    ) {
         let mut remaining = count;
         while remaining > 0 {
             let s = self.score_current();
@@ -656,7 +943,7 @@ impl<'a, const H: usize> ComboScanner<'a, H> {
                 break;
             }
             let more = if prune {
-                self.advance_topk(&mut remaining, acc, shared, stats)
+                self.advance_topk(&mut remaining, acc, shared, stats, 0)
             } else {
                 self.advance()
             };
@@ -676,6 +963,7 @@ impl<'a, const H: usize> ComboScanner<'a, H> {
         acc: &TopK<H>,
         shared: Option<&AtomicU64>,
         stats: &mut ScanStats,
+        floor: usize,
     ) -> bool {
         let mut from = 0usize;
         'advance: loop {
@@ -694,7 +982,7 @@ impl<'a, const H: usize> ComboScanner<'a, H> {
             if moved == usize::MAX {
                 return false;
             }
-            for level in (0..=moved).rev() {
+            for level in (floor..=moved).rev() {
                 self.rebuild_level(level);
                 if level == 0 {
                     break;
@@ -801,11 +1089,17 @@ pub fn best_combination_seeded<const H: usize>(
         1
     };
     let skip = build_skip(cfg.sparse, tumor, normal);
-    let make_scanner = |start: u64| match &skip {
-        Some((ts, ns)) => {
-            ComboScanner::<H>::with_skip(tumor, normal, tumor_mask, cfg.alpha, start, (ts, ns))
+    let make_scanner = |start: u64| {
+        let mut sc = match &skip {
+            Some((ts, ns)) => {
+                ComboScanner::<H>::with_skip(tumor, normal, tumor_mask, cfg.alpha, start, (ts, ns))
+            }
+            None => ComboScanner::<H>::new(tumor, normal, tumor_mask, cfg.alpha, start),
+        };
+        if !cfg.block_sweep {
+            sc.set_sweep_width(1);
         }
-        None => ComboScanner::<H>::new(tumor, normal, tumor_mask, cfg.alpha, start),
+        sc
     };
     if workers == 1 {
         let mut sc = make_scanner(0);
@@ -817,24 +1111,47 @@ pub fn best_combination_seeded<const H: usize>(
             sc.scan(total)
         };
         stats.blocks = 1;
+        stats.scanner_builds = 1;
         stats.words_skipped = sc.words_skipped();
+        stats.block_sweeps = sc.block_sweeps();
+        stats.swept_rows = sc.swept_rows();
         return (best, stats);
     }
-    let queue = BlockQueue::new(total, workers);
+    // Align λ-boundaries to the sweep chunk so block handoffs land on
+    // whole sweep-kernel chunks (ragged tails only at run/range ends).
+    let align = if cfg.block_sweep {
+        kernel::SWEEP_BLOCK as u64
+    } else {
+        1
+    };
+    let queue = BlockQueue::with_grain_aligned(total, workers, par::DEFAULT_MIN_GRAIN, align);
     let shared = AtomicU64::new(seed_score);
     let results = par::run_workers(workers, |_| {
         let mut local = Scored::NEG_INFINITY;
         let mut st = ScanStats::default();
+        // One scanner per worker, re-seeked across stolen blocks: block
+        // turnover must not re-allocate the per-level partial buffers.
+        let mut scanner: Option<ComboScanner<H>> = None;
         while let Some((lo, hi)) = queue.next() {
             st.blocks += 1;
-            let mut sc = make_scanner(lo);
+            if let Some(sc) = scanner.as_mut() {
+                sc.reseek(lo);
+            } else {
+                scanner = Some(make_scanner(lo));
+                st.scanner_builds += 1;
+            }
+            let sc = scanner.as_mut().expect("scanner just ensured");
             if cfg.prune {
                 local = sc.scan_pruned(hi - lo, local, Some(&shared), &mut st);
             } else {
                 st.scored += hi - lo;
                 local = local.max_det(sc.scan(hi - lo));
             }
+        }
+        if let Some(sc) = &scanner {
             st.words_skipped += sc.words_skipped();
+            st.block_sweeps += sc.block_sweeps();
+            st.swept_rows += sc.swept_rows();
         }
         if st.blocks > 0 {
             st.steals = st.blocks - 1;
@@ -844,6 +1161,12 @@ pub fn best_combination_seeded<const H: usize>(
     for (_, st) in &results {
         stats.merge(st);
     }
+    // Block churn must never re-allocate scanners: one build per worker.
+    debug_assert!(
+        stats.scanner_builds <= workers as u64,
+        "{} scanner builds for {workers} workers",
+        stats.scanner_builds
+    );
     let best = fold_partials(results.into_iter().map(|(b, _)| b));
     (best, stats)
 }
@@ -882,11 +1205,17 @@ pub fn best_combination_frontier<const H: usize>(
         1
     };
     let skip = build_skip(cfg.sparse, tumor, normal);
-    let make_scanner = |start: u64| match &skip {
-        Some((ts, ns)) => {
-            ComboScanner::<H>::with_skip(tumor, normal, tumor_mask, cfg.alpha, start, (ts, ns))
+    let make_scanner = |start: u64| {
+        let mut sc = match &skip {
+            Some((ts, ns)) => {
+                ComboScanner::<H>::with_skip(tumor, normal, tumor_mask, cfg.alpha, start, (ts, ns))
+            }
+            None => ComboScanner::<H>::new(tumor, normal, tumor_mask, cfg.alpha, start),
+        };
+        if !cfg.block_sweep {
+            sc.set_sweep_width(1);
         }
-        None => ComboScanner::<H>::new(tumor, normal, tumor_mask, cfg.alpha, start),
+        sc
     };
     if workers == 1 {
         let mut acc = TopK::new(k);
@@ -894,20 +1223,41 @@ pub fn best_combination_frontier<const H: usize>(
         let shared = (seed_floor > 0).then(|| AtomicU64::new(seed_floor));
         sc.scan_topk(total, &mut acc, cfg.prune, shared.as_ref(), &mut stats);
         stats.blocks = 1;
+        stats.scanner_builds = 1;
         stats.words_skipped = sc.words_skipped();
+        stats.block_sweeps = sc.block_sweeps();
+        stats.swept_rows = sc.swept_rows();
         let fr = Frontier::new(acc.into_sorted(), total);
         return (fr.best(), stats, fr);
     }
-    let queue = BlockQueue::new(total, workers);
+    // Align λ-boundaries to the sweep chunk so block handoffs land on
+    // whole sweep-kernel chunks (ragged tails only at run/range ends).
+    let align = if cfg.block_sweep {
+        kernel::SWEEP_BLOCK as u64
+    } else {
+        1
+    };
+    let queue = BlockQueue::with_grain_aligned(total, workers, par::DEFAULT_MIN_GRAIN, align);
     let shared = AtomicU64::new(seed_floor);
     let results = par::run_workers(workers, |_| {
         let mut acc = TopK::new(k);
         let mut st = ScanStats::default();
+        let mut scanner: Option<ComboScanner<H>> = None;
         while let Some((lo, hi)) = queue.next() {
             st.blocks += 1;
-            let mut sc = make_scanner(lo);
+            if let Some(sc) = scanner.as_mut() {
+                sc.reseek(lo);
+            } else {
+                scanner = Some(make_scanner(lo));
+                st.scanner_builds += 1;
+            }
+            let sc = scanner.as_mut().expect("scanner just ensured");
             sc.scan_topk(hi - lo, &mut acc, cfg.prune, Some(&shared), &mut st);
+        }
+        if let Some(sc) = &scanner {
             st.words_skipped += sc.words_skipped();
+            st.block_sweeps += sc.block_sweeps();
+            st.swept_rows += sc.swept_rows();
         }
         if st.blocks > 0 {
             st.steals = st.blocks - 1;
@@ -919,6 +1269,11 @@ pub fn best_combination_frontier<const H: usize>(
         stats.merge(&st);
         shards.push(shard);
     }
+    debug_assert!(
+        stats.scanner_builds <= workers as u64,
+        "{} scanner builds for {workers} workers",
+        stats.scanner_builds
+    );
     let fr = Frontier::from_shards(&shards, k, total);
     (fr.best(), stats, fr)
 }
@@ -1067,6 +1422,8 @@ pub fn discover_obs<const H: usize>(
                     ("frontier_hit", u64::from(frontier_hit).into()),
                     ("frontier_rescored", frontier_rescored.into()),
                     ("words_skipped", scan_stats.words_skipped.into()),
+                    ("block_sweeps", scan_stats.block_sweeps.into()),
+                    ("swept_rows", scan_stats.swept_rows.into()),
                     ("kernel", kernel::active().name().into()),
                 ],
             );
@@ -1081,6 +1438,16 @@ pub fn discover_obs<const H: usize>(
             obs.counter_add("greedy.steal_blocks", scan_stats.blocks);
             obs.counter_add("greedy.steals", scan_stats.steals);
             obs.counter_add("greedy.words_skipped", scan_stats.words_skipped);
+            obs.counter_add("greedy.block_sweeps", scan_stats.block_sweeps);
+            obs.counter_add("greedy.swept_rows", scan_stats.swept_rows);
+            obs.counter_add(
+                match kernel::active() {
+                    kernel::Dispatch::Scalar => "greedy.dispatch_scalar",
+                    kernel::Dispatch::Avx2 => "greedy.dispatch_avx2",
+                    kernel::Dispatch::Avx512 => "greedy.dispatch_avx512",
+                },
+                1,
+            );
             obs.counter_add("greedy.scan_ns", scan_ns);
             obs.counter_add("greedy.splice_ns", splice_ns);
             obs.counter_add("greedy.splice_words", splice_words);
@@ -1668,6 +2035,211 @@ mod tests {
             .collect();
         assert_eq!(hit_iters.len() as u64, iters - 1);
         assert!(hit_iters.iter().all(|&s| s == 0), "hits must not scan");
+    }
+
+    #[test]
+    fn block_sweep_matches_stepping_every_width() {
+        use crate::bitmat::SkipIndex;
+        let (t, n) = lcg_matrices(13, 120, 60, 9);
+        let total = binomial(13, 3);
+        let ts = SkipIndex::build(&t);
+        let ns = SkipIndex::build(&n);
+        let mut mask = t.full_mask();
+        mask[0] &= 0x0ff0_0ff0_0ff0_0ff0;
+        for masked in [None, Some(&mask)] {
+            for sparse in [false, true] {
+                let build = |start: u64| {
+                    let m = masked.map(|m| &m[..]);
+                    if sparse {
+                        ComboScanner::<3>::with_skip(&t, &n, m, Alpha::PAPER, start, (&ts, &ns))
+                    } else {
+                        ComboScanner::<3>::new(&t, &n, m, Alpha::PAPER, start)
+                    }
+                };
+                // Stepping reference.
+                let mut reference = build(0);
+                reference.set_sweep_width(1);
+                let want = reference.scan(total);
+                assert_eq!(reference.block_sweeps(), 0);
+                // Widths that do and do not divide typical run lengths.
+                for width in [2usize, 3, 5, kernel::SWEEP_BLOCK] {
+                    let mut sc = build(0);
+                    sc.set_sweep_width(width);
+                    assert_eq!(sc.scan(total), want, "width={width} sparse={sparse}");
+                    assert!(sc.block_sweeps() > 0, "sweep never engaged");
+                    assert_eq!(sc.swept_rows(), total, "every combo swept");
+                    // Pruned sweep: same winner, exact accounting.
+                    let mut st = ScanStats::default();
+                    let mut sc = build(0);
+                    sc.set_sweep_width(width);
+                    let got = sc.scan_pruned(total, Scored::NEG_INFINITY, None, &mut st);
+                    assert_eq!(got, want, "pruned width={width} sparse={sparse}");
+                    assert_eq!(st.scored + st.pruned_combos, total);
+                    assert_eq!(sc.swept_rows(), st.scored, "every scored combo swept");
+                    // Mid-range start (scanner begins inside a run).
+                    let k = total / 3 + 1;
+                    let mut a = build(0);
+                    a.set_sweep_width(width);
+                    let first = a.scan(k);
+                    let mut b = build(k);
+                    b.set_sweep_width(width);
+                    let second = b.scan(total - k);
+                    assert_eq!(first.max_det(second), want, "split width={width}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_sweep_sparse_words_skipped_matches_stepping() {
+        use crate::bitmat::SkipIndex;
+        // Sparse input so the skip lists actually drop words.
+        let mut t = BitMatrix::zeros(10, 640);
+        let mut n = BitMatrix::zeros(10, 640);
+        for g in 0..10 {
+            t.set(g, g * 60, true);
+            t.set(g, g * 60 + 7, true);
+            n.set(g, 639 - g, true);
+        }
+        let ts = SkipIndex::build(&t);
+        let ns = SkipIndex::build(&n);
+        let total = binomial(10, 3);
+        let mut step = ComboScanner::<3>::with_skip(&t, &n, None, Alpha::PAPER, 0, (&ts, &ns));
+        step.set_sweep_width(1);
+        let want = step.scan(total);
+        let mut swept = ComboScanner::<3>::with_skip(&t, &n, None, Alpha::PAPER, 0, (&ts, &ns));
+        swept.set_sweep_width(kernel::SWEEP_BLOCK);
+        assert_eq!(swept.scan(total), want);
+        // Same per-combo accounting: every level-0 candidate charges the full
+        // dense width minus the level-1 support, in both modes.
+        assert_eq!(swept.words_skipped(), step.words_skipped());
+    }
+
+    #[test]
+    fn block_sweep_topk_matches_stepping() {
+        let (t, n) = lcg_matrices(12, 110, 55, 71);
+        let total = binomial(12, 3);
+        for k in [1usize, 8, 64] {
+            for prune in [false, true] {
+                let mut want = TopK::new(k);
+                let mut st = ScanStats::default();
+                let mut sc = ComboScanner::<3>::new(&t, &n, None, Alpha::PAPER, 0);
+                sc.set_sweep_width(1);
+                sc.scan_topk(total, &mut want, prune, None, &mut st);
+                let mut got = TopK::new(k);
+                let mut st2 = ScanStats::default();
+                let mut sc = ComboScanner::<3>::new(&t, &n, None, Alpha::PAPER, 0);
+                sc.set_sweep_width(kernel::SWEEP_BLOCK);
+                sc.scan_topk(total, &mut got, prune, None, &mut st2);
+                assert_eq!(got.into_sorted(), want.into_sorted(), "k={k} prune={prune}");
+                assert_eq!(st2.scored + st2.pruned_combos, total);
+            }
+        }
+    }
+
+    #[test]
+    fn block_sweep_discovery_bit_identical_across_modes() {
+        let (t, n) = lcg_matrices(11, 150, 80, 29);
+        for exclusion in [Exclusion::BitSplice, Exclusion::Mask] {
+            let reference = discover::<3>(
+                &t,
+                &n,
+                &GreedyConfig {
+                    parallel: false,
+                    block_sweep: false,
+                    exclusion,
+                    ..GreedyConfig::default()
+                },
+            );
+            for parallel in [false, true] {
+                let got = discover::<3>(
+                    &t,
+                    &n,
+                    &GreedyConfig {
+                        parallel,
+                        block_sweep: true,
+                        exclusion,
+                        ..GreedyConfig::default()
+                    },
+                );
+                assert_eq!(
+                    got.combinations, reference.combinations,
+                    "parallel={parallel} {exclusion:?}"
+                );
+                assert_eq!(got.uncovered, reference.uncovered);
+            }
+        }
+    }
+
+    #[test]
+    fn reseek_reuses_allocations_and_matches_fresh_build() {
+        let (t, n) = lcg_matrices(12, 100, 50, 83);
+        let total = binomial(12, 3);
+        let k = total / 2;
+        let mut reused = ComboScanner::<3>::new(&t, &n, None, Alpha::PAPER, 0);
+        let _ = reused.scan(k);
+        let bufs_before: Vec<*const u64> = reused.partial_t.iter().map(|b| b.as_ptr()).collect();
+        reused.reseek(k);
+        let bufs_after: Vec<*const u64> = reused.partial_t.iter().map(|b| b.as_ptr()).collect();
+        assert_eq!(bufs_before, bufs_after, "reseek must not re-allocate");
+        let mut fresh = ComboScanner::<3>::new(&t, &n, None, Alpha::PAPER, k);
+        assert_eq!(reused.scan(total - k), fresh.scan(total - k));
+    }
+
+    #[test]
+    fn workers_build_at_most_one_scanner_each() {
+        let (t, n) = lcg_matrices(40, 90, 45, 3);
+        let cfg = GreedyConfig {
+            parallel: true,
+            prune: false,
+            ..GreedyConfig::default()
+        };
+        let total = binomial(40, 3);
+        let workers = par::default_workers()
+            .min(usize::try_from(total.div_ceil(par::DEFAULT_MIN_GRAIN)).unwrap())
+            .max(1);
+        let (_, st) = best_combination_stats::<3>(&t, &n, None, &cfg);
+        assert!(st.blocks >= 1);
+        assert!(st.scanner_builds >= 1);
+        assert!(
+            st.scanner_builds <= workers as u64,
+            "scan built {} scanners for {workers} workers ({} blocks)",
+            st.scanner_builds,
+            st.blocks
+        );
+    }
+
+    #[test]
+    fn scan_stats_merge_covers_every_counter() {
+        let a = ScanStats {
+            scored: 1,
+            pruned_subtrees: 2,
+            pruned_combos: 3,
+            blocks: 4,
+            steals: 5,
+            words_skipped: 6,
+            block_sweeps: 7,
+            swept_rows: 8,
+            scanner_builds: 9,
+        };
+        let mut m = a;
+        m.merge(&a);
+        assert_eq!(
+            m,
+            ScanStats {
+                scored: 2,
+                pruned_subtrees: 4,
+                pruned_combos: 6,
+                blocks: 8,
+                steals: 10,
+                words_skipped: 12,
+                block_sweeps: 14,
+                swept_rows: 16,
+                scanner_builds: 18,
+            }
+        );
+        assert!((m.rows_per_sweep() - 16.0 / 14.0).abs() < 1e-12);
+        assert_eq!(ScanStats::default().rows_per_sweep(), 0.0);
     }
 
     #[test]

@@ -12,21 +12,31 @@
 //! scalar-looking loop. Column splicing gets the same treatment via BMI2
 //! `PEXT` (single-instruction bit compaction per word).
 //!
-//! Dispatch is decided once per process and cached; [`force_scalar`] pins
-//! the portable path so tests and benches can compare implementations on
-//! the same machine. Both paths are bit-identical by construction and
+//! Above AVX2 sits an AVX-512 tier (`avx512f` + `avx512vpopcntdq`): 512-bit
+//! ANDs with the `VPOPCNTQ` instruction counting eight words per cycle in
+//! vector registers, no lane extraction at all. The block kernels
+//! ([`and_popcount_block`]) score a whole block of candidate rows against
+//! one fixed partial — the partial stays register/L1-resident while the
+//! rows stream past it, with software prefetch of the upcoming row (the
+//! CPU analogue of the paper's MemOpt row prefetching).
+//!
+//! Dispatch is decided once per process and cached; [`force_scalar`] and
+//! [`force`] pin a tier so tests and benches can compare implementations on
+//! the same machine. All tiers are bit-identical by construction and
 //! proptested against each other on ragged widths, including the partial
 //! final word.
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Which implementation the runtime dispatch selected.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Dispatch {
     /// Portable unrolled Rust (also the forced-test path).
     Scalar,
     /// AVX2 AND + POPCNT counting (+ BMI2 PEXT splicing) on `x86_64`.
     Avx2,
+    /// AVX-512F AND + VPOPCNTQ vector popcount on `x86_64`.
+    Avx512,
 }
 
 impl Dispatch {
@@ -36,19 +46,33 @@ impl Dispatch {
         match self {
             Dispatch::Scalar => "scalar",
             Dispatch::Avx2 => "avx2",
+            Dispatch::Avx512 => "avx512",
         }
     }
 }
 
-/// 0 = undecided, 1 = scalar, 2 = avx2.
+/// 0 = undecided, 1 = scalar, 2 = avx2, 3 = avx512.
 static SELECTED: AtomicU8 = AtomicU8::new(0);
+
+fn encode(d: Dispatch) -> u8 {
+    match d {
+        Dispatch::Scalar => 1,
+        Dispatch::Avx2 => 2,
+        Dispatch::Avx512 => 3,
+    }
+}
 
 #[cfg(target_arch = "x86_64")]
 fn detect() -> Dispatch {
-    if std::arch::is_x86_feature_detected!("avx2")
+    let avx2 = std::arch::is_x86_feature_detected!("avx2")
         && std::arch::is_x86_feature_detected!("popcnt")
-        && std::arch::is_x86_feature_detected!("bmi2")
+        && std::arch::is_x86_feature_detected!("bmi2");
+    if avx2
+        && std::arch::is_x86_feature_detected!("avx512f")
+        && std::arch::is_x86_feature_detected!("avx512vpopcntdq")
     {
+        Dispatch::Avx512
+    } else if avx2 {
         Dispatch::Avx2
     } else {
         Dispatch::Scalar
@@ -66,10 +90,35 @@ pub fn active() -> Dispatch {
     match SELECTED.load(Ordering::Relaxed) {
         1 => Dispatch::Scalar,
         2 => Dispatch::Avx2,
+        3 => Dispatch::Avx512,
         _ => {
             let d = detect();
-            SELECTED.store(if d == Dispatch::Avx2 { 2 } else { 1 }, Ordering::Relaxed);
+            SELECTED.store(encode(d), Ordering::Relaxed);
             d
+        }
+    }
+}
+
+/// Pin a specific dispatch tier process-wide, or re-run detection.
+///
+/// Returns `false` (leaving the selection unchanged) when the requested
+/// tier is *above* what the host supports — forcing AVX-512 on a machine
+/// without it would execute illegal instructions. Pinning a tier at or
+/// below the detected one always succeeds; `force(None)` re-runs detection
+/// and always succeeds. For tests and benches comparing implementations;
+/// production code never calls this.
+pub fn force(d: Option<Dispatch>) -> bool {
+    match d {
+        None => {
+            SELECTED.store(encode(detect()), Ordering::Relaxed);
+            true
+        }
+        Some(want) => {
+            if want > detect() {
+                return false;
+            }
+            SELECTED.store(encode(want), Ordering::Relaxed);
+            true
         }
     }
 }
@@ -79,12 +128,7 @@ pub fn active() -> Dispatch {
 /// For tests and benches comparing implementations; production code never
 /// calls this. `force_scalar(false)` re-runs detection.
 pub fn force_scalar(on: bool) {
-    if on {
-        SELECTED.store(1, Ordering::Relaxed);
-    } else {
-        let d = detect();
-        SELECTED.store(if d == Dispatch::Avx2 { 2 } else { 1 }, Ordering::Relaxed);
-    }
+    let _ = force(on.then_some(Dispatch::Scalar));
 }
 
 // ---------------------------------------------------------------------------
@@ -238,6 +282,72 @@ pub fn and_compact(
         }
     }
     pop
+}
+
+/// Sparse block sweep: `out[r] = Σ popcount(parent_val & rows[r][parent_idx])`
+/// for every candidate row in the block, gathering each row through the
+/// parent's compact support. The compact (index, value) pairs stay hot while
+/// the candidate rows stream past — the sparse analogue of
+/// [`and_popcount_block`]. Gathers through data-dependent indices don't
+/// vectorize profitably, so this is a single portable path used by every
+/// dispatch tier; the software prefetch of the next row still applies.
+pub fn and_compact_popcount_block(
+    parent_idx: &[u32],
+    parent_val: &[u64],
+    rows: &[&[u64]],
+    out: &mut [u32],
+) {
+    debug_assert_eq!(parent_idx.len(), parent_val.len());
+    debug_assert!(out.len() >= rows.len());
+    for (r, row) in rows.iter().enumerate() {
+        if r + 1 < rows.len() {
+            prefetch_words(rows[r + 1]);
+        }
+        let mut pop = 0u32;
+        for (&wi, &pv) in parent_idx.iter().zip(parent_val) {
+            pop += (pv & row[wi as usize]).count_ones();
+        }
+        out[r] = pop;
+    }
+}
+
+/// Maximum rows per [`and_popcount_block`] call — sized so a block of row
+/// pointers and its result slots live on the stack and the loop over rows
+/// stays short enough for the partial to remain cache-hot.
+pub const SWEEP_BLOCK: usize = 16;
+
+/// Issue prefetch hints for every cache line of a packed row (no-op off
+/// `x86_64`). The block kernels call this one row ahead of the row they are
+/// ANDing, so the next operand is already in flight when its turn comes —
+/// the CPU realization of the paper's MemOpt row prefetching.
+#[inline]
+pub fn prefetch_words(p: &[u64]) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch is a hint; any address is allowed, and SSE is part
+    // of the x86_64 baseline.
+    unsafe {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        let mut i = 0;
+        while i < p.len() {
+            _mm_prefetch(p.as_ptr().add(i).cast(), _MM_HINT_T0);
+            i += 8; // one 64-byte cache line = 8 packed words
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
+/// Block sweep reference: `out[r] = popcount(partial & rows[r])` for every
+/// candidate row, the fixed `partial` operand reread from L1 while the rows
+/// stream past it (4-way unrolled, next row prefetched).
+pub fn and_popcount_block_scalar(partial: &[u64], rows: &[&[u64]], out: &mut [u32]) {
+    debug_assert!(out.len() >= rows.len());
+    for (r, row) in rows.iter().enumerate() {
+        if r + 1 < rows.len() {
+            prefetch_words(rows[r + 1]);
+        }
+        out[r] = and_popcount_scalar(partial, row);
+    }
 }
 
 /// Parallel bit extract: compact the bits of `x` selected by `mask` into the
@@ -402,6 +512,168 @@ mod x86 {
     pub unsafe fn pext(x: u64, mask: u64) -> u64 {
         _pext_u64(x, mask)
     }
+
+    /// # Safety
+    /// Requires AVX2 + POPCNT at runtime.
+    #[target_feature(enable = "avx2,popcnt")]
+    pub unsafe fn and_popcount_block(partial: &[u64], rows: &[&[u64]], out: &mut [u32]) {
+        debug_assert!(out.len() >= rows.len());
+        for (r, row) in rows.iter().enumerate() {
+            if r + 1 < rows.len() {
+                super::prefetch_words(rows[r + 1]);
+            }
+            out[r] = and_popcount(partial, row);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX-512F + VPOPCNTQ paths (x86_64 only, runtime-gated)
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx512 {
+    use std::arch::x86_64::{
+        _mm512_add_epi64, _mm512_and_si512, _mm512_loadu_si512, _mm512_popcnt_epi64,
+        _mm512_reduce_add_epi64, _mm512_setzero_si512, _mm512_storeu_si512,
+    };
+
+    /// # Safety
+    /// Requires AVX-512F + AVX-512VPOPCNTDQ at runtime.
+    #[target_feature(enable = "avx512f,avx512vpopcntdq")]
+    pub unsafe fn popcount(a: &[u64]) -> u32 {
+        let mut acc = _mm512_setzero_si512();
+        let mut i = 0;
+        while i + 8 <= a.len() {
+            let v = _mm512_loadu_si512(a.as_ptr().add(i).cast());
+            acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+            i += 8;
+        }
+        let mut total = _mm512_reduce_add_epi64(acc) as u64 as u32;
+        while i < a.len() {
+            total += a[i].count_ones();
+            i += 1;
+        }
+        total
+    }
+
+    /// # Safety
+    /// Requires AVX-512F + AVX-512VPOPCNTDQ at runtime.
+    #[target_feature(enable = "avx512f,avx512vpopcntdq")]
+    pub unsafe fn and_popcount(a: &[u64], b: &[u64]) -> u32 {
+        let n = a.len().min(b.len());
+        let mut acc = _mm512_setzero_si512();
+        let mut i = 0;
+        while i + 8 <= n {
+            let va = _mm512_loadu_si512(a.as_ptr().add(i).cast());
+            let vb = _mm512_loadu_si512(b.as_ptr().add(i).cast());
+            acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(_mm512_and_si512(va, vb)));
+            i += 8;
+        }
+        let mut total = _mm512_reduce_add_epi64(acc) as u64 as u32;
+        while i < n {
+            total += (a[i] & b[i]).count_ones();
+            i += 1;
+        }
+        total
+    }
+
+    /// # Safety
+    /// Requires AVX-512F + AVX-512VPOPCNTDQ at runtime.
+    #[target_feature(enable = "avx512f,avx512vpopcntdq")]
+    pub unsafe fn and3_popcount(a: &[u64], b: &[u64], c: &[u64]) -> u32 {
+        let n = a.len().min(b.len()).min(c.len());
+        let mut acc = _mm512_setzero_si512();
+        let mut i = 0;
+        while i + 8 <= n {
+            let va = _mm512_loadu_si512(a.as_ptr().add(i).cast());
+            let vb = _mm512_loadu_si512(b.as_ptr().add(i).cast());
+            let vc = _mm512_loadu_si512(c.as_ptr().add(i).cast());
+            let v = _mm512_and_si512(_mm512_and_si512(va, vb), vc);
+            acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+            i += 8;
+        }
+        let mut total = _mm512_reduce_add_epi64(acc) as u64 as u32;
+        while i < n {
+            total += (a[i] & b[i] & c[i]).count_ones();
+            i += 1;
+        }
+        total
+    }
+
+    /// # Safety
+    /// Requires AVX-512F + AVX-512VPOPCNTDQ at runtime. `dst`, `a`, `b`
+    /// must not overlap.
+    #[target_feature(enable = "avx512f,avx512vpopcntdq")]
+    pub unsafe fn and_store_popcount(dst: &mut [u64], a: &[u64], b: &[u64]) -> u32 {
+        let n = dst.len().min(a.len()).min(b.len());
+        let mut acc = _mm512_setzero_si512();
+        let mut i = 0;
+        while i + 8 <= n {
+            let va = _mm512_loadu_si512(a.as_ptr().add(i).cast());
+            let vb = _mm512_loadu_si512(b.as_ptr().add(i).cast());
+            let v = _mm512_and_si512(va, vb);
+            _mm512_storeu_si512(dst.as_mut_ptr().add(i).cast(), v);
+            acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+            i += 8;
+        }
+        let mut total = _mm512_reduce_add_epi64(acc) as u64 as u32;
+        while i < n {
+            let w = a[i] & b[i];
+            dst[i] = w;
+            total += w.count_ones();
+            i += 1;
+        }
+        total
+    }
+
+    /// # Safety
+    /// Requires AVX-512F + AVX-512VPOPCNTDQ at runtime.
+    #[target_feature(enable = "avx512f,avx512vpopcntdq")]
+    pub unsafe fn and_rows_popcount(rows: &[&[u64]]) -> u32 {
+        match rows.len() {
+            0 => panic!("at least one row"),
+            1 => popcount(rows[0]),
+            2 => and_popcount(rows[0], rows[1]),
+            3 => and3_popcount(rows[0], rows[1], rows[2]),
+            _ => {
+                let n = rows.iter().map(|r| r.len()).min().unwrap_or(0);
+                let mut acc = _mm512_setzero_si512();
+                let mut i = 0;
+                while i + 8 <= n {
+                    let mut v = _mm512_loadu_si512(rows[0].as_ptr().add(i).cast());
+                    for r in &rows[1..] {
+                        v = _mm512_and_si512(v, _mm512_loadu_si512(r.as_ptr().add(i).cast()));
+                    }
+                    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+                    i += 8;
+                }
+                let mut total = _mm512_reduce_add_epi64(acc) as u64 as u32;
+                while i < n {
+                    let mut w = rows[0][i];
+                    for r in &rows[1..] {
+                        w &= r[i];
+                    }
+                    total += w.count_ones();
+                    i += 1;
+                }
+                total
+            }
+        }
+    }
+
+    /// # Safety
+    /// Requires AVX-512F + AVX-512VPOPCNTDQ at runtime.
+    #[target_feature(enable = "avx512f,avx512vpopcntdq")]
+    pub unsafe fn and_popcount_block(partial: &[u64], rows: &[&[u64]], out: &mut [u32]) {
+        debug_assert!(out.len() >= rows.len());
+        for (r, row) in rows.iter().enumerate() {
+            if r + 1 < rows.len() {
+                super::prefetch_words(rows[r + 1]);
+            }
+            out[r] = and_popcount(partial, row);
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -413,9 +685,11 @@ mod x86 {
 #[must_use]
 pub fn popcount(a: &[u64]) -> u32 {
     #[cfg(target_arch = "x86_64")]
-    if active() == Dispatch::Avx2 {
-        // SAFETY: dispatch verified avx2+popcnt at runtime.
-        return unsafe { x86::popcount(a) };
+    // SAFETY: dispatch verified the matching feature set at runtime.
+    match active() {
+        Dispatch::Avx512 => return unsafe { avx512::popcount(a) },
+        Dispatch::Avx2 => return unsafe { x86::popcount(a) },
+        Dispatch::Scalar => {}
     }
     popcount_scalar(a)
 }
@@ -425,9 +699,11 @@ pub fn popcount(a: &[u64]) -> u32 {
 #[must_use]
 pub fn and_popcount(a: &[u64], b: &[u64]) -> u32 {
     #[cfg(target_arch = "x86_64")]
-    if active() == Dispatch::Avx2 {
-        // SAFETY: dispatch verified avx2+popcnt at runtime.
-        return unsafe { x86::and_popcount(a, b) };
+    // SAFETY: dispatch verified the matching feature set at runtime.
+    match active() {
+        Dispatch::Avx512 => return unsafe { avx512::and_popcount(a, b) },
+        Dispatch::Avx2 => return unsafe { x86::and_popcount(a, b) },
+        Dispatch::Scalar => {}
     }
     and_popcount_scalar(a, b)
 }
@@ -437,9 +713,11 @@ pub fn and_popcount(a: &[u64], b: &[u64]) -> u32 {
 #[must_use]
 pub fn and3_popcount(a: &[u64], b: &[u64], c: &[u64]) -> u32 {
     #[cfg(target_arch = "x86_64")]
-    if active() == Dispatch::Avx2 {
-        // SAFETY: dispatch verified avx2+popcnt at runtime.
-        return unsafe { x86::and3_popcount(a, b, c) };
+    // SAFETY: dispatch verified the matching feature set at runtime.
+    match active() {
+        Dispatch::Avx512 => return unsafe { avx512::and3_popcount(a, b, c) },
+        Dispatch::Avx2 => return unsafe { x86::and3_popcount(a, b, c) },
+        Dispatch::Scalar => {}
     }
     and3_popcount_scalar(a, b, c)
 }
@@ -449,10 +727,12 @@ pub fn and3_popcount(a: &[u64], b: &[u64], c: &[u64]) -> u32 {
 #[must_use]
 pub fn and_store_popcount(dst: &mut [u64], a: &[u64], b: &[u64]) -> u32 {
     #[cfg(target_arch = "x86_64")]
-    if active() == Dispatch::Avx2 {
-        // SAFETY: dispatch verified avx2+popcnt at runtime; slices are
-        // distinct borrows so they cannot overlap.
-        return unsafe { x86::and_store_popcount(dst, a, b) };
+    // SAFETY: dispatch verified the matching feature set at runtime; the
+    // slices are distinct borrows so they cannot overlap.
+    match active() {
+        Dispatch::Avx512 => return unsafe { avx512::and_store_popcount(dst, a, b) },
+        Dispatch::Avx2 => return unsafe { x86::and_store_popcount(dst, a, b) },
+        Dispatch::Scalar => {}
     }
     and_store_popcount_scalar(dst, a, b)
 }
@@ -465,9 +745,11 @@ pub fn and_store_popcount(dst: &mut [u64], a: &[u64], b: &[u64]) -> u32 {
 #[must_use]
 pub fn and_rows_popcount(rows: &[&[u64]]) -> u32 {
     #[cfg(target_arch = "x86_64")]
-    if active() == Dispatch::Avx2 {
-        // SAFETY: dispatch verified avx2+popcnt at runtime.
-        return unsafe { x86::and_rows_popcount(rows) };
+    // SAFETY: dispatch verified the matching feature set at runtime.
+    match active() {
+        Dispatch::Avx512 => return unsafe { avx512::and_rows_popcount(rows) },
+        Dispatch::Avx2 => return unsafe { x86::and_rows_popcount(rows) },
+        Dispatch::Scalar => {}
     }
     and_rows_popcount_scalar(rows)
 }
@@ -477,16 +759,39 @@ pub fn and_rows_popcount(rows: &[&[u64]]) -> u32 {
 #[must_use]
 pub fn pext(x: u64, mask: u64) -> u64 {
     #[cfg(target_arch = "x86_64")]
-    if active() == Dispatch::Avx2 {
-        // SAFETY: dispatch verified bmi2 at runtime.
-        return unsafe { x86::pext(x, mask) };
+    // SAFETY: both upper tiers imply BMI2 (detection requires it for AVX2,
+    // and AVX-512 selection requires the AVX2 set first).
+    match active() {
+        Dispatch::Avx512 | Dispatch::Avx2 => return unsafe { x86::pext(x, mask) },
+        Dispatch::Scalar => {}
     }
     pext_scalar(x, mask)
+}
+
+/// Block sweep: `out[r] = popcount(partial & rows[r])` for every candidate
+/// row. The fixed `partial` operand stays register/L1-resident while the
+/// candidate rows stream past it, each row prefetched one iteration ahead.
+/// Callers chunk `rows` to at most [`SWEEP_BLOCK`] entries so the pointer
+/// block and result slots live on the stack.
+#[inline]
+pub fn and_popcount_block(partial: &[u64], rows: &[&[u64]], out: &mut [u32]) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: dispatch verified the matching feature set at runtime.
+    match active() {
+        Dispatch::Avx512 => return unsafe { avx512::and_popcount_block(partial, rows, out) },
+        Dispatch::Avx2 => return unsafe { x86::and_popcount_block(partial, rows, out) },
+        Dispatch::Scalar => {}
+    }
+    and_popcount_block_scalar(partial, rows, out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Serializes tests that pin the process-wide dispatch selection, so the
+    /// parallel test runner can't interleave two force/release sequences.
+    static FORCE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     fn lcg_words(n: usize, seed: u64) -> Vec<u64> {
         let mut state = seed | 1;
@@ -609,10 +914,106 @@ mod tests {
 
     #[test]
     fn force_scalar_pins_and_releases() {
+        let _guard = FORCE_LOCK.lock().unwrap();
         force_scalar(true);
         assert_eq!(active(), Dispatch::Scalar);
         force_scalar(false);
         // Whatever detection says, it must be stable across calls.
         assert_eq!(active(), active());
+    }
+
+    #[test]
+    fn force_rejects_tiers_above_detection() {
+        let _guard = FORCE_LOCK.lock().unwrap();
+        let detected = {
+            assert!(force(None));
+            active()
+        };
+        // Pinning at or below the detected tier succeeds; above it fails and
+        // leaves the selection unchanged.
+        for want in [Dispatch::Scalar, Dispatch::Avx2, Dispatch::Avx512] {
+            let ok = force(Some(want));
+            if want <= detected {
+                assert!(ok, "pin {want:?} under detected {detected:?}");
+                assert_eq!(active(), want);
+            } else {
+                assert!(!ok, "pin {want:?} above detected {detected:?}");
+            }
+            assert!(force(None));
+        }
+        assert_eq!(active(), detected);
+    }
+
+    #[test]
+    fn block_kernel_matches_per_row_scalar() {
+        for n in [0usize, 1, 3, 7, 8, 9, 16, 33] {
+            let partial = lcg_words(n, 101);
+            let r0 = lcg_words(n, 7);
+            let r1 = lcg_words(n, 19);
+            let r2 = lcg_words(n, 55);
+            for take in 0..=3usize {
+                let rows: Vec<&[u64]> = [&r0[..], &r1[..], &r2[..]][..take].to_vec();
+                let mut got = vec![0u32; take];
+                and_popcount_block_scalar(&partial, &rows, &mut got);
+                for (r, row) in rows.iter().enumerate() {
+                    assert_eq!(got[r], and_popcount_scalar(&partial, row), "n={n} r={r}");
+                }
+                // Dispatched path (whatever tier is active) must agree.
+                let mut disp = vec![0u32; take];
+                and_popcount_block(&partial, &rows, &mut disp);
+                assert_eq!(disp, got, "n={n} take={take}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_kernel_identical_across_forced_tiers() {
+        let _guard = FORCE_LOCK.lock().unwrap();
+        let detected = {
+            assert!(force(None));
+            active()
+        };
+        let n = 37; // ragged: exercises 8-word vector body + scalar tail
+        let partial = lcg_words(n, 13);
+        let rows_owned: Vec<Vec<u64>> = (0..SWEEP_BLOCK as u64)
+            .map(|s| lcg_words(n, 200 + s))
+            .collect();
+        let rows: Vec<&[u64]> = rows_owned.iter().map(Vec::as_slice).collect();
+        let mut reference = vec![0u32; rows.len()];
+        and_popcount_block_scalar(&partial, &rows, &mut reference);
+        for tier in [Dispatch::Scalar, Dispatch::Avx2, Dispatch::Avx512] {
+            if !force(Some(tier)) {
+                continue; // host lacks this tier
+            }
+            let mut got = vec![0u32; rows.len()];
+            and_popcount_block(&partial, &rows, &mut got);
+            assert_eq!(got, reference, "tier={tier:?}");
+        }
+        assert!(force(None));
+        assert_eq!(active(), detected);
+    }
+
+    #[test]
+    fn compact_block_matches_and_compact() {
+        for n in [1usize, 4, 9, 16] {
+            let a = lcg_words(n, 31);
+            let mut pidx = Vec::new();
+            let mut pval = Vec::new();
+            for (i, &w) in a.iter().enumerate() {
+                if i % 2 == 0 && w != 0 {
+                    pidx.push(i as u32);
+                    pval.push(w);
+                }
+            }
+            let rows_owned: Vec<Vec<u64>> = (0..5u64).map(|s| lcg_words(n, 400 + s)).collect();
+            let rows: Vec<&[u64]> = rows_owned.iter().map(Vec::as_slice).collect();
+            let mut got = vec![0u32; rows.len()];
+            and_compact_popcount_block(&pidx, &pval, &rows, &mut got);
+            let (mut oidx, mut oval) = (Vec::new(), Vec::new());
+            for (r, row) in rows.iter().enumerate() {
+                let want = and_compact(&pidx, &pval, row, &mut oidx, &mut oval);
+                assert_eq!(got[r], want, "n={n} r={r}");
+            }
+        }
     }
 }

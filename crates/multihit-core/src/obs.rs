@@ -752,6 +752,11 @@ pub struct GreedyIterReport {
     /// All-zero words the sparse scan skipped (0 on dense scans and on
     /// streams from older versions).
     pub words_skipped: u64,
+    /// Level-0 block-kernel invocations (0 with `--no-block-sweep` and on
+    /// streams from older versions).
+    pub block_sweeps: u64,
+    /// Candidate rows scored through the block kernels.
+    pub swept_rows: u64,
 }
 
 /// The instance-reduction summary (from the `kernelize` point).
@@ -1013,6 +1018,8 @@ impl RunReport {
                         frontier_hit: e.u64("frontier_hit").unwrap_or(0),
                         frontier_rescored: e.u64("frontier_rescored").unwrap_or(0),
                         words_skipped: e.u64("words_skipped").unwrap_or(0),
+                        block_sweeps: e.u64("block_sweeps").unwrap_or(0),
+                        swept_rows: e.u64("swept_rows").unwrap_or(0),
                     });
                 }
                 (EventKind::Point, "kernelize") => {
@@ -1210,6 +1217,25 @@ impl RunReport {
     #[must_use]
     pub fn total_words_skipped(&self) -> u64 {
         self.greedy_iters.iter().map(|i| i.words_skipped).sum()
+    }
+
+    /// Total level-0 block-kernel invocations across iterations.
+    #[must_use]
+    pub fn total_block_sweeps(&self) -> u64 {
+        self.greedy_iters.iter().map(|i| i.block_sweeps).sum()
+    }
+
+    /// Total candidate rows scored through the block kernels.
+    #[must_use]
+    pub fn total_swept_rows(&self) -> u64 {
+        self.greedy_iters.iter().map(|i| i.swept_rows).sum()
+    }
+
+    /// Mean rows per block-kernel invocation (0.0 when sweeping never ran,
+    /// e.g. `--no-block-sweep` or streams from older versions).
+    #[must_use]
+    pub fn mean_rows_per_sweep(&self) -> f64 {
+        finite_or_zero(self.total_swept_rows() as f64 / self.total_block_sweeps() as f64)
     }
 
     /// Genes removed by kernelization (0 when it did not run).
@@ -1449,6 +1475,8 @@ mod tests {
                 ("combos_per_sec", Value::F64(5e8)),
                 ("newly_covered", Value::U64(40)),
                 ("remaining", Value::U64(10)),
+                ("block_sweeps", Value::U64(30)),
+                ("swept_rows", Value::U64(450)),
             ],
         );
         obs.point(
@@ -1460,6 +1488,8 @@ mod tests {
                 ("combos_per_sec", Value::F64(6.25e8)),
                 ("newly_covered", Value::U64(10)),
                 ("remaining", Value::U64(0)),
+                ("block_sweeps", Value::U64(20)),
+                ("swept_rows", Value::U64(350)),
             ],
         );
         for (rank, busy, idle) in [(0u64, 900u64, 100u64), (1, 600, 400)] {
@@ -1494,6 +1524,25 @@ mod tests {
         assert!((imb - 1.2).abs() < 1e-12, "imbalance {imb}");
         let util = report.mean_rank_utilization();
         assert!((util - 0.75).abs() < 1e-12, "utilization {util}");
+        assert_eq!(report.total_block_sweeps(), 50);
+        assert_eq!(report.total_swept_rows(), 800);
+        let rps = report.mean_rows_per_sweep();
+        assert!((rps - 16.0).abs() < 1e-12, "rows/sweep {rps}");
+    }
+
+    #[test]
+    fn rows_per_sweep_is_zero_without_sweeps() {
+        // Streams from builds before block sweeping (or runs with
+        // --no-block-sweep) have no sweep fields; the ratio must stay 0.0,
+        // not NaN.
+        let obs = Obs::enabled();
+        obs.point(
+            "greedy_iter",
+            &[("iter", Value::U64(0)), ("scan_ns", Value::U64(5))],
+        );
+        let report = RunReport::from_json_lines(&obs.to_json_lines()).unwrap();
+        assert_eq!(report.total_block_sweeps(), 0);
+        assert_eq!(report.mean_rows_per_sweep(), 0.0);
     }
 
     #[test]

@@ -133,6 +133,46 @@ impl Scheme4 {
         }
     }
 
+    /// Visit thread λ's combinations grouped by fixed prefix: each call gets
+    /// the three fixed coordinates and the contiguous range the last
+    /// coordinate streams over. Equivalent to [`Self::for_each_combo`] with
+    /// `[p[0], p[1], p[2], l]` for `l` in the range, but exposes the run
+    /// structure so executors can fold the prefix AND once and score the
+    /// streamed rows through the block kernels.
+    pub fn for_each_prefix<F: FnMut([u32; 3], std::ops::Range<u32>)>(
+        self,
+        lambda: u64,
+        g: u32,
+        mut f: F,
+    ) {
+        match self {
+            Scheme4::OneXThree => {
+                let i = lambda as u32;
+                for j in i + 1..g {
+                    for k in j + 1..g {
+                        f([i, j, k], k + 1..g);
+                    }
+                }
+            }
+            Scheme4::TwoXTwo => {
+                let (i, j) = unrank_pair(lambda);
+                for k in j + 1..g {
+                    f([i, j, k], k + 1..g);
+                }
+            }
+            Scheme4::ThreeXOne => {
+                let (i, j, k) = unrank_triple(lambda);
+                f([i, j, k], k + 1..g);
+            }
+            Scheme4::FourXOne => {
+                let c = unrank_tuple::<4>(lambda);
+                if c[3] < g {
+                    f([c[0], c[1], c[2]], c[3]..c[3] + 1);
+                }
+            }
+        }
+    }
+
     /// Total combinations over all threads — must equal `C(g, 4)` for every
     /// scheme (the schemes repartition, never duplicate or drop, work).
     #[must_use]
@@ -216,6 +256,35 @@ impl Scheme3 {
             }
         }
     }
+
+    /// Thread λ's triples grouped by fixed pair prefix with the streamed
+    /// last-coordinate range — the 3-hit analogue of
+    /// [`Scheme4::for_each_prefix`].
+    pub fn for_each_prefix<F: FnMut([u32; 2], std::ops::Range<u32>)>(
+        self,
+        lambda: u64,
+        g: u32,
+        mut f: F,
+    ) {
+        match self {
+            Scheme3::OneXTwo => {
+                let i = lambda as u32;
+                for j in i + 1..g {
+                    f([i, j], j + 1..g);
+                }
+            }
+            Scheme3::TwoXOne => {
+                let (i, j) = unrank_pair(lambda);
+                f([i, j], j + 1..g);
+            }
+            Scheme3::ThreeXZero => {
+                let (i, j, k) = unrank_triple(lambda);
+                if k < g {
+                    f([i, j], k..k + 1);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -289,6 +358,38 @@ mod tests {
                 let mut n = 0u64;
                 scheme.for_each_combo(l, g, |_| n += 1);
                 assert_eq!(n, scheme.workload(l, g), "scheme {} λ={l}", scheme.name());
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_enumeration_matches_combo_enumeration() {
+        let g = 11;
+        for scheme in Scheme4::ALL {
+            for l in 0..scheme.thread_count(g) {
+                let mut stepped = Vec::new();
+                scheme.for_each_combo(l, g, |c| stepped.push(c));
+                let mut grouped = Vec::new();
+                scheme.for_each_prefix(l, g, |p, range| {
+                    for last in range {
+                        grouped.push([p[0], p[1], p[2], last]);
+                    }
+                });
+                assert_eq!(grouped, stepped, "scheme {} λ={l}", scheme.name());
+            }
+        }
+        let g = 13;
+        for scheme in Scheme3::ALL {
+            for l in 0..scheme.thread_count(g) {
+                let mut stepped = Vec::new();
+                scheme.for_each_combo(l, g, |c| stepped.push(c));
+                let mut grouped = Vec::new();
+                scheme.for_each_prefix(l, g, |p, range| {
+                    for last in range {
+                        grouped.push([p[0], p[1], last]);
+                    }
+                });
+                assert_eq!(grouped, stepped, "scheme {} λ={l}", scheme.name());
             }
         }
     }

@@ -1,13 +1,13 @@
 //! Property-based tests over the core invariants: index-map bijectivity,
 //! bit-matrix counting, reduction determinism, and greedy-scan agreement.
 
-use multihit_core::bitmat::BitMatrix;
+use multihit_core::bitmat::{BitMatrix, SkipIndex};
 use multihit_core::combin::{
     binomial, rank_pair, rank_triple, rank_tuple, tri, unrank_pair, unrank_triple, unrank_tuple,
 };
 use multihit_core::greedy::{
     best_combination, best_combination_stats, discover, ComboScanner, Exclusion, GreedyConfig,
-    SparseMode,
+    ScanStats, SparseMode,
 };
 use multihit_core::kernel;
 use multihit_core::kernelize::kernelize;
@@ -425,6 +425,156 @@ proptest! {
             let cfg = GreedyConfig { parallel, sparse: SparseMode::On, ..GreedyConfig::default() };
             prop_assert_eq!(best_combination::<3>(&t, &n, mask, &cfg), reference);
         }
+    }
+}
+
+/// Block-sweep vs single-step equivalence for one hit count: the level-0
+/// sweep through the batch kernels must return the exact stepping result
+/// (same score, same colex winner) for plain and pruned scans, dense and
+/// sparse, at every sweep width — including widths that do not divide the
+/// level-0 run length.
+fn check_block_sweep<const H: usize>(
+    t: &BitMatrix,
+    n: &BitMatrix,
+    mask: Option<&[u64]>,
+    sparse: bool,
+    widths: &[usize],
+) -> Result<(), String> {
+    let g = t.n_genes() as u64;
+    let total = binomial(g, H as u64);
+    let skip_t = SkipIndex::build(t);
+    let skip_n = SkipIndex::build(n);
+    let make = |start: u64| {
+        if sparse {
+            ComboScanner::<H>::with_skip(t, n, mask, Alpha::PAPER, start, (&skip_t, &skip_n))
+        } else {
+            ComboScanner::<H>::new(t, n, mask, Alpha::PAPER, start)
+        }
+    };
+    let mut reference = make(0);
+    reference.set_sweep_width(1);
+    let want = reference.scan(total);
+    for &width in widths {
+        let mut sc = make(0);
+        sc.set_sweep_width(width);
+        prop_assert_eq!(sc.scan(total), want);
+        if width > 1 {
+            prop_assert!(
+                sc.block_sweeps() > 0,
+                "sweep never engaged at width {}",
+                width
+            );
+        }
+        // Pruned sweep: identical winner, and every combination accounted
+        // for as either scored or pruned.
+        let mut st = ScanStats::default();
+        let mut sc = make(0);
+        sc.set_sweep_width(width);
+        let got = sc.scan_pruned(total, Scored::NEG_INFINITY, None, &mut st);
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(st.scored + st.pruned_combos, total);
+        // Split scan at a boundary the width does not divide: chunked
+        // sweeps must still fold to the stepping result. (Skipped when the
+        // space has a single combination — there is nothing to split.)
+        if total >= 2 {
+            let cut = (total / 2).max(1);
+            let mut lo = make(0);
+            lo.set_sweep_width(width);
+            let mut hi = make(cut);
+            hi.set_sweep_width(width);
+            prop_assert_eq!(lo.scan(cut).max_det(hi.scan(total - cut)), want);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn block_sweep_identical_to_stepping(
+        (td, nd) in cohort(9, 70),
+        masked in any::<bool>(),
+        sparse in any::<bool>(),
+    ) {
+        let t = BitMatrix::from_dense(&td);
+        let n = BitMatrix::from_dense(&nd);
+        prop_assume!(t.n_genes() >= 4);
+        let mask_store;
+        let mask = if masked {
+            let mut m = t.full_mask();
+            for s in (0..t.n_samples()).step_by(3) {
+                m[s / 64] &= !(1u64 << (s % 64));
+            }
+            mask_store = m;
+            Some(mask_store.as_slice())
+        } else {
+            None
+        };
+        // Widths that divide typical level-0 runs and widths that do not,
+        // plus the full SWEEP_BLOCK.
+        let widths = [2usize, 3, 5, 16];
+        check_block_sweep::<2>(&t, &n, mask, sparse, &widths)?;
+        check_block_sweep::<3>(&t, &n, mask, sparse, &widths)?;
+        check_block_sweep::<4>(&t, &n, mask, sparse, &widths)?;
+    }
+}
+
+/// Strategy: a block of ragged rows plus a partial to AND them against —
+/// the block-kernel operand shape.
+fn row_block() -> impl Strategy<Value = (Vec<u64>, Vec<Vec<u64>>, u64)> {
+    (1usize..19, 1usize..=16, 0u32..64).prop_flat_map(|(len, rows, tail_bits)| {
+        (
+            prop::collection::vec(any::<u64>(), len),
+            prop::collection::vec(prop::collection::vec(any::<u64>(), len), rows),
+            Just(if tail_bits == 0 {
+                u64::MAX
+            } else {
+                u64::MAX >> tail_bits
+            }),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every dispatch tier the host supports must agree with the scalar
+    /// reference on the block kernels, on ragged lengths and partial final
+    /// words. On hosts without AVX-512 (or AVX2) the `force` pin refuses and
+    /// that tier is skipped gracefully — the remaining tiers still compare.
+    #[test]
+    fn dispatch_tiers_agree_on_block_kernels((mut partial, mut rows, tail) in row_block()) {
+        if let Some(last) = partial.last_mut() {
+            *last &= tail;
+        }
+        for row in &mut rows {
+            if let Some(last) = row.last_mut() {
+                *last &= tail;
+            }
+        }
+        let refs: Vec<&[u64]> = rows.iter().map(Vec::as_slice).collect();
+        let mut want = vec![0u32; refs.len()];
+        kernel::and_popcount_block_scalar(&partial, &refs, &mut want);
+        let single_want = kernel::and_popcount_scalar(&partial, refs[0]);
+        for tier in [
+            kernel::Dispatch::Scalar,
+            kernel::Dispatch::Avx2,
+            kernel::Dispatch::Avx512,
+        ] {
+            if !kernel::force(Some(tier)) {
+                continue; // tier not supported on this host
+            }
+            let mut got = vec![0u32; refs.len()];
+            kernel::and_popcount_block(&partial, &refs, &mut got);
+            prop_assert!(got == want, "block kernel diverged on {}", tier.name());
+            prop_assert!(
+                kernel::and_popcount(&partial, refs[0]) == single_want,
+                "and_popcount diverged on {}",
+                tier.name()
+            );
+        }
+        kernel::force(None);
     }
 }
 

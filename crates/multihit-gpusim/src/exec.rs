@@ -3,10 +3,13 @@
 //!
 //! [`run_maxf4`] / [`run_maxf3`] execute a contiguous λ-range of the chosen
 //! scheme *literally*: each simulated thread prefetches the rows of its
-//! fixed tuple coordinates (the MemOpt path), folds their AND once, streams
-//! the last coordinate, and keeps its running best; per-block (512-thread)
-//! single-stage reduction then the multi-stage tree reduction produce the
-//! GPU's single 20-byte record — exactly the paper's §III-E pipeline.
+//! fixed tuple coordinates (the MemOpt path), folds their AND once into a
+//! reusable per-rank scratch, block-sweeps the streamed last coordinate
+//! through [`kernel::and_popcount_block`] in
+//! [`kernel::SWEEP_BLOCK`]-sized batches, and keeps its running best;
+//! per-block (512-thread) single-stage reduction then the multi-stage tree
+//! reduction produce the GPU's single 20-byte record — exactly the paper's
+//! §III-E pipeline.
 //!
 //! Alongside the result, the executor audits its global traffic and emits
 //! the [`WorkProfile`] the cost model consumes, so tests can assert the
@@ -29,6 +32,11 @@ pub struct ExecOutcome<const H: usize> {
     pub profile: WorkProfile,
     /// Reduction accounting (block records, tree stages).
     pub reduce: ReduceStats,
+    /// Block-kernel invocations used to stream the last coordinate. Lives
+    /// here rather than on [`WorkProfile`] because the profile is audited
+    /// word-for-word against the analytic model, which is
+    /// chunking-agnostic.
+    pub block_sweeps: u64,
 }
 
 fn fold_and(dst: &mut [u64], row: &[u64]) {
@@ -37,8 +45,66 @@ fn fold_and(dst: &mut [u64], row: &[u64]) {
     }
 }
 
-fn count_and(a: &[u64], b: &[u64]) -> u32 {
-    kernel::and_popcount(a, b)
+/// Reusable fold-partial scratch for one rank's kernel launches: the
+/// prefix-AND accumulators are allocated once per executor call and rebuilt
+/// in place per prefix, so the thread loop performs no heap allocation.
+struct FoldScratch {
+    acc_t: Vec<u64>,
+    acc_n: Vec<u64>,
+}
+
+impl FoldScratch {
+    fn new(wt: usize, wn: usize) -> Self {
+        FoldScratch {
+            acc_t: vec![u64::MAX; wt],
+            acc_n: vec![u64::MAX; wn],
+        }
+    }
+
+    /// Rebuild both partials as the AND of `prefix`'s rows.
+    fn rebuild(&mut self, tumor: &BitMatrix, normal: &BitMatrix, prefix: &[u32]) {
+        self.acc_t.fill(u64::MAX);
+        self.acc_n.fill(u64::MAX);
+        for &gene in prefix {
+            fold_and(&mut self.acc_t, tumor.row(gene as usize));
+            fold_and(&mut self.acc_n, normal.row(gene as usize));
+        }
+    }
+}
+
+/// Score the streamed last coordinates `range` against the prefix partials
+/// in [`kernel::SWEEP_BLOCK`]-sized batches through the block kernels,
+/// handing each scored combination to `emit`. Returns the number of block
+/// kernel invocations (counted per matrix pair, not per side).
+fn sweep_last_coord<E: FnMut(u32, u32, u32)>(
+    tumor: &BitMatrix,
+    normal: &BitMatrix,
+    scratch: &FoldScratch,
+    range: std::ops::Range<u32>,
+    n_norm: u32,
+    mut emit: E,
+) -> u64 {
+    let mut sweeps = 0u64;
+    let mut rows_t: [&[u64]; kernel::SWEEP_BLOCK] = [&[]; kernel::SWEEP_BLOCK];
+    let mut rows_n: [&[u64]; kernel::SWEEP_BLOCK] = [&[]; kernel::SWEEP_BLOCK];
+    let mut out_t = [0u32; kernel::SWEEP_BLOCK];
+    let mut out_n = [0u32; kernel::SWEEP_BLOCK];
+    let mut base = range.start;
+    while base < range.end {
+        let chunk = ((range.end - base) as usize).min(kernel::SWEEP_BLOCK);
+        for r in 0..chunk {
+            rows_t[r] = tumor.row((base + r as u32) as usize);
+            rows_n[r] = normal.row((base + r as u32) as usize);
+        }
+        kernel::and_popcount_block(&scratch.acc_t, &rows_t[..chunk], &mut out_t[..chunk]);
+        kernel::and_popcount_block(&scratch.acc_n, &rows_n[..chunk], &mut out_n[..chunk]);
+        sweeps += 1;
+        for r in 0..chunk {
+            emit(base + r as u32, out_t[r], n_norm - out_n[r]);
+        }
+        base += chunk as u32;
+    }
+    sweeps
 }
 
 /// Execute the 4-hit `maxF` kernel over threads `[lo, hi)` of `scheme`.
@@ -102,40 +168,33 @@ fn run_maxf4_sink<F: FnMut(&Scored<4>)>(
     let n_norm = normal.n_samples() as u32;
 
     let mut profile = WorkProfile::default();
+    let mut block_sweeps = 0u64;
+    // Fold-partial scratch is hoisted out of the thread loop and rebuilt in
+    // place per prefix — no allocation inside the λ loop.
+    let mut scratch = FoldScratch::new(wt, wn);
     let per_thread: Vec<Scored<4>> = (lo..hi)
         .map(|lambda| {
             let mut best = Scored::NEG_INFINITY;
             let mut inner = 0u64;
-            // Thread body: prefetch the fixed coordinates once, then walk
-            // the scheme's inner loops streaming the last coordinate.
-            let mut acc_t = vec![u64::MAX; wt];
-            let mut acc_n = vec![u64::MAX; wn];
-            let mut fixed: Option<[u32; 3]> = None;
-            scheme.for_each_combo(lambda, g, |c| {
-                let fx = [c[0], c[1], c[2]];
-                if fixed != Some(fx) {
-                    // (Re)build the prefetched partial AND. For 3x1 this
-                    // happens once per thread; for 2x2, once per k.
-                    acc_t.fill(u64::MAX);
-                    acc_n.fill(u64::MAX);
-                    for &gene in &fx {
-                        fold_and(&mut acc_t, tumor.row(gene as usize));
-                        fold_and(&mut acc_n, normal.row(gene as usize));
-                    }
-                    fixed = Some(fx);
-                }
-                let tp = count_and(&acc_t, tumor.row(c[3] as usize));
-                let cn = count_and(&acc_n, normal.row(c[3] as usize));
-                inner += 1;
-                let tn = n_norm - cn;
-                let s = Scored {
-                    score: alpha.score(tp, tn),
-                    tp,
-                    tn,
-                    genes: c,
-                };
-                sink(&s);
-                best = best.max_det(s);
+            // Thread body: prefetch the fixed coordinates once per prefix,
+            // then block-sweep the streamed last coordinate against the
+            // register-resident partial.
+            scheme.for_each_prefix(lambda, g, |fx, range| {
+                // (Re)build the prefetched partial AND. For 3x1 this
+                // happens once per thread; for 2x2, once per k.
+                scratch.rebuild(tumor, normal, &fx);
+                block_sweeps +=
+                    sweep_last_coord(tumor, normal, &scratch, range, n_norm, |last, tp, tn| {
+                        inner += 1;
+                        let s = Scored {
+                            score: alpha.score(tp, tn),
+                            tp,
+                            tn,
+                            genes: [fx[0], fx[1], fx[2], last],
+                        };
+                        sink(&s);
+                        best = best.max_det(s);
+                    });
             });
             profile.n_threads += 1;
             profile.combos += inner;
@@ -153,6 +212,7 @@ fn run_maxf4_sink<F: FnMut(&Scored<4>)>(
         best,
         profile,
         reduce,
+        block_sweeps,
     }
 }
 
@@ -186,6 +246,7 @@ pub fn run_maxf4_obs(
                 ("combos", out.profile.combos.into()),
                 ("inner_words", out.profile.inner_words.into()),
                 ("prefetch_words", out.profile.prefetch_words.into()),
+                ("block_sweeps", out.block_sweeps.into()),
             ],
         );
         obs.counter_add("exec.launches", 1);
@@ -193,6 +254,7 @@ pub fn run_maxf4_obs(
         obs.counter_add("exec.inner_words", out.profile.inner_words);
         obs.counter_add("exec.prefetch_words", out.profile.prefetch_words);
         obs.counter_add("exec.kernel_ns", kernel_ns);
+        obs.counter_add("exec.block_sweeps", out.block_sweeps);
     }
     drop(span);
     out
@@ -217,34 +279,24 @@ pub fn run_maxf3(
     let n_norm = normal.n_samples() as u32;
 
     let mut profile = WorkProfile::default();
+    let mut block_sweeps = 0u64;
+    let mut scratch = FoldScratch::new(wt, wn);
     let per_thread: Vec<Scored<3>> = (lo..hi)
         .map(|lambda| {
             let mut best = Scored::NEG_INFINITY;
             let mut inner = 0u64;
-            let mut acc_t = vec![u64::MAX; wt];
-            let mut acc_n = vec![u64::MAX; wn];
-            let mut fixed: Option<[u32; 2]> = None;
-            scheme.for_each_combo(lambda, g, |c| {
-                let fx = [c[0], c[1]];
-                if fixed != Some(fx) {
-                    acc_t.fill(u64::MAX);
-                    acc_n.fill(u64::MAX);
-                    for &gene in &fx {
-                        fold_and(&mut acc_t, tumor.row(gene as usize));
-                        fold_and(&mut acc_n, normal.row(gene as usize));
-                    }
-                    fixed = Some(fx);
-                }
-                let tp = count_and(&acc_t, tumor.row(c[2] as usize));
-                let cn = count_and(&acc_n, normal.row(c[2] as usize));
-                inner += 1;
-                let tn = n_norm - cn;
-                best = best.max_det(Scored {
-                    score: alpha.score(tp, tn),
-                    tp,
-                    tn,
-                    genes: c,
-                });
+            scheme.for_each_prefix(lambda, g, |fx, range| {
+                scratch.rebuild(tumor, normal, &fx);
+                block_sweeps +=
+                    sweep_last_coord(tumor, normal, &scratch, range, n_norm, |last, tp, tn| {
+                        inner += 1;
+                        best = best.max_det(Scored {
+                            score: alpha.score(tp, tn),
+                            tp,
+                            tn,
+                            genes: [fx[0], fx[1], last],
+                        });
+                    });
             });
             profile.n_threads += 1;
             profile.combos += inner;
@@ -262,6 +314,7 @@ pub fn run_maxf3(
         best,
         profile,
         reduce,
+        block_sweeps,
     }
 }
 
@@ -485,6 +538,25 @@ mod tests {
                 "{}",
                 scheme.name()
             );
+        }
+    }
+
+    #[test]
+    fn block_sweep_count_matches_chunk_arithmetic() {
+        let (t, n) = lcg_matrices(40, 64, 32, 11);
+        let g = 40u32;
+        for scheme in [Scheme4::TwoXTwo, Scheme4::ThreeXOne, Scheme4::FourXOne] {
+            let total = scheme.thread_count(g);
+            let out = run_maxf4(&t, &n, Alpha::PAPER, scheme, 0, total, 512);
+            let mut expect = 0u64;
+            for l in 0..total {
+                scheme.for_each_prefix(l, g, |_, range| {
+                    expect +=
+                        u64::from(range.end - range.start).div_ceil(kernel::SWEEP_BLOCK as u64);
+                });
+            }
+            assert_eq!(out.block_sweeps, expect, "{}", scheme.name());
+            assert!(out.block_sweeps > 0, "{}", scheme.name());
         }
     }
 

@@ -6,7 +6,7 @@
 //! multihit discover --tumor T.maf --normal N.maf --hits H [--out R.tsv]
 //!                   [--publish HOST:PORT] [--max-combos N]
 //!                   [--cohort LABEL] [--no-prune]
-//!                   [--no-kernelize] [--sparse auto|on|off]
+//!                   [--no-kernelize] [--no-block-sweep] [--sparse auto|on|off]
 //!                   [--scan auto|scalar] [--metrics-out M.jsonl] [--trace]
 //! multihit classify --results R.tsv --tumor T.maf --normal N.maf
 //! multihit cluster  [--dataset brca|acc] [--nodes N] [--scheduler ea|ed|ec]
@@ -332,6 +332,7 @@ fn cmd_discover(args: &[String]) -> Result<(), String> {
         Some(other) => return Err(format!("unknown scan mode {other} (auto|scalar)")),
     }
     let kernelize = !has_flag(args, "--no-kernelize");
+    let block_sweep = !has_flag(args, "--no-block-sweep");
     let sparse = match arg_value(args, "--sparse").as_deref() {
         None | Some("auto") => SparseMode::Auto,
         Some("on") => SparseMode::On,
@@ -344,6 +345,7 @@ fn cmd_discover(args: &[String]) -> Result<(), String> {
         prune,
         frontier_k,
         kernelize,
+        block_sweep,
         sparse,
         ..GreedyConfig::default()
     };
@@ -849,7 +851,7 @@ const USAGE: &str = "usage: multihit <synth|discover|classify|cluster|serve|load
   discover --tumor T.maf --normal N.maf [--hits H --max-combos N
            --cohort LABEL --out R.tsv --publish HOST:PORT
            --no-prune --scan auto|scalar
-           --no-kernelize --sparse auto|on|off
+           --no-kernelize --no-block-sweep --sparse auto|on|off
            --frontier-k K --no-frontier --metrics-out M.jsonl --trace]
   classify --results R.tsv --tumor T.maf --normal N.maf
   cluster  [--dataset brca|acc --nodes N --scheduler ea|ed|ec
